@@ -1,0 +1,78 @@
+//! **Simulator throughput** — events/second of the discrete-event engine
+//! while serving an open-loop request stream, plus end-to-end
+//! mini-experiment timing (the cost of regenerating a table cell).
+//!
+//! ```text
+//! cargo bench -p evolve-bench --bench sim_throughput
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evolve_core::{ExperimentRunner, ManagerKind, RunConfig};
+use evolve_sim::{ClusterConfig, NodeShape, Simulation, SimulationConfig};
+use evolve_types::{ResourceVec, SimDuration, SimTime};
+use evolve_workload::{LoadSpec, PloSpec, RequestClass, Scenario, ServiceSpec, WorkloadMix};
+use std::hint::black_box;
+
+fn service_mix(rate: f64) -> WorkloadMix {
+    let class = RequestClass::new(
+        "rq",
+        ResourceVec::new(20.0, 2.0, 0.2, 0.2),
+        0.5,
+        SimDuration::from_secs(10),
+    );
+    WorkloadMix::new().with_service(
+        ServiceSpec::new(
+            "svc",
+            PloSpec::LatencyP99 { target_ms: 100.0 },
+            class,
+            ResourceVec::new(2_000.0, 2_048.0, 50.0, 50.0),
+        )
+        .with_initial_replicas(2),
+        LoadSpec::Constant { rate },
+    )
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("serve_10s_at_200rps", |b| {
+        b.iter(|| {
+            let mix = service_mix(200.0);
+            let mut sim = Simulation::new(
+                SimulationConfig::default(),
+                ClusterConfig::uniform(2, NodeShape::default()),
+                &mix,
+                7,
+            );
+            let pending: Vec<_> = sim.cluster().pending_pods().map(|p| p.id).collect();
+            for pod in pending {
+                let node = sim.cluster().nodes()[0].id();
+                sim.bind_pod(pod, node).expect("binds");
+            }
+            sim.run_until(SimTime::from_secs(10));
+            black_box(sim.events_processed())
+        })
+    });
+    group.bench_function("mini_experiment_evolve_60s", |b| {
+        b.iter(|| {
+            let scenario = Scenario {
+                name: "mini".into(),
+                description: String::new(),
+                mix: service_mix(100.0),
+                horizon: SimDuration::from_secs(60),
+            };
+            let outcome = ExperimentRunner::new(
+                RunConfig::new(scenario, ManagerKind::Evolve)
+                    .with_nodes(3)
+                    .with_seed(7)
+                    .without_series(),
+            )
+            .run();
+            black_box(outcome.total_violation_rate())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! **T3 (criterion companion) — scheduler cycle cost** at increasing
+//! cluster sizes, for the stock and EVOLVE profiles.
+//!
+//! ```text
+//! cargo bench -p evolve-bench --bench tab3_sched_cycle
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evolve_scheduler::SchedulerFramework;
+use evolve_sim::{ClusterConfig, ClusterState, NodeShape, PodKind, PodSpec};
+use evolve_types::{AppId, ResourceVec, SimTime};
+use std::hint::black_box;
+
+fn populated(nodes: usize, pending: usize) -> ClusterState {
+    let mut cluster = ClusterState::new(&ClusterConfig::uniform(nodes, NodeShape::default()));
+    let filler = ResourceVec::new(8_000.0, 16_384.0, 100.0, 200.0);
+    for i in 0..nodes {
+        let pod = cluster.create_pod(
+            PodSpec::new(PodKind::ServiceReplica { app: AppId::new(9_999) }, filler, 10),
+            SimTime::ZERO,
+        );
+        cluster.bind_pod(pod, cluster.nodes()[i].id()).expect("fits");
+    }
+    for k in 0..pending {
+        cluster.create_pod(
+            PodSpec::new(
+                PodKind::ServiceReplica { app: AppId::new((k % 20) as u32) },
+                ResourceVec::new(1_000.0, 1_024.0, 10.0, 20.0),
+                100,
+            ),
+            SimTime::from_micros(k as u64),
+        );
+    }
+    cluster
+}
+
+fn bench_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_cycle_100_pods");
+    group.sample_size(20);
+    for nodes in [100usize, 500, 1_000] {
+        let cluster = populated(nodes, 100);
+        let kube = SchedulerFramework::kube_default();
+        let evolve = SchedulerFramework::evolve_default();
+        group.bench_with_input(BenchmarkId::new("kube-default", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(kube.schedule_cycle(&cluster)))
+        });
+        group.bench_with_input(BenchmarkId::new("evolve", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(evolve.schedule_cycle(&cluster)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycles);
+criterion_main!(benches);

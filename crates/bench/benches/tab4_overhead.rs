@@ -1,0 +1,114 @@
+//! **T4 — control-plane overhead.** Criterion microbenchmarks of every
+//! hot-path operation in the EVOLVE control plane: scalar PID step,
+//! full multi-resource controller step, RLS model update, online
+//! percentile observation and PLO window accounting.
+//!
+//! ```text
+//! cargo bench -p evolve-bench --bench tab4_overhead
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evolve_control::{MultiResourceConfig, MultiResourceController, PidConfig, PidController, RlsModel, SensitivityModel};
+use evolve_telemetry::{P2Quantile, PloBound, PloTracker, SlidingQuantile};
+use evolve_types::{ResourceVec, SimTime};
+use std::hint::black_box;
+
+fn bench_pid(c: &mut Criterion) {
+    let mut pid = PidController::new(
+        PidConfig::new(0.8, 0.15, 0.05).with_output_limits(-0.5, 1.0).with_derivative_tau(2.0),
+    );
+    let mut i = 0u64;
+    c.bench_function("pid_step", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let e = ((i % 100) as f64 - 50.0) / 100.0;
+            black_box(pid.step(black_box(e), 5.0))
+        })
+    });
+}
+
+fn bench_multi_controller(c: &mut Criterion) {
+    let mut ctl = MultiResourceController::new(MultiResourceConfig::new(
+        ResourceVec::splat(10.0),
+        ResourceVec::splat(100_000.0),
+    ));
+    let alloc = ResourceVec::new(2_000.0, 2_048.0, 50.0, 50.0);
+    let usage = ResourceVec::new(1_800.0, 512.0, 10.0, 45.0);
+    let mut i = 0u64;
+    c.bench_function("multi_resource_controller_step", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let e = ((i % 100) as f64 - 50.0) / 100.0;
+            black_box(ctl.step(black_box(alloc), black_box(usage), e, 5.0))
+        })
+    });
+}
+
+fn bench_rls(c: &mut Criterion) {
+    let mut model = RlsModel::new(4, 0.97);
+    let mut i = 0u64;
+    c.bench_function("rls_update_4d", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let x = [
+                (i % 7) as f64,
+                (i % 11) as f64,
+                (i % 13) as f64,
+                (i % 17) as f64,
+            ];
+            model.update(black_box(&x), (i % 23) as f64);
+        })
+    });
+}
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let mut model = SensitivityModel::new();
+    let alloc = ResourceVec::new(2_000.0, 2_048.0, 50.0, 50.0);
+    let usage = ResourceVec::new(1_900.0, 512.0, 10.0, 45.0);
+    for _ in 0..20 {
+        model.observe(alloc, usage, 0.2);
+    }
+    c.bench_function("sensitivity_attribution", |b| {
+        b.iter(|| black_box(model.attribution()))
+    });
+}
+
+fn bench_quantiles(c: &mut Criterion) {
+    let mut p2 = P2Quantile::new(0.99);
+    let mut i = 0u64;
+    c.bench_function("p2_quantile_observe", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            p2.observe(black_box((i % 1_000) as f64));
+        })
+    });
+    let mut sliding = SlidingQuantile::new(1_000);
+    for v in 0..1_000 {
+        sliding.observe(f64::from(v));
+    }
+    c.bench_function("sliding_quantile_p99_of_1000", |b| {
+        b.iter(|| black_box(sliding.quantile(0.99)))
+    });
+}
+
+fn bench_plo_tracker(c: &mut Criterion) {
+    let mut tracker = PloTracker::new(100.0, PloBound::Upper);
+    let mut i = 0u64;
+    c.bench_function("plo_record_window", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            tracker.record_window(SimTime::from_secs(i), black_box((i % 200) as f64));
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pid,
+    bench_multi_controller,
+    bench_rls,
+    bench_sensitivity,
+    bench_quantiles,
+    bench_plo_tracker
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! **F6 — interference / slack harvesting.** Two latency-critical
+//! services colocated with oversized batch and HPC jobs. With priority
+//! preemption (the EVOLVE scheduler profile), batch work should harvest
+//! slack without breaking the services' PLOs; without preemption the
+//! services queue behind batch allocations.
+//!
+//! ```text
+//! cargo run --release -p evolve-bench --bin fig6_interference
+//! ```
+
+use evolve_bench::output_dir;
+use evolve_core::{
+    write_csv, ExperimentRunner, ManagerKind, RunConfig, SchedulerProfile, Table,
+};
+use evolve_workload::{Scenario, WorldClass};
+
+fn main() {
+    let variants: Vec<(&str, ManagerKind, SchedulerProfile)> = vec![
+        ("evolve + preemption", ManagerKind::Evolve, SchedulerProfile::Evolve),
+        ("evolve, no preemption", ManagerKind::Evolve, SchedulerProfile::KubeDefault),
+        ("kube-static", ManagerKind::KubeStatic, SchedulerProfile::KubeDefault),
+    ];
+    let mut table = Table::new(
+        [
+            "variant",
+            "svc viol rate",
+            "svc timeouts",
+            "jobs finished",
+            "deadlines met",
+            "used share",
+            "preemptions",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for (label, manager, profile) in variants {
+        eprintln!("running {label} …");
+        let outcome = ExperimentRunner::new(
+            RunConfig::new(Scenario::interference(), manager)
+                .with_nodes(10)
+                .with_seed(42)
+                .with_scheduler(profile)
+                .without_series(),
+        )
+        .run();
+        let svc_windows: u64 = outcome
+            .apps
+            .iter()
+            .filter(|a| a.world == WorldClass::Microservice)
+            .map(|a| a.windows)
+            .sum();
+        let svc_violations: u64 = outcome
+            .apps
+            .iter()
+            .filter(|a| a.world == WorldClass::Microservice)
+            .map(|a| a.violations)
+            .sum();
+        let svc_timeouts: u64 = outcome
+            .apps
+            .iter()
+            .filter(|a| a.world == WorldClass::Microservice)
+            .map(|a| a.timeouts)
+            .sum();
+        let finished = outcome.jobs.iter().filter(|j| j.finished.is_some()).count();
+        let (hits, total) = outcome.deadline_hits();
+        table.add_row(vec![
+            label.to_string(),
+            format!(
+                "{:.3}",
+                if svc_windows == 0 { 0.0 } else { svc_violations as f64 / svc_windows as f64 }
+            ),
+            svc_timeouts.to_string(),
+            format!("{finished}/{total}"),
+            format!("{hits}/{total}"),
+            format!("{:.3}", outcome.utilization.mean_used()),
+            outcome.preemptions.to_string(),
+        ]);
+    }
+    println!("\nF6 — colocating latency services with aggressive batch/HPC (10 nodes)\n");
+    println!("{table}");
+    println!("expected shape: with preemption the services stay compliant and batch still");
+    println!("finishes (harvesting slack, losing some work to preemption); without it, the");
+    println!("services suffer when batch got there first.");
+    if let Err(err) = write_csv(&output_dir(), "fig6_interference", &table.to_csv()) {
+        eprintln!("could not write CSV: {err}");
+    }
+}

@@ -1,0 +1,50 @@
+//! **T1 — headline comparison.** PLO violations and cluster utilization
+//! for EVOLVE vs stock Kubernetes, threshold HPA and a VPA-like vertical
+//! scaler, on the converged headline mix (6 dynamic services + 3 batch
+//! jobs + 2 HPC gangs on 20 nodes).
+//!
+//! ```text
+//! cargo run --release -p evolve-bench --bin tab1_headline
+//! ```
+
+use evolve_bench::{headline_headers, headline_row, output_dir};
+use evolve_core::{write_csv, ExperimentRunner, ManagerKind, RunConfig, Table};
+use evolve_workload::Scenario;
+
+fn main() {
+    let managers = [
+        ManagerKind::Evolve,
+        ManagerKind::KubeStatic,
+        ManagerKind::Hpa { target_utilization: 0.6 },
+        ManagerKind::Vpa { margin: 0.3 },
+    ];
+    let mut table = Table::new(headline_headers());
+    let mut evolve_rate = None;
+    let mut static_rate = None;
+    for manager in managers {
+        let label = manager.label();
+        eprintln!("running {label} …");
+        let outcome = ExperimentRunner::new(
+            RunConfig::new(Scenario::headline(1.0), manager).with_seed(42).without_series(),
+        )
+        .run();
+        match label.as_str() {
+            "evolve" => evolve_rate = Some(outcome.total_violation_rate()),
+            "kube-static" => static_rate = Some(outcome.total_violation_rate()),
+            _ => {}
+        }
+        table.add_row(headline_row(&outcome));
+    }
+    println!("\nT1 — headline: converged mix, 20 nodes, 20 simulated minutes\n");
+    println!("{table}");
+    if let (Some(e), Some(k)) = (evolve_rate, static_rate) {
+        if e > 0.0 {
+            println!("violation-rate improvement over stock Kubernetes: {:.1}x", k / e);
+        } else {
+            println!("EVOLVE had zero violation windows (stock Kubernetes: {k:.3})");
+        }
+    }
+    if let Err(err) = write_csv(&output_dir(), "tab1_headline", &table.to_csv()) {
+        eprintln!("could not write CSV: {err}");
+    }
+}

@@ -1,0 +1,137 @@
+//! **T2 — convergence vs silos.** The same workload run (a) converged on
+//! one 20-node cluster under EVOLVE, vs (b) split into three dedicated
+//! silos (cloud 8 / big-data 6 / HPC 6 nodes) under the same controller.
+//! Convergence should match per-world PLO attainment while using the
+//! hardware better — idle silo capacity cannot help the busy world.
+//!
+//! ```text
+//! cargo run --release -p evolve-bench --bin tab2_convergence
+//! ```
+
+use evolve_bench::output_dir;
+use evolve_core::{write_csv, ExperimentRunner, ManagerKind, RunConfig, RunOutcome, Table};
+use evolve_workload::{Scenario, WorkloadMix};
+
+/// Splits the headline mix into per-world scenarios.
+fn silo_scenarios() -> [(String, Scenario, usize); 3] {
+    let full = Scenario::headline(1.0);
+    let mut cloud = WorkloadMix::new();
+    for (svc, load) in full.mix.services() {
+        cloud = cloud.with_service(svc.clone(), load.clone());
+    }
+    let mut bigdata = WorkloadMix::new();
+    for (job, at) in full.mix.batch_jobs() {
+        bigdata = bigdata.with_batch_job(job.clone(), *at);
+    }
+    let mut hpc = WorkloadMix::new();
+    for (job, at) in full.mix.hpc_jobs() {
+        hpc = hpc.with_hpc_job(job.clone(), *at);
+    }
+    let mk = |name: &str, mix: WorkloadMix| Scenario {
+        name: format!("silo-{name}"),
+        description: format!("{name} silo of the headline mix"),
+        mix,
+        horizon: full.horizon,
+    };
+    [
+        ("cloud".into(), mk("cloud", cloud), 8),
+        ("bigdata".into(), mk("bigdata", bigdata), 6),
+        ("hpc".into(), mk("hpc", hpc), 6),
+    ]
+}
+
+fn world_rows(label: &str, outcome: &RunOutcome, table: &mut Table) {
+    let [cloud, bigdata, hpc] = outcome.violation_rate_by_world();
+    let (hits, total) = outcome.deadline_hits();
+    table.add_row(vec![
+        label.to_string(),
+        format!("{cloud:.3}"),
+        format!("{bigdata:.3}"),
+        format!("{hpc:.3}"),
+        format!("{hits}/{total}"),
+        format!("{:.3}", outcome.utilization.mean_allocated()),
+        format!("{:.3}", outcome.utilization.mean_used()),
+    ]);
+}
+
+fn main() {
+    let mut table = Table::new(
+        ["deployment", "cloud viol", "bigdata viol", "hpc viol", "deadlines", "alloc share", "used share"]
+            .map(String::from)
+            .to_vec(),
+    );
+
+    eprintln!("running converged (20 nodes) …");
+    let converged = ExperimentRunner::new(
+        RunConfig::new(Scenario::headline(1.0), ManagerKind::Evolve)
+            .with_nodes(20)
+            .with_seed(42)
+            .without_series(),
+    )
+    .run();
+    world_rows("converged-20", &converged, &mut table);
+
+    // Silos: aggregate three independent runs.
+    let mut silo_apps = Vec::new();
+    let mut silo_jobs = Vec::new();
+    let mut alloc_share = 0.0;
+    let mut used_share = 0.0;
+    let mut nodes_total = 0usize;
+    for (name, scenario, nodes) in silo_scenarios() {
+        eprintln!("running silo {name} ({nodes} nodes) …");
+        let outcome = ExperimentRunner::new(
+            RunConfig::new(scenario, ManagerKind::Evolve)
+                .with_nodes(nodes)
+                .with_seed(42)
+                .without_series(),
+        )
+        .run();
+        // Weight utilization by silo size.
+        alloc_share += outcome.utilization.mean_allocated() * nodes as f64;
+        used_share += outcome.utilization.mean_used() * nodes as f64;
+        nodes_total += nodes;
+        silo_apps.extend(outcome.apps);
+        silo_jobs.extend(outcome.jobs);
+    }
+    // Synthesize an aggregate row.
+    let windows: u64 = silo_apps.iter().map(|a| a.windows).sum();
+    let violations: u64 = silo_apps.iter().map(|a| a.violations).sum();
+    let mut by_world = [[0u64; 2]; 3];
+    for a in &silo_apps {
+        let i = match a.world {
+            evolve_workload::WorldClass::Microservice => 0,
+            evolve_workload::WorldClass::BigData => 1,
+            evolve_workload::WorldClass::Hpc => 2,
+        };
+        by_world[i][0] += a.windows;
+        by_world[i][1] += a.violations;
+    }
+    let rate = |i: usize| {
+        if by_world[i][0] == 0 {
+            0.0
+        } else {
+            by_world[i][1] as f64 / by_world[i][0] as f64
+        }
+    };
+    let hits = silo_jobs.iter().filter(|j| j.met_deadline()).count();
+    table.add_row(vec![
+        "silos-8/6/6".into(),
+        format!("{:.3}", rate(0)),
+        format!("{:.3}", rate(1)),
+        format!("{:.3}", rate(2)),
+        format!("{hits}/{}", silo_jobs.len()),
+        format!("{:.3}", alloc_share / nodes_total as f64),
+        format!("{:.3}", used_share / nodes_total as f64),
+    ]);
+
+    println!("\nT2 — converged cluster vs per-world silos (EVOLVE manager in both)\n");
+    println!("{table}");
+    println!(
+        "aggregate violation rate: converged {:.3} vs silos {:.3}",
+        converged.total_violation_rate(),
+        if windows == 0 { 0.0 } else { violations as f64 / windows as f64 }
+    );
+    if let Err(err) = write_csv(&output_dir(), "tab2_convergence", &table.to_csv()) {
+        eprintln!("could not write CSV: {err}");
+    }
+}

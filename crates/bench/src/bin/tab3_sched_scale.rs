@@ -1,0 +1,83 @@
+//! **T3 — scheduler scalability.** Scheduling throughput (pods/s) and
+//! per-pod decision latency of the framework as the cluster grows from
+//! 100 to 2 500 nodes, for the stock profile and the EVOLVE profile
+//! (preemption enabled).
+//!
+//! ```text
+//! cargo run --release -p evolve-bench --bin tab3_sched_scale
+//! ```
+
+use std::time::Instant;
+
+use evolve_bench::output_dir;
+use evolve_core::{write_csv, Table};
+use evolve_scheduler::SchedulerFramework;
+use evolve_sim::{ClusterConfig, ClusterState, NodeShape, PodKind, PodSpec};
+use evolve_types::{AppId, ResourceVec, SimTime};
+
+fn populated_cluster(nodes: usize, fill: f64, pending: usize) -> ClusterState {
+    let mut cluster = ClusterState::new(&ClusterConfig::uniform(nodes, NodeShape::default()));
+    // Pre-fill each node to `fill` of its CPU with existing pods.
+    let per_node = ResourceVec::new(16_000.0 * fill, 16_384.0 * fill, 100.0 * fill, 200.0 * fill);
+    for i in 0..nodes {
+        let pod = cluster.create_pod(
+            PodSpec::new(PodKind::ServiceReplica { app: AppId::new(9_999) }, per_node, 10),
+            SimTime::ZERO,
+        );
+        cluster.bind_pod(pod, cluster.nodes()[i].id()).expect("fits");
+    }
+    for k in 0..pending {
+        cluster.create_pod(
+            PodSpec::new(
+                PodKind::ServiceReplica { app: AppId::new((k % 50) as u32) },
+                ResourceVec::new(1_000.0, 1_024.0, 10.0, 20.0),
+                100,
+            ),
+            SimTime::from_micros(k as u64),
+        );
+    }
+    cluster
+}
+
+fn main() {
+    let mut table = Table::new(
+        ["profile", "nodes", "pending", "bound", "cycle ms", "pods/s", "µs/pod"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let pending = 500usize;
+    for profile_name in ["kube-default", "evolve"] {
+        for nodes in [100usize, 250, 500, 1_000, 2_500] {
+            let cluster = populated_cluster(nodes, 0.5, pending);
+            let scheduler = match profile_name {
+                "kube-default" => SchedulerFramework::kube_default(),
+                _ => SchedulerFramework::evolve_default(),
+            };
+            // Warm-up pass, then timed passes.
+            let _ = scheduler.schedule_cycle(&cluster);
+            let reps = 3;
+            let start = Instant::now();
+            let mut bound = 0usize;
+            for _ in 0..reps {
+                bound = scheduler.schedule_cycle(&cluster).bindings.len();
+            }
+            let elapsed = start.elapsed().as_secs_f64() / f64::from(reps);
+            let pods_per_s = pending as f64 / elapsed;
+            table.add_row(vec![
+                profile_name.to_string(),
+                nodes.to_string(),
+                pending.to_string(),
+                bound.to_string(),
+                format!("{:.2}", elapsed * 1e3),
+                format!("{pods_per_s:.0}"),
+                format!("{:.1}", elapsed / pending as f64 * 1e6),
+            ]);
+            eprintln!("{profile_name} @ {nodes} nodes: {:.2} ms/cycle", elapsed * 1e3);
+        }
+    }
+    println!("\nT3 — scheduling one 500-pod cycle on half-full clusters\n");
+    println!("{table}");
+    if let Err(err) = write_csv(&output_dir(), "tab3_sched_scale", &table.to_csv()) {
+        eprintln!("could not write CSV: {err}");
+    }
+}

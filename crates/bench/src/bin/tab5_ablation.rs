@@ -1,0 +1,60 @@
+//! **T5 — ablation.** What each piece of the EVOLVE controller buys:
+//! full EVOLVE vs CPU-only PID (classical 1-D control) vs fixed gains
+//! (no on-line adaptation) vs threshold HPA, on the bottleneck-rotation
+//! mix where each service binds on a *different* resource dimension.
+//!
+//! ```text
+//! cargo run --release -p evolve-bench --bin tab5_ablation
+//! ```
+
+use evolve_bench::output_dir;
+use evolve_core::{
+    write_csv, EvolvePolicyConfig, ExperimentRunner, ManagerKind, RunConfig, Table,
+};
+use evolve_workload::Scenario;
+
+fn main() {
+    let variants: Vec<(&str, ManagerKind)> = vec![
+        ("evolve (full)", ManagerKind::Evolve),
+        (
+            "evolve cpu-only",
+            ManagerKind::EvolveWith(EvolvePolicyConfig::default().cpu_only()),
+        ),
+        (
+            "evolve fixed-gains",
+            ManagerKind::EvolveWith(EvolvePolicyConfig::default().fixed_gains()),
+        ),
+        ("hpa", ManagerKind::Hpa { target_utilization: 0.6 }),
+        ("kube-static", ManagerKind::KubeStatic),
+    ];
+    let mut table = Table::new(
+        ["variant", "cpu-svc", "disk-svc", "net-svc", "mem-svc", "aggregate", "oom kills"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for (label, manager) in variants {
+        eprintln!("running {label} …");
+        let outcome = ExperimentRunner::new(
+            RunConfig::new(Scenario::bottleneck_rotation(), manager)
+                .with_nodes(12)
+                .with_seed(42)
+                .without_series(),
+        )
+        .run();
+        let mut row = vec![label.to_string()];
+        for app in outcome.apps.iter().take(4) {
+            row.push(format!("{:.3}", app.violation_rate()));
+        }
+        row.push(format!("{:.3}", outcome.total_violation_rate()));
+        row.push(outcome.apps.iter().map(|a| a.oom_kills).sum::<u64>().to_string());
+        table.add_row(row);
+    }
+    println!("\nT5 — ablation on the bottleneck-rotation mix (violation rate per service)\n");
+    println!("{table}");
+    println!("expected shape: the CPU-only controller defends cpu-svc but fails the disk/net/");
+    println!("mem services (it cannot see their bottleneck); fixed gains oscillate or react");
+    println!("sluggishly under the bursty MMPP load; full EVOLVE is lowest across the board.");
+    if let Err(err) = write_csv(&output_dir(), "tab5_ablation", &table.to_csv()) {
+        eprintln!("could not write CSV: {err}");
+    }
+}

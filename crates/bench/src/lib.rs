@@ -1,0 +1,134 @@
+//! Shared helpers for the experiment binaries (one per paper table or
+//! figure; see EXPERIMENTS.md for the index) and the Criterion benches.
+
+use std::path::PathBuf;
+
+use evolve_core::RunOutcome;
+use evolve_types::SimTime;
+
+/// Where experiment CSVs land (`experiments_out/` under the workspace).
+#[must_use]
+pub fn output_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    // When invoked via `cargo run -p evolve-bench`, cwd is the workspace
+    // root already; fall back gracefully otherwise.
+    dir.push("experiments_out");
+    dir
+}
+
+/// Settling analysis of a latency series after a disturbance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Settling {
+    /// Seconds from the disturbance until the signal stayed below the
+    /// target for `hold` consecutive samples; `None` when it never
+    /// settled.
+    pub settle_secs: Option<f64>,
+    /// Worst excursion above the target after the disturbance (relative,
+    /// e.g. 1.5 = 150% above target).
+    pub overshoot: f64,
+    /// Number of samples inspected.
+    pub samples: usize,
+}
+
+/// Computes settling time and overshoot of `(seconds, value)` samples
+/// after `disturbance_at`, against an upper-bound `target`.
+///
+/// # Panics
+///
+/// Panics when `hold` is zero.
+#[must_use]
+pub fn settling_analysis(
+    points: &[(f64, f64)],
+    disturbance_at: SimTime,
+    target: f64,
+    hold: usize,
+) -> Settling {
+    assert!(hold > 0, "hold must be positive");
+    let t0 = disturbance_at.as_secs_f64();
+    let after: Vec<(f64, f64)> = points.iter().copied().filter(|(t, _)| *t >= t0).collect();
+    let mut overshoot: f64 = 0.0;
+    let mut settle_secs = None;
+    let mut streak = 0usize;
+    for (t, v) in &after {
+        overshoot = overshoot.max((v - target) / target);
+        if *v <= target {
+            streak += 1;
+            if streak >= hold && settle_secs.is_none() {
+                settle_secs = Some(t - t0);
+            }
+        } else {
+            streak = 0;
+            // A later excursion above target invalidates an earlier
+            // "settled" verdict only if we had not yet held long enough;
+            // classical settling time keeps the first sustained entry.
+        }
+    }
+    Settling { settle_secs, overshoot: overshoot.max(0.0), samples: after.len() }
+}
+
+/// One row of the headline comparison, extracted from a run.
+#[must_use]
+pub fn headline_row(outcome: &RunOutcome) -> Vec<String> {
+    let (hits, total) = outcome.deadline_hits();
+    vec![
+        outcome.manager.clone(),
+        outcome.total_windows().to_string(),
+        outcome.total_violations().to_string(),
+        format!("{:.3}", outcome.total_violation_rate()),
+        format!("{:.3}", outcome.utilization.mean_allocated()),
+        format!("{:.3}", outcome.utilization.mean_used()),
+        format!("{hits}/{total}"),
+        outcome.preemptions.to_string(),
+    ]
+}
+
+/// The headline table's column names (matches [`headline_row`]).
+#[must_use]
+pub fn headline_headers() -> Vec<String> {
+    ["policy", "windows", "violations", "viol rate", "alloc share", "used share", "deadlines", "preempt"]
+        .map(String::from)
+        .to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settling_detects_recovery() {
+        let pts = vec![
+            (0.0, 50.0),
+            (10.0, 300.0), // disturbance at t=10
+            (20.0, 250.0),
+            (30.0, 120.0),
+            (40.0, 90.0),
+            (50.0, 80.0),
+            (60.0, 85.0),
+        ];
+        let s = settling_analysis(&pts, SimTime::from_secs(10), 100.0, 2);
+        assert_eq!(s.settle_secs, Some(40.0));
+        assert!((s.overshoot - 2.0).abs() < 1e-9);
+        assert_eq!(s.samples, 6);
+    }
+
+    #[test]
+    fn settling_none_when_never_recovers() {
+        let pts = vec![(0.0, 200.0), (10.0, 220.0), (20.0, 210.0)];
+        let s = settling_analysis(&pts, SimTime::ZERO, 100.0, 3);
+        assert_eq!(s.settle_secs, None);
+        assert!(s.overshoot > 1.0);
+    }
+
+    #[test]
+    fn settling_requires_hold() {
+        // One good sample between violations must not count as settled.
+        let pts = vec![(0.0, 150.0), (1.0, 90.0), (2.0, 150.0), (3.0, 90.0), (4.0, 80.0), (5.0, 70.0)];
+        let s = settling_analysis(&pts, SimTime::ZERO, 100.0, 3);
+        assert_eq!(s.settle_secs, Some(5.0));
+    }
+
+    #[test]
+    fn headers_match_row_width() {
+        assert_eq!(headline_headers().len(), 8);
+    }
+}

@@ -1,0 +1,55 @@
+//! Control-theoretic core of EVOLVE.
+//!
+//! The calibration notes for the paper pin its contribution as a
+//! "multi-resource **adaptive** PID autoscaler" in the Skynet lineage:
+//! per-application PID controllers map a performance-level-objective (PLO)
+//! error to resource allocations, the gains adapt on-line, and the
+//! classical one-dimensional controller is extended to drive CPU, memory,
+//! disk I/O and network I/O together. This crate implements exactly that
+//! stack, independent of any cluster:
+//!
+//! * [`PidController`] / [`PidConfig`] — a production-grade scalar PID:
+//!   anti-windup (integral clamping + conditional integration),
+//!   derivative-on-measurement with first-order filtering, output limits
+//!   and slew-rate limiting.
+//! * [`AdaptiveTuner`] — on-line gain adaptation: an oscillation detector
+//!   shrinks the proportional gain, a sluggishness detector grows the
+//!   integral gain ("adjusts its parameters on the fly").
+//! * [`RelayTuner`] — Åström–Hägglund relay auto-tuning to bootstrap gains
+//!   from a short induced oscillation (Ziegler–Nichols rules).
+//! * [`RlsModel`] / [`SensitivityModel`] — recursive-least-squares models
+//!   that learn, on-line, how performance responds to each resource; they
+//!   attribute the PLO error to the resource that actually binds.
+//! * [`MultiResourceController`] — the MIMO extension: one PID per
+//!   resource dimension, coordinated through the sensitivity model,
+//!   producing a full [`evolve_types::ResourceVec`] allocation.
+//! * [`LoadPredictor`] — Holt-linear short-horizon load forecasting with a
+//!   configurable safety margin, used to scale ahead of ramps.
+//!
+//! # Examples
+//!
+//! ```
+//! use evolve_control::{PidConfig, PidController};
+//!
+//! // Latency control: positive error means "too slow, add resources".
+//! let mut pid = PidController::new(
+//!     PidConfig::new(0.8, 0.2, 0.05).with_output_limits(-0.5, 1.0),
+//! );
+//! let out = pid.step(0.3, 1.0);
+//! assert!(out > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod multi;
+mod pid;
+mod predictor;
+mod tuning;
+
+pub use model::{RlsModel, SensitivityModel};
+pub use multi::{MultiResourceConfig, MultiResourceController, ResourceDecision};
+pub use pid::{PidConfig, PidController};
+pub use predictor::LoadPredictor;
+pub use tuning::{AdaptiveTuner, AdaptiveTunerConfig, RelayTuner, RelayTunerOutcome};

@@ -1,0 +1,122 @@
+//! Property-based tests for the control stack: whatever the inputs, the
+//! controllers must respect their configured envelopes.
+
+use evolve_control::{
+    MultiResourceConfig, MultiResourceController, PidConfig, PidController, RlsModel,
+    SensitivityModel,
+};
+use evolve_types::{Resource, ResourceVec};
+use proptest::prelude::*;
+
+fn arb_errors() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0..10.0f64, 1..100)
+}
+
+proptest! {
+    #[test]
+    fn pid_output_respects_limits(errors in arb_errors(), lo in -5.0..0.0f64, hi in 0.0..5.0f64) {
+        let mut pid = PidController::new(
+            PidConfig::new(2.0, 1.0, 0.5).with_output_limits(lo, hi),
+        );
+        for e in errors {
+            let u = pid.step(e, 1.0);
+            prop_assert!(u >= lo - 1e-12 && u <= hi + 1e-12, "output {u} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn pid_integral_respects_clamp(errors in arb_errors()) {
+        let mut pid = PidController::new(
+            PidConfig::new(1.0, 1.0, 0.0).with_integral_limits(-3.0, 3.0),
+        );
+        for e in errors {
+            pid.step(e, 0.5);
+            prop_assert!(pid.integral().abs() <= 3.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn pid_output_is_always_finite(errors in arb_errors(), dt in 0.01..100.0f64) {
+        let mut pid = PidController::new(
+            PidConfig::new(5.0, 2.0, 1.0).with_derivative_tau(1.0).with_slew_limit(10.0),
+        );
+        for e in errors {
+            prop_assert!(pid.step(e, dt).is_finite());
+        }
+    }
+
+    #[test]
+    fn controller_target_stays_in_bounds(
+        steps in prop::collection::vec(
+            ((-3.0..3.0f64), (0.0..5_000.0f64), (0.0..5_000.0f64)),
+            1..60,
+        )
+    ) {
+        let min = ResourceVec::splat(50.0);
+        let max = ResourceVec::splat(4_000.0);
+        let mut ctl = MultiResourceController::new(MultiResourceConfig::new(min, max));
+        let mut alloc = ResourceVec::splat(500.0);
+        for (error, cpu_usage, mem_usage) in steps {
+            let usage = ResourceVec::new(cpu_usage, mem_usage, cpu_usage / 10.0, mem_usage / 10.0);
+            let d = ctl.step(alloc, usage, error, 5.0);
+            prop_assert!(d.target.is_valid(), "invalid target {:?}", d.target);
+            prop_assert!(min.fits_within(&d.target), "below floor: {:?}", d.target);
+            prop_assert!(d.target.fits_within(&max), "above ceiling: {:?}", d.target);
+            alloc = d.target;
+        }
+    }
+
+    #[test]
+    fn attribution_is_a_distribution(
+        observations in prop::collection::vec(
+            ((1.0..10_000.0f64), (0.0..10_000.0f64), (-2.0..2.0f64)),
+            1..50,
+        )
+    ) {
+        let mut model = SensitivityModel::new();
+        for (alloc, usage, error) in observations {
+            model.observe(
+                ResourceVec::new(alloc, alloc / 2.0, alloc / 10.0, alloc / 20.0),
+                ResourceVec::new(usage, usage / 3.0, usage / 8.0, usage / 30.0),
+                error,
+            );
+            let a = model.attribution();
+            let mut sum = 0.0;
+            for r in Resource::ALL {
+                prop_assert!(a[r] >= -1e-12, "negative attribution {a}");
+                sum += a[r];
+            }
+            prop_assert!((sum - 1.0).abs() < 1e-6, "attribution sum {sum}");
+        }
+    }
+
+    #[test]
+    fn rls_prediction_stays_finite(
+        samples in prop::collection::vec(
+            ((-100.0..100.0f64), (-100.0..100.0f64), (-1_000.0..1_000.0f64)),
+            1..200,
+        )
+    ) {
+        let mut m = RlsModel::new(2, 0.95);
+        for (x0, x1, y) in samples {
+            m.update(&[x0, x1], y);
+            prop_assert!(m.predict(&[x0, x1]).is_finite());
+            prop_assert!(m.weights().iter().all(|w| w.is_finite()));
+        }
+    }
+
+    #[test]
+    fn closed_loop_never_diverges(kp in 0.1..2.0f64, ki in 0.0..1.0f64, tau in 0.2..5.0f64) {
+        // First-order plant under any of these gains must stay bounded
+        // thanks to output clamping.
+        let mut pid = PidController::new(
+            PidConfig::new(kp, ki, 0.0).with_output_limits(0.0, 100.0),
+        );
+        let mut y = 0.0;
+        for _ in 0..500 {
+            let u = pid.step(1.0 - y, 0.1);
+            y += (u - y) / tau * 0.1;
+            prop_assert!(y.is_finite() && y.abs() < 1_000.0, "diverged: {y}");
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Baseline autoscalers every experiment compares against.
+//!
+//! * [`StaticPolicy`] — stock Kubernetes: whatever requests the user
+//!   wrote stay in force forever.
+//! * [`HpaPolicy`] — the Horizontal Pod Autoscaler: fixed per-replica
+//!   requests, replica count follows the canonical
+//!   `desired = ceil(current × utilization / target)` rule on CPU.
+//! * [`VpaPolicy`] — a Vertical-Pod-Autoscaler-like baseline: replica
+//!   count fixed, per-replica requests follow a smoothed peak of observed
+//!   usage with a safety margin.
+
+use evolve_telemetry::Ewma;
+use evolve_types::{Resource, ResourceVec};
+
+use crate::policy::{AutoscalePolicy, PolicyDecision, PolicyInput};
+
+/// Stock Kubernetes: static requests, static replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StaticPolicy;
+
+impl AutoscalePolicy for StaticPolicy {
+    fn name(&self) -> &'static str {
+        "kube-static"
+    }
+
+    fn decide(&mut self, _input: &PolicyInput<'_>) -> Option<PolicyDecision> {
+        None
+    }
+}
+
+/// The Kubernetes Horizontal Pod Autoscaler on CPU utilization.
+#[derive(Debug, Clone)]
+pub struct HpaPolicy {
+    /// Target CPU utilization (usage/request), e.g. 0.6.
+    target_utilization: f64,
+    /// Fixed per-replica allocation; latched from the first observed
+    /// window so HPA keeps whatever the user originally requested.
+    per_replica: ResourceVec,
+    latched: bool,
+    min_replicas: u32,
+    max_replicas: u32,
+    replicas: u32,
+    /// Ticks remaining before another scale-down is allowed
+    /// (HPA's stabilization window).
+    down_cooldown: u32,
+    cooldown_ticks: u32,
+}
+
+impl HpaPolicy {
+    /// Creates an HPA with the canonical 60%-CPU target.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `target_utilization` is outside `(0, 1]` or the bounds
+    /// are inverted.
+    #[must_use]
+    pub fn new(
+        target_utilization: f64,
+        per_replica: ResourceVec,
+        initial_replicas: u32,
+        max_replicas: u32,
+    ) -> Self {
+        assert!(
+            target_utilization > 0.0 && target_utilization <= 1.0,
+            "target utilization must be in (0, 1]"
+        );
+        assert!(max_replicas >= 1, "max replicas must be at least 1");
+        HpaPolicy {
+            target_utilization,
+            per_replica,
+            latched: false,
+            min_replicas: 1,
+            max_replicas,
+            replicas: initial_replicas.clamp(1, max_replicas),
+            down_cooldown: 0,
+            cooldown_ticks: 6, // ≈ the 5-minute HPA stabilization window
+        }
+    }
+}
+
+impl AutoscalePolicy for HpaPolicy {
+    fn name(&self) -> &'static str {
+        "hpa"
+    }
+
+    fn decide(&mut self, input: &PolicyInput<'_>) -> Option<PolicyDecision> {
+        let w = input.window;
+        if self.down_cooldown > 0 {
+            self.down_cooldown -= 1;
+        }
+        if w.running_replicas == 0 {
+            return Some(PolicyDecision { per_replica: self.per_replica, replicas: self.replicas });
+        }
+        if !self.latched {
+            // Keep the user's original request and current size.
+            if !w.alloc_per_replica.is_zero() {
+                self.per_replica = w.alloc_per_replica;
+            }
+            self.replicas = (w.running_replicas + w.pending_replicas).clamp(1, self.max_replicas);
+            self.latched = true;
+        }
+        let cpu_request = self.per_replica[Resource::Cpu].max(1e-9);
+        let utilization = w.usage_per_replica()[Resource::Cpu] / cpu_request;
+        // desired = ceil(current × utilization / target), with a 10%
+        // tolerance band exactly like the real HPA.
+        let ratio = utilization / self.target_utilization;
+        if (ratio - 1.0).abs() > 0.1 {
+            let desired = (f64::from(w.running_replicas) * ratio).ceil() as u32;
+            let desired = desired.clamp(self.min_replicas, self.max_replicas);
+            if desired > self.replicas {
+                self.replicas = desired;
+            } else if desired < self.replicas && self.down_cooldown == 0 {
+                // Scale down one step at a time after the stabilization
+                // window.
+                self.replicas -= 1;
+                self.down_cooldown = self.cooldown_ticks;
+            }
+        }
+        Some(PolicyDecision { per_replica: self.per_replica, replicas: self.replicas })
+    }
+}
+
+/// A VPA-like vertical baseline: requests follow smoothed peak usage.
+#[derive(Debug, Clone)]
+pub struct VpaPolicy {
+    /// Safety margin above observed usage (e.g. 0.3 → 30% headroom).
+    margin: f64,
+    /// Smoothed peak usage per resource.
+    peak: [Ewma; 4],
+    min_alloc: ResourceVec,
+    max_alloc: ResourceVec,
+    replicas: u32,
+}
+
+impl VpaPolicy {
+    /// Creates a VPA-like policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `margin` is negative.
+    #[must_use]
+    pub fn new(margin: f64, min_alloc: ResourceVec, max_alloc: ResourceVec, replicas: u32) -> Self {
+        assert!(margin >= 0.0, "margin must be non-negative");
+        VpaPolicy {
+            margin,
+            peak: [Ewma::new(0.3), Ewma::new(0.3), Ewma::new(0.3), Ewma::new(0.3)],
+            min_alloc,
+            max_alloc,
+            replicas: replicas.max(1),
+        }
+    }
+}
+
+impl AutoscalePolicy for VpaPolicy {
+    fn name(&self) -> &'static str {
+        "vpa"
+    }
+
+    fn decide(&mut self, input: &PolicyInput<'_>) -> Option<PolicyDecision> {
+        let usage = input.window.usage_per_replica();
+        let mut target = ResourceVec::ZERO;
+        for r in Resource::ALL {
+            let peak = &mut self.peak[r.index()];
+            // Track upward fast, decay slowly (peak-biased EWMA).
+            let current = peak.value_or(0.0).max(usage[r] * 0.0);
+            if usage[r] > current {
+                peak.observe(usage[r]);
+                peak.observe(usage[r]); // double-weight upward moves
+            } else {
+                peak.observe(usage[r]);
+            }
+            target[r] = peak.value_or(usage[r]) * (1.0 + self.margin);
+        }
+        let target = target.clamp(&self.min_alloc, &self.max_alloc);
+        Some(PolicyDecision { per_replica: target, replicas: self.replicas })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evolve_sim::{AppStatus, AppWindow};
+    use evolve_types::{AppId, SimDuration, SimTime};
+    use evolve_workload::{PloSpec, WorldClass};
+
+    fn status() -> AppStatus {
+        AppStatus {
+            id: AppId::new(0),
+            name: "svc".into(),
+            world: WorldClass::Microservice,
+            plo: PloSpec::LatencyP99 { target_ms: 100.0 },
+        }
+    }
+
+    fn window(replicas: u32, cpu_usage_per_replica: f64) -> AppWindow {
+        AppWindow {
+            at: SimTime::from_secs(10),
+            duration: SimDuration::from_secs(5),
+            arrivals: 100,
+            completions: 100,
+            timeouts: 0,
+            oom_kills: 0,
+            p99_ms: Some(50.0),
+            mean_ms: Some(25.0),
+            throughput_rps: 20.0,
+            usage: ResourceVec::new(
+                cpu_usage_per_replica * f64::from(replicas),
+                256.0,
+                5.0,
+                5.0,
+            ),
+            alloc: ResourceVec::splat(1_000.0) * f64::from(replicas),
+            alloc_per_replica: ResourceVec::splat(1_000.0),
+            running_replicas: replicas,
+            pending_replicas: 0,
+            progress: None,
+            projected_makespan_s: None,
+        }
+    }
+
+    #[test]
+    fn static_policy_never_acts() {
+        let mut p = StaticPolicy;
+        let st = status();
+        let w = window(1, 999.0);
+        assert_eq!(p.decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 }), None);
+        assert_eq!(p.name(), "kube-static");
+    }
+
+    #[test]
+    fn hpa_scales_up_on_high_utilization() {
+        let mut p = HpaPolicy::new(0.6, ResourceVec::splat(1_000.0), 2, 10);
+        let st = status();
+        // 90% utilization vs 60% target → desired = ceil(2×1.5) = 3.
+        let w = window(2, 900.0);
+        let d = p.decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 }).unwrap();
+        assert_eq!(d.replicas, 3);
+        assert_eq!(d.per_replica, ResourceVec::splat(1_000.0));
+    }
+
+    #[test]
+    fn hpa_scale_down_is_slow() {
+        let mut p = HpaPolicy::new(0.6, ResourceVec::splat(1_000.0), 6, 10);
+        let st = status();
+        let w = window(6, 60.0); // 6% utilization → wants 1 replica
+        let mut replicas = Vec::new();
+        for _ in 0..8 {
+            let d = p.decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 }).unwrap();
+            replicas.push(d.replicas);
+        }
+        // One step down, then frozen by the stabilization window.
+        assert_eq!(replicas[0], 5);
+        assert!(replicas.iter().all(|r| *r >= 4), "{replicas:?}");
+    }
+
+    #[test]
+    fn hpa_respects_max() {
+        let mut p = HpaPolicy::new(0.5, ResourceVec::splat(1_000.0), 3, 4);
+        let st = status();
+        let w = window(3, 1_000.0); // 200% of target
+        let d = p.decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 }).unwrap();
+        assert_eq!(d.replicas, 4);
+    }
+
+    #[test]
+    fn hpa_tolerance_band_holds_steady() {
+        let mut p = HpaPolicy::new(0.6, ResourceVec::splat(1_000.0), 3, 10);
+        let st = status();
+        let w = window(3, 620.0); // 62% ≈ within 10% of 60%
+        let d = p.decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 }).unwrap();
+        assert_eq!(d.replicas, 3);
+    }
+
+    #[test]
+    fn vpa_follows_usage_with_margin() {
+        let mut p = VpaPolicy::new(
+            0.3,
+            ResourceVec::splat(10.0),
+            ResourceVec::splat(100_000.0),
+            2,
+        );
+        let st = status();
+        let mut last = ResourceVec::ZERO;
+        for _ in 0..20 {
+            let w = window(2, 800.0);
+            let d = p.decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 }).unwrap();
+            last = d.per_replica;
+            assert_eq!(d.replicas, 2);
+        }
+        // Converges to ~800 × 1.3 on CPU.
+        assert!((last.cpu() - 1_040.0).abs() < 100.0, "cpu {}", last.cpu());
+    }
+
+    #[test]
+    fn vpa_clamps_to_bounds() {
+        let mut p =
+            VpaPolicy::new(0.3, ResourceVec::splat(500.0), ResourceVec::splat(600.0), 1);
+        let st = status();
+        let w = window(1, 10_000.0);
+        let d = p.decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 }).unwrap();
+        assert!(d.per_replica.fits_within(&ResourceVec::splat(600.0)));
+    }
+}

@@ -1,0 +1,415 @@
+//! The EVOLVE policy: multi-resource adaptive PID control with
+//! vertical-first, horizontal-on-saturation scaling.
+
+use evolve_control::{LoadPredictor, MultiResourceConfig, MultiResourceController};
+use evolve_telemetry::{Ewma, SlidingQuantile};
+use evolve_types::{Resource, ResourceVec};
+use serde::{Deserialize, Serialize};
+
+use crate::policy::{control_error_with_margin, AutoscalePolicy, PolicyDecision, PolicyInput};
+
+/// Tunables of [`EvolvePolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvolvePolicyConfig {
+    /// Per-replica allocation floor.
+    pub min_alloc: ResourceVec,
+    /// Per-replica allocation ceiling (vertical range; beyond it the
+    /// policy scales horizontally).
+    pub max_alloc: ResourceVec,
+    /// Replica bounds.
+    pub min_replicas: u32,
+    /// Replica upper bound.
+    pub max_replicas: u32,
+    /// Control ticks to wait between horizontal actions (hysteresis).
+    pub scale_cooldown_ticks: u32,
+    /// Disable the multi-resource extension (1-D CPU ablation).
+    pub cpu_only: bool,
+    /// Disable on-line gain adaptation (fixed-gain ablation).
+    pub fixed_gains: bool,
+    /// Disable the load predictor (reactive-only ablation).
+    pub predictive: bool,
+    /// Fractional safety margin inside the PLO the controller steers to
+    /// (0.25 → a 100 ms objective is controlled to a 75 ms setpoint).
+    pub target_margin: f64,
+}
+
+impl Default for EvolvePolicyConfig {
+    fn default() -> Self {
+        EvolvePolicyConfig {
+            min_alloc: ResourceVec::new(100.0, 256.0, 5.0, 5.0),
+            max_alloc: ResourceVec::new(8_000.0, 16_384.0, 250.0, 600.0),
+            min_replicas: 1,
+            max_replicas: 64,
+            scale_cooldown_ticks: 3,
+            cpu_only: false,
+            fixed_gains: false,
+            predictive: true,
+            target_margin: 0.35,
+        }
+    }
+}
+
+impl EvolvePolicyConfig {
+    /// The CPU-only ablation variant.
+    #[must_use]
+    pub fn cpu_only(mut self) -> Self {
+        self.cpu_only = true;
+        self
+    }
+
+    /// The fixed-gain ablation variant.
+    #[must_use]
+    pub fn fixed_gains(mut self) -> Self {
+        self.fixed_gains = true;
+        self
+    }
+}
+
+/// Per-application EVOLVE controller state.
+#[derive(Debug, Clone)]
+pub struct EvolvePolicy {
+    config: EvolvePolicyConfig,
+    controller: MultiResourceController,
+    predictor: LoadPredictor,
+    /// Smooths the noisy window percentile before the error computation
+    /// (a 5 s window holds a few hundred samples; its p99 jitters).
+    measured_filter: Ewma,
+    /// Recent request rates (one sample per window) — the burstiness
+    /// estimate that sizes the peak-provisioning floor.
+    rate_history: SlidingQuantile,
+    replicas: u32,
+    /// Latches the replica count from the first observed window so the
+    /// policy starts from the deployment's actual size.
+    latched: bool,
+    cooldown: u32,
+    scale_actions: u64,
+    is_job: bool,
+}
+
+impl EvolvePolicy {
+    /// Creates the policy for a service (`is_job = false`) or a batch/HPC
+    /// job (`is_job = true`, horizontal scaling disabled).
+    #[must_use]
+    pub fn new(config: EvolvePolicyConfig, initial_replicas: u32, is_job: bool) -> Self {
+        let mut mc = MultiResourceConfig::new(config.min_alloc, config.max_alloc);
+        if config.cpu_only {
+            mc = mc.cpu_only();
+        }
+        if config.fixed_gains {
+            mc = mc.fixed_gains();
+        }
+        EvolvePolicy {
+            config,
+            controller: MultiResourceController::new(mc),
+            predictor: LoadPredictor::new(0.5, 0.3, 2.0, 0.1),
+            measured_filter: Ewma::new(0.5),
+            rate_history: SlidingQuantile::new(24),
+            replicas: initial_replicas.max(1),
+            latched: false,
+            cooldown: 0,
+            scale_actions: 0,
+            is_job,
+        }
+    }
+
+    /// Horizontal scaling actions taken so far.
+    #[must_use]
+    pub fn scale_actions(&self) -> u64 {
+        self.scale_actions
+    }
+
+    /// Gain adaptations applied by the controller so far.
+    #[must_use]
+    pub fn adaptations(&self) -> u64 {
+        self.controller.adaptations()
+    }
+
+    /// Current gains on a resource dimension (for the F2/T5 figures).
+    #[must_use]
+    pub fn gains_of(&self, resource: Resource) -> (f64, f64, f64) {
+        self.controller.gains_of(resource)
+    }
+}
+
+impl AutoscalePolicy for EvolvePolicy {
+    fn name(&self) -> &'static str {
+        if self.config.cpu_only {
+            "evolve-cpu-only"
+        } else if self.config.fixed_gains {
+            "evolve-fixed-gains"
+        } else {
+            "evolve"
+        }
+    }
+
+    fn decide(&mut self, input: &PolicyInput<'_>) -> Option<PolicyDecision> {
+        let w = input.window;
+        if !self.latched {
+            let current = w.running_replicas + w.pending_replicas;
+            if current > 0 {
+                self.replicas = current.max(self.config.min_replicas);
+            }
+            self.latched = true;
+            // The first window is dominated by container-start queueing
+            // (requests that waited for the replicas to boot); acting on
+            // it would punish a transient the controller cannot fix.
+            return Some(PolicyDecision { per_replica: w.alloc_per_replica, replicas: self.replicas });
+        }
+        let rate = w.arrivals as f64 / input.dt_secs.max(1e-9);
+        self.predictor.observe(rate);
+        self.rate_history.observe(rate);
+
+        let measured = w.measured_for(&input.app.plo);
+        let alloc_pr = w.alloc_per_replica;
+        let usage_pr = w.usage_per_replica();
+
+        // No signal (idle window): hold allocations, but allow scale-in on
+        // a long-idle service.
+        let Some(measured) = measured else {
+            if !self.is_job && w.arrivals == 0 && self.replicas > self.config.min_replicas {
+                if self.cooldown > 0 {
+                    self.cooldown -= 1;
+                } else {
+                    self.replicas -= 1;
+                    self.scale_actions += 1;
+                    self.cooldown = self.config.scale_cooldown_ticks;
+                }
+            }
+            return Some(PolicyDecision { per_replica: alloc_pr, replicas: self.replicas });
+        };
+
+        let smoothed = if measured.is_finite() {
+            self.measured_filter.observe(measured)
+        } else {
+            measured
+        };
+        let error =
+            control_error_with_margin(&input.app.plo, smoothed, self.config.target_margin);
+        let per_replica_rps = if w.running_replicas > 0 {
+            Some(w.throughput_rps / f64::from(w.running_replicas))
+        } else {
+            None
+        };
+        let mut decision =
+            self.controller.step_with_profile(alloc_pr, usage_pr, per_replica_rps, error, input.dt_secs);
+        // Burst headroom: provision for the recently observed peak rate,
+        // not the instantaneous one — bursty traffic (MMPP state flips,
+        // recurring spikes) would otherwise buy one violating window on
+        // every upswing. The floor is usage scaled by the p90/current
+        // rate ratio, capped at 4x.
+        if !self.is_job && rate > 1e-9 {
+            if let Some(p90) = self.rate_history.quantile(0.9) {
+                let burst = (p90 / rate).clamp(1.0, 4.0);
+                if burst > 1.05 {
+                    let floor = (usage_pr * (burst * 1.15))
+                        .min(&self.config.max_alloc)
+                        .max(&self.config.min_alloc);
+                    decision.target = decision.target.max(&floor);
+                }
+            }
+        }
+
+        if !self.is_job {
+            // Usage-anchored replica floor: the fewest replicas whose
+            // vertical ceiling still fits the measured demand with 80%
+            // headroom. Scale-out to the floor is immediate (demand is
+            // real); everything else is hysteretic around it.
+            let total_usage = usage_pr * f64::from(w.running_replicas.max(1));
+            let mut floor_n = 1u32;
+            for r in Resource::ALL {
+                let cap = self.config.max_alloc[r];
+                if cap > 0.0 {
+                    floor_n = floor_n.max((total_usage[r] * 1.8 / cap).ceil() as u32);
+                }
+            }
+            let floor_n = floor_n.clamp(self.config.min_replicas, self.config.max_replicas);
+            if self.replicas < floor_n {
+                self.replicas = floor_n;
+                self.scale_actions += 1;
+            } else if self.cooldown > 0 {
+                self.cooldown -= 1;
+            } else if (decision.saturated_up || input.resize_failures > 0 || w.timeouts > 10)
+                && error > 0.15
+                && self.replicas < self.config.max_replicas
+            {
+                // Vertical growth exhausted (ceiling hit or node headroom
+                // blocked the resize) or requests are being dropped under
+                // a real violation: go horizontal.
+                let growth = ((1.0 + error).ceil() as u32).clamp(1, 2);
+                self.replicas = (self.replicas + growth).min(self.config.max_replicas);
+                self.scale_actions += 1;
+                self.cooldown = self.config.scale_cooldown_ticks;
+            } else if self.config.predictive
+                && error < -0.1
+                && self.predictor.predicted() > rate * 1.5
+                && rate > 0.0
+                && self.replicas < self.config.max_replicas
+            {
+                // Load trending up sharply: scale ahead of the ramp.
+                self.replicas += 1;
+                self.scale_actions += 1;
+                self.cooldown = self.config.scale_cooldown_ticks;
+            } else if error < -0.2 && self.replicas > floor_n {
+                // Compliant with slack and above the demand floor: step
+                // back down one replica — but only when the survivors'
+                // *current* allocation already holds the whole load with
+                // 15% headroom, so the drop never opens a capacity hole.
+                let survivor_capacity = alloc_pr * f64::from(self.replicas - 1);
+                if (total_usage * 1.15).fits_within(&survivor_capacity) {
+                    self.replicas -= 1;
+                    self.scale_actions += 1;
+                    self.cooldown = self.config.scale_cooldown_ticks;
+                }
+            }
+        }
+
+        Some(PolicyDecision { per_replica: decision.target, replicas: self.replicas })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evolve_sim::{AppStatus, AppWindow};
+    use evolve_types::{AppId, SimDuration, SimTime};
+    use evolve_workload::{PloSpec, WorldClass};
+
+    fn status() -> AppStatus {
+        AppStatus {
+            id: AppId::new(0),
+            name: "svc".into(),
+            world: WorldClass::Microservice,
+            plo: PloSpec::LatencyP99 { target_ms: 100.0 },
+        }
+    }
+
+    fn window(p99: Option<f64>, arrivals: u64, alloc: f64, usage: f64) -> AppWindow {
+        AppWindow {
+            at: SimTime::from_secs(10),
+            duration: SimDuration::from_secs(5),
+            arrivals,
+            completions: arrivals,
+            timeouts: 0,
+            oom_kills: 0,
+            p99_ms: p99,
+            mean_ms: p99.map(|v| v / 2.0),
+            throughput_rps: arrivals as f64 / 5.0,
+            usage: ResourceVec::splat(usage),
+            alloc: ResourceVec::splat(alloc),
+            alloc_per_replica: ResourceVec::splat(alloc),
+            running_replicas: 1,
+            pending_replicas: 0,
+            progress: None,
+            projected_makespan_s: None,
+        }
+    }
+
+    #[test]
+    fn violation_grows_allocation() {
+        let mut p = EvolvePolicy::new(EvolvePolicyConfig::default(), 1, false);
+        let st = status();
+        let w = window(Some(200.0), 100, 1_000.0, 950.0);
+        // First window is the warmup skip; the second must act.
+        let first = p
+            .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+            .expect("decision");
+        assert_eq!(first.per_replica, w.alloc_per_replica);
+        let d = p
+            .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+            .expect("decision");
+        assert!(d.per_replica.cpu() > 1_000.0, "cpu {}", d.per_replica.cpu());
+    }
+
+    #[test]
+    fn slack_shrinks_allocation() {
+        let mut p = EvolvePolicy::new(EvolvePolicyConfig::default(), 1, false);
+        let st = status();
+        let mut alloc = 4_000.0;
+        for _ in 0..10 {
+            let w = window(Some(10.0), 100, alloc, 100.0);
+            let d = p
+                .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+                .expect("decision");
+            alloc = d.per_replica.cpu();
+        }
+        assert!(alloc < 2_000.0, "cpu {alloc}");
+    }
+
+    #[test]
+    fn saturation_triggers_horizontal_scaling() {
+        let cfg = EvolvePolicyConfig {
+            max_alloc: ResourceVec::splat(1_100.0),
+            min_alloc: ResourceVec::splat(100.0),
+            ..Default::default()
+        };
+        let mut p = EvolvePolicy::new(cfg, 1, false);
+        let st = status();
+        let mut replicas = 1;
+        for _ in 0..10 {
+            let w = window(Some(500.0), 200, 1_090.0, 1_080.0);
+            let d = p
+                .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+                .expect("decision");
+            replicas = d.replicas;
+        }
+        assert!(replicas > 1, "expected scale-out, got {replicas}");
+        assert!(p.scale_actions() > 0);
+    }
+
+    #[test]
+    fn jobs_never_scale_horizontally() {
+        let cfg = EvolvePolicyConfig {
+            max_alloc: ResourceVec::splat(1_100.0),
+            min_alloc: ResourceVec::splat(100.0),
+            ..Default::default()
+        };
+        let mut p = EvolvePolicy::new(cfg, 4, true);
+        let st = AppStatus {
+            plo: PloSpec::Deadline { deadline: SimDuration::from_secs(100) },
+            world: WorldClass::BigData,
+            ..status()
+        };
+        let mut first = None;
+        for _ in 0..10 {
+            let mut w = window(None, 0, 1_090.0, 1_080.0);
+            w.running_replicas = 4;
+            w.projected_makespan_s = Some(500.0); // way over deadline
+            let d = p
+                .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+                .expect("decision");
+            // Replica count never moves for jobs, no matter the pressure.
+            assert_eq!(d.replicas, *first.get_or_insert(d.replicas));
+        }
+    }
+
+    #[test]
+    fn idle_service_scales_in() {
+        let mut p = EvolvePolicy::new(EvolvePolicyConfig::default(), 5, false);
+        let st = status();
+        let mut replicas = 5;
+        for _ in 0..30 {
+            let w = window(None, 0, 1_000.0, 0.0);
+            let d = p
+                .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+                .expect("decision");
+            replicas = d.replicas;
+        }
+        assert_eq!(replicas, 1);
+    }
+
+    #[test]
+    fn ablation_names() {
+        assert_eq!(
+            EvolvePolicy::new(EvolvePolicyConfig::default(), 1, false).name(),
+            "evolve"
+        );
+        assert_eq!(
+            EvolvePolicy::new(EvolvePolicyConfig::default().cpu_only(), 1, false).name(),
+            "evolve-cpu-only"
+        );
+        assert_eq!(
+            EvolvePolicy::new(EvolvePolicyConfig::default().fixed_gains(), 1, false).name(),
+            "evolve-fixed-gains"
+        );
+    }
+}

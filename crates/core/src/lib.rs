@@ -1,0 +1,47 @@
+//! EVOLVE's resource manager: the paper's contribution, end to end.
+//!
+//! Users declare **performance-level objectives** (PLOs) instead of raw
+//! resource requests; the manager closes the loop: it scrapes each
+//! application's control window from the simulated cluster, computes the
+//! PLO error, runs the **multi-resource adaptive PID controller** (from
+//! `evolve-control`), and actuates vertical resizes, horizontal replica
+//! changes and job-allocation updates through the cluster API. A
+//! pluggable scheduler (from `evolve-scheduler`) binds the resulting
+//! pods, with priority preemption and gang support.
+//!
+//! The crate also contains the **baselines** every experiment compares
+//! against (stock-Kubernetes static requests, threshold HPA, a VPA-like
+//! percentile vertical scaler), the [`ExperimentRunner`] that wires
+//! workload → cluster → manager → scheduler and collects the summary
+//! statistics, and the report helpers that render the tables and CSV
+//! series in EXPERIMENTS.md.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use evolve_core::{ExperimentRunner, ManagerKind, RunConfig};
+//! use evolve_workload::Scenario;
+//!
+//! let cfg = RunConfig::new(Scenario::single_diurnal(), ManagerKind::Evolve)
+//!     .with_nodes(4)
+//!     .with_seed(7);
+//! let outcome = ExperimentRunner::new(cfg).run();
+//! println!("violation rate {:.3}", outcome.total_violation_rate());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baselines;
+mod evolve_policy;
+mod manager;
+mod policy;
+mod report;
+mod runner;
+
+pub use baselines::{HpaPolicy, StaticPolicy, VpaPolicy};
+pub use evolve_policy::{EvolvePolicy, EvolvePolicyConfig};
+pub use manager::{ManagerKind, ResourceManager};
+pub use policy::{control_error, control_error_with_margin, AutoscalePolicy, PolicyDecision, PolicyInput};
+pub use report::{write_csv, Table};
+pub use runner::{AppSummary, ExperimentRunner, RunConfig, RunOutcome, SchedulerProfile};

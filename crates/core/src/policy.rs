@@ -1,0 +1,146 @@
+//! The autoscaling-policy abstraction shared by EVOLVE and the baselines.
+
+use evolve_sim::{AppStatus, AppWindow};
+use evolve_types::ResourceVec;
+use evolve_workload::PloSpec;
+
+/// Everything a policy sees at one control tick.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyInput<'a> {
+    /// The application's identity and PLO.
+    pub app: &'a AppStatus,
+    /// The harvested control window.
+    pub window: &'a AppWindow,
+    /// Elapsed control interval in seconds.
+    pub dt_secs: f64,
+    /// In-place resizes that failed for node headroom on the previous
+    /// tick — a signal that vertical growth is blocked and the policy
+    /// should scale out instead.
+    pub resize_failures: u32,
+}
+
+/// A policy's actuation for one application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyDecision {
+    /// Target per-replica (or per-task / per-rank) allocation.
+    pub per_replica: ResourceVec,
+    /// Target replica count (ignored for batch/HPC apps, whose
+    /// parallelism is fixed by the job spec).
+    pub replicas: u32,
+}
+
+/// One autoscaling policy instance, stateful per application.
+pub trait AutoscalePolicy: Send {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Computes the actuation for this tick; `None` leaves the
+    /// application untouched.
+    fn decide(&mut self, input: &PolicyInput<'_>) -> Option<PolicyDecision>;
+}
+
+/// The signed relative PLO error, oriented so **positive means
+/// under-provisioned** (scale up): latency above target or throughput
+/// below target.
+///
+/// Returns 1.0 (full violation) for non-finite measurements — the service
+/// produced no valid signal, e.g. every request timed out.
+///
+/// # Examples
+///
+/// ```
+/// use evolve_core::control_error;
+/// use evolve_workload::PloSpec;
+///
+/// let plo = PloSpec::LatencyP99 { target_ms: 100.0 };
+/// assert!(control_error(&plo, 150.0) > 0.0);
+/// assert!(control_error(&plo, 50.0) < 0.0);
+/// let thr = PloSpec::Throughput { target_rps: 100.0 };
+/// assert!(control_error(&thr, 50.0) > 0.0);
+/// ```
+#[must_use]
+pub fn control_error(plo: &PloSpec, measured: f64) -> f64 {
+    control_error_with_margin(plo, measured, 0.0)
+}
+
+/// Like [`control_error`], but against a setpoint pulled `margin` inside
+/// the objective (e.g. `margin = 0.25` controls a 100 ms latency PLO to a
+/// 75 ms setpoint, and a 100 rps throughput PLO to 125 rps). Controlling
+/// *to* the PLO would park the loop right on the compliance boundary,
+/// where measurement noise turns half the windows into violations.
+///
+/// # Panics
+///
+/// Panics when `margin` is not in `[0, 1)`.
+#[must_use]
+pub fn control_error_with_margin(plo: &PloSpec, measured: f64, margin: f64) -> f64 {
+    assert!((0.0..1.0).contains(&margin), "margin must be in [0, 1)");
+    if !measured.is_finite() {
+        return 1.0;
+    }
+    let target = plo.target();
+    if target <= 0.0 {
+        return 0.0;
+    }
+    if plo.upper_bound() {
+        let setpoint = target * (1.0 - margin);
+        (measured - setpoint) / setpoint
+    } else {
+        let setpoint = target * (1.0 + margin);
+        (setpoint - measured) / setpoint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evolve_types::SimDuration;
+
+    #[test]
+    fn error_orientation_latency() {
+        let plo = PloSpec::LatencyP99 { target_ms: 100.0 };
+        assert_eq!(control_error(&plo, 100.0), 0.0);
+        assert_eq!(control_error(&plo, 200.0), 1.0);
+        assert_eq!(control_error(&plo, 50.0), -0.5);
+    }
+
+    #[test]
+    fn error_orientation_throughput() {
+        let plo = PloSpec::Throughput { target_rps: 1000.0 };
+        assert_eq!(control_error(&plo, 500.0), 0.5);
+        assert_eq!(control_error(&plo, 2000.0), -1.0);
+    }
+
+    #[test]
+    fn error_orientation_deadline() {
+        let plo = PloSpec::Deadline { deadline: SimDuration::from_secs(100) };
+        // Projected makespan 150 s vs 100 s deadline → 50% over.
+        assert_eq!(control_error(&plo, 150.0), 0.5);
+    }
+
+    #[test]
+    fn margin_shifts_the_setpoint() {
+        let plo = PloSpec::LatencyP99 { target_ms: 100.0 };
+        // At 80 ms with a 25% margin (setpoint 75 ms) we are *over*.
+        assert!(control_error_with_margin(&plo, 80.0, 0.25) > 0.0);
+        assert!(control_error_with_margin(&plo, 70.0, 0.25) < 0.0);
+        let thr = PloSpec::Throughput { target_rps: 100.0 };
+        // At 110 rps with a 25% margin (setpoint 125) we are under.
+        assert!(control_error_with_margin(&thr, 110.0, 0.25) > 0.0);
+        assert!(control_error_with_margin(&thr, 130.0, 0.25) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must be in")]
+    fn margin_must_be_sub_unit() {
+        let plo = PloSpec::LatencyP99 { target_ms: 100.0 };
+        let _ = control_error_with_margin(&plo, 50.0, 1.0);
+    }
+
+    #[test]
+    fn non_finite_is_full_violation() {
+        let plo = PloSpec::LatencyP99 { target_ms: 100.0 };
+        assert_eq!(control_error(&plo, f64::INFINITY), 1.0);
+        assert_eq!(control_error(&plo, f64::NAN), 1.0);
+    }
+}

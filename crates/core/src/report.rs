@@ -1,0 +1,160 @@
+//! Report rendering: aligned text tables and CSV export.
+//!
+//! The benchmark binaries print the exact rows EXPERIMENTS.md records;
+//! this module keeps the formatting in one place.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use evolve_core::Table;
+///
+/// let mut t = Table::new(vec!["policy".into(), "violations".into()]);
+/// t.add_row(vec!["evolve".into(), "12".into()]);
+/// t.add_row(vec!["kube-static".into(), "96".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("kube-static"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: Vec<String>) -> Self {
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width differs from the header width.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows were added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table as CSV (headers + rows).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, " {cell:<width$} |", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes CSV content under `dir/name.csv`, creating the directory.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(dir: &Path, name: &str, content: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut f = std::fs::File::create(dir.join(format!("{name}.csv")))?;
+    f.write_all(content.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new(vec!["a".into(), "bee".into()]);
+        t.add_row(vec!["1".into(), "2".into()]);
+        t.add_row(vec!["333".into(), "4".into()]);
+        t
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let s = table().to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines have the same width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "{s}");
+        assert!(lines[0].contains("a") && lines[0].contains("bee"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let csv = table().to_csv();
+        assert_eq!(csv, "a,bee\n1,2\n333,4\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["x".into()]);
+        t.add_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("evolve-report-test");
+        write_csv(&dir, "t", "a,b\n").unwrap();
+        let content = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(content, "a,b\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let t = Table::new(vec!["x".into()]);
+        assert!(t.is_empty());
+        assert_eq!(table().len(), 2);
+    }
+}

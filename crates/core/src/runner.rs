@@ -1,0 +1,391 @@
+//! The experiment runner: wires a scenario onto a cluster under a chosen
+//! manager and scheduler, runs the control loop, and collects the
+//! statistics every table and figure reports.
+
+use evolve_scheduler::SchedulerFramework;
+use evolve_sim::{ClusterConfig, NodeShape, Simulation, SimulationConfig};
+use evolve_telemetry::{MetricRegistry, UtilizationAccount, UtilizationSummary};
+use evolve_types::{AppId, ResourceVec, SimDuration, SimTime};
+use evolve_workload::{Scenario, WorldClass};
+
+use crate::manager::{ManagerKind, ResourceManager};
+
+/// Which scheduler profile binds pods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerProfile {
+    /// Stock filter/score profile without preemption.
+    KubeDefault,
+    /// Stock profile plus priority preemption (EVOLVE's extension).
+    Evolve,
+    /// Bin-packing consolidation profile.
+    Binpack,
+}
+
+impl SchedulerProfile {
+    fn build(self) -> SchedulerFramework {
+        match self {
+            SchedulerProfile::KubeDefault => SchedulerFramework::kube_default(),
+            SchedulerProfile::Evolve => SchedulerFramework::evolve_default(),
+            SchedulerProfile::Binpack => SchedulerFramework::binpack(),
+        }
+    }
+}
+
+/// Full configuration of one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The workload scenario.
+    pub scenario: Scenario,
+    /// The resource manager under test.
+    pub manager: ManagerKind,
+    /// The scheduler profile.
+    pub scheduler: SchedulerProfile,
+    /// Number of (uniform) nodes.
+    pub nodes: usize,
+    /// Node hardware shape.
+    pub node_shape: NodeShape,
+    /// Control-loop interval.
+    pub control_interval: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+    /// Record per-tick time series into the registry.
+    pub record_series: bool,
+}
+
+impl RunConfig {
+    /// A run with the evaluation defaults: 20 nodes, 5 s control
+    /// interval, the EVOLVE scheduler profile for EVOLVE managers and the
+    /// stock profile for baselines.
+    #[must_use]
+    pub fn new(scenario: Scenario, manager: ManagerKind) -> Self {
+        let scheduler = match manager {
+            ManagerKind::Evolve | ManagerKind::EvolveWith(_) => SchedulerProfile::Evolve,
+            _ => SchedulerProfile::KubeDefault,
+        };
+        RunConfig {
+            scenario,
+            manager,
+            scheduler,
+            nodes: 20,
+            node_shape: NodeShape::default(),
+            control_interval: SimDuration::from_secs(5),
+            seed: 42,
+            record_series: true,
+        }
+    }
+
+    /// Overrides the node count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when zero.
+    #[must_use]
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        self.nodes = nodes;
+        self
+    }
+
+    /// Overrides the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the scheduler profile.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerProfile) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Disables per-tick series recording (faster sweeps).
+    #[must_use]
+    pub fn without_series(mut self) -> Self {
+        self.record_series = false;
+        self
+    }
+}
+
+/// Per-application results of a run.
+#[derive(Debug, Clone)]
+pub struct AppSummary {
+    /// The application.
+    pub app: AppId,
+    /// Name from the workload spec.
+    pub name: String,
+    /// The world it belongs to.
+    pub world: WorldClass,
+    /// Control windows evaluated against the PLO.
+    pub windows: u64,
+    /// Windows in violation.
+    pub violations: u64,
+    /// Mean relative excursion of violating windows.
+    pub mean_severity: f64,
+    /// Total requests completed (services) / records (batch) /
+    /// iterations (HPC).
+    pub completions: u64,
+    /// Requests dropped on timeout.
+    pub timeouts: u64,
+    /// OOM kills suffered.
+    pub oom_kills: u64,
+}
+
+impl AppSummary {
+    /// Fraction of windows in violation.
+    #[must_use]
+    pub fn violation_rate(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.windows as f64
+        }
+    }
+}
+
+/// Everything a run produced.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The manager label ("evolve", "kube-static", …).
+    pub manager: String,
+    /// The scenario name.
+    pub scenario: String,
+    /// Per-application summaries.
+    pub apps: Vec<AppSummary>,
+    /// Cluster utilization over the run.
+    pub utilization: UtilizationSummary,
+    /// Batch/HPC job outcomes.
+    pub jobs: Vec<evolve_sim::JobOutcome>,
+    /// Recorded time series (empty when `record_series` was off).
+    pub registry: MetricRegistry,
+    /// Failed in-place resizes (capacity contention).
+    pub resize_failures: u64,
+    /// Preemptions executed.
+    pub preemptions: u64,
+    /// Pod bindings executed.
+    pub bindings: u64,
+    /// Simulated horizon.
+    pub horizon: SimDuration,
+    /// Engine events processed (simulator throughput accounting).
+    pub events: u64,
+}
+
+impl RunOutcome {
+    /// Total violation windows across applications.
+    #[must_use]
+    pub fn total_violations(&self) -> u64 {
+        self.apps.iter().map(|a| a.violations).sum()
+    }
+
+    /// Total evaluated windows across applications.
+    #[must_use]
+    pub fn total_windows(&self) -> u64 {
+        self.apps.iter().map(|a| a.windows).sum()
+    }
+
+    /// Aggregate violation rate.
+    #[must_use]
+    pub fn total_violation_rate(&self) -> f64 {
+        let w = self.total_windows();
+        if w == 0 {
+            0.0
+        } else {
+            self.total_violations() as f64 / w as f64
+        }
+    }
+
+    /// Jobs that met their deadline / total jobs.
+    #[must_use]
+    pub fn deadline_hits(&self) -> (usize, usize) {
+        let hits = self.jobs.iter().filter(|j| j.met_deadline()).count();
+        (hits, self.jobs.len())
+    }
+
+    /// Per-world violation rates `(cloud, bigdata, hpc)`.
+    #[must_use]
+    pub fn violation_rate_by_world(&self) -> [f64; 3] {
+        let mut windows = [0u64; 3];
+        let mut violations = [0u64; 3];
+        for a in &self.apps {
+            let i = match a.world {
+                WorldClass::Microservice => 0,
+                WorldClass::BigData => 1,
+                WorldClass::Hpc => 2,
+            };
+            windows[i] += a.windows;
+            violations[i] += a.violations;
+        }
+        let mut out = [0.0; 3];
+        for i in 0..3 {
+            if windows[i] > 0 {
+                out[i] = violations[i] as f64 / windows[i] as f64;
+            }
+        }
+        out
+    }
+}
+
+/// Runs one experiment end to end.
+#[derive(Debug)]
+pub struct ExperimentRunner {
+    config: RunConfig,
+}
+
+impl ExperimentRunner {
+    /// Creates a runner.
+    #[must_use]
+    pub fn new(config: RunConfig) -> Self {
+        ExperimentRunner { config }
+    }
+
+    /// Executes the run to its horizon and collects the outcome.
+    #[must_use]
+    pub fn run(self) -> RunOutcome {
+        let cfg = self.config;
+        let cluster_config = ClusterConfig::uniform(cfg.nodes, cfg.node_shape);
+        let mut sim = Simulation::new(
+            SimulationConfig::default(),
+            cluster_config,
+            &cfg.scenario.mix,
+            cfg.seed,
+        );
+        let mut manager = ResourceManager::new(cfg.manager.clone(), &sim);
+        let scheduler = cfg.scheduler.build();
+        let mut registry = MetricRegistry::new();
+        let mut util = UtilizationAccount::new(sim.cluster().total_allocatable());
+        let mut preemptions = 0u64;
+        let mut bindings = 0u64;
+        // Lifetime (completions, timeouts, oom) per app.
+        let mut totals: std::collections::HashMap<AppId, (u64, u64, u64)> =
+            std::collections::HashMap::new();
+
+        let horizon = SimTime::ZERO + cfg.scenario.horizon;
+        let dt = cfg.control_interval;
+        let dt_secs = dt.as_secs_f64();
+        let mut tick_end = SimTime::ZERO + dt;
+
+        // Initial scheduling pass so t=0 pods place immediately.
+        Self::schedule_pass(&scheduler, &mut sim, &mut preemptions, &mut bindings);
+
+        while tick_end <= horizon {
+            sim.run_until(tick_end);
+            let windows = manager.tick(&mut sim, dt_secs);
+            Self::schedule_pass(&scheduler, &mut sim, &mut preemptions, &mut bindings);
+
+            // Utilization accounting: allocation from the cluster, usage
+            // from the windows.
+            let mut used = ResourceVec::ZERO;
+            for (app, w) in &windows {
+                used += w.usage;
+                let entry = totals.entry(*app).or_insert((0, 0, 0));
+                entry.0 += w.completions;
+                entry.1 += w.timeouts;
+                entry.2 += w.oom_kills;
+            }
+            let snap = sim.snapshot();
+            util.record(snap.at, snap.allocated, used.min(&snap.allocatable));
+
+            if cfg.record_series {
+                let t = snap.at;
+                registry.record("cluster/allocated_cpu_share", t, {
+                    let a = snap.allocatable.cpu();
+                    if a > 0.0 {
+                        snap.allocated.cpu() / a
+                    } else {
+                        0.0
+                    }
+                });
+                registry.record("cluster/used_cpu_share", t, {
+                    let a = snap.allocatable.cpu();
+                    if a > 0.0 {
+                        used.cpu() / a
+                    } else {
+                        0.0
+                    }
+                });
+                registry.record("cluster/pods_running", t, f64::from(snap.pods_running));
+                registry.record("cluster/pods_pending", t, f64::from(snap.pods_pending));
+                for (app, w) in &windows {
+                    let prefix = format!("app{}/", app.raw());
+                    if let Some(p99) = w.p99_ms {
+                        registry.record(&format!("{prefix}p99_ms"), t, p99);
+                    }
+                    registry.record(
+                        &format!("{prefix}rate_rps"),
+                        t,
+                        w.arrivals as f64 / dt_secs,
+                    );
+                    registry.record(
+                        &format!("{prefix}replicas"),
+                        t,
+                        f64::from(w.running_replicas),
+                    );
+                    registry.record(&format!("{prefix}alloc_cpu"), t, w.alloc.cpu());
+                    registry.record(&format!("{prefix}usage_cpu"), t, w.usage.cpu());
+                    registry.record(
+                        &format!("{prefix}timeouts"),
+                        t,
+                        w.timeouts as f64,
+                    );
+                }
+            }
+            tick_end = tick_end + dt;
+        }
+        let utilization = util.finish(sim.now());
+
+        // Final per-app summaries need lifetime counters; accumulate from
+        // the trackers plus a final window harvest.
+        let statuses: Vec<evolve_sim::AppStatus> = sim.apps().to_vec();
+        let mut apps = Vec::with_capacity(statuses.len());
+        for status in &statuses {
+            let tracker = manager.tracker(status.id).expect("registered");
+            let (completions, timeouts, oom_kills) =
+                totals.get(&status.id).copied().unwrap_or((0, 0, 0));
+            apps.push(AppSummary {
+                app: status.id,
+                name: status.name.clone(),
+                world: status.world,
+                windows: tracker.windows(),
+                violations: tracker.violations(),
+                mean_severity: tracker.mean_severity(),
+                completions,
+                timeouts,
+                oom_kills,
+            });
+        }
+
+        RunOutcome {
+            manager: manager.label(),
+            scenario: cfg.scenario.name.clone(),
+            apps,
+            utilization,
+            jobs: sim.job_outcomes(),
+            registry,
+            resize_failures: manager.resize_failures(),
+            preemptions,
+            bindings,
+            horizon: cfg.scenario.horizon,
+            events: sim.events_processed(),
+        }
+    }
+
+    fn schedule_pass(
+        scheduler: &SchedulerFramework,
+        sim: &mut Simulation,
+        preemptions: &mut u64,
+        bindings: &mut u64,
+    ) {
+        let plan = scheduler.schedule_cycle(sim.cluster());
+        for victim in &plan.preemptions {
+            if sim.preempt_pod(*victim).is_ok() {
+                *preemptions += 1;
+            }
+        }
+        for (pod, node) in &plan.bindings {
+            if sim.bind_pod(*pod, *node).is_ok() {
+                *bindings += 1;
+            }
+        }
+    }
+}

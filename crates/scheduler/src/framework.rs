@@ -1,0 +1,542 @@
+//! The scheduling cycle: priority queue, gang grouping, filter → score →
+//! tentative bind, and preemption.
+
+use std::collections::{HashMap, HashSet};
+
+use evolve_sim::{ClusterState, Pod, PodKind, PodSpec};
+use evolve_types::{JobId, NodeId, PodId, ResourceVec};
+
+use crate::plugins::{
+    BalancedAllocation, FilterPlugin, LeastAllocated, MostAllocated, NodeFits, NodeView,
+    ScorePlugin, SpreadApp,
+};
+
+/// The outcome of one scheduling cycle. The driver must apply
+/// `preemptions` (via `Simulation::preempt_pod`) **before** `bindings`
+/// (via `Simulation::bind_pod`) — the plan's shadow accounting assumes
+/// that order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchedulePlan {
+    /// Pods to bind, in decision order.
+    pub bindings: Vec<(PodId, NodeId)>,
+    /// Pods to evict first (preemption victims).
+    pub preemptions: Vec<PodId>,
+    /// Pods that could not be placed this cycle.
+    pub unschedulable: Vec<PodId>,
+}
+
+/// A configurable scheduler: filters decide feasibility, weighted scorers
+/// pick the node, priorities order the queue, and optional preemption and
+/// gang handling deal with contention and HPC jobs.
+pub struct SchedulerFramework {
+    filters: Vec<Box<dyn FilterPlugin>>,
+    scorers: Vec<(Box<dyn ScorePlugin>, f64)>,
+    preemption: bool,
+    name: &'static str,
+}
+
+impl std::fmt::Debug for SchedulerFramework {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerFramework")
+            .field("name", &self.name)
+            .field("filters", &self.filters.len())
+            .field("scorers", &self.scorers.len())
+            .field("preemption", &self.preemption)
+            .finish()
+    }
+}
+
+/// Shadow state for one cycle.
+struct Shadow {
+    free: Vec<ResourceVec>,
+    /// (node, app) → tentative pod count of that app.
+    app_pods: HashMap<(usize, u32), usize>,
+}
+
+impl Shadow {
+    fn new(cluster: &ClusterState) -> Self {
+        let free = cluster.nodes().iter().map(evolve_sim::Node::free).collect();
+        let mut app_pods = HashMap::new();
+        for pod in cluster.pods() {
+            if let (Some(node), true) = (pod.node, pod.phase.holds_resources()) {
+                *app_pods.entry((node.as_usize(), pod.app().raw())).or_insert(0) += 1;
+            }
+        }
+        Shadow { free, app_pods }
+    }
+
+    fn place(&mut self, node: usize, pod: &PodSpec) {
+        self.free[node] -= pod.request;
+        *self.app_pods.entry((node, pod.kind.app().raw())).or_insert(0) += 1;
+    }
+
+    fn release(&mut self, node: usize, pod: &PodSpec) {
+        self.free[node] += pod.request;
+        if let Some(c) = self.app_pods.get_mut(&(node, pod.kind.app().raw())) {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+impl SchedulerFramework {
+    /// An empty framework; add plugins with the builder methods.
+    #[must_use]
+    pub fn new(name: &'static str) -> Self {
+        SchedulerFramework { filters: Vec::new(), scorers: Vec::new(), preemption: false, name }
+    }
+
+    /// The stock Kubernetes-like profile: fit filter, least-allocated +
+    /// balanced-allocation + app spreading, no preemption.
+    #[must_use]
+    pub fn kube_default() -> Self {
+        SchedulerFramework::new("kube-default")
+            .with_filter(NodeFits)
+            .with_scorer(LeastAllocated, 1.0)
+            .with_scorer(BalancedAllocation, 1.0)
+            .with_scorer(SpreadApp, 0.5)
+    }
+
+    /// The EVOLVE profile: same plugins plus priority preemption (so
+    /// latency-critical pods displace batch work under pressure).
+    #[must_use]
+    pub fn evolve_default() -> Self {
+        SchedulerFramework::kube_default().with_preemption().named("evolve")
+    }
+
+    /// A consolidation (bin-packing) profile.
+    #[must_use]
+    pub fn binpack() -> Self {
+        SchedulerFramework::new("binpack")
+            .with_filter(NodeFits)
+            .with_scorer(MostAllocated, 1.0)
+            .with_scorer(BalancedAllocation, 0.5)
+    }
+
+    /// Adds a filter plugin.
+    #[must_use]
+    pub fn with_filter<F: FilterPlugin + 'static>(mut self, filter: F) -> Self {
+        self.filters.push(Box::new(filter));
+        self
+    }
+
+    /// Adds a score plugin with a weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weight` is not positive.
+    #[must_use]
+    pub fn with_scorer<S: ScorePlugin + 'static>(mut self, scorer: S, weight: f64) -> Self {
+        assert!(weight > 0.0, "scorer weight must be positive");
+        self.scorers.push((Box::new(scorer), weight));
+        self
+    }
+
+    /// Enables priority preemption.
+    #[must_use]
+    pub fn with_preemption(mut self) -> Self {
+        self.preemption = true;
+        self
+    }
+
+    /// Renames the profile (for reports).
+    #[must_use]
+    pub fn named(mut self, name: &'static str) -> Self {
+        self.name = name;
+        self
+    }
+
+    /// The profile name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Runs one scheduling cycle over the cluster's pending pods.
+    #[must_use]
+    pub fn schedule_cycle(&self, cluster: &ClusterState) -> SchedulePlan {
+        let mut plan = SchedulePlan::default();
+        let mut shadow = Shadow::new(cluster);
+        // Victims already claimed this cycle: their capacity is freed in
+        // the shadow exactly once and they may not be chosen again.
+        let mut claimed: HashSet<PodId> = HashSet::new();
+
+        // Group pending pods: gangs as units, others individually; order
+        // by (priority desc, creation asc).
+        let pending: Vec<&Pod> = cluster.pending_pods().collect();
+        let mut gangs: HashMap<JobId, Vec<&Pod>> = HashMap::new();
+        let mut singles: Vec<&Pod> = Vec::new();
+        for pod in pending {
+            match pod.spec.kind {
+                PodKind::HpcRank { job, .. } => gangs.entry(job).or_default().push(pod),
+                _ => singles.push(pod),
+            }
+        }
+        enum Unit<'a> {
+            Single(&'a Pod),
+            Gang(Vec<&'a Pod>),
+        }
+        let mut units: Vec<(i32, evolve_types::SimTime, Unit<'_>)> = Vec::new();
+        for pod in singles {
+            units.push((pod.spec.priority, pod.created, Unit::Single(pod)));
+        }
+        for (_, members) in gangs {
+            let prio = members.iter().map(|p| p.spec.priority).max().unwrap_or(0);
+            let created = members.iter().map(|p| p.created).min().unwrap_or_default();
+            units.push((prio, created, Unit::Gang(members)));
+        }
+        units.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        for (_, _, unit) in units {
+            match unit {
+                Unit::Single(pod) => {
+                    if let Some(node) = self.place_one(cluster, &mut shadow, &pod.spec) {
+                        plan.bindings.push((pod.id, node));
+                    } else if self.preemption {
+                        match self.try_preempt(cluster, &mut shadow, &claimed, pod) {
+                            Some((node, victims)) => {
+                                claimed.extend(victims.iter().copied());
+                                plan.preemptions.extend(victims);
+                                plan.bindings.push((pod.id, node));
+                            }
+                            None => plan.unschedulable.push(pod.id),
+                        }
+                    } else {
+                        plan.unschedulable.push(pod.id);
+                    }
+                }
+                Unit::Gang(members) => {
+                    // All-or-nothing: tentatively place every rank; roll
+                    // back on the first failure.
+                    let mut placed: Vec<(PodId, NodeId, PodSpec)> = Vec::new();
+                    let mut ok = true;
+                    for pod in &members {
+                        match self.place_one(cluster, &mut shadow, &pod.spec) {
+                            Some(node) => placed.push((pod.id, node, pod.spec)),
+                            None => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        for (id, node, _) in placed {
+                            plan.bindings.push((id, node));
+                        }
+                    } else {
+                        for (_, node, spec) in &placed {
+                            shadow.release(node.as_usize(), spec);
+                        }
+                        for pod in members {
+                            plan.unschedulable.push(pod.id);
+                        }
+                    }
+                }
+            }
+        }
+        plan
+    }
+
+    /// Filter + score one pod against the shadowed cluster; commits the
+    /// placement into the shadow on success.
+    fn place_one(
+        &self,
+        cluster: &ClusterState,
+        shadow: &mut Shadow,
+        spec: &PodSpec,
+    ) -> Option<NodeId> {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, node) in cluster.nodes().iter().enumerate() {
+            let view = NodeView {
+                node,
+                free: shadow.free[i],
+                app_pods: shadow
+                    .app_pods
+                    .get(&(i, spec.kind.app().raw()))
+                    .copied()
+                    .unwrap_or(0),
+            };
+            if !self.filters.iter().all(|f| f.feasible(spec, &view)) {
+                continue;
+            }
+            let mut score = 0.0;
+            let mut weight = 0.0;
+            for (s, w) in &self.scorers {
+                score += s.score(spec, &view) * w;
+                weight += w;
+            }
+            let score = if weight > 0.0 { score / weight } else { 0.0 };
+            // Deterministic tie-break on the lowest node index.
+            if best.is_none_or(|(b, _)| score > b + 1e-12) {
+                best = Some((score, i));
+            }
+        }
+        let (_, idx) = best?;
+        shadow.place(idx, spec);
+        Some(NodeId::new(idx as u32))
+    }
+
+    /// Looks for a node where evicting strictly-lower-priority pods frees
+    /// enough room. Chooses the node minimizing evicted priority mass,
+    /// then evicts its lowest-priority pods first.
+    fn try_preempt(
+        &self,
+        cluster: &ClusterState,
+        shadow: &mut Shadow,
+        claimed: &HashSet<PodId>,
+        pod: &Pod,
+    ) -> Option<(NodeId, Vec<PodId>)> {
+        let mut best: Option<(f64, usize, Vec<PodId>)> = None;
+        for (i, node) in cluster.nodes().iter().enumerate() {
+            if !node.is_ready() {
+                continue;
+            }
+            // Victims: bound pods with lower priority, cheapest first.
+            // Pods already claimed by an earlier preemption this cycle
+            // are gone in the shadow and may not be double-counted.
+            let mut victims: Vec<&Pod> = node
+                .pods()
+                .iter()
+                .filter(|id| !claimed.contains(id))
+                .filter_map(|id| cluster.pod(*id).ok())
+                .filter(|v| v.spec.priority < pod.spec.priority && v.phase.holds_resources())
+                .collect();
+            victims.sort_by_key(|v| v.spec.priority);
+            let mut free = shadow.free[i];
+            let mut chosen: Vec<PodId> = Vec::new();
+            let mut cost = 0.0;
+            for v in victims {
+                if pod.spec.request.fits_within(&free) {
+                    break;
+                }
+                free += v.spec.request;
+                chosen.push(v.id);
+                cost += f64::from(v.spec.priority) + 1.0;
+            }
+            if pod.spec.request.fits_within(&free) && !chosen.is_empty() {
+                if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
+                    best = Some((cost, i, chosen));
+                }
+            }
+        }
+        let (_, idx, victims) = best?;
+        // Account the evictions and the placement in the shadow.
+        for v in &victims {
+            if let Ok(p) = cluster.pod(*v) {
+                shadow.free[idx] += p.spec.request;
+                if let Some(c) = shadow.app_pods.get_mut(&(idx, p.app().raw())) {
+                    *c = c.saturating_sub(1);
+                }
+            }
+        }
+        shadow.place(idx, &pod.spec);
+        Some((NodeId::new(idx as u32), victims))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evolve_sim::{ClusterConfig, NodeShape};
+    use evolve_types::{AppId, ResourceVec, SimTime};
+
+    fn cluster(nodes: usize, capacity: f64) -> ClusterState {
+        ClusterState::new(&ClusterConfig::uniform(
+            nodes,
+            NodeShape { capacity: ResourceVec::splat(capacity) },
+        ))
+    }
+
+    fn service_pod(cluster: &mut ClusterState, app: u32, request: f64, priority: i32) -> PodId {
+        cluster.create_pod(
+            PodSpec::new(
+                PodKind::ServiceReplica { app: AppId::new(app) },
+                ResourceVec::splat(request),
+                priority,
+            ),
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn places_pending_pod_on_feasible_node() {
+        let mut c = cluster(2, 1000.0);
+        let pod = service_pod(&mut c, 0, 100.0, 0);
+        let plan = SchedulerFramework::kube_default().schedule_cycle(&c);
+        assert_eq!(plan.bindings.len(), 1);
+        assert_eq!(plan.bindings[0].0, pod);
+        assert!(plan.unschedulable.is_empty());
+    }
+
+    #[test]
+    fn shadow_accounting_prevents_double_booking() {
+        let mut c = cluster(1, 1000.0); // 950 allocatable
+        let a = service_pod(&mut c, 0, 600.0, 0);
+        let b = service_pod(&mut c, 0, 600.0, 0);
+        let plan = SchedulerFramework::kube_default().schedule_cycle(&c);
+        assert_eq!(plan.bindings.len(), 1);
+        assert_eq!(plan.unschedulable.len(), 1);
+        let bound: Vec<PodId> = plan.bindings.iter().map(|(p, _)| *p).collect();
+        assert!(bound.contains(&a) ^ bound.contains(&b));
+    }
+
+    #[test]
+    fn spreading_distributes_replicas() {
+        let mut c = cluster(4, 1000.0);
+        for _ in 0..4 {
+            service_pod(&mut c, 7, 100.0, 0);
+        }
+        let plan = SchedulerFramework::kube_default().schedule_cycle(&c);
+        let nodes: std::collections::HashSet<NodeId> =
+            plan.bindings.iter().map(|(_, n)| *n).collect();
+        assert_eq!(nodes.len(), 4, "4 replicas should spread over 4 nodes: {plan:?}");
+    }
+
+    #[test]
+    fn binpack_consolidates() {
+        let mut c = cluster(4, 1000.0);
+        for app in 0..4 {
+            service_pod(&mut c, app, 100.0, 0);
+        }
+        let plan = SchedulerFramework::binpack().schedule_cycle(&c);
+        let nodes: std::collections::HashSet<NodeId> =
+            plan.bindings.iter().map(|(_, n)| *n).collect();
+        assert_eq!(nodes.len(), 1, "binpack should use one node: {plan:?}");
+    }
+
+    #[test]
+    fn priority_orders_the_queue() {
+        let mut c = cluster(1, 1000.0); // room for one 600 pod
+        let low = service_pod(&mut c, 0, 600.0, 10);
+        let high = service_pod(&mut c, 1, 600.0, 100);
+        let plan = SchedulerFramework::kube_default().schedule_cycle(&c);
+        assert_eq!(plan.bindings, vec![(high, NodeId::new(0))]);
+        assert_eq!(plan.unschedulable, vec![low]);
+    }
+
+    #[test]
+    fn preemption_evicts_lower_priority() {
+        let mut c = cluster(1, 1000.0);
+        let batch = service_pod(&mut c, 0, 800.0, 10);
+        c.bind_pod(batch, NodeId::new(0)).unwrap();
+        let urgent = service_pod(&mut c, 1, 700.0, 100);
+        // Without preemption: unschedulable.
+        let plan = SchedulerFramework::kube_default().schedule_cycle(&c);
+        assert_eq!(plan.unschedulable, vec![urgent]);
+        // With preemption: batch is evicted.
+        let plan = SchedulerFramework::evolve_default().schedule_cycle(&c);
+        assert_eq!(plan.preemptions, vec![batch]);
+        assert_eq!(plan.bindings, vec![(urgent, NodeId::new(0))]);
+    }
+
+    #[test]
+    fn preemption_never_evicts_equal_or_higher_priority() {
+        let mut c = cluster(1, 1000.0);
+        let peer = service_pod(&mut c, 0, 800.0, 100);
+        c.bind_pod(peer, NodeId::new(0)).unwrap();
+        let urgent = service_pod(&mut c, 1, 700.0, 100);
+        let plan = SchedulerFramework::evolve_default().schedule_cycle(&c);
+        assert!(plan.preemptions.is_empty());
+        assert_eq!(plan.unschedulable, vec![urgent]);
+    }
+
+    #[test]
+    fn two_preemptors_cannot_claim_the_same_victim() {
+        let mut c = cluster(1, 1000.0);
+        // One big low-priority pod fills the node.
+        let victim = service_pod(&mut c, 0, 900.0, 10);
+        c.bind_pod(victim, NodeId::new(0)).unwrap();
+        // Two high-priority pods each need most of the node: only one can
+        // be satisfied even after evicting the victim.
+        let a = service_pod(&mut c, 1, 600.0, 100);
+        let b = service_pod(&mut c, 2, 600.0, 100);
+        let plan = SchedulerFramework::evolve_default().schedule_cycle(&c);
+        assert_eq!(plan.preemptions, vec![victim], "victim claimed once: {plan:?}");
+        assert_eq!(plan.bindings.len(), 1);
+        assert_eq!(plan.unschedulable.len(), 1);
+        // The plan must be applicable.
+        c.terminate_pod(victim, evolve_sim::PodPhase::Failed("preempted".into())).unwrap();
+        let (pod, node) = plan.bindings[0];
+        assert!(pod == a || pod == b);
+        c.bind_pod(pod, node).unwrap();
+        c.check_invariants();
+    }
+
+    #[test]
+    fn gang_is_all_or_nothing() {
+        let mut c = cluster(2, 1000.0); // 950 allocatable each
+        // Gang of 4 ranks × 600: only 2 fit (one per node) → nothing binds.
+        for rank in 0..4 {
+            c.create_pod(
+                PodSpec::new(
+                    PodKind::HpcRank { app: AppId::new(0), job: JobId::new(9), rank },
+                    ResourceVec::splat(600.0),
+                    50,
+                ),
+                SimTime::ZERO,
+            );
+        }
+        let plan = SchedulerFramework::kube_default().schedule_cycle(&c);
+        assert!(plan.bindings.is_empty(), "partial gang placement: {plan:?}");
+        assert_eq!(plan.unschedulable.len(), 4);
+    }
+
+    #[test]
+    fn gang_fits_when_cluster_allows() {
+        let mut c = cluster(2, 1000.0);
+        for rank in 0..4 {
+            c.create_pod(
+                PodSpec::new(
+                    PodKind::HpcRank { app: AppId::new(0), job: JobId::new(9), rank },
+                    ResourceVec::splat(400.0),
+                    50,
+                ),
+                SimTime::ZERO,
+            );
+        }
+        let plan = SchedulerFramework::kube_default().schedule_cycle(&c);
+        assert_eq!(plan.bindings.len(), 4);
+    }
+
+    #[test]
+    fn backfill_places_batch_around_blocked_gang() {
+        let mut c = cluster(1, 1000.0);
+        // Gang that can never fit (2 × 600 on one 950 node).
+        for rank in 0..2 {
+            c.create_pod(
+                PodSpec::new(
+                    PodKind::HpcRank { app: AppId::new(0), job: JobId::new(1), rank },
+                    ResourceVec::splat(600.0),
+                    50,
+                ),
+                SimTime::ZERO,
+            );
+        }
+        // Low-priority batch task that does fit.
+        let batch = c.create_pod(
+            PodSpec::new(
+                PodKind::BatchTask { app: AppId::new(1), job: JobId::new(2), stage: 0, task: 0 },
+                ResourceVec::splat(300.0),
+                10,
+            ),
+            SimTime::ZERO,
+        );
+        let plan = SchedulerFramework::kube_default().schedule_cycle(&c);
+        assert_eq!(plan.bindings, vec![(batch, NodeId::new(0))], "backfill expected");
+    }
+
+    #[test]
+    fn unready_nodes_are_skipped() {
+        let mut c = cluster(2, 1000.0);
+        c.set_node_ready(NodeId::new(0), false).unwrap();
+        let pod = service_pod(&mut c, 0, 100.0, 0);
+        let plan = SchedulerFramework::kube_default().schedule_cycle(&c);
+        assert_eq!(plan.bindings, vec![(pod, NodeId::new(1))]);
+    }
+
+    #[test]
+    fn empty_cluster_cycle_is_empty() {
+        let c = cluster(2, 1000.0);
+        let plan = SchedulerFramework::kube_default().schedule_cycle(&c);
+        assert_eq!(plan, SchedulePlan::default());
+    }
+}

@@ -1,0 +1,50 @@
+//! Pluggable scheduling framework for the EVOLVE platform.
+//!
+//! Mirrors the Kubernetes scheduling framework (the extension surface the
+//! paper's scheduler plugs into): pending pods flow through **filter**
+//! plugins (feasibility) and **score** plugins (preference), the highest
+//! scoring node wins, and the binding is handed to the cluster. On top of
+//! the stock framework this crate adds what converged Big-Data/HPC/Cloud
+//! scheduling needs:
+//!
+//! * **priority scheduling with preemption** — latency-critical service
+//!   pods may evict batch tasks when the cluster is full;
+//! * **gang (all-or-nothing) scheduling** — an HPC job's ranks are placed
+//!   together or not at all, with lower-priority work backfilled around a
+//!   blocked gang;
+//! * shadow accounting so one scheduling cycle makes mutually consistent
+//!   decisions before anything is committed.
+//!
+//! # Examples
+//!
+//! ```
+//! use evolve_scheduler::SchedulerFramework;
+//! use evolve_sim::{ClusterConfig, ClusterState, NodeShape, PodKind, PodSpec};
+//! use evolve_types::{AppId, ResourceVec, SimTime};
+//!
+//! let mut cluster = ClusterState::new(&ClusterConfig::uniform(2, NodeShape::default()));
+//! let pod = cluster.create_pod(
+//!     PodSpec::new(
+//!         PodKind::ServiceReplica { app: AppId::new(0) },
+//!         ResourceVec::new(1000.0, 1024.0, 10.0, 10.0),
+//!         100,
+//!     ),
+//!     SimTime::ZERO,
+//! );
+//! let scheduler = SchedulerFramework::kube_default();
+//! let plan = scheduler.schedule_cycle(&cluster);
+//! assert_eq!(plan.bindings.len(), 1);
+//! assert_eq!(plan.bindings[0].0, pod);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod framework;
+mod plugins;
+
+pub use framework::{SchedulePlan, SchedulerFramework};
+pub use plugins::{
+    BalancedAllocation, FilterPlugin, LeastAllocated, MostAllocated, NodeFits, ScorePlugin,
+    SpreadApp,
+};

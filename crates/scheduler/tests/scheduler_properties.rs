@@ -1,0 +1,143 @@
+//! Property-based tests: a scheduling plan must always be *applicable* —
+//! no double-booking, full accounting of every pending pod, and
+//! preemptions that strictly respect priority.
+
+use evolve_scheduler::SchedulerFramework;
+use evolve_sim::{ClusterConfig, ClusterState, NodeShape, PodKind, PodPhase, PodSpec};
+use evolve_types::{AppId, JobId, PodId, ResourceVec, SimTime};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// (app, cpu request, priority, is_gang_member)
+type PodGen = (u32, f64, i32, bool);
+
+fn arb_pods() -> impl Strategy<Value = Vec<PodGen>> {
+    prop::collection::vec(
+        ((0u32..8), (100.0..8_000.0f64), (0i32..100), any::<bool>()),
+        1..40,
+    )
+}
+
+fn build_cluster(nodes: usize, pods: &[PodGen]) -> ClusterState {
+    let mut cluster = ClusterState::new(&ClusterConfig::uniform(nodes, NodeShape::default()));
+    for (i, (app, cpu, priority, gang)) in pods.iter().enumerate() {
+        let request = ResourceVec::new(*cpu, cpu * 2.0, cpu / 100.0, cpu / 50.0);
+        let kind = if *gang {
+            PodKind::HpcRank { app: AppId::new(*app), job: JobId::new(u64::from(*app)), rank: i as u32 }
+        } else {
+            PodKind::ServiceReplica { app: AppId::new(*app) }
+        };
+        cluster.create_pod(PodSpec::new(kind, request, *priority), SimTime::from_micros(i as u64));
+    }
+    cluster
+}
+
+proptest! {
+    #[test]
+    fn plan_is_always_applicable(pods in arb_pods(), nodes in 1usize..6) {
+        let mut cluster = build_cluster(nodes, &pods);
+        let plan = SchedulerFramework::kube_default().schedule_cycle(&cluster);
+        // Applying every binding in order must succeed — the shadow
+        // accounting promised the capacity exists.
+        for (pod, node) in &plan.bindings {
+            cluster.bind_pod(*pod, *node).expect("plan binding must be valid");
+        }
+        cluster.check_invariants();
+    }
+
+    #[test]
+    fn every_pending_pod_is_accounted_once(pods in arb_pods(), nodes in 1usize..6) {
+        let cluster = build_cluster(nodes, &pods);
+        let plan = SchedulerFramework::kube_default().schedule_cycle(&cluster);
+        let mut seen: HashSet<PodId> = HashSet::new();
+        for (pod, _) in &plan.bindings {
+            prop_assert!(seen.insert(*pod), "{pod} bound twice");
+        }
+        for pod in &plan.unschedulable {
+            prop_assert!(seen.insert(*pod), "{pod} double-accounted");
+        }
+        prop_assert_eq!(seen.len(), pods.len());
+    }
+
+    #[test]
+    fn preemption_plan_is_applicable_and_priority_safe(
+        bound in prop::collection::vec(((100.0..6_000.0f64), (0i32..50)), 1..10),
+        pending in prop::collection::vec(((100.0..6_000.0f64), (50i32..100)), 1..10),
+    ) {
+        let mut cluster = ClusterState::new(&ClusterConfig::uniform(2, NodeShape::default()));
+        let mut victims_possible: Vec<(PodId, i32)> = Vec::new();
+        for (i, (cpu, priority)) in bound.iter().enumerate() {
+            let pod = cluster.create_pod(
+                PodSpec::new(
+                    PodKind::ServiceReplica { app: AppId::new(100) },
+                    ResourceVec::new(*cpu, 512.0, 1.0, 1.0),
+                    *priority,
+                ),
+                SimTime::from_micros(i as u64),
+            );
+            // Bind first-fit; skip if full.
+            let target = cluster.nodes().iter().find(|n| {
+                n.can_fit(&ResourceVec::new(*cpu, 512.0, 1.0, 1.0))
+            }).map(evolve_sim::Node::id);
+            if let Some(node) = target {
+                cluster.bind_pod(pod, node).expect("fits");
+                victims_possible.push((pod, *priority));
+            } else {
+                // Leave unbound but terminal so it is not pending.
+                cluster.terminate_pod(pod, PodPhase::Failed("setup".into())).expect("terminates");
+            }
+        }
+        let mut max_pending = i32::MIN;
+        for (i, (cpu, priority)) in pending.iter().enumerate() {
+            cluster.create_pod(
+                PodSpec::new(
+                    PodKind::ServiceReplica { app: AppId::new(200) },
+                    ResourceVec::new(*cpu, 512.0, 1.0, 1.0),
+                    *priority,
+                ),
+                SimTime::from_micros(1_000 + i as u64),
+            );
+            max_pending = max_pending.max(*priority);
+        }
+        let plan = SchedulerFramework::evolve_default().schedule_cycle(&cluster);
+        // Every victim must have lower priority than the highest pending
+        // pod (preemption never evicts peers or superiors).
+        for victim in &plan.preemptions {
+            let vp = cluster.pod(*victim).expect("victim exists").spec.priority;
+            prop_assert!(vp < max_pending, "victim priority {vp} >= max pending {max_pending}");
+        }
+        // Applying the full plan must succeed: preemptions first.
+        for victim in &plan.preemptions {
+            cluster.terminate_pod(*victim, PodPhase::Failed("preempted".into())).expect("evicts");
+        }
+        for (pod, node) in &plan.bindings {
+            cluster.bind_pod(*pod, *node).expect("binding after preemption");
+        }
+        cluster.check_invariants();
+    }
+
+    #[test]
+    fn gangs_bind_fully_or_not_at_all(
+        gang_size in 1u32..8,
+        cpu in 500.0..9_000.0f64,
+        nodes in 1usize..4,
+    ) {
+        let mut cluster = ClusterState::new(&ClusterConfig::uniform(nodes, NodeShape::default()));
+        for rank in 0..gang_size {
+            cluster.create_pod(
+                PodSpec::new(
+                    PodKind::HpcRank { app: AppId::new(0), job: JobId::new(7), rank },
+                    ResourceVec::new(cpu, 1_024.0, 5.0, 10.0),
+                    50,
+                ),
+                SimTime::ZERO,
+            );
+        }
+        let plan = SchedulerFramework::kube_default().schedule_cycle(&cluster);
+        prop_assert!(
+            plan.bindings.len() == gang_size as usize || plan.bindings.is_empty(),
+            "partial gang: {} of {gang_size}",
+            plan.bindings.len()
+        );
+    }
+}

@@ -1,0 +1,442 @@
+//! Cluster state: the simulated control-plane view.
+//!
+//! `ClusterState` is the single source of truth for nodes and pods. All
+//! mutation (binding, eviction, vertical resize) validates capacity and
+//! maintains the accounting invariant `Σ pod requests ≤ allocatable` per
+//! node — exactly what a kubelet admission check enforces.
+
+use std::collections::HashMap;
+
+use evolve_types::{Error, NodeId, PodId, ResourceVec, Result, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::node::Node;
+use crate::pod::{Pod, PodPhase, PodSpec};
+
+/// Shape of one node class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeShape {
+    /// Node hardware capacity.
+    pub capacity: ResourceVec,
+}
+
+impl Default for NodeShape {
+    /// A 16-core / 64 GiB / 500 MB/s disk / 1250 MB/s (10 GbE) node.
+    fn default() -> Self {
+        NodeShape { capacity: ResourceVec::new(16_000.0, 65_536.0, 500.0, 1_250.0) }
+    }
+}
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Node shapes; one node is created per entry.
+    pub nodes: Vec<NodeShape>,
+}
+
+impl ClusterConfig {
+    /// `count` identical nodes of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count` is zero.
+    #[must_use]
+    pub fn uniform(count: usize, shape: NodeShape) -> Self {
+        assert!(count > 0, "cluster needs at least one node");
+        ClusterConfig { nodes: vec![shape; count] }
+    }
+}
+
+/// Live cluster state.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ClusterState {
+    nodes: Vec<Node>,
+    pods: HashMap<PodId, Pod>,
+    next_pod: u64,
+}
+
+impl ClusterState {
+    /// Builds the initial cluster from a configuration.
+    #[must_use]
+    pub fn new(config: &ClusterConfig) -> Self {
+        let nodes = config
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, shape)| Node::new(NodeId::new(i as u32), shape.capacity))
+            .collect();
+        ClusterState { nodes, pods: HashMap::new(), next_pod: 0 }
+    }
+
+    /// All nodes.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Looks up one node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] for ids outside the cluster.
+    pub fn node(&self, id: NodeId) -> Result<&Node> {
+        self.nodes.get(id.as_usize()).ok_or(Error::UnknownNode(id))
+    }
+
+    /// Looks up one pod.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPod`] when the pod does not exist.
+    pub fn pod(&self, id: PodId) -> Result<&Pod> {
+        self.pods.get(&id).ok_or(Error::UnknownPod(id))
+    }
+
+    /// Iterates over all pods (arbitrary order).
+    pub fn pods(&self) -> impl Iterator<Item = &Pod> {
+        self.pods.values()
+    }
+
+    /// Pods awaiting a scheduling decision, in creation order.
+    pub fn pending_pods(&self) -> impl Iterator<Item = &Pod> {
+        let mut pending: Vec<&Pod> = self.pods.values().filter(|p| p.is_pending()).collect();
+        pending.sort_by_key(|p| (p.created, p.id));
+        pending.into_iter()
+    }
+
+    /// Creates a pod in `Pending` phase and returns its id.
+    pub fn create_pod(&mut self, spec: PodSpec, now: SimTime) -> PodId {
+        let id = PodId::new(self.next_pod);
+        self.next_pod += 1;
+        self.pods.insert(id, Pod::new(id, spec, now));
+        id
+    }
+
+    /// Binds a pending pod to a node, reserving its request. The pod moves
+    /// to `Starting`; the engine flips it to `Running` after the start
+    /// latency.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pod or node is unknown, the pod is not pending, or
+    /// the node lacks capacity.
+    pub fn bind_pod(&mut self, pod_id: PodId, node_id: NodeId) -> Result<()> {
+        let pod = self.pods.get(&pod_id).ok_or(Error::UnknownPod(pod_id))?;
+        if !pod.is_pending() {
+            return Err(Error::InvalidState(format!("{pod_id} is not pending")));
+        }
+        let request = pod.spec.request;
+        let node =
+            self.nodes.get_mut(node_id.as_usize()).ok_or(Error::UnknownNode(node_id))?;
+        if !node.can_fit(&request) {
+            return Err(Error::InsufficientCapacity {
+                node: node_id,
+                detail: format!("free {} < request {}", node.free(), request),
+            });
+        }
+        node.bind(pod_id, request);
+        let pod = self.pods.get_mut(&pod_id).expect("checked above");
+        pod.node = Some(node_id);
+        pod.phase = PodPhase::Starting;
+        Ok(())
+    }
+
+    /// Marks a `Starting` pod as `Running`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pod is unknown or not starting.
+    pub fn start_pod(&mut self, pod_id: PodId, now: SimTime) -> Result<()> {
+        let pod = self.pods.get_mut(&pod_id).ok_or(Error::UnknownPod(pod_id))?;
+        if pod.phase != PodPhase::Starting {
+            return Err(Error::InvalidState(format!("{pod_id} is not starting")));
+        }
+        pod.phase = PodPhase::Running;
+        pod.started = Some(now);
+        Ok(())
+    }
+
+    /// Terminates a pod, releasing its node reservation.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pod is unknown or already terminal.
+    pub fn terminate_pod(&mut self, pod_id: PodId, phase: PodPhase) -> Result<()> {
+        assert!(phase.is_terminal(), "terminate_pod needs a terminal phase");
+        let pod = self.pods.get_mut(&pod_id).ok_or(Error::UnknownPod(pod_id))?;
+        if pod.phase.is_terminal() {
+            return Err(Error::InvalidState(format!("{pod_id} already terminal")));
+        }
+        if let Some(node_id) = pod.node.take() {
+            if pod.phase.holds_resources() {
+                self.nodes[node_id.as_usize()].unbind(pod_id, pod.spec.request);
+            }
+        }
+        pod.phase = phase;
+        Ok(())
+    }
+
+    /// Returns a terminated or pending pod to `Pending` (requeue after
+    /// preemption or node failure), assigning a fresh creation time so the
+    /// queue ordering reflects the requeue.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pod is unknown or still holds resources.
+    pub fn requeue_pod(&mut self, pod_id: PodId, now: SimTime) -> Result<()> {
+        let pod = self.pods.get_mut(&pod_id).ok_or(Error::UnknownPod(pod_id))?;
+        if pod.phase.holds_resources() {
+            return Err(Error::InvalidState(format!("{pod_id} still bound")));
+        }
+        pod.phase = PodPhase::Pending;
+        pod.node = None;
+        pod.started = None;
+        pod.created = now;
+        Ok(())
+    }
+
+    /// Vertically resizes a bound pod's request in place (the in-place pod
+    /// resize the EVOLVE controller relies on).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pod is unknown, not bound, the new request exceeds
+    /// the pod limit, or the node lacks headroom for the increase.
+    pub fn resize_pod(&mut self, pod_id: PodId, new_request: ResourceVec) -> Result<()> {
+        let pod = self.pods.get(&pod_id).ok_or(Error::UnknownPod(pod_id))?;
+        if !pod.phase.holds_resources() {
+            return Err(Error::InvalidState(format!("{pod_id} is not bound")));
+        }
+        if !new_request.is_valid() || new_request.is_zero() {
+            return Err(Error::InvalidConfig("resize request must be valid and non-zero".into()));
+        }
+        if !new_request.fits_within(&pod.spec.limit) {
+            return Err(Error::InvalidConfig(format!(
+                "resize {new_request} exceeds limit {}",
+                pod.spec.limit
+            )));
+        }
+        let node_id = pod.node.expect("bound pod has a node");
+        let old_request = pod.spec.request;
+        let node = &mut self.nodes[node_id.as_usize()];
+        let free_plus_old = node.free() + old_request;
+        if !new_request.fits_within(&free_plus_old) {
+            return Err(Error::InsufficientCapacity {
+                node: node_id,
+                detail: format!("resize to {new_request} exceeds headroom {free_plus_old}"),
+            });
+        }
+        node.adjust(old_request, new_request);
+        self.pods.get_mut(&pod_id).expect("checked above").spec.request = new_request;
+        Ok(())
+    }
+
+    /// Rewrites the request of a still-pending pod (the deployment updated
+    /// its template before the pod was scheduled).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pod is unknown, not pending, or the request is
+    /// invalid or exceeds the pod limit.
+    pub fn update_pending_request(&mut self, pod_id: PodId, new_request: ResourceVec) -> Result<()> {
+        let pod = self.pods.get_mut(&pod_id).ok_or(Error::UnknownPod(pod_id))?;
+        if !pod.is_pending() {
+            return Err(Error::InvalidState(format!("{pod_id} is not pending")));
+        }
+        if !new_request.is_valid() || new_request.is_zero() {
+            return Err(Error::InvalidConfig("request must be valid and non-zero".into()));
+        }
+        if !new_request.fits_within(&pod.spec.limit) {
+            return Err(Error::InvalidConfig(format!(
+                "request {new_request} exceeds limit {}",
+                pod.spec.limit
+            )));
+        }
+        pod.spec.request = new_request;
+        Ok(())
+    }
+
+    /// Marks a node (un)ready. Pods on a failed node are not evicted here;
+    /// the engine decides their fate.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown node ids.
+    pub fn set_node_ready(&mut self, node_id: NodeId, ready: bool) -> Result<()> {
+        let node =
+            self.nodes.get_mut(node_id.as_usize()).ok_or(Error::UnknownNode(node_id))?;
+        node.set_ready(ready);
+        Ok(())
+    }
+
+    /// Total cluster allocatable capacity (ready nodes only).
+    #[must_use]
+    pub fn total_allocatable(&self) -> ResourceVec {
+        self.nodes.iter().filter(|n| n.is_ready()).map(Node::allocatable).sum()
+    }
+
+    /// Total reserved requests across ready nodes.
+    #[must_use]
+    pub fn total_allocated(&self) -> ResourceVec {
+        self.nodes.iter().filter(|n| n.is_ready()).map(Node::allocated).sum()
+    }
+
+    /// Verifies internal accounting invariants (tests and debug builds).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a node's book-kept allocation differs from the sum of
+    /// its pods' requests, or exceeds its allocatable capacity.
+    pub fn check_invariants(&self) {
+        for node in &self.nodes {
+            let mut sum = ResourceVec::ZERO;
+            for pod_id in node.pods() {
+                let pod = &self.pods[pod_id];
+                assert!(pod.phase.holds_resources(), "{pod_id} on node but not bound");
+                sum += pod.spec.request;
+            }
+            let diff = (sum - node.allocated()).total() + (node.allocated() - sum).total();
+            assert!(diff < 1e-6, "allocation mismatch on {}: {sum} vs {}", node.id(), node.allocated());
+            assert!(
+                node.allocated().fits_within(&(node.allocatable() + ResourceVec::splat(1e-6))),
+                "node {} over-allocated",
+                node.id()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pod::PodKind;
+    use evolve_types::AppId;
+
+    fn cluster() -> ClusterState {
+        ClusterState::new(&ClusterConfig::uniform(
+            2,
+            NodeShape { capacity: ResourceVec::splat(1000.0) },
+        ))
+    }
+
+    fn spec(request: f64) -> PodSpec {
+        PodSpec::new(
+            PodKind::ServiceReplica { app: AppId::new(0) },
+            ResourceVec::splat(request),
+            0,
+        )
+    }
+
+    #[test]
+    fn create_bind_start_lifecycle() {
+        let mut c = cluster();
+        let pod = c.create_pod(spec(100.0), SimTime::ZERO);
+        assert!(c.pod(pod).unwrap().is_pending());
+        c.bind_pod(pod, NodeId::new(0)).unwrap();
+        assert_eq!(c.pod(pod).unwrap().phase, PodPhase::Starting);
+        c.start_pod(pod, SimTime::from_secs(2)).unwrap();
+        assert!(c.pod(pod).unwrap().is_running());
+        assert_eq!(c.pod(pod).unwrap().started, Some(SimTime::from_secs(2)));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn bind_rejects_overcommit() {
+        let mut c = cluster();
+        let a = c.create_pod(spec(900.0), SimTime::ZERO);
+        let b = c.create_pod(spec(100.0), SimTime::ZERO);
+        c.bind_pod(a, NodeId::new(0)).unwrap();
+        let err = c.bind_pod(b, NodeId::new(0)).unwrap_err();
+        assert!(matches!(err, Error::InsufficientCapacity { .. }));
+        c.bind_pod(b, NodeId::new(1)).unwrap();
+        c.check_invariants();
+    }
+
+    #[test]
+    fn bind_rejects_non_pending() {
+        let mut c = cluster();
+        let a = c.create_pod(spec(10.0), SimTime::ZERO);
+        c.bind_pod(a, NodeId::new(0)).unwrap();
+        assert!(c.bind_pod(a, NodeId::new(1)).is_err());
+    }
+
+    #[test]
+    fn terminate_releases_resources() {
+        let mut c = cluster();
+        let a = c.create_pod(spec(500.0), SimTime::ZERO);
+        c.bind_pod(a, NodeId::new(0)).unwrap();
+        c.terminate_pod(a, PodPhase::Succeeded).unwrap();
+        assert_eq!(c.nodes()[0].allocated(), ResourceVec::ZERO);
+        assert!(c.terminate_pod(a, PodPhase::Succeeded).is_err());
+        c.check_invariants();
+    }
+
+    #[test]
+    fn requeue_after_termination() {
+        let mut c = cluster();
+        let a = c.create_pod(spec(10.0), SimTime::ZERO);
+        c.bind_pod(a, NodeId::new(0)).unwrap();
+        c.terminate_pod(a, PodPhase::Failed("preempted".into())).unwrap();
+        c.requeue_pod(a, SimTime::from_secs(5)).unwrap();
+        let p = c.pod(a).unwrap();
+        assert!(p.is_pending());
+        assert_eq!(p.created, SimTime::from_secs(5));
+        assert_eq!(p.node, None);
+    }
+
+    #[test]
+    fn resize_within_headroom() {
+        let mut c = cluster();
+        let a = c.create_pod(spec(100.0).with_limit(ResourceVec::splat(2_000.0)), SimTime::ZERO);
+        c.bind_pod(a, NodeId::new(0)).unwrap();
+        c.resize_pod(a, ResourceVec::splat(800.0)).unwrap();
+        assert_eq!(c.nodes()[0].allocated(), ResourceVec::splat(800.0));
+        // Headroom is 950 total on the node.
+        assert!(c.resize_pod(a, ResourceVec::splat(960.0)).is_err());
+        // Shrinking always works.
+        c.resize_pod(a, ResourceVec::splat(50.0)).unwrap();
+        c.check_invariants();
+    }
+
+    #[test]
+    fn resize_respects_pod_limit() {
+        let mut c = cluster();
+        let a = c.create_pod(spec(100.0), SimTime::ZERO); // limit 400
+        c.bind_pod(a, NodeId::new(0)).unwrap();
+        assert!(c.resize_pod(a, ResourceVec::splat(401.0)).is_err());
+        assert!(c.resize_pod(a, ResourceVec::splat(400.0)).is_ok());
+    }
+
+    #[test]
+    fn resize_unbound_pod_fails() {
+        let mut c = cluster();
+        let a = c.create_pod(spec(100.0), SimTime::ZERO);
+        assert!(c.resize_pod(a, ResourceVec::splat(200.0)).is_err());
+    }
+
+    #[test]
+    fn pending_pods_in_creation_order() {
+        let mut c = cluster();
+        let a = c.create_pod(spec(1.0), SimTime::from_secs(2));
+        let b = c.create_pod(spec(1.0), SimTime::from_secs(1));
+        let order: Vec<PodId> = c.pending_pods().map(|p| p.id).collect();
+        assert_eq!(order, vec![b, a]);
+    }
+
+    #[test]
+    fn totals_skip_unready_nodes() {
+        let mut c = cluster();
+        let full = c.total_allocatable();
+        c.set_node_ready(NodeId::new(1), false).unwrap();
+        assert_eq!(c.total_allocatable(), full * 0.5);
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let mut c = cluster();
+        assert!(c.node(NodeId::new(99)).is_err());
+        assert!(c.pod(PodId::new(99)).is_err());
+        assert!(c.bind_pod(PodId::new(99), NodeId::new(0)).is_err());
+        assert!(c.set_node_ready(NodeId::new(99), true).is_err());
+    }
+}

@@ -1,0 +1,536 @@
+//! The discrete-event engine.
+//!
+//! [`Simulation`] owns the cluster, the per-application runtimes and the
+//! event heap. The resource manager (in `evolve-core`) drives it in a
+//! classic control loop:
+//!
+//! ```text
+//! loop {
+//!     sim.run_until(next_control_tick);      // world evolves
+//!     let window = sim.take_window(app);     // scrape metrics
+//!     …controller decides…
+//!     sim.set_service_target(app, replicas, alloc);  // actuate
+//!     …scheduler binds pending pods via sim.bind_pod…
+//! }
+//! ```
+//!
+//! Everything is deterministic under a fixed seed: the event heap breaks
+//! ties by sequence number and all randomness flows from one seeded
+//! ChaCha8 stream.
+
+mod batch;
+mod hpc;
+mod service;
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use evolve_types::{AppId, Error, NodeId, PodId, ResourceVec, Result, SimDuration, SimTime};
+use evolve_workload::{WorkloadMix, WorldClass};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::{ClusterConfig, ClusterState};
+use crate::observe::{AppStatus, AppWindow, ClusterSnapshot, JobOutcome};
+use crate::perf::PerfConfig;
+use crate::pod::PodPhase;
+
+pub(crate) use batch::BatchRuntime;
+pub(crate) use hpc::HpcRuntime;
+pub(crate) use service::ServiceRuntime;
+
+/// Engine tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Performance-model tunables.
+    pub perf: PerfConfig,
+    /// Container start latency (bind → running).
+    pub pod_start_delay: SimDuration,
+    /// Maximum queued requests per service while no replica runs.
+    pub service_queue_cap: usize,
+    /// Coefficient of variation of HPC iteration durations.
+    pub hpc_jitter_cv: f64,
+    /// Scheduling priority of service replicas.
+    pub service_priority: i32,
+    /// Scheduling priority of HPC ranks.
+    pub hpc_priority: i32,
+    /// Scheduling priority of batch tasks.
+    pub batch_priority: i32,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            perf: PerfConfig::default(),
+            pod_start_delay: SimDuration::from_secs(3),
+            service_queue_cap: 10_000,
+            hpc_jitter_cv: 0.05,
+            service_priority: 100,
+            hpc_priority: 50,
+            batch_priority: 10,
+        }
+    }
+}
+
+/// Who owns a pod.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Owner {
+    Service(usize),
+    Batch(usize),
+    Hpc(usize),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Event {
+    ServiceArrival { svc: usize },
+    ReplicaWake { pod: PodId, version: u64 },
+    PodStarted { pod: PodId },
+    BatchSubmit { idx: usize },
+    HpcSubmit { idx: usize },
+    HpcIterationDone { idx: usize, version: u64 },
+    NodeFail { node: NodeId },
+    NodeRecover { node: NodeId },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The discrete-event cluster simulation.
+pub struct Simulation {
+    pub(crate) config: SimulationConfig,
+    pub(crate) cluster: ClusterState,
+    pub(crate) now: SimTime,
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    pub(crate) rng: ChaCha8Rng,
+    pub(crate) services: Vec<ServiceRuntime>,
+    pub(crate) batches: Vec<BatchRuntime>,
+    pub(crate) hpcs: Vec<HpcRuntime>,
+    pub(crate) pod_owner: HashMap<PodId, Owner>,
+    statuses: Vec<AppStatus>,
+    /// Per-pod ceiling applied to every created pod (largest node
+    /// allocatable by default — a pod cannot out-grow its node).
+    pub(crate) pod_limit: ResourceVec,
+    events_processed: u64,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("services", &self.services.len())
+            .field("batches", &self.batches.len())
+            .field("hpcs", &self.hpcs.len())
+            .field("events_processed", &self.events_processed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Builds a simulation from a workload mix on a fresh cluster.
+    ///
+    /// Applications receive dense [`AppId`]s: services first, then batch
+    /// jobs, then HPC jobs, in mix order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mix is empty.
+    #[must_use]
+    pub fn new(
+        config: SimulationConfig,
+        cluster_config: ClusterConfig,
+        mix: &WorkloadMix,
+        seed: u64,
+    ) -> Self {
+        assert!(!mix.is_empty(), "workload mix must not be empty");
+        let cluster = ClusterState::new(&cluster_config);
+        let pod_limit = cluster
+            .nodes()
+            .iter()
+            .map(crate::node::Node::allocatable)
+            .fold(ResourceVec::ZERO, |acc, a| acc.max(&a));
+        let mut sim = Simulation {
+            config,
+            cluster,
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            services: Vec::new(),
+            batches: Vec::new(),
+            hpcs: Vec::new(),
+            pod_owner: HashMap::new(),
+            statuses: Vec::new(),
+            pod_limit,
+            events_processed: 0,
+        };
+        let mut next_app = 0u32;
+        for (spec, load) in mix.services() {
+            let app = AppId::new(next_app);
+            next_app += 1;
+            sim.statuses.push(AppStatus {
+                id: app,
+                name: spec.name.clone(),
+                world: WorldClass::Microservice,
+                plo: spec.plo,
+            });
+            let idx = sim.services.len();
+            sim.services.push(ServiceRuntime::new(app, spec.clone(), load));
+            // Initial replicas exist from t=0.
+            for _ in 0..spec.initial_replicas {
+                sim.create_service_pod(idx);
+            }
+            sim.schedule_next_arrival(idx);
+        }
+        for (job_idx, (spec, at)) in mix.batch_jobs().iter().enumerate() {
+            let app = AppId::new(next_app);
+            next_app += 1;
+            sim.statuses.push(AppStatus {
+                id: app,
+                name: format!("{}-{job_idx}", spec.name),
+                world: WorldClass::BigData,
+                plo: spec.plo,
+            });
+            let idx = sim.batches.len();
+            sim.batches.push(BatchRuntime::new(app, job_idx as u64, spec.clone(), *at));
+            sim.schedule(*at, Event::BatchSubmit { idx });
+        }
+        for (job_idx, (spec, at)) in mix.hpc_jobs().iter().enumerate() {
+            let app = AppId::new(next_app);
+            next_app += 1;
+            sim.statuses.push(AppStatus {
+                id: app,
+                name: format!("{}-{job_idx}", spec.name),
+                world: WorldClass::Hpc,
+                plo: spec.plo(),
+            });
+            let idx = sim.hpcs.len();
+            sim.hpcs
+                .push(HpcRuntime::new(app, 1_000 + job_idx as u64, spec.clone(), *at));
+            sim.schedule(*at, Event::HpcSubmit { idx });
+        }
+        sim
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed (engine-throughput benchmarking).
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Read access to the cluster (the scheduler's world view).
+    #[must_use]
+    pub fn cluster(&self) -> &ClusterState {
+        &self.cluster
+    }
+
+    /// Identities of all managed applications.
+    #[must_use]
+    pub fn apps(&self) -> &[AppStatus] {
+        &self.statuses
+    }
+
+    pub(crate) fn schedule(&mut self, at: SimTime, event: Event) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq: self.seq, event }));
+    }
+
+    /// Runs the world forward to `to` (inclusive of events at `to`).
+    pub fn run_until(&mut self, to: SimTime) {
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if top.at > to {
+                break;
+            }
+            let Reverse(sch) = self.heap.pop().expect("peeked");
+            self.now = sch.at.max(self.now);
+            self.events_processed += 1;
+            self.dispatch(sch.event);
+        }
+        if to > self.now {
+            self.now = to;
+        }
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::ServiceArrival { svc } => self.handle_service_arrival(svc),
+            Event::ReplicaWake { pod, version } => self.handle_wake(pod, version),
+            Event::PodStarted { pod } => self.handle_pod_started(pod),
+            Event::BatchSubmit { idx } => self.handle_batch_submit(idx),
+            Event::HpcSubmit { idx } => self.handle_hpc_submit(idx),
+            Event::HpcIterationDone { idx, version } => self.handle_hpc_iteration(idx, version),
+            Event::NodeFail { node } => self.handle_node_fail(node),
+            Event::NodeRecover { node } => {
+                let _ = self.cluster.set_node_ready(node, true);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pod lifecycle shared across worlds
+    // ------------------------------------------------------------------
+
+    /// Binds a pending pod to a node and schedules its start. This is the
+    /// actuation path for scheduler decisions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster binding failures (unknown ids, capacity).
+    pub fn bind_pod(&mut self, pod: PodId, node: NodeId) -> Result<()> {
+        self.cluster.bind_pod(pod, node)?;
+        let at = self.now + self.config.pod_start_delay;
+        self.schedule(at, Event::PodStarted { pod });
+        Ok(())
+    }
+
+    /// Preempts a bound pod (scheduler-driven). Services lose the replica
+    /// (the deployment recreates it), batch tasks are requeued with lost
+    /// progress, HPC ranks are requeued and the gang pauses.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pod is unknown or not bound.
+    pub fn preempt_pod(&mut self, pod: PodId) -> Result<()> {
+        let phase = self.cluster.pod(pod)?.phase.clone();
+        if !phase.holds_resources() {
+            return Err(Error::InvalidState(format!("{pod} is not bound")));
+        }
+        self.remove_pod(pod, "preempted");
+        Ok(())
+    }
+
+    /// Schedules a node failure (and optional recovery) — fault injection
+    /// for the resilience experiments.
+    pub fn inject_node_failure(&mut self, node: NodeId, fail_at: SimTime, recover_at: Option<SimTime>) {
+        self.schedule(fail_at.max(self.now), Event::NodeFail { node });
+        if let Some(r) = recover_at {
+            self.schedule(r.max(self.now), Event::NodeRecover { node });
+        }
+    }
+
+    fn handle_node_fail(&mut self, node: NodeId) {
+        if self.cluster.set_node_ready(node, false).is_err() {
+            return;
+        }
+        let victims: Vec<PodId> = match self.cluster.node(node) {
+            Ok(n) => n.pods().iter().copied().collect(),
+            Err(_) => return,
+        };
+        for pod in victims {
+            self.remove_pod(pod, "node failure");
+        }
+    }
+
+    /// Terminates a bound/pending pod and performs the owner-specific
+    /// recovery (replacement pod, task requeue, gang pause).
+    pub(crate) fn remove_pod(&mut self, pod: PodId, reason: &str) {
+        let Some(owner) = self.pod_owner.get(&pod).copied() else {
+            return;
+        };
+        match owner {
+            Owner::Service(idx) => self.service_pod_lost(idx, pod, reason),
+            Owner::Batch(idx) => self.batch_pod_lost(idx, pod, reason),
+            Owner::Hpc(idx) => self.hpc_pod_lost(idx, pod, reason),
+        }
+    }
+
+    fn handle_pod_started(&mut self, pod: PodId) {
+        // The pod may have been preempted/killed while starting.
+        let Ok(p) = self.cluster.pod(pod) else {
+            return;
+        };
+        if p.phase != PodPhase::Starting {
+            return;
+        }
+        self.cluster.start_pod(pod, self.now).expect("phase checked");
+        match self.pod_owner.get(&pod).copied() {
+            Some(Owner::Service(idx)) => self.service_pod_started(idx, pod),
+            Some(Owner::Batch(idx)) => self.batch_pod_started(idx, pod),
+            Some(Owner::Hpc(idx)) => self.hpc_pod_started(idx, pod),
+            None => {}
+        }
+    }
+
+    fn handle_wake(&mut self, pod: PodId, version: u64) {
+        match self.pod_owner.get(&pod).copied() {
+            Some(Owner::Service(idx)) => self.service_wake(idx, pod, version),
+            Some(Owner::Batch(idx)) => self.batch_wake(idx, pod, version),
+            _ => {}
+        }
+    }
+
+    pub(crate) fn schedule_wake(&mut self, pod: PodId, at: SimTime, version: u64) {
+        self.schedule(at.max(self.now), Event::ReplicaWake { pod, version });
+    }
+
+    pub(crate) fn schedule_next_arrival(&mut self, svc: usize) {
+        let now = self.now;
+        let next = self.services[svc].next_arrival(now, &mut self.rng);
+        if let Some(at) = next {
+            self.schedule(at, Event::ServiceArrival { svc });
+        }
+    }
+
+    fn handle_service_arrival(&mut self, svc: usize) {
+        self.service_arrival(svc);
+        self.schedule_next_arrival(svc);
+    }
+
+    fn handle_batch_submit(&mut self, idx: usize) {
+        self.batch_submit(idx);
+    }
+
+    fn handle_hpc_submit(&mut self, idx: usize) {
+        self.hpc_submit(idx);
+    }
+
+    fn handle_hpc_iteration(&mut self, idx: usize, version: u64) {
+        self.hpc_iteration_done(idx, version);
+    }
+
+    // ------------------------------------------------------------------
+    // Observation API
+    // ------------------------------------------------------------------
+
+    /// Harvests and resets the control-window statistics of an
+    /// application.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownApp`] for unregistered ids.
+    pub fn take_window(&mut self, app: AppId) -> Result<AppWindow> {
+        let now = self.now;
+        if let Some(idx) = self.services.iter().position(|s| s.app == app) {
+            return Ok(self.service_window(idx, now));
+        }
+        if let Some(idx) = self.batches.iter().position(|b| b.app == app) {
+            return Ok(self.batch_window(idx, now));
+        }
+        if let Some(idx) = self.hpcs.iter().position(|h| h.app == app) {
+            return Ok(self.hpc_window(idx, now));
+        }
+        Err(Error::UnknownApp(app))
+    }
+
+    /// Aggregate cluster state right now.
+    #[must_use]
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        let mut running = 0u32;
+        let mut pending = 0u32;
+        for p in self.cluster.pods() {
+            match p.phase {
+                PodPhase::Running => running += 1,
+                PodPhase::Pending | PodPhase::Starting => pending += 1,
+                _ => {}
+            }
+        }
+        ClusterSnapshot {
+            at: self.now,
+            allocatable: self.cluster.total_allocatable(),
+            allocated: self.cluster.total_allocated(),
+            pods_running: running,
+            pods_pending: pending,
+            nodes_ready: self.cluster.nodes().iter().filter(|n| n.is_ready()).count() as u32,
+        }
+    }
+
+    /// Outcomes of all batch and HPC jobs (finished or not).
+    #[must_use]
+    pub fn job_outcomes(&self) -> Vec<JobOutcome> {
+        let mut out = Vec::new();
+        for b in &self.batches {
+            out.push(b.outcome());
+        }
+        for h in &self.hpcs {
+            out.push(h.outcome());
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Actuation API (the controller's knobs)
+    // ------------------------------------------------------------------
+
+    /// Sets a service's desired replica count and per-replica allocation.
+    /// Running replicas are resized in place where node headroom allows;
+    /// pending replicas have their requests rewritten; the replica count
+    /// is reconciled (scale-out creates pending pods, scale-in drains the
+    /// newest replicas gracefully). Returns the number of in-place
+    /// resizes that failed for lack of node headroom.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownApp`] for ids that are not services.
+    pub fn set_service_target(
+        &mut self,
+        app: AppId,
+        replicas: u32,
+        per_replica: ResourceVec,
+    ) -> Result<u32> {
+        let idx = self
+            .services
+            .iter()
+            .position(|s| s.app == app)
+            .ok_or(Error::UnknownApp(app))?;
+        Ok(self.service_set_target(idx, replicas, per_replica))
+    }
+
+    /// Sets a batch job's per-task allocation (applied to running tasks in
+    /// place where possible and to all future tasks). Returns failed
+    /// in-place resizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownApp`] for ids that are not batch jobs.
+    pub fn set_batch_target(&mut self, app: AppId, per_task: ResourceVec) -> Result<u32> {
+        let idx = self
+            .batches
+            .iter()
+            .position(|b| b.app == app)
+            .ok_or(Error::UnknownApp(app))?;
+        Ok(self.batch_set_target(idx, per_task))
+    }
+
+    /// Sets an HPC job's per-rank allocation (in-place where possible;
+    /// affects the duration of subsequent iterations). Returns failed
+    /// resizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownApp`] for ids that are not HPC jobs.
+    pub fn set_hpc_target(&mut self, app: AppId, per_rank: ResourceVec) -> Result<u32> {
+        let idx =
+            self.hpcs.iter().position(|h| h.app == app).ok_or(Error::UnknownApp(app))?;
+        Ok(self.hpc_set_target(idx, per_rank))
+    }
+
+    /// The per-pod resource ceiling in force (largest node allocatable).
+    #[must_use]
+    pub fn pod_limit(&self) -> ResourceVec {
+        self.pod_limit
+    }
+}

@@ -1,0 +1,429 @@
+//! Service (cloud microservice) execution: open-loop arrivals, replica
+//! dispatching, deployment-style replica reconciliation and graceful
+//! scale-in.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use evolve_types::{AppId, PodId, Resource, ResourceVec, SimTime};
+use evolve_workload::{LoadSpec, PoissonArrivals, ServiceSpec};
+use rand_chacha::ChaCha8Rng;
+
+use crate::observe::{AppWindow, WindowAccumulator};
+use crate::perf::{DrainOutcome, ReplicaServer};
+use crate::pod::{PodKind, PodPhase, PodSpec};
+
+use super::{Owner, Simulation};
+
+/// A request waiting because no replica is running.
+#[derive(Debug, Clone, Copy)]
+struct QueuedRequest {
+    id: u64,
+    arrived: SimTime,
+    deadline: SimTime,
+    demand: ResourceVec,
+}
+
+/// Runtime state of one managed service.
+pub(crate) struct ServiceRuntime {
+    pub(crate) app: AppId,
+    pub(crate) spec: ServiceSpec,
+    arrivals: PoissonArrivals,
+    pub(crate) desired_replicas: u32,
+    pub(crate) desired_alloc: ResourceVec,
+    /// All non-terminal pods owned by the deployment.
+    pub(crate) pods: Vec<PodId>,
+    /// Replicas being drained for scale-in.
+    draining: HashSet<PodId>,
+    /// Execution state per *running* replica.
+    pub(crate) servers: HashMap<PodId, ReplicaServer>,
+    wake_version: HashMap<PodId, u64>,
+    queue: VecDeque<QueuedRequest>,
+    pub(crate) acc: WindowAccumulator,
+    next_req: u64,
+}
+
+impl ServiceRuntime {
+    pub(crate) fn new(app: AppId, spec: ServiceSpec, load: &LoadSpec) -> Self {
+        let desired_alloc = spec.initial_alloc;
+        let desired_replicas = spec.initial_replicas;
+        ServiceRuntime {
+            app,
+            spec,
+            arrivals: PoissonArrivals::new(load.build()),
+            desired_replicas,
+            desired_alloc,
+            pods: Vec::new(),
+            draining: HashSet::new(),
+            servers: HashMap::new(),
+            wake_version: HashMap::new(),
+            queue: VecDeque::new(),
+            acc: WindowAccumulator::default(),
+            next_req: 0,
+        }
+    }
+
+    pub(crate) fn next_arrival(&mut self, now: SimTime, rng: &mut ChaCha8Rng) -> Option<SimTime> {
+        self.arrivals.next_after(now, rng)
+    }
+
+    fn bump_version(&mut self, pod: PodId) -> u64 {
+        let v = self.wake_version.entry(pod).or_insert(0);
+        *v += 1;
+        *v
+    }
+}
+
+impl Simulation {
+    /// Creates one pending replica pod for a service.
+    pub(crate) fn create_service_pod(&mut self, idx: usize) {
+        let (app, request, priority, limit) = {
+            let rt = &self.services[idx];
+            (
+                rt.app,
+                rt.desired_alloc.min(&self.pod_limit),
+                self.config.service_priority,
+                self.pod_limit,
+            )
+        };
+        let spec =
+            PodSpec::new(PodKind::ServiceReplica { app }, request, priority).with_limit(limit);
+        let pod = self.cluster.create_pod(spec, self.now);
+        self.services[idx].pods.push(pod);
+        self.pod_owner.insert(pod, Owner::Service(idx));
+    }
+
+    /// One request arrives for service `idx`.
+    pub(crate) fn service_arrival(&mut self, idx: usize) {
+        let now = self.now;
+        let (id, demand, deadline) = {
+            let rt = &mut self.services[idx];
+            rt.acc.arrivals += 1;
+            let demand = rt.spec.request_class.sample_demand(&mut self.rng);
+            let id = rt.next_req;
+            rt.next_req += 1;
+            (id, demand, now + rt.spec.request_class.timeout())
+        };
+        // Pick the running, non-draining, non-dead replica with the fewest
+        // in-flight requests.
+        let target = {
+            let rt = &self.services[idx];
+            rt.servers
+                .iter()
+                .filter(|(pod, s)| !s.is_dead() && !rt.draining.contains(pod))
+                .min_by_key(|(pod, s)| (s.inflight_len(), pod.raw()))
+                .map(|(pod, _)| *pod)
+        };
+        match target {
+            Some(pod) => {
+                let outcome = {
+                    let rt = &mut self.services[idx];
+                    let server = rt.servers.get_mut(&pod).expect("target exists");
+                    server.admit(id, now, deadline, demand)
+                };
+                if let Some(out) = outcome {
+                    self.service_process_outcome(idx, pod, out);
+                }
+                self.service_reschedule_wake(idx, pod);
+            }
+            None => {
+                let cap = self.config.service_queue_cap;
+                let rt = &mut self.services[idx];
+                if rt.queue.len() >= cap {
+                    rt.acc.timeouts += 1; // dropped at the front door
+                } else {
+                    rt.queue.push_back(QueuedRequest {
+                        id,
+                        arrived: now,
+                        deadline,
+                        demand,
+                    });
+                }
+            }
+        }
+    }
+
+    /// A replica finished starting: create its execution state and drain
+    /// the waiting queue into it.
+    pub(crate) fn service_pod_started(&mut self, idx: usize, pod: PodId) {
+        let now = self.now;
+        if self.services[idx].draining.contains(&pod) {
+            // Scaled in while still starting: retire immediately.
+            self.service_retire_pod(idx, pod, PodPhase::Succeeded);
+            return;
+        }
+        let (alloc, base_memory) = {
+            let request = self.cluster.pod(pod).expect("started pod exists").spec.request;
+            (request, self.services[idx].spec.base_memory)
+        };
+        let mut server = ReplicaServer::new(alloc, base_memory, self.config.perf, now);
+        // Drain the front-door queue.
+        let mut oom = false;
+        {
+            let rt = &mut self.services[idx];
+            while let Some(q) = rt.queue.pop_front() {
+                if q.deadline <= now {
+                    rt.acc.timeouts += 1;
+                    continue;
+                }
+                if let Some(out) = server.admit_arrived(q.id, now, q.arrived, q.deadline, q.demand)
+                {
+                    for c in &out.completed {
+                        rt.acc.record_completion(c.latency);
+                    }
+                    rt.acc.timeouts += out.timed_out.len() as u64;
+                    if out.oom_killed {
+                        oom = true;
+                        break;
+                    }
+                }
+            }
+            rt.servers.insert(pod, server);
+        }
+        if oom {
+            self.service_oom(idx, pod);
+            return;
+        }
+        self.service_reschedule_wake(idx, pod);
+    }
+
+    /// Timer fired for a replica: advance it and process what happened.
+    pub(crate) fn service_wake(&mut self, idx: usize, pod: PodId, version: u64) {
+        let now = self.now;
+        let outcome = {
+            let rt = &mut self.services[idx];
+            if rt.wake_version.get(&pod) != Some(&version) {
+                return; // stale timer
+            }
+            let Some(server) = rt.servers.get_mut(&pod) else {
+                return;
+            };
+            server.advance(now)
+        };
+        self.service_process_outcome(idx, pod, outcome);
+        // Graceful scale-in: retire once drained.
+        let empty_and_draining = {
+            let rt = &self.services[idx];
+            rt.draining.contains(&pod)
+                && rt.servers.get(&pod).is_some_and(|s| s.inflight_len() == 0)
+        };
+        if empty_and_draining {
+            self.service_retire_pod(idx, pod, PodPhase::Succeeded);
+        } else {
+            self.service_reschedule_wake(idx, pod);
+        }
+    }
+
+    fn service_process_outcome(&mut self, idx: usize, pod: PodId, outcome: DrainOutcome) {
+        {
+            let rt = &mut self.services[idx];
+            for c in &outcome.completed {
+                rt.acc.record_completion(c.latency);
+            }
+            rt.acc.timeouts += outcome.timed_out.len() as u64;
+        }
+        if outcome.oom_killed {
+            self.service_oom(idx, pod);
+        }
+    }
+
+    fn service_oom(&mut self, idx: usize, pod: PodId) {
+        self.services[idx].acc.oom_kills += 1;
+        self.service_retire_pod(idx, pod, PodPhase::Failed("oom killed".into()));
+        self.reconcile_service(idx);
+    }
+
+    /// Removes a replica pod from all runtime maps and terminates it.
+    fn service_retire_pod(&mut self, idx: usize, pod: PodId, phase: PodPhase) {
+        {
+            let rt = &mut self.services[idx];
+            if let Some(mut server) = rt.servers.remove(&pod) {
+                // Preserve the work it performed this window.
+                let mut used = server.take_consumed();
+                used[Resource::Memory] = 0.0;
+                rt.acc.consumed += used;
+            }
+            rt.wake_version.remove(&pod);
+            rt.draining.remove(&pod);
+            rt.pods.retain(|p| *p != pod);
+        }
+        self.pod_owner.remove(&pod);
+        let _ = self.cluster.terminate_pod(pod, phase);
+    }
+
+    /// External loss (preemption, node failure).
+    pub(crate) fn service_pod_lost(&mut self, idx: usize, pod: PodId, reason: &str) {
+        // In-flight requests die with the replica.
+        let lost = {
+            let rt = &mut self.services[idx];
+            rt.servers.get_mut(&pod).map_or(0, |s| s.kill().timed_out.len())
+        };
+        self.services[idx].acc.timeouts += lost as u64;
+        self.service_retire_pod(idx, pod, PodPhase::Failed(reason.into()));
+        self.reconcile_service(idx);
+    }
+
+    fn service_reschedule_wake(&mut self, idx: usize, pod: PodId) {
+        let (next, version) = {
+            let rt = &mut self.services[idx];
+            let Some(server) = rt.servers.get(&pod) else {
+                return;
+            };
+            let next = server.next_event();
+            let version = rt.bump_version(pod);
+            (next, version)
+        };
+        if let Some(at) = next {
+            self.schedule_wake(pod, at, version);
+        }
+    }
+
+    /// Reconciles the replica count against the desired state, exactly
+    /// like a Deployment controller: create pending pods on scale-out,
+    /// cancel pending pods and drain the newest running replicas on
+    /// scale-in.
+    pub(crate) fn reconcile_service(&mut self, idx: usize) {
+        let desired = self.services[idx].desired_replicas.max(1) as usize;
+        loop {
+            let active: Vec<PodId> = {
+                let rt = &self.services[idx];
+                rt.pods.iter().copied().filter(|p| !rt.draining.contains(p)).collect()
+            };
+            if active.len() < desired {
+                // Prefer reviving a draining replica over a cold start.
+                let revived = {
+                    let rt = &mut self.services[idx];
+                    let candidate = rt.draining.iter().copied().next();
+                    if let Some(p) = candidate {
+                        rt.draining.remove(&p);
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if !revived {
+                    self.create_service_pod(idx);
+                }
+            } else if active.len() > desired {
+                // Cancel pending pods first (free), then drain the newest.
+                let pending = active
+                    .iter()
+                    .copied()
+                    .rev()
+                    .find(|p| self.cluster.pod(*p).is_ok_and(|x| x.is_pending()));
+                if let Some(p) = pending {
+                    self.service_retire_pod(idx, p, PodPhase::Succeeded);
+                } else if let Some(p) = active.last().copied() {
+                    self.services[idx].draining.insert(p);
+                    // An idle replica can retire immediately.
+                    let idle = self.services[idx]
+                        .servers
+                        .get(&p)
+                        .is_some_and(|s| s.inflight_len() == 0);
+                    if idle {
+                        self.service_retire_pod(idx, p, PodPhase::Succeeded);
+                    }
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Applies a controller decision; returns failed in-place resizes.
+    pub(crate) fn service_set_target(
+        &mut self,
+        idx: usize,
+        replicas: u32,
+        per_replica: ResourceVec,
+    ) -> u32 {
+        let now = self.now;
+        let target = per_replica.min(&self.pod_limit).sanitized();
+        self.services[idx].desired_alloc = target;
+        self.services[idx].desired_replicas = replicas.max(1);
+        let mut failures = 0u32;
+        // Resize running replicas in place.
+        let running: Vec<PodId> = self.services[idx].servers.keys().copied().collect();
+        for pod in running {
+            match self.cluster.resize_pod(pod, target) {
+                Ok(()) => {
+                    let outcome = {
+                        let rt = &mut self.services[idx];
+                        let server = rt.servers.get_mut(&pod).expect("running");
+                        let out = server.advance(now);
+                        server.set_alloc(target);
+                        out
+                    };
+                    self.service_process_outcome(idx, pod, outcome);
+                    self.service_reschedule_wake(idx, pod);
+                }
+                Err(_) => failures += 1,
+            }
+        }
+        // Rewrite pending pods' requests.
+        let pending: Vec<PodId> = self.services[idx]
+            .pods
+            .iter()
+            .copied()
+            .filter(|p| self.cluster.pod(*p).is_ok_and(|x| x.is_pending()))
+            .collect();
+        for pod in pending {
+            let _ = self.cluster.update_pending_request(pod, target);
+        }
+        self.reconcile_service(idx);
+        failures
+    }
+
+    /// Harvests the service's control window.
+    pub(crate) fn service_window(&mut self, idx: usize, now: SimTime) -> AppWindow {
+        // Expire queued requests first.
+        {
+            let rt = &mut self.services[idx];
+            let before = rt.queue.len();
+            rt.queue.retain(|q| q.deadline > now);
+            rt.acc.timeouts += (before - rt.queue.len()) as u64;
+        }
+        // Gather usage from live replicas.
+        let mut mem_total = 0.0;
+        {
+            let rt = &mut self.services[idx];
+            let pods: Vec<PodId> = rt.servers.keys().copied().collect();
+            for pod in pods {
+                let server = rt.servers.get_mut(&pod).expect("listed");
+                let mut used = server.take_consumed();
+                mem_total += used[Resource::Memory];
+                used[Resource::Memory] = 0.0;
+                rt.acc.consumed += used;
+            }
+        }
+        let mut window = self.services[idx].acc.harvest(now, mem_total);
+        // Fill allocation/replica facts.
+        let rt = &self.services[idx];
+        let mut alloc = ResourceVec::ZERO;
+        for pod in rt.servers.keys() {
+            if let Ok(p) = self.cluster.pod(*pod) {
+                alloc += p.spec.request;
+            }
+        }
+        let running = rt.servers.len() as u32;
+        let pending = rt
+            .pods
+            .iter()
+            .filter(|p| {
+                self.cluster
+                    .pod(**p)
+                    .is_ok_and(|x| matches!(x.phase, PodPhase::Pending | PodPhase::Starting))
+            })
+            .count() as u32;
+        window.alloc = alloc;
+        window.running_replicas = running;
+        window.pending_replicas = pending;
+        window.alloc_per_replica = if running > 0 {
+            alloc * (1.0 / f64::from(running))
+        } else {
+            rt.desired_alloc
+        };
+        window
+    }
+}

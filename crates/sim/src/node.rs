@@ -1,0 +1,163 @@
+//! Cluster nodes.
+
+use std::collections::BTreeSet;
+
+use evolve_types::{NodeId, PodId, ResourceVec};
+use serde::{Deserialize, Serialize};
+
+/// A worker node with multi-resource capacity and request accounting.
+///
+/// Invariant: the sum of bound pod requests never exceeds
+/// [`Node::allocatable`]; all mutation goes through
+/// [`crate::ClusterState`], which maintains the invariant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    id: NodeId,
+    capacity: ResourceVec,
+    allocatable: ResourceVec,
+    allocated: ResourceVec,
+    pods: BTreeSet<PodId>,
+    ready: bool,
+}
+
+impl Node {
+    /// Creates a ready node. `allocatable` is capacity minus a 5% system
+    /// reserve, mirroring kubelet's reserved resources.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is invalid or zero.
+    #[must_use]
+    pub fn new(id: NodeId, capacity: ResourceVec) -> Self {
+        assert!(capacity.is_valid() && !capacity.is_zero(), "capacity must be valid, non-zero");
+        Node {
+            id,
+            capacity,
+            allocatable: capacity * 0.95,
+            allocated: ResourceVec::ZERO,
+            pods: BTreeSet::new(),
+            ready: true,
+        }
+    }
+
+    /// The node id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Raw hardware capacity.
+    #[must_use]
+    pub fn capacity(&self) -> ResourceVec {
+        self.capacity
+    }
+
+    /// Capacity available to pods (after the system reserve).
+    #[must_use]
+    pub fn allocatable(&self) -> ResourceVec {
+        self.allocatable
+    }
+
+    /// Sum of bound pod requests.
+    #[must_use]
+    pub fn allocated(&self) -> ResourceVec {
+        self.allocated
+    }
+
+    /// Unreserved headroom.
+    #[must_use]
+    pub fn free(&self) -> ResourceVec {
+        self.allocatable - self.allocated
+    }
+
+    /// `true` when `request` fits in the free headroom of a ready node.
+    #[must_use]
+    pub fn can_fit(&self, request: &ResourceVec) -> bool {
+        self.ready && request.fits_within(&self.free())
+    }
+
+    /// Pods currently bound here.
+    #[must_use]
+    pub fn pods(&self) -> &BTreeSet<PodId> {
+        &self.pods
+    }
+
+    /// Whether the node accepts placements (false after a failure).
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        self.ready
+    }
+
+    pub(crate) fn set_ready(&mut self, ready: bool) {
+        self.ready = ready;
+    }
+
+    pub(crate) fn bind(&mut self, pod: PodId, request: ResourceVec) {
+        debug_assert!(self.can_fit(&request), "bind without capacity check");
+        self.allocated += request;
+        self.pods.insert(pod);
+    }
+
+    pub(crate) fn unbind(&mut self, pod: PodId, request: ResourceVec) {
+        debug_assert!(self.pods.contains(&pod), "unbinding foreign pod");
+        self.allocated -= request;
+        self.pods.remove(&pod);
+    }
+
+    pub(crate) fn adjust(&mut self, old_request: ResourceVec, new_request: ResourceVec) {
+        self.allocated = (self.allocated - old_request) + new_request;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> Node {
+        Node::new(NodeId::new(0), ResourceVec::splat(1000.0))
+    }
+
+    #[test]
+    fn allocatable_reserves_five_percent() {
+        let n = node();
+        assert_eq!(n.allocatable(), ResourceVec::splat(950.0));
+        assert_eq!(n.free(), ResourceVec::splat(950.0));
+    }
+
+    #[test]
+    fn bind_and_unbind_account() {
+        let mut n = node();
+        n.bind(PodId::new(1), ResourceVec::splat(400.0));
+        assert_eq!(n.free(), ResourceVec::splat(550.0));
+        assert!(n.pods().contains(&PodId::new(1)));
+        n.unbind(PodId::new(1), ResourceVec::splat(400.0));
+        assert_eq!(n.free(), ResourceVec::splat(950.0));
+        assert!(n.pods().is_empty());
+    }
+
+    #[test]
+    fn can_fit_respects_free_space() {
+        let mut n = node();
+        assert!(n.can_fit(&ResourceVec::splat(950.0)));
+        assert!(!n.can_fit(&ResourceVec::splat(951.0)));
+        n.bind(PodId::new(1), ResourceVec::splat(900.0));
+        assert!(n.can_fit(&ResourceVec::splat(50.0)));
+        assert!(!n.can_fit(&ResourceVec::splat(51.0)));
+    }
+
+    #[test]
+    fn not_ready_node_rejects_fit() {
+        let mut n = node();
+        n.set_ready(false);
+        assert!(!n.can_fit(&ResourceVec::splat(1.0)));
+        assert!(!n.is_ready());
+    }
+
+    #[test]
+    fn adjust_moves_allocation() {
+        let mut n = node();
+        n.bind(PodId::new(1), ResourceVec::splat(100.0));
+        n.adjust(ResourceVec::splat(100.0), ResourceVec::splat(250.0));
+        assert_eq!(n.allocated(), ResourceVec::splat(250.0));
+    }
+}

@@ -1,0 +1,326 @@
+//! Observation types: what the resource manager sees each control window.
+//!
+//! The engine accumulates per-application statistics between harvests;
+//! [`AppWindow`] is the scrape the controller consumes — completions,
+//! tail latency, measured usage, current allocation. [`ClusterSnapshot`]
+//! and [`JobOutcome`] feed the experiment reports.
+
+use evolve_types::{AppId, JobId, ResourceVec, SimDuration, SimTime};
+use evolve_workload::{PloSpec, WorldClass};
+use serde::{Deserialize, Serialize};
+
+/// Static identity of a managed application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppStatus {
+    /// The application id.
+    pub id: AppId,
+    /// Human-readable name from the workload spec.
+    pub name: String,
+    /// Which world the app belongs to.
+    pub world: WorldClass,
+    /// The app's performance objective.
+    pub plo: PloSpec,
+}
+
+/// Which execution model an application uses (mirrors
+/// [`WorldClass`] but carries engine-specific detail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppKind {
+    /// Open-loop request service.
+    Service,
+    /// Staged batch job.
+    Batch,
+    /// Gang-scheduled HPC job.
+    Hpc,
+}
+
+/// One control window's measurements for an application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppWindow {
+    /// Harvest time (end of window).
+    pub at: SimTime,
+    /// Window length.
+    pub duration: SimDuration,
+    /// Requests that arrived in the window (services).
+    pub arrivals: u64,
+    /// Requests completed in the window.
+    pub completions: u64,
+    /// Requests dropped on timeout in the window.
+    pub timeouts: u64,
+    /// OOM kills in the window.
+    pub oom_kills: u64,
+    /// 99th-percentile latency (ms) of completions; `None` when none
+    /// completed.
+    pub p99_ms: Option<f64>,
+    /// Mean latency (ms) of completions.
+    pub mean_ms: Option<f64>,
+    /// Completions per second over the window.
+    pub throughput_rps: f64,
+    /// Measured usage: mean consumption rates over the window (CPU
+    /// mcores, disk/net MB/s) with the *current* memory footprint (MiB),
+    /// summed across replicas.
+    pub usage: ResourceVec,
+    /// Current total allocation (sum of running pod requests).
+    pub alloc: ResourceVec,
+    /// Current per-replica allocation (alloc / running replicas).
+    pub alloc_per_replica: ResourceVec,
+    /// Replicas currently running.
+    pub running_replicas: u32,
+    /// Replicas pending or starting.
+    pub pending_replicas: u32,
+    /// Work fraction complete (jobs only).
+    pub progress: Option<f64>,
+    /// Projected total makespan in seconds, from progress so far (jobs
+    /// only; `None` until progress is measurable).
+    pub projected_makespan_s: Option<f64>,
+}
+
+impl AppWindow {
+    /// Per-replica usage (usage / running replicas; zero when none run).
+    #[must_use]
+    pub fn usage_per_replica(&self) -> ResourceVec {
+        if self.running_replicas == 0 {
+            ResourceVec::ZERO
+        } else {
+            self.usage * (1.0 / f64::from(self.running_replicas))
+        }
+    }
+
+    /// The measured value to compare against the given PLO: p99/mean
+    /// latency in ms, throughput in rps, or projected makespan in
+    /// seconds. `None` when the window provides no signal (e.g. no
+    /// completions for a latency PLO with no arrivals either).
+    #[must_use]
+    pub fn measured_for(&self, plo: &PloSpec) -> Option<f64> {
+        match plo {
+            PloSpec::LatencyP99 { .. } => match self.p99_ms {
+                Some(v) if self.timeouts == 0 => Some(v),
+                // Timeouts poison the window: report a value beyond any
+                // completion (the dropped requests were the slowest).
+                Some(v) => Some(v.max(1e6)),
+                None if self.arrivals > 0 || self.timeouts > 0 => Some(f64::INFINITY),
+                None => None,
+            },
+            PloSpec::LatencyMean { .. } => match self.mean_ms {
+                Some(v) if self.timeouts == 0 => Some(v),
+                Some(v) => Some(v.max(1e6)),
+                None if self.arrivals > 0 || self.timeouts > 0 => Some(f64::INFINITY),
+                None => None,
+            },
+            PloSpec::Throughput { .. } => Some(self.throughput_rps),
+            PloSpec::Deadline { .. } => self.projected_makespan_s,
+        }
+    }
+}
+
+/// Aggregate cluster state at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSnapshot {
+    /// Snapshot time.
+    pub at: SimTime,
+    /// Total allocatable capacity (ready nodes).
+    pub allocatable: ResourceVec,
+    /// Total reserved requests.
+    pub allocated: ResourceVec,
+    /// Pods currently running.
+    pub pods_running: u32,
+    /// Pods pending or starting.
+    pub pods_pending: u32,
+    /// Ready nodes.
+    pub nodes_ready: u32,
+}
+
+/// Final outcome of one batch or HPC job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// The job instance.
+    pub job: JobId,
+    /// The owning application.
+    pub app: AppId,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Completion time, `None` when unfinished at the horizon.
+    pub finished: Option<SimTime>,
+    /// The job's deadline (absolute).
+    pub deadline: SimTime,
+}
+
+impl JobOutcome {
+    /// `true` when the job finished before its deadline.
+    #[must_use]
+    pub fn met_deadline(&self) -> bool {
+        self.finished.is_some_and(|f| f <= self.deadline)
+    }
+
+    /// Makespan in seconds, when finished.
+    #[must_use]
+    pub fn makespan_s(&self) -> Option<f64> {
+        self.finished.map(|f| f.saturating_since(self.submitted).as_secs_f64())
+    }
+}
+
+/// Internal per-window accumulator (crate-private mechanics, public type
+/// for the engine modules).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub(crate) struct WindowAccumulator {
+    pub arrivals: u64,
+    pub completions: u64,
+    pub timeouts: u64,
+    pub oom_kills: u64,
+    pub latencies_ms: Vec<f64>,
+    pub consumed: ResourceVec,
+    pub window_start: SimTime,
+}
+
+impl WindowAccumulator {
+    pub fn record_completion(&mut self, latency: SimDuration) {
+        self.completions += 1;
+        self.latencies_ms.push(latency.as_millis_f64());
+    }
+
+    /// Drains the accumulator into an [`AppWindow`] skeleton (caller fills
+    /// allocation/replica fields).
+    pub fn harvest(&mut self, now: SimTime, current_memory: f64) -> AppWindow {
+        let duration = now.saturating_since(self.window_start);
+        let secs = duration.as_secs_f64().max(1e-9);
+        let mut lat = std::mem::take(&mut self.latencies_ms);
+        lat.sort_by(f64::total_cmp);
+        let p99 = percentile(&lat, 0.99);
+        let mean = if lat.is_empty() {
+            None
+        } else {
+            Some(lat.iter().sum::<f64>() / lat.len() as f64)
+        };
+        let mut usage = self.consumed * (1.0 / secs);
+        usage[evolve_types::Resource::Memory] = current_memory;
+        let out = AppWindow {
+            at: now,
+            duration,
+            arrivals: self.arrivals,
+            completions: self.completions,
+            timeouts: self.timeouts,
+            oom_kills: self.oom_kills,
+            p99_ms: p99,
+            mean_ms: mean,
+            throughput_rps: self.completions as f64 / secs,
+            usage,
+            alloc: ResourceVec::ZERO,
+            alloc_per_replica: ResourceVec::ZERO,
+            running_replicas: 0,
+            pending_replicas: 0,
+            progress: None,
+            projected_makespan_s: None,
+        };
+        *self = WindowAccumulator { window_start: now, ..WindowAccumulator::default() };
+        out
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    Some(sorted[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_harvest_computes_stats() {
+        let mut acc = WindowAccumulator { window_start: SimTime::ZERO, ..Default::default() };
+        acc.arrivals = 5;
+        for ms in [10u64, 20, 30, 40] {
+            acc.record_completion(SimDuration::from_millis(ms));
+        }
+        acc.consumed = ResourceVec::new(1_000.0, 0.0, 50.0, 20.0);
+        let w = acc.harvest(SimTime::from_secs(10), 256.0);
+        assert_eq!(w.completions, 4);
+        assert_eq!(w.arrivals, 5);
+        assert_eq!(w.mean_ms, Some(25.0));
+        assert_eq!(w.p99_ms, Some(40.0));
+        assert!((w.throughput_rps - 0.4).abs() < 1e-9);
+        assert!((w.usage.cpu() - 100.0).abs() < 1e-9);
+        assert_eq!(w.usage.memory(), 256.0);
+        // Accumulator reset.
+        assert_eq!(acc.completions, 0);
+        assert_eq!(acc.window_start, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn measured_for_latency_plos() {
+        let mut w = AppWindow {
+            at: SimTime::ZERO,
+            duration: SimDuration::from_secs(1),
+            arrivals: 10,
+            completions: 10,
+            timeouts: 0,
+            oom_kills: 0,
+            p99_ms: Some(80.0),
+            mean_ms: Some(40.0),
+            throughput_rps: 10.0,
+            usage: ResourceVec::ZERO,
+            alloc: ResourceVec::ZERO,
+            alloc_per_replica: ResourceVec::ZERO,
+            running_replicas: 2,
+            pending_replicas: 0,
+            progress: None,
+            projected_makespan_s: None,
+        };
+        let p99 = PloSpec::LatencyP99 { target_ms: 100.0 };
+        assert_eq!(w.measured_for(&p99), Some(80.0));
+        assert_eq!(w.measured_for(&PloSpec::LatencyMean { target_ms: 50.0 }), Some(40.0));
+        assert_eq!(w.measured_for(&PloSpec::Throughput { target_rps: 5.0 }), Some(10.0));
+        // Timeouts poison the window.
+        w.timeouts = 1;
+        assert!(w.measured_for(&p99).unwrap() >= 1e6);
+        // No completions but arrivals → infinite latency.
+        w.p99_ms = None;
+        w.timeouts = 0;
+        assert_eq!(w.measured_for(&p99), Some(f64::INFINITY));
+        // Truly idle window → no signal.
+        w.arrivals = 0;
+        assert_eq!(w.measured_for(&p99), None);
+    }
+
+    #[test]
+    fn usage_per_replica_divides() {
+        let w = AppWindow {
+            at: SimTime::ZERO,
+            duration: SimDuration::from_secs(1),
+            arrivals: 0,
+            completions: 0,
+            timeouts: 0,
+            oom_kills: 0,
+            p99_ms: None,
+            mean_ms: None,
+            throughput_rps: 0.0,
+            usage: ResourceVec::splat(100.0),
+            alloc: ResourceVec::ZERO,
+            alloc_per_replica: ResourceVec::ZERO,
+            running_replicas: 4,
+            pending_replicas: 0,
+            progress: None,
+            projected_makespan_s: None,
+        };
+        assert_eq!(w.usage_per_replica(), ResourceVec::splat(25.0));
+    }
+
+    #[test]
+    fn job_outcome_deadline() {
+        let o = JobOutcome {
+            job: JobId::new(1),
+            app: AppId::new(1),
+            submitted: SimTime::from_secs(10),
+            finished: Some(SimTime::from_secs(100)),
+            deadline: SimTime::from_secs(120),
+        };
+        assert!(o.met_deadline());
+        assert_eq!(o.makespan_s(), Some(90.0));
+        let unfinished = JobOutcome { finished: None, ..o };
+        assert!(!unfinished.met_deadline());
+        assert_eq!(unfinished.makespan_s(), None);
+    }
+}

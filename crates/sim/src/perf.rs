@@ -1,0 +1,569 @@
+//! The multi-resource processor-sharing performance model.
+//!
+//! Each running pod hosts a [`ReplicaServer`]: its in-flight requests
+//! share the pod's allocated resources equally (processor sharing, the
+//! standard model for a threaded server). A request carries *drainable*
+//! demand on CPU, disk I/O and network I/O — it completes when its slowest
+//! component drains — plus a *working set* that occupies memory while the
+//! request is in flight.
+//!
+//! Memory is space, not rate: when the working set exceeds the memory
+//! allocation the replica thrashes (CPU drains slower by a configurable
+//! factor), and past the OOM threshold the replica is killed. This is the
+//! mechanism that makes CPU-only autoscaling fail on memory-bound
+//! services (ablation T5) and what the multi-resource controller fixes.
+//!
+//! All latencies therefore emerge from first principles: queueing (more
+//! in-flight → smaller share), multi-resource bottlenecks (whichever
+//! dimension is scarcest dominates) and memory pressure.
+
+use evolve_types::{Resource, ResourceVec, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the performance model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfConfig {
+    /// CPU slowdown per unit of relative memory overcommit: the effective
+    /// CPU rate is divided by `1 + thrash_coeff × max(0, ws/alloc − 1)`.
+    pub thrash_coeff: f64,
+    /// The replica is OOM-killed when `ws > oom_threshold × alloc`.
+    pub oom_threshold: f64,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        PerfConfig { thrash_coeff: 4.0, oom_threshold: 1.5 }
+    }
+}
+
+/// One request being executed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct InFlight {
+    id: u64,
+    arrived: SimTime,
+    deadline: SimTime,
+    /// Remaining drainable work (cpu mcore·s, disk MB, net MB); the
+    /// memory component is unused here.
+    remaining: ResourceVec,
+    working_set: f64,
+}
+
+/// A completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Completion {
+    /// Request id.
+    pub id: u64,
+    /// Time in the system (arrival → completion).
+    pub latency: SimDuration,
+}
+
+/// Result of advancing a replica to a point in time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DrainOutcome {
+    /// Requests that finished, with their latencies.
+    pub completed: Vec<Completion>,
+    /// Requests that hit their deadline and were dropped.
+    pub timed_out: Vec<u64>,
+    /// The replica exceeded the OOM threshold and must be killed. All
+    /// remaining in-flight requests are reported in `timed_out`.
+    pub oom_killed: bool,
+}
+
+impl DrainOutcome {
+    fn merge(&mut self, mut other: DrainOutcome) {
+        self.completed.append(&mut other.completed);
+        self.timed_out.append(&mut other.timed_out);
+        self.oom_killed |= other.oom_killed;
+    }
+}
+
+/// The execution state of one running pod.
+///
+/// # Examples
+///
+/// ```
+/// use evolve_sim::{PerfConfig, ReplicaServer};
+/// use evolve_types::{ResourceVec, SimDuration, SimTime};
+///
+/// // 1 core, 1 GiB, 100 MB/s disk and net.
+/// let alloc = ResourceVec::new(1_000.0, 1_024.0, 100.0, 100.0);
+/// let mut r = ReplicaServer::new(alloc, 64.0, PerfConfig::default(), SimTime::ZERO);
+/// // One request: 500 mcore·s of compute → 0.5 s alone on this pod.
+/// r.admit(1, SimTime::ZERO, SimTime::from_secs(10),
+///         ResourceVec::new(500.0, 8.0, 0.0, 0.0));
+/// let next = r.next_event().unwrap();
+/// assert_eq!(next, SimTime::from_millis(500));
+/// let out = r.advance(next);
+/// assert_eq!(out.completed.len(), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplicaServer {
+    alloc: ResourceVec,
+    base_memory: f64,
+    config: PerfConfig,
+    inflight: Vec<InFlight>,
+    clock: SimTime,
+    /// Cumulative drained work (rate dimensions) for usage accounting.
+    consumed: ResourceVec,
+    dead: bool,
+}
+
+impl ReplicaServer {
+    /// Creates an idle replica with the given allocation and fixed base
+    /// memory footprint (MiB).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the allocation is invalid or `base_memory` is negative.
+    #[must_use]
+    pub fn new(alloc: ResourceVec, base_memory: f64, config: PerfConfig, now: SimTime) -> Self {
+        assert!(alloc.is_valid(), "allocation must be valid");
+        assert!(base_memory >= 0.0, "base memory must be non-negative");
+        ReplicaServer {
+            alloc,
+            base_memory,
+            config,
+            inflight: Vec::new(),
+            clock: now,
+            consumed: ResourceVec::ZERO,
+            dead: false,
+        }
+    }
+
+    /// Current allocation.
+    #[must_use]
+    pub fn alloc(&self) -> ResourceVec {
+        self.alloc
+    }
+
+    /// Number of in-flight requests.
+    #[must_use]
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Current memory footprint: base + Σ working sets (MiB).
+    #[must_use]
+    pub fn working_set(&self) -> f64 {
+        self.base_memory + self.inflight.iter().map(|r| r.working_set).sum::<f64>()
+    }
+
+    /// `true` after an OOM kill; a dead replica accepts no work.
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// The replica's internal clock (last drain time).
+    #[must_use]
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Cumulative drained work since the last [`ReplicaServer::take_consumed`],
+    /// with the memory component set to the *current* working set so the
+    /// caller can treat the vector as a usage snapshot.
+    pub fn take_consumed(&mut self) -> ResourceVec {
+        let mut out = self.consumed;
+        out[Resource::Memory] = self.working_set();
+        self.consumed = ResourceVec::ZERO;
+        out
+    }
+
+    /// Applies a vertical resize at the replica's current clock.
+    pub fn set_alloc(&mut self, alloc: ResourceVec) {
+        self.alloc = alloc.sanitized();
+    }
+
+    /// Current effective thrash factor (1 = healthy).
+    #[must_use]
+    pub fn thrash_factor(&self) -> f64 {
+        let mem = self.alloc[Resource::Memory];
+        if mem <= 0.0 {
+            return 1.0 + self.config.thrash_coeff;
+        }
+        let over = self.working_set() / mem;
+        1.0 + self.config.thrash_coeff * (over - 1.0).max(0.0)
+    }
+
+    fn over_oom(&self) -> bool {
+        let mem = self.alloc[Resource::Memory];
+        mem > 0.0 && self.working_set() > self.config.oom_threshold * mem
+    }
+
+    /// Admits a request at `at` (must not precede the replica clock).
+    /// Returns an OOM outcome when the new working set crosses the kill
+    /// threshold; the engine must then kill the pod.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the replica is dead or `at` precedes the clock.
+    pub fn admit(
+        &mut self,
+        id: u64,
+        at: SimTime,
+        deadline: SimTime,
+        demand: ResourceVec,
+    ) -> Option<DrainOutcome> {
+        self.admit_arrived(id, at, at, deadline, demand)
+    }
+
+    /// Like [`ReplicaServer::admit`], but with a separate logical arrival
+    /// time used for latency accounting — a request that waited in a
+    /// front-door queue keeps its original arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the replica is dead or `at` precedes the clock.
+    pub fn admit_arrived(
+        &mut self,
+        id: u64,
+        at: SimTime,
+        arrived: SimTime,
+        deadline: SimTime,
+        demand: ResourceVec,
+    ) -> Option<DrainOutcome> {
+        assert!(!self.dead, "admitting work to a dead replica");
+        assert!(at >= self.clock, "admission in the past");
+        // Bring the replica forward first so existing work is accounted
+        // under the old concurrency level.
+        let mut pre = if at > self.clock { self.advance(at) } else { DrainOutcome::default() };
+        let mut remaining = demand;
+        remaining[Resource::Memory] = 0.0;
+        self.inflight.push(InFlight {
+            id,
+            arrived: arrived.min(at),
+            deadline,
+            remaining,
+            working_set: demand[Resource::Memory],
+        });
+        if self.over_oom() {
+            pre.merge(self.kill());
+            return Some(pre);
+        }
+        if pre.completed.is_empty() && pre.timed_out.is_empty() && !pre.oom_killed {
+            None
+        } else {
+            Some(pre)
+        }
+    }
+
+    /// Kills the replica: every in-flight request is dropped and reported
+    /// as timed out.
+    pub fn kill(&mut self) -> DrainOutcome {
+        self.dead = true;
+        let timed_out = self.inflight.drain(..).map(|r| r.id).collect();
+        DrainOutcome { completed: Vec::new(), timed_out, oom_killed: true }
+    }
+
+    /// The absolute time of the next completion or timeout, `None` when
+    /// idle. The engine schedules its wake-up here.
+    #[must_use]
+    pub fn next_event(&self) -> Option<SimTime> {
+        if self.dead || self.inflight.is_empty() {
+            return None;
+        }
+        let n = self.inflight.len() as f64;
+        let rates = self.effective_rates(n);
+        let mut best: Option<SimTime> = None;
+        for req in &self.inflight {
+            let finish = self.finish_estimate(req, &rates);
+            let event = finish.min(req.deadline);
+            best = Some(match best {
+                None => event,
+                Some(b) => b.min(event),
+            });
+        }
+        best
+    }
+
+    /// Per-request drain rates at concurrency `n` (mcore, MB/s, MB/s),
+    /// including the thrash penalty on CPU.
+    fn effective_rates(&self, n: f64) -> ResourceVec {
+        let thrash = self.thrash_factor();
+        let mut rates = self.alloc * (1.0 / n.max(1.0));
+        rates[Resource::Cpu] /= thrash;
+        rates[Resource::Memory] = 0.0;
+        rates
+    }
+
+    /// Absolute finish time estimate for one request at current rates.
+    fn finish_estimate(&self, req: &InFlight, rates: &ResourceVec) -> SimTime {
+        let mut secs: f64 = 0.0;
+        for r in [Resource::Cpu, Resource::DiskIo, Resource::NetIo] {
+            let rem = req.remaining[r];
+            if rem > 1e-12 {
+                let rate = rates[r];
+                if rate <= 1e-12 {
+                    return SimTime::MAX; // starved: only the deadline frees it
+                }
+                secs = secs.max(rem / rate);
+            }
+        }
+        // Round up to the next microsecond so the drain loop always makes
+        // forward progress (a nearest-rounded sub-microsecond estimate
+        // would pin the boundary at the current clock).
+        self.clock + SimDuration::from_secs_f64_ceil(secs)
+    }
+
+    /// Advances the replica to `to`, draining work, completing and timing
+    /// out requests along the way.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `to` precedes the replica clock.
+    pub fn advance(&mut self, to: SimTime) -> DrainOutcome {
+        assert!(to >= self.clock, "advance into the past");
+        let mut outcome = DrainOutcome::default();
+        // Process piecewise: each sub-interval ends at the earliest
+        // completion/timeout or at `to`.
+        let mut guard = 0usize;
+        while self.clock < to && !self.inflight.is_empty() && !self.dead {
+            guard += 1;
+            assert!(guard < 1_000_000, "drain loop did not converge");
+            let boundary = self.next_event().map_or(to, |e| e.min(to));
+            let dt = boundary.saturating_since(self.clock).as_secs_f64();
+            let n = self.inflight.len() as f64;
+            let rates = self.effective_rates(n);
+            if dt > 0.0 {
+                for req in &mut self.inflight {
+                    for r in [Resource::Cpu, Resource::DiskIo, Resource::NetIo] {
+                        let drained = (rates[r] * dt).min(req.remaining[r]);
+                        req.remaining[r] -= drained;
+                        self.consumed[r] += drained;
+                    }
+                }
+            }
+            self.clock = boundary;
+            // Remove finished and timed-out requests at the boundary.
+            let clock = self.clock;
+            let mut i = 0;
+            while i < self.inflight.len() {
+                let req = &self.inflight[i];
+                let done = req.remaining.max_component() <= 1e-9;
+                if done {
+                    outcome.completed.push(Completion {
+                        id: req.id,
+                        latency: clock.saturating_since(req.arrived),
+                    });
+                    self.inflight.swap_remove(i);
+                } else if clock >= req.deadline {
+                    outcome.timed_out.push(req.id);
+                    self.inflight.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if self.clock < to {
+            self.clock = to;
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> ResourceVec {
+        ResourceVec::new(1_000.0, 1_024.0, 100.0, 100.0)
+    }
+
+    fn server() -> ReplicaServer {
+        ReplicaServer::new(alloc(), 64.0, PerfConfig::default(), SimTime::ZERO)
+    }
+
+    fn cpu_req(mcore_s: f64) -> ResourceVec {
+        ResourceVec::new(mcore_s, 4.0, 0.0, 0.0)
+    }
+
+    #[test]
+    fn single_cpu_request_latency() {
+        let mut r = server();
+        r.admit(1, SimTime::ZERO, SimTime::from_secs(60), cpu_req(500.0));
+        // 500 mcore·s at 1000 mcore → 0.5 s.
+        assert_eq!(r.next_event(), Some(SimTime::from_millis(500)));
+        let out = r.advance(SimTime::from_millis(500));
+        assert_eq!(out.completed.len(), 1);
+        assert_eq!(out.completed[0].latency, SimDuration::from_millis(500));
+        assert_eq!(r.inflight_len(), 0);
+    }
+
+    #[test]
+    fn processor_sharing_halves_rates() {
+        let mut r = server();
+        r.admit(1, SimTime::ZERO, SimTime::from_secs(60), cpu_req(500.0));
+        r.admit(2, SimTime::ZERO, SimTime::from_secs(60), cpu_req(500.0));
+        // Two equal requests share the core: both finish at 1.0 s.
+        let out = r.advance(SimTime::from_secs(2));
+        assert_eq!(out.completed.len(), 2);
+        for c in &out.completed {
+            assert_eq!(c.latency, SimDuration::from_secs(1));
+        }
+    }
+
+    #[test]
+    fn late_arrival_slows_earlier_request() {
+        let mut r = server();
+        r.admit(1, SimTime::ZERO, SimTime::from_secs(60), cpu_req(500.0));
+        // Second request arrives at 0.25 s; first has 250 mcore·s left and
+        // now drains at 500 mcore → finishes at 0.75 s.
+        r.admit(2, SimTime::from_millis(250), SimTime::from_secs(60), cpu_req(500.0));
+        let out = r.advance(SimTime::from_secs(3));
+        let first = out.completed.iter().find(|c| c.id == 1).unwrap();
+        assert_eq!(first.latency, SimDuration::from_millis(750));
+        // Second: shares 0.25–0.75 (drains 250), alone 0.75–1.0 → 1.0 s.
+        let second = out.completed.iter().find(|c| c.id == 2).unwrap();
+        assert_eq!(second.latency, SimDuration::from_millis(750));
+    }
+
+    #[test]
+    fn bottleneck_dimension_dominates() {
+        let mut r = server();
+        // 100 mcore·s cpu (0.1 s) but 50 MB of disk at 100 MB/s (0.5 s).
+        r.admit(
+            1,
+            SimTime::ZERO,
+            SimTime::from_secs(60),
+            ResourceVec::new(100.0, 4.0, 50.0, 0.0),
+        );
+        let out = r.advance(SimTime::from_secs(1));
+        assert_eq!(out.completed[0].latency, SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn timeout_drops_request() {
+        let mut r = server();
+        r.admit(1, SimTime::ZERO, SimTime::from_millis(100), cpu_req(10_000.0));
+        assert_eq!(r.next_event(), Some(SimTime::from_millis(100)));
+        let out = r.advance(SimTime::from_secs(1));
+        assert_eq!(out.timed_out, vec![1]);
+        assert_eq!(out.completed.len(), 0);
+        assert_eq!(r.inflight_len(), 0);
+    }
+
+    #[test]
+    fn starved_dimension_times_out() {
+        // Zero net allocation but net demand: request can never finish.
+        let mut r = ReplicaServer::new(
+            ResourceVec::new(1_000.0, 1_024.0, 100.0, 0.0),
+            0.0,
+            PerfConfig::default(),
+            SimTime::ZERO,
+        );
+        r.admit(
+            1,
+            SimTime::ZERO,
+            SimTime::from_secs(2),
+            ResourceVec::new(10.0, 0.0, 0.0, 5.0),
+        );
+        assert_eq!(r.next_event(), Some(SimTime::from_secs(2)));
+        let out = r.advance(SimTime::from_secs(3));
+        assert_eq!(out.timed_out, vec![1]);
+    }
+
+    #[test]
+    fn thrash_slows_cpu() {
+        let cfg = PerfConfig { thrash_coeff: 4.0, oom_threshold: 10.0 };
+        // 100 MiB allocation; request working set 150 + base 0 → 1.5×
+        // overcommit → thrash factor 1 + 4*0.5 = 3.
+        let mut r = ReplicaServer::new(
+            ResourceVec::new(1_000.0, 100.0, 100.0, 100.0),
+            0.0,
+            cfg,
+            SimTime::ZERO,
+        );
+        r.admit(
+            1,
+            SimTime::ZERO,
+            SimTime::from_secs(60),
+            ResourceVec::new(1_000.0, 150.0, 0.0, 0.0),
+        );
+        assert!((r.thrash_factor() - 3.0).abs() < 1e-9);
+        let out = r.advance(SimTime::from_secs(10));
+        // 1 s of work takes 3 s under thrash.
+        assert_eq!(out.completed[0].latency, SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn oom_kill_on_admission() {
+        let cfg = PerfConfig::default(); // kill at 1.5× of 100 MiB = 150
+        let mut r = ReplicaServer::new(
+            ResourceVec::new(1_000.0, 100.0, 100.0, 100.0),
+            50.0,
+            cfg,
+            SimTime::ZERO,
+        );
+        r.admit(1, SimTime::ZERO, SimTime::from_secs(60), ResourceVec::new(10.0, 60.0, 0.0, 0.0));
+        assert!(!r.is_dead());
+        // +60 MiB → ws = 170 > 150 → OOM.
+        let out = r
+            .admit(2, SimTime::ZERO, SimTime::from_secs(60), ResourceVec::new(10.0, 60.0, 0.0, 0.0))
+            .expect("OOM outcome");
+        assert!(out.oom_killed);
+        assert!(r.is_dead());
+        assert_eq!(out.timed_out.len(), 2);
+    }
+
+    #[test]
+    fn consumed_tracks_drained_work() {
+        let mut r = server();
+        r.admit(1, SimTime::ZERO, SimTime::from_secs(60), ResourceVec::new(500.0, 4.0, 10.0, 20.0));
+        r.advance(SimTime::from_secs(1));
+        let used = r.take_consumed();
+        assert!((used.cpu() - 500.0).abs() < 1e-6);
+        assert!((used.disk_io() - 10.0).abs() < 1e-6);
+        assert!((used.net_io() - 20.0).abs() < 1e-6);
+        // Memory reports the current working set (base only, request done).
+        assert!((used.memory() - 64.0).abs() < 1e-6);
+        // Second take returns zero rate work.
+        assert_eq!(r.take_consumed().cpu(), 0.0);
+    }
+
+    #[test]
+    fn resize_speeds_up_in_place() {
+        let mut r = server();
+        r.admit(1, SimTime::ZERO, SimTime::from_secs(60), cpu_req(1_000.0));
+        // Half way through, double the CPU.
+        r.advance(SimTime::from_millis(500));
+        r.set_alloc(ResourceVec::new(2_000.0, 1_024.0, 100.0, 100.0));
+        let out = r.advance(SimTime::from_secs(5));
+        // 500 mcore·s left at 2000 mcore → 0.25 s more → total 0.75 s.
+        assert_eq!(out.completed[0].latency, SimDuration::from_millis(750));
+    }
+
+    #[test]
+    fn idle_replica_has_no_events() {
+        let mut r = server();
+        assert_eq!(r.next_event(), None);
+        let out = r.advance(SimTime::from_secs(5));
+        assert!(out.completed.is_empty() && out.timed_out.is_empty());
+        assert_eq!(r.clock(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn many_requests_complete_in_fifo_of_size() {
+        let mut r = server();
+        for i in 0..10 {
+            r.admit(i, SimTime::ZERO, SimTime::from_secs(600), cpu_req(100.0 * (i + 1) as f64));
+        }
+        let out = r.advance(SimTime::from_secs(60));
+        assert_eq!(out.completed.len(), 10);
+        // Smaller requests finish earlier under PS.
+        let mut latencies: Vec<(u64, SimDuration)> =
+            out.completed.iter().map(|c| (c.id, c.latency)).collect();
+        latencies.sort_by_key(|(id, _)| *id);
+        for w in latencies.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "admission in the past")]
+    fn admission_in_past_panics() {
+        let mut r = server();
+        r.advance(SimTime::from_secs(1));
+        r.admit(1, SimTime::ZERO, SimTime::from_secs(2), cpu_req(1.0));
+    }
+}

@@ -1,0 +1,246 @@
+//! Engine tests for the actuation and failure paths: in-place resizes of
+//! batch tasks and HPC ranks, gang pauses on rank loss, preemption of
+//! services, and window accounting after churn.
+
+use evolve_sim::{ClusterConfig, NodeShape, Simulation, SimulationConfig};
+use evolve_types::{NodeId, PodId, ResourceVec, SimDuration, SimTime};
+use evolve_workload::{
+    BatchJobSpec, HpcJobSpec, LoadSpec, PloSpec, RequestClass, ServiceSpec, StageSpec, WorkloadMix,
+};
+
+fn cluster(nodes: usize) -> ClusterConfig {
+    ClusterConfig::uniform(
+        nodes,
+        NodeShape { capacity: ResourceVec::new(16_000.0, 65_536.0, 500.0, 1_250.0) },
+    )
+}
+
+fn bind_all(sim: &mut Simulation) -> usize {
+    let pending: Vec<PodId> = sim.cluster().pending_pods().map(|p| p.id).collect();
+    let mut bound = 0;
+    for pod in pending {
+        let request = sim.cluster().pod(pod).unwrap().spec.request;
+        let target = sim
+            .cluster()
+            .nodes()
+            .iter()
+            .find(|n| n.can_fit(&request))
+            .map(evolve_sim::Node::id);
+        if let Some(node) = target {
+            sim.bind_pod(pod, node).unwrap();
+            bound += 1;
+        }
+    }
+    bound
+}
+
+#[test]
+fn hpc_resize_speeds_up_iterations() {
+    // 40 iterations × 4000 mcore·s at 2000 mcore → 2 s each ≈ 80 s total.
+    let job = HpcJobSpec::new(
+        "solver",
+        2,
+        40,
+        ResourceVec::new(4_000.0, 512.0, 0.0, 0.0),
+        ResourceVec::new(2_000.0, 1_024.0, 10.0, 10.0),
+        SimDuration::from_mins(10),
+    );
+    let mix = WorkloadMix::new().with_hpc_job(job.clone(), SimTime::ZERO);
+    // Unmanaged run.
+    let mut slow = Simulation::new(SimulationConfig::default(), cluster(2), &mix, 5);
+    slow.run_until(SimTime::from_secs(1));
+    bind_all(&mut slow);
+    slow.run_until(SimTime::from_secs(5 * 60));
+    let slow_makespan = slow.job_outcomes()[0].makespan_s().expect("finished");
+
+    // Managed run: double the rank allocation shortly after start. Spread
+    // the ranks over both nodes so the in-place resize has headroom.
+    let mix2 = WorkloadMix::new().with_hpc_job(job, SimTime::ZERO);
+    let mut fast = Simulation::new(SimulationConfig::default(), cluster(2), &mix2, 5);
+    fast.run_until(SimTime::from_secs(1));
+    let pending: Vec<PodId> = fast.cluster().pending_pods().map(|p| p.id).collect();
+    for (i, pod) in pending.into_iter().enumerate() {
+        fast.bind_pod(pod, NodeId::new(i as u32)).unwrap();
+    }
+    fast.run_until(SimTime::from_secs(10));
+    let app = fast.apps()[0].id;
+    let failures = fast
+        .set_hpc_target(app, ResourceVec::new(8_000.0, 1_024.0, 10.0, 10.0))
+        .unwrap();
+    assert_eq!(failures, 0);
+    fast.run_until(SimTime::from_secs(5 * 60));
+    let fast_makespan = fast.job_outcomes()[0].makespan_s().expect("finished");
+    assert!(
+        fast_makespan < 0.5 * slow_makespan,
+        "resized {fast_makespan:.1}s vs unmanaged {slow_makespan:.1}s"
+    );
+}
+
+#[test]
+fn hpc_rank_loss_pauses_gang_and_recovers() {
+    let job = HpcJobSpec::new(
+        "solver",
+        3,
+        50,
+        ResourceVec::new(2_000.0, 512.0, 0.0, 0.0),
+        ResourceVec::new(2_000.0, 1_024.0, 10.0, 10.0),
+        SimDuration::from_mins(10),
+    );
+    let mix = WorkloadMix::new().with_hpc_job(job, SimTime::ZERO);
+    let mut sim = Simulation::new(SimulationConfig::default(), cluster(2), &mix, 6);
+    sim.run_until(SimTime::from_secs(1));
+    bind_all(&mut sim);
+    sim.run_until(SimTime::from_secs(20));
+    let app = sim.apps()[0].id;
+    let before = sim.take_window(app).unwrap();
+    let progressed = before.progress.unwrap();
+    assert!(progressed > 0.0, "gang should be iterating");
+    // Preempt one rank: the gang must stall.
+    let rank = sim
+        .cluster()
+        .pods()
+        .find(|p| p.is_running())
+        .map(|p| p.id)
+        .expect("running rank");
+    sim.preempt_pod(rank).unwrap();
+    sim.run_until(SimTime::from_secs(40));
+    let stalled = sim.take_window(app).unwrap();
+    assert_eq!(
+        stalled.progress.unwrap(),
+        progressed,
+        "no iteration may complete with a missing rank"
+    );
+    // The lost rank requeued as pending; rebind and the job finishes.
+    assert_eq!(bind_all(&mut sim), 1);
+    sim.run_until(SimTime::from_secs(5 * 60));
+    assert!(sim.job_outcomes()[0].finished.is_some());
+    sim.cluster().check_invariants();
+}
+
+#[test]
+fn batch_resize_applies_to_running_and_future_tasks() {
+    let job = BatchJobSpec::new(
+        "b",
+        vec![StageSpec::new(4, ResourceVec::new(30_000.0, 512.0, 0.0, 0.0), 100)],
+        PloSpec::Deadline { deadline: SimDuration::from_mins(10) },
+        ResourceVec::new(1_000.0, 1_024.0, 10.0, 10.0),
+        2, // two executors: two waves of two tasks
+    );
+    let mix = WorkloadMix::new().with_batch_job(job, SimTime::ZERO);
+    let mut sim = Simulation::new(SimulationConfig::default(), cluster(2), &mix, 7);
+    sim.run_until(SimTime::from_secs(1));
+    bind_all(&mut sim);
+    sim.run_until(SimTime::from_secs(10));
+    let app = sim.apps()[0].id;
+    // 30 s per task at 1000 mcore; quadruple → 7.5 s.
+    let failures = sim
+        .set_batch_target(app, ResourceVec::new(4_000.0, 1_024.0, 10.0, 10.0))
+        .unwrap();
+    assert_eq!(failures, 0);
+    for step in 3..40u64 {
+        sim.run_until(SimTime::from_secs(step * 5));
+        bind_all(&mut sim);
+    }
+    let outcome = sim.job_outcomes()[0];
+    let makespan = outcome.makespan_s().expect("finished");
+    // Unresized: ~60 s of work in two waves; resized mid-first-wave it
+    // must land well under that.
+    assert!(makespan < 50.0, "makespan {makespan}");
+}
+
+#[test]
+fn service_preemption_is_replaced_by_deployment() {
+    let class = RequestClass::new(
+        "rq",
+        ResourceVec::new(20.0, 2.0, 0.0, 0.0),
+        0.0,
+        SimDuration::from_secs(10),
+    );
+    let mix = WorkloadMix::new().with_service(
+        ServiceSpec::new(
+            "svc",
+            PloSpec::LatencyP99 { target_ms: 100.0 },
+            class,
+            ResourceVec::new(1_000.0, 1_024.0, 10.0, 10.0),
+        )
+        .with_initial_replicas(2),
+        LoadSpec::Constant { rate: 20.0 },
+    );
+    let mut sim = Simulation::new(SimulationConfig::default(), cluster(2), &mix, 8);
+    bind_all(&mut sim);
+    sim.run_until(SimTime::from_secs(10));
+    let victim = sim
+        .cluster()
+        .pods()
+        .find(|p| p.is_running())
+        .map(|p| p.id)
+        .expect("running replica");
+    sim.preempt_pod(victim).unwrap();
+    // A replacement pending pod must exist immediately.
+    assert_eq!(sim.cluster().pending_pods().count(), 1);
+    bind_all(&mut sim);
+    sim.run_until(SimTime::from_secs(30));
+    let w = sim.take_window(sim.apps()[0].id).unwrap();
+    assert_eq!(w.running_replicas, 2);
+    // The killed replica's in-flight requests count as drops.
+    assert!(w.timeouts <= 5, "only the in-flight requests die: {}", w.timeouts);
+    sim.cluster().check_invariants();
+}
+
+#[test]
+fn window_alloc_per_replica_reflects_resizes() {
+    let class = RequestClass::new(
+        "rq",
+        ResourceVec::new(10.0, 2.0, 0.0, 0.0),
+        0.0,
+        SimDuration::from_secs(10),
+    );
+    let mix = WorkloadMix::new().with_service(
+        ServiceSpec::new(
+            "svc",
+            PloSpec::LatencyP99 { target_ms: 100.0 },
+            class,
+            ResourceVec::new(1_000.0, 1_024.0, 10.0, 10.0),
+        )
+        .with_initial_replicas(3),
+        LoadSpec::Constant { rate: 30.0 },
+    );
+    let mut sim = Simulation::new(SimulationConfig::default(), cluster(2), &mix, 9);
+    bind_all(&mut sim);
+    sim.run_until(SimTime::from_secs(10));
+    let app = sim.apps()[0].id;
+    sim.take_window(app).unwrap();
+    sim.set_service_target(app, 3, ResourceVec::new(2_500.0, 2_048.0, 20.0, 20.0)).unwrap();
+    sim.run_until(SimTime::from_secs(20));
+    let w = sim.take_window(app).unwrap();
+    assert!((w.alloc_per_replica.cpu() - 2_500.0).abs() < 1.0);
+    assert!((w.alloc.cpu() - 7_500.0).abs() < 1.0);
+}
+
+#[test]
+fn events_processed_increases_monotonically() {
+    let class = RequestClass::new(
+        "rq",
+        ResourceVec::new(10.0, 2.0, 0.0, 0.0),
+        0.5,
+        SimDuration::from_secs(10),
+    );
+    let mix = WorkloadMix::new().with_service(
+        ServiceSpec::new(
+            "svc",
+            PloSpec::LatencyP99 { target_ms: 100.0 },
+            class,
+            ResourceVec::new(2_000.0, 1_024.0, 10.0, 10.0),
+        ),
+        LoadSpec::Constant { rate: 100.0 },
+    );
+    let mut sim = Simulation::new(SimulationConfig::default(), cluster(1), &mix, 10);
+    bind_all(&mut sim);
+    let mut last = 0;
+    for step in 1..=5u64 {
+        sim.run_until(SimTime::from_secs(step * 5));
+        let now = sim.events_processed();
+        assert!(now > last, "no progress in step {step}");
+        last = now;
+    }
+}

@@ -1,0 +1,350 @@
+//! End-to-end engine tests: services, batch jobs and HPC gangs executing
+//! on a simulated cluster with manual (test-driven) scheduling.
+
+use evolve_sim::{ClusterConfig, NodeShape, PodPhase, Simulation, SimulationConfig};
+use evolve_types::{NodeId, PodId, ResourceVec, SimDuration, SimTime};
+use evolve_workload::{
+    BatchJobSpec, HpcJobSpec, LoadSpec, PloSpec, RequestClass, ServiceSpec, StageSpec, WorkloadMix,
+};
+
+fn small_cluster(nodes: usize) -> ClusterConfig {
+    ClusterConfig::uniform(
+        nodes,
+        NodeShape { capacity: ResourceVec::new(16_000.0, 65_536.0, 500.0, 1_250.0) },
+    )
+}
+
+fn service_mix(rate: f64) -> WorkloadMix {
+    let class = RequestClass::new(
+        "rq",
+        ResourceVec::new(20.0, 2.0, 0.1, 0.1),
+        0.0, // deterministic demands for exact assertions
+        SimDuration::from_secs(10),
+    );
+    WorkloadMix::new().with_service(
+        ServiceSpec::new(
+            "svc",
+            PloSpec::LatencyP99 { target_ms: 100.0 },
+            class,
+            ResourceVec::new(2_000.0, 2_048.0, 50.0, 50.0),
+        )
+        .with_initial_replicas(2),
+        LoadSpec::Constant { rate },
+    )
+}
+
+/// Binds every pending pod first-fit onto the cluster.
+fn bind_all(sim: &mut Simulation) -> usize {
+    let pending: Vec<PodId> = sim.cluster().pending_pods().map(|p| p.id).collect();
+    let mut bound = 0;
+    for pod in pending {
+        let request = sim.cluster().pod(pod).unwrap().spec.request;
+        let target = sim
+            .cluster()
+            .nodes()
+            .iter()
+            .find(|n| n.can_fit(&request))
+            .map(evolve_sim::Node::id);
+        if let Some(node) = target {
+            sim.bind_pod(pod, node).unwrap();
+            bound += 1;
+        }
+    }
+    bound
+}
+
+#[test]
+fn service_completes_requests_and_reports_latency() {
+    let mix = service_mix(50.0);
+    let mut sim = Simulation::new(SimulationConfig::default(), small_cluster(2), &mix, 1);
+    assert_eq!(bind_all(&mut sim), 2);
+    let app = sim.apps()[0].id;
+    // Discard the startup window: requests that arrived before the pods
+    // finished starting carry seconds of queue wait.
+    sim.run_until(SimTime::from_secs(5));
+    sim.take_window(app).unwrap();
+    sim.run_until(SimTime::from_secs(30));
+    let w = sim.take_window(app).unwrap();
+    // 50 rps for 25 s.
+    assert!(w.arrivals > 1_000, "arrivals {}", w.arrivals);
+    assert!(w.completions > 900, "completions {}", w.completions);
+    assert_eq!(w.timeouts, 0);
+    assert_eq!(w.running_replicas, 2);
+    // 20 mcore·s at 2000 mcore alone ≈ 10ms; light load → low p99.
+    let p99 = w.p99_ms.unwrap();
+    assert!(p99 < 100.0, "p99 {p99}");
+    // CPU usage ≈ 50 rps × 20 mcore·s = 1000 mcores across replicas.
+    assert!((w.usage.cpu() - 1_000.0).abs() < 200.0, "cpu usage {}", w.usage.cpu());
+    sim.cluster().check_invariants();
+}
+
+#[test]
+fn unbound_service_times_out_requests() {
+    let mix = service_mix(20.0);
+    let mut sim = Simulation::new(SimulationConfig::default(), small_cluster(1), &mix, 2);
+    // Never bind anything: requests must expire in the queue.
+    sim.run_until(SimTime::from_secs(30));
+    let app = sim.apps()[0].id;
+    let w = sim.take_window(app).unwrap();
+    assert_eq!(w.completions, 0);
+    assert!(w.timeouts > 100, "timeouts {}", w.timeouts);
+    // Latency PLO signal must read as a violation.
+    let measured = w.measured_for(&PloSpec::LatencyP99 { target_ms: 100.0 }).unwrap();
+    assert!(measured > 1e5);
+}
+
+#[test]
+fn overloaded_service_has_high_tail_latency() {
+    // 2000 mcore replica, 20 mcore·s demands → capacity ≈ 100 rps per
+    // replica; offer 150 rps on ONE replica.
+    let class = RequestClass::new(
+        "rq",
+        ResourceVec::new(20.0, 2.0, 0.0, 0.0),
+        0.0,
+        SimDuration::from_secs(10),
+    );
+    let mix = WorkloadMix::new().with_service(
+        ServiceSpec::new(
+            "hot",
+            PloSpec::LatencyP99 { target_ms: 100.0 },
+            class,
+            ResourceVec::new(2_000.0, 2_048.0, 50.0, 50.0),
+        ),
+        LoadSpec::Constant { rate: 150.0 },
+    );
+    let mut sim = Simulation::new(SimulationConfig::default(), small_cluster(1), &mix, 3);
+    bind_all(&mut sim);
+    sim.run_until(SimTime::from_secs(60));
+    let w = sim.take_window(sim.apps()[0].id).unwrap();
+    // Severely overloaded: timeouts (10s deadline) must appear.
+    assert!(w.timeouts > 0, "expected timeouts under overload");
+}
+
+#[test]
+fn vertical_resize_improves_latency() {
+    let mix = service_mix(80.0);
+    let mut sim = Simulation::new(SimulationConfig::default(), small_cluster(2), &mix, 4);
+    bind_all(&mut sim);
+    let app = sim.apps()[0].id;
+    sim.run_until(SimTime::from_secs(20));
+    let before = sim.take_window(app).unwrap();
+    // Double the per-replica allocation in place.
+    let failures = sim
+        .set_service_target(app, 2, ResourceVec::new(4_000.0, 4_096.0, 100.0, 100.0))
+        .unwrap();
+    assert_eq!(failures, 0);
+    sim.run_until(SimTime::from_secs(40));
+    let after = sim.take_window(app).unwrap();
+    assert!(
+        after.p99_ms.unwrap() < before.p99_ms.unwrap() + 1.0,
+        "p99 before {:?} after {:?}",
+        before.p99_ms,
+        after.p99_ms
+    );
+    assert!((after.alloc_per_replica.cpu() - 4_000.0).abs() < 1.0);
+}
+
+#[test]
+fn horizontal_scale_out_creates_and_absorbs() {
+    let mix = service_mix(100.0);
+    let mut sim = Simulation::new(SimulationConfig::default(), small_cluster(3), &mix, 5);
+    bind_all(&mut sim);
+    let app = sim.apps()[0].id;
+    sim.run_until(SimTime::from_secs(10));
+    sim.set_service_target(app, 5, ResourceVec::new(2_000.0, 2_048.0, 50.0, 50.0)).unwrap();
+    // New pods appear pending and must be bound.
+    let newly_bound = bind_all(&mut sim);
+    assert_eq!(newly_bound, 3);
+    sim.run_until(SimTime::from_secs(30));
+    let w = sim.take_window(app).unwrap();
+    assert_eq!(w.running_replicas, 5);
+    sim.cluster().check_invariants();
+}
+
+#[test]
+fn graceful_scale_in_loses_no_requests() {
+    let mix = service_mix(60.0);
+    let mut sim = Simulation::new(SimulationConfig::default(), small_cluster(2), &mix, 6);
+    bind_all(&mut sim);
+    let app = sim.apps()[0].id;
+    sim.run_until(SimTime::from_secs(15));
+    sim.take_window(app).unwrap();
+    sim.set_service_target(app, 1, ResourceVec::new(2_000.0, 2_048.0, 50.0, 50.0)).unwrap();
+    sim.run_until(SimTime::from_secs(40));
+    let w = sim.take_window(app).unwrap();
+    assert_eq!(w.running_replicas, 1);
+    assert_eq!(w.timeouts, 0, "graceful drain must not drop requests");
+    sim.cluster().check_invariants();
+}
+
+#[test]
+fn batch_job_runs_stages_and_finishes() {
+    let job = BatchJobSpec::new(
+        "etl",
+        vec![
+            StageSpec::new(4, ResourceVec::new(2_000.0, 256.0, 50.0, 10.0), 1_000),
+            StageSpec::new(2, ResourceVec::new(1_000.0, 256.0, 10.0, 50.0), 500),
+        ],
+        PloSpec::Deadline { deadline: SimDuration::from_mins(10) },
+        ResourceVec::new(2_000.0, 1_024.0, 100.0, 100.0),
+        4,
+    );
+    let mix = WorkloadMix::new().with_batch_job(job, SimTime::from_secs(5));
+    let mut sim = Simulation::new(SimulationConfig::default(), small_cluster(2), &mix, 7);
+    // Drive: run, bind whatever appears, repeat.
+    for step in 1..=120u64 {
+        sim.run_until(SimTime::from_secs(5 * step));
+        bind_all(&mut sim);
+    }
+    let outcomes = sim.job_outcomes();
+    assert_eq!(outcomes.len(), 1);
+    let o = outcomes[0];
+    assert!(o.finished.is_some(), "batch job should finish");
+    assert!(o.met_deadline(), "makespan {:?}", o.makespan_s());
+    // All 5000 records accounted.
+    let w = sim.take_window(sim.apps()[0].id).unwrap();
+    assert_eq!(w.progress, Some(1.0));
+    sim.cluster().check_invariants();
+}
+
+#[test]
+fn hpc_gang_waits_for_all_ranks() {
+    let job = HpcJobSpec::new(
+        "solver",
+        4,
+        10,
+        ResourceVec::new(2_000.0, 512.0, 0.0, 10.0),
+        ResourceVec::new(2_000.0, 1_024.0, 10.0, 50.0),
+        SimDuration::from_mins(10),
+    );
+    let mix = WorkloadMix::new().with_hpc_job(job, SimTime::from_secs(1));
+    let mut sim = Simulation::new(SimulationConfig::default(), small_cluster(2), &mix, 8);
+    sim.run_until(SimTime::from_secs(5));
+    // Bind only 3 of 4 ranks: no progress may happen.
+    let pending: Vec<PodId> = sim.cluster().pending_pods().map(|p| p.id).collect();
+    assert_eq!(pending.len(), 4);
+    for pod in pending.iter().take(3) {
+        sim.bind_pod(*pod, NodeId::new(0)).unwrap();
+    }
+    sim.run_until(SimTime::from_secs(60));
+    let app = sim.apps()[0].id;
+    let w = sim.take_window(app).unwrap();
+    assert_eq!(w.progress, Some(0.0), "gang must not progress with a missing rank");
+    // Bind the last rank: iterations start.
+    let last = *pending.last().unwrap();
+    sim.bind_pod(last, NodeId::new(1)).unwrap();
+    sim.run_until(SimTime::from_secs(120));
+    let w = sim.take_window(app).unwrap();
+    assert!(w.progress.unwrap() > 0.0);
+    // Each iteration: 2000 mcore·s at 2000 mcore ≈ 1 s → 10 iterations
+    // finish well within the horizon.
+    let outcome = sim.job_outcomes()[0];
+    assert!(outcome.finished.is_some());
+}
+
+#[test]
+fn preempted_batch_task_requeues() {
+    let job = BatchJobSpec::new(
+        "b",
+        vec![StageSpec::new(1, ResourceVec::new(60_000.0, 256.0, 0.0, 0.0), 100)],
+        PloSpec::Deadline { deadline: SimDuration::from_mins(30) },
+        ResourceVec::new(2_000.0, 1_024.0, 10.0, 10.0),
+        1,
+    );
+    let mix = WorkloadMix::new().with_batch_job(job, SimTime::ZERO);
+    let mut sim = Simulation::new(SimulationConfig::default(), small_cluster(1), &mix, 9);
+    sim.run_until(SimTime::from_secs(1));
+    bind_all(&mut sim);
+    sim.run_until(SimTime::from_secs(10)); // task running (needs ~30s)
+    let running: Vec<PodId> =
+        sim.cluster().pods().filter(|p| p.is_running()).map(|p| p.id).collect();
+    assert_eq!(running.len(), 1);
+    sim.preempt_pod(running[0]).unwrap();
+    // A replacement pod must be pending.
+    assert_eq!(sim.cluster().pending_pods().count(), 1);
+    bind_all(&mut sim);
+    // Work restarts from scratch: needs ~30 more seconds.
+    for step in 2..=12u64 {
+        sim.run_until(SimTime::from_secs(step * 5));
+        bind_all(&mut sim);
+    }
+    assert!(sim.job_outcomes()[0].finished.is_some());
+    sim.cluster().check_invariants();
+}
+
+#[test]
+fn node_failure_recreates_service_replicas() {
+    let mix = service_mix(30.0);
+    let mut sim = Simulation::new(SimulationConfig::default(), small_cluster(2), &mix, 10);
+    bind_all(&mut sim);
+    sim.run_until(SimTime::from_secs(10));
+    // Fail node 0 at t=12, recover at t=30.
+    sim.inject_node_failure(NodeId::new(0), SimTime::from_secs(12), Some(SimTime::from_secs(30)));
+    sim.run_until(SimTime::from_secs(13));
+    // Replacement pods pending; bind to the surviving node.
+    let pending = bind_all(&mut sim);
+    assert!(pending > 0, "replacement replicas expected");
+    sim.run_until(SimTime::from_secs(60));
+    let w = sim.take_window(sim.apps()[0].id).unwrap();
+    assert_eq!(w.running_replicas, 2);
+    assert!(sim.cluster().nodes()[0].is_ready(), "node should have recovered");
+    sim.cluster().check_invariants();
+}
+
+#[test]
+fn oom_killed_replica_is_replaced() {
+    // Tiny memory allocation + memory-heavy requests → OOM.
+    let class = RequestClass::new(
+        "big",
+        ResourceVec::new(5_000.0, 600.0, 0.0, 0.0), // long-lived, 600 MiB ws
+        0.0,
+        SimDuration::from_secs(30),
+    );
+    let mix = WorkloadMix::new().with_service(
+        ServiceSpec::new(
+            "leaky",
+            PloSpec::LatencyP99 { target_ms: 1_000.0 },
+            class,
+            ResourceVec::new(2_000.0, 1_024.0, 50.0, 50.0),
+        ),
+        LoadSpec::Constant { rate: 5.0 },
+    );
+    let mut sim = Simulation::new(SimulationConfig::default(), small_cluster(1), &mix, 11);
+    bind_all(&mut sim);
+    sim.run_until(SimTime::from_secs(30));
+    bind_all(&mut sim); // bind replacements
+    sim.run_until(SimTime::from_secs(60));
+    let w = sim.take_window(sim.apps()[0].id).unwrap();
+    assert!(w.oom_kills > 0, "expected OOM kills");
+    sim.cluster().check_invariants();
+}
+
+#[test]
+fn determinism_under_fixed_seed() {
+    let run = |seed: u64| {
+        let mix = service_mix(40.0);
+        let mut sim = Simulation::new(SimulationConfig::default(), small_cluster(2), &mix, seed);
+        bind_all(&mut sim);
+        sim.run_until(SimTime::from_secs(30));
+        let w = sim.take_window(sim.apps()[0].id).unwrap();
+        (w.arrivals, w.completions, w.p99_ms)
+    };
+    assert_eq!(run(123), run(123));
+    assert_ne!(run(123).0, run(456).0);
+}
+
+#[test]
+fn snapshot_counts_pods() {
+    let mix = service_mix(10.0);
+    let mut sim = Simulation::new(SimulationConfig::default(), small_cluster(2), &mix, 12);
+    let snap = sim.snapshot();
+    assert_eq!(snap.pods_running, 0);
+    assert_eq!(snap.pods_pending, 2);
+    assert_eq!(snap.nodes_ready, 2);
+    bind_all(&mut sim);
+    sim.run_until(SimTime::from_secs(10));
+    let snap = sim.snapshot();
+    assert_eq!(snap.pods_running, 2);
+    assert_eq!(snap.pods_pending, 0);
+    assert!(snap.allocated.cpu() > 0.0);
+}

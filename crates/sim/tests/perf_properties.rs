@@ -1,0 +1,147 @@
+//! Property-based tests for the processor-sharing performance model.
+
+use evolve_sim::{PerfConfig, ReplicaServer};
+use evolve_types::{Resource, ResourceVec, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// An admission: (offset µs from previous, cpu work, disk work, net work,
+/// working set).
+type Admission = (u64, f64, f64, f64, f64);
+
+fn arb_admissions() -> impl Strategy<Value = Vec<Admission>> {
+    prop::collection::vec(
+        (0u64..500_000, 1.0..2_000.0f64, 0.0..50.0f64, 0.0..50.0f64, 0.0..64.0f64),
+        1..40,
+    )
+}
+
+fn big_server() -> ReplicaServer {
+    ReplicaServer::new(
+        ResourceVec::new(4_000.0, 1_000_000.0, 200.0, 200.0),
+        0.0,
+        PerfConfig::default(),
+        SimTime::ZERO,
+    )
+}
+
+proptest! {
+    #[test]
+    fn conservation_every_request_completes_or_times_out(admissions in arb_admissions()) {
+        let mut server = big_server();
+        let mut t = SimTime::ZERO;
+        let mut admitted = 0u64;
+        let mut finished = 0usize;
+        for (i, (gap, cpu, disk, net, ws)) in admissions.iter().enumerate() {
+            t = t + SimDuration::from_micros(*gap);
+            let out = server.admit(
+                i as u64,
+                t,
+                t + SimDuration::from_secs(30),
+                ResourceVec::new(*cpu, *ws, *disk, *net),
+            );
+            admitted += 1;
+            if let Some(out) = out {
+                finished += out.completed.len() + out.timed_out.len();
+                prop_assert!(!out.oom_killed, "memory allocation is huge");
+            }
+        }
+        // Run far past every deadline.
+        let out = server.advance(t + SimDuration::from_secs(120));
+        finished += out.completed.len() + out.timed_out.len();
+        prop_assert_eq!(finished as u64, admitted, "requests leaked");
+        prop_assert_eq!(server.inflight_len(), 0);
+    }
+
+    #[test]
+    fn latency_at_least_ideal_service_time(
+        cpu in 10.0..4_000.0f64,
+        disk in 0.0..100.0f64,
+        net in 0.0..100.0f64,
+    ) {
+        let alloc = ResourceVec::new(2_000.0, 10_000.0, 100.0, 100.0);
+        let mut server = ReplicaServer::new(alloc, 0.0, PerfConfig::default(), SimTime::ZERO);
+        server.admit(
+            0,
+            SimTime::ZERO,
+            SimTime::from_secs(600),
+            ResourceVec::new(cpu, 1.0, disk, net),
+        );
+        let out = server.advance(SimTime::from_secs(600));
+        prop_assert_eq!(out.completed.len(), 1);
+        let ideal = (cpu / 2_000.0).max(disk / 100.0).max(net / 100.0);
+        let measured = out.completed[0].latency.as_secs_f64();
+        prop_assert!(
+            measured >= ideal - 1e-6,
+            "measured {measured} below ideal {ideal}"
+        );
+        // Alone on the replica, it should also be close to ideal.
+        prop_assert!(measured <= ideal + 1e-3, "measured {measured} far above ideal {ideal}");
+    }
+
+    #[test]
+    fn consumed_work_never_exceeds_offered(admissions in arb_admissions()) {
+        let mut server = big_server();
+        let mut t = SimTime::ZERO;
+        let mut offered = ResourceVec::ZERO;
+        for (i, (gap, cpu, disk, net, ws)) in admissions.iter().enumerate() {
+            t = t + SimDuration::from_micros(*gap);
+            let demand = ResourceVec::new(*cpu, *ws, *disk, *net);
+            offered += demand;
+            server.admit(i as u64, t, t + SimDuration::from_secs(30), demand);
+        }
+        server.advance(t + SimDuration::from_secs(120));
+        let mut consumed = server.take_consumed();
+        consumed[Resource::Memory] = 0.0;
+        for r in [Resource::Cpu, Resource::DiskIo, Resource::NetIo] {
+            prop_assert!(
+                consumed[r] <= offered[r] + 1e-3,
+                "{r}: consumed {} offered {}",
+                consumed[r],
+                offered[r]
+            );
+        }
+    }
+
+    #[test]
+    fn clock_is_monotone_under_any_interleaving(
+        ops in prop::collection::vec((0u64..1_000_000, any::<bool>()), 1..60),
+    ) {
+        let mut server = big_server();
+        let mut t = SimTime::ZERO;
+        let mut id = 0u64;
+        for (gap, is_admit) in ops {
+            t = t + SimDuration::from_micros(gap);
+            if is_admit {
+                server.admit(
+                    id,
+                    t,
+                    t + SimDuration::from_secs(5),
+                    ResourceVec::new(100.0, 1.0, 0.0, 0.0),
+                );
+                id += 1;
+            } else {
+                server.advance(t);
+            }
+            prop_assert!(server.clock() <= t + SimDuration::from_micros(1));
+            prop_assert!(server.clock() >= t - SimDuration::from_micros(1) || server.inflight_len() > 0);
+        }
+    }
+
+    #[test]
+    fn next_event_is_never_in_the_past(admissions in arb_admissions()) {
+        let mut server = big_server();
+        let mut t = SimTime::ZERO;
+        for (i, (gap, cpu, disk, net, ws)) in admissions.iter().enumerate() {
+            t = t + SimDuration::from_micros(*gap);
+            server.admit(
+                i as u64,
+                t,
+                t + SimDuration::from_secs(30),
+                ResourceVec::new(*cpu, *ws, *disk, *net),
+            );
+            if let Some(next) = server.next_event() {
+                prop_assert!(next > server.clock(), "event {next:?} not after {:?}", server.clock());
+            }
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Log-bucketed histograms.
+//!
+//! Mirrors the exponential-bucket histograms a Prometheus-style backend
+//! exports: cheap to record, mergeable across replicas, percentile queries
+//! by bucket interpolation.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with exponentially-growing bucket boundaries.
+///
+/// Buckets cover `[lo * growth^i, lo * growth^(i+1))`; values below `lo`
+/// land in the first bucket and values beyond the last boundary in the
+/// overflow bucket. Defaults suit request latencies in milliseconds
+/// (0.1 ms … ~1.7 min with 10% growth).
+///
+/// # Examples
+///
+/// ```
+/// use evolve_telemetry::Histogram;
+///
+/// let mut h = Histogram::latency_default();
+/// for v in [1.0, 2.0, 3.0, 50.0, 120.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// let p80 = h.percentile(0.8).unwrap();
+/// assert!(p80 >= 3.0 && p80 <= 60.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    growth: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets starting at `lo` and
+    /// growing by factor `growth` per bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo <= 0`, `growth <= 1` or `buckets == 0`.
+    #[must_use]
+    pub fn new(lo: f64, growth: f64, buckets: usize) -> Self {
+        assert!(lo > 0.0, "histogram lower bound must be positive");
+        assert!(growth > 1.0, "histogram growth factor must exceed 1");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            lo,
+            growth,
+            counts: vec![0; buckets + 1], // +1 overflow bucket
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// A default layout for request latencies in milliseconds:
+    /// 0.1 ms lower bound, 10% growth, 150 buckets (≈0.1 ms to ≈1.7 min).
+    #[must_use]
+    pub fn latency_default() -> Self {
+        Histogram::new(0.1, 1.1, 150)
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let idx = self.bucket_index(value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn bucket_index(&self, value: f64) -> usize {
+        if value < self.lo {
+            return 0;
+        }
+        let idx = ((value / self.lo).ln() / self.growth.ln()).floor() as usize;
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// Lower boundary of bucket `i`.
+    fn bucket_lo(&self, i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else {
+            self.lo * self.growth.powi(i as i32)
+        }
+    }
+
+    /// Total recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of recorded values.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of recorded values, `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum / self.total as f64)
+    }
+
+    /// Smallest recorded value, `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value, `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Percentile by linear interpolation inside the containing bucket;
+    /// `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (p * self.total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            if *c == 0 {
+                continue;
+            }
+            let next = cumulative + c;
+            if next >= target {
+                let lo = self.bucket_lo(i).max(self.min);
+                let hi = if i + 1 < self.counts.len() {
+                    self.bucket_lo(i + 1).min(self.max)
+                } else {
+                    self.max
+                };
+                let frac = (target - cumulative) as f64 / *c as f64;
+                return Some(lo + (hi - lo).max(0.0) * frac);
+            }
+            cumulative = next;
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram recorded with the same layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics when layouts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            (self.lo - other.lo).abs() < 1e-12
+                && (self.growth - other.growth).abs() < 1e-12
+                && self.counts.len() == other.counts.len(),
+            "histogram layouts must match to merge"
+        );
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Clears all recorded values, keeping the layout.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_queries() {
+        let h = Histogram::latency_default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn count_sum_mean() {
+        let mut h = Histogram::latency_default();
+        for v in [1.0, 2.0, 3.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 6.0);
+        assert_eq!(h.mean(), Some(2.0));
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(3.0));
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let mut h = Histogram::latency_default();
+        for i in 1..=1000 {
+            h.record(f64::from(i));
+        }
+        let p50 = h.percentile(0.5).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        // Bucket resolution is 10%; allow that much error.
+        assert!((p50 - 500.0).abs() / 500.0 < 0.15, "p50 {p50}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.15, "p99 {p99}");
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn percentile_extremes_hit_min_max_region() {
+        let mut h = Histogram::latency_default();
+        for v in [10.0, 20.0, 30.0] {
+            h.record(v);
+        }
+        assert!(h.percentile(0.0).unwrap() <= 11.0);
+        assert!(h.percentile(1.0).unwrap() >= 27.0);
+    }
+
+    #[test]
+    fn values_below_lower_bound_land_in_first_bucket() {
+        let mut h = Histogram::new(1.0, 2.0, 8);
+        h.record(0.001);
+        assert_eq!(h.count(), 1);
+        assert!(h.percentile(1.0).unwrap() <= 0.001 + 1e-9);
+    }
+
+    #[test]
+    fn overflow_values_are_retained() {
+        let mut h = Histogram::new(1.0, 2.0, 4);
+        h.record(1e9);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), Some(1e9));
+    }
+
+    #[test]
+    fn non_finite_values_ignored() {
+        let mut h = Histogram::latency_default();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new(1.0, 2.0, 8);
+        let mut b = Histogram::new(1.0, 2.0, 8);
+        a.record(1.0);
+        b.record(100.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "layouts must match")]
+    fn merge_rejects_mismatched_layouts() {
+        let mut a = Histogram::new(1.0, 2.0, 8);
+        let b = Histogram::new(1.0, 3.0, 8);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = Histogram::latency_default();
+        h.record(5.0);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.9), None);
+    }
+}

@@ -1,0 +1,59 @@
+//! Metrics pipeline for the EVOLVE platform.
+//!
+//! The real EVOLVE/Skynet systems scrape Prometheus/cAdvisor metrics at a
+//! fixed cadence and feed filtered signals into the resource controllers.
+//! This crate reproduces that pipeline for the simulated cluster:
+//!
+//! * [`TimeSeries`] — bounded time-stamped sample buffers with window
+//!   queries, the storage backing every exported metric.
+//! * [`Ewma`], [`HoltLinear`], [`RateEstimator`] — the smoothing and
+//!   short-horizon prediction filters applied before control decisions.
+//! * [`P2Quantile`] and [`SlidingQuantile`] — online tail-latency
+//!   estimators (the P² algorithm for O(1)-memory percentiles and an exact
+//!   sliding-window variant for validation).
+//! * [`Histogram`] — log-bucketed latency histograms with percentile
+//!   queries, mirroring what a metrics backend exports.
+//! * [`PloTracker`] — performance-level-objective accounting: violation
+//!   windows, severity and time-in-violation.
+//! * [`UtilizationAccount`] — time-weighted utilization integrals
+//!   (allocated/capacity, used/capacity, used/allocated) per resource.
+//! * [`MetricRegistry`] — a string-keyed registry tying the above together
+//!   for experiment export.
+//!
+//! # Examples
+//!
+//! ```
+//! use evolve_telemetry::{P2Quantile, PloTracker, PloBound};
+//! use evolve_types::SimTime;
+//!
+//! let mut p99 = P2Quantile::new(0.99);
+//! for i in 0..1000 {
+//!     p99.observe(f64::from(i));
+//! }
+//! assert!(p99.value().unwrap() > 900.0);
+//!
+//! // A latency PLO of 100ms, evaluated per control window.
+//! let mut plo = PloTracker::new(100.0, PloBound::Upper);
+//! plo.record_window(SimTime::from_secs(1), 80.0);
+//! plo.record_window(SimTime::from_secs(2), 130.0);
+//! assert_eq!(plo.violations(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod filter;
+mod histogram;
+mod plo;
+mod quantile;
+mod registry;
+mod series;
+mod util;
+
+pub use filter::{Ewma, HoltLinear, RateEstimator};
+pub use histogram::Histogram;
+pub use plo::{PloBound, PloTracker, PloWindow};
+pub use quantile::{P2Quantile, SlidingQuantile};
+pub use registry::MetricRegistry;
+pub use series::{Sample, TimeSeries};
+pub use util::{UtilizationAccount, UtilizationSummary};

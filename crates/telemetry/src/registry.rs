@@ -1,0 +1,190 @@
+//! A string-keyed metric registry for experiment export.
+//!
+//! Experiment runners record named series ("app-0/p99_ms",
+//! "cluster/used_cpu") and counters, then dump everything as CSV for the
+//! figure scripts. This is the simulated stand-in for a Prometheus server.
+
+use std::collections::BTreeMap;
+
+use evolve_types::SimTime;
+
+use crate::series::TimeSeries;
+
+/// Named time series and counters.
+///
+/// # Examples
+///
+/// ```
+/// use evolve_telemetry::MetricRegistry;
+/// use evolve_types::SimTime;
+///
+/// let mut reg = MetricRegistry::new();
+/// reg.record("svc/p99_ms", SimTime::from_secs(1), 42.0);
+/// reg.incr("svc/requests", 3);
+/// assert_eq!(reg.counter("svc/requests"), 3);
+/// assert_eq!(reg.series("svc/p99_ms").unwrap().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricRegistry {
+    series: BTreeMap<String, TimeSeries>,
+    counters: BTreeMap<String, u64>,
+    series_capacity: usize,
+}
+
+impl MetricRegistry {
+    /// Creates an empty registry with the default per-series retention
+    /// (1 million samples).
+    #[must_use]
+    pub fn new() -> Self {
+        MetricRegistry::with_capacity(1_000_000)
+    }
+
+    /// Creates a registry whose series retain at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "series capacity must be positive");
+        MetricRegistry {
+            series: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            series_capacity: capacity,
+        }
+    }
+
+    /// Appends a sample to the named series, creating it on first use.
+    pub fn record(&mut self, name: &str, at: SimTime, value: f64) {
+        self.series
+            .entry(name.to_owned())
+            .or_insert_with(|| TimeSeries::new(self.series_capacity))
+            .push(at, value);
+    }
+
+    /// Increments the named counter by `by`.
+    pub fn incr(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Reads a counter (0 when never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Looks up a series by name.
+    #[must_use]
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// All series names in sorted order.
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// All counter names in sorted order.
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(String::as_str)
+    }
+
+    /// Renders one series as a two-column CSV (`seconds,value`) with a
+    /// header row; empty string when the series does not exist.
+    #[must_use]
+    pub fn series_csv(&self, name: &str) -> String {
+        let Some(s) = self.series.get(name) else {
+            return String::new();
+        };
+        let mut out = String::from("seconds,value\n");
+        for (t, v) in s.to_points() {
+            out.push_str(&format!("{t:.6},{v}\n"));
+        }
+        out
+    }
+
+    /// Renders several series as a wide CSV keyed by the first series'
+    /// timestamps (values matched by position; series produced by the same
+    /// scrape loop align exactly).
+    #[must_use]
+    pub fn wide_csv(&self, names: &[&str]) -> String {
+        let mut out = String::from("seconds");
+        for n in names {
+            out.push(',');
+            out.push_str(n);
+        }
+        out.push('\n');
+        let Some(first) = names.first().and_then(|n| self.series.get(*n)) else {
+            return out;
+        };
+        let columns: Vec<Vec<(f64, f64)>> =
+            names.iter().map(|n| self.series.get(*n).map_or_else(Vec::new, TimeSeries::to_points)).collect();
+        for (i, (t, _)) in first.to_points().iter().enumerate() {
+            out.push_str(&format!("{t:.6}"));
+            for col in &columns {
+                match col.get(i) {
+                    Some((_, v)) => out.push_str(&format!(",{v}")),
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_lookup() {
+        let mut r = MetricRegistry::new();
+        r.record("a", SimTime::from_secs(1), 1.0);
+        r.record("a", SimTime::from_secs(2), 2.0);
+        r.record("b", SimTime::from_secs(1), 9.0);
+        assert_eq!(r.series("a").unwrap().len(), 2);
+        assert_eq!(r.series("b").unwrap().len(), 1);
+        assert!(r.series("missing").is_none());
+        assert_eq!(r.series_names().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = MetricRegistry::new();
+        r.incr("x", 2);
+        r.incr("x", 3);
+        assert_eq!(r.counter("x"), 5);
+        assert_eq!(r.counter("y"), 0);
+        assert_eq!(r.counter_names().collect::<Vec<_>>(), vec!["x"]);
+    }
+
+    #[test]
+    fn series_csv_format() {
+        let mut r = MetricRegistry::new();
+        r.record("m", SimTime::from_millis(500), 3.5);
+        let csv = r.series_csv("m");
+        assert!(csv.starts_with("seconds,value\n"));
+        assert!(csv.contains("0.500000,3.5"));
+        assert_eq!(r.series_csv("none"), "");
+    }
+
+    #[test]
+    fn wide_csv_aligns_columns() {
+        let mut r = MetricRegistry::new();
+        for i in 0..3u64 {
+            r.record("p", SimTime::from_secs(i), i as f64);
+            r.record("q", SimTime::from_secs(i), 10.0 * i as f64);
+        }
+        let csv = r.wide_csv(&["p", "q"]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "seconds,p,q");
+        assert_eq!(lines[2], "1.000000,1,10");
+    }
+
+    #[test]
+    fn wide_csv_with_missing_series_is_header_only() {
+        let r = MetricRegistry::new();
+        assert_eq!(r.wide_csv(&["nope"]), "seconds,nope\n");
+    }
+}

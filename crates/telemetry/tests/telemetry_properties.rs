@@ -1,0 +1,128 @@
+//! Property-based tests for the telemetry primitives.
+
+use evolve_telemetry::{
+    Ewma, Histogram, P2Quantile, PloBound, PloTracker, SlidingQuantile, UtilizationAccount,
+};
+use evolve_types::{Resource, ResourceVec, SimTime};
+use proptest::prelude::*;
+
+fn arb_values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0..1e6f64, 1..300)
+}
+
+proptest! {
+    #[test]
+    fn p2_estimate_within_observed_range(values in arb_values(), p in 0.01..0.99f64) {
+        let mut q = P2Quantile::new(p);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for v in &values {
+            q.observe(*v);
+            lo = lo.min(*v);
+            hi = hi.max(*v);
+        }
+        let est = q.value().unwrap();
+        prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "estimate {est} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn sliding_quantile_monotone_in_p(values in arb_values()) {
+        let mut q = SlidingQuantile::new(500);
+        for v in values {
+            q.observe(v);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for p in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = q.quantile(p).unwrap();
+            prop_assert!(v >= prev, "quantile not monotone at p={p}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_bracketed_and_monotone(values in arb_values()) {
+        let mut h = Histogram::new(0.1, 1.2, 100);
+        for v in &values {
+            h.record(*v);
+        }
+        let min = h.min().unwrap();
+        let max = h.max().unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for p in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.percentile(p).unwrap();
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9, "p{p}: {v} outside [{min}, {max}]");
+            prop_assert!(v >= prev - 1e-9, "percentiles not monotone");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn histogram_merge_equals_bulk_recording(a in arb_values(), b in arb_values()) {
+        let mut ha = Histogram::new(0.1, 1.2, 100);
+        let mut hb = Histogram::new(0.1, 1.2, 100);
+        let mut hall = Histogram::new(0.1, 1.2, 100);
+        for v in &a {
+            ha.record(*v);
+            hall.record(*v);
+        }
+        for v in &b {
+            hb.record(*v);
+            hall.record(*v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hall.count());
+        prop_assert_eq!(ha.percentile(0.9), hall.percentile(0.9));
+    }
+
+    #[test]
+    fn ewma_stays_within_observed_range(values in arb_values(), alpha in 0.01..1.0f64) {
+        let mut f = Ewma::new(alpha);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for v in values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+            let out = f.observe(v);
+            prop_assert!(out >= lo - 1e-9 && out <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn plo_tracker_counts_are_consistent(
+        measurements in prop::collection::vec(0.0..200.0f64, 1..200),
+        target in 1.0..100.0f64,
+    ) {
+        let mut t = PloTracker::new(target, PloBound::Upper);
+        let mut expected = 0u64;
+        for (i, m) in measurements.iter().enumerate() {
+            if *m > target {
+                expected += 1;
+            }
+            t.record_window(SimTime::from_secs(i as u64), *m);
+        }
+        prop_assert_eq!(t.violations(), expected);
+        prop_assert!(t.violation_rate() >= 0.0 && t.violation_rate() <= 1.0);
+        prop_assert!(t.worst_severity() >= t.mean_severity() || t.violations() == 0);
+    }
+
+    #[test]
+    fn utilization_shares_bounded_when_inputs_bounded(
+        states in prop::collection::vec(((0.0..100.0f64), (0.0..100.0f64)), 2..50),
+    ) {
+        let cap = ResourceVec::splat(100.0);
+        let mut acct = UtilizationAccount::new(cap);
+        for (i, (alloc, used)) in states.iter().enumerate() {
+            acct.record(
+                SimTime::from_secs(i as u64 * 10),
+                ResourceVec::splat(*alloc),
+                ResourceVec::splat(*used),
+            );
+        }
+        let s = acct.summary();
+        for r in Resource::ALL {
+            prop_assert!(s.allocated_share[r] >= 0.0 && s.allocated_share[r] <= 1.0 + 1e-9);
+            prop_assert!(s.used_share[r] >= 0.0 && s.used_share[r] <= 1.0 + 1e-9);
+            prop_assert!(s.efficiency[r] >= 0.0 && s.efficiency[r] <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Shared error type for fallible platform operations.
+
+use std::fmt;
+
+use crate::{AppId, NodeId, PodId};
+
+/// Errors raised by EVOLVE components.
+///
+/// # Examples
+///
+/// ```
+/// use evolve_types::{Error, NodeId};
+///
+/// let err = Error::UnknownNode(NodeId::new(9));
+/// assert_eq!(err.to_string(), "unknown node node-9");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A node id was not found in the cluster.
+    UnknownNode(NodeId),
+    /// A pod id was not found in the cluster.
+    UnknownPod(PodId),
+    /// An application id was not registered with the manager.
+    UnknownApp(AppId),
+    /// A placement or resize was rejected because the target node lacks
+    /// capacity.
+    InsufficientCapacity {
+        /// Node that could not accommodate the change.
+        node: NodeId,
+        /// Human-readable description of the shortfall.
+        detail: String,
+    },
+    /// A configuration value was rejected at validation time.
+    InvalidConfig(String),
+    /// An operation was attempted against an entity in the wrong state
+    /// (e.g. resizing a pod that already terminated).
+    InvalidState(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownNode(id) => write!(f, "unknown node {id}"),
+            Error::UnknownPod(id) => write!(f, "unknown pod {id}"),
+            Error::UnknownApp(id) => write!(f, "unknown app {id}"),
+            Error::InsufficientCapacity { node, detail } => {
+                write!(f, "insufficient capacity on {node}: {detail}")
+            }
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let cases = [
+            Error::UnknownNode(NodeId::new(0)).to_string(),
+            Error::UnknownPod(PodId::new(1)).to_string(),
+            Error::UnknownApp(AppId::new(2)).to_string(),
+            Error::InvalidConfig("bad gain".into()).to_string(),
+            Error::InvalidState("pod terminated".into()).to_string(),
+            Error::InsufficientCapacity { node: NodeId::new(3), detail: "cpu".into() }.to_string(),
+        ];
+        for msg in cases {
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the `ResourceVec` algebra.
+
+use evolve_types::{Resource, ResourceVec, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_vec() -> impl Strategy<Value = ResourceVec> {
+    (0.0..1e6f64, 0.0..1e6f64, 0.0..1e6f64, 0.0..1e6f64)
+        .prop_map(|(c, m, d, n)| ResourceVec::new(c, m, d, n))
+}
+
+proptest! {
+    #[test]
+    fn addition_is_commutative(a in arb_vec(), b in arb_vec()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn addition_identity(a in arb_vec()) {
+        prop_assert_eq!(a + ResourceVec::ZERO, a);
+    }
+
+    #[test]
+    fn subtraction_never_negative(a in arb_vec(), b in arb_vec()) {
+        let out = a - b;
+        for r in Resource::ALL {
+            prop_assert!(out[r] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sub_then_add_dominates_original(a in arb_vec(), b in arb_vec()) {
+        // (a - b) + b >= a element-wise because subtraction saturates.
+        let out = (a - b) + b;
+        for r in Resource::ALL {
+            prop_assert!(out[r] >= a[r] - 1e-6);
+        }
+    }
+
+    #[test]
+    fn fits_within_is_reflexive(a in arb_vec()) {
+        prop_assert!(a.fits_within(&a));
+    }
+
+    #[test]
+    fn fits_within_is_transitive(a in arb_vec(), b in arb_vec(), c in arb_vec()) {
+        if a.fits_within(&b) && b.fits_within(&c) {
+            // Allow the epsilon slack to accumulate across two hops.
+            let c_eps = c + ResourceVec::splat(1e-8);
+            prop_assert!(a.fits_within(&c_eps));
+        }
+    }
+
+    #[test]
+    fn max_is_upper_bound(a in arb_vec(), b in arb_vec()) {
+        let m = a.max(&b);
+        prop_assert!(a.fits_within(&m));
+        prop_assert!(b.fits_within(&m));
+    }
+
+    #[test]
+    fn min_is_lower_bound(a in arb_vec(), b in arb_vec()) {
+        let m = a.min(&b);
+        prop_assert!(m.fits_within(&a));
+        prop_assert!(m.fits_within(&b));
+    }
+
+    #[test]
+    fn dominant_share_bounded(a in arb_vec(), cap in arb_vec()) {
+        let (_, share) = a.dominant(&cap);
+        prop_assert!(share >= 0.0);
+        if a.fits_within(&cap) {
+            prop_assert!(share <= 1.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn scalar_mul_distributes(a in arb_vec(), b in arb_vec(), k in 0.0..100.0f64) {
+        let lhs = (a + b) * k;
+        let rhs = a * k + b * k;
+        for r in Resource::ALL {
+            prop_assert!((lhs[r] - rhs[r]).abs() <= 1e-6 * (1.0 + lhs[r].abs()));
+        }
+    }
+
+    #[test]
+    fn sanitized_is_always_valid(c in any::<f64>(), m in any::<f64>(), d in any::<f64>(), n in any::<f64>()) {
+        prop_assert!(ResourceVec::new(c, m, d, n).sanitized().is_valid());
+    }
+
+    #[test]
+    fn time_add_sub_roundtrip(base in 0u64..1_000_000_000, delta in 0u64..1_000_000_000) {
+        let t = SimTime::from_micros(base);
+        let d = SimDuration::from_micros(delta);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d).saturating_since(t), d);
+    }
+
+    #[test]
+    fn duration_float_roundtrip(micros in 0u64..1_000_000_000_000) {
+        let d = SimDuration::from_micros(micros);
+        let rt = SimDuration::from_secs_f64(d.as_secs_f64());
+        let diff = rt.as_micros().abs_diff(d.as_micros());
+        // Round-trip through f64 seconds is exact to well under a microsecond
+        // at this magnitude.
+        prop_assert!(diff <= 1, "diff {diff}");
+    }
+}

@@ -1,0 +1,480 @@
+//! Request-rate profiles and arrival-time sampling.
+//!
+//! A [`LoadProfile`] maps simulated time to an instantaneous request rate;
+//! [`PoissonArrivals`] draws actual arrival instants from any profile via
+//! Lewis–Shedler thinning (a non-homogeneous Poisson process). Profiles
+//! cover the dynamics that make autoscaling hard: slow diurnal swings,
+//! linear ramps, multiplicative flash crowds, Markov-modulated burstiness
+//! and recorded traces.
+
+use evolve_types::{SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::sampling::sample_exponential;
+
+/// A time-varying request-rate function (requests/second).
+///
+/// Implementations may be stochastic (the MMPP keeps internal state), so
+/// `rate_at` takes `&mut self` and an RNG. Callers must query with
+/// non-decreasing timestamps.
+pub trait LoadProfile: Send {
+    /// Instantaneous rate at `at`, in requests/second.
+    fn rate_at(&mut self, at: SimTime, rng: &mut dyn rand::RngCore) -> f64;
+
+    /// An upper bound on the rate over all time (used as the thinning
+    /// majorant; must dominate every value `rate_at` can return).
+    fn max_rate(&self) -> f64;
+}
+
+/// A constant request rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConstantLoad {
+    rate: f64,
+}
+
+impl ConstantLoad {
+    /// Creates a constant profile of `rate` requests/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate` is negative or non-finite.
+    #[must_use]
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate >= 0.0, "rate must be finite and non-negative");
+        ConstantLoad { rate }
+    }
+}
+
+impl LoadProfile for ConstantLoad {
+    fn rate_at(&mut self, _at: SimTime, _rng: &mut dyn rand::RngCore) -> f64 {
+        self.rate
+    }
+    fn max_rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// A sinusoidal day/night pattern:
+/// `base × (1 + amplitude · sin(2πt/period))`, floored at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalLoad {
+    base: f64,
+    amplitude: f64,
+    period: SimDuration,
+    phase: f64,
+}
+
+impl DiurnalLoad {
+    /// Creates a diurnal profile around `base` with relative `amplitude`
+    /// in `[0, 1]` and the given `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `base < 0`, `amplitude` outside `[0, 1]`, or `period`
+    /// is zero.
+    #[must_use]
+    pub fn new(base: f64, amplitude: f64, period: SimDuration) -> Self {
+        assert!(base >= 0.0, "base rate must be non-negative");
+        assert!((0.0..=1.0).contains(&amplitude), "amplitude must be in [0, 1]");
+        assert!(!period.is_zero(), "period must be positive");
+        DiurnalLoad { base, amplitude, period, phase: 0.0 }
+    }
+
+    /// Shifts the pattern by `phase` radians (stagger multiple services).
+    #[must_use]
+    pub fn with_phase(mut self, phase: f64) -> Self {
+        self.phase = phase;
+        self
+    }
+}
+
+impl LoadProfile for DiurnalLoad {
+    fn rate_at(&mut self, at: SimTime, _rng: &mut dyn rand::RngCore) -> f64 {
+        let x = at.as_secs_f64() / self.period.as_secs_f64();
+        let r = self.base
+            * (1.0 + self.amplitude * (2.0 * std::f64::consts::PI * x + self.phase).sin());
+        r.max(0.0)
+    }
+    fn max_rate(&self) -> f64 {
+        self.base * (1.0 + self.amplitude)
+    }
+}
+
+/// A linear ramp from `from` to `to` over `duration`, constant afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RampLoad {
+    from: f64,
+    to: f64,
+    duration: SimDuration,
+}
+
+impl RampLoad {
+    /// Creates a ramp profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either rate is negative or `duration` is zero.
+    #[must_use]
+    pub fn new(from: f64, to: f64, duration: SimDuration) -> Self {
+        assert!(from >= 0.0 && to >= 0.0, "rates must be non-negative");
+        assert!(!duration.is_zero(), "ramp duration must be positive");
+        RampLoad { from, to, duration }
+    }
+}
+
+impl LoadProfile for RampLoad {
+    fn rate_at(&mut self, at: SimTime, _rng: &mut dyn rand::RngCore) -> f64 {
+        let frac = (at.as_secs_f64() / self.duration.as_secs_f64()).min(1.0);
+        self.from + (self.to - self.from) * frac
+    }
+    fn max_rate(&self) -> f64 {
+        self.from.max(self.to)
+    }
+}
+
+/// A flash crowd: `base` rate, multiplied by `spike_factor` during
+/// `[start, start+duration)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlashCrowdLoad {
+    base: f64,
+    spike_factor: f64,
+    start: SimTime,
+    duration: SimDuration,
+}
+
+impl FlashCrowdLoad {
+    /// Creates a flash-crowd profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `base < 0` or `spike_factor < 1`.
+    #[must_use]
+    pub fn new(base: f64, spike_factor: f64, start: SimTime, duration: SimDuration) -> Self {
+        assert!(base >= 0.0, "base rate must be non-negative");
+        assert!(spike_factor >= 1.0, "spike factor must be at least 1");
+        FlashCrowdLoad { base, spike_factor, start, duration }
+    }
+
+    /// When the spike begins.
+    #[must_use]
+    pub fn spike_start(&self) -> SimTime {
+        self.start
+    }
+}
+
+impl LoadProfile for FlashCrowdLoad {
+    fn rate_at(&mut self, at: SimTime, _rng: &mut dyn rand::RngCore) -> f64 {
+        if at >= self.start && at < self.start + self.duration {
+            self.base * self.spike_factor
+        } else {
+            self.base
+        }
+    }
+    fn max_rate(&self) -> f64 {
+        self.base * self.spike_factor
+    }
+}
+
+/// A two-state Markov-modulated Poisson process (bursty traffic): the rate
+/// alternates between `low_rate` and `high_rate`, with exponentially
+/// distributed dwell times in each state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MmppLoad {
+    low_rate: f64,
+    high_rate: f64,
+    mean_dwell: SimDuration,
+    /// Current state (false = low).
+    in_high: bool,
+    /// When the current state expires.
+    next_switch: SimTime,
+}
+
+impl MmppLoad {
+    /// Creates a bursty profile alternating between the two rates with
+    /// the given mean state dwell time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when rates are negative, inverted, or `mean_dwell` is zero.
+    #[must_use]
+    pub fn new(low_rate: f64, high_rate: f64, mean_dwell: SimDuration) -> Self {
+        assert!(low_rate >= 0.0 && high_rate >= low_rate, "need 0 <= low <= high");
+        assert!(!mean_dwell.is_zero(), "mean dwell must be positive");
+        MmppLoad { low_rate, high_rate, mean_dwell, in_high: false, next_switch: SimTime::ZERO }
+    }
+}
+
+impl LoadProfile for MmppLoad {
+    fn rate_at(&mut self, at: SimTime, rng: &mut dyn rand::RngCore) -> f64 {
+        while at >= self.next_switch {
+            self.in_high = !self.in_high;
+            let dwell = sample_exponential(rng, 1.0 / self.mean_dwell.as_secs_f64());
+            self.next_switch = self.next_switch + SimDuration::from_secs_f64(dwell.max(1e-3));
+        }
+        if self.in_high {
+            self.high_rate
+        } else {
+            self.low_rate
+        }
+    }
+    fn max_rate(&self) -> f64 {
+        self.high_rate
+    }
+}
+
+/// Piecewise-constant playback of a recorded `(time, rate)` trace; the
+/// last rate persists beyond the trace end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceLoad {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TraceLoad {
+    /// Creates a trace profile from time-ordered `(time, rate)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace is empty, unsorted, or contains negative
+    /// rates.
+    #[must_use]
+    pub fn new(points: Vec<(SimTime, f64)>) -> Self {
+        assert!(!points.is_empty(), "trace must not be empty");
+        assert!(points.windows(2).all(|w| w[0].0 <= w[1].0), "trace must be time-ordered");
+        assert!(points.iter().all(|(_, r)| *r >= 0.0), "trace rates must be non-negative");
+        TraceLoad { points }
+    }
+}
+
+impl LoadProfile for TraceLoad {
+    fn rate_at(&mut self, at: SimTime, _rng: &mut dyn rand::RngCore) -> f64 {
+        match self.points.partition_point(|(t, _)| *t <= at) {
+            0 => self.points[0].1,
+            n => self.points[n - 1].1,
+        }
+    }
+    fn max_rate(&self) -> f64 {
+        self.points.iter().map(|(_, r)| *r).fold(0.0, f64::max)
+    }
+}
+
+/// Samples arrival instants from a [`LoadProfile`] by Lewis–Shedler
+/// thinning.
+///
+/// # Examples
+///
+/// ```
+/// use evolve_workload::{ConstantLoad, PoissonArrivals};
+/// use evolve_types::SimTime;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut arr = PoissonArrivals::new(Box::new(ConstantLoad::new(50.0)));
+/// let mut rng = ChaCha8Rng::seed_from_u64(3);
+/// let mut t = SimTime::ZERO;
+/// let mut count = 0;
+/// while let Some(next) = arr.next_after(t, &mut rng) {
+///     if next > SimTime::from_secs(10) { break; }
+///     t = next;
+///     count += 1;
+/// }
+/// // ~500 arrivals in 10 s at 50 req/s.
+/// assert!(count > 400 && count < 600);
+/// ```
+pub struct PoissonArrivals {
+    profile: Box<dyn LoadProfile>,
+}
+
+impl std::fmt::Debug for PoissonArrivals {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoissonArrivals").field("max_rate", &self.profile.max_rate()).finish()
+    }
+}
+
+impl PoissonArrivals {
+    /// Creates a sampler over the given profile.
+    #[must_use]
+    pub fn new(profile: Box<dyn LoadProfile>) -> Self {
+        PoissonArrivals { profile }
+    }
+
+    /// The next arrival strictly after `after`, or `None` when the profile
+    /// rate is (effectively) zero forever.
+    pub fn next_after<R: Rng>(&mut self, after: SimTime, rng: &mut R) -> Option<SimTime> {
+        let majorant = self.profile.max_rate();
+        if majorant <= 1e-12 {
+            return None;
+        }
+        let mut t = after;
+        // Thinning: candidate gaps at the majorant rate, accept with
+        // probability rate(t)/majorant.
+        for _ in 0..100_000 {
+            let gap = sample_exponential(rng, majorant);
+            // Clock resolution is 1µs; guarantee strictly increasing times.
+            let gap = SimDuration::from_secs_f64(gap).max(SimDuration::from_micros(1));
+            t = t + gap;
+            let r = self.profile.rate_at(t, rng);
+            if rng.gen::<f64>() * majorant <= r {
+                return Some(t);
+            }
+        }
+        None // pathologically low acceptance; treat as silent profile
+    }
+
+    /// The profile's instantaneous rate (telemetry/debugging).
+    pub fn rate_at<R: Rng>(&mut self, at: SimTime, rng: &mut R) -> f64 {
+        self.profile.rate_at(at, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    fn count_arrivals(profile: Box<dyn LoadProfile>, horizon_secs: u64, seed: u64) -> usize {
+        let mut arr = PoissonArrivals::new(profile);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let horizon = SimTime::from_secs(horizon_secs);
+        let mut t = SimTime::ZERO;
+        let mut n = 0;
+        while let Some(next) = arr.next_after(t, &mut rng) {
+            if next > horizon {
+                break;
+            }
+            t = next;
+            n += 1;
+        }
+        n
+    }
+
+    #[test]
+    fn constant_rate_counts_match() {
+        let n = count_arrivals(Box::new(ConstantLoad::new(100.0)), 100, 1);
+        assert!((9_000..11_000).contains(&n), "arrivals {n}");
+    }
+
+    #[test]
+    fn zero_rate_produces_nothing() {
+        let mut arr = PoissonArrivals::new(Box::new(ConstantLoad::new(0.0)));
+        assert_eq!(arr.next_after(SimTime::ZERO, &mut rng()), None);
+    }
+
+    #[test]
+    fn diurnal_peaks_and_troughs() {
+        let mut d = DiurnalLoad::new(100.0, 0.5, SimDuration::from_secs(3600));
+        let mut r = rng();
+        // Peak at period/4, trough at 3·period/4.
+        let peak = d.rate_at(SimTime::from_secs(900), &mut r);
+        let trough = d.rate_at(SimTime::from_secs(2700), &mut r);
+        assert!((peak - 150.0).abs() < 1.0, "peak {peak}");
+        assert!((trough - 50.0).abs() < 1.0, "trough {trough}");
+        assert_eq!(d.max_rate(), 150.0);
+    }
+
+    #[test]
+    fn diurnal_full_amplitude_floors_at_zero() {
+        let mut d = DiurnalLoad::new(10.0, 1.0, SimDuration::from_secs(100));
+        let mut r = rng();
+        let trough = d.rate_at(SimTime::from_secs(75), &mut r);
+        assert!(trough.abs() < 1e-9);
+    }
+
+    #[test]
+    fn ramp_interpolates_then_holds() {
+        let mut p = RampLoad::new(10.0, 110.0, SimDuration::from_secs(100));
+        let mut r = rng();
+        assert_eq!(p.rate_at(SimTime::ZERO, &mut r), 10.0);
+        assert!((p.rate_at(SimTime::from_secs(50), &mut r) - 60.0).abs() < 1e-9);
+        assert_eq!(p.rate_at(SimTime::from_secs(500), &mut r), 110.0);
+    }
+
+    #[test]
+    fn flash_crowd_window() {
+        let mut p = FlashCrowdLoad::new(
+            20.0,
+            5.0,
+            SimTime::from_secs(100),
+            SimDuration::from_secs(50),
+        );
+        let mut r = rng();
+        assert_eq!(p.rate_at(SimTime::from_secs(99), &mut r), 20.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(100), &mut r), 100.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(149), &mut r), 100.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(150), &mut r), 20.0);
+        assert_eq!(p.spike_start(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn mmpp_visits_both_states() {
+        let mut p = MmppLoad::new(10.0, 100.0, SimDuration::from_secs(5));
+        let mut r = rng();
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for s in 0..200u64 {
+            let rate = p.rate_at(SimTime::from_secs(s), &mut r);
+            if rate == 10.0 {
+                seen_low = true;
+            }
+            if rate == 100.0 {
+                seen_high = true;
+            }
+        }
+        assert!(seen_low && seen_high);
+    }
+
+    #[test]
+    fn trace_playback_steps() {
+        let mut p = TraceLoad::new(vec![
+            (SimTime::from_secs(0), 5.0),
+            (SimTime::from_secs(10), 50.0),
+            (SimTime::from_secs(20), 15.0),
+        ]);
+        let mut r = rng();
+        assert_eq!(p.rate_at(SimTime::from_secs(5), &mut r), 5.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(10), &mut r), 50.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(99), &mut r), 15.0);
+        assert_eq!(p.max_rate(), 50.0);
+    }
+
+    #[test]
+    fn diurnal_arrival_counts_track_rate() {
+        // One full period: total arrivals ≈ base × horizon.
+        let n = count_arrivals(
+            Box::new(DiurnalLoad::new(50.0, 0.9, SimDuration::from_secs(100))),
+            100,
+            5,
+        );
+        assert!((4_000..6_000).contains(&n), "arrivals {n}");
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let mut arr = PoissonArrivals::new(Box::new(ConstantLoad::new(1000.0)));
+        let mut r = rng();
+        let mut t = SimTime::ZERO;
+        for _ in 0..1000 {
+            let next = arr.next_after(t, &mut r).unwrap();
+            assert!(next > t);
+            t = next;
+        }
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let a = count_arrivals(Box::new(ConstantLoad::new(100.0)), 10, 99);
+        let b = count_arrivals(Box::new(ConstantLoad::new(100.0)), 10, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace must be time-ordered")]
+    fn trace_rejects_unsorted() {
+        let _ = TraceLoad::new(vec![(SimTime::from_secs(5), 1.0), (SimTime::from_secs(1), 1.0)]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Workload generation for the EVOLVE platform.
+//!
+//! EVOLVE's thesis is that the Big-Data, HPC and Cloud worlds should share
+//! one consolidated infrastructure. This crate provides the synthetic
+//! stand-ins for all three (the substitution for the paper's production
+//! workloads and traces):
+//!
+//! * [`LoadProfile`] implementations — constant, diurnal, ramp,
+//!   flash-crowd, Markov-modulated (bursty) and trace-playback request
+//!   rates — plus [`PoissonArrivals`], a non-homogeneous Poisson sampler
+//!   over any profile.
+//! * [`RequestClass`] — per-request multi-resource demand vectors with
+//!   configurable variability, drawn from heavy-tailed distributions.
+//! * Application archetypes: [`ServiceSpec`] (latency-critical cloud
+//!   microservice), [`BatchJobSpec`] (staged big-data dataflow job) and
+//!   [`HpcJobSpec`] (gang-scheduled iterative HPC job).
+//! * [`WorkloadMix`] and the scenario library — the pre-built mixes each
+//!   experiment in EXPERIMENTS.md uses.
+//!
+//! # Examples
+//!
+//! ```
+//! use evolve_workload::{DiurnalLoad, LoadProfile, PoissonArrivals};
+//! use evolve_types::{SimDuration, SimTime};
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let profile = DiurnalLoad::new(100.0, 0.8, SimDuration::from_secs(3600));
+//! let mut rng = ChaCha8Rng::seed_from_u64(7);
+//! let mut arrivals = PoissonArrivals::new(Box::new(profile));
+//! let first = arrivals.next_after(SimTime::ZERO, &mut rng).unwrap();
+//! assert!(first > SimTime::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apps;
+mod arrival;
+mod request;
+mod sampling;
+mod scenario;
+
+pub use apps::{BatchJobSpec, HpcJobSpec, PloSpec, ServiceSpec, StageSpec, WorldClass};
+pub use arrival::{
+    ConstantLoad, DiurnalLoad, FlashCrowdLoad, LoadProfile, MmppLoad, PoissonArrivals, RampLoad,
+    TraceLoad,
+};
+pub use request::{Request, RequestClass};
+pub use sampling::{sample_exponential, sample_lognormal, sample_pareto};
+pub use scenario::{LoadSpec, Scenario, WorkloadMix};

@@ -1,0 +1,184 @@
+//! Distribution sampling helpers.
+//!
+//! The approved dependency set includes `rand` but not `rand_distr`, so
+//! the non-uniform distributions workloads need (exponential inter-arrival
+//! gaps, log-normal service demands, Pareto tails) are implemented here
+//! from uniform variates.
+
+use rand::Rng;
+
+/// Samples an exponential variate with the given rate (events per unit).
+///
+/// # Examples
+///
+/// ```
+/// use evolve_workload::sample_exponential;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(1);
+/// let x = sample_exponential(&mut rng, 2.0);
+/// assert!(x >= 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `rate` is not positive.
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive");
+    // gen::<f64>() ∈ [0, 1); use 1-u ∈ (0, 1] to avoid ln(0).
+    let u: f64 = rng.gen();
+    -(1.0 - u).ln() / rate
+}
+
+/// Samples a log-normal variate parameterized by its **mean** and
+/// coefficient of variation (σ/μ of the resulting distribution).
+///
+/// A CV of 0 returns the mean deterministically.
+///
+/// # Examples
+///
+/// ```
+/// use evolve_workload::sample_lognormal;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(1);
+/// let x = sample_lognormal(&mut rng, 10.0, 0.5);
+/// assert!(x > 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `mean` is not positive or `cv` is negative.
+pub fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, mean: f64, cv: f64) -> f64 {
+    assert!(mean > 0.0, "log-normal mean must be positive");
+    assert!(cv >= 0.0, "coefficient of variation must be non-negative");
+    if cv == 0.0 {
+        return mean;
+    }
+    // For LogNormal(μ, σ): mean = exp(μ + σ²/2), cv² = exp(σ²) - 1.
+    let sigma2 = (1.0 + cv * cv).ln();
+    let mu = mean.ln() - sigma2 / 2.0;
+    let z = sample_standard_normal(rng);
+    (mu + sigma2.sqrt() * z).exp()
+}
+
+/// Samples a Pareto variate with scale `xm` and shape `alpha` (heavy tail
+/// for `alpha` close to 1).
+///
+/// # Examples
+///
+/// ```
+/// use evolve_workload::sample_pareto;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(1);
+/// let x = sample_pareto(&mut rng, 1.0, 2.0);
+/// assert!(x >= 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `xm` or `alpha` is not positive.
+pub fn sample_pareto<R: Rng + ?Sized>(rng: &mut R, xm: f64, alpha: f64) -> f64 {
+    assert!(xm > 0.0, "pareto scale must be positive");
+    assert!(alpha > 0.0, "pareto shape must be positive");
+    let u: f64 = rng.gen();
+    xm / (1.0 - u).powf(1.0 / alpha)
+}
+
+/// Box–Muller standard normal.
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = rng();
+        let n = 100_000;
+        let rate = 4.0;
+        let mean: f64 = (0..n).map(|_| sample_exponential(&mut r, rate)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_non_negative() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(sample_exponential(&mut r, 0.1) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_mean_and_cv_match() {
+        let mut r = rng();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_lognormal(&mut r, 50.0, 0.8)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let cv = var.sqrt() / mean;
+        assert!((mean - 50.0).abs() / 50.0 < 0.02, "mean {mean}");
+        assert!((cv - 0.8).abs() < 0.05, "cv {cv}");
+    }
+
+    #[test]
+    fn lognormal_zero_cv_is_deterministic() {
+        let mut r = rng();
+        assert_eq!(sample_lognormal(&mut r, 7.0, 0.0), 7.0);
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(sample_lognormal(&mut r, 1.0, 2.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(sample_pareto(&mut r, 3.0, 1.5) >= 3.0);
+        }
+    }
+
+    #[test]
+    fn pareto_mean_for_shape_two() {
+        // Mean of Pareto(xm=1, α=2) is α·xm/(α-1) = 2.
+        let mut r = rng();
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| sample_pareto(&mut r, 1.0, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(sample_exponential(&mut a, 1.0), sample_exponential(&mut b, 1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        let mut r = rng();
+        let _ = sample_exponential(&mut r, 0.0);
+    }
+}

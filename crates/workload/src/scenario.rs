@@ -1,0 +1,704 @@
+//! The scenario library: pre-built workload mixes for every experiment.
+//!
+//! Each experiment in EXPERIMENTS.md references one of these presets, so
+//! a benchmark binary and a curious user construct byte-identical
+//! workloads. [`LoadSpec`] is the serializable description of a load
+//! profile; [`WorkloadMix`] aggregates services and jobs; [`Scenario`]
+//! bundles a mix with a name and simulation horizon.
+
+use evolve_types::{ResourceVec, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::apps::{BatchJobSpec, HpcJobSpec, PloSpec, ServiceSpec, StageSpec};
+use crate::arrival::{
+    ConstantLoad, DiurnalLoad, FlashCrowdLoad, LoadProfile, MmppLoad, RampLoad, TraceLoad,
+};
+use crate::request::RequestClass;
+
+/// Serializable description of a load profile, turned into a live
+/// [`LoadProfile`] with [`LoadSpec::build`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LoadSpec {
+    /// Constant rate.
+    Constant {
+        /// Requests per second.
+        rate: f64,
+    },
+    /// Sinusoidal day/night pattern.
+    Diurnal {
+        /// Mean rate.
+        base: f64,
+        /// Relative amplitude in `[0, 1]`.
+        amplitude: f64,
+        /// Pattern period.
+        period: SimDuration,
+        /// Phase offset in radians.
+        phase: f64,
+    },
+    /// Linear ramp.
+    Ramp {
+        /// Starting rate.
+        from: f64,
+        /// Final rate.
+        to: f64,
+        /// Ramp duration.
+        duration: SimDuration,
+    },
+    /// Flash crowd spike.
+    FlashCrowd {
+        /// Baseline rate.
+        base: f64,
+        /// Multiplier during the spike.
+        spike_factor: f64,
+        /// Spike start.
+        start: SimTime,
+        /// Spike duration.
+        duration: SimDuration,
+    },
+    /// Two-state Markov-modulated (bursty) traffic.
+    Mmpp {
+        /// Low-state rate.
+        low: f64,
+        /// High-state rate.
+        high: f64,
+        /// Mean dwell per state.
+        mean_dwell: SimDuration,
+    },
+    /// Piecewise-constant trace playback.
+    Trace {
+        /// Time-ordered `(time, rate)` points.
+        points: Vec<(SimTime, f64)>,
+    },
+}
+
+impl LoadSpec {
+    /// Instantiates the described profile.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn LoadProfile> {
+        match self {
+            LoadSpec::Constant { rate } => Box::new(ConstantLoad::new(*rate)),
+            LoadSpec::Diurnal { base, amplitude, period, phase } => {
+                Box::new(DiurnalLoad::new(*base, *amplitude, *period).with_phase(*phase))
+            }
+            LoadSpec::Ramp { from, to, duration } => Box::new(RampLoad::new(*from, *to, *duration)),
+            LoadSpec::FlashCrowd { base, spike_factor, start, duration } => {
+                Box::new(FlashCrowdLoad::new(*base, *spike_factor, *start, *duration))
+            }
+            LoadSpec::Mmpp { low, high, mean_dwell } => {
+                Box::new(MmppLoad::new(*low, *high, *mean_dwell))
+            }
+            LoadSpec::Trace { points } => Box::new(TraceLoad::new(points.clone())),
+        }
+    }
+
+    /// The profile's long-run mean rate (approximate for MMPP/trace),
+    /// used for capacity planning in the experiment harness.
+    #[must_use]
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            LoadSpec::Constant { rate } => *rate,
+            LoadSpec::Diurnal { base, .. } => *base,
+            LoadSpec::Ramp { from, to, .. } => (from + to) / 2.0,
+            LoadSpec::FlashCrowd { base, .. } => *base,
+            LoadSpec::Mmpp { low, high, .. } => (low + high) / 2.0,
+            LoadSpec::Trace { points } => {
+                points.iter().map(|(_, r)| *r).sum::<f64>() / points.len().max(1) as f64
+            }
+        }
+    }
+}
+
+/// A full workload: services under open-loop traffic plus batch and HPC
+/// job submissions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    services: Vec<(ServiceSpec, LoadSpec)>,
+    batch_jobs: Vec<(BatchJobSpec, SimTime)>,
+    hpc_jobs: Vec<(HpcJobSpec, SimTime)>,
+}
+
+impl WorkloadMix {
+    /// Creates an empty mix.
+    #[must_use]
+    pub fn new() -> Self {
+        WorkloadMix::default()
+    }
+
+    /// Adds a microservice with its load profile.
+    #[must_use]
+    pub fn with_service(mut self, spec: ServiceSpec, load: LoadSpec) -> Self {
+        self.services.push((spec, load));
+        self
+    }
+
+    /// Adds a batch job submitted at `at`.
+    #[must_use]
+    pub fn with_batch_job(mut self, spec: BatchJobSpec, at: SimTime) -> Self {
+        self.batch_jobs.push((spec, at));
+        self
+    }
+
+    /// Adds an HPC job submitted at `at`.
+    #[must_use]
+    pub fn with_hpc_job(mut self, spec: HpcJobSpec, at: SimTime) -> Self {
+        self.hpc_jobs.push((spec, at));
+        self
+    }
+
+    /// The services and their load profiles.
+    #[must_use]
+    pub fn services(&self) -> &[(ServiceSpec, LoadSpec)] {
+        &self.services
+    }
+
+    /// The batch jobs and their submission times.
+    #[must_use]
+    pub fn batch_jobs(&self) -> &[(BatchJobSpec, SimTime)] {
+        &self.batch_jobs
+    }
+
+    /// The HPC jobs and their submission times.
+    #[must_use]
+    pub fn hpc_jobs(&self) -> &[(HpcJobSpec, SimTime)] {
+        &self.hpc_jobs
+    }
+
+    /// Total number of workload entities.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.services.len() + self.batch_jobs.len() + self.hpc_jobs.len()
+    }
+
+    /// `true` when the mix holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A named workload mix with its simulation horizon.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name used in reports.
+    pub name: String,
+    /// What the scenario exercises.
+    pub description: String,
+    /// The workload.
+    pub mix: WorkloadMix,
+    /// How long to simulate.
+    pub horizon: SimDuration,
+}
+
+/// Canonical request classes used across scenarios. Demand units:
+/// mcore·s CPU, MiB working set, MB disk, MB net per request.
+fn class_cpu_bound() -> RequestClass {
+    RequestClass::new(
+        "cpu-bound",
+        ResourceVec::new(20.0, 2.0, 0.01, 0.05),
+        0.6,
+        SimDuration::from_secs(10),
+    )
+}
+
+fn class_disk_bound() -> RequestClass {
+    RequestClass::new(
+        "disk-bound",
+        ResourceVec::new(5.0, 4.0, 2.0, 0.2),
+        0.8,
+        SimDuration::from_secs(10),
+    )
+}
+
+fn class_net_bound() -> RequestClass {
+    RequestClass::new(
+        "net-bound",
+        ResourceVec::new(5.0, 2.0, 0.05, 2.5),
+        0.7,
+        SimDuration::from_secs(10),
+    )
+}
+
+fn class_mem_heavy() -> RequestClass {
+    RequestClass::new(
+        "mem-heavy",
+        ResourceVec::new(12.0, 48.0, 0.1, 0.1),
+        0.5,
+        SimDuration::from_secs(10),
+    )
+}
+
+/// Default initial per-replica allocation: deliberately modest — the
+/// controllers must discover the right size.
+fn default_alloc() -> ResourceVec {
+    ResourceVec::new(1_000.0, 1_024.0, 50.0, 50.0)
+}
+
+/// What a cautious user writes into a static pod spec: CPU and memory
+/// sized generously (~3× the mean — those are the dimensions dashboards
+/// show and Kubernetes lets you request), while disk and network I/O sit
+/// at small defaults — stock Kubernetes has no native I/O-bandwidth
+/// requests at all, which is precisely the gap EVOLVE's multi-resource
+/// controller fills. The result is the classic production profile:
+/// over-provisioned where it does not matter, starved where it does.
+fn provisioned_alloc() -> ResourceVec {
+    ResourceVec::new(6_000.0, 12_288.0, 50.0, 50.0)
+}
+
+fn batch_etl(scale: f64) -> BatchJobSpec {
+    BatchJobSpec::new(
+        "etl",
+        vec![
+            // Scan/transform: ~30 s of CPU and 20 s of disk per task at
+            // the nominal executor size.
+            StageSpec::new(
+                (8.0 * scale).ceil() as u32,
+                ResourceVec::new(60_000.0, 1_024.0, 2_000.0, 200.0),
+                1_000_000,
+            ),
+            // Shuffle/aggregate: network-heavy.
+            StageSpec::new(
+                (4.0 * scale).ceil() as u32,
+                ResourceVec::new(45_000.0, 2_048.0, 500.0, 3_000.0),
+                500_000,
+            ),
+        ],
+        PloSpec::Deadline { deadline: SimDuration::from_mins(5) },
+        ResourceVec::new(2_000.0, 2_048.0, 100.0, 100.0),
+        8,
+    )
+}
+
+fn batch_analytics(scale: f64) -> BatchJobSpec {
+    BatchJobSpec::new(
+        "analytics",
+        vec![StageSpec::new(
+            (12.0 * scale).ceil() as u32,
+            ResourceVec::new(120_000.0, 3_072.0, 1_500.0, 500.0),
+            2_000_000,
+        )],
+        PloSpec::Deadline { deadline: SimDuration::from_mins(8) },
+        ResourceVec::new(2_000.0, 3_584.0, 80.0, 60.0),
+        12,
+    )
+}
+
+fn hpc_solver(gang: u32) -> HpcJobSpec {
+    HpcJobSpec::new(
+        "solver",
+        gang,
+        120,
+        // ~2 s of compute and 1 s of halo exchange per iteration at the
+        // nominal rank size.
+        ResourceVec::new(4_000.0, 1_024.0, 10.0, 100.0),
+        ResourceVec::new(2_000.0, 2_048.0, 20.0, 100.0),
+        SimDuration::from_mins(10),
+    )
+}
+
+impl Scenario {
+    /// **T1/T2/F4 headline mix** — several latency-critical services with
+    /// heterogeneous bottlenecks and dynamic load, plus batch and HPC
+    /// jobs competing for the same nodes. `scale` multiplies request
+    /// rates and batch widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scale` is not positive.
+    #[must_use]
+    pub fn headline(scale: f64) -> Scenario {
+        assert!(scale > 0.0, "scale must be positive");
+        let day = SimDuration::from_mins(20);
+        let mut mix = WorkloadMix::new();
+        let services: [(&str, RequestClass, f64, LoadSpec); 6] = [
+            (
+                "frontend",
+                class_cpu_bound(),
+                200.0,
+                LoadSpec::Diurnal {
+                    base: 200.0 * scale,
+                    amplitude: 0.7,
+                    period: day,
+                    phase: 0.0,
+                },
+            ),
+            (
+                "search",
+                class_cpu_bound(),
+                80.0,
+                LoadSpec::Diurnal {
+                    base: 80.0 * scale,
+                    amplitude: 0.6,
+                    period: day,
+                    phase: 1.2,
+                },
+            ),
+            (
+                "ingest",
+                class_disk_bound(),
+                60.0,
+                LoadSpec::Mmpp {
+                    low: 25.0 * scale,
+                    high: 90.0 * scale,
+                    mean_dwell: SimDuration::from_secs(90),
+                },
+            ),
+            (
+                "media",
+                class_net_bound(),
+                70.0,
+                LoadSpec::Diurnal {
+                    base: 70.0 * scale,
+                    amplitude: 0.8,
+                    period: day,
+                    phase: 2.4,
+                },
+            ),
+            (
+                "session",
+                class_mem_heavy(),
+                40.0,
+                LoadSpec::Mmpp {
+                    low: 20.0 * scale,
+                    high: 60.0 * scale,
+                    mean_dwell: SimDuration::from_secs(120),
+                },
+            ),
+            (
+                "checkout",
+                class_cpu_bound(),
+                30.0,
+                LoadSpec::FlashCrowd {
+                    base: 30.0 * scale,
+                    spike_factor: 4.0,
+                    start: SimTime::from_secs(600),
+                    duration: SimDuration::from_secs(180),
+                },
+            ),
+        ];
+        for (name, class, _nominal, load) in services {
+            mix = mix.with_service(
+                ServiceSpec::new(
+                    name,
+                    PloSpec::LatencyP99 { target_ms: 100.0 },
+                    class,
+                    // The static baseline keeps these generous requests
+                    // for the whole run; EVOLVE right-sizes from them.
+                    provisioned_alloc(),
+                )
+                .with_initial_replicas(2),
+                load,
+            );
+        }
+        mix = mix
+            .with_batch_job(batch_etl(scale), SimTime::from_secs(120))
+            .with_batch_job(batch_analytics(scale), SimTime::from_secs(400))
+            .with_batch_job(batch_etl(scale), SimTime::from_secs(800))
+            .with_hpc_job(hpc_solver(4), SimTime::from_secs(200))
+            .with_hpc_job(hpc_solver(6), SimTime::from_secs(700));
+        Scenario {
+            name: "headline".into(),
+            description: "mixed cloud/big-data/HPC consolidation (T1/T2/F4)".into(),
+            mix,
+            horizon: SimDuration::from_mins(20),
+        }
+    }
+
+    /// **F1 timeline** — a single CPU-bound service under one compressed
+    /// diurnal day.
+    #[must_use]
+    pub fn single_diurnal() -> Scenario {
+        let mix = WorkloadMix::new().with_service(
+            ServiceSpec::new(
+                "web",
+                PloSpec::LatencyP99 { target_ms: 100.0 },
+                class_cpu_bound(),
+                default_alloc(),
+            )
+            .with_initial_replicas(2),
+            LoadSpec::Diurnal {
+                base: 150.0,
+                amplitude: 0.8,
+                period: SimDuration::from_mins(15),
+                phase: 0.0,
+            },
+        );
+        Scenario {
+            name: "single-diurnal".into(),
+            description: "one service, one compressed day (F1)".into(),
+            mix,
+            horizon: SimDuration::from_mins(15),
+        }
+    }
+
+    /// **F5 flash crowd** — a steady service hit by a `spike_factor`×
+    /// burst two minutes in.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `spike_factor < 1`.
+    #[must_use]
+    pub fn flash_crowd(spike_factor: f64) -> Scenario {
+        let mix = WorkloadMix::new().with_service(
+            ServiceSpec::new(
+                "store",
+                PloSpec::LatencyP99 { target_ms: 100.0 },
+                class_cpu_bound(),
+                default_alloc(),
+            )
+            .with_initial_replicas(2),
+            LoadSpec::FlashCrowd {
+                base: 80.0,
+                spike_factor,
+                start: SimTime::from_secs(120),
+                duration: SimDuration::from_secs(150),
+            },
+        );
+        Scenario {
+            name: format!("flash-crowd-x{spike_factor:.0}"),
+            description: "steady load with a sudden spike (F5)".into(),
+            mix,
+            horizon: SimDuration::from_mins(8),
+        }
+    }
+
+    /// **F2 step response** — load steps from `base` to `base×factor`
+    /// halfway through; used to measure settling time and overshoot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor < 1`.
+    #[must_use]
+    pub fn step_response(factor: f64) -> Scenario {
+        assert!(factor >= 1.0, "step factor must be at least 1");
+        let base = 60.0;
+        let mix = WorkloadMix::new().with_service(
+            ServiceSpec::new(
+                "svc",
+                PloSpec::LatencyP99 { target_ms: 100.0 },
+                class_cpu_bound(),
+                default_alloc(),
+            )
+            .with_initial_replicas(2),
+            LoadSpec::Trace {
+                points: vec![
+                    (SimTime::ZERO, base),
+                    (SimTime::from_secs(240), base * factor),
+                ],
+            },
+        );
+        Scenario {
+            name: format!("step-x{factor:.0}"),
+            description: "load step for settling-time measurement (F2)".into(),
+            mix,
+            horizon: SimDuration::from_mins(10),
+        }
+    }
+
+    /// **F3 load sweep** — two services at a constant `offered` fraction
+    /// of nominal capacity (1.0 ≈ the allocation ceiling of the default
+    /// config).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `offered` is not positive.
+    #[must_use]
+    pub fn load_sweep(offered: f64) -> Scenario {
+        assert!(offered > 0.0, "offered load must be positive");
+        let mix = WorkloadMix::new()
+            .with_service(
+                ServiceSpec::new(
+                    "api",
+                    PloSpec::LatencyP99 { target_ms: 100.0 },
+                    class_cpu_bound(),
+                    default_alloc(),
+                )
+                .with_initial_replicas(2),
+                LoadSpec::Constant { rate: 200.0 * offered },
+            )
+            .with_service(
+                ServiceSpec::new(
+                    "feed",
+                    PloSpec::LatencyP99 { target_ms: 120.0 },
+                    class_disk_bound(),
+                    default_alloc(),
+                )
+                .with_initial_replicas(2),
+                LoadSpec::Constant { rate: 100.0 * offered },
+            );
+        Scenario {
+            name: format!("sweep-{offered:.2}"),
+            description: "constant offered load for the violation-vs-load sweep (F3)".into(),
+            mix,
+            horizon: SimDuration::from_mins(6),
+        }
+    }
+
+    /// **T5 bottleneck rotation** — four services, each binding on a
+    /// different resource dimension, under bursty load; the multi-resource
+    /// vs CPU-only ablation runs here.
+    #[must_use]
+    pub fn bottleneck_rotation() -> Scenario {
+        let mut mix = WorkloadMix::new();
+        let entries: [(&str, RequestClass); 4] = [
+            ("cpu-svc", class_cpu_bound()),
+            ("disk-svc", class_disk_bound()),
+            ("net-svc", class_net_bound()),
+            ("mem-svc", class_mem_heavy()),
+        ];
+        for (name, class) in entries {
+            mix = mix.with_service(
+                ServiceSpec::new(
+                    name,
+                    PloSpec::LatencyP99 { target_ms: 120.0 },
+                    class,
+                    default_alloc(),
+                )
+                .with_initial_replicas(2),
+                LoadSpec::Mmpp {
+                    low: 30.0,
+                    high: 80.0,
+                    mean_dwell: SimDuration::from_secs(60),
+                },
+            );
+        }
+        Scenario {
+            name: "bottleneck-rotation".into(),
+            description: "each service binds on a different resource (T5)".into(),
+            mix,
+            horizon: SimDuration::from_mins(10),
+        }
+    }
+
+    /// **F6 interference** — two latency-critical services colocated with
+    /// aggressive batch and HPC work that should harvest only slack.
+    #[must_use]
+    pub fn interference() -> Scenario {
+        let mix = WorkloadMix::new()
+            .with_service(
+                ServiceSpec::new(
+                    "frontend",
+                    PloSpec::LatencyP99 { target_ms: 100.0 },
+                    class_cpu_bound(),
+                    default_alloc(),
+                )
+                .with_initial_replicas(2),
+                LoadSpec::Diurnal {
+                    base: 100.0,
+                    amplitude: 0.7,
+                    period: SimDuration::from_mins(10),
+                    phase: 0.0,
+                },
+            )
+            .with_service(
+                ServiceSpec::new(
+                    "api",
+                    PloSpec::LatencyP99 { target_ms: 100.0 },
+                    class_net_bound(),
+                    default_alloc(),
+                )
+                .with_initial_replicas(2),
+                LoadSpec::Mmpp {
+                    low: 40.0,
+                    high: 100.0,
+                    mean_dwell: SimDuration::from_secs(75),
+                },
+            )
+            .with_batch_job(batch_analytics(2.0), SimTime::from_secs(60))
+            .with_batch_job(batch_etl(2.0), SimTime::from_secs(90))
+            .with_hpc_job(hpc_solver(8), SimTime::from_secs(120));
+        Scenario {
+            name: "interference".into(),
+            description: "batch/HPC harvesting slack under latency PLOs (F6)".into(),
+            mix,
+            horizon: SimDuration::from_mins(12),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_specs_build() {
+        let specs = [
+            LoadSpec::Constant { rate: 5.0 },
+            LoadSpec::Diurnal {
+                base: 10.0,
+                amplitude: 0.5,
+                period: SimDuration::from_secs(60),
+                phase: 0.0,
+            },
+            LoadSpec::Ramp { from: 1.0, to: 2.0, duration: SimDuration::from_secs(10) },
+            LoadSpec::FlashCrowd {
+                base: 1.0,
+                spike_factor: 3.0,
+                start: SimTime::from_secs(5),
+                duration: SimDuration::from_secs(5),
+            },
+            LoadSpec::Mmpp { low: 1.0, high: 5.0, mean_dwell: SimDuration::from_secs(10) },
+            LoadSpec::Trace { points: vec![(SimTime::ZERO, 4.0)] },
+        ];
+        for spec in specs {
+            let profile = spec.build();
+            assert!(profile.max_rate() >= spec.mean_rate() * 0.99, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn mix_builder_accumulates() {
+        let s = Scenario::headline(1.0);
+        assert_eq!(s.mix.services().len(), 6);
+        assert_eq!(s.mix.batch_jobs().len(), 3);
+        assert_eq!(s.mix.hpc_jobs().len(), 2);
+        assert_eq!(s.mix.len(), 11);
+        assert!(!s.mix.is_empty());
+    }
+
+    #[test]
+    fn headline_scale_multiplies_rates() {
+        let a = Scenario::headline(1.0);
+        let b = Scenario::headline(2.0);
+        let rate = |s: &Scenario| s.mix.services()[0].1.mean_rate();
+        assert!((rate(&b) / rate(&a) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_preset_is_nonempty_and_named() {
+        let presets = [
+            Scenario::headline(1.0),
+            Scenario::single_diurnal(),
+            Scenario::flash_crowd(5.0),
+            Scenario::step_response(4.0),
+            Scenario::load_sweep(0.8),
+            Scenario::bottleneck_rotation(),
+            Scenario::interference(),
+        ];
+        for s in presets {
+            assert!(!s.mix.is_empty(), "{} empty", s.name);
+            assert!(!s.name.is_empty());
+            assert!(!s.horizon.is_zero());
+        }
+    }
+
+    #[test]
+    fn bottleneck_rotation_uses_distinct_dominant_resources() {
+        let s = Scenario::bottleneck_rotation();
+        let mut dominants = std::collections::HashSet::new();
+        for (svc, _) in s.mix.services() {
+            let d = svc.request_class.mean_demand();
+            // Normalize against a reference node shape to find the binding
+            // dimension of each class.
+            let node = ResourceVec::new(16_000.0, 65_536.0, 500.0, 1_250.0);
+            let (dom, _) = d.dominant(&node);
+            dominants.insert(dom);
+        }
+        assert!(dominants.len() >= 3, "expected diverse bottlenecks: {dominants:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn headline_rejects_zero_scale() {
+        let _ = Scenario::headline(0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Controller playground: drive the multi-resource adaptive PID against a
+//! synthetic multi-resource plant — no cluster, just the control loop —
+//! and watch it discover which resource binds.
+//!
+//! The plant: latency = bottleneck drain time across four resources, with
+//! the true demand vector hidden from the controller. Half way through,
+//! the bottleneck jumps from CPU to network, as when a service's traffic
+//! mix shifts.
+//!
+//! ```text
+//! cargo run --release --example controller_playground
+//! ```
+
+use evolve::control::{MultiResourceConfig, MultiResourceController};
+use evolve::types::{Resource, ResourceVec};
+
+fn latency_of(demand: &ResourceVec, alloc: &ResourceVec) -> f64 {
+    Resource::ALL
+        .iter()
+        .filter(|r| demand[**r] > 0.0)
+        .map(|r| demand[*r] / alloc[*r].max(1e-9))
+        .fold(0.0_f64, f64::max)
+}
+
+fn main() {
+    let target_latency = 1.0; // seconds
+    let mut controller = MultiResourceController::new(MultiResourceConfig::new(
+        ResourceVec::splat(10.0),
+        ResourceVec::splat(100_000.0),
+    ));
+    let mut alloc = ResourceVec::splat(50.0);
+
+    println!(
+        "{:>5} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "step", "cpu", "mem", "disk", "net", "latency", "attribution"
+    );
+    for step in 0..60 {
+        // The hidden demand: CPU-bound first, then network-bound.
+        let demand = if step < 30 {
+            ResourceVec::new(400.0, 100.0, 20.0, 30.0)
+        } else {
+            ResourceVec::new(100.0, 100.0, 20.0, 600.0)
+        };
+        let latency = latency_of(&demand, &alloc);
+        let error = (latency - target_latency) / target_latency;
+        let usage = demand.min(&alloc);
+        let decision = controller.step(alloc, usage, error, 1.0);
+        alloc = decision.target;
+        if step % 3 == 0 {
+            let attr = decision.attribution;
+            let (dominant, share) = attr.dominant(&ResourceVec::splat(1.0));
+            println!(
+                "{step:>5} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {latency:>10.2} {:>7} {:>4.0}%",
+                alloc[Resource::Cpu],
+                alloc[Resource::Memory],
+                alloc[Resource::DiskIo],
+                alloc[Resource::NetIo],
+                dominant,
+                share * 100.0,
+            );
+        }
+    }
+    let final_latency = latency_of(&ResourceVec::new(100.0, 100.0, 20.0, 600.0), &alloc);
+    println!(
+        "\nfinal latency {final_latency:.2}s against a 1.00s objective; \
+         gain adaptations: {}",
+        controller.adaptations()
+    );
+    println!("the attribution column shows the controller re-identifying the bottleneck");
+    println!("when the workload flips from CPU-bound to network-bound at step 30.");
+}

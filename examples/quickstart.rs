@@ -1,0 +1,37 @@
+//! Quickstart: run one diurnal day of a latency-critical service under
+//! EVOLVE and under stock Kubernetes, and compare PLO compliance and
+//! utilization.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use evolve::core::{ExperimentRunner, ManagerKind, RunConfig, Table};
+use evolve::workload::Scenario;
+
+fn main() {
+    let mut table = Table::new(
+        ["policy", "windows", "violations", "violation rate", "alloc share", "used share"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for manager in [ManagerKind::Evolve, ManagerKind::KubeStatic] {
+        println!("running {} …", manager.label());
+        let outcome = ExperimentRunner::new(
+            RunConfig::new(Scenario::single_diurnal(), manager).with_nodes(6).with_seed(7),
+        )
+        .run();
+        table.add_row(vec![
+            outcome.manager.clone(),
+            outcome.total_windows().to_string(),
+            outcome.total_violations().to_string(),
+            format!("{:.3}", outcome.total_violation_rate()),
+            format!("{:.3}", outcome.utilization.mean_allocated()),
+            format!("{:.3}", outcome.utilization.mean_used()),
+        ]);
+    }
+    println!("\none compressed diurnal day, one service, 6 nodes\n");
+    println!("{table}");
+    println!("EVOLVE should show far fewer violation windows at a lower allocated share —");
+    println!("it right-sizes replicas continuously instead of trusting the static request.");
+}

@@ -1,0 +1,50 @@
+//! # EVOLVE — converged Big-Data / HPC / Cloud resource management
+//!
+//! A from-scratch Rust reproduction of the EVOLVE platform (DATE 2022):
+//! performance-level objectives instead of resource requests, a
+//! **multi-resource adaptive PID controller** per application, a
+//! Kubernetes-style scheduler with priority preemption and gang
+//! scheduling, and a discrete-event cluster simulator standing in for the
+//! paper's real cluster (see `DESIGN.md` for the substitution map).
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! roof so applications depend on a single `evolve` crate.
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`types`] | `evolve-types` | time, resources, ids |
+//! | [`telemetry`] | `evolve-telemetry` | series, filters, quantiles, PLO tracking |
+//! | [`control`] | `evolve-control` | PID, adaptive tuning, MIMO control, models |
+//! | [`workload`] | `evolve-workload` | arrival processes, demands, scenarios |
+//! | [`sim`] | `evolve-sim` | the cluster simulator |
+//! | [`scheduler`] | `evolve-scheduler` | filter/score framework, preemption, gangs |
+//! | [`core`] | `evolve-core` | policies, manager, experiment runner |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use evolve::core::{ExperimentRunner, ManagerKind, RunConfig};
+//! use evolve::workload::Scenario;
+//!
+//! let outcome = ExperimentRunner::new(
+//!     RunConfig::new(Scenario::single_diurnal(), ManagerKind::Evolve).with_nodes(6),
+//! )
+//! .run();
+//! println!(
+//!     "{}: violation rate {:.3}, mean allocated share {:.2}",
+//!     outcome.manager,
+//!     outcome.total_violation_rate(),
+//!     outcome.utilization.mean_allocated(),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use evolve_control as control;
+pub use evolve_core as core;
+pub use evolve_scheduler as scheduler;
+pub use evolve_sim as sim;
+pub use evolve_telemetry as telemetry;
+pub use evolve_types as types;
+pub use evolve_workload as workload;

@@ -1,0 +1,166 @@
+//! Cross-crate integration tests: full experiment runs (workload →
+//! simulator → manager → scheduler) on small configurations.
+
+use evolve::core::{ExperimentRunner, ManagerKind, RunConfig};
+use evolve::types::{ResourceVec, SimDuration};
+use evolve::workload::{
+    LoadSpec, PloSpec, RequestClass, Scenario, ServiceSpec, WorkloadMix,
+};
+
+/// A small scenario that finishes fast in debug builds.
+fn tiny_scenario(rate: f64, horizon_secs: u64) -> Scenario {
+    let class = RequestClass::new(
+        "rq",
+        ResourceVec::new(20.0, 2.0, 0.2, 0.2),
+        0.5,
+        SimDuration::from_secs(10),
+    );
+    let mix = WorkloadMix::new().with_service(
+        ServiceSpec::new(
+            "svc",
+            PloSpec::LatencyP99 { target_ms: 100.0 },
+            class,
+            ResourceVec::new(1_000.0, 1_024.0, 25.0, 25.0),
+        )
+        .with_initial_replicas(2),
+        LoadSpec::Ramp { from: rate * 0.3, to: rate, duration: SimDuration::from_secs(horizon_secs / 2) },
+    );
+    Scenario {
+        name: "tiny-ramp".into(),
+        description: "integration-test ramp".into(),
+        mix,
+        horizon: SimDuration::from_secs(horizon_secs),
+    }
+}
+
+fn run(manager: ManagerKind, seed: u64) -> evolve::core::RunOutcome {
+    ExperimentRunner::new(
+        RunConfig::new(tiny_scenario(120.0, 240), manager).with_nodes(4).with_seed(seed),
+    )
+    .run()
+}
+
+#[test]
+fn evolve_run_completes_and_serves_requests() {
+    let outcome = run(ManagerKind::Evolve, 1);
+    assert_eq!(outcome.manager, "evolve");
+    let svc = &outcome.apps[0];
+    assert!(svc.completions > 5_000, "completions {}", svc.completions);
+    assert!(svc.windows > 20, "windows {}", svc.windows);
+    assert!(outcome.bindings >= 2, "bindings {}", outcome.bindings);
+    assert!(outcome.events > 10_000);
+}
+
+#[test]
+fn evolve_violates_less_than_static_under_ramp() {
+    // The static request (1000 mcore) saturates at ~50 rps with 20 mcore·s
+    // demands; the ramp ends at 120 rps across 2 replicas, i.e. just past
+    // saturation. EVOLVE must adapt; stock Kubernetes must suffer.
+    let evolve = run(ManagerKind::Evolve, 2);
+    let kube = run(ManagerKind::KubeStatic, 2);
+    let ev = evolve.apps[0].violation_rate();
+    let kv = kube.apps[0].violation_rate();
+    assert!(
+        ev < kv || (ev == 0.0 && kv == 0.0),
+        "evolve rate {ev} should beat static rate {kv}"
+    );
+    assert!(kv > 0.2, "static baseline should be violating under the ramp, got {kv}");
+    assert!(ev < 0.5 * kv, "expected a large gap: evolve {ev} vs static {kv}");
+}
+
+#[test]
+fn evolve_uses_less_allocation_than_overprovisioned_static() {
+    // Over-provision the static service 8×; EVOLVE should deliver the PLO
+    // with a much smaller time-averaged reservation.
+    let class = RequestClass::new(
+        "rq",
+        ResourceVec::new(20.0, 2.0, 0.2, 0.2),
+        0.5,
+        SimDuration::from_secs(10),
+    );
+    let build = |alloc: ResourceVec| {
+        let mix = WorkloadMix::new().with_service(
+            ServiceSpec::new("svc", PloSpec::LatencyP99 { target_ms: 100.0 }, class.clone(), alloc)
+                .with_initial_replicas(4),
+            LoadSpec::Constant { rate: 40.0 },
+        );
+        Scenario {
+            name: "overprov".into(),
+            description: String::new(),
+            mix,
+            horizon: SimDuration::from_secs(240),
+        }
+    };
+    let kube = ExperimentRunner::new(
+        RunConfig::new(build(ResourceVec::new(8_000.0, 8_192.0, 200.0, 200.0)), ManagerKind::KubeStatic)
+            .with_nodes(4)
+            .with_seed(3),
+    )
+    .run();
+    let evolve = ExperimentRunner::new(
+        RunConfig::new(build(ResourceVec::new(8_000.0, 8_192.0, 200.0, 200.0)), ManagerKind::Evolve)
+            .with_nodes(4)
+            .with_seed(3),
+    )
+    .run();
+    assert!(
+        evolve.utilization.mean_allocated() < 0.75 * kube.utilization.mean_allocated(),
+        "evolve allocated {:.3} vs static {:.3}",
+        evolve.utilization.mean_allocated(),
+        kube.utilization.mean_allocated()
+    );
+    // The reservation EVOLVE does hold is far better used — this is the
+    // "2× utilization" headline claim, measured as used/allocated CPU.
+    use evolve::types::Resource;
+    let eff_evolve = evolve.utilization.efficiency[Resource::Cpu];
+    let eff_kube = kube.utilization.efficiency[Resource::Cpu];
+    assert!(
+        eff_evolve > 2.0 * eff_kube,
+        "cpu efficiency: evolve {eff_evolve:.3} vs static {eff_kube:.3}"
+    );
+    // And still (almost always) meets the PLO.
+    assert!(
+        evolve.apps[0].violation_rate() < 0.2,
+        "violation rate {:.3}",
+        evolve.apps[0].violation_rate()
+    );
+}
+
+#[test]
+fn runs_are_deterministic_per_seed() {
+    let a = run(ManagerKind::Evolve, 9);
+    let b = run(ManagerKind::Evolve, 9);
+    assert_eq!(a.apps[0].completions, b.apps[0].completions);
+    assert_eq!(a.apps[0].violations, b.apps[0].violations);
+    assert_eq!(a.bindings, b.bindings);
+    let c = run(ManagerKind::Evolve, 10);
+    assert_ne!(a.apps[0].completions, c.apps[0].completions);
+}
+
+#[test]
+fn headline_mix_runs_under_evolve() {
+    // Shrink the headline scenario so this test stays debug-friendly.
+    let mut scenario = Scenario::headline(0.3);
+    scenario.horizon = SimDuration::from_secs(300);
+    let outcome = ExperimentRunner::new(
+        RunConfig::new(scenario, ManagerKind::Evolve).with_nodes(12).with_seed(4),
+    )
+    .run();
+    assert_eq!(outcome.apps.len(), 11, "6 services + 3 batch + 2 hpc");
+    // Every service saw traffic.
+    for app in outcome.apps.iter().take(6) {
+        assert!(app.windows > 0, "{} never evaluated", app.name);
+    }
+    // Some batch/HPC work got scheduled alongside.
+    assert!(outcome.bindings > 10);
+}
+
+#[test]
+fn hpa_and_vpa_baselines_run() {
+    for manager in
+        [ManagerKind::Hpa { target_utilization: 0.6 }, ManagerKind::Vpa { margin: 0.3 }]
+    {
+        let outcome = run(manager.clone(), 5);
+        assert!(outcome.apps[0].completions > 1_000, "{:?}", manager);
+    }
+}
