@@ -8,7 +8,10 @@
 //! ```
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use evolve_control::{MultiResourceConfig, MultiResourceController, PidConfig, PidController, RlsModel, SensitivityModel};
+use evolve_control::{
+    MultiResourceConfig, MultiResourceController, PidConfig, PidController, RlsModel,
+    SensitivityModel,
+};
 use evolve_telemetry::{P2Quantile, PloBound, PloTracker, SlidingQuantile};
 use evolve_types::{ResourceVec, SimTime};
 use std::hint::black_box;
@@ -50,12 +53,7 @@ fn bench_rls(c: &mut Criterion) {
     c.bench_function("rls_update_4d", |b| {
         b.iter(|| {
             i = i.wrapping_add(1);
-            let x = [
-                (i % 7) as f64,
-                (i % 11) as f64,
-                (i % 13) as f64,
-                (i % 17) as f64,
-            ];
+            let x = [(i % 7) as f64, (i % 11) as f64, (i % 13) as f64, (i % 17) as f64];
             model.update(black_box(&x), (i % 23) as f64);
         })
     });
@@ -68,9 +66,7 @@ fn bench_sensitivity(c: &mut Criterion) {
     for _ in 0..20 {
         model.observe(alloc, usage, 0.2);
     }
-    c.bench_function("sensitivity_attribution", |b| {
-        b.iter(|| black_box(model.attribution()))
-    });
+    c.bench_function("sensitivity_attribution", |b| b.iter(|| black_box(model.attribution())));
 }
 
 fn bench_quantiles(c: &mut Criterion) {

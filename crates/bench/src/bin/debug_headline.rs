@@ -13,7 +13,12 @@ fn main() {
     for a in &outcome.apps {
         println!(
             "  {:12} {:8} windows {:4} viol {:4} compl {:8} timeouts {:5}",
-            a.name, a.world.to_string(), a.windows, a.violations, a.completions, a.timeouts
+            a.name,
+            a.world.to_string(),
+            a.windows,
+            a.violations,
+            a.completions,
+            a.timeouts
         );
     }
     // Mean alloc_cpu and replicas per app over the run.

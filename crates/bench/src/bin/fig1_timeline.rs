@@ -1,32 +1,33 @@
 //! **F1 — diurnal timeline.** One latency-critical service through a
 //! compressed diurnal day under EVOLVE: offered load, replica count,
 //! total CPU allocation, measured CPU usage and p99 latency, per control
-//! window. Emits `experiments_out/fig1_timeline.csv` and prints a sampled
-//! trace.
+//! window. The plotted trace comes from the first seed (reproducible);
+//! the summary line aggregates all seeds. Emits
+//! `experiments_out/fig1_timeline.csv` and prints a sampled trace.
 //!
 //! ```text
-//! cargo run --release -p evolve-bench --bin fig1_timeline
+//! cargo run --release -p evolve-bench --bin fig1_timeline [seed-count]
 //! ```
 
-use evolve_bench::output_dir;
-use evolve_core::{write_csv, ExperimentRunner, ManagerKind, RunConfig};
+use evolve_bench::{cli_seed_count, output_dir, seed_list};
+use evolve_core::{write_csv, Harness, ManagerKind, RunConfig};
 use evolve_workload::Scenario;
 
 fn main() {
-    eprintln!("running the diurnal day under EVOLVE …");
-    let outcome = ExperimentRunner::new(
-        RunConfig::new(Scenario::single_diurnal(), ManagerKind::Evolve)
-            .with_nodes(6)
-            .with_seed(42),
-    )
-    .run();
+    let seeds = seed_list(cli_seed_count(5));
+    eprintln!("running the diurnal day under EVOLVE ({} seed(s)) …", seeds.len());
+    let rep = Harness::new().run_seeds(
+        &RunConfig::new(Scenario::single_diurnal(), ManagerKind::Evolve).with_nodes(6),
+        &seeds,
+    );
+    let outcome = rep.representative();
     let names =
         ["app0/rate_rps", "app0/replicas", "app0/alloc_cpu", "app0/usage_cpu", "app0/p99_ms"];
     let csv = outcome.registry.wide_csv(&names);
     if let Err(err) = write_csv(&output_dir(), "fig1_timeline", &csv) {
         eprintln!("could not write CSV: {err}");
     }
-    println!("\nF1 — diurnal timeline (every 6th control window shown)\n");
+    println!("\nF1 — diurnal timeline (every 6th control window shown, seed {})\n", rep.seeds[0]);
     println!(
         "{:>8} {:>10} {:>9} {:>11} {:>11} {:>9}",
         "t (s)", "rate rps", "replicas", "alloc mcore", "used mcore", "p99 ms"
@@ -41,9 +42,8 @@ fn main() {
         if i % 6 != 0 {
             continue;
         }
-        let find = |col: &[(f64, f64)]| {
-            col.iter().find(|(pt, _)| (pt - t).abs() < 1e-6).map(|(_, v)| *v)
-        };
+        let find =
+            |col: &[(f64, f64)]| col.iter().find(|(pt, _)| (pt - t).abs() < 1e-6).map(|(_, v)| *v);
         println!(
             "{t:>8.0} {r:>10.1} {:>9} {:>11} {:>11} {:>9}",
             find(&replicas).map_or("-".into(), |v| format!("{v:.0}")),
@@ -52,11 +52,12 @@ fn main() {
             find(&p99).map_or("-".into(), |v| format!("{v:.1}")),
         );
     }
+    let viol = rep.violation_rate();
     println!(
-        "\nviolation windows: {}/{} — allocation should track the sinusoidal load with a\n\
-         small lead (the Holt predictor) while p99 stays under the 100 ms objective",
-        outcome.total_violations(),
-        outcome.total_windows()
+        "\nviolation rate across {} seed(s): {} — allocation should track the sinusoidal\n\
+         load with a small lead (the Holt predictor) while p99 stays under the 100 ms objective",
+        viol.n,
+        viol.display(3)
     );
     println!("CSV: experiments_out/fig1_timeline.csv");
 }

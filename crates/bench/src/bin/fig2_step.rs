@@ -1,19 +1,19 @@
 //! **F2 — step response.** A 4× load step hits one service; measure
 //! settling time (back under the 100 ms PLO for 3 consecutive windows)
-//! and overshoot, for adaptive vs fixed-gain EVOLVE and the HPA.
+//! and overshoot, for adaptive vs fixed-gain EVOLVE and the HPA,
+//! replicated across seeds (mean ± 95 % CI).
 //!
 //! ```text
-//! cargo run --release -p evolve-bench --bin fig2_step
+//! cargo run --release -p evolve-bench --bin fig2_step [seed-count]
 //! ```
 
-use evolve_bench::{output_dir, settling_analysis};
-use evolve_core::{
-    write_csv, EvolvePolicyConfig, ExperimentRunner, ManagerKind, RunConfig, Table,
-};
+use evolve_bench::{cli_seed_count, output_dir, replicated_settling, seed_list};
+use evolve_core::{write_csv, EvolvePolicyConfig, Harness, ManagerKind, RunConfig, Table};
 use evolve_types::SimTime;
 use evolve_workload::Scenario;
 
 fn main() {
+    let seeds = seed_list(cli_seed_count(5));
     let step_at = SimTime::from_secs(240); // from Scenario::step_response
     let target_ms = 100.0;
     let variants: Vec<(&str, ManagerKind)> = vec![
@@ -24,39 +24,39 @@ fn main() {
         ),
         ("hpa", ManagerKind::Hpa { target_utilization: 0.6 }),
     ];
+    // Settling needs the per-tick p99 series, so series stay on.
+    let configs: Vec<RunConfig> = variants
+        .iter()
+        .map(|(_, m)| RunConfig::new(Scenario::step_response(4.0), m.clone()).with_nodes(8))
+        .collect();
+    eprintln!("running {} variants × {} seeds …", configs.len(), seeds.len());
+    let reps = Harness::new().run_matrix(&configs, &seeds);
+
     let mut table = Table::new(
-        ["variant", "settle (s)", "overshoot", "violations", "windows"]
-            .map(String::from)
-            .to_vec(),
+        ["variant", "settle (s)", "overshoot", "viol rate", "windows"].map(String::from).to_vec(),
     );
-    let mut csv = String::from("variant,settle_s,overshoot\n");
-    for (label, manager) in variants {
-        eprintln!("running {label} …");
-        let outcome = ExperimentRunner::new(
-            RunConfig::new(Scenario::step_response(4.0), manager).with_nodes(8).with_seed(42),
-        )
-        .run();
-        let p99 = outcome
-            .registry
-            .series("app0/p99_ms")
-            .map(|s| s.to_points())
-            .unwrap_or_default();
-        let s = settling_analysis(&p99, step_at, target_ms, 3);
-        let settle = s.settle_secs.map_or("never".into(), |v| format!("{v:.0}"));
+    let mut csv = String::from("variant,settle_s_mean,settle_ci,overshoot_mean,overshoot_ci\n");
+    for ((label, _), rep) in variants.iter().zip(&reps) {
+        let s = replicated_settling(rep, "app0/p99_ms", step_at, target_ms, 3);
         table.add_row(vec![
-            label.to_string(),
-            settle.clone(),
-            format!("{:.2}x", s.overshoot),
-            outcome.total_violations().to_string(),
-            outcome.total_windows().to_string(),
+            (*label).to_string(),
+            s.settle_display(),
+            format!("{}x", s.overshoot.display(2)),
+            rep.violation_rate().display(3),
+            format!("{:.0}", rep.summarize(|r| r.total_windows() as f64).mean),
         ]);
         csv.push_str(&format!(
-            "{label},{},{:.3}\n",
-            s.settle_secs.map_or(-1.0, |v| v),
-            s.overshoot
+            "{label},{:.1},{:.1},{:.3},{:.3}\n",
+            s.settle_mean_or_neg(),
+            s.settle.as_ref().map_or(0.0, |v| v.ci95),
+            s.overshoot.mean,
+            s.overshoot.ci95,
         ));
     }
-    println!("\nF2 — response to a 4× load step at t=240 s (PLO: p99 ≤ 100 ms)\n");
+    println!(
+        "\nF2 — response to a 4× load step at t=240 s (PLO: p99 ≤ 100 ms, {} seed(s))\n",
+        seeds.len()
+    );
     println!("{table}");
     println!("expected shape: adaptive gains settle fastest with the smallest overshoot;");
     println!("fixed gains settle slower (or oscillate); the HPA trails both because it");

@@ -1,50 +1,66 @@
 //! **F3 — violation rate vs offered load.** Sweep the offered load from
-//! 20% to 140% of nominal capacity and plot each policy's violation rate.
-//! The interesting feature is the *crossover*: where the static baseline
-//! collapses while EVOLVE keeps absorbing load by rescaling.
+//! 20% to 140% of nominal capacity and plot each policy's violation rate
+//! (mean ± 95 % CI across seeds). The interesting feature is the
+//! *crossover*: where the static baseline collapses while EVOLVE keeps
+//! absorbing load by rescaling.
 //!
 //! ```text
-//! cargo run --release -p evolve-bench --bin fig3_sweep
+//! cargo run --release -p evolve-bench --bin fig3_sweep [seed-count]
 //! ```
 
-use evolve_bench::output_dir;
-use evolve_core::{write_csv, ExperimentRunner, ManagerKind, RunConfig, Table};
+use evolve_bench::{cli_seed_count, output_dir, seed_list};
+use evolve_core::{write_csv, Harness, ManagerKind, RunConfig, Table};
 use evolve_workload::Scenario;
 
 fn main() {
+    let seeds = seed_list(cli_seed_count(5));
     let offered = [0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4];
     let managers = [
         ManagerKind::Evolve,
         ManagerKind::KubeStatic,
         ManagerKind::Hpa { target_utilization: 0.6 },
     ];
+    // One config per (load, manager) cell, all fanned out together.
+    let configs: Vec<RunConfig> = offered
+        .iter()
+        .flat_map(|x| {
+            managers.iter().map(|m| {
+                RunConfig::new(Scenario::load_sweep(*x), m.clone()).with_nodes(10).without_series()
+            })
+        })
+        .collect();
+    eprintln!(
+        "sweeping {} loads × {} policies × {} seeds …",
+        offered.len(),
+        managers.len(),
+        seeds.len()
+    );
+    let reps = Harness::new().run_matrix(&configs, &seeds);
+
     let mut table = Table::new({
         let mut h = vec!["offered".to_string()];
         h.extend(managers.iter().map(|m| m.label()));
         h
     });
-    let mut csv = String::from("offered,evolve,kube_static,hpa\n");
+    let mut csv = String::from("offered,evolve,evolve_ci,kube_static,kube_static_ci,hpa,hpa_ci\n");
+    let mut cells = reps.iter();
     for x in offered {
         let mut row = vec![format!("{x:.1}")];
         let mut csv_row = format!("{x:.2}");
-        for manager in &managers {
-            eprintln!("offered {x:.1} under {} …", manager.label());
-            let outcome = ExperimentRunner::new(
-                RunConfig::new(Scenario::load_sweep(x), manager.clone())
-                    .with_nodes(10)
-                    .with_seed(42)
-                    .without_series(),
-            )
-            .run();
-            let rate = outcome.total_violation_rate();
-            row.push(format!("{rate:.3}"));
-            csv_row.push_str(&format!(",{rate:.4}"));
+        for _ in &managers {
+            let rep = cells.next().expect("one replicated outcome per cell");
+            let rate = rep.violation_rate();
+            row.push(rate.display(3));
+            csv_row.push_str(&format!(",{:.4},{:.4}", rate.mean, rate.ci95));
         }
         csv.push_str(&csv_row);
         csv.push('\n');
         table.add_row(row);
     }
-    println!("\nF3 — violation rate vs offered load (fraction of nominal capacity)\n");
+    println!(
+        "\nF3 — violation rate vs offered load (fraction of nominal capacity, {} seed(s))\n",
+        seeds.len()
+    );
     println!("{table}");
     println!("expected shape: all policies near zero at low load; the static baseline's");
     println!("curve breaks upward first (its fixed request saturates), the HPA next (it");

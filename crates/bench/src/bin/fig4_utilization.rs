@@ -1,22 +1,30 @@
 //! **F4 — utilization.** Per-resource allocated/used shares on the
-//! headline mix for each policy, plus the cluster CPU-share time series
-//! (CSV) that the utilization figure plots.
+//! headline mix for each policy (mean ± 95 % CI across seeds), plus the
+//! cluster CPU-share time series (CSV, first seed) that the utilization
+//! figure plots.
 //!
 //! ```text
-//! cargo run --release -p evolve-bench --bin fig4_utilization
+//! cargo run --release -p evolve-bench --bin fig4_utilization [seed-count]
 //! ```
 
-use evolve_bench::output_dir;
-use evolve_core::{write_csv, ExperimentRunner, ManagerKind, RunConfig, Table};
+use evolve_bench::{cli_seed_count, output_dir, seed_list};
+use evolve_core::{write_csv, Harness, ManagerKind, RunConfig, Table};
 use evolve_types::Resource;
 use evolve_workload::Scenario;
 
 fn main() {
+    let seeds = seed_list(cli_seed_count(5));
     let managers = [
         ManagerKind::Evolve,
         ManagerKind::KubeStatic,
         ManagerKind::Hpa { target_utilization: 0.6 },
     ];
+    // The CSV wants the cluster time series, so series stay on.
+    let configs: Vec<RunConfig> =
+        managers.iter().map(|m| RunConfig::new(Scenario::headline(1.0), m.clone())).collect();
+    eprintln!("running {} policies × {} seeds …", configs.len(), seeds.len());
+    let reps = Harness::new().run_matrix(&configs, &seeds);
+
     let mut table = Table::new(
         [
             "policy",
@@ -31,32 +39,28 @@ fn main() {
         .map(String::from)
         .to_vec(),
     );
-    for manager in managers {
-        let label = manager.label();
-        eprintln!("running {label} …");
-        let outcome = ExperimentRunner::new(
-            RunConfig::new(Scenario::headline(1.0), manager).with_seed(42),
-        )
-        .run();
-        let u = outcome.utilization;
+    for rep in &reps {
+        let label = rep.manager().to_string();
         table.add_row(vec![
             label.clone(),
-            format!("{:.3}", u.allocated_share[Resource::Cpu]),
-            format!("{:.3}", u.allocated_share[Resource::Memory]),
-            format!("{:.3}", u.allocated_share[Resource::DiskIo]),
-            format!("{:.3}", u.allocated_share[Resource::NetIo]),
-            format!("{:.3}", u.used_share[Resource::Cpu]),
-            format!("{:.3}", u.efficiency[Resource::Cpu]),
-            format!("{:.3}", outcome.total_violation_rate()),
+            rep.summarize(|r| r.utilization.allocated_share[Resource::Cpu]).display(3),
+            rep.summarize(|r| r.utilization.allocated_share[Resource::Memory]).display(3),
+            rep.summarize(|r| r.utilization.allocated_share[Resource::DiskIo]).display(3),
+            rep.summarize(|r| r.utilization.allocated_share[Resource::NetIo]).display(3),
+            rep.summarize(|r| r.utilization.used_share[Resource::Cpu]).display(3),
+            rep.summarize(|r| r.utilization.efficiency[Resource::Cpu]).display(3),
+            rep.violation_rate().display(3),
         ]);
-        let csv = outcome
-            .registry
-            .wide_csv(&["cluster/allocated_cpu_share", "cluster/used_cpu_share", "cluster/pods_pending"]);
+        let csv = rep.representative().registry.wide_csv(&[
+            "cluster/allocated_cpu_share",
+            "cluster/used_cpu_share",
+            "cluster/pods_pending",
+        ]);
         if let Err(err) = write_csv(&output_dir(), &format!("fig4_utilization_{label}"), &csv) {
             eprintln!("could not write CSV: {err}");
         }
     }
-    println!("\nF4 — time-averaged utilization on the headline mix\n");
+    println!("\nF4 — time-averaged utilization on the headline mix ({} seed(s))\n", seeds.len());
     println!("{table}");
     println!("the claim under test: EVOLVE converts reservation into useful work — its");
     println!("used/allocated efficiency should be the highest while violations stay lowest.");

@@ -1,17 +1,18 @@
 //! **F5 — flash crowd.** A 5× spike hits at t=120 s for 150 s. Measure
 //! the time to recover the PLO, the worst excursion, and the requests
-//! lost, per policy.
+//! lost, per policy, replicated across seeds (mean ± 95 % CI).
 //!
 //! ```text
-//! cargo run --release -p evolve-bench --bin fig5_flashcrowd
+//! cargo run --release -p evolve-bench --bin fig5_flashcrowd [seed-count]
 //! ```
 
-use evolve_bench::{output_dir, settling_analysis};
-use evolve_core::{write_csv, ExperimentRunner, ManagerKind, RunConfig, Table};
+use evolve_bench::{cli_seed_count, output_dir, replicated_settling, seed_list};
+use evolve_core::{write_csv, Harness, ManagerKind, RunConfig, Table};
 use evolve_types::SimTime;
 use evolve_workload::Scenario;
 
 fn main() {
+    let seeds = seed_list(cli_seed_count(5));
     let spike_at = SimTime::from_secs(120);
     let target_ms = 100.0;
     let managers = [
@@ -19,40 +20,41 @@ fn main() {
         ManagerKind::Hpa { target_utilization: 0.6 },
         ManagerKind::KubeStatic,
     ];
+    // Recovery analysis needs the per-tick p99 series, so series stay on.
+    let configs: Vec<RunConfig> = managers
+        .iter()
+        .map(|m| RunConfig::new(Scenario::flash_crowd(5.0), m.clone()).with_nodes(8))
+        .collect();
+    eprintln!("running {} policies × {} seeds …", configs.len(), seeds.len());
+    let reps = Harness::new().run_matrix(&configs, &seeds);
+
     let mut table = Table::new(
-        ["policy", "recovery (s)", "worst p99", "timeouts", "violations"]
-            .map(String::from)
-            .to_vec(),
+        ["policy", "recovery (s)", "worst p99", "timeouts", "viol rate"].map(String::from).to_vec(),
     );
-    let mut csv = String::from("policy,recovery_s,overshoot,timeouts\n");
-    for manager in managers {
-        let label = manager.label();
-        eprintln!("running {label} …");
-        let outcome = ExperimentRunner::new(
-            RunConfig::new(Scenario::flash_crowd(5.0), manager).with_nodes(8).with_seed(42),
-        )
-        .run();
-        let p99 = outcome
-            .registry
-            .series("app0/p99_ms")
-            .map(|s| s.to_points())
-            .unwrap_or_default();
-        let s = settling_analysis(&p99, spike_at, target_ms, 3);
-        let timeouts: u64 = outcome.apps.iter().map(|a| a.timeouts).sum();
+    let mut csv = String::from("policy,recovery_s_mean,recovery_ci,overshoot_mean,timeouts_mean\n");
+    for rep in &reps {
+        let label = rep.manager().to_string();
+        let s = replicated_settling(rep, "app0/p99_ms", spike_at, target_ms, 3);
+        let timeouts = rep.timeouts();
         table.add_row(vec![
             label.clone(),
-            s.settle_secs.map_or("never".into(), |v| format!("{v:.0}")),
-            format!("{:.0} ms", target_ms * (1.0 + s.overshoot)),
-            timeouts.to_string(),
-            outcome.total_violations().to_string(),
+            s.settle_display(),
+            format!("{:.0} ms", target_ms * (1.0 + s.overshoot.mean)),
+            timeouts.display(0),
+            rep.violation_rate().display(3),
         ]);
         csv.push_str(&format!(
-            "{label},{},{:.3},{timeouts}\n",
-            s.settle_secs.map_or(-1.0, |v| v),
-            s.overshoot
+            "{label},{:.1},{:.1},{:.3},{:.0}\n",
+            s.settle_mean_or_neg(),
+            s.settle.as_ref().map_or(0.0, |v| v.ci95),
+            s.overshoot.mean,
+            timeouts.mean,
         ));
     }
-    println!("\nF5 — 5× flash crowd at t=120 s (150 s long), PLO p99 ≤ 100 ms\n");
+    println!(
+        "\nF5 — 5× flash crowd at t=120 s (150 s long), PLO p99 ≤ 100 ms, {} seed(s)\n",
+        seeds.len()
+    );
     println!("{table}");
     println!("expected shape: EVOLVE recovers within a handful of control periods (vertical");
     println!("resize absorbs the first seconds, replicas follow); the HPA needs its");

@@ -2,81 +2,89 @@
 //! services colocated with oversized batch and HPC jobs. With priority
 //! preemption (the EVOLVE scheduler profile), batch work should harvest
 //! slack without breaking the services' PLOs; without preemption the
-//! services queue behind batch allocations.
+//! services queue behind batch allocations. Replicated across seeds
+//! (mean ± 95 % CI).
 //!
 //! ```text
-//! cargo run --release -p evolve-bench --bin fig6_interference
+//! cargo run --release -p evolve-bench --bin fig6_interference [seed-count]
 //! ```
 
-use evolve_bench::output_dir;
+use evolve_bench::{cli_seed_count, output_dir, seed_list};
 use evolve_core::{
-    write_csv, ExperimentRunner, ManagerKind, RunConfig, SchedulerProfile, Table,
+    write_csv, Harness, ManagerKind, RunConfig, RunOutcome, SchedulerProfile, Table,
 };
 use evolve_workload::{Scenario, WorldClass};
 
+fn svc_violation_rate(r: &RunOutcome) -> f64 {
+    fn svc(r: &RunOutcome) -> impl Iterator<Item = &evolve_core::AppSummary> {
+        r.apps.iter().filter(|a| a.world == WorldClass::Microservice)
+    }
+    let windows: u64 = svc(r).map(|a| a.windows).sum();
+    let violations: u64 = svc(r).map(|a| a.violations).sum();
+    if windows == 0 {
+        0.0
+    } else {
+        violations as f64 / windows as f64
+    }
+}
+
 fn main() {
+    let seeds = seed_list(cli_seed_count(5));
     let variants: Vec<(&str, ManagerKind, SchedulerProfile)> = vec![
         ("evolve + preemption", ManagerKind::Evolve, SchedulerProfile::Evolve),
         ("evolve, no preemption", ManagerKind::Evolve, SchedulerProfile::KubeDefault),
         ("kube-static", ManagerKind::KubeStatic, SchedulerProfile::KubeDefault),
     ];
+    let configs: Vec<RunConfig> = variants
+        .iter()
+        .map(|(_, manager, profile)| {
+            RunConfig::new(Scenario::interference(), manager.clone())
+                .with_nodes(10)
+                .with_scheduler(*profile)
+                .without_series()
+        })
+        .collect();
+    eprintln!("running {} variants × {} seeds …", configs.len(), seeds.len());
+    let reps = Harness::new().run_matrix(&configs, &seeds);
+
     let mut table = Table::new(
         [
             "variant",
             "svc viol rate",
             "svc timeouts",
             "jobs finished",
-            "deadlines met",
+            "deadline rate",
             "used share",
             "preemptions",
         ]
         .map(String::from)
         .to_vec(),
     );
-    for (label, manager, profile) in variants {
-        eprintln!("running {label} …");
-        let outcome = ExperimentRunner::new(
-            RunConfig::new(Scenario::interference(), manager)
-                .with_nodes(10)
-                .with_seed(42)
-                .with_scheduler(profile)
-                .without_series(),
-        )
-        .run();
-        let svc_windows: u64 = outcome
-            .apps
-            .iter()
-            .filter(|a| a.world == WorldClass::Microservice)
-            .map(|a| a.windows)
-            .sum();
-        let svc_violations: u64 = outcome
-            .apps
-            .iter()
-            .filter(|a| a.world == WorldClass::Microservice)
-            .map(|a| a.violations)
-            .sum();
-        let svc_timeouts: u64 = outcome
-            .apps
-            .iter()
-            .filter(|a| a.world == WorldClass::Microservice)
-            .map(|a| a.timeouts)
-            .sum();
-        let finished = outcome.jobs.iter().filter(|j| j.finished.is_some()).count();
-        let (hits, total) = outcome.deadline_hits();
+    for ((label, _, _), rep) in variants.iter().zip(&reps) {
+        let svc_timeouts = rep.summarize(|r| {
+            r.apps
+                .iter()
+                .filter(|a| a.world == WorldClass::Microservice)
+                .map(|a| a.timeouts)
+                .sum::<u64>() as f64
+        });
+        let finished =
+            rep.summarize(|r| r.jobs.iter().filter(|j| j.finished.is_some()).count() as f64);
+        let total_jobs = rep.representative().jobs.len();
         table.add_row(vec![
-            label.to_string(),
-            format!(
-                "{:.3}",
-                if svc_windows == 0 { 0.0 } else { svc_violations as f64 / svc_windows as f64 }
-            ),
-            svc_timeouts.to_string(),
-            format!("{finished}/{total}"),
-            format!("{hits}/{total}"),
-            format!("{:.3}", outcome.utilization.mean_used()),
-            outcome.preemptions.to_string(),
+            (*label).to_string(),
+            rep.summarize(svc_violation_rate).display(3),
+            svc_timeouts.display(0),
+            format!("{}/{total_jobs}", finished.display(1)),
+            rep.deadline_hit_rate().display(2),
+            rep.used_share().display(3),
+            rep.preemptions().display(1),
         ]);
     }
-    println!("\nF6 — colocating latency services with aggressive batch/HPC (10 nodes)\n");
+    println!(
+        "\nF6 — colocating latency services with aggressive batch/HPC (10 nodes, {} seed(s))\n",
+        seeds.len()
+    );
     println!("{table}");
     println!("expected shape: with preemption the services stay compliant and batch still");
     println!("finishes (harvesting slack, losing some work to preemption); without it, the");

@@ -1,41 +1,47 @@
 //! **T1 — headline comparison.** PLO violations and cluster utilization
 //! for EVOLVE vs stock Kubernetes, threshold HPA and a VPA-like vertical
 //! scaler, on the converged headline mix (6 dynamic services + 3 batch
-//! jobs + 2 HPC gangs on 20 nodes).
+//! jobs + 2 HPC gangs on 20 nodes). Each policy is replicated across
+//! seeds in parallel and reported as mean ± 95 % CI.
 //!
 //! ```text
-//! cargo run --release -p evolve-bench --bin tab1_headline
+//! cargo run --release -p evolve-bench --bin tab1_headline [seed-count]
 //! ```
 
-use evolve_bench::{headline_headers, headline_row, output_dir};
-use evolve_core::{write_csv, ExperimentRunner, ManagerKind, RunConfig, Table};
+use evolve_bench::{cli_seed_count, headline_headers, headline_summary_row, output_dir, seed_list};
+use evolve_core::{write_csv, Harness, ManagerKind, RunConfig, Table};
 use evolve_workload::Scenario;
 
 fn main() {
+    let seeds = seed_list(cli_seed_count(5));
     let managers = [
         ManagerKind::Evolve,
         ManagerKind::KubeStatic,
         ManagerKind::Hpa { target_utilization: 0.6 },
         ManagerKind::Vpa { margin: 0.3 },
     ];
+    let configs: Vec<RunConfig> = managers
+        .iter()
+        .map(|m| RunConfig::new(Scenario::headline(1.0), m.clone()).without_series())
+        .collect();
+    eprintln!("running {} policies × {} seeds …", configs.len(), seeds.len());
+    let reps = Harness::new().run_matrix(&configs, &seeds);
+
     let mut table = Table::new(headline_headers());
     let mut evolve_rate = None;
     let mut static_rate = None;
-    for manager in managers {
-        let label = manager.label();
-        eprintln!("running {label} …");
-        let outcome = ExperimentRunner::new(
-            RunConfig::new(Scenario::headline(1.0), manager).with_seed(42).without_series(),
-        )
-        .run();
-        match label.as_str() {
-            "evolve" => evolve_rate = Some(outcome.total_violation_rate()),
-            "kube-static" => static_rate = Some(outcome.total_violation_rate()),
+    for rep in &reps {
+        match rep.manager() {
+            "evolve" => evolve_rate = Some(rep.violation_rate().mean),
+            "kube-static" => static_rate = Some(rep.violation_rate().mean),
             _ => {}
         }
-        table.add_row(headline_row(&outcome));
+        table.add_row(headline_summary_row(rep));
     }
-    println!("\nT1 — headline: converged mix, 20 nodes, 20 simulated minutes\n");
+    println!(
+        "\nT1 — headline: converged mix, 20 nodes, 20 simulated minutes, {} seed(s)\n",
+        seeds.len()
+    );
     println!("{table}");
     if let (Some(e), Some(k)) = (evolve_rate, static_rate) {
         if e > 0.0 {

@@ -3,14 +3,16 @@
 //! silos (cloud 8 / big-data 6 / HPC 6 nodes) under the same controller.
 //! Convergence should match per-world PLO attainment while using the
 //! hardware better — idle silo capacity cannot help the busy world.
+//! Replicated across seeds; silo runs are paired per seed before
+//! aggregation so each seed yields one converged and one silo sample.
 //!
 //! ```text
-//! cargo run --release -p evolve-bench --bin tab2_convergence
+//! cargo run --release -p evolve-bench --bin tab2_convergence [seed-count]
 //! ```
 
-use evolve_bench::output_dir;
-use evolve_core::{write_csv, ExperimentRunner, ManagerKind, RunConfig, RunOutcome, Table};
-use evolve_workload::{Scenario, WorkloadMix};
+use evolve_bench::{cli_seed_count, output_dir, seed_list};
+use evolve_core::{write_csv, Harness, ManagerKind, RunConfig, RunOutcome, Summary, Table};
+use evolve_workload::{Scenario, WorkloadMix, WorldClass};
 
 /// Splits the headline mix into per-world scenarios.
 fn silo_scenarios() -> [(String, Scenario, usize); 3] {
@@ -40,96 +42,136 @@ fn silo_scenarios() -> [(String, Scenario, usize); 3] {
     ]
 }
 
-fn world_rows(label: &str, outcome: &RunOutcome, table: &mut Table) {
-    let [cloud, bigdata, hpc] = outcome.violation_rate_by_world();
-    let (hits, total) = outcome.deadline_hits();
-    table.add_row(vec![
-        label.to_string(),
-        format!("{cloud:.3}"),
-        format!("{bigdata:.3}"),
-        format!("{hpc:.3}"),
-        format!("{hits}/{total}"),
-        format!("{:.3}", outcome.utilization.mean_allocated()),
-        format!("{:.3}", outcome.utilization.mean_used()),
-    ]);
+/// Per-seed aggregate of one deployment: the metrics the table reports.
+struct DeploymentSample {
+    by_world: [f64; 3],
+    deadline_rate: f64,
+    alloc_share: f64,
+    used_share: f64,
+    violation_rate: f64,
 }
 
-fn main() {
-    let mut table = Table::new(
-        ["deployment", "cloud viol", "bigdata viol", "hpc viol", "deadlines", "alloc share", "used share"]
-            .map(String::from)
-            .to_vec(),
-    );
-
-    eprintln!("running converged (20 nodes) …");
-    let converged = ExperimentRunner::new(
-        RunConfig::new(Scenario::headline(1.0), ManagerKind::Evolve)
-            .with_nodes(20)
-            .with_seed(42)
-            .without_series(),
-    )
-    .run();
-    world_rows("converged-20", &converged, &mut table);
-
-    // Silos: aggregate three independent runs.
-    let mut silo_apps = Vec::new();
-    let mut silo_jobs = Vec::new();
-    let mut alloc_share = 0.0;
-    let mut used_share = 0.0;
-    let mut nodes_total = 0usize;
-    for (name, scenario, nodes) in silo_scenarios() {
-        eprintln!("running silo {name} ({nodes} nodes) …");
-        let outcome = ExperimentRunner::new(
-            RunConfig::new(scenario, ManagerKind::Evolve)
-                .with_nodes(nodes)
-                .with_seed(42)
-                .without_series(),
-        )
-        .run();
-        // Weight utilization by silo size.
-        alloc_share += outcome.utilization.mean_allocated() * nodes as f64;
-        used_share += outcome.utilization.mean_used() * nodes as f64;
-        nodes_total += nodes;
-        silo_apps.extend(outcome.apps);
-        silo_jobs.extend(outcome.jobs);
+fn converged_sample(run: &RunOutcome) -> DeploymentSample {
+    let (hits, total) = run.deadline_hits();
+    DeploymentSample {
+        by_world: run.violation_rate_by_world(),
+        deadline_rate: if total == 0 { 1.0 } else { hits as f64 / total as f64 },
+        alloc_share: run.utilization.mean_allocated(),
+        used_share: run.utilization.mean_used(),
+        violation_rate: run.total_violation_rate(),
     }
-    // Synthesize an aggregate row.
-    let windows: u64 = silo_apps.iter().map(|a| a.windows).sum();
-    let violations: u64 = silo_apps.iter().map(|a| a.violations).sum();
+}
+
+/// Combines the three silo runs of one seed into one sample: app windows
+/// pool directly; utilization is weighted by silo size.
+fn silo_sample(runs: [&RunOutcome; 3], nodes: [usize; 3]) -> DeploymentSample {
+    let apps = runs.iter().flat_map(|r| r.apps.iter());
     let mut by_world = [[0u64; 2]; 3];
-    for a in &silo_apps {
+    for a in apps {
         let i = match a.world {
-            evolve_workload::WorldClass::Microservice => 0,
-            evolve_workload::WorldClass::BigData => 1,
-            evolve_workload::WorldClass::Hpc => 2,
+            WorldClass::Microservice => 0,
+            WorldClass::BigData => 1,
+            WorldClass::Hpc => 2,
         };
         by_world[i][0] += a.windows;
         by_world[i][1] += a.violations;
     }
-    let rate = |i: usize| {
-        if by_world[i][0] == 0 {
-            0.0
-        } else {
-            by_world[i][1] as f64 / by_world[i][0] as f64
-        }
+    let rate = |w: [u64; 2]| if w[0] == 0 { 0.0 } else { w[1] as f64 / w[0] as f64 };
+    let windows: u64 = by_world.iter().map(|w| w[0]).sum();
+    let violations: u64 = by_world.iter().map(|w| w[1]).sum();
+    let jobs: Vec<_> = runs.iter().flat_map(|r| r.jobs.iter()).collect();
+    let hits = jobs.iter().filter(|j| j.met_deadline()).count();
+    let nodes_total: usize = nodes.iter().sum();
+    let weighted = |f: fn(&RunOutcome) -> f64| {
+        runs.iter().zip(nodes).map(|(r, n)| f(r) * n as f64).sum::<f64>() / nodes_total as f64
     };
-    let hits = silo_jobs.iter().filter(|j| j.met_deadline()).count();
-    table.add_row(vec![
-        "silos-8/6/6".into(),
-        format!("{:.3}", rate(0)),
-        format!("{:.3}", rate(1)),
-        format!("{:.3}", rate(2)),
-        format!("{hits}/{}", silo_jobs.len()),
-        format!("{:.3}", alloc_share / nodes_total as f64),
-        format!("{:.3}", used_share / nodes_total as f64),
-    ]);
+    DeploymentSample {
+        by_world: [rate(by_world[0]), rate(by_world[1]), rate(by_world[2])],
+        deadline_rate: if jobs.is_empty() { 1.0 } else { hits as f64 / jobs.len() as f64 },
+        alloc_share: weighted(|r| r.utilization.mean_allocated()),
+        used_share: weighted(|r| r.utilization.mean_used()),
+        violation_rate: if windows == 0 { 0.0 } else { violations as f64 / windows as f64 },
+    }
+}
 
-    println!("\nT2 — converged cluster vs per-world silos (EVOLVE manager in both)\n");
-    println!("{table}");
+fn summary_row(label: &str, samples: &[DeploymentSample], table: &mut Table) {
+    let col = |f: fn(&DeploymentSample) -> f64| {
+        Summary::from_samples(&samples.iter().map(f).collect::<Vec<_>>())
+    };
+    table.add_row(vec![
+        label.to_string(),
+        col(|s| s.by_world[0]).display(3),
+        col(|s| s.by_world[1]).display(3),
+        col(|s| s.by_world[2]).display(3),
+        col(|s| s.deadline_rate).display(2),
+        col(|s| s.alloc_share).display(3),
+        col(|s| s.used_share).display(3),
+    ]);
+}
+
+fn main() {
+    let seeds = seed_list(cli_seed_count(5));
+    let harness = Harness::new();
+    let mut table = Table::new(
+        [
+            "deployment",
+            "cloud viol",
+            "bigdata viol",
+            "hpc viol",
+            "deadline rate",
+            "alloc share",
+            "used share",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+
+    eprintln!("running converged (20 nodes) × {} seeds …", seeds.len());
+    let converged = harness.run_seeds(
+        &RunConfig::new(Scenario::headline(1.0), ManagerKind::Evolve)
+            .with_nodes(20)
+            .without_series(),
+        &seeds,
+    );
+    let converged_samples: Vec<DeploymentSample> =
+        converged.runs.iter().map(converged_sample).collect();
+    summary_row("converged-20", &converged_samples, &mut table);
+
+    let silos = silo_scenarios();
+    let silo_nodes = [silos[0].2, silos[1].2, silos[2].2];
+    let silo_configs: Vec<RunConfig> = silos
+        .iter()
+        .map(|(_, scenario, nodes)| {
+            RunConfig::new(scenario.clone(), ManagerKind::Evolve)
+                .with_nodes(*nodes)
+                .without_series()
+        })
+        .collect();
+    eprintln!("running 3 silos × {} seeds …", seeds.len());
+    let silo_reps = harness.run_matrix(&silo_configs, &seeds);
+    // Pair the three silo runs of each seed into one aggregate sample.
+    let silo_samples: Vec<DeploymentSample> = (0..seeds.len())
+        .map(|k| {
+            silo_sample(
+                [&silo_reps[0].runs[k], &silo_reps[1].runs[k], &silo_reps[2].runs[k]],
+                silo_nodes,
+            )
+        })
+        .collect();
+    summary_row("silos-8/6/6", &silo_samples, &mut table);
+
     println!(
-        "aggregate violation rate: converged {:.3} vs silos {:.3}",
-        converged.total_violation_rate(),
-        if windows == 0 { 0.0 } else { violations as f64 / windows as f64 }
+        "\nT2 — converged cluster vs per-world silos (EVOLVE manager in both, {} seed(s))\n",
+        seeds.len()
+    );
+    println!("{table}");
+    let agg = |samples: &[DeploymentSample]| {
+        Summary::from_samples(&samples.iter().map(|s| s.violation_rate).collect::<Vec<_>>())
+    };
+    println!(
+        "aggregate violation rate: converged {} vs silos {}",
+        agg(&converged_samples).display(3),
+        agg(&silo_samples).display(3)
     );
     if let Err(err) = write_csv(&output_dir(), "tab2_convergence", &table.to_csv()) {
         eprintln!("could not write CSV: {err}");

@@ -1,16 +1,18 @@
 //! **T3 — scheduler scalability.** Scheduling throughput (pods/s) and
 //! per-pod decision latency of the framework as the cluster grows from
 //! 100 to 2 500 nodes, for the stock profile and the EVOLVE profile
-//! (preemption enabled).
+//! (preemption enabled). This benchmark times real scheduling work (no
+//! simulation RNG), so the seed count sets the number of timed
+//! repetitions feeding the mean ± 95 % CI.
 //!
 //! ```text
-//! cargo run --release -p evolve-bench --bin tab3_sched_scale
+//! cargo run --release -p evolve-bench --bin tab3_sched_scale [rep-count]
 //! ```
 
 use std::time::Instant;
 
-use evolve_bench::output_dir;
-use evolve_core::{write_csv, Table};
+use evolve_bench::{cli_seed_count, output_dir};
+use evolve_core::{write_csv, Summary, Table};
 use evolve_scheduler::SchedulerFramework;
 use evolve_sim::{ClusterConfig, ClusterState, NodeShape, PodKind, PodSpec};
 use evolve_types::{AppId, ResourceVec, SimTime};
@@ -40,6 +42,7 @@ fn populated_cluster(nodes: usize, fill: f64, pending: usize) -> ClusterState {
 }
 
 fn main() {
+    let reps = cli_seed_count(5);
     let mut table = Table::new(
         ["profile", "nodes", "pending", "bound", "cycle ms", "pods/s", "µs/pod"]
             .map(String::from)
@@ -53,29 +56,33 @@ fn main() {
                 "kube-default" => SchedulerFramework::kube_default(),
                 _ => SchedulerFramework::evolve_default(),
             };
-            // Warm-up pass, then timed passes.
+            // Warm-up pass, then `reps` independently timed passes.
             let _ = scheduler.schedule_cycle(&cluster);
-            let reps = 3;
-            let start = Instant::now();
             let mut bound = 0usize;
-            for _ in 0..reps {
-                bound = scheduler.schedule_cycle(&cluster).bindings.len();
-            }
-            let elapsed = start.elapsed().as_secs_f64() / f64::from(reps);
-            let pods_per_s = pending as f64 / elapsed;
+            let samples: Vec<f64> = (0..reps)
+                .map(|_| {
+                    let start = Instant::now();
+                    bound = scheduler.schedule_cycle(&cluster).bindings.len();
+                    start.elapsed().as_secs_f64()
+                })
+                .collect();
+            let cycle_s = Summary::from_samples(&samples);
+            let cycle_ms =
+                Summary::from_samples(&samples.iter().map(|s| s * 1e3).collect::<Vec<_>>());
+            let pods_per_s = pending as f64 / cycle_s.mean;
             table.add_row(vec![
                 profile_name.to_string(),
                 nodes.to_string(),
                 pending.to_string(),
                 bound.to_string(),
-                format!("{:.2}", elapsed * 1e3),
+                cycle_ms.display(2),
                 format!("{pods_per_s:.0}"),
-                format!("{:.1}", elapsed / pending as f64 * 1e6),
+                format!("{:.1}", cycle_s.mean / pending as f64 * 1e6),
             ]);
-            eprintln!("{profile_name} @ {nodes} nodes: {:.2} ms/cycle", elapsed * 1e3);
+            eprintln!("{profile_name} @ {nodes} nodes: {} ms/cycle", cycle_ms.display(2));
         }
     }
-    println!("\nT3 — scheduling one 500-pod cycle on half-full clusters\n");
+    println!("\nT3 — scheduling one 500-pod cycle on half-full clusters ({reps} timed rep(s))\n");
     println!("{table}");
     if let Err(err) = write_csv(&output_dir(), "tab3_sched_scale", &table.to_csv()) {
         eprintln!("could not write CSV: {err}");

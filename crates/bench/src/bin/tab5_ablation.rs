@@ -2,24 +2,21 @@
 //! full EVOLVE vs CPU-only PID (classical 1-D control) vs fixed gains
 //! (no on-line adaptation) vs threshold HPA, on the bottleneck-rotation
 //! mix where each service binds on a *different* resource dimension.
+//! Replicated across seeds (mean ± 95 % CI).
 //!
 //! ```text
-//! cargo run --release -p evolve-bench --bin tab5_ablation
+//! cargo run --release -p evolve-bench --bin tab5_ablation [seed-count]
 //! ```
 
-use evolve_bench::output_dir;
-use evolve_core::{
-    write_csv, EvolvePolicyConfig, ExperimentRunner, ManagerKind, RunConfig, Table,
-};
+use evolve_bench::{cli_seed_count, output_dir, seed_list};
+use evolve_core::{write_csv, EvolvePolicyConfig, Harness, ManagerKind, RunConfig, Table};
 use evolve_workload::Scenario;
 
 fn main() {
+    let seeds = seed_list(cli_seed_count(5));
     let variants: Vec<(&str, ManagerKind)> = vec![
         ("evolve (full)", ManagerKind::Evolve),
-        (
-            "evolve cpu-only",
-            ManagerKind::EvolveWith(EvolvePolicyConfig::default().cpu_only()),
-        ),
+        ("evolve cpu-only", ManagerKind::EvolveWith(EvolvePolicyConfig::default().cpu_only())),
         (
             "evolve fixed-gains",
             ManagerKind::EvolveWith(EvolvePolicyConfig::default().fixed_gains()),
@@ -27,29 +24,39 @@ fn main() {
         ("hpa", ManagerKind::Hpa { target_utilization: 0.6 }),
         ("kube-static", ManagerKind::KubeStatic),
     ];
+    let configs: Vec<RunConfig> = variants
+        .iter()
+        .map(|(_, manager)| {
+            RunConfig::new(Scenario::bottleneck_rotation(), manager.clone())
+                .with_nodes(12)
+                .without_series()
+        })
+        .collect();
+    eprintln!("running {} variants × {} seeds …", configs.len(), seeds.len());
+    let reps = Harness::new().run_matrix(&configs, &seeds);
+
     let mut table = Table::new(
         ["variant", "cpu-svc", "disk-svc", "net-svc", "mem-svc", "aggregate", "oom kills"]
             .map(String::from)
             .to_vec(),
     );
-    for (label, manager) in variants {
-        eprintln!("running {label} …");
-        let outcome = ExperimentRunner::new(
-            RunConfig::new(Scenario::bottleneck_rotation(), manager)
-                .with_nodes(12)
-                .with_seed(42)
-                .without_series(),
-        )
-        .run();
-        let mut row = vec![label.to_string()];
-        for app in outcome.apps.iter().take(4) {
-            row.push(format!("{:.3}", app.violation_rate()));
+    for ((label, _), rep) in variants.iter().zip(&reps) {
+        let mut row = vec![(*label).to_string()];
+        // The first four apps in the rotation mix are the cpu/disk/net/mem
+        // services, in declaration order (identical across seeds).
+        for i in 0..4 {
+            row.push(rep.summarize(|r| r.apps[i].violation_rate()).display(3));
         }
-        row.push(format!("{:.3}", outcome.total_violation_rate()));
-        row.push(outcome.apps.iter().map(|a| a.oom_kills).sum::<u64>().to_string());
+        row.push(rep.violation_rate().display(3));
+        row.push(
+            rep.summarize(|r| r.apps.iter().map(|a| a.oom_kills).sum::<u64>() as f64).display(1),
+        );
         table.add_row(row);
     }
-    println!("\nT5 — ablation on the bottleneck-rotation mix (violation rate per service)\n");
+    println!(
+        "\nT5 — ablation on the bottleneck-rotation mix (violation rate per service, {} seed(s))\n",
+        seeds.len()
+    );
     println!("{table}");
     println!("expected shape: the CPU-only controller defends cpu-svc but fails the disk/net/");
     println!("mem services (it cannot see their bottleneck); fixed gains oscillate or react");

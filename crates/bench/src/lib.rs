@@ -3,7 +3,7 @@
 
 use std::path::PathBuf;
 
-use evolve_core::RunOutcome;
+use evolve_core::{ReplicatedOutcome, RunOutcome, Summary};
 use evolve_types::SimTime;
 
 /// Where experiment CSVs land (`experiments_out/` under the workspace).
@@ -14,6 +14,29 @@ pub fn output_dir() -> PathBuf {
     // root already; fall back gracefully otherwise.
     dir.push("experiments_out");
     dir
+}
+
+/// The first seed every experiment binary replicates from.
+pub const BASE_SEED: u64 = 42;
+
+/// How many seeds to replicate over: the first CLI argument if it parses
+/// as a positive integer, else the `EVOLVE_SEEDS` environment variable,
+/// else `default`.
+#[must_use]
+pub fn cli_seed_count(default: usize) -> usize {
+    let parse = |s: &str| s.trim().parse::<usize>().ok().filter(|n| *n > 0);
+    std::env::args()
+        .nth(1)
+        .as_deref()
+        .and_then(parse)
+        .or_else(|| std::env::var("EVOLVE_SEEDS").ok().as_deref().and_then(parse))
+        .unwrap_or(default)
+}
+
+/// `count` consecutive seeds starting at [`BASE_SEED`].
+#[must_use]
+pub fn seed_list(count: usize) -> Vec<u64> {
+    (0..count as u64).map(|i| BASE_SEED + i).collect()
 }
 
 /// Settling analysis of a latency series after a disturbance.
@@ -82,12 +105,98 @@ pub fn headline_row(outcome: &RunOutcome) -> Vec<String> {
     ]
 }
 
-/// The headline table's column names (matches [`headline_row`]).
+/// The headline table's column names (matches [`headline_row`] and
+/// [`headline_summary_row`]).
 #[must_use]
 pub fn headline_headers() -> Vec<String> {
-    ["policy", "windows", "violations", "viol rate", "alloc share", "used share", "deadlines", "preempt"]
-        .map(String::from)
-        .to_vec()
+    [
+        "policy",
+        "windows",
+        "violations",
+        "viol rate",
+        "alloc share",
+        "used share",
+        "deadlines",
+        "preempt",
+    ]
+    .map(String::from)
+    .to_vec()
+}
+
+/// One row of the headline comparison aggregated across seeds
+/// (mean ± 95 % CI where the spread is meaningful).
+#[must_use]
+pub fn headline_summary_row(rep: &ReplicatedOutcome) -> Vec<String> {
+    vec![
+        rep.manager().to_string(),
+        format!("{:.0}", rep.summarize(|r| r.total_windows() as f64).mean),
+        rep.summarize(|r| r.total_violations() as f64).display(1),
+        rep.violation_rate().display(3),
+        rep.alloc_share().display(3),
+        rep.used_share().display(3),
+        rep.deadline_hit_rate().display(2),
+        rep.preemptions().display(1),
+    ]
+}
+
+/// Settling statistics across replicated runs.
+#[derive(Debug, Clone)]
+pub struct ReplicatedSettling {
+    /// Settle-time summary over the runs that settled (`None` when none
+    /// did).
+    pub settle: Option<Summary>,
+    /// How many runs settled.
+    pub settled_runs: usize,
+    /// Total runs analysed.
+    pub runs: usize,
+    /// Overshoot summary over all runs.
+    pub overshoot: Summary,
+}
+
+impl ReplicatedSettling {
+    /// Settle time as `mean ± ci (settled/total)`, or `never (0/n)`.
+    #[must_use]
+    pub fn settle_display(&self) -> String {
+        match &self.settle {
+            Some(s) => format!("{} ({}/{})", s.display(0), self.settled_runs, self.runs),
+            None => format!("never (0/{})", self.runs),
+        }
+    }
+
+    /// Mean settle seconds for CSV export (−1 when no run settled).
+    #[must_use]
+    pub fn settle_mean_or_neg(&self) -> f64 {
+        self.settle.as_ref().map_or(-1.0, |s| s.mean)
+    }
+}
+
+/// Runs [`settling_analysis`] on the named series of every replicated
+/// run and aggregates: settle time over the runs that settled, overshoot
+/// over all runs.
+#[must_use]
+pub fn replicated_settling(
+    rep: &ReplicatedOutcome,
+    series: &str,
+    disturbance_at: SimTime,
+    target: f64,
+    hold: usize,
+) -> ReplicatedSettling {
+    let per_run: Vec<Settling> = rep
+        .runs
+        .iter()
+        .map(|r| {
+            let points = r.registry.series(series).map(|s| s.to_points()).unwrap_or_default();
+            settling_analysis(&points, disturbance_at, target, hold)
+        })
+        .collect();
+    let settled: Vec<f64> = per_run.iter().filter_map(|s| s.settle_secs).collect();
+    let overshoots: Vec<f64> = per_run.iter().map(|s| s.overshoot).collect();
+    ReplicatedSettling {
+        settle: if settled.is_empty() { None } else { Some(Summary::from_samples(&settled)) },
+        settled_runs: settled.len(),
+        runs: per_run.len(),
+        overshoot: Summary::from_samples(&overshoots),
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +231,8 @@ mod tests {
     #[test]
     fn settling_requires_hold() {
         // One good sample between violations must not count as settled.
-        let pts = vec![(0.0, 150.0), (1.0, 90.0), (2.0, 150.0), (3.0, 90.0), (4.0, 80.0), (5.0, 70.0)];
+        let pts =
+            vec![(0.0, 150.0), (1.0, 90.0), (2.0, 150.0), (3.0, 90.0), (4.0, 80.0), (5.0, 70.0)];
         let s = settling_analysis(&pts, SimTime::ZERO, 100.0, 3);
         assert_eq!(s.settle_secs, Some(5.0));
     }

@@ -100,9 +100,9 @@ impl RlsModel {
         let d = self.dim;
         // k = P x / (λ + xᵀ P x)
         let mut px = vec![0.0; d];
-        for i in 0..d {
-            for j in 0..d {
-                px[i] += self.p[i * d + j] * x[j];
+        for (i, pxi) in px.iter_mut().enumerate() {
+            for (j, xj) in x.iter().enumerate() {
+                *pxi += self.p[i * d + j] * xj;
             }
         }
         let denom = self.lambda + x.iter().zip(&px).map(|(a, b)| a * b).sum::<f64>();
@@ -111,19 +111,19 @@ impl RlsModel {
         }
         let k: Vec<f64> = px.iter().map(|v| v / denom).collect();
         let err = y - self.predict(x);
-        for i in 0..d {
-            self.w[i] += k[i] * err;
+        for (wi, ki) in self.w.iter_mut().zip(&k) {
+            *wi += ki * err;
         }
         // P = (P - k xᵀ P) / λ
         let mut xp = vec![0.0; d];
-        for j in 0..d {
-            for i in 0..d {
-                xp[j] += x[i] * self.p[i * d + j];
+        for (j, xpj) in xp.iter_mut().enumerate() {
+            for (i, xi) in x.iter().enumerate() {
+                *xpj += xi * self.p[i * d + j];
             }
         }
-        for i in 0..d {
-            for j in 0..d {
-                self.p[i * d + j] = (self.p[i * d + j] - k[i] * xp[j]) / self.lambda;
+        for (i, ki) in k.iter().enumerate() {
+            for (j, xpj) in xp.iter().enumerate() {
+                self.p[i * d + j] = (self.p[i * d + j] - ki * xpj) / self.lambda;
             }
         }
         self.updates += 1;
@@ -138,9 +138,9 @@ impl RlsModel {
 /// two signals:
 ///
 /// 1. **pressure** — how close usage runs to allocation in each dimension
-///   (a resource at 95% of its allocation is a bottleneck candidate);
+///    (a resource at 95% of its allocation is a bottleneck candidate);
 /// 2. **learned sensitivity** — an RLS estimate of ∂error/∂(log alloc)
-///   per dimension, from the observed history of allocation changes.
+///    per dimension, from the observed history of allocation changes.
 ///
 /// The result of [`SensitivityModel::attribution`] is a non-negative
 /// vector summing to 1: the share of the PLO error each resource PID
@@ -283,12 +283,7 @@ impl SensitivityModel {
     /// Current smoothed pressure (usage/allocation) per resource.
     #[must_use]
     pub fn pressure(&self) -> ResourceVec {
-        ResourceVec::new(
-            self.pressure[0],
-            self.pressure[1],
-            self.pressure[2],
-            self.pressure[3],
-        )
+        ResourceVec::new(self.pressure[0], self.pressure[1], self.pressure[2], self.pressure[3])
     }
 
     /// The attribution vector: non-negative, sums to 1.
@@ -298,19 +293,17 @@ impl SensitivityModel {
     /// back to uniform attribution with no data.
     #[must_use]
     pub fn attribution(&self) -> ResourceVec {
-        let mut score = [0.0_f64; NUM_RESOURCES];
         // Pressure contribution: emphasize near-saturation superlinearly.
-        for i in 0..NUM_RESOURCES {
-            score[i] = self.pressure[i].max(0.0).powi(3);
-        }
+        let mut score: [f64; NUM_RESOURCES] =
+            std::array::from_fn(|i| self.pressure[i].max(0.0).powi(3));
         // Latency decomposition: blend in each rate resource's share of
         // the per-request serial time (dominant when available — it is
         // the direct answer to "which resource makes requests slow?").
         if self.has_serial {
             let total_serial: f64 = self.serial.iter().sum();
             if total_serial > 1e-12 {
-                for i in 0..NUM_RESOURCES {
-                    score[i] = 0.3 * score[i] + 0.7 * (self.serial[i] / total_serial);
+                for (sc, serial) in score.iter_mut().zip(&self.serial) {
+                    *sc = 0.3 * *sc + 0.7 * (serial / total_serial);
                 }
             }
         }

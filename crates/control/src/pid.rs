@@ -254,9 +254,8 @@ impl PidController {
         let candidate_integral =
             (self.integral * cfg.integral_leak + error * dt_secs).clamp(cfg.int_min, cfg.int_max);
 
-        let unclamped = cfg.kp * error
-            + cfg.ki * candidate_integral
-            + cfg.kd * self.filtered_derivative;
+        let unclamped =
+            cfg.kp * error + cfg.ki * candidate_integral + cfg.kd * self.filtered_derivative;
         let clamped = unclamped.clamp(cfg.out_min, cfg.out_max);
 
         // Conditional integration: only accept the integral update when the
@@ -404,9 +403,8 @@ mod tests {
     #[test]
     fn closed_loop_converges_on_first_order_plant() {
         // Plant: y' = (u - y) / tau. Controller drives y to setpoint 1.
-        let mut pid = PidController::new(
-            PidConfig::new(2.0, 1.0, 0.0).with_output_limits(0.0, 10.0),
-        );
+        let mut pid =
+            PidController::new(PidConfig::new(2.0, 1.0, 0.0).with_output_limits(0.0, 10.0));
         let mut y = 0.0;
         let dt = 0.1;
         let tau = 1.0;

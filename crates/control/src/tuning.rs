@@ -286,8 +286,7 @@ impl RelayTuner {
             return None;
         }
         // Average the later periods (the first may include the transient).
-        let periods: Vec<f64> =
-            self.crossings.windows(2).skip(1).map(|w| w[1] - w[0]).collect();
+        let periods: Vec<f64> = self.crossings.windows(2).skip(1).map(|w| w[1] - w[0]).collect();
         let tu = periods.iter().sum::<f64>() / periods.len() as f64;
         let a = (self.max_measurement - self.min_measurement) / 2.0;
         if tu <= 0.0 || a <= 0.0 {

@@ -203,12 +203,7 @@ mod tests {
             p99_ms: Some(50.0),
             mean_ms: Some(25.0),
             throughput_rps: 20.0,
-            usage: ResourceVec::new(
-                cpu_usage_per_replica * f64::from(replicas),
-                256.0,
-                5.0,
-                5.0,
-            ),
+            usage: ResourceVec::new(cpu_usage_per_replica * f64::from(replicas), 256.0, 5.0, 5.0),
             alloc: ResourceVec::splat(1_000.0) * f64::from(replicas),
             alloc_per_replica: ResourceVec::splat(1_000.0),
             running_replicas: replicas,
@@ -223,7 +218,10 @@ mod tests {
         let mut p = StaticPolicy;
         let st = status();
         let w = window(1, 999.0);
-        assert_eq!(p.decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 }), None);
+        assert_eq!(
+            p.decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 }),
+            None
+        );
         assert_eq!(p.name(), "kube-static");
     }
 
@@ -233,7 +231,9 @@ mod tests {
         let st = status();
         // 90% utilization vs 60% target → desired = ceil(2×1.5) = 3.
         let w = window(2, 900.0);
-        let d = p.decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 }).unwrap();
+        let d = p
+            .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+            .unwrap();
         assert_eq!(d.replicas, 3);
         assert_eq!(d.per_replica, ResourceVec::splat(1_000.0));
     }
@@ -245,7 +245,9 @@ mod tests {
         let w = window(6, 60.0); // 6% utilization → wants 1 replica
         let mut replicas = Vec::new();
         for _ in 0..8 {
-            let d = p.decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 }).unwrap();
+            let d = p
+                .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+                .unwrap();
             replicas.push(d.replicas);
         }
         // One step down, then frozen by the stabilization window.
@@ -258,7 +260,9 @@ mod tests {
         let mut p = HpaPolicy::new(0.5, ResourceVec::splat(1_000.0), 3, 4);
         let st = status();
         let w = window(3, 1_000.0); // 200% of target
-        let d = p.decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 }).unwrap();
+        let d = p
+            .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+            .unwrap();
         assert_eq!(d.replicas, 4);
     }
 
@@ -267,23 +271,22 @@ mod tests {
         let mut p = HpaPolicy::new(0.6, ResourceVec::splat(1_000.0), 3, 10);
         let st = status();
         let w = window(3, 620.0); // 62% ≈ within 10% of 60%
-        let d = p.decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 }).unwrap();
+        let d = p
+            .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+            .unwrap();
         assert_eq!(d.replicas, 3);
     }
 
     #[test]
     fn vpa_follows_usage_with_margin() {
-        let mut p = VpaPolicy::new(
-            0.3,
-            ResourceVec::splat(10.0),
-            ResourceVec::splat(100_000.0),
-            2,
-        );
+        let mut p = VpaPolicy::new(0.3, ResourceVec::splat(10.0), ResourceVec::splat(100_000.0), 2);
         let st = status();
         let mut last = ResourceVec::ZERO;
         for _ in 0..20 {
             let w = window(2, 800.0);
-            let d = p.decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 }).unwrap();
+            let d = p
+                .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+                .unwrap();
             last = d.per_replica;
             assert_eq!(d.replicas, 2);
         }
@@ -293,11 +296,12 @@ mod tests {
 
     #[test]
     fn vpa_clamps_to_bounds() {
-        let mut p =
-            VpaPolicy::new(0.3, ResourceVec::splat(500.0), ResourceVec::splat(600.0), 1);
+        let mut p = VpaPolicy::new(0.3, ResourceVec::splat(500.0), ResourceVec::splat(600.0), 1);
         let st = status();
         let w = window(1, 10_000.0);
-        let d = p.decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 }).unwrap();
+        let d = p
+            .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+            .unwrap();
         assert!(d.per_replica.fits_within(&ResourceVec::splat(600.0)));
     }
 }

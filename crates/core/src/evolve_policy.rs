@@ -153,7 +153,10 @@ impl AutoscalePolicy for EvolvePolicy {
             // The first window is dominated by container-start queueing
             // (requests that waited for the replicas to boot); acting on
             // it would punish a transient the controller cannot fix.
-            return Some(PolicyDecision { per_replica: w.alloc_per_replica, replicas: self.replicas });
+            return Some(PolicyDecision {
+                per_replica: w.alloc_per_replica,
+                replicas: self.replicas,
+            });
         }
         let rate = w.arrivals as f64 / input.dt_secs.max(1e-9);
         self.predictor.observe(rate);
@@ -178,20 +181,21 @@ impl AutoscalePolicy for EvolvePolicy {
             return Some(PolicyDecision { per_replica: alloc_pr, replicas: self.replicas });
         };
 
-        let smoothed = if measured.is_finite() {
-            self.measured_filter.observe(measured)
-        } else {
-            measured
-        };
-        let error =
-            control_error_with_margin(&input.app.plo, smoothed, self.config.target_margin);
+        let smoothed =
+            if measured.is_finite() { self.measured_filter.observe(measured) } else { measured };
+        let error = control_error_with_margin(&input.app.plo, smoothed, self.config.target_margin);
         let per_replica_rps = if w.running_replicas > 0 {
             Some(w.throughput_rps / f64::from(w.running_replicas))
         } else {
             None
         };
-        let mut decision =
-            self.controller.step_with_profile(alloc_pr, usage_pr, per_replica_rps, error, input.dt_secs);
+        let mut decision = self.controller.step_with_profile(
+            alloc_pr,
+            usage_pr,
+            per_replica_rps,
+            error,
+            input.dt_secs,
+        );
         // Burst headroom: provision for the recently observed peak rate,
         // not the instantaneous one — bursty traffic (MMPP state flips,
         // recurring spikes) would otherwise buy one violating window on
@@ -399,10 +403,7 @@ mod tests {
 
     #[test]
     fn ablation_names() {
-        assert_eq!(
-            EvolvePolicy::new(EvolvePolicyConfig::default(), 1, false).name(),
-            "evolve"
-        );
+        assert_eq!(EvolvePolicy::new(EvolvePolicyConfig::default(), 1, false).name(), "evolve");
         assert_eq!(
             EvolvePolicy::new(EvolvePolicyConfig::default().cpu_only(), 1, false).name(),
             "evolve-cpu-only"

@@ -34,6 +34,7 @@
 
 mod baselines;
 mod evolve_policy;
+mod harness;
 mod manager;
 mod policy;
 mod report;
@@ -41,7 +42,10 @@ mod runner;
 
 pub use baselines::{HpaPolicy, StaticPolicy, VpaPolicy};
 pub use evolve_policy::{EvolvePolicy, EvolvePolicyConfig};
+pub use harness::{Harness, ReplicatedOutcome};
 pub use manager::{ManagerKind, ResourceManager};
-pub use policy::{control_error, control_error_with_margin, AutoscalePolicy, PolicyDecision, PolicyInput};
-pub use report::{write_csv, Table};
+pub use policy::{
+    control_error, control_error_with_margin, AutoscalePolicy, PolicyDecision, PolicyInput,
+};
+pub use report::{write_csv, Summary, Table};
 pub use runner::{AppSummary, ExperimentRunner, RunConfig, RunOutcome, SchedulerProfile};

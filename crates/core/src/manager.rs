@@ -173,7 +173,11 @@ impl ResourceManager {
     /// Runs one control tick: harvest every app's window, account PLO
     /// compliance, run the policy, actuate. Returns the harvested windows
     /// for telemetry.
-    pub fn tick(&mut self, sim: &mut Simulation, dt_secs: f64) -> Vec<(AppId, evolve_sim::AppWindow)> {
+    pub fn tick(
+        &mut self,
+        sim: &mut Simulation,
+        dt_secs: f64,
+    ) -> Vec<(AppId, evolve_sim::AppWindow)> {
         let statuses: Vec<evolve_sim::AppStatus> = sim.apps().to_vec();
         let mut windows = Vec::with_capacity(statuses.len());
         for status in statuses {

@@ -97,6 +97,81 @@ impl fmt::Display for Table {
     }
 }
 
+/// Two-sided 97.5 % Student-t critical values for small degrees of
+/// freedom (index = df − 1); beyond the table the normal approximation
+/// 1.96 is close enough.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Mean and spread of one metric replicated across seeds.
+///
+/// # Examples
+///
+/// ```
+/// use evolve_core::Summary;
+///
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0]);
+/// assert_eq!(s.n, 3);
+/// assert!((s.mean - 2.0).abs() < 1e-12);
+/// assert!(s.ci95 > 0.0);
+/// assert_eq!(Summary::from_samples(&[5.0]).ci95, 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for n < 2).
+    pub std_dev: f64,
+    /// Half-width of the 95 % confidence interval of the mean
+    /// (Student-t; 0 for n < 2).
+    pub ci95: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes the samples. Accumulation is in slice order, so the
+    /// same samples always reduce to bit-identical statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples` is empty.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize zero samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n < 2 {
+            return Summary { mean, std_dev: 0.0, ci95: 0.0, n };
+        }
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n as f64 - 1.0);
+        let std_dev = var.sqrt();
+        let t = T_975.get(n - 2).copied().unwrap_or(1.96);
+        let ci95 = t * std_dev / (n as f64).sqrt();
+        Summary { mean, std_dev, ci95, n }
+    }
+
+    /// Renders as `mean ± ci95` with the given number of decimals; a
+    /// single-sample summary renders as the bare mean.
+    #[must_use]
+    pub fn display(&self, decimals: usize) -> String {
+        if self.n < 2 {
+            format!("{:.decimals$}", self.mean)
+        } else {
+            format!("{:.decimals$} ± {:.decimals$}", self.mean, self.ci95)
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display(3))
+    }
+}
+
 /// Writes CSV content under `dir/name.csv`, creating the directory.
 ///
 /// # Errors
@@ -149,6 +224,34 @@ mod tests {
         let content = std::fs::read_to_string(dir.join("t.csv")).unwrap();
         assert_eq!(content, "a,b\n");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_small_sample_uses_student_t() {
+        let s = Summary::from_samples(&[10.0, 12.0, 14.0]);
+        assert!((s.mean - 12.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        // df = 2 → t = 4.303; ci = t * sd / sqrt(3).
+        let expect = 4.303 * 2.0 / 3f64.sqrt();
+        assert!((s.ci95 - expect).abs() < 1e-9);
+        assert_eq!(s.display(1), "12.0 ± 5.0");
+    }
+
+    #[test]
+    fn summary_single_sample_has_zero_spread() {
+        let s = Summary::from_samples(&[7.5]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.display(2), "7.50");
+    }
+
+    #[test]
+    fn summary_large_sample_uses_normal_quantile() {
+        let samples: Vec<f64> = (0..100).map(f64::from).collect();
+        let s = Summary::from_samples(&samples);
+        assert_eq!(s.n, 100);
+        let expect = 1.96 * s.std_dev / 10.0;
+        assert!((s.ci95 - expect).abs() < 1e-9);
     }
 
     #[test]

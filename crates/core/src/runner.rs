@@ -167,6 +167,10 @@ pub struct RunOutcome {
     pub bindings: u64,
     /// Simulated horizon.
     pub horizon: SimDuration,
+    /// Simulation clock when the run ended; always equal to the horizon,
+    /// including when the horizon is not a multiple of the control
+    /// interval (the final partial window is still simulated).
+    pub end_time: SimTime,
     /// Engine events processed (simulator throughput accounting).
     pub events: u64,
 }
@@ -226,6 +230,32 @@ impl RunOutcome {
     }
 }
 
+/// Per-app metric series names, interned once before the control loop so
+/// the per-tick recording path allocates no strings.
+#[derive(Debug)]
+struct AppSeriesKeys {
+    p99_ms: String,
+    rate_rps: String,
+    replicas: String,
+    alloc_cpu: String,
+    usage_cpu: String,
+    timeouts: String,
+}
+
+impl AppSeriesKeys {
+    fn new(app: AppId) -> Self {
+        let prefix = format!("app{}", app.raw());
+        AppSeriesKeys {
+            p99_ms: format!("{prefix}/p99_ms"),
+            rate_rps: format!("{prefix}/rate_rps"),
+            replicas: format!("{prefix}/replicas"),
+            alloc_cpu: format!("{prefix}/alloc_cpu"),
+            usage_cpu: format!("{prefix}/usage_cpu"),
+            timeouts: format!("{prefix}/timeouts"),
+        }
+    }
+}
+
 /// Runs one experiment end to end.
 #[derive(Debug)]
 pub struct ExperimentRunner {
@@ -262,15 +292,28 @@ impl ExperimentRunner {
 
         let horizon = SimTime::ZERO + cfg.scenario.horizon;
         let dt = cfg.control_interval;
-        let dt_secs = dt.as_secs_f64();
-        let mut tick_end = SimTime::ZERO + dt;
+
+        // Series names are interned once per app up front; the per-tick
+        // recording path below must not build strings.
+        let mut series_keys: std::collections::HashMap<AppId, AppSeriesKeys> = if cfg.record_series
+        {
+            sim.apps().iter().map(|s| (s.id, AppSeriesKeys::new(s.id))).collect()
+        } else {
+            std::collections::HashMap::new()
+        };
 
         // Initial scheduling pass so t=0 pods place immediately.
         Self::schedule_pass(&scheduler, &mut sim, &mut preemptions, &mut bindings);
 
-        while tick_end <= horizon {
+        let mut window_start = SimTime::ZERO;
+        while window_start < horizon {
+            // The final window may be truncated when the horizon is not a
+            // multiple of the control interval; the manager sees the
+            // actual elapsed seconds so per-window rates stay correct.
+            let tick_end = (window_start + dt).min(horizon);
+            let window_secs = (tick_end - window_start).as_secs_f64();
             sim.run_until(tick_end);
-            let windows = manager.tick(&mut sim, dt_secs);
+            let windows = manager.tick(&mut sim, window_secs);
             Self::schedule_pass(&scheduler, &mut sim, &mut preemptions, &mut bindings);
 
             // Utilization accounting: allocation from the cluster, usage
@@ -307,30 +350,18 @@ impl ExperimentRunner {
                 registry.record("cluster/pods_running", t, f64::from(snap.pods_running));
                 registry.record("cluster/pods_pending", t, f64::from(snap.pods_pending));
                 for (app, w) in &windows {
-                    let prefix = format!("app{}/", app.raw());
+                    let keys = series_keys.entry(*app).or_insert_with(|| AppSeriesKeys::new(*app));
                     if let Some(p99) = w.p99_ms {
-                        registry.record(&format!("{prefix}p99_ms"), t, p99);
+                        registry.record(&keys.p99_ms, t, p99);
                     }
-                    registry.record(
-                        &format!("{prefix}rate_rps"),
-                        t,
-                        w.arrivals as f64 / dt_secs,
-                    );
-                    registry.record(
-                        &format!("{prefix}replicas"),
-                        t,
-                        f64::from(w.running_replicas),
-                    );
-                    registry.record(&format!("{prefix}alloc_cpu"), t, w.alloc.cpu());
-                    registry.record(&format!("{prefix}usage_cpu"), t, w.usage.cpu());
-                    registry.record(
-                        &format!("{prefix}timeouts"),
-                        t,
-                        w.timeouts as f64,
-                    );
+                    registry.record(&keys.rate_rps, t, w.arrivals as f64 / window_secs);
+                    registry.record(&keys.replicas, t, f64::from(w.running_replicas));
+                    registry.record(&keys.alloc_cpu, t, w.alloc.cpu());
+                    registry.record(&keys.usage_cpu, t, w.usage.cpu());
+                    registry.record(&keys.timeouts, t, w.timeouts as f64);
                 }
             }
-            tick_end = tick_end + dt;
+            window_start = tick_end;
         }
         let utilization = util.finish(sim.now());
 
@@ -366,6 +397,7 @@ impl ExperimentRunner {
             preemptions,
             bindings,
             horizon: cfg.scenario.horizon,
+            end_time: sim.now(),
             events: sim.events_processed(),
         }
     }

@@ -1,7 +1,7 @@
 //! The scheduling cycle: priority queue, gang grouping, filter → score →
 //! tentative bind, and preemption.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use evolve_sim::{ClusterState, Pod, PodKind, PodSpec};
 use evolve_types::{JobId, NodeId, PodId, ResourceVec};
@@ -163,7 +163,9 @@ impl SchedulerFramework {
         // Group pending pods: gangs as units, others individually; order
         // by (priority desc, creation asc).
         let pending: Vec<&Pod> = cluster.pending_pods().collect();
-        let mut gangs: HashMap<JobId, Vec<&Pod>> = HashMap::new();
+        // BTreeMap: gang visit order must not depend on hash state, or
+        // equal-priority units would schedule in a nondeterministic order.
+        let mut gangs: BTreeMap<JobId, Vec<&Pod>> = BTreeMap::new();
         let mut singles: Vec<&Pod> = Vec::new();
         for pod in pending {
             match pod.spec.kind {
@@ -175,18 +177,21 @@ impl SchedulerFramework {
             Single(&'a Pod),
             Gang(Vec<&'a Pod>),
         }
-        let mut units: Vec<(i32, evolve_types::SimTime, Unit<'_>)> = Vec::new();
+        let mut units: Vec<(i32, evolve_types::SimTime, PodId, Unit<'_>)> = Vec::new();
         for pod in singles {
-            units.push((pod.spec.priority, pod.created, Unit::Single(pod)));
+            units.push((pod.spec.priority, pod.created, pod.id, Unit::Single(pod)));
         }
         for (_, members) in gangs {
             let prio = members.iter().map(|p| p.spec.priority).max().unwrap_or(0);
             let created = members.iter().map(|p| p.created).min().unwrap_or_default();
-            units.push((prio, created, Unit::Gang(members)));
+            let first = members.iter().map(|p| p.id).min().unwrap_or(PodId::new(0));
+            units.push((prio, created, first, Unit::Gang(members)));
         }
-        units.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        // Priority desc, then creation asc, then pod id as a total
+        // tie-break so the cycle order is fully deterministic.
+        units.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
 
-        for (_, _, unit) in units {
+        for (_, _, _, unit) in units {
             match unit {
                 Unit::Single(pod) => {
                     if let Some(node) = self.place_one(cluster, &mut shadow, &pod.spec) {
@@ -249,11 +254,7 @@ impl SchedulerFramework {
             let view = NodeView {
                 node,
                 free: shadow.free[i],
-                app_pods: shadow
-                    .app_pods
-                    .get(&(i, spec.kind.app().raw()))
-                    .copied()
-                    .unwrap_or(0),
+                app_pods: shadow.app_pods.get(&(i, spec.kind.app().raw())).copied().unwrap_or(0),
             };
             if !self.filters.iter().all(|f| f.feasible(spec, &view)) {
                 continue;
@@ -312,10 +313,11 @@ impl SchedulerFramework {
                 chosen.push(v.id);
                 cost += f64::from(v.spec.priority) + 1.0;
             }
-            if pod.spec.request.fits_within(&free) && !chosen.is_empty() {
-                if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
-                    best = Some((cost, i, chosen));
-                }
+            if pod.spec.request.fits_within(&free)
+                && !chosen.is_empty()
+                && best.as_ref().is_none_or(|(c, _, _)| cost < *c)
+            {
+                best = Some((cost, i, chosen));
             }
         }
         let (_, idx, victims) = best?;
@@ -464,7 +466,7 @@ mod tests {
     #[test]
     fn gang_is_all_or_nothing() {
         let mut c = cluster(2, 1000.0); // 950 allocatable each
-        // Gang of 4 ranks × 600: only 2 fit (one per node) → nothing binds.
+                                        // Gang of 4 ranks × 600: only 2 fit (one per node) → nothing binds.
         for rank in 0..4 {
             c.create_pod(
                 PodSpec::new(

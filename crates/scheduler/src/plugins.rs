@@ -135,11 +135,7 @@ mod tests {
     }
 
     fn pod(request: f64) -> PodSpec {
-        PodSpec::new(
-            PodKind::ServiceReplica { app: AppId::new(0) },
-            ResourceVec::splat(request),
-            0,
-        )
+        PodSpec::new(PodKind::ServiceReplica { app: AppId::new(0) }, ResourceVec::splat(request), 0)
     }
 
     fn view(node: &Node, free: f64, app_pods: usize) -> NodeView<'_> {
@@ -188,11 +184,8 @@ mod tests {
         // Balanced: all dimensions equally free.
         let balanced = BalancedAllocation.score(&p, &view(&n, 400.0, 0));
         // Skewed: CPU nearly exhausted, others empty.
-        let skew_view = NodeView {
-            node: &n,
-            free: ResourceVec::new(10.0, 950.0, 950.0, 950.0),
-            app_pods: 0,
-        };
+        let skew_view =
+            NodeView { node: &n, free: ResourceVec::new(10.0, 950.0, 950.0, 950.0), app_pods: 0 };
         let skewed = BalancedAllocation.score(&p, &skew_view);
         assert!(balanced > skewed, "balanced {balanced} skewed {skewed}");
     }
@@ -201,7 +194,9 @@ mod tests {
     fn spread_app_prefers_fresh_nodes() {
         let n = node(1000.0);
         let p = pod(1.0);
-        assert!(SpreadApp.score(&p, &view(&n, 900.0, 0)) > SpreadApp.score(&p, &view(&n, 900.0, 3)));
+        assert!(
+            SpreadApp.score(&p, &view(&n, 900.0, 0)) > SpreadApp.score(&p, &view(&n, 900.0, 3))
+        );
     }
 
     #[test]

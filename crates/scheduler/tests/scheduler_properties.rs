@@ -12,10 +12,7 @@ use std::collections::HashSet;
 type PodGen = (u32, f64, i32, bool);
 
 fn arb_pods() -> impl Strategy<Value = Vec<PodGen>> {
-    prop::collection::vec(
-        ((0u32..8), (100.0..8_000.0f64), (0i32..100), any::<bool>()),
-        1..40,
-    )
+    prop::collection::vec(((0u32..8), (100.0..8_000.0f64), (0i32..100), any::<bool>()), 1..40)
 }
 
 fn build_cluster(nodes: usize, pods: &[PodGen]) -> ClusterState {
@@ -23,7 +20,11 @@ fn build_cluster(nodes: usize, pods: &[PodGen]) -> ClusterState {
     for (i, (app, cpu, priority, gang)) in pods.iter().enumerate() {
         let request = ResourceVec::new(*cpu, cpu * 2.0, cpu / 100.0, cpu / 50.0);
         let kind = if *gang {
-            PodKind::HpcRank { app: AppId::new(*app), job: JobId::new(u64::from(*app)), rank: i as u32 }
+            PodKind::HpcRank {
+                app: AppId::new(*app),
+                job: JobId::new(u64::from(*app)),
+                rank: i as u32,
+            }
         } else {
             PodKind::ServiceReplica { app: AppId::new(*app) }
         };

@@ -5,7 +5,7 @@
 //! maintains the accounting invariant `Σ pod requests ≤ allocatable` per
 //! node — exactly what a kubelet admission check enforces.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use evolve_types::{Error, NodeId, PodId, ResourceVec, Result, SimTime};
 use serde::{Deserialize, Serialize};
@@ -51,7 +51,7 @@ impl ClusterConfig {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ClusterState {
     nodes: Vec<Node>,
-    pods: HashMap<PodId, Pod>,
+    pods: BTreeMap<PodId, Pod>,
     next_pod: u64,
 }
 
@@ -65,7 +65,7 @@ impl ClusterState {
             .enumerate()
             .map(|(i, shape)| Node::new(NodeId::new(i as u32), shape.capacity))
             .collect();
-        ClusterState { nodes, pods: HashMap::new(), next_pod: 0 }
+        ClusterState { nodes, pods: BTreeMap::new(), next_pod: 0 }
     }
 
     /// All nodes.
@@ -92,7 +92,7 @@ impl ClusterState {
         self.pods.get(&id).ok_or(Error::UnknownPod(id))
     }
 
-    /// Iterates over all pods (arbitrary order).
+    /// Iterates over all pods in creation (pod-id) order.
     pub fn pods(&self) -> impl Iterator<Item = &Pod> {
         self.pods.values()
     }
@@ -126,8 +126,7 @@ impl ClusterState {
             return Err(Error::InvalidState(format!("{pod_id} is not pending")));
         }
         let request = pod.spec.request;
-        let node =
-            self.nodes.get_mut(node_id.as_usize()).ok_or(Error::UnknownNode(node_id))?;
+        let node = self.nodes.get_mut(node_id.as_usize()).ok_or(Error::UnknownNode(node_id))?;
         if !node.can_fit(&request) {
             return Err(Error::InsufficientCapacity {
                 node: node_id,
@@ -238,7 +237,11 @@ impl ClusterState {
     ///
     /// Fails when the pod is unknown, not pending, or the request is
     /// invalid or exceeds the pod limit.
-    pub fn update_pending_request(&mut self, pod_id: PodId, new_request: ResourceVec) -> Result<()> {
+    pub fn update_pending_request(
+        &mut self,
+        pod_id: PodId,
+        new_request: ResourceVec,
+    ) -> Result<()> {
         let pod = self.pods.get_mut(&pod_id).ok_or(Error::UnknownPod(pod_id))?;
         if !pod.is_pending() {
             return Err(Error::InvalidState(format!("{pod_id} is not pending")));
@@ -263,8 +266,7 @@ impl ClusterState {
     ///
     /// Fails for unknown node ids.
     pub fn set_node_ready(&mut self, node_id: NodeId, ready: bool) -> Result<()> {
-        let node =
-            self.nodes.get_mut(node_id.as_usize()).ok_or(Error::UnknownNode(node_id))?;
+        let node = self.nodes.get_mut(node_id.as_usize()).ok_or(Error::UnknownNode(node_id))?;
         node.set_ready(ready);
         Ok(())
     }
@@ -296,7 +298,12 @@ impl ClusterState {
                 sum += pod.spec.request;
             }
             let diff = (sum - node.allocated()).total() + (node.allocated() - sum).total();
-            assert!(diff < 1e-6, "allocation mismatch on {}: {sum} vs {}", node.id(), node.allocated());
+            assert!(
+                diff < 1e-6,
+                "allocation mismatch on {}: {sum} vs {}",
+                node.id(),
+                node.allocated()
+            );
             assert!(
                 node.allocated().fits_within(&(node.allocatable() + ResourceVec::splat(1e-6))),
                 "node {} over-allocated",
@@ -320,11 +327,7 @@ mod tests {
     }
 
     fn spec(request: f64) -> PodSpec {
-        PodSpec::new(
-            PodKind::ServiceReplica { app: AppId::new(0) },
-            ResourceVec::splat(request),
-            0,
-        )
+        PodSpec::new(PodKind::ServiceReplica { app: AppId::new(0) }, ResourceVec::splat(request), 0)
     }
 
     #[test]

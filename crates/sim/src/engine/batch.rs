@@ -1,7 +1,7 @@
 //! Big-data batch job execution: staged dataflow with a bounded executor
 //! pool, task requeue on preemption, and record-throughput accounting.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use evolve_types::{AppId, JobId, PodId, Resource, ResourceVec, SimTime};
 use evolve_workload::BatchJobSpec;
@@ -25,10 +25,11 @@ pub(crate) struct BatchRuntime {
     tasks_launched: u32,
     /// Tasks of the current stage completed.
     tasks_done: u32,
-    /// Active pods → task index.
-    active: HashMap<PodId, u32>,
-    servers: HashMap<PodId, ReplicaServer>,
-    wake_version: HashMap<PodId, u64>,
+    /// Active pods → task index, in pod-id order (iterated for usage
+    /// harvesting, so the order must be deterministic).
+    active: BTreeMap<PodId, u32>,
+    servers: BTreeMap<PodId, ReplicaServer>,
+    wake_version: BTreeMap<PodId, u64>,
     pub(crate) records_done: u64,
     records_this_window: u64,
     pub(crate) finished: Option<SimTime>,
@@ -48,9 +49,9 @@ impl BatchRuntime {
             stage: 0,
             tasks_launched: 0,
             tasks_done: 0,
-            active: HashMap::new(),
-            servers: HashMap::new(),
-            wake_version: HashMap::new(),
+            active: BTreeMap::new(),
+            servers: BTreeMap::new(),
+            wake_version: BTreeMap::new(),
             records_done: 0,
             records_this_window: 0,
             finished: None,
@@ -245,13 +246,7 @@ impl Simulation {
         // Replacement pod for the same task.
         let (app, job, stage, request, limit) = {
             let rt = &self.batches[idx];
-            (
-                rt.app,
-                rt.job,
-                rt.stage as u32,
-                rt.desired_alloc.min(&self.pod_limit),
-                self.pod_limit,
-            )
+            (rt.app, rt.job, rt.stage as u32, rt.desired_alloc.min(&self.pod_limit), self.pod_limit)
         };
         let spec = PodSpec::new(
             PodKind::BatchTask { app, job, stage, task },

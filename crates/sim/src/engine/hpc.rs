@@ -1,7 +1,7 @@
 //! HPC gang execution: all-or-nothing rank scheduling and lockstep
 //! iterations that progress at the pace of the slowest rank.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use evolve_types::{AppId, JobId, PodId, Resource, ResourceVec, SimDuration, SimTime};
 use evolve_workload::{sample_lognormal, HpcJobSpec};
@@ -20,8 +20,9 @@ pub(crate) struct HpcRuntime {
     started: Option<SimTime>,
     /// All rank pods (stable across requeues).
     pub(crate) pods: Vec<PodId>,
-    /// Ranks currently running.
-    running: HashSet<PodId>,
+    /// Ranks currently running, in pod-id order (iterated for usage
+    /// accounting).
+    running: BTreeSet<PodId>,
     pub(crate) iterations_done: u32,
     version: u64,
     iterating: bool,
@@ -40,7 +41,7 @@ impl HpcRuntime {
             submit_at,
             started: None,
             pods: Vec::new(),
-            running: HashSet::new(),
+            running: BTreeSet::new(),
             iterations_done: 0,
             version: 0,
             iterating: false,
@@ -107,9 +108,7 @@ impl Simulation {
     fn hpc_maybe_start_iteration(&mut self, idx: usize) {
         let ready = {
             let rt = &self.hpcs[idx];
-            rt.finished.is_none()
-                && !rt.iterating
-                && rt.running.len() as u32 == rt.spec.gang_size
+            rt.finished.is_none() && !rt.iterating && rt.running.len() as u32 == rt.spec.gang_size
         };
         if !ready {
             return;
@@ -125,11 +124,7 @@ impl Simulation {
                     let work = rt.spec.work_per_iteration[r];
                     if work > 1e-12 {
                         let rate = alloc[r];
-                        secs = if rate <= 1e-12 {
-                            f64::INFINITY
-                        } else {
-                            secs.max(work / rate)
-                        };
+                        secs = if rate <= 1e-12 { f64::INFINITY } else { secs.max(work / rate) };
                     }
                 }
             }
@@ -210,10 +205,10 @@ impl Simulation {
         let pods: Vec<PodId> = self.hpcs[idx].pods.clone();
         for pod in pods {
             match self.cluster.pod(pod).map(|p| p.phase.clone()) {
-                Ok(PodPhase::Running | PodPhase::Starting) => {
-                    if self.cluster.resize_pod(pod, target).is_err() {
-                        failures += 1;
-                    }
+                Ok(PodPhase::Running | PodPhase::Starting)
+                    if self.cluster.resize_pod(pod, target).is_err() =>
+                {
+                    failures += 1;
                 }
                 Ok(PodPhase::Pending) => {
                     let _ = self.cluster.update_pending_request(pod, target);

@@ -124,6 +124,9 @@ pub struct Simulation {
     pub(crate) batches: Vec<BatchRuntime>,
     pub(crate) hpcs: Vec<HpcRuntime>,
     pub(crate) pod_owner: HashMap<PodId, Owner>,
+    /// App id → (world, runtime index), built once at construction so the
+    /// per-tick observation/actuation API avoids linear scans.
+    app_index: HashMap<AppId, Owner>,
     statuses: Vec<AppStatus>,
     /// Per-pod ceiling applied to every created pod (largest node
     /// allocatable by default — a pod cannot out-grow its node).
@@ -177,6 +180,7 @@ impl Simulation {
             batches: Vec::new(),
             hpcs: Vec::new(),
             pod_owner: HashMap::new(),
+            app_index: HashMap::new(),
             statuses: Vec::new(),
             pod_limit,
             events_processed: 0,
@@ -192,6 +196,7 @@ impl Simulation {
                 plo: spec.plo,
             });
             let idx = sim.services.len();
+            sim.app_index.insert(app, Owner::Service(idx));
             sim.services.push(ServiceRuntime::new(app, spec.clone(), load));
             // Initial replicas exist from t=0.
             for _ in 0..spec.initial_replicas {
@@ -209,6 +214,7 @@ impl Simulation {
                 plo: spec.plo,
             });
             let idx = sim.batches.len();
+            sim.app_index.insert(app, Owner::Batch(idx));
             sim.batches.push(BatchRuntime::new(app, job_idx as u64, spec.clone(), *at));
             sim.schedule(*at, Event::BatchSubmit { idx });
         }
@@ -222,8 +228,8 @@ impl Simulation {
                 plo: spec.plo(),
             });
             let idx = sim.hpcs.len();
-            sim.hpcs
-                .push(HpcRuntime::new(app, 1_000 + job_idx as u64, spec.clone(), *at));
+            sim.app_index.insert(app, Owner::Hpc(idx));
+            sim.hpcs.push(HpcRuntime::new(app, 1_000 + job_idx as u64, spec.clone(), *at));
             sim.schedule(*at, Event::HpcSubmit { idx });
         }
         sim
@@ -325,7 +331,12 @@ impl Simulation {
 
     /// Schedules a node failure (and optional recovery) — fault injection
     /// for the resilience experiments.
-    pub fn inject_node_failure(&mut self, node: NodeId, fail_at: SimTime, recover_at: Option<SimTime>) {
+    pub fn inject_node_failure(
+        &mut self,
+        node: NodeId,
+        fail_at: SimTime,
+        recover_at: Option<SimTime>,
+    ) {
         self.schedule(fail_at.max(self.now), Event::NodeFail { node });
         if let Some(r) = recover_at {
             self.schedule(r.max(self.now), Event::NodeRecover { node });
@@ -424,16 +435,12 @@ impl Simulation {
     /// Returns [`Error::UnknownApp`] for unregistered ids.
     pub fn take_window(&mut self, app: AppId) -> Result<AppWindow> {
         let now = self.now;
-        if let Some(idx) = self.services.iter().position(|s| s.app == app) {
-            return Ok(self.service_window(idx, now));
+        match self.app_index.get(&app) {
+            Some(Owner::Service(idx)) => Ok(self.service_window(*idx, now)),
+            Some(Owner::Batch(idx)) => Ok(self.batch_window(*idx, now)),
+            Some(Owner::Hpc(idx)) => Ok(self.hpc_window(*idx, now)),
+            None => Err(Error::UnknownApp(app)),
         }
-        if let Some(idx) = self.batches.iter().position(|b| b.app == app) {
-            return Ok(self.batch_window(idx, now));
-        }
-        if let Some(idx) = self.hpcs.iter().position(|h| h.app == app) {
-            return Ok(self.hpc_window(idx, now));
-        }
-        Err(Error::UnknownApp(app))
     }
 
     /// Aggregate cluster state right now.
@@ -491,11 +498,10 @@ impl Simulation {
         replicas: u32,
         per_replica: ResourceVec,
     ) -> Result<u32> {
-        let idx = self
-            .services
-            .iter()
-            .position(|s| s.app == app)
-            .ok_or(Error::UnknownApp(app))?;
+        let Some(Owner::Service(idx)) = self.app_index.get(&app) else {
+            return Err(Error::UnknownApp(app));
+        };
+        let idx = *idx;
         Ok(self.service_set_target(idx, replicas, per_replica))
     }
 
@@ -507,11 +513,10 @@ impl Simulation {
     ///
     /// Returns [`Error::UnknownApp`] for ids that are not batch jobs.
     pub fn set_batch_target(&mut self, app: AppId, per_task: ResourceVec) -> Result<u32> {
-        let idx = self
-            .batches
-            .iter()
-            .position(|b| b.app == app)
-            .ok_or(Error::UnknownApp(app))?;
+        let Some(Owner::Batch(idx)) = self.app_index.get(&app) else {
+            return Err(Error::UnknownApp(app));
+        };
+        let idx = *idx;
         Ok(self.batch_set_target(idx, per_task))
     }
 
@@ -523,8 +528,10 @@ impl Simulation {
     ///
     /// Returns [`Error::UnknownApp`] for ids that are not HPC jobs.
     pub fn set_hpc_target(&mut self, app: AppId, per_rank: ResourceVec) -> Result<u32> {
-        let idx =
-            self.hpcs.iter().position(|h| h.app == app).ok_or(Error::UnknownApp(app))?;
+        let Some(Owner::Hpc(idx)) = self.app_index.get(&app) else {
+            return Err(Error::UnknownApp(app));
+        };
+        let idx = *idx;
         Ok(self.hpc_set_target(idx, per_rank))
     }
 

@@ -2,7 +2,7 @@
 //! dispatching, deployment-style replica reconciliation and graceful
 //! scale-in.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use evolve_types::{AppId, PodId, Resource, ResourceVec, SimTime};
 use evolve_workload::{LoadSpec, PoissonArrivals, ServiceSpec};
@@ -32,11 +32,12 @@ pub(crate) struct ServiceRuntime {
     pub(crate) desired_alloc: ResourceVec,
     /// All non-terminal pods owned by the deployment.
     pub(crate) pods: Vec<PodId>,
-    /// Replicas being drained for scale-in.
-    draining: HashSet<PodId>,
-    /// Execution state per *running* replica.
-    pub(crate) servers: HashMap<PodId, ReplicaServer>,
-    wake_version: HashMap<PodId, u64>,
+    /// Replicas being drained for scale-in. Ordered so that scale-out
+    /// revives and window harvesting walk replicas deterministically.
+    draining: BTreeSet<PodId>,
+    /// Execution state per *running* replica, in pod-id order.
+    pub(crate) servers: BTreeMap<PodId, ReplicaServer>,
+    wake_version: BTreeMap<PodId, u64>,
     queue: VecDeque<QueuedRequest>,
     pub(crate) acc: WindowAccumulator,
     next_req: u64,
@@ -53,9 +54,9 @@ impl ServiceRuntime {
             desired_replicas,
             desired_alloc,
             pods: Vec::new(),
-            draining: HashSet::new(),
-            servers: HashMap::new(),
-            wake_version: HashMap::new(),
+            draining: BTreeSet::new(),
+            servers: BTreeMap::new(),
+            wake_version: BTreeMap::new(),
             queue: VecDeque::new(),
             acc: WindowAccumulator::default(),
             next_req: 0,
@@ -131,12 +132,7 @@ impl Simulation {
                 if rt.queue.len() >= cap {
                     rt.acc.timeouts += 1; // dropped at the front door
                 } else {
-                    rt.queue.push_back(QueuedRequest {
-                        id,
-                        arrived: now,
-                        deadline,
-                        demand,
-                    });
+                    rt.queue.push_back(QueuedRequest { id, arrived: now, deadline, demand });
                 }
             }
         }
@@ -315,10 +311,8 @@ impl Simulation {
                 } else if let Some(p) = active.last().copied() {
                     self.services[idx].draining.insert(p);
                     // An idle replica can retire immediately.
-                    let idle = self.services[idx]
-                        .servers
-                        .get(&p)
-                        .is_some_and(|s| s.inflight_len() == 0);
+                    let idle =
+                        self.services[idx].servers.get(&p).is_some_and(|s| s.inflight_len() == 0);
                     if idle {
                         self.service_retire_pod(idx, p, PodPhase::Succeeded);
                     }
@@ -419,11 +413,8 @@ impl Simulation {
         window.alloc = alloc;
         window.running_replicas = running;
         window.pending_replicas = pending;
-        window.alloc_per_replica = if running > 0 {
-            alloc * (1.0 / f64::from(running))
-        } else {
-            rt.desired_alloc
-        };
+        window.alloc_per_replica =
+            if running > 0 { alloc * (1.0 / f64::from(running)) } else { rt.desired_alloc };
         window
     }
 }

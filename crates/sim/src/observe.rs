@@ -186,11 +186,8 @@ impl WindowAccumulator {
         let mut lat = std::mem::take(&mut self.latencies_ms);
         lat.sort_by(f64::total_cmp);
         let p99 = percentile(&lat, 0.99);
-        let mean = if lat.is_empty() {
-            None
-        } else {
-            Some(lat.iter().sum::<f64>() / lat.len() as f64)
-        };
+        let mean =
+            if lat.is_empty() { None } else { Some(lat.iter().sum::<f64>() / lat.len() as f64) };
         let mut usage = self.consumed * (1.0 / secs);
         usage[evolve_types::Resource::Memory] = current_memory;
         let out = AppWindow {

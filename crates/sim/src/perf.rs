@@ -422,12 +422,7 @@ mod tests {
     fn bottleneck_dimension_dominates() {
         let mut r = server();
         // 100 mcore·s cpu (0.1 s) but 50 MB of disk at 100 MB/s (0.5 s).
-        r.admit(
-            1,
-            SimTime::ZERO,
-            SimTime::from_secs(60),
-            ResourceVec::new(100.0, 4.0, 50.0, 0.0),
-        );
+        r.admit(1, SimTime::ZERO, SimTime::from_secs(60), ResourceVec::new(100.0, 4.0, 50.0, 0.0));
         let out = r.advance(SimTime::from_secs(1));
         assert_eq!(out.completed[0].latency, SimDuration::from_millis(500));
     }
@@ -452,12 +447,7 @@ mod tests {
             PerfConfig::default(),
             SimTime::ZERO,
         );
-        r.admit(
-            1,
-            SimTime::ZERO,
-            SimTime::from_secs(2),
-            ResourceVec::new(10.0, 0.0, 0.0, 5.0),
-        );
+        r.admit(1, SimTime::ZERO, SimTime::from_secs(2), ResourceVec::new(10.0, 0.0, 0.0, 5.0));
         assert_eq!(r.next_event(), Some(SimTime::from_secs(2)));
         let out = r.advance(SimTime::from_secs(3));
         assert_eq!(out.timed_out, vec![1]);

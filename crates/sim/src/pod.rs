@@ -166,11 +166,7 @@ mod tests {
     use super::*;
 
     fn spec() -> PodSpec {
-        PodSpec::new(
-            PodKind::ServiceReplica { app: AppId::new(1) },
-            ResourceVec::splat(100.0),
-            0,
-        )
+        PodSpec::new(PodKind::ServiceReplica { app: AppId::new(1) }, ResourceVec::splat(100.0), 0)
     }
 
     #[test]

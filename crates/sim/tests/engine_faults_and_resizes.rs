@@ -20,12 +20,8 @@ fn bind_all(sim: &mut Simulation) -> usize {
     let mut bound = 0;
     for pod in pending {
         let request = sim.cluster().pod(pod).unwrap().spec.request;
-        let target = sim
-            .cluster()
-            .nodes()
-            .iter()
-            .find(|n| n.can_fit(&request))
-            .map(evolve_sim::Node::id);
+        let target =
+            sim.cluster().nodes().iter().find(|n| n.can_fit(&request)).map(evolve_sim::Node::id);
         if let Some(node) = target {
             sim.bind_pod(pod, node).unwrap();
             bound += 1;
@@ -64,9 +60,8 @@ fn hpc_resize_speeds_up_iterations() {
     }
     fast.run_until(SimTime::from_secs(10));
     let app = fast.apps()[0].id;
-    let failures = fast
-        .set_hpc_target(app, ResourceVec::new(8_000.0, 1_024.0, 10.0, 10.0))
-        .unwrap();
+    let failures =
+        fast.set_hpc_target(app, ResourceVec::new(8_000.0, 1_024.0, 10.0, 10.0)).unwrap();
     assert_eq!(failures, 0);
     fast.run_until(SimTime::from_secs(5 * 60));
     let fast_makespan = fast.job_outcomes()[0].makespan_s().expect("finished");
@@ -96,12 +91,7 @@ fn hpc_rank_loss_pauses_gang_and_recovers() {
     let progressed = before.progress.unwrap();
     assert!(progressed > 0.0, "gang should be iterating");
     // Preempt one rank: the gang must stall.
-    let rank = sim
-        .cluster()
-        .pods()
-        .find(|p| p.is_running())
-        .map(|p| p.id)
-        .expect("running rank");
+    let rank = sim.cluster().pods().find(|p| p.is_running()).map(|p| p.id).expect("running rank");
     sim.preempt_pod(rank).unwrap();
     sim.run_until(SimTime::from_secs(40));
     let stalled = sim.take_window(app).unwrap();
@@ -133,9 +123,8 @@ fn batch_resize_applies_to_running_and_future_tasks() {
     sim.run_until(SimTime::from_secs(10));
     let app = sim.apps()[0].id;
     // 30 s per task at 1000 mcore; quadruple → 7.5 s.
-    let failures = sim
-        .set_batch_target(app, ResourceVec::new(4_000.0, 1_024.0, 10.0, 10.0))
-        .unwrap();
+    let failures =
+        sim.set_batch_target(app, ResourceVec::new(4_000.0, 1_024.0, 10.0, 10.0)).unwrap();
     assert_eq!(failures, 0);
     for step in 3..40u64 {
         sim.run_until(SimTime::from_secs(step * 5));
@@ -169,12 +158,8 @@ fn service_preemption_is_replaced_by_deployment() {
     let mut sim = Simulation::new(SimulationConfig::default(), cluster(2), &mix, 8);
     bind_all(&mut sim);
     sim.run_until(SimTime::from_secs(10));
-    let victim = sim
-        .cluster()
-        .pods()
-        .find(|p| p.is_running())
-        .map(|p| p.id)
-        .expect("running replica");
+    let victim =
+        sim.cluster().pods().find(|p| p.is_running()).map(|p| p.id).expect("running replica");
     sim.preempt_pod(victim).unwrap();
     // A replacement pending pod must exist immediately.
     assert_eq!(sim.cluster().pending_pods().count(), 1);

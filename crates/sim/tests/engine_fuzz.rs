@@ -51,11 +51,7 @@ fn mixed_workload() -> WorkloadMix {
                 ResourceVec::new(1_500.0, 1_536.0, 20.0, 20.0),
             )
             .with_initial_replicas(2),
-            LoadSpec::Mmpp {
-                low: 20.0,
-                high: 60.0,
-                mean_dwell: SimDuration::from_secs(30),
-            },
+            LoadSpec::Mmpp { low: 20.0, high: 60.0, mean_dwell: SimDuration::from_secs(30) },
         )
         .with_batch_job(
             BatchJobSpec::new(
@@ -84,12 +80,8 @@ fn bind_first_fit(sim: &mut Simulation) {
     let pending: Vec<PodId> = sim.cluster().pending_pods().map(|p| p.id).collect();
     for pod in pending {
         let request = sim.cluster().pod(pod).expect("pending pod").spec.request;
-        let node = sim
-            .cluster()
-            .nodes()
-            .iter()
-            .find(|n| n.can_fit(&request))
-            .map(evolve_sim::Node::id);
+        let node =
+            sim.cluster().nodes().iter().find(|n| n.can_fit(&request)).map(evolve_sim::Node::id);
         if let Some(node) = node {
             sim.bind_pod(pod, node).expect("first-fit binding");
         }
@@ -115,7 +107,7 @@ proptest! {
         for action in actions {
             match action {
                 Action::Advance(secs) => {
-                    now = now + SimDuration::from_secs(secs);
+                    now += SimDuration::from_secs(secs);
                     sim.run_until(now);
                 }
                 Action::BindFirstFit => bind_first_fit(&mut sim),

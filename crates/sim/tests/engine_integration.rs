@@ -1,7 +1,7 @@
 //! End-to-end engine tests: services, batch jobs and HPC gangs executing
 //! on a simulated cluster with manual (test-driven) scheduling.
 
-use evolve_sim::{ClusterConfig, NodeShape, PodPhase, Simulation, SimulationConfig};
+use evolve_sim::{ClusterConfig, NodeShape, Simulation, SimulationConfig};
 use evolve_types::{NodeId, PodId, ResourceVec, SimDuration, SimTime};
 use evolve_workload::{
     BatchJobSpec, HpcJobSpec, LoadSpec, PloSpec, RequestClass, ServiceSpec, StageSpec, WorkloadMix,
@@ -39,12 +39,8 @@ fn bind_all(sim: &mut Simulation) -> usize {
     let mut bound = 0;
     for pod in pending {
         let request = sim.cluster().pod(pod).unwrap().spec.request;
-        let target = sim
-            .cluster()
-            .nodes()
-            .iter()
-            .find(|n| n.can_fit(&request))
-            .map(evolve_sim::Node::id);
+        let target =
+            sim.cluster().nodes().iter().find(|n| n.can_fit(&request)).map(evolve_sim::Node::id);
         if let Some(node) = target {
             sim.bind_pod(pod, node).unwrap();
             bound += 1;
@@ -129,9 +125,8 @@ fn vertical_resize_improves_latency() {
     sim.run_until(SimTime::from_secs(20));
     let before = sim.take_window(app).unwrap();
     // Double the per-replica allocation in place.
-    let failures = sim
-        .set_service_target(app, 2, ResourceVec::new(4_000.0, 4_096.0, 100.0, 100.0))
-        .unwrap();
+    let failures =
+        sim.set_service_target(app, 2, ResourceVec::new(4_000.0, 4_096.0, 100.0, 100.0)).unwrap();
     assert_eq!(failures, 0);
     sim.run_until(SimTime::from_secs(40));
     let after = sim.take_window(app).unwrap();

@@ -32,7 +32,7 @@ proptest! {
         let mut admitted = 0u64;
         let mut finished = 0usize;
         for (i, (gap, cpu, disk, net, ws)) in admissions.iter().enumerate() {
-            t = t + SimDuration::from_micros(*gap);
+            t += SimDuration::from_micros(*gap);
             let out = server.admit(
                 i as u64,
                 t,
@@ -84,7 +84,7 @@ proptest! {
         let mut t = SimTime::ZERO;
         let mut offered = ResourceVec::ZERO;
         for (i, (gap, cpu, disk, net, ws)) in admissions.iter().enumerate() {
-            t = t + SimDuration::from_micros(*gap);
+            t += SimDuration::from_micros(*gap);
             let demand = ResourceVec::new(*cpu, *ws, *disk, *net);
             offered += demand;
             server.admit(i as u64, t, t + SimDuration::from_secs(30), demand);
@@ -110,7 +110,7 @@ proptest! {
         let mut t = SimTime::ZERO;
         let mut id = 0u64;
         for (gap, is_admit) in ops {
-            t = t + SimDuration::from_micros(gap);
+            t += SimDuration::from_micros(gap);
             if is_admit {
                 server.admit(
                     id,
@@ -132,7 +132,7 @@ proptest! {
         let mut server = big_server();
         let mut t = SimTime::ZERO;
         for (i, (gap, cpu, disk, net, ws)) in admissions.iter().enumerate() {
-            t = t + SimDuration::from_micros(*gap);
+            t += SimDuration::from_micros(*gap);
             server.admit(
                 i as u64,
                 t,

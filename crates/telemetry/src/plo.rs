@@ -7,6 +7,8 @@
 //! tracker accumulates the violation statistics every experiment table
 //! reports (violation count and rate, mean severity, worst excursion).
 
+use std::collections::VecDeque;
+
 use evolve_types::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -56,8 +58,9 @@ pub struct PloTracker {
     severity_sum: f64,
     /// Worst relative excursion seen.
     worst_severity: f64,
-    /// Recent window history for reporting (bounded).
-    history: Vec<PloWindow>,
+    /// Recent window history for reporting: a bounded ring that keeps the
+    /// **most recent** `history_cap` windows, evicting the oldest.
+    history: VecDeque<PloWindow>,
     history_cap: usize,
 }
 
@@ -69,7 +72,19 @@ impl PloTracker {
     /// Panics when `target` is not finite and positive.
     #[must_use]
     pub fn new(target: f64, bound: PloBound) -> Self {
+        PloTracker::with_history_cap(target, bound, 100_000)
+    }
+
+    /// Creates a tracker retaining at most `history_cap` recent windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `target` is not finite and positive, or when
+    /// `history_cap` is zero.
+    #[must_use]
+    pub fn with_history_cap(target: f64, bound: PloBound, history_cap: usize) -> Self {
         assert!(target.is_finite() && target > 0.0, "PLO target must be positive");
+        assert!(history_cap > 0, "history capacity must be positive");
         PloTracker {
             target,
             bound,
@@ -77,8 +92,8 @@ impl PloTracker {
             violations: 0,
             severity_sum: 0.0,
             worst_severity: 0.0,
-            history: Vec::new(),
-            history_cap: 100_000,
+            history: VecDeque::new(),
+            history_cap,
         }
     }
 
@@ -119,9 +134,10 @@ impl PloTracker {
             self.severity_sum += severity;
             self.worst_severity = self.worst_severity.max(severity);
         }
-        if self.history.len() < self.history_cap {
-            self.history.push(PloWindow { at, measured, violated });
+        if self.history.len() == self.history_cap {
+            self.history.pop_front();
         }
+        self.history.push_back(PloWindow { at, measured, violated });
         violated
     }
 
@@ -164,10 +180,17 @@ impl PloTracker {
         self.worst_severity
     }
 
-    /// The per-window history recorded so far (bounded).
+    /// The retained per-window history, oldest first. When more than the
+    /// history capacity of windows have been recorded, this is the **most
+    /// recent** `history_cap` of them.
+    pub fn history(&self) -> impl Iterator<Item = &PloWindow> {
+        self.history.iter()
+    }
+
+    /// Number of windows currently retained in the history.
     #[must_use]
-    pub fn history(&self) -> &[PloWindow] {
-        &self.history
+    pub fn history_len(&self) -> usize {
+        self.history.len()
     }
 
     /// The signed relative error of a measurement against the target,
@@ -233,7 +256,20 @@ mod tests {
         assert_eq!(t.windows(), 10);
         assert_eq!(t.violations(), 5);
         assert!((t.violation_rate() - 0.5).abs() < 1e-12);
-        assert_eq!(t.history().len(), 10);
+        assert_eq!(t.history_len(), 10);
+    }
+
+    #[test]
+    fn history_overflow_keeps_newest_windows() {
+        let mut t = PloTracker::with_history_cap(10.0, PloBound::Upper, 4);
+        for i in 0..10u64 {
+            t.record_window(SimTime::from_secs(i), i as f64);
+        }
+        // All 10 windows counted, only the newest 4 retained.
+        assert_eq!(t.windows(), 10);
+        assert_eq!(t.history_len(), 4);
+        let retained: Vec<u64> = t.history().map(|w| w.at.as_micros() / 1_000_000).collect();
+        assert_eq!(retained, vec![6, 7, 8, 9]);
     }
 
     #[test]

@@ -120,11 +120,8 @@ impl P2Quantile {
             {
                 let d = d.signum();
                 let qp = self.parabolic(i, d);
-                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
-                    qp
-                } else {
-                    self.linear(i, d)
-                };
+                self.q[i] =
+                    if self.q[i - 1] < qp && qp < self.q[i + 1] { qp } else { self.linear(i, d) };
                 self.n[i] += d;
             }
         }
@@ -180,10 +177,15 @@ impl P2Quantile {
 pub struct SlidingQuantile {
     window: VecDeque<f64>,
     capacity: usize,
+    /// Sorted copy of the window, rebuilt lazily on query and reused
+    /// until the next observation.
+    sorted: Vec<f64>,
+    sorted_valid: bool,
 }
 
 impl SlidingQuantile {
-    /// Creates an estimator over the last `capacity` observations.
+    /// Creates an estimator over the last `capacity` observations. The
+    /// window is allocated up front for the full capacity.
     ///
     /// # Panics
     ///
@@ -191,7 +193,12 @@ impl SlidingQuantile {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "window capacity must be positive");
-        SlidingQuantile { window: VecDeque::with_capacity(capacity.min(4096)), capacity }
+        SlidingQuantile {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            sorted: Vec::new(),
+            sorted_valid: false,
+        }
     }
 
     /// Feeds one observation, evicting the oldest when full.
@@ -200,6 +207,7 @@ impl SlidingQuantile {
             self.window.pop_front();
         }
         self.window.push_back(x);
+        self.sorted_valid = false;
     }
 
     /// Number of observations currently in the window.
@@ -215,21 +223,25 @@ impl SlidingQuantile {
     }
 
     /// The exact `p`-quantile (nearest-rank) of the window, `None` when
-    /// empty.
+    /// empty. The sorted view is cached, so repeated queries between
+    /// observations cost O(1) after the first.
     ///
     /// # Panics
     ///
     /// Panics when `p` is outside `[0, 1]`.
-    #[must_use]
-    pub fn quantile(&self, p: f64) -> Option<f64> {
+    pub fn quantile(&mut self, p: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&p), "quantile must be in [0, 1]");
         if self.window.is_empty() {
             return None;
         }
-        let mut sorted: Vec<f64> = self.window.iter().copied().collect();
-        sorted.sort_by(f64::total_cmp);
-        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-        Some(sorted[idx])
+        if !self.sorted_valid {
+            self.sorted.clear();
+            self.sorted.extend(self.window.iter().copied());
+            self.sorted.sort_by(f64::total_cmp);
+            self.sorted_valid = true;
+        }
+        let idx = ((self.sorted.len() as f64 - 1.0) * p).round() as usize;
+        Some(self.sorted[idx])
     }
 
     /// Mean of the window, `None` when empty.
@@ -245,6 +257,8 @@ impl SlidingQuantile {
     /// Clears the window.
     pub fn clear(&mut self) {
         self.window.clear();
+        self.sorted.clear();
+        self.sorted_valid = false;
     }
 }
 
@@ -344,6 +358,25 @@ mod tests {
             q.observe(v);
         }
         assert_eq!(q.len(), 3);
+        assert_eq!(q.quantile(0.0), Some(2.0));
+    }
+
+    #[test]
+    fn sliding_quantile_cache_tracks_new_observations() {
+        let mut q = SlidingQuantile::new(4);
+        q.observe(1.0);
+        q.observe(3.0);
+        assert_eq!(q.quantile(1.0), Some(3.0));
+        // A repeated query hits the cached sorted view.
+        assert_eq!(q.quantile(1.0), Some(3.0));
+        // New observations must invalidate it.
+        q.observe(5.0);
+        assert_eq!(q.quantile(1.0), Some(5.0));
+        assert_eq!(q.quantile(0.0), Some(1.0));
+        // Eviction refreshes the view too.
+        q.observe(2.0);
+        q.observe(4.0);
+        assert_eq!(q.quantile(1.0), Some(5.0));
         assert_eq!(q.quantile(0.0), Some(2.0));
     }
 

@@ -55,16 +55,26 @@ impl MetricRegistry {
     }
 
     /// Appends a sample to the named series, creating it on first use.
+    ///
+    /// The steady-state path (series already exists) does not allocate:
+    /// the name is only turned into an owned `String` on first use.
     pub fn record(&mut self, name: &str, at: SimTime, value: f64) {
-        self.series
-            .entry(name.to_owned())
-            .or_insert_with(|| TimeSeries::new(self.series_capacity))
-            .push(at, value);
+        if let Some(series) = self.series.get_mut(name) {
+            series.push(at, value);
+        } else {
+            let mut series = TimeSeries::new(self.series_capacity);
+            series.push(at, value);
+            self.series.insert(name.to_owned(), series);
+        }
     }
 
     /// Increments the named counter by `by`.
     pub fn incr(&mut self, name: &str, by: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+        if let Some(counter) = self.counters.get_mut(name) {
+            *counter += by;
+        } else {
+            self.counters.insert(name.to_owned(), by);
+        }
     }
 
     /// Reads a counter (0 when never incremented).
@@ -117,8 +127,10 @@ impl MetricRegistry {
         let Some(first) = names.first().and_then(|n| self.series.get(*n)) else {
             return out;
         };
-        let columns: Vec<Vec<(f64, f64)>> =
-            names.iter().map(|n| self.series.get(*n).map_or_else(Vec::new, TimeSeries::to_points)).collect();
+        let columns: Vec<Vec<(f64, f64)>> = names
+            .iter()
+            .map(|n| self.series.get(*n).map_or_else(Vec::new, TimeSeries::to_points))
+            .collect();
         for (i, (t, _)) in first.to_points().iter().enumerate() {
             out.push_str(&format!("{t:.6}"));
             for col in &columns {

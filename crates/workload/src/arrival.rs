@@ -210,7 +210,7 @@ impl LoadProfile for MmppLoad {
         while at >= self.next_switch {
             self.in_high = !self.in_high;
             let dwell = sample_exponential(rng, 1.0 / self.mean_dwell.as_secs_f64());
-            self.next_switch = self.next_switch + SimDuration::from_secs_f64(dwell.max(1e-3));
+            self.next_switch += SimDuration::from_secs_f64(dwell.max(1e-3));
         }
         if self.in_high {
             self.high_rate
@@ -312,7 +312,7 @@ impl PoissonArrivals {
             let gap = sample_exponential(rng, majorant);
             // Clock resolution is 1µs; guarantee strictly increasing times.
             let gap = SimDuration::from_secs_f64(gap).max(SimDuration::from_micros(1));
-            t = t + gap;
+            t += gap;
             let r = self.profile.rate_at(t, rng);
             if rng.gen::<f64>() * majorant <= r {
                 return Some(t);
@@ -396,12 +396,8 @@ mod tests {
 
     #[test]
     fn flash_crowd_window() {
-        let mut p = FlashCrowdLoad::new(
-            20.0,
-            5.0,
-            SimTime::from_secs(100),
-            SimDuration::from_secs(50),
-        );
+        let mut p =
+            FlashCrowdLoad::new(20.0, 5.0, SimTime::from_secs(100), SimDuration::from_secs(50));
         let mut r = rng();
         assert_eq!(p.rate_at(SimTime::from_secs(99), &mut r), 20.0);
         assert_eq!(p.rate_at(SimTime::from_secs(100), &mut r), 100.0);

@@ -140,12 +140,7 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn class(cv: f64) -> RequestClass {
-        RequestClass::new(
-            "t",
-            ResourceVec::new(10.0, 4.0, 1.0, 0.5),
-            cv,
-            SimDuration::from_secs(5),
-        )
+        RequestClass::new("t", ResourceVec::new(10.0, 4.0, 1.0, 0.5), cv, SimDuration::from_secs(5))
     }
 
     #[test]

@@ -314,23 +314,13 @@ impl Scenario {
                 "frontend",
                 class_cpu_bound(),
                 200.0,
-                LoadSpec::Diurnal {
-                    base: 200.0 * scale,
-                    amplitude: 0.7,
-                    period: day,
-                    phase: 0.0,
-                },
+                LoadSpec::Diurnal { base: 200.0 * scale, amplitude: 0.7, period: day, phase: 0.0 },
             ),
             (
                 "search",
                 class_cpu_bound(),
                 80.0,
-                LoadSpec::Diurnal {
-                    base: 80.0 * scale,
-                    amplitude: 0.6,
-                    period: day,
-                    phase: 1.2,
-                },
+                LoadSpec::Diurnal { base: 80.0 * scale, amplitude: 0.6, period: day, phase: 1.2 },
             ),
             (
                 "ingest",
@@ -346,12 +336,7 @@ impl Scenario {
                 "media",
                 class_net_bound(),
                 70.0,
-                LoadSpec::Diurnal {
-                    base: 70.0 * scale,
-                    amplitude: 0.8,
-                    period: day,
-                    phase: 2.4,
-                },
+                LoadSpec::Diurnal { base: 70.0 * scale, amplitude: 0.8, period: day, phase: 2.4 },
             ),
             (
                 "session",
@@ -480,10 +465,7 @@ impl Scenario {
             )
             .with_initial_replicas(2),
             LoadSpec::Trace {
-                points: vec![
-                    (SimTime::ZERO, base),
-                    (SimTime::from_secs(240), base * factor),
-                ],
+                points: vec![(SimTime::ZERO, base), (SimTime::from_secs(240), base * factor)],
             },
         );
         Scenario {
@@ -554,11 +536,7 @@ impl Scenario {
                     default_alloc(),
                 )
                 .with_initial_replicas(2),
-                LoadSpec::Mmpp {
-                    low: 30.0,
-                    high: 80.0,
-                    mean_dwell: SimDuration::from_secs(60),
-                },
+                LoadSpec::Mmpp { low: 30.0, high: 80.0, mean_dwell: SimDuration::from_secs(60) },
             );
         }
         Scenario {
@@ -597,11 +575,7 @@ impl Scenario {
                     default_alloc(),
                 )
                 .with_initial_replicas(2),
-                LoadSpec::Mmpp {
-                    low: 40.0,
-                    high: 100.0,
-                    mean_dwell: SimDuration::from_secs(75),
-                },
+                LoadSpec::Mmpp { low: 40.0, high: 100.0, mean_dwell: SimDuration::from_secs(75) },
             )
             .with_batch_job(batch_analytics(2.0), SimTime::from_secs(60))
             .with_batch_job(batch_etl(2.0), SimTime::from_secs(90))

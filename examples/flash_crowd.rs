@@ -12,9 +12,7 @@ use evolve::workload::Scenario;
 fn main() {
     for manager in [ManagerKind::Evolve, ManagerKind::Hpa { target_utilization: 0.6 }] {
         let outcome = ExperimentRunner::new(
-            RunConfig::new(Scenario::flash_crowd(5.0), manager.clone())
-                .with_nodes(8)
-                .with_seed(3),
+            RunConfig::new(Scenario::flash_crowd(5.0), manager.clone()).with_nodes(8).with_seed(3),
         )
         .run();
         println!("\n=== {} through a 5× flash crowd (spike at t=120 s) ===", outcome.manager);

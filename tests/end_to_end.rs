@@ -3,9 +3,7 @@
 
 use evolve::core::{ExperimentRunner, ManagerKind, RunConfig};
 use evolve::types::{ResourceVec, SimDuration};
-use evolve::workload::{
-    LoadSpec, PloSpec, RequestClass, Scenario, ServiceSpec, WorkloadMix,
-};
+use evolve::workload::{LoadSpec, PloSpec, RequestClass, Scenario, ServiceSpec, WorkloadMix};
 
 /// A small scenario that finishes fast in debug builds.
 fn tiny_scenario(rate: f64, horizon_secs: u64) -> Scenario {
@@ -23,7 +21,11 @@ fn tiny_scenario(rate: f64, horizon_secs: u64) -> Scenario {
             ResourceVec::new(1_000.0, 1_024.0, 25.0, 25.0),
         )
         .with_initial_replicas(2),
-        LoadSpec::Ramp { from: rate * 0.3, to: rate, duration: SimDuration::from_secs(horizon_secs / 2) },
+        LoadSpec::Ramp {
+            from: rate * 0.3,
+            to: rate,
+            duration: SimDuration::from_secs(horizon_secs / 2),
+        },
     );
     Scenario {
         name: "tiny-ramp".into(),
@@ -60,10 +62,7 @@ fn evolve_violates_less_than_static_under_ramp() {
     let kube = run(ManagerKind::KubeStatic, 2);
     let ev = evolve.apps[0].violation_rate();
     let kv = kube.apps[0].violation_rate();
-    assert!(
-        ev < kv || (ev == 0.0 && kv == 0.0),
-        "evolve rate {ev} should beat static rate {kv}"
-    );
+    assert!(ev < kv || (ev == 0.0 && kv == 0.0), "evolve rate {ev} should beat static rate {kv}");
     assert!(kv > 0.2, "static baseline should be violating under the ramp, got {kv}");
     assert!(ev < 0.5 * kv, "expected a large gap: evolve {ev} vs static {kv}");
 }
@@ -92,15 +91,21 @@ fn evolve_uses_less_allocation_than_overprovisioned_static() {
         }
     };
     let kube = ExperimentRunner::new(
-        RunConfig::new(build(ResourceVec::new(8_000.0, 8_192.0, 200.0, 200.0)), ManagerKind::KubeStatic)
-            .with_nodes(4)
-            .with_seed(3),
+        RunConfig::new(
+            build(ResourceVec::new(8_000.0, 8_192.0, 200.0, 200.0)),
+            ManagerKind::KubeStatic,
+        )
+        .with_nodes(4)
+        .with_seed(3),
     )
     .run();
     let evolve = ExperimentRunner::new(
-        RunConfig::new(build(ResourceVec::new(8_000.0, 8_192.0, 200.0, 200.0)), ManagerKind::Evolve)
-            .with_nodes(4)
-            .with_seed(3),
+        RunConfig::new(
+            build(ResourceVec::new(8_000.0, 8_192.0, 200.0, 200.0)),
+            ManagerKind::Evolve,
+        )
+        .with_nodes(4)
+        .with_seed(3),
     )
     .run();
     assert!(
@@ -157,8 +162,7 @@ fn headline_mix_runs_under_evolve() {
 
 #[test]
 fn hpa_and_vpa_baselines_run() {
-    for manager in
-        [ManagerKind::Hpa { target_utilization: 0.6 }, ManagerKind::Vpa { margin: 0.3 }]
+    for manager in [ManagerKind::Hpa { target_utilization: 0.6 }, ManagerKind::Vpa { margin: 0.3 }]
     {
         let outcome = run(manager.clone(), 5);
         assert!(outcome.apps[0].completions > 1_000, "{:?}", manager);

@@ -1,0 +1,87 @@
+//! Test configuration and the deterministic case RNG.
+
+/// Per-test configuration, consumed by the [`proptest!`](crate::proptest)
+/// macro. Supports struct-update syntax:
+/// `ProptestConfig { cases: 24, ..ProptestConfig::default() }`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32, max_shrink_iters: 0 }
+    }
+}
+
+/// Deterministic generator RNG: SplitMix64 seeded from the test name and
+/// case index, so every case is reproducible run-to-run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the named test.
+    #[must_use]
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut rng = TestRng { state: hash ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15) };
+        // One warm-up step decorrelates adjacent case indices.
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit draw (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_case_is_reproducible() {
+        let mut a = TestRng::for_case("x::y", 3);
+        let mut b = TestRng::for_case("x::y", 3);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_cases_diverge() {
+        let mut a = TestRng::for_case("x::y", 0);
+        let mut b = TestRng::for_case("x::y", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = TestRng::for_case("unit", 0);
+        for _ in 0..1_000 {
+            let u = r.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

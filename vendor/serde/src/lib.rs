@@ -1,0 +1,22 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The workspace tags its data types with `#[derive(Serialize,
+//! Deserialize)]` for forward compatibility, but no serialization format
+//! crate is present in the offline build environment, so nothing ever
+//! calls these traits. This stand-in supplies marker traits and (behind
+//! the `derive` feature) no-op derive macros so the annotations compile.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Offline vendored no-op derive macros for the `serde` stand-in.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never actually serializes anything (no format crate is in the tree),
+//! so the derives expand to nothing. They accept and ignore the common
+//! `#[serde(...)]` helper attribute.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
