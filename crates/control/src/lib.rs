@@ -25,6 +25,9 @@
 //!   producing a full [`evolve_types::ResourceVec`] allocation.
 //! * [`LoadPredictor`] — Holt-linear short-horizon load forecasting with a
 //!   configurable safety margin, used to scale ahead of ramps.
+//! * [`DegradationGuard`] — graceful degradation under lost telemetry:
+//!   hold-last-safe output, a watchdog that decays toward a usage-anchored
+//!   floor, and slew-limited re-engagement after a blackout.
 //!
 //! # Examples
 //!
@@ -42,12 +45,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod degrade;
 mod model;
 mod multi;
 mod pid;
 mod predictor;
 mod tuning;
 
+pub use degrade::{DegradationConfig, DegradationGuard};
 pub use model::{RlsModel, SensitivityModel};
 pub use multi::{MultiResourceConfig, MultiResourceController, ResourceDecision};
 pub use pid::{PidConfig, PidController};

@@ -179,6 +179,7 @@ impl AutoscalePolicy for VpaPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::SignalQuality;
     use evolve_sim::{AppStatus, AppWindow};
     use evolve_types::{AppId, SimDuration, SimTime};
     use evolve_workload::{PloSpec, WorldClass};
@@ -219,7 +220,13 @@ mod tests {
         let st = status();
         let w = window(1, 999.0);
         assert_eq!(
-            p.decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 }),
+            p.decide(&PolicyInput {
+                app: &st,
+                window: &w,
+                dt_secs: 5.0,
+                resize_failures: 0,
+                signal: SignalQuality::Fresh,
+            }),
             None
         );
         assert_eq!(p.name(), "kube-static");
@@ -232,7 +239,13 @@ mod tests {
         // 90% utilization vs 60% target → desired = ceil(2×1.5) = 3.
         let w = window(2, 900.0);
         let d = p
-            .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+            .decide(&PolicyInput {
+                app: &st,
+                window: &w,
+                dt_secs: 5.0,
+                resize_failures: 0,
+                signal: SignalQuality::Fresh,
+            })
             .unwrap();
         assert_eq!(d.replicas, 3);
         assert_eq!(d.per_replica, ResourceVec::splat(1_000.0));
@@ -246,7 +259,13 @@ mod tests {
         let mut replicas = Vec::new();
         for _ in 0..8 {
             let d = p
-                .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+                .decide(&PolicyInput {
+                    app: &st,
+                    window: &w,
+                    dt_secs: 5.0,
+                    resize_failures: 0,
+                    signal: SignalQuality::Fresh,
+                })
                 .unwrap();
             replicas.push(d.replicas);
         }
@@ -261,7 +280,13 @@ mod tests {
         let st = status();
         let w = window(3, 1_000.0); // 200% of target
         let d = p
-            .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+            .decide(&PolicyInput {
+                app: &st,
+                window: &w,
+                dt_secs: 5.0,
+                resize_failures: 0,
+                signal: SignalQuality::Fresh,
+            })
             .unwrap();
         assert_eq!(d.replicas, 4);
     }
@@ -272,7 +297,13 @@ mod tests {
         let st = status();
         let w = window(3, 620.0); // 62% ≈ within 10% of 60%
         let d = p
-            .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+            .decide(&PolicyInput {
+                app: &st,
+                window: &w,
+                dt_secs: 5.0,
+                resize_failures: 0,
+                signal: SignalQuality::Fresh,
+            })
             .unwrap();
         assert_eq!(d.replicas, 3);
     }
@@ -285,7 +316,13 @@ mod tests {
         for _ in 0..20 {
             let w = window(2, 800.0);
             let d = p
-                .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+                .decide(&PolicyInput {
+                    app: &st,
+                    window: &w,
+                    dt_secs: 5.0,
+                    resize_failures: 0,
+                    signal: SignalQuality::Fresh,
+                })
                 .unwrap();
             last = d.per_replica;
             assert_eq!(d.replicas, 2);
@@ -300,7 +337,13 @@ mod tests {
         let st = status();
         let w = window(1, 10_000.0);
         let d = p
-            .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+            .decide(&PolicyInput {
+                app: &st,
+                window: &w,
+                dt_secs: 5.0,
+                resize_failures: 0,
+                signal: SignalQuality::Fresh,
+            })
             .unwrap();
         assert!(d.per_replica.fits_within(&ResourceVec::splat(600.0)));
     }

@@ -1,7 +1,9 @@
 //! The EVOLVE policy: multi-resource adaptive PID control with
 //! vertical-first, horizontal-on-saturation scaling.
 
-use evolve_control::{LoadPredictor, MultiResourceConfig, MultiResourceController};
+use evolve_control::{
+    DegradationGuard, LoadPredictor, MultiResourceConfig, MultiResourceController,
+};
 use evolve_telemetry::{Ewma, SlidingQuantile};
 use evolve_types::{Resource, ResourceVec};
 use serde::{Deserialize, Serialize};
@@ -84,6 +86,11 @@ pub struct EvolvePolicy {
     cooldown: u32,
     scale_actions: u64,
     is_job: bool,
+    /// Hold-last-safe / watchdog / re-engagement state for blackouts.
+    guard: DegradationGuard,
+    /// Per-replica usage from the last fresh window — anchors the
+    /// watchdog floor when signals go dark.
+    last_usage_pr: ResourceVec,
 }
 
 impl EvolvePolicy {
@@ -109,7 +116,15 @@ impl EvolvePolicy {
             cooldown: 0,
             scale_actions: 0,
             is_job,
+            guard: DegradationGuard::default(),
+            last_usage_pr: ResourceVec::ZERO,
         }
+    }
+
+    /// Consecutive control ticks without a fresh signal.
+    #[must_use]
+    pub fn dark_ticks(&self) -> u32 {
+        self.guard.dark_ticks()
     }
 
     /// Horizontal scaling actions taken so far.
@@ -144,6 +159,28 @@ impl AutoscalePolicy for EvolvePolicy {
 
     fn decide(&mut self, input: &PolicyInput<'_>) -> Option<PolicyDecision> {
         let w = input.window;
+        if input.signal.is_degraded() {
+            // Signals are dark. Silence is not idleness: the PID is not
+            // stepped (integrator frozen), no scale-in happens, and the
+            // last-safe per-replica target is held. Once the watchdog
+            // trips, the hold decays toward the usage-anchored floor —
+            // never below it — so a stale over-allocation cannot persist
+            // indefinitely.
+            let floor =
+                (self.last_usage_pr * 1.8).min(&self.config.max_alloc).max(&self.config.min_alloc);
+            let held = match self.guard.on_dark(&floor) {
+                Some(v) => v,
+                // Dark before any output was recorded: hold whatever the
+                // stale window reports, or leave the app untouched when
+                // even that is unknown.
+                None if w.alloc_per_replica.is_zero() => return None,
+                None => w.alloc_per_replica,
+            };
+            return Some(PolicyDecision {
+                per_replica: held,
+                replicas: self.replicas.max(self.config.min_replicas),
+            });
+        }
         if !self.latched {
             let current = w.running_replicas + w.pending_replicas;
             if current > 0 {
@@ -154,7 +191,7 @@ impl AutoscalePolicy for EvolvePolicy {
             // (requests that waited for the replicas to boot); acting on
             // it would punish a transient the controller cannot fix.
             return Some(PolicyDecision {
-                per_replica: w.alloc_per_replica,
+                per_replica: self.guard.on_signal(w.alloc_per_replica),
                 replicas: self.replicas,
             });
         }
@@ -178,8 +215,12 @@ impl AutoscalePolicy for EvolvePolicy {
                     self.cooldown = self.config.scale_cooldown_ticks;
                 }
             }
-            return Some(PolicyDecision { per_replica: alloc_pr, replicas: self.replicas });
+            return Some(PolicyDecision {
+                per_replica: self.guard.on_signal(alloc_pr),
+                replicas: self.replicas,
+            });
         };
+        self.last_usage_pr = usage_pr;
 
         let smoothed =
             if measured.is_finite() { self.measured_filter.observe(measured) } else { measured };
@@ -267,13 +308,19 @@ impl AutoscalePolicy for EvolvePolicy {
             }
         }
 
-        Some(PolicyDecision { per_replica: decision.target, replicas: self.replicas })
+        // Re-engagement after a blackout is slew-limited: the first few
+        // fresh outputs may move only a bounded step from the held value.
+        Some(PolicyDecision {
+            per_replica: self.guard.on_signal(decision.target),
+            replicas: self.replicas,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::SignalQuality;
     use evolve_sim::{AppStatus, AppWindow};
     use evolve_types::{AppId, SimDuration, SimTime};
     use evolve_workload::{PloSpec, WorldClass};
@@ -315,11 +362,23 @@ mod tests {
         let w = window(Some(200.0), 100, 1_000.0, 950.0);
         // First window is the warmup skip; the second must act.
         let first = p
-            .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+            .decide(&PolicyInput {
+                app: &st,
+                window: &w,
+                dt_secs: 5.0,
+                resize_failures: 0,
+                signal: SignalQuality::Fresh,
+            })
             .expect("decision");
         assert_eq!(first.per_replica, w.alloc_per_replica);
         let d = p
-            .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+            .decide(&PolicyInput {
+                app: &st,
+                window: &w,
+                dt_secs: 5.0,
+                resize_failures: 0,
+                signal: SignalQuality::Fresh,
+            })
             .expect("decision");
         assert!(d.per_replica.cpu() > 1_000.0, "cpu {}", d.per_replica.cpu());
     }
@@ -332,7 +391,13 @@ mod tests {
         for _ in 0..10 {
             let w = window(Some(10.0), 100, alloc, 100.0);
             let d = p
-                .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+                .decide(&PolicyInput {
+                    app: &st,
+                    window: &w,
+                    dt_secs: 5.0,
+                    resize_failures: 0,
+                    signal: SignalQuality::Fresh,
+                })
                 .expect("decision");
             alloc = d.per_replica.cpu();
         }
@@ -352,7 +417,13 @@ mod tests {
         for _ in 0..10 {
             let w = window(Some(500.0), 200, 1_090.0, 1_080.0);
             let d = p
-                .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+                .decide(&PolicyInput {
+                    app: &st,
+                    window: &w,
+                    dt_secs: 5.0,
+                    resize_failures: 0,
+                    signal: SignalQuality::Fresh,
+                })
                 .expect("decision");
             replicas = d.replicas;
         }
@@ -379,7 +450,13 @@ mod tests {
             w.running_replicas = 4;
             w.projected_makespan_s = Some(500.0); // way over deadline
             let d = p
-                .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+                .decide(&PolicyInput {
+                    app: &st,
+                    window: &w,
+                    dt_secs: 5.0,
+                    resize_failures: 0,
+                    signal: SignalQuality::Fresh,
+                })
                 .expect("decision");
             // Replica count never moves for jobs, no matter the pressure.
             assert_eq!(d.replicas, *first.get_or_insert(d.replicas));
@@ -394,11 +471,104 @@ mod tests {
         for _ in 0..30 {
             let w = window(None, 0, 1_000.0, 0.0);
             let d = p
-                .decide(&PolicyInput { app: &st, window: &w, dt_secs: 5.0, resize_failures: 0 })
+                .decide(&PolicyInput {
+                    app: &st,
+                    window: &w,
+                    dt_secs: 5.0,
+                    resize_failures: 0,
+                    signal: SignalQuality::Fresh,
+                })
                 .expect("decision");
             replicas = d.replicas;
         }
         assert_eq!(replicas, 1);
+    }
+
+    #[test]
+    fn degraded_signal_holds_last_safe_output() {
+        let mut p = EvolvePolicy::new(EvolvePolicyConfig::default(), 3, false);
+        let st = status();
+        let mut w = window(Some(50.0), 200, 1_000.0, 600.0);
+        w.running_replicas = 3;
+        let mut steady = None;
+        for _ in 0..6 {
+            steady = p.decide(&PolicyInput {
+                app: &st,
+                window: &w,
+                dt_secs: 5.0,
+                resize_failures: 0,
+                signal: SignalQuality::Fresh,
+            });
+        }
+        let steady = steady.expect("decision");
+        // Blackout: the manager replays the stale window. Usage was 200
+        // per replica, so the watchdog floor is 360 cpu — replicas must
+        // hold and allocation may never fall below that floor, no matter
+        // how long the blackout lasts.
+        for _ in 0..20 {
+            let d = p
+                .decide(&PolicyInput {
+                    app: &st,
+                    window: &w,
+                    dt_secs: 5.0,
+                    resize_failures: 0,
+                    signal: SignalQuality::Stale,
+                })
+                .expect("decision");
+            assert_eq!(d.replicas, steady.replicas, "no scale-in while dark");
+            assert!(d.per_replica.cpu() >= 360.0 - 1e-9, "cpu {}", d.per_replica.cpu());
+        }
+        assert_eq!(p.dark_ticks(), 20);
+        // Re-engagement: the first fresh decision moves a bounded step
+        // from the held output, not a cliff.
+        let before = p.decide(&PolicyInput {
+            app: &st,
+            window: &w,
+            dt_secs: 5.0,
+            resize_failures: 0,
+            signal: SignalQuality::Fresh,
+        });
+        let d = before.expect("decision");
+        assert!(d.per_replica.cpu() > 0.0);
+        assert_eq!(p.dark_ticks(), 0);
+    }
+
+    #[test]
+    fn missing_signal_is_not_idleness() {
+        // A synthetic empty window (blackout with no cached scrape) must
+        // not trigger the idle scale-in path — contrast with
+        // `idle_service_scales_in`, where the empty window is a *fresh*
+        // measurement.
+        let mut p = EvolvePolicy::new(EvolvePolicyConfig::default(), 5, false);
+        let st = status();
+        // p99 of 70 ms sits on the 65 ms setpoint (100 ms PLO, 35%
+        // margin): no scale action while fresh, so the blackout starts
+        // from exactly 5 replicas.
+        let mut warm = window(Some(70.0), 100, 1_000.0, 400.0);
+        warm.running_replicas = 5;
+        for _ in 0..3 {
+            p.decide(&PolicyInput {
+                app: &st,
+                window: &warm,
+                dt_secs: 5.0,
+                resize_failures: 0,
+                signal: SignalQuality::Fresh,
+            });
+        }
+        let empty = window(None, 0, 0.0, 0.0);
+        for _ in 0..30 {
+            let d = p
+                .decide(&PolicyInput {
+                    app: &st,
+                    window: &empty,
+                    dt_secs: 5.0,
+                    resize_failures: 0,
+                    signal: SignalQuality::Missing,
+                })
+                .expect("decision");
+            assert_eq!(d.replicas, 5, "silence must not scale the service in");
+            assert!(d.per_replica.cpu() > 0.0, "never scale allocation to zero");
+        }
     }
 
     #[test]

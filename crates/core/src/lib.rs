@@ -46,6 +46,7 @@ pub use harness::{Harness, ReplicatedOutcome};
 pub use manager::{ManagerKind, ResourceManager};
 pub use policy::{
     control_error, control_error_with_margin, AutoscalePolicy, PolicyDecision, PolicyInput,
+    SignalQuality,
 };
 pub use report::{write_csv, Summary, Table};
 pub use runner::{AppSummary, ExperimentRunner, RunConfig, RunOutcome, SchedulerProfile};

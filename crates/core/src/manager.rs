@@ -3,14 +3,14 @@
 
 use std::collections::HashMap;
 
-use evolve_sim::Simulation;
+use evolve_sim::{AppWindow, FaultInjector, Simulation};
 use evolve_telemetry::{PloBound, PloTracker};
-use evolve_types::{AppId, ResourceVec};
+use evolve_types::{AppId, Resource, ResourceVec, SimDuration, SimTime};
 use evolve_workload::{PloSpec, WorldClass};
 
 use crate::baselines::{HpaPolicy, StaticPolicy, VpaPolicy};
 use crate::evolve_policy::{EvolvePolicy, EvolvePolicyConfig};
-use crate::policy::{AutoscalePolicy, PolicyInput};
+use crate::policy::{AutoscalePolicy, PolicyDecision, PolicyInput, SignalQuality};
 
 /// Which resource-management system runs the cluster.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +64,19 @@ struct ManagedApp {
     world: WorldClass,
     /// Failed in-place resizes on the previous tick.
     last_resize_failures: u32,
+    /// Last successfully scraped window — replayed (as `Stale`) while a
+    /// blackout blocks scrapes.
+    last_window: Option<AppWindow>,
+    /// Control seconds accumulated while scrapes were dark; folded into
+    /// the first post-blackout tick so rates are computed over the real
+    /// elapsed time.
+    pending_dt: f64,
+    /// Consecutive actuations that reported resize failures.
+    failure_streak: u32,
+    /// Tick index before which an unchanged failing target is suppressed.
+    backoff_until: u64,
+    /// The decision last actuated (for the retry-backoff comparison).
+    last_decision: Option<PolicyDecision>,
 }
 
 /// The control plane: scrapes windows, evaluates PLOs, runs policies and
@@ -73,6 +86,11 @@ pub struct ResourceManager {
     apps: HashMap<AppId, ManagedApp>,
     /// Failed in-place resizes (capacity contention diagnostics).
     resize_failures: u64,
+    /// Control ticks executed.
+    ticks: u64,
+    /// Actuations skipped by the retry-backoff (the target had just
+    /// failed and had not changed).
+    suppressed_actuations: u64,
 }
 
 impl std::fmt::Debug for ResourceManager {
@@ -140,10 +158,15 @@ impl ResourceManager {
                     tracker: PloTracker::new(status.plo.target().max(1e-9), bound),
                     world: status.world,
                     last_resize_failures: 0,
+                    last_window: None,
+                    pending_dt: 0.0,
+                    failure_streak: 0,
+                    backoff_until: 0,
+                    last_decision: None,
                 },
             );
         }
-        ResourceManager { kind, apps, resize_failures: 0 }
+        ResourceManager { kind, apps, resize_failures: 0, ticks: 0, suppressed_actuations: 0 }
     }
 
     /// The manager's label for reports.
@@ -170,6 +193,12 @@ impl ResourceManager {
         self.apps.get(&app).map(|a| a.world)
     }
 
+    /// Actuations skipped by the retry-with-backoff logic.
+    #[must_use]
+    pub fn suppressed_actuations(&self) -> u64 {
+        self.suppressed_actuations
+    }
+
     /// Runs one control tick: harvest every app's window, account PLO
     /// compliance, run the policy, actuate. Returns the harvested windows
     /// for telemetry.
@@ -178,54 +207,144 @@ impl ResourceManager {
         sim: &mut Simulation,
         dt_secs: f64,
     ) -> Vec<(AppId, evolve_sim::AppWindow)> {
+        self.tick_with_faults(sim, dt_secs, None)
+    }
+
+    /// Like [`ResourceManager::tick`], but consulting a fault injector:
+    /// apps under a scrape blackout are *not* harvested (the engine keeps
+    /// accumulating; the post-blackout window covers the gap) — their
+    /// policies run on the replayed last window marked [`SignalQuality::
+    /// Stale`] (or a synthetic empty one marked `Missing`), and no PLO
+    /// window is recorded. Fresh windows pass through the injector's
+    /// noise distortion. Returns the fresh windows only.
+    pub fn tick_with_faults(
+        &mut self,
+        sim: &mut Simulation,
+        dt_secs: f64,
+        mut injector: Option<&mut FaultInjector>,
+    ) -> Vec<(AppId, evolve_sim::AppWindow)> {
+        self.ticks += 1;
         let statuses: Vec<evolve_sim::AppStatus> = sim.apps().to_vec();
         let mut windows = Vec::with_capacity(statuses.len());
         for status in statuses {
-            let Ok(window) = sim.take_window(status.id) else {
-                continue;
-            };
+            let now = sim.now();
+            let blocked = injector.as_ref().is_some_and(|i| !i.scrape_available(status.id, now));
             let managed = self.apps.get_mut(&status.id).expect("registered app");
-            // PLO accounting: only windows that produced a signal.
-            if let Some(measured) = window.measured_for(&status.plo) {
-                // Deadline PLOs: stop counting after the job finished.
-                let skip = matches!(status.plo, PloSpec::Deadline { .. })
-                    && window.progress == Some(1.0)
-                    && {
-                        // Finished: one final window was already counted.
-                        managed.tracker.windows() > 0
-                            && window.completions == 0
-                            && window.arrivals == 0
-                    };
-                if !skip {
-                    managed.tracker.record_window(window.at, measured);
+            let (window, signal, effective_dt) = if blocked {
+                managed.pending_dt += dt_secs;
+                match managed.last_window.clone() {
+                    Some(w) => (w, SignalQuality::Stale, dt_secs),
+                    None => (empty_window(now), SignalQuality::Missing, dt_secs),
                 }
-            }
+            } else {
+                let Ok(mut w) = sim.take_window(status.id) else {
+                    continue;
+                };
+                if let Some(i) = injector.as_deref_mut() {
+                    i.distort_window(status.id, &mut w);
+                }
+                let effective_dt = dt_secs + managed.pending_dt;
+                managed.pending_dt = 0.0;
+                // PLO accounting: only fresh windows that produced a
+                // signal — blacked-out windows are simply missing.
+                if let Some(measured) = w.measured_for(&status.plo) {
+                    // Deadline PLOs: stop counting after the job finished.
+                    let skip = matches!(status.plo, PloSpec::Deadline { .. })
+                        && w.progress == Some(1.0)
+                        && {
+                            // Finished: one final window was counted.
+                            managed.tracker.windows() > 0 && w.completions == 0 && w.arrivals == 0
+                        };
+                    if !skip {
+                        managed.tracker.record_window(w.at, measured);
+                    }
+                }
+                managed.last_window = Some(w.clone());
+                (w, SignalQuality::Fresh, effective_dt)
+            };
             let input = PolicyInput {
                 app: &status,
                 window: &window,
-                dt_secs,
+                dt_secs: effective_dt,
                 resize_failures: managed.last_resize_failures,
+                signal,
             };
-            if let Some(decision) = managed.policy.decide(&input) {
-                let failures = match managed.world {
-                    WorldClass::Microservice => sim
-                        .set_service_target(status.id, decision.replicas, decision.per_replica)
-                        .unwrap_or(0),
-                    WorldClass::BigData => {
-                        sim.set_batch_target(status.id, decision.per_replica).unwrap_or(0)
+            let decision = managed.policy.decide(&input);
+            if let Some(decision) = decision {
+                // Retry with backoff: re-issuing a target that just
+                // failed (and has not materially changed) only hammers a
+                // full node. Suppress it for exponentially growing tick
+                // counts; any changed target acts immediately.
+                let repeat_of_failed = managed.failure_streak > 0
+                    && managed.last_decision.is_some_and(|d| decisions_close(&d, &decision));
+                if repeat_of_failed && self.ticks < managed.backoff_until {
+                    self.suppressed_actuations += 1;
+                } else {
+                    let failures = match managed.world {
+                        WorldClass::Microservice => sim
+                            .set_service_target(status.id, decision.replicas, decision.per_replica)
+                            .unwrap_or(0),
+                        WorldClass::BigData => {
+                            sim.set_batch_target(status.id, decision.per_replica).unwrap_or(0)
+                        }
+                        WorldClass::Hpc => {
+                            sim.set_hpc_target(status.id, decision.per_replica).unwrap_or(0)
+                        }
+                    };
+                    self.resize_failures += u64::from(failures);
+                    let managed = self.apps.get_mut(&status.id).expect("registered app");
+                    if failures > 0 {
+                        managed.failure_streak += 1;
+                        managed.backoff_until =
+                            self.ticks + (1u64 << managed.failure_streak.min(3));
+                    } else {
+                        managed.failure_streak = 0;
                     }
-                    WorldClass::Hpc => {
-                        sim.set_hpc_target(status.id, decision.per_replica).unwrap_or(0)
-                    }
-                };
-                self.resize_failures += u64::from(failures);
-                self.apps.get_mut(&status.id).expect("registered app").last_resize_failures =
-                    failures;
+                    managed.last_resize_failures = failures;
+                    managed.last_decision = Some(decision);
+                }
             }
-            windows.push((status.id, window));
+            if signal == SignalQuality::Fresh {
+                windows.push((status.id, window));
+            }
         }
         windows
     }
+}
+
+/// The synthetic stand-in handed to policies when a blackout hides an app
+/// that was never successfully scraped.
+fn empty_window(at: SimTime) -> AppWindow {
+    AppWindow {
+        at,
+        duration: SimDuration::ZERO,
+        arrivals: 0,
+        completions: 0,
+        timeouts: 0,
+        oom_kills: 0,
+        p99_ms: None,
+        mean_ms: None,
+        throughput_rps: 0.0,
+        usage: ResourceVec::ZERO,
+        alloc: ResourceVec::ZERO,
+        alloc_per_replica: ResourceVec::ZERO,
+        running_replicas: 0,
+        pending_replicas: 0,
+        progress: None,
+        projected_makespan_s: None,
+    }
+}
+
+/// `true` when two decisions are materially the same actuation (equal
+/// replicas, per-replica components within 5%).
+fn decisions_close(a: &PolicyDecision, b: &PolicyDecision) -> bool {
+    if a.replicas != b.replicas {
+        return false;
+    }
+    Resource::ALL.iter().all(|&r| {
+        let (x, y) = (a.per_replica[r], b.per_replica[r]);
+        (x - y).abs() <= 0.05 * x.abs().max(y.abs()).max(1e-9)
+    })
 }
 
 #[cfg(test)]

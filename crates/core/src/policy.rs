@@ -4,6 +4,28 @@ use evolve_sim::{AppStatus, AppWindow};
 use evolve_types::ResourceVec;
 use evolve_workload::PloSpec;
 
+/// How trustworthy this tick's window is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SignalQuality {
+    /// A fresh scrape landed this tick.
+    #[default]
+    Fresh,
+    /// The scrape failed; `window` replays the last successful one.
+    Stale,
+    /// The scrape failed and no prior window exists; `window` is a
+    /// synthetic placeholder.
+    Missing,
+}
+
+impl SignalQuality {
+    /// `true` when the window is not a fresh measurement — the policy
+    /// must not mistake silence for idleness.
+    #[must_use]
+    pub fn is_degraded(self) -> bool {
+        self != SignalQuality::Fresh
+    }
+}
+
 /// Everything a policy sees at one control tick.
 #[derive(Debug, Clone, Copy)]
 pub struct PolicyInput<'a> {
@@ -17,6 +39,8 @@ pub struct PolicyInput<'a> {
     /// tick — a signal that vertical growth is blocked and the policy
     /// should scale out instead.
     pub resize_failures: u32,
+    /// Whether `window` is a fresh scrape or a degraded stand-in.
+    pub signal: SignalQuality,
 }
 
 /// A policy's actuation for one application.

@@ -2,8 +2,10 @@
 //! manager and scheduler, runs the control loop, and collects the
 //! statistics every table and figure reports.
 
-use evolve_scheduler::SchedulerFramework;
-use evolve_sim::{ClusterConfig, NodeShape, Simulation, SimulationConfig};
+use evolve_scheduler::{RequeueBackoff, SchedulerFramework};
+use evolve_sim::{
+    ClusterConfig, FaultInjector, FaultPlan, NodeShape, Simulation, SimulationConfig,
+};
 use evolve_telemetry::{MetricRegistry, UtilizationAccount, UtilizationSummary};
 use evolve_types::{AppId, ResourceVec, SimDuration, SimTime};
 use evolve_workload::{Scenario, WorldClass};
@@ -50,6 +52,8 @@ pub struct RunConfig {
     pub seed: u64,
     /// Record per-tick time series into the registry.
     pub record_series: bool,
+    /// Faults injected during the run (empty by default).
+    pub faults: FaultPlan,
 }
 
 impl RunConfig {
@@ -71,6 +75,7 @@ impl RunConfig {
             control_interval: SimDuration::from_secs(5),
             seed: 42,
             record_series: true,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -104,6 +109,13 @@ impl RunConfig {
     #[must_use]
     pub fn without_series(mut self) -> Self {
         self.record_series = false;
+        self
+    }
+
+    /// Injects a fault plan into the run.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -161,6 +173,8 @@ pub struct RunOutcome {
     pub registry: MetricRegistry,
     /// Failed in-place resizes (capacity contention).
     pub resize_failures: u64,
+    /// Actuations suppressed by the manager's retry backoff.
+    pub suppressed_actuations: u64,
     /// Preemptions executed.
     pub preemptions: u64,
     /// Pod bindings executed.
@@ -293,6 +307,18 @@ impl ExperimentRunner {
         let horizon = SimTime::ZERO + cfg.scenario.horizon;
         let dt = cfg.control_interval;
 
+        // Fault injection: realize the plan (scheduled plus stochastic)
+        // once, arm node crash/recovery events on the simulator, and
+        // consult the injector tick-by-tick for scrape blackouts, metric
+        // noise and control-plane stalls.
+        let mut injector = if cfg.faults.is_empty() {
+            None
+        } else {
+            let inj = FaultInjector::new(&cfg.faults, cfg.seed, cfg.scenario.horizon, cfg.nodes);
+            inj.arm(&mut sim);
+            Some(inj)
+        };
+
         // Series names are interned once per app up front; the per-tick
         // recording path below must not build strings.
         let mut series_keys: std::collections::HashMap<AppId, AppSeriesKeys> = if cfg.record_series
@@ -303,18 +329,36 @@ impl ExperimentRunner {
         };
 
         // Initial scheduling pass so t=0 pods place immediately.
-        Self::schedule_pass(&scheduler, &mut sim, &mut preemptions, &mut bindings);
+        let mut backoff = RequeueBackoff::new();
+        Self::schedule_pass(&scheduler, &mut backoff, &mut sim, &mut preemptions, &mut bindings);
 
         let mut window_start = SimTime::ZERO;
+        let mut carried_secs = 0.0;
         while window_start < horizon {
             // The final window may be truncated when the horizon is not a
             // multiple of the control interval; the manager sees the
             // actual elapsed seconds so per-window rates stay correct.
             let tick_end = (window_start + dt).min(horizon);
-            let window_secs = (tick_end - window_start).as_secs_f64();
             sim.run_until(tick_end);
-            let windows = manager.tick(&mut sim, window_secs);
-            Self::schedule_pass(&scheduler, &mut sim, &mut preemptions, &mut bindings);
+            // A stalled control plane skips this tick entirely — no
+            // scrape, no decisions, no scheduling pass. The skipped
+            // seconds carry into the next live tick so per-window rates
+            // stay correct.
+            if injector.as_ref().is_some_and(|i| i.controller_stalled(tick_end)) {
+                carried_secs += (tick_end - window_start).as_secs_f64();
+                window_start = tick_end;
+                continue;
+            }
+            let window_secs = (tick_end - window_start).as_secs_f64() + carried_secs;
+            carried_secs = 0.0;
+            let windows = manager.tick_with_faults(&mut sim, window_secs, injector.as_mut());
+            Self::schedule_pass(
+                &scheduler,
+                &mut backoff,
+                &mut sim,
+                &mut preemptions,
+                &mut bindings,
+            );
 
             // Utilization accounting: allocation from the cluster, usage
             // from the windows.
@@ -349,6 +393,7 @@ impl ExperimentRunner {
                 });
                 registry.record("cluster/pods_running", t, f64::from(snap.pods_running));
                 registry.record("cluster/pods_pending", t, f64::from(snap.pods_pending));
+                registry.record("cluster/nodes_ready", t, f64::from(snap.nodes_ready));
                 for (app, w) in &windows {
                     let keys = series_keys.entry(*app).or_insert_with(|| AppSeriesKeys::new(*app));
                     if let Some(p99) = w.p99_ms {
@@ -394,6 +439,7 @@ impl ExperimentRunner {
             jobs: sim.job_outcomes(),
             registry,
             resize_failures: manager.resize_failures(),
+            suppressed_actuations: manager.suppressed_actuations(),
             preemptions,
             bindings,
             horizon: cfg.scenario.horizon,
@@ -404,11 +450,12 @@ impl ExperimentRunner {
 
     fn schedule_pass(
         scheduler: &SchedulerFramework,
+        backoff: &mut RequeueBackoff,
         sim: &mut Simulation,
         preemptions: &mut u64,
         bindings: &mut u64,
     ) {
-        let plan = scheduler.schedule_cycle(sim.cluster());
+        let plan = scheduler.schedule_cycle_with_backoff(sim.cluster(), backoff);
         for victim in &plan.preemptions {
             if sim.preempt_pod(*victim).is_ok() {
                 *preemptions += 1;

@@ -3,7 +3,8 @@
 //! multiple seeds, and the final-partial-window regression.
 
 use evolve_core::{ExperimentRunner, Harness, ManagerKind, RunConfig, Summary};
-use evolve_types::{SimDuration, SimTime};
+use evolve_sim::{FaultPlan, StochasticFaults};
+use evolve_types::{NodeId, SimDuration, SimTime};
 use evolve_workload::Scenario;
 
 /// A cheap run: the single-service diurnal scenario cut down to a short
@@ -45,12 +46,36 @@ fn summary_bits(s: &Summary) -> (u64, u64, u64, usize) {
     (s.mean.to_bits(), s.std_dev.to_bits(), s.ci95.to_bits(), s.n)
 }
 
+/// A plan exercising every fault class: a scheduled node crash with
+/// recovery, a scrape blackout, a metric-noise window, a control-plane
+/// stall, and low-rate stochastic faults on top.
+fn mixed_fault_plan() -> FaultPlan {
+    FaultPlan::new()
+        .with_node_crash(NodeId::new(1), SimTime::from_secs(30), Some(SimDuration::from_secs(40)))
+        .with_scrape_blackout(SimTime::from_secs(20), SimDuration::from_secs(15))
+        .with_metric_noise(SimTime::from_secs(60), SimDuration::from_secs(30), 0.3)
+        .with_control_stall(SimTime::from_secs(80), SimDuration::from_secs(12))
+        .with_stochastic(StochasticFaults {
+            node_crashes_per_hour: 20.0,
+            blackouts_per_hour: 30.0,
+            stalls_per_hour: 30.0,
+            ..StochasticFaults::default()
+        })
+}
+
 /// The same (config, seed) matrix must aggregate to byte-identical
-/// statistics regardless of how many worker threads execute it.
+/// statistics regardless of how many worker threads execute it — with and
+/// without a fault plan (the injector's stochastic realization and noise
+/// stream must be a pure function of the seed).
 #[test]
 fn aggregates_identical_across_thread_counts() {
-    let configs =
-        vec![small_config(ManagerKind::Evolve, 120), small_config(ManagerKind::KubeStatic, 120)];
+    let configs = vec![
+        small_config(ManagerKind::Evolve, 120),
+        small_config(ManagerKind::KubeStatic, 120),
+        small_config(ManagerKind::Evolve, 120).with_faults(mixed_fault_plan()),
+        small_config(ManagerKind::Hpa { target_utilization: 0.6 }, 120)
+            .with_faults(mixed_fault_plan()),
+    ];
     let seeds = [42u64, 43, 44, 45];
     let serial = Harness::new().with_threads(1).run_matrix(&configs, &seeds);
     let threaded = Harness::new().with_threads(4).run_matrix(&configs, &seeds);

@@ -25,6 +25,49 @@ pub struct SchedulePlan {
     pub unschedulable: Vec<PodId>,
 }
 
+/// Cross-cycle requeue backoff for unschedulable pods.
+///
+/// A pod that fails to place is retried on the next cycle, then with
+/// exponentially growing gaps (1, 2, 4, 4, … cycles, capped) so a full
+/// queue of orphans — e.g. everything evicted by a node crash — does not
+/// grind every subsequent cycle through hopeless placements. A gang with
+/// any backed-off member is deferred as a unit without accruing further
+/// penalty. State is pruned to the currently-pending set each cycle, so
+/// pods that bind (or die) are forgotten automatically.
+#[derive(Debug, Clone, Default)]
+pub struct RequeueBackoff {
+    cycle: u64,
+    /// pod → (consecutive failures, first cycle eligible to retry).
+    state: BTreeMap<PodId, (u32, u64)>,
+}
+
+impl RequeueBackoff {
+    /// Fresh state: every pod is eligible immediately.
+    #[must_use]
+    pub fn new() -> Self {
+        RequeueBackoff::default()
+    }
+
+    /// Whether this pod may be attempted in the current cycle.
+    fn eligible(&self, pod: PodId) -> bool {
+        self.state.get(&pod).is_none_or(|&(_, at)| at <= self.cycle)
+    }
+
+    /// Records a failed placement attempt and pushes the retry out.
+    fn record_failure(&mut self, pod: PodId) {
+        let entry = self.state.entry(pod).or_insert((0, 0));
+        entry.0 += 1;
+        let delay = (1u64 << (entry.0 - 1).min(2)).min(4);
+        entry.1 = self.cycle + delay;
+    }
+
+    /// Consecutive failed attempts recorded for a pod.
+    #[must_use]
+    pub fn failures(&self, pod: PodId) -> u32 {
+        self.state.get(&pod).map_or(0, |&(n, _)| n)
+    }
+}
+
 /// A configurable scheduler: filters decide feasibility, weighted scorers
 /// pick the node, priorities order the queue, and optional preemption and
 /// gang handling deal with contention and HPC jobs.
@@ -45,6 +88,9 @@ impl std::fmt::Debug for SchedulerFramework {
             .finish()
     }
 }
+
+/// `(bindings, preemption victims)` of a successfully placed gang.
+type GangPlacement = (Vec<(PodId, NodeId)>, Vec<PodId>);
 
 /// Shadow state for one cycle.
 struct Shadow {
@@ -152,8 +198,25 @@ impl SchedulerFramework {
     }
 
     /// Runs one scheduling cycle over the cluster's pending pods.
+    ///
+    /// Stateless convenience wrapper over
+    /// [`SchedulerFramework::schedule_cycle_with_backoff`] with fresh
+    /// backoff state (every pod eligible).
     #[must_use]
     pub fn schedule_cycle(&self, cluster: &ClusterState) -> SchedulePlan {
+        self.schedule_cycle_with_backoff(cluster, &mut RequeueBackoff::new())
+    }
+
+    /// Runs one scheduling cycle, consulting and updating cross-cycle
+    /// requeue-backoff state: pods still inside their backoff window are
+    /// deferred (reported unschedulable without another attempt), and
+    /// fresh failures push the next retry out exponentially.
+    #[must_use]
+    pub fn schedule_cycle_with_backoff(
+        &self,
+        cluster: &ClusterState,
+        backoff: &mut RequeueBackoff,
+    ) -> SchedulePlan {
         let mut plan = SchedulePlan::default();
         let mut shadow = Shadow::new(cluster);
         // Victims already claimed this cycle: their capacity is freed in
@@ -163,6 +226,9 @@ impl SchedulerFramework {
         // Group pending pods: gangs as units, others individually; order
         // by (priority desc, creation asc).
         let pending: Vec<&Pod> = cluster.pending_pods().collect();
+        backoff.cycle += 1;
+        let pending_ids: HashSet<PodId> = pending.iter().map(|p| p.id).collect();
+        backoff.state.retain(|id, _| pending_ids.contains(id));
         // BTreeMap: gang visit order must not depend on hash state, or
         // equal-priority units would schedule in a nondeterministic order.
         let mut gangs: BTreeMap<JobId, Vec<&Pod>> = BTreeMap::new();
@@ -194,6 +260,12 @@ impl SchedulerFramework {
         for (_, _, _, unit) in units {
             match unit {
                 Unit::Single(pod) => {
+                    if !backoff.eligible(pod.id) {
+                        // Inside its backoff window: deferred without
+                        // another attempt (and without further penalty).
+                        plan.unschedulable.push(pod.id);
+                        continue;
+                    }
                     if let Some(node) = self.place_one(cluster, &mut shadow, &pod.spec) {
                         plan.bindings.push((pod.id, node));
                     } else if self.preemption {
@@ -203,42 +275,117 @@ impl SchedulerFramework {
                                 plan.preemptions.extend(victims);
                                 plan.bindings.push((pod.id, node));
                             }
-                            None => plan.unschedulable.push(pod.id),
+                            None => {
+                                backoff.record_failure(pod.id);
+                                plan.unschedulable.push(pod.id);
+                            }
                         }
                     } else {
+                        backoff.record_failure(pod.id);
                         plan.unschedulable.push(pod.id);
                     }
                 }
                 Unit::Gang(members) => {
-                    // All-or-nothing: tentatively place every rank; roll
-                    // back on the first failure.
-                    let mut placed: Vec<(PodId, NodeId, PodSpec)> = Vec::new();
-                    let mut ok = true;
-                    for pod in &members {
-                        match self.place_one(cluster, &mut shadow, &pod.spec) {
-                            Some(node) => placed.push((pod.id, node, pod.spec)),
-                            None => {
-                                ok = false;
-                                break;
-                            }
-                        }
-                    }
-                    if ok {
-                        for (id, node, _) in placed {
-                            plan.bindings.push((id, node));
-                        }
-                    } else {
-                        for (_, node, spec) in &placed {
-                            shadow.release(node.as_usize(), spec);
-                        }
+                    if members.iter().any(|p| !backoff.eligible(p.id)) {
+                        // Any backed-off rank defers the whole gang — a
+                        // partial attempt could never bind anyway.
                         for pod in members {
                             plan.unschedulable.push(pod.id);
+                        }
+                        continue;
+                    }
+                    match self.place_gang(cluster, &mut shadow, &mut claimed, &members) {
+                        Some((bindings, victims)) => {
+                            plan.preemptions.extend(victims);
+                            plan.bindings.extend(bindings);
+                        }
+                        None => {
+                            for pod in members {
+                                backoff.record_failure(pod.id);
+                                plan.unschedulable.push(pod.id);
+                            }
                         }
                     }
                 }
             }
         }
         plan
+    }
+
+    /// Places a gang all-or-nothing. The first pass uses free capacity
+    /// only; when that fails and preemption is on, a second pass may also
+    /// evict strictly-lower-priority pods. Both passes roll the shadow —
+    /// and any claimed victims — fully back on failure, so a blocked gang
+    /// leaves no trace on later units in the cycle.
+    fn place_gang(
+        &self,
+        cluster: &ClusterState,
+        shadow: &mut Shadow,
+        claimed: &mut HashSet<PodId>,
+        members: &[&Pod],
+    ) -> Option<GangPlacement> {
+        // First pass: free capacity only.
+        let mut placed: Vec<(PodId, NodeId, PodSpec)> = Vec::new();
+        let mut ok = true;
+        for pod in members {
+            match self.place_one(cluster, shadow, &pod.spec) {
+                Some(node) => placed.push((pod.id, node, pod.spec)),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            return Some((
+                placed.into_iter().map(|(id, node, _)| (id, node)).collect(),
+                Vec::new(),
+            ));
+        }
+        for (_, node, spec) in &placed {
+            shadow.release(node.as_usize(), spec);
+        }
+        if !self.preemption {
+            return None;
+        }
+
+        // Second pass: allow per-rank preemption of strictly-lower-
+        // priority pods. Victims claimed by earlier ranks join `claimed`
+        // immediately so two ranks never free the same pod twice.
+        placed.clear();
+        let mut gang_victims: Vec<(NodeId, Vec<PodId>)> = Vec::new();
+        let mut ok = true;
+        for pod in members {
+            if let Some(node) = self.place_one(cluster, shadow, &pod.spec) {
+                placed.push((pod.id, node, pod.spec));
+            } else if let Some((node, victims)) = self.try_preempt(cluster, shadow, claimed, pod) {
+                claimed.extend(victims.iter().copied());
+                gang_victims.push((node, victims));
+                placed.push((pod.id, node, pod.spec));
+            } else {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            let victims = gang_victims.into_iter().flat_map(|(_, v)| v).collect();
+            return Some((placed.into_iter().map(|(id, node, _)| (id, node)).collect(), victims));
+        }
+        // Full rollback: undo placements, re-occupy the victims' capacity
+        // and un-claim them.
+        for (_, node, spec) in &placed {
+            shadow.release(node.as_usize(), spec);
+        }
+        for (node, victims) in &gang_victims {
+            for v in victims {
+                claimed.remove(v);
+                if let Ok(p) = cluster.pod(*v) {
+                    shadow.free[node.as_usize()] -= p.spec.request;
+                    *shadow.app_pods.entry((node.as_usize(), p.app().raw())).or_insert(0) += 1;
+                }
+            }
+        }
+        None
     }
 
     /// Filter + score one pod against the shadowed cluster; commits the
@@ -533,6 +680,147 @@ mod tests {
         let pod = service_pod(&mut c, 0, 100.0, 0);
         let plan = SchedulerFramework::kube_default().schedule_cycle(&c);
         assert_eq!(plan.bindings, vec![(pod, NodeId::new(1))]);
+    }
+
+    #[test]
+    fn gang_preempts_lower_priority_without_double_claiming() {
+        let mut c = cluster(2, 1000.0); // 950 allocatable each
+        let batch_a = service_pod(&mut c, 0, 800.0, 10);
+        let batch_b = service_pod(&mut c, 1, 800.0, 10);
+        c.bind_pod(batch_a, NodeId::new(0)).unwrap();
+        c.bind_pod(batch_b, NodeId::new(1)).unwrap();
+        // Gang of 2 ranks × 600: blocked on free capacity, feasible only
+        // by evicting one batch pod per node.
+        let mut ranks = Vec::new();
+        for rank in 0..2 {
+            ranks.push(c.create_pod(
+                PodSpec::new(
+                    PodKind::HpcRank { app: AppId::new(2), job: JobId::new(9), rank },
+                    ResourceVec::splat(600.0),
+                    50,
+                ),
+                SimTime::ZERO,
+            ));
+        }
+        // Without preemption the gang stays pending.
+        let plan = SchedulerFramework::kube_default().schedule_cycle(&c);
+        assert!(plan.bindings.is_empty());
+        // With preemption both ranks place, each claiming a distinct
+        // victim exactly once.
+        let plan = SchedulerFramework::evolve_default().schedule_cycle(&c);
+        assert_eq!(plan.bindings.len(), 2, "{plan:?}");
+        let mut victims = plan.preemptions.clone();
+        victims.sort();
+        victims.dedup();
+        assert_eq!(victims.len(), plan.preemptions.len(), "victim claimed twice: {plan:?}");
+        // The plan must be applicable: evict, then bind.
+        for v in &plan.preemptions {
+            c.terminate_pod(*v, evolve_sim::PodPhase::Failed("preempted".into())).unwrap();
+        }
+        for (pod, node) in &plan.bindings {
+            c.bind_pod(*pod, *node).unwrap();
+        }
+        c.check_invariants();
+    }
+
+    #[test]
+    fn blocked_gang_preemption_rolls_back_fully() {
+        let mut c = cluster(1, 1000.0);
+        let batch = service_pod(&mut c, 0, 800.0, 10);
+        c.bind_pod(batch, NodeId::new(0)).unwrap();
+        // Gang of 2 × 600 can never fit on one 950 node even after
+        // evicting the batch pod — the attempt must leave no trace.
+        for rank in 0..2 {
+            c.create_pod(
+                PodSpec::new(
+                    PodKind::HpcRank { app: AppId::new(1), job: JobId::new(9), rank },
+                    ResourceVec::splat(600.0),
+                    50,
+                ),
+                SimTime::ZERO,
+            );
+        }
+        // A later lower-priority pod that fits next to the *surviving*
+        // batch pod must still place, proving the shadow was restored.
+        let filler = service_pod(&mut c, 2, 100.0, 5);
+        let plan = SchedulerFramework::evolve_default().schedule_cycle(&c);
+        assert!(plan.preemptions.is_empty(), "rolled-back preemption leaked: {plan:?}");
+        assert_eq!(plan.bindings, vec![(filler, NodeId::new(0))]);
+    }
+
+    #[test]
+    fn backoff_defers_retries_exponentially() {
+        let mut c = cluster(1, 1000.0);
+        let blocked = service_pod(&mut c, 0, 2_000.0, 0); // can never fit
+        let sched = SchedulerFramework::kube_default();
+        let mut backoff = RequeueBackoff::new();
+        // Cycle 1: attempted and failed.
+        let _ = sched.schedule_cycle_with_backoff(&c, &mut backoff);
+        assert_eq!(backoff.failures(blocked), 1);
+        // Cycle 2: eligible again (first retry is immediate), fails → 2.
+        let _ = sched.schedule_cycle_with_backoff(&c, &mut backoff);
+        assert_eq!(backoff.failures(blocked), 2);
+        // Cycle 3: inside the 2-cycle window → deferred, no new failure.
+        let _ = sched.schedule_cycle_with_backoff(&c, &mut backoff);
+        assert_eq!(backoff.failures(blocked), 2);
+        // Cycle 4: eligible, fails → 3 (next window is 4 cycles).
+        let _ = sched.schedule_cycle_with_backoff(&c, &mut backoff);
+        assert_eq!(backoff.failures(blocked), 3);
+        for _ in 0..3 {
+            let _ = sched.schedule_cycle_with_backoff(&c, &mut backoff);
+            assert_eq!(backoff.failures(blocked), 3, "deferred inside the 4-cycle window");
+        }
+        let _ = sched.schedule_cycle_with_backoff(&c, &mut backoff);
+        assert_eq!(backoff.failures(blocked), 4);
+    }
+
+    #[test]
+    fn backoff_forgets_bound_pods() {
+        let mut c = cluster(1, 1000.0);
+        let a = service_pod(&mut c, 0, 600.0, 0);
+        let b = service_pod(&mut c, 1, 600.0, 0);
+        let sched = SchedulerFramework::kube_default();
+        let mut backoff = RequeueBackoff::new();
+        let plan = sched.schedule_cycle_with_backoff(&c, &mut backoff);
+        assert_eq!(plan.bindings.len(), 1);
+        let loser = if plan.bindings[0].0 == a { b } else { a };
+        assert_eq!(backoff.failures(loser), 1);
+        // The loser binds once capacity frees up; its entry is pruned.
+        c.terminate_pod(plan.bindings[0].0, evolve_sim::PodPhase::Succeeded).unwrap();
+        let plan = sched.schedule_cycle_with_backoff(&c, &mut backoff);
+        assert_eq!(plan.bindings.len(), 1);
+        c.bind_pod(loser, plan.bindings[0].1).unwrap();
+        let _ = sched.schedule_cycle_with_backoff(&c, &mut backoff);
+        assert_eq!(backoff.failures(loser), 0, "state must prune once no longer pending");
+    }
+
+    #[test]
+    fn deferred_gang_member_defers_the_whole_gang() {
+        let mut c = cluster(2, 1000.0);
+        // Gang of 2 × 600 fits (one rank per node) — but only once one
+        // member's backoff window expires.
+        let mut ranks = Vec::new();
+        for rank in 0..2 {
+            ranks.push(c.create_pod(
+                PodSpec::new(
+                    PodKind::HpcRank { app: AppId::new(0), job: JobId::new(9), rank },
+                    ResourceVec::splat(600.0),
+                    50,
+                ),
+                SimTime::ZERO,
+            ));
+        }
+        let sched = SchedulerFramework::kube_default();
+        let mut backoff = RequeueBackoff::new();
+        backoff.cycle = 10;
+        backoff.state.insert(ranks[0], (2, 13)); // eligible at cycle 13
+        let plan = sched.schedule_cycle_with_backoff(&c, &mut backoff); // cycle 11
+        assert!(plan.bindings.is_empty(), "gang must defer as a unit: {plan:?}");
+        assert_eq!(backoff.failures(ranks[0]), 2, "deferral accrues no penalty");
+        assert_eq!(backoff.failures(ranks[1]), 0);
+        let _ = sched.schedule_cycle_with_backoff(&c, &mut backoff); // cycle 12
+        let plan = sched.schedule_cycle_with_backoff(&c, &mut backoff); // cycle 13
+        assert_eq!(plan.bindings.len(), 2, "gang places once eligible: {plan:?}");
     }
 
     #[test]

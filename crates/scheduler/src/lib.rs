@@ -43,7 +43,7 @@
 mod framework;
 mod plugins;
 
-pub use framework::{SchedulePlan, SchedulerFramework};
+pub use framework::{RequeueBackoff, SchedulePlan, SchedulerFramework};
 pub use plugins::{
     BalancedAllocation, FilterPlugin, LeastAllocated, MostAllocated, NodeFits, ScorePlugin,
     SpreadApp,

@@ -259,16 +259,35 @@ impl ClusterState {
         Ok(())
     }
 
-    /// Marks a node (un)ready. Pods on a failed node are not evicted here;
-    /// the engine decides their fate.
+    /// Marks a node (un)ready. Losing readiness evicts the node's pods in
+    /// the same transaction — they are unbound, moved to `Failed`, and
+    /// returned so the caller can requeue them — and the node's capacity
+    /// leaves the allocatable pool. Recovery never resurrects pods: a node
+    /// comes back empty.
     ///
     /// # Errors
     ///
     /// Fails for unknown node ids.
-    pub fn set_node_ready(&mut self, node_id: NodeId, ready: bool) -> Result<()> {
+    pub fn set_node_ready(&mut self, node_id: NodeId, ready: bool) -> Result<Vec<PodId>> {
         let node = self.nodes.get_mut(node_id.as_usize()).ok_or(Error::UnknownNode(node_id))?;
+        if node.is_ready() == ready {
+            return Ok(Vec::new());
+        }
         node.set_ready(ready);
-        Ok(())
+        if ready {
+            return Ok(Vec::new());
+        }
+        let victims: Vec<PodId> = node.pods().iter().copied().collect();
+        for pod_id in &victims {
+            let pod = self.pods.get_mut(pod_id).expect("node pod set is consistent");
+            if pod.phase.holds_resources() {
+                self.nodes[node_id.as_usize()].unbind(*pod_id, pod.spec.request);
+            }
+            pod.node = None;
+            pod.phase = PodPhase::Failed("node unready".into());
+            pod.started = None;
+        }
+        Ok(victims)
     }
 
     /// Total cluster allocatable capacity (ready nodes only).
@@ -432,6 +451,34 @@ mod tests {
         let full = c.total_allocatable();
         c.set_node_ready(NodeId::new(1), false).unwrap();
         assert_eq!(c.total_allocatable(), full * 0.5);
+    }
+
+    #[test]
+    fn unready_node_evicts_and_releases_capacity() {
+        let mut c = cluster();
+        let a = c.create_pod(spec(100.0), SimTime::ZERO);
+        let b = c.create_pod(spec(50.0), SimTime::ZERO);
+        c.bind_pod(a, NodeId::new(0)).unwrap();
+        c.bind_pod(b, NodeId::new(1)).unwrap();
+        c.start_pod(a, SimTime::from_secs(1)).unwrap();
+        let victims = c.set_node_ready(NodeId::new(0), false).unwrap();
+        assert_eq!(victims, vec![a]);
+        assert_eq!(c.nodes()[0].allocated(), ResourceVec::ZERO);
+        assert!(c.nodes()[0].pods().is_empty());
+        let pod = c.pod(a).unwrap();
+        assert!(pod.phase.is_terminal());
+        assert_eq!(pod.node, None);
+        // The other node's pod is untouched.
+        assert_eq!(c.pod(b).unwrap().node, Some(NodeId::new(1)));
+        // Repeating the transition is a no-op, and recovery never
+        // resurrects evicted pods.
+        assert!(c.set_node_ready(NodeId::new(0), false).unwrap().is_empty());
+        assert!(c.set_node_ready(NodeId::new(0), true).unwrap().is_empty());
+        assert!(c.nodes()[0].pods().is_empty());
+        // The victim can be requeued and rescheduled.
+        c.requeue_pod(a, SimTime::from_secs(9)).unwrap();
+        c.bind_pod(a, NodeId::new(0)).unwrap();
+        c.check_invariants();
     }
 
     #[test]

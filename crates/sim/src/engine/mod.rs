@@ -344,12 +344,11 @@ impl Simulation {
     }
 
     fn handle_node_fail(&mut self, node: NodeId) {
-        if self.cluster.set_node_ready(node, false).is_err() {
+        // `set_node_ready` evicts the node's pods and returns them; the
+        // owner-specific recovery (replacement pod, task requeue, gang
+        // pause + rank requeue) happens here.
+        let Ok(victims) = self.cluster.set_node_ready(node, false) else {
             return;
-        }
-        let victims: Vec<PodId> = match self.cluster.node(node) {
-            Ok(n) => n.pods().iter().copied().collect(),
-            Err(_) => return,
         };
         for pod in victims {
             self.remove_pod(pod, "node failure");

@@ -1,0 +1,433 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] declares *what* goes wrong — scheduled events plus an
+//! optional seeded-stochastic background process — and a [`FaultInjector`]
+//! realizes the plan for one run: node crashes are armed as engine events,
+//! while scrape blackouts, noisy metric windows and control-plane stalls
+//! are interval predicates the control loop consults each tick. All
+//! randomness derives from the run seed, so the same plan and seed yield
+//! the same fault timeline regardless of how many runs execute in
+//! parallel.
+
+use evolve_types::{AppId, NodeId, SimDuration, SimTime};
+use evolve_workload::{sample_exponential, sample_lognormal};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::engine::Simulation;
+use crate::observe::AppWindow;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// A node goes unready; its pods are evicted and requeued. Recovers
+    /// after `downtime` when given, otherwise stays down.
+    NodeCrash {
+        /// The failing node.
+        node: NodeId,
+        /// Time until the node rejoins; `None` means permanent.
+        downtime: Option<SimDuration>,
+    },
+    /// Metric scrapes fail: the controller sees no window at all.
+    ScrapeBlackout {
+        /// Affected app; `None` blacks out every app.
+        app: Option<AppId>,
+        /// How long scrapes stay dark.
+        duration: SimDuration,
+    },
+    /// Scrapes succeed but the measurements are distorted.
+    MetricNoise {
+        /// Affected app; `None` distorts every app.
+        app: Option<AppId>,
+        /// How long windows stay noisy.
+        duration: SimDuration,
+        /// Coefficient of variation of the multiplicative distortion.
+        cv: f64,
+    },
+    /// The controller misses its ticks entirely (control-plane stall).
+    ControlStall {
+        /// How long the control plane is down.
+        duration: SimDuration,
+    },
+}
+
+/// A fault scheduled at an absolute time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault begins.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Rates for the seeded-stochastic background fault process. Arrivals are
+/// Poisson; durations are exponential around the configured means.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StochasticFaults {
+    /// Node crashes per hour (a uniformly random node each time).
+    pub node_crashes_per_hour: f64,
+    /// Mean node downtime.
+    pub mean_downtime: SimDuration,
+    /// Cluster-wide scrape blackouts per hour.
+    pub blackouts_per_hour: f64,
+    /// Mean blackout length.
+    pub mean_blackout: SimDuration,
+    /// Control-plane stalls per hour.
+    pub stalls_per_hour: f64,
+    /// Mean stall length.
+    pub mean_stall: SimDuration,
+}
+
+impl Default for StochasticFaults {
+    fn default() -> Self {
+        StochasticFaults {
+            node_crashes_per_hour: 0.0,
+            mean_downtime: SimDuration::from_secs(120),
+            blackouts_per_hour: 0.0,
+            mean_blackout: SimDuration::from_secs(60),
+            stalls_per_hour: 0.0,
+            mean_stall: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// A declarative fault schedule for one experiment run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    scheduled: Vec<FaultEvent>,
+    stochastic: Option<StochasticFaults>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// `true` when the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scheduled.is_empty()
+            && !self.stochastic.is_some_and(|s| {
+                s.node_crashes_per_hour > 0.0
+                    || s.blackouts_per_hour > 0.0
+                    || s.stalls_per_hour > 0.0
+            })
+    }
+
+    /// Adds an arbitrary scheduled fault.
+    #[must_use]
+    pub fn with_event(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.scheduled.push(FaultEvent { at, kind });
+        self
+    }
+
+    /// Crashes `node` at `at`, recovering after `downtime` when given.
+    #[must_use]
+    pub fn with_node_crash(self, node: NodeId, at: SimTime, downtime: Option<SimDuration>) -> Self {
+        self.with_event(at, FaultKind::NodeCrash { node, downtime })
+    }
+
+    /// Blacks out metric scrapes for every app.
+    #[must_use]
+    pub fn with_scrape_blackout(self, at: SimTime, duration: SimDuration) -> Self {
+        self.with_event(at, FaultKind::ScrapeBlackout { app: None, duration })
+    }
+
+    /// Blacks out metric scrapes for one app.
+    #[must_use]
+    pub fn with_app_blackout(self, app: AppId, at: SimTime, duration: SimDuration) -> Self {
+        self.with_event(at, FaultKind::ScrapeBlackout { app: Some(app), duration })
+    }
+
+    /// Distorts every app's metric windows with lognormal noise.
+    #[must_use]
+    pub fn with_metric_noise(self, at: SimTime, duration: SimDuration, cv: f64) -> Self {
+        self.with_event(at, FaultKind::MetricNoise { app: None, duration, cv })
+    }
+
+    /// Stalls the control plane (skipped controller ticks).
+    #[must_use]
+    pub fn with_control_stall(self, at: SimTime, duration: SimDuration) -> Self {
+        self.with_event(at, FaultKind::ControlStall { duration })
+    }
+
+    /// Adds a seeded-stochastic background fault process.
+    #[must_use]
+    pub fn with_stochastic(mut self, config: StochasticFaults) -> Self {
+        self.stochastic = Some(config);
+        self
+    }
+
+    /// The scheduled events (stochastic ones are realized per seed by the
+    /// injector).
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.scheduled
+    }
+}
+
+/// A realized fault timeline for one `(plan, seed)` pair.
+///
+/// Intervals are half-open: a fault starting at `t` with duration `d` is
+/// active for `t <= now < t + d`.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    crashes: Vec<(NodeId, SimTime, Option<SimTime>)>,
+    blackouts: Vec<(SimTime, SimTime, Option<AppId>)>,
+    noise: Vec<(SimTime, SimTime, Option<AppId>, f64)>,
+    stalls: Vec<(SimTime, SimTime)>,
+    noise_rng: ChaCha8Rng,
+}
+
+impl FaultInjector {
+    /// Realizes a plan: scheduled events are copied, stochastic ones are
+    /// drawn from a dedicated ChaCha8 stream (`seed`-derived, independent
+    /// of the engine's stream) over `[0, horizon)`.
+    #[must_use]
+    pub fn new(plan: &FaultPlan, seed: u64, horizon: SimDuration, node_count: usize) -> Self {
+        let mut inj = FaultInjector {
+            crashes: Vec::new(),
+            blackouts: Vec::new(),
+            noise: Vec::new(),
+            stalls: Vec::new(),
+            noise_rng: ChaCha8Rng::seed_from_u64(seed ^ 0x4e01_5e00),
+        };
+        for ev in &plan.scheduled {
+            inj.push(ev.at, &ev.kind);
+        }
+        if let Some(sto) = plan.stochastic {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xfa17_0001);
+            for at in poisson_arrivals(&mut rng, sto.node_crashes_per_hour, horizon) {
+                let node = ((rng.gen::<f64>() * node_count as f64) as usize).min(node_count - 1);
+                let downtime = exp_duration(&mut rng, sto.mean_downtime);
+                inj.push(
+                    at,
+                    &FaultKind::NodeCrash {
+                        node: NodeId::new(node as u32),
+                        downtime: Some(downtime),
+                    },
+                );
+            }
+            for at in poisson_arrivals(&mut rng, sto.blackouts_per_hour, horizon) {
+                let duration = exp_duration(&mut rng, sto.mean_blackout);
+                inj.push(at, &FaultKind::ScrapeBlackout { app: None, duration });
+            }
+            for at in poisson_arrivals(&mut rng, sto.stalls_per_hour, horizon) {
+                let duration = exp_duration(&mut rng, sto.mean_stall);
+                inj.push(at, &FaultKind::ControlStall { duration });
+            }
+        }
+        inj.crashes.sort_by_key(|&(node, at, _)| (at, node));
+        inj.blackouts.sort_by_key(|&(s, e, _)| (s, e));
+        inj.noise.sort_by_key(|&(s, e, _, _)| (s, e));
+        inj.stalls.sort_unstable();
+        inj
+    }
+
+    fn push(&mut self, at: SimTime, kind: &FaultKind) {
+        match *kind {
+            FaultKind::NodeCrash { node, downtime } => {
+                self.crashes.push((node, at, downtime.map(|d| at + d)));
+            }
+            FaultKind::ScrapeBlackout { app, duration } => {
+                self.blackouts.push((at, at + duration, app));
+            }
+            FaultKind::MetricNoise { app, duration, cv } => {
+                self.noise.push((at, at + duration, app, cv));
+            }
+            FaultKind::ControlStall { duration } => {
+                self.stalls.push((at, at + duration));
+            }
+        }
+    }
+
+    /// Schedules the realized node crashes as engine events.
+    pub fn arm(&self, sim: &mut Simulation) {
+        for &(node, at, recover) in &self.crashes {
+            sim.inject_node_failure(node, at, recover);
+        }
+    }
+
+    /// The realized crash schedule: `(node, fail_at, recover_at)`.
+    #[must_use]
+    pub fn crash_schedule(&self) -> &[(NodeId, SimTime, Option<SimTime>)] {
+        &self.crashes
+    }
+
+    /// `false` while a blackout covering `app` is active at `at`.
+    #[must_use]
+    pub fn scrape_available(&self, app: AppId, at: SimTime) -> bool {
+        !self
+            .blackouts
+            .iter()
+            .any(|&(s, e, scope)| s <= at && at < e && scope.is_none_or(|a| a == app))
+    }
+
+    /// `true` while a control-plane stall is active at `at`.
+    #[must_use]
+    pub fn controller_stalled(&self, at: SimTime) -> bool {
+        self.stalls.iter().any(|&(s, e)| s <= at && at < e)
+    }
+
+    /// The noise CV in force for `app` at `at`, when any.
+    #[must_use]
+    pub fn noise_cv(&self, app: AppId, at: SimTime) -> Option<f64> {
+        self.noise
+            .iter()
+            .find(|&&(s, e, scope, _)| s <= at && at < e && scope.is_none_or(|a| a == app))
+            .map(|&(_, _, _, cv)| cv)
+    }
+
+    /// Applies multiplicative lognormal distortion to a freshly scraped
+    /// window when a noise fault covers it. Latency, throughput and usage
+    /// each get an independent factor.
+    pub fn distort_window(&mut self, app: AppId, window: &mut AppWindow) {
+        let Some(cv) = self.noise_cv(app, window.at) else {
+            return;
+        };
+        let lat = sample_lognormal(&mut self.noise_rng, 1.0, cv);
+        let thr = sample_lognormal(&mut self.noise_rng, 1.0, cv);
+        let usage = sample_lognormal(&mut self.noise_rng, 1.0, cv);
+        if let Some(p) = window.p99_ms.as_mut() {
+            *p *= lat;
+        }
+        if let Some(m) = window.mean_ms.as_mut() {
+            *m *= lat;
+        }
+        window.throughput_rps *= thr;
+        window.usage = window.usage * usage;
+    }
+}
+
+/// Poisson arrival times over `[0, horizon)` at `per_hour` events/hour.
+fn poisson_arrivals(rng: &mut ChaCha8Rng, per_hour: f64, horizon: SimDuration) -> Vec<SimTime> {
+    let mut out = Vec::new();
+    if per_hour <= 0.0 {
+        return out;
+    }
+    let rate = per_hour / 3600.0;
+    let mut t = 0.0;
+    loop {
+        t += sample_exponential(rng, rate);
+        if t >= horizon.as_secs_f64() {
+            return out;
+        }
+        out.push(SimTime::ZERO + SimDuration::from_secs_f64(t));
+    }
+}
+
+fn exp_duration(rng: &mut ChaCha8Rng, mean: SimDuration) -> SimDuration {
+    let mean_s = mean.as_secs_f64().max(1e-9);
+    SimDuration::from_secs_f64(sample_exponential(rng, 1.0 / mean_s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app(id: u32) -> AppId {
+        AppId::new(id)
+    }
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        let inj = FaultInjector::new(&plan, 1, SimDuration::from_mins(10), 4);
+        assert!(inj.crash_schedule().is_empty());
+        assert!(inj.scrape_available(app(0), SimTime::from_secs(100)));
+        assert!(!inj.controller_stalled(SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn scheduled_intervals_are_half_open() {
+        let plan = FaultPlan::new()
+            .with_scrape_blackout(SimTime::from_secs(100), SimDuration::from_secs(50))
+            .with_control_stall(SimTime::from_secs(200), SimDuration::from_secs(10));
+        assert!(!plan.is_empty());
+        let inj = FaultInjector::new(&plan, 1, SimDuration::from_mins(10), 4);
+        assert!(inj.scrape_available(app(0), SimTime::from_secs(99)));
+        assert!(!inj.scrape_available(app(0), SimTime::from_secs(100)));
+        assert!(!inj.scrape_available(app(0), SimTime::from_secs(149)));
+        assert!(inj.scrape_available(app(0), SimTime::from_secs(150)));
+        assert!(!inj.controller_stalled(SimTime::from_secs(199)));
+        assert!(inj.controller_stalled(SimTime::from_secs(205)));
+        assert!(!inj.controller_stalled(SimTime::from_secs(210)));
+    }
+
+    #[test]
+    fn app_scoped_blackout_spares_other_apps() {
+        let plan = FaultPlan::new().with_app_blackout(
+            app(1),
+            SimTime::from_secs(10),
+            SimDuration::from_secs(10),
+        );
+        let inj = FaultInjector::new(&plan, 1, SimDuration::from_mins(1), 2);
+        assert!(!inj.scrape_available(app(1), SimTime::from_secs(15)));
+        assert!(inj.scrape_available(app(0), SimTime::from_secs(15)));
+    }
+
+    #[test]
+    fn stochastic_realization_is_seed_deterministic() {
+        let plan = FaultPlan::new().with_stochastic(StochasticFaults {
+            node_crashes_per_hour: 30.0,
+            blackouts_per_hour: 20.0,
+            stalls_per_hour: 10.0,
+            ..Default::default()
+        });
+        assert!(!plan.is_empty());
+        let horizon = SimDuration::from_mins(60);
+        let a = FaultInjector::new(&plan, 7, horizon, 4);
+        let b = FaultInjector::new(&plan, 7, horizon, 4);
+        assert_eq!(a.crash_schedule(), b.crash_schedule());
+        assert_eq!(a.blackouts, b.blackouts);
+        assert_eq!(a.stalls, b.stalls);
+        assert!(!a.crash_schedule().is_empty(), "expected crashes at 30/h over 1h");
+        // A different seed realizes a different timeline.
+        let c = FaultInjector::new(&plan, 8, horizon, 4);
+        assert_ne!(a.crash_schedule(), c.crash_schedule());
+        // Crashes target valid nodes and recover after the fail time.
+        for &(node, at, recover) in a.crash_schedule() {
+            assert!(node.as_usize() < 4);
+            assert!(recover.expect("stochastic crashes recover") > at);
+        }
+    }
+
+    #[test]
+    fn noise_distorts_windows_inside_interval_only() {
+        let plan = FaultPlan::new().with_metric_noise(
+            SimTime::from_secs(50),
+            SimDuration::from_secs(50),
+            0.5,
+        );
+        let mut inj = FaultInjector::new(&plan, 3, SimDuration::from_mins(5), 2);
+        let base = AppWindow {
+            at: SimTime::from_secs(60),
+            duration: SimDuration::from_secs(10),
+            arrivals: 100,
+            completions: 100,
+            timeouts: 0,
+            oom_kills: 0,
+            p99_ms: Some(80.0),
+            mean_ms: Some(40.0),
+            throughput_rps: 10.0,
+            usage: evolve_types::ResourceVec::splat(100.0),
+            alloc: evolve_types::ResourceVec::ZERO,
+            alloc_per_replica: evolve_types::ResourceVec::ZERO,
+            running_replicas: 2,
+            pending_replicas: 0,
+            progress: None,
+            projected_makespan_s: None,
+        };
+        let mut noisy = base.clone();
+        inj.distort_window(app(0), &mut noisy);
+        assert_ne!(noisy.p99_ms, base.p99_ms);
+        assert!(noisy.p99_ms.unwrap() > 0.0);
+        let mut outside = AppWindow { at: SimTime::from_secs(150), ..base.clone() };
+        let before = outside.clone();
+        inj.distort_window(app(0), &mut outside);
+        assert_eq!(outside, before);
+    }
+}

@@ -39,6 +39,7 @@
 
 mod cluster;
 mod engine;
+mod faults;
 mod node;
 mod observe;
 mod perf;
@@ -46,6 +47,7 @@ mod pod;
 
 pub use cluster::{ClusterConfig, ClusterState, NodeShape};
 pub use engine::{Simulation, SimulationConfig};
+pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultPlan, StochasticFaults};
 pub use node::Node;
 pub use observe::{AppKind, AppStatus, AppWindow, ClusterSnapshot, JobOutcome};
 pub use perf::{DrainOutcome, PerfConfig, ReplicaServer};
