@@ -9,7 +9,7 @@
 //! EVOLVE_SMOKE=1 … # short horizon for CI smoke runs
 //! ```
 
-use evolve_bench::{cli_seed_count, output_dir, seed_list};
+use evolve_bench::{cli_seed_count, output_dir, seed_list, smoke_mode};
 use evolve_core::{write_csv, Harness, ManagerKind, RunConfig};
 use evolve_sim::FaultPlan;
 use evolve_types::{NodeId, SimDuration, SimTime};
@@ -17,7 +17,7 @@ use evolve_workload::Scenario;
 
 fn main() {
     let seeds = seed_list(cli_seed_count(5));
-    let smoke = std::env::var("EVOLVE_SMOKE").is_ok();
+    let smoke = smoke_mode();
     let (horizon, crash_at, downtime) =
         if smoke { (360u64, 120u64, 90u64) } else { (720u64, 240u64, 120u64) };
     let faults = FaultPlan::new().with_node_crash(

@@ -10,7 +10,7 @@
 //! EVOLVE_SMOKE=1 … # short horizon for CI smoke runs
 //! ```
 
-use evolve_bench::{cli_seed_count, output_dir, replicated_settling, seed_list};
+use evolve_bench::{cli_seed_count, output_dir, replicated_settling, seed_list, smoke_mode};
 use evolve_core::{write_csv, Harness, ManagerKind, ReplicatedOutcome, RunConfig, Summary, Table};
 use evolve_sim::FaultPlan;
 use evolve_types::{NodeId, SimDuration, SimTime};
@@ -45,7 +45,7 @@ fn violations_during(rep: &ReplicatedOutcome, from: u64, to: u64, target_ms: f64
 
 fn main() {
     let seeds = seed_list(cli_seed_count(5));
-    let smoke = std::env::var("EVOLVE_SMOKE").is_ok();
+    let smoke = smoke_mode();
     let (horizon, fault_at) = if smoke { (360u64, 120u64) } else { (900u64, 300u64) };
     let target_ms = 100.0;
     let cases = [

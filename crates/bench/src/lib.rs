@@ -39,6 +39,22 @@ pub fn seed_list(count: usize) -> Vec<u64> {
     (0..count as u64).map(|i| BASE_SEED + i).collect()
 }
 
+/// Whether the `EVOLVE_SMOKE` environment variable requests a shortened
+/// CI smoke run. The *value* matters, not mere presence: `0`, `false`,
+/// `off`, `no` and the empty string disable smoke mode, anything else
+/// enables it (checking only `is_ok()` made `EVOLVE_SMOKE=0` enable
+/// smoke mode — exactly backwards).
+#[must_use]
+pub fn smoke_mode() -> bool {
+    match std::env::var("EVOLVE_SMOKE") {
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            !(v.is_empty() || v == "0" || v == "false" || v == "off" || v == "no")
+        }
+        Err(_) => false,
+    }
+}
+
 /// Settling analysis of a latency series after a disturbance.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Settling {

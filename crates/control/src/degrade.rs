@@ -16,7 +16,8 @@
 //!   preventing a step change from whatever the PID accumulated against
 //!   post-blackout measurements.
 
-use evolve_types::ResourceVec;
+use evolve_types::codec::{Codec, Decoder, Encoder};
+use evolve_types::{ResourceVec, Result};
 
 /// Tunables for [`DegradationGuard`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,7 +39,7 @@ impl Default for DegradationConfig {
 }
 
 /// Hold-last-safe / watchdog / slew-limited re-engagement state machine.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DegradationGuard {
     config: DegradationConfig,
     dark_ticks: u32,
@@ -99,6 +100,52 @@ impl DegradationGuard {
         };
         self.held = Some(out);
         out
+    }
+
+    /// Seeds the guard after a controller restart: `held` becomes the
+    /// observed current allocation and the full re-engagement window is
+    /// armed, so the **first** post-restart [`on_signal`](Self::on_signal)
+    /// is already slew-limited to `held · (1 ± max_step)`. (The normal
+    /// path only arms re-engagement on a dark→fresh transition, which a
+    /// freshly-constructed guard never sees.)
+    pub fn seed_recovery(&mut self, held: ResourceVec) {
+        self.held = Some(held);
+        self.reengage_left = self.config.reengage_ticks;
+        self.dark_ticks = 0;
+    }
+}
+
+impl Codec for DegradationConfig {
+    fn encode(&self, enc: &mut Encoder) {
+        self.watchdog_ticks.encode(enc);
+        self.max_step.encode(enc);
+        self.reengage_ticks.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(DegradationConfig {
+            watchdog_ticks: u32::decode(dec)?,
+            max_step: f64::decode(dec)?,
+            reengage_ticks: u32::decode(dec)?,
+        })
+    }
+}
+
+impl Codec for DegradationGuard {
+    fn encode(&self, enc: &mut Encoder) {
+        self.config.encode(enc);
+        self.dark_ticks.encode(enc);
+        self.reengage_left.encode(enc);
+        self.held.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(DegradationGuard {
+            config: DegradationConfig::decode(dec)?,
+            dark_ticks: u32::decode(dec)?,
+            reengage_left: u32::decode(dec)?,
+            held: Option::<ResourceVec>::decode(dec)?,
+        })
     }
 }
 
@@ -172,6 +219,30 @@ mod tests {
         g.on_dark(&floor);
         let down = g.on_signal(ResourceVec::splat(1.0));
         assert_eq!(down, ResourceVec::splat(400.0));
+    }
+
+    #[test]
+    fn seed_recovery_clamps_the_very_first_signal() {
+        let mut g = guard();
+        g.seed_recovery(ResourceVec::splat(100.0));
+        // Without the seed a fresh guard would pass this straight through.
+        let first = g.on_signal(ResourceVec::splat(500.0));
+        assert_eq!(first, ResourceVec::splat(120.0));
+        g.seed_recovery(ResourceVec::splat(100.0));
+        let low = g.on_signal(ResourceVec::splat(1.0));
+        assert_eq!(low, ResourceVec::splat(80.0));
+    }
+
+    #[test]
+    fn guard_codec_roundtrip() {
+        let mut g = guard();
+        g.on_signal(ResourceVec::splat(100.0));
+        g.on_dark(&ResourceVec::splat(10.0));
+        let mut enc = evolve_types::Encoder::new();
+        g.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let back = DegradationGuard::decode(&mut evolve_types::Decoder::new(&bytes)).unwrap();
+        assert_eq!(g, back);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! [`SensitivityModel`] turns that into an **attribution vector** — which
 //! fraction of the PLO error each resource dimension should absorb.
 
-use evolve_types::{Resource, ResourceVec, NUM_RESOURCES};
+use evolve_types::codec::{Codec, Decoder, Encoder};
+use evolve_types::{Error, Resource, ResourceVec, Result, NUM_RESOURCES};
 use serde::{Deserialize, Serialize};
 
 /// Recursive least squares with exponential forgetting for a linear model
@@ -28,7 +29,7 @@ use serde::{Deserialize, Serialize};
 /// let pred = m.predict(&[2.0, 1.0]);
 /// assert!((pred - 7.0).abs() < 0.1);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RlsModel {
     dim: usize,
     /// Weight vector.
@@ -130,6 +131,32 @@ impl RlsModel {
     }
 }
 
+impl Codec for RlsModel {
+    fn encode(&self, enc: &mut Encoder) {
+        self.dim.encode(enc);
+        self.w.encode(enc);
+        self.p.encode(enc);
+        self.lambda.encode(enc);
+        self.updates.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let dim = usize::decode(dec)?;
+        let w = Vec::<f64>::decode(dec)?;
+        let p = Vec::<f64>::decode(dec)?;
+        let lambda = f64::decode(dec)?;
+        let updates = u64::decode(dec)?;
+        if dim == 0 || w.len() != dim || p.len() != dim * dim {
+            return Err(Error::CorruptCheckpoint(format!(
+                "rls dimension mismatch: dim {dim}, {} weights, {} covariance entries",
+                w.len(),
+                p.len()
+            )));
+        }
+        Ok(RlsModel { dim, w, p, lambda, updates })
+    }
+}
+
 /// Learns per-resource performance sensitivities and attributes control
 /// error across the four resource dimensions.
 ///
@@ -160,7 +187,7 @@ impl RlsModel {
 /// let attr = m.attribution();
 /// assert!(attr[Resource::Cpu] > 0.5);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SensitivityModel {
     /// RLS on Δerror vs Δlog-allocation (captures which knob moved the
     /// needle historically).
@@ -335,6 +362,28 @@ impl SensitivityModel {
             (1.0 - EXPLORE) * score[2] / total + EXPLORE * uniform,
             (1.0 - EXPLORE) * score[3] / total + EXPLORE * uniform,
         )
+    }
+}
+
+impl Codec for SensitivityModel {
+    fn encode(&self, enc: &mut Encoder) {
+        self.rls.encode(enc);
+        self.prev.encode(enc);
+        self.pressure.encode(enc);
+        self.serial.encode(enc);
+        self.has_serial.encode(enc);
+        self.observations.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(SensitivityModel {
+            rls: RlsModel::decode(dec)?,
+            prev: Option::<(ResourceVec, f64)>::decode(dec)?,
+            pressure: <[f64; NUM_RESOURCES]>::decode(dec)?,
+            serial: <[f64; NUM_RESOURCES]>::decode(dec)?,
+            has_serial: bool::decode(dec)?,
+            observations: u64::decode(dec)?,
+        })
     }
 }
 

@@ -20,7 +20,8 @@
 //! into vertical resizes and horizontal replica changes is the
 //! reconciler's job (in `evolve-core`).
 
-use evolve_types::{Resource, ResourceVec};
+use evolve_types::codec::{Codec, Decoder, Encoder};
+use evolve_types::{Resource, ResourceVec, Result};
 use serde::{Deserialize, Serialize};
 
 use crate::model::SensitivityModel;
@@ -187,13 +188,18 @@ pub struct ResourceDecision {
 /// let d = ctl.step(alloc, usage, 0.5, 1.0); // 50% over latency target
 /// assert!(d.target[Resource::Cpu] > alloc[Resource::Cpu]);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MultiResourceController {
     config: MultiResourceConfig,
     pids: [PidController; 4],
     tuners: [AdaptiveTuner; 4],
     model: SensitivityModel,
     steps: u64,
+    /// When set, the next [`step_with_profile`](Self::step_with_profile)
+    /// seeds every per-dimension PID for bumpless transfer against the
+    /// error it is about to integrate (see
+    /// [`arm_bumpless`](Self::arm_bumpless)).
+    bumpless_pending: bool,
 }
 
 impl MultiResourceController {
@@ -208,7 +214,19 @@ impl MultiResourceController {
             tuners: [tuner.clone(), tuner.clone(), tuner.clone(), tuner],
             model: SensitivityModel::new(),
             steps: 0,
+            bumpless_pending: false,
         }
+    }
+
+    /// Arms **bumpless transfer** for the next control period: right
+    /// before each per-dimension PID integrates its first post-restart
+    /// error, its integral accumulator is back-computed so the resulting
+    /// output is "hold the current allocation" (exactly zero adjustment
+    /// whenever the required integral fits the clamp). Used after cold
+    /// controller reconstruction, where the loop re-engages against a live
+    /// actuation it did not produce.
+    pub fn arm_bumpless(&mut self) {
+        self.bumpless_pending = true;
     }
 
     /// The configuration in force.
@@ -323,6 +341,9 @@ impl MultiResourceController {
                 let pressure = self.model.pressure()[r].clamp(0.0, 1.0);
                 error * (1.0 - pressure)
             };
+            if self.bumpless_pending {
+                self.pids[i].seed_bumpless(e_r, dt_secs);
+            }
             let u = self.pids[i].step(e_r, dt_secs);
             if cfg.adaptive {
                 self.tuners[i].observe_and_adapt(e_r, &mut self.pids[i]);
@@ -350,6 +371,7 @@ impl MultiResourceController {
             }
             target[r] = clamped;
         }
+        self.bumpless_pending = false;
         self.steps += 1;
         ResourceDecision {
             target,
@@ -365,6 +387,81 @@ impl MultiResourceController {
             pid.reset();
         }
         self.model = SensitivityModel::new();
+    }
+}
+
+impl Codec for MultiResourceConfig {
+    fn encode(&self, enc: &mut Encoder) {
+        self.min_alloc.encode(enc);
+        self.max_alloc.encode(enc);
+        self.gains.encode(enc);
+        self.adaptive.encode(enc);
+        self.cpu_only.encode(enc);
+        self.max_step_up.encode(enc);
+        self.max_step_down.encode(enc);
+        self.usage_floor_margin.encode(enc);
+        self.deadband_over.encode(enc);
+        self.deadband_under.encode(enc);
+        self.reclaim_pressure.encode(enc);
+        self.reclaim_serial_secs.encode(enc);
+        self.tuner.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(MultiResourceConfig {
+            min_alloc: ResourceVec::decode(dec)?,
+            max_alloc: ResourceVec::decode(dec)?,
+            gains: PidConfig::decode(dec)?,
+            adaptive: bool::decode(dec)?,
+            cpu_only: bool::decode(dec)?,
+            max_step_up: ResourceVec::decode(dec)?,
+            max_step_down: ResourceVec::decode(dec)?,
+            usage_floor_margin: ResourceVec::decode(dec)?,
+            deadband_over: f64::decode(dec)?,
+            deadband_under: f64::decode(dec)?,
+            reclaim_pressure: f64::decode(dec)?,
+            reclaim_serial_secs: f64::decode(dec)?,
+            tuner: AdaptiveTunerConfig::decode(dec)?,
+        })
+    }
+}
+
+impl Codec for MultiResourceController {
+    fn encode(&self, enc: &mut Encoder) {
+        self.config.encode(enc);
+        for pid in &self.pids {
+            pid.encode(enc);
+        }
+        for tuner in &self.tuners {
+            tuner.encode(enc);
+        }
+        self.model.encode(enc);
+        self.steps.encode(enc);
+        self.bumpless_pending.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let config = MultiResourceConfig::decode(dec)?;
+        let pids = [
+            PidController::decode(dec)?,
+            PidController::decode(dec)?,
+            PidController::decode(dec)?,
+            PidController::decode(dec)?,
+        ];
+        let tuners = [
+            AdaptiveTuner::decode(dec)?,
+            AdaptiveTuner::decode(dec)?,
+            AdaptiveTuner::decode(dec)?,
+            AdaptiveTuner::decode(dec)?,
+        ];
+        Ok(MultiResourceController {
+            config,
+            pids,
+            tuners,
+            model: SensitivityModel::decode(dec)?,
+            steps: u64::decode(dec)?,
+            bumpless_pending: bool::decode(dec)?,
+        })
     }
 }
 
@@ -518,6 +615,54 @@ mod tests {
         assert_eq!(ctl.steps(), 1);
         ctl.reset();
         assert_eq!(ctl.model().observations(), 0);
+    }
+
+    #[test]
+    fn armed_bumpless_first_step_holds_allocation_in_band() {
+        // A reconstructed controller re-engaging against a modest error
+        // must not slam the actuator: with bumpless seeding the first
+        // decision stays at the current allocation (deadband + seeded
+        // integral → zero adjustment), modulo the usage floor.
+        let mut ctl = MultiResourceController::new(cfg());
+        ctl.arm_bumpless();
+        let alloc = ResourceVec::splat(1_000.0);
+        let usage = ResourceVec::splat(300.0);
+        let d = ctl.step(alloc, usage, 0.3, 5.0);
+        for r in Resource::ALL {
+            assert!(
+                (d.target[r] - alloc[r]).abs() < 1e-9,
+                "{r} moved to {} on the seeded step",
+                d.target[r]
+            );
+        }
+        // The flag is one-shot: the next step controls normally.
+        let d2 = ctl.step(alloc, usage, 2.0, 5.0);
+        assert!(d2.target[Resource::Cpu] > alloc[Resource::Cpu]);
+    }
+
+    #[test]
+    fn controller_codec_roundtrip_resumes_identically() {
+        let mut ctl = MultiResourceController::new(cfg());
+        let mut alloc = ResourceVec::splat(100.0);
+        let usage = ResourceVec::new(80.0, 30.0, 10.0, 10.0);
+        for i in 0..25 {
+            let e = 0.5 - 0.04 * f64::from(i);
+            alloc = ctl.step_with_profile(alloc, usage, Some(12.0), e, 5.0).target;
+        }
+        let mut enc = evolve_types::Encoder::new();
+        ctl.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut back =
+            MultiResourceController::decode(&mut evolve_types::Decoder::new(&bytes)).unwrap();
+        assert_eq!(ctl, back);
+        let mut a1 = alloc;
+        let mut a2 = alloc;
+        for i in 0..10 {
+            let e = -0.1 + 0.05 * f64::from(i);
+            a1 = ctl.step_with_profile(a1, usage, Some(9.0), e, 5.0).target;
+            a2 = back.step_with_profile(a2, usage, Some(9.0), e, 5.0).target;
+            assert_eq!(a1, a2, "diverged at resumed step {i}");
+        }
     }
 
     #[test]

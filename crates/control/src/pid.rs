@@ -13,6 +13,8 @@
 //! * **output limits and slew limiting** — allocations can neither go
 //!   negative nor jump unboundedly in one control period.
 
+use evolve_types::codec::{Codec, Decoder, Encoder};
+use evolve_types::Result;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for a [`PidController`], built fluently.
@@ -159,6 +161,40 @@ impl PidConfig {
     }
 }
 
+impl Codec for PidConfig {
+    fn encode(&self, enc: &mut Encoder) {
+        for v in [
+            self.kp,
+            self.ki,
+            self.kd,
+            self.out_min,
+            self.out_max,
+            self.int_min,
+            self.int_max,
+            self.derivative_tau,
+            self.slew_limit,
+            self.integral_leak,
+        ] {
+            v.encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(PidConfig {
+            kp: f64::decode(dec)?,
+            ki: f64::decode(dec)?,
+            kd: f64::decode(dec)?,
+            out_min: f64::decode(dec)?,
+            out_max: f64::decode(dec)?,
+            int_min: f64::decode(dec)?,
+            int_max: f64::decode(dec)?,
+            derivative_tau: f64::decode(dec)?,
+            slew_limit: f64::decode(dec)?,
+            integral_leak: f64::decode(dec)?,
+        })
+    }
+}
+
 /// A discrete-time PID controller.
 ///
 /// Feed the **error** (setpoint − measurement, or whichever orientation the
@@ -174,7 +210,7 @@ impl PidConfig {
 /// let mut pid = PidController::new(PidConfig::new(2.0, 0.0, 0.0));
 /// assert_eq!(pid.step(0.5, 1.0), 1.0); // pure P: kp * e
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PidController {
     config: PidConfig,
     integral: f64,
@@ -285,6 +321,69 @@ impl PidController {
         self.prev_error = None;
         self.filtered_derivative = 0.0;
         self.prev_output = None;
+    }
+
+    /// Seeds the controller for **bumpless transfer**: given the error the
+    /// next [`step`](Self::step) call will see, back-computes the integral
+    /// accumulator so that the step's unclamped output is exactly zero
+    /// (hold the current actuation) whenever the required integral fits
+    /// inside the integral clamp. The derivative path is zeroed and the
+    /// slew reference cleared, so the step after restart neither kicks from
+    /// a phantom error jump nor inherits a stale slew anchor.
+    ///
+    /// With the integral clamp active (|kp·e/ki| beyond the clamp) the
+    /// first output is instead bounded by the output limits — callers keep
+    /// the [`DegradationGuard`](crate::DegradationGuard) slew clamp as the
+    /// hard backstop.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dt_secs` is not positive or `error` is not finite.
+    pub fn seed_bumpless(&mut self, error: f64, dt_secs: f64) {
+        assert!(dt_secs > 0.0 && dt_secs.is_finite(), "dt must be positive");
+        assert!(error.is_finite(), "error must be finite");
+        let cfg = self.config;
+        // Matching derivative state: treating `error` as also the previous
+        // error makes the next raw derivative zero, and the filtered
+        // derivative starts discharged.
+        self.prev_error = Some(error);
+        self.filtered_derivative = 0.0;
+        self.prev_output = None;
+        // The next step computes
+        //   candidate = clamp(I·leak + e·dt, int_min, int_max)
+        //   unclamped = kp·e + ki·candidate + kd·0
+        // Solve ki·candidate = -kp·e for the candidate, then invert the
+        // (un-clamped) leak update to the stored integral.
+        let desired_candidate = if cfg.ki > 0.0 {
+            (-(cfg.kp / cfg.ki) * error).clamp(cfg.int_min, cfg.int_max)
+        } else {
+            0.0
+        };
+        self.integral = if cfg.integral_leak > 0.0 {
+            (desired_candidate - error * dt_secs) / cfg.integral_leak
+        } else {
+            0.0
+        };
+    }
+}
+
+impl Codec for PidController {
+    fn encode(&self, enc: &mut Encoder) {
+        self.config.encode(enc);
+        self.integral.encode(enc);
+        self.prev_error.encode(enc);
+        self.filtered_derivative.encode(enc);
+        self.prev_output.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(PidController {
+            config: PidConfig::decode(dec)?,
+            integral: f64::decode(dec)?,
+            prev_error: Option::<f64>::decode(dec)?,
+            filtered_derivative: f64::decode(dec)?,
+            prev_output: Option::<f64>::decode(dec)?,
+        })
     }
 }
 
@@ -432,6 +531,66 @@ mod tests {
         // integral survives the retune
         assert_eq!(pid.integral(), 1.0);
         assert_eq!(pid.config().kp(), 1.0);
+    }
+
+    #[test]
+    fn bumpless_seed_first_output_is_zero() {
+        // Production gains from MultiResourceConfig.
+        let cfg = PidConfig::new(0.8, 0.15, 0.05)
+            .with_output_limits(-0.5, 1.0)
+            .with_integral_limits(-2.0, 2.0)
+            .with_derivative_tau(2.0)
+            .with_integral_leak(0.8);
+        for e in [-0.3, -0.1, 0.0, 0.05, 0.2, 0.37] {
+            let mut pid = PidController::new(cfg);
+            pid.seed_bumpless(e, 5.0);
+            let out = pid.step(e, 5.0);
+            assert!(out.abs() < 1e-12, "seeded output {out} for error {e}");
+        }
+    }
+
+    #[test]
+    fn bumpless_seed_large_error_stays_within_output_limits() {
+        let cfg = PidConfig::new(0.8, 0.15, 0.05)
+            .with_output_limits(-0.5, 1.0)
+            .with_integral_limits(-2.0, 2.0)
+            .with_integral_leak(0.8);
+        let mut pid = PidController::new(cfg);
+        pid.seed_bumpless(5.0, 5.0);
+        let out = pid.step(5.0, 5.0);
+        assert!((-0.5..=1.0).contains(&out));
+    }
+
+    #[test]
+    fn bumpless_seed_without_integral_gain() {
+        let mut pid = PidController::new(PidConfig::new(2.0, 0.0, 0.0));
+        pid.seed_bumpless(1.0, 1.0);
+        // Pure P cannot hold: output is kp·e, but derivative kick is absent.
+        assert_eq!(pid.step(1.0, 1.0), 2.0);
+        assert_eq!(pid.integral(), 0.0);
+    }
+
+    #[test]
+    fn pid_codec_roundtrip_preserves_behavior() {
+        let cfg = PidConfig::new(1.2, 0.3, 0.05)
+            .with_output_limits(-1.0, 2.0)
+            .with_derivative_tau(3.0)
+            .with_slew_limit(0.7)
+            .with_integral_leak(0.9);
+        let mut pid = PidController::new(cfg);
+        for i in 0..13 {
+            pid.step(0.1 * f64::from(i) - 0.4, 0.5);
+        }
+        let mut enc = Encoder::new();
+        pid.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut back = PidController::decode(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(pid, back);
+        // Identical future trajectory.
+        for i in 0..7 {
+            let e = 0.2 - 0.05 * f64::from(i);
+            assert_eq!(pid.step(e, 0.5).to_bits(), back.step(e, 0.5).to_bits());
+        }
     }
 
     #[test]

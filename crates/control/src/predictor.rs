@@ -8,6 +8,8 @@
 //! filter warms up.
 
 use evolve_telemetry::HoltLinear;
+use evolve_types::codec::{Codec, Decoder, Encoder};
+use evolve_types::Result;
 use serde::{Deserialize, Serialize};
 
 /// Holt-linear load forecaster with a safety margin.
@@ -100,6 +102,26 @@ impl LoadPredictor {
     #[must_use]
     pub fn trend(&self) -> f64 {
         self.holt.trend()
+    }
+}
+
+impl Codec for LoadPredictor {
+    fn encode(&self, enc: &mut Encoder) {
+        self.holt.encode(enc);
+        self.horizon_steps.encode(enc);
+        self.margin.encode(enc);
+        self.last_observation.encode(enc);
+        self.observations.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(LoadPredictor {
+            holt: HoltLinear::decode(dec)?,
+            horizon_steps: f64::decode(dec)?,
+            margin: f64::decode(dec)?,
+            last_observation: Option::<f64>::decode(dec)?,
+            observations: u64::decode(dec)?,
+        })
     }
 }
 

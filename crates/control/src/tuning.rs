@@ -15,6 +15,8 @@
 
 use std::collections::VecDeque;
 
+use evolve_types::codec::{Codec, Decoder, Encoder};
+use evolve_types::Result;
 use serde::{Deserialize, Serialize};
 
 use crate::pid::PidController;
@@ -81,7 +83,7 @@ enum Adjustment {
 /// }
 /// assert!(pid.config().kp() < 10.0);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AdaptiveTuner {
     config: AdaptiveTunerConfig,
     errors: VecDeque<f64>,
@@ -177,6 +179,50 @@ impl AdaptiveTuner {
             return Adjustment::Grew;
         }
         Adjustment::None
+    }
+}
+
+impl Codec for AdaptiveTunerConfig {
+    fn encode(&self, enc: &mut Encoder) {
+        self.window.encode(enc);
+        self.oscillation_threshold.encode(enc);
+        self.sluggish_threshold.encode(enc);
+        self.deadband.encode(enc);
+        self.shrink.encode(enc);
+        self.grow.encode(enc);
+        self.min_gain.encode(enc);
+        self.max_gain.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(AdaptiveTunerConfig {
+            window: usize::decode(dec)?,
+            oscillation_threshold: f64::decode(dec)?,
+            sluggish_threshold: f64::decode(dec)?,
+            deadband: f64::decode(dec)?,
+            shrink: f64::decode(dec)?,
+            grow: f64::decode(dec)?,
+            min_gain: f64::decode(dec)?,
+            max_gain: f64::decode(dec)?,
+        })
+    }
+}
+
+impl Codec for AdaptiveTuner {
+    fn encode(&self, enc: &mut Encoder) {
+        self.config.encode(enc);
+        self.errors.encode(enc);
+        self.adaptations.encode(enc);
+        self.cooldown.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(AdaptiveTuner {
+            config: AdaptiveTunerConfig::decode(dec)?,
+            errors: VecDeque::<f64>::decode(dec)?,
+            adaptations: u64::decode(dec)?,
+            cooldown: usize::decode(dec)?,
+        })
     }
 }
 

@@ -10,9 +10,15 @@
 //!   usage with a safety margin.
 
 use evolve_telemetry::Ewma;
-use evolve_types::{Resource, ResourceVec};
+use evolve_types::codec::{Codec, Decoder, Encoder};
+use evolve_types::{Error, Resource, ResourceVec, Result};
 
-use crate::policy::{AutoscalePolicy, PolicyDecision, PolicyInput};
+use crate::policy::{AutoscalePolicy, ObservedAppState, PolicyDecision, PolicyInput};
+
+/// Leading byte of an HPA checkpoint blob.
+const HPA_POLICY_TAG: u8 = 2;
+/// Leading byte of a VPA checkpoint blob.
+const VPA_POLICY_TAG: u8 = 3;
 
 /// Stock Kubernetes: static requests, static replicas.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -118,6 +124,48 @@ impl AutoscalePolicy for HpaPolicy {
         }
         Some(PolicyDecision { per_replica: self.per_replica, replicas: self.replicas })
     }
+
+    fn checkpoint(&self, enc: &mut Encoder) {
+        HPA_POLICY_TAG.encode(enc);
+        self.per_replica.encode(enc);
+        self.latched.encode(enc);
+        self.replicas.encode(enc);
+        self.down_cooldown.encode(enc);
+    }
+
+    fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<()> {
+        let tag = u8::decode(dec)?;
+        if tag != HPA_POLICY_TAG {
+            return Err(Error::CorruptCheckpoint(format!(
+                "policy tag {tag} is not an hpa policy blob"
+            )));
+        }
+        self.per_replica = ResourceVec::decode(dec)?;
+        self.latched = bool::decode(dec)?;
+        self.replicas = u32::decode(dec)?;
+        self.down_cooldown = u32::decode(dec)?;
+        Ok(())
+    }
+
+    fn reconstruct(&mut self, observed: &ObservedAppState) {
+        if !observed.alloc_per_replica.is_zero() {
+            self.per_replica = observed.alloc_per_replica;
+        }
+        if observed.replicas > 0 {
+            self.replicas = observed.replicas.clamp(self.min_replicas, self.max_replicas);
+        }
+        self.latched = true;
+        // Fresh stabilization window so the restarted HPA does not
+        // immediately scale in on one quiet post-restart measurement.
+        self.down_cooldown = self.cooldown_ticks;
+    }
+
+    fn reset_to_spec(&mut self) {
+        // Keep constructor defaults, skip observation: the next decision
+        // actuates the spec's initial size regardless of the cluster.
+        self.latched = true;
+        self.down_cooldown = 0;
+    }
 }
 
 /// A VPA-like vertical baseline: requests follow smoothed peak usage.
@@ -173,6 +221,42 @@ impl AutoscalePolicy for VpaPolicy {
         }
         let target = target.clamp(&self.min_alloc, &self.max_alloc);
         Some(PolicyDecision { per_replica: target, replicas: self.replicas })
+    }
+
+    fn checkpoint(&self, enc: &mut Encoder) {
+        VPA_POLICY_TAG.encode(enc);
+        for peak in &self.peak {
+            peak.encode(enc);
+        }
+        self.replicas.encode(enc);
+    }
+
+    fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<()> {
+        let tag = u8::decode(dec)?;
+        if tag != VPA_POLICY_TAG {
+            return Err(Error::CorruptCheckpoint(format!(
+                "policy tag {tag} is not a vpa policy blob"
+            )));
+        }
+        for peak in &mut self.peak {
+            *peak = Ewma::decode(dec)?;
+        }
+        self.replicas = u32::decode(dec)?;
+        Ok(())
+    }
+
+    fn reconstruct(&mut self, observed: &ObservedAppState) {
+        if observed.replicas > 0 {
+            self.replicas = observed.replicas;
+        }
+        // Seed the peak trackers from the granted allocation so the first
+        // post-restart target is near the current grant rather than the
+        // unwarmed default.
+        if !observed.alloc_per_replica.is_zero() {
+            for r in Resource::ALL {
+                self.peak[r.index()].observe(observed.alloc_per_replica[r] / (1.0 + self.margin));
+            }
+        }
     }
 }
 

@@ -1,0 +1,231 @@
+//! Controller checkpoints: the durable image of the control plane.
+//!
+//! EVOLVE's controller is stateful — PID integrals, derivative filters,
+//! RLS model weights, PLO violation ledgers, retry backoffs. A controller
+//! process crash destroys all of it, and a restarted controller that
+//! starts from scratch re-learns on live traffic (naive reset, the worst
+//! recovery). [`ControllerCheckpoint`] captures the complete mutable
+//! state of the [`ResourceManager`](crate::ResourceManager) and the
+//! scheduler's [`RequeueBackoff`] in one deterministic byte image so a
+//! restart can resume mid-thought: same decisions, bit for bit, as if the
+//! crash never happened.
+//!
+//! The image is encoded with the [`Codec`] fixed-layout binary format
+//! (the vendored `serde` is an inert stub), led by a magic number and a
+//! version byte so foreign or stale blobs are rejected with
+//! [`Error::CorruptCheckpoint`] instead of being misinterpreted.
+
+use evolve_scheduler::RequeueBackoff;
+use evolve_sim::AppWindow;
+use evolve_telemetry::PloTracker;
+use evolve_types::codec::{Codec, Decoder, Encoder};
+use evolve_types::{AppId, Error, Result, SimTime};
+
+use crate::policy::PolicyDecision;
+
+/// Magic number leading every serialized checkpoint ("EVCK").
+const CHECKPOINT_MAGIC: u32 = 0x4556_434b;
+/// Format version; bump on any layout change.
+const CHECKPOINT_VERSION: u8 = 1;
+
+/// Per-application slice of a checkpoint: the policy's opaque state blob
+/// plus the manager-side bookkeeping around it.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct AppCheckpoint {
+    /// Policy state as written by `AutoscalePolicy::checkpoint` (leads
+    /// with the policy's own magic tag).
+    pub(crate) policy_blob: Vec<u8>,
+    /// The app's PLO violation ledger.
+    pub(crate) tracker: PloTracker,
+    /// Last successfully scraped window (blackout replay source).
+    pub(crate) last_window: Option<AppWindow>,
+    /// Control seconds accumulated while scrapes were dark.
+    pub(crate) pending_dt: f64,
+    /// Consecutive actuations that reported resize failures.
+    pub(crate) failure_streak: u32,
+    /// Tick index before which an unchanged failing target is suppressed.
+    pub(crate) backoff_until: u64,
+    /// The decision last actuated.
+    pub(crate) last_decision: Option<PolicyDecision>,
+    /// Failed in-place resizes on the previous tick.
+    pub(crate) last_resize_failures: u32,
+}
+
+impl Codec for AppCheckpoint {
+    fn encode(&self, enc: &mut Encoder) {
+        self.policy_blob.encode(enc);
+        self.tracker.encode(enc);
+        self.last_window.encode(enc);
+        self.pending_dt.encode(enc);
+        self.failure_streak.encode(enc);
+        self.backoff_until.encode(enc);
+        self.last_decision.encode(enc);
+        self.last_resize_failures.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(AppCheckpoint {
+            policy_blob: Vec::<u8>::decode(dec)?,
+            tracker: PloTracker::decode(dec)?,
+            last_window: Option::<AppWindow>::decode(dec)?,
+            pending_dt: f64::decode(dec)?,
+            failure_streak: u32::decode(dec)?,
+            backoff_until: u64::decode(dec)?,
+            last_decision: Option::<PolicyDecision>::decode(dec)?,
+            last_resize_failures: u32::decode(dec)?,
+        })
+    }
+}
+
+/// A complete, self-describing image of the control plane at one instant.
+///
+/// Built by [`ResourceManager::checkpoint`](crate::ResourceManager::checkpoint)
+/// and consumed by
+/// [`ResourceManager::restore`](crate::ResourceManager::restore); the
+/// experiment runner captures one every `checkpoint_interval_ticks`
+/// control ticks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerCheckpoint {
+    /// Simulation time at which the image was captured.
+    pub at: SimTime,
+    /// Control ticks executed so far.
+    pub(crate) ticks: u64,
+    /// Cumulative failed in-place resizes.
+    pub(crate) resize_failures: u64,
+    /// Actuations skipped by the retry-backoff.
+    pub(crate) suppressed_actuations: u64,
+    /// Per-application state, sorted by [`AppId`] so the byte image of a
+    /// given control state is unique (the live map is a `HashMap`).
+    pub(crate) apps: Vec<(AppId, AppCheckpoint)>,
+    /// The scheduler's requeue-backoff ledger.
+    pub(crate) scheduler_backoff: RequeueBackoff,
+}
+
+impl ControllerCheckpoint {
+    /// Serializes the checkpoint to its canonical byte image.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        CHECKPOINT_MAGIC.encode(&mut enc);
+        CHECKPOINT_VERSION.encode(&mut enc);
+        self.at.encode(&mut enc);
+        self.ticks.encode(&mut enc);
+        self.resize_failures.encode(&mut enc);
+        self.suppressed_actuations.encode(&mut enc);
+        self.apps.encode(&mut enc);
+        self.scheduler_backoff.encode(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Deserializes a checkpoint from bytes produced by
+    /// [`ControllerCheckpoint::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CorruptCheckpoint`] when the magic number or
+    /// version does not match, the image is truncated, trailing bytes
+    /// remain, or any field fails to decode.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut dec = Decoder::new(bytes);
+        let magic = u32::decode(&mut dec)?;
+        if magic != CHECKPOINT_MAGIC {
+            return Err(Error::CorruptCheckpoint(format!(
+                "bad magic {magic:#010x}, expected {CHECKPOINT_MAGIC:#010x}"
+            )));
+        }
+        let version = u8::decode(&mut dec)?;
+        if version != CHECKPOINT_VERSION {
+            return Err(Error::CorruptCheckpoint(format!(
+                "unsupported checkpoint version {version}"
+            )));
+        }
+        let out = ControllerCheckpoint {
+            at: SimTime::decode(&mut dec)?,
+            ticks: u64::decode(&mut dec)?,
+            resize_failures: u64::decode(&mut dec)?,
+            suppressed_actuations: u64::decode(&mut dec)?,
+            apps: Vec::<(AppId, AppCheckpoint)>::decode(&mut dec)?,
+            scheduler_backoff: RequeueBackoff::decode(&mut dec)?,
+        };
+        if !dec.is_empty() {
+            return Err(Error::CorruptCheckpoint(format!(
+                "{} trailing bytes after checkpoint",
+                dec.remaining()
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Control ticks the captured manager had executed.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Applications captured in the image.
+    #[must_use]
+    pub fn app_count(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// The captured scheduler requeue-backoff ledger.
+    #[must_use]
+    pub fn scheduler_backoff(&self) -> &RequeueBackoff {
+        &self.scheduler_backoff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_checkpoint_round_trips() {
+        let ck = ControllerCheckpoint {
+            at: SimTime::from_secs(42),
+            ticks: 7,
+            resize_failures: 1,
+            suppressed_actuations: 2,
+            apps: Vec::new(),
+            scheduler_backoff: RequeueBackoff::new(),
+        };
+        let bytes = ck.to_bytes();
+        let back = ControllerCheckpoint::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back, ck);
+        assert_eq!(back.ticks(), 7);
+        assert_eq!(back.app_count(), 0);
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let ck = ControllerCheckpoint {
+            at: SimTime::ZERO,
+            ticks: 0,
+            resize_failures: 0,
+            suppressed_actuations: 0,
+            apps: Vec::new(),
+            scheduler_backoff: RequeueBackoff::new(),
+        };
+        let mut bytes = ck.to_bytes();
+        bytes[0] ^= 0xff;
+        let err = ControllerCheckpoint::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, Error::CorruptCheckpoint(_)), "{err}");
+    }
+
+    #[test]
+    fn truncation_and_trailing_garbage_are_rejected() {
+        let ck = ControllerCheckpoint {
+            at: SimTime::from_secs(1),
+            ticks: 1,
+            resize_failures: 0,
+            suppressed_actuations: 0,
+            apps: Vec::new(),
+            scheduler_backoff: RequeueBackoff::new(),
+        };
+        let bytes = ck.to_bytes();
+        assert!(ControllerCheckpoint::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(ControllerCheckpoint::from_bytes(&longer).is_err());
+    }
+}

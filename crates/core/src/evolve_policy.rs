@@ -5,10 +5,18 @@ use evolve_control::{
     DegradationGuard, LoadPredictor, MultiResourceConfig, MultiResourceController,
 };
 use evolve_telemetry::{Ewma, SlidingQuantile};
-use evolve_types::{Resource, ResourceVec};
+use evolve_types::codec::{Codec, Decoder, Encoder};
+use evolve_types::{Error, Resource, ResourceVec, Result};
 use serde::{Deserialize, Serialize};
 
-use crate::policy::{control_error_with_margin, AutoscalePolicy, PolicyDecision, PolicyInput};
+use crate::policy::{
+    control_error_with_margin, AutoscalePolicy, ObservedAppState, PolicyDecision, PolicyInput,
+};
+
+/// Leading byte of an EVOLVE policy checkpoint blob (distinguishes it
+/// from the HPA/VPA baselines when a checkpoint is restored into the
+/// wrong manager kind).
+const EVOLVE_POLICY_TAG: u8 = 1;
 
 /// Tunables of [`EvolvePolicy`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -314,6 +322,69 @@ impl AutoscalePolicy for EvolvePolicy {
             per_replica: self.guard.on_signal(decision.target),
             replicas: self.replicas,
         })
+    }
+
+    fn checkpoint(&self, enc: &mut Encoder) {
+        EVOLVE_POLICY_TAG.encode(enc);
+        self.controller.encode(enc);
+        self.predictor.encode(enc);
+        self.measured_filter.encode(enc);
+        self.rate_history.encode(enc);
+        self.replicas.encode(enc);
+        self.latched.encode(enc);
+        self.cooldown.encode(enc);
+        self.scale_actions.encode(enc);
+        self.guard.encode(enc);
+        self.last_usage_pr.encode(enc);
+    }
+
+    fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<()> {
+        let tag = u8::decode(dec)?;
+        if tag != EVOLVE_POLICY_TAG {
+            return Err(Error::CorruptCheckpoint(format!(
+                "policy tag {tag} is not an evolve policy blob"
+            )));
+        }
+        self.controller = MultiResourceController::decode(dec)?;
+        self.predictor = LoadPredictor::decode(dec)?;
+        self.measured_filter = Ewma::decode(dec)?;
+        self.rate_history = SlidingQuantile::decode(dec)?;
+        self.replicas = u32::decode(dec)?;
+        self.latched = bool::decode(dec)?;
+        self.cooldown = u32::decode(dec)?;
+        self.scale_actions = u64::decode(dec)?;
+        self.guard = DegradationGuard::decode(dec)?;
+        self.last_usage_pr = ResourceVec::decode(dec)?;
+        Ok(())
+    }
+
+    fn reconstruct(&mut self, observed: &ObservedAppState) {
+        // Level-triggered rebuild: the cluster's current replica count and
+        // granted per-replica request are the only trustworthy facts, so
+        // they become the hold-last-safe baseline. The guard slew-limits
+        // the first few outputs away from that baseline, and the armed
+        // bumpless seed makes the PID's first step reproduce the current
+        // allocation instead of jumping to an unwarmed setpoint.
+        if observed.replicas > 0 {
+            self.replicas = observed.replicas.max(self.config.min_replicas);
+        }
+        self.latched = true;
+        if !observed.alloc_per_replica.is_zero() {
+            self.guard.seed_recovery(observed.alloc_per_replica);
+            self.last_usage_pr = (observed.alloc_per_replica * 0.5).max(&self.config.min_alloc);
+        }
+        self.controller.arm_bumpless();
+    }
+
+    fn reset_to_spec(&mut self) {
+        // Naive restart: forget everything and trust the constructor
+        // defaults. Deliberately does NOT look at the cluster — `latched`
+        // is set so the first window is actuated at the spec's initial
+        // replica count, demonstrating why level-triggered reconstruction
+        // matters.
+        let fresh = EvolvePolicy::new(self.config, 1, self.is_job);
+        *self = fresh;
+        self.latched = true;
     }
 }
 

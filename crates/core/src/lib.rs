@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod baselines;
+mod checkpoint;
 mod evolve_policy;
 mod harness;
 mod manager;
@@ -41,12 +42,15 @@ mod report;
 mod runner;
 
 pub use baselines::{HpaPolicy, StaticPolicy, VpaPolicy};
+pub use checkpoint::ControllerCheckpoint;
 pub use evolve_policy::{EvolvePolicy, EvolvePolicyConfig};
 pub use harness::{Harness, ReplicatedOutcome};
 pub use manager::{ManagerKind, ResourceManager};
 pub use policy::{
-    control_error, control_error_with_margin, AutoscalePolicy, PolicyDecision, PolicyInput,
-    SignalQuality,
+    control_error, control_error_with_margin, AutoscalePolicy, ObservedAppState, PolicyDecision,
+    PolicyInput, SignalQuality,
 };
 pub use report::{write_csv, Summary, Table};
-pub use runner::{AppSummary, ExperimentRunner, RunConfig, RunOutcome, SchedulerProfile};
+pub use runner::{
+    AppSummary, ExperimentRunner, RecoveryStrategy, RunConfig, RunOutcome, SchedulerProfile,
+};

@@ -3,14 +3,19 @@
 
 use std::collections::HashMap;
 
+use evolve_scheduler::RequeueBackoff;
 use evolve_sim::{AppWindow, FaultInjector, Simulation};
 use evolve_telemetry::{PloBound, PloTracker};
-use evolve_types::{AppId, Resource, ResourceVec, SimDuration, SimTime};
+use evolve_types::codec::{Decoder, Encoder};
+use evolve_types::{AppId, Error, Resource, ResourceVec, Result, SimDuration, SimTime};
 use evolve_workload::{PloSpec, WorldClass};
 
 use crate::baselines::{HpaPolicy, StaticPolicy, VpaPolicy};
+use crate::checkpoint::{AppCheckpoint, ControllerCheckpoint};
 use crate::evolve_policy::{EvolvePolicy, EvolvePolicyConfig};
-use crate::policy::{AutoscalePolicy, PolicyDecision, PolicyInput, SignalQuality};
+use crate::policy::{
+    AutoscalePolicy, ObservedAppState, PolicyDecision, PolicyInput, SignalQuality,
+};
 
 /// Which resource-management system runs the cluster.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,6 +96,10 @@ pub struct ResourceManager {
     /// Actuations skipped by the retry-backoff (the target had just
     /// failed and had not changed).
     suppressed_actuations: u64,
+    /// Control-tick lookups that referenced an application the manager no
+    /// longer tracks (desync between simulation and control plane) — each
+    /// one was skipped instead of panicking.
+    desynced_apps: u64,
 }
 
 impl std::fmt::Debug for ResourceManager {
@@ -166,7 +175,175 @@ impl ResourceManager {
                 },
             );
         }
-        ResourceManager { kind, apps, resize_failures: 0, ticks: 0, suppressed_actuations: 0 }
+        ResourceManager {
+            kind,
+            apps,
+            resize_failures: 0,
+            ticks: 0,
+            suppressed_actuations: 0,
+            desynced_apps: 0,
+        }
+    }
+
+    /// Looks up an application's control record, returning the typed
+    /// error a desynced id produces (instead of panicking).
+    fn managed_mut(apps: &mut HashMap<AppId, ManagedApp>, app: AppId) -> Result<&mut ManagedApp> {
+        apps.get_mut(&app).ok_or(Error::UnknownApp(app))
+    }
+
+    /// Captures the complete mutable state of the control plane (plus the
+    /// scheduler's requeue-backoff ledger, which lives with the runner)
+    /// into one deterministic image. Apps are sorted by id so identical
+    /// control states always produce identical bytes.
+    #[must_use]
+    pub fn checkpoint(&self, at: SimTime, backoff: &RequeueBackoff) -> ControllerCheckpoint {
+        let mut apps: Vec<(AppId, AppCheckpoint)> = self
+            .apps
+            .iter()
+            .map(|(id, m)| {
+                let mut enc = Encoder::new();
+                m.policy.checkpoint(&mut enc);
+                (
+                    *id,
+                    AppCheckpoint {
+                        policy_blob: enc.into_bytes(),
+                        tracker: m.tracker.clone(),
+                        last_window: m.last_window.clone(),
+                        pending_dt: m.pending_dt,
+                        failure_streak: m.failure_streak,
+                        backoff_until: m.backoff_until,
+                        last_decision: m.last_decision,
+                        last_resize_failures: m.last_resize_failures,
+                    },
+                )
+            })
+            .collect();
+        apps.sort_by_key(|&(id, _)| id);
+        ControllerCheckpoint {
+            at,
+            ticks: self.ticks,
+            resize_failures: self.resize_failures,
+            suppressed_actuations: self.suppressed_actuations,
+            apps,
+            scheduler_backoff: backoff.clone(),
+        }
+    }
+
+    /// Rebuilds a manager from a checkpoint: constructs fresh policies
+    /// (static config comes from `kind` and the workload, exactly as at
+    /// boot) and then overwrites every piece of mutable state with the
+    /// captured values. A checkpoint taken at the end of tick *t* restores
+    /// a manager bit-identical to the live one entering tick *t + 1*.
+    /// Returns the manager together with the captured scheduler backoff.
+    ///
+    /// Checkpointed apps the simulation no longer knows are skipped and
+    /// counted in [`ResourceManager::desynced_apps`]; apps the simulation
+    /// gained since the capture keep their fresh boot state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CorruptCheckpoint`] when a policy blob fails to
+    /// decode (wrong policy tag, truncation, trailing bytes).
+    pub fn restore(
+        kind: ManagerKind,
+        sim: &Simulation,
+        ck: &ControllerCheckpoint,
+    ) -> Result<(Self, RequeueBackoff)> {
+        let mut mgr = ResourceManager::new(kind, sim);
+        mgr.ticks = ck.ticks;
+        mgr.resize_failures = ck.resize_failures;
+        mgr.suppressed_actuations = ck.suppressed_actuations;
+        for (id, app_ck) in &ck.apps {
+            let Some(m) = mgr.apps.get_mut(id) else {
+                mgr.desynced_apps += 1;
+                continue;
+            };
+            let mut dec = Decoder::new(&app_ck.policy_blob);
+            m.policy.restore(&mut dec)?;
+            if !dec.is_empty() {
+                return Err(Error::CorruptCheckpoint(format!(
+                    "{} trailing bytes in policy blob for {id}",
+                    dec.remaining()
+                )));
+            }
+            m.tracker = app_ck.tracker.clone();
+            m.last_window = app_ck.last_window.clone();
+            m.pending_dt = app_ck.pending_dt;
+            m.failure_streak = app_ck.failure_streak;
+            m.backoff_until = app_ck.backoff_until;
+            m.last_decision = app_ck.last_decision;
+            m.last_resize_failures = app_ck.last_resize_failures;
+        }
+        Ok((mgr, ck.scheduler_backoff.clone()))
+    }
+
+    /// What the live cluster currently says about each app: replicas that
+    /// hold resources and their mean granted request.
+    fn observe_apps(sim: &Simulation) -> HashMap<AppId, ObservedAppState> {
+        let mut acc: HashMap<AppId, (u32, ResourceVec)> = HashMap::new();
+        for pod in sim.cluster().pods() {
+            if pod.phase.holds_resources() {
+                let e = acc.entry(pod.app()).or_insert((0, ResourceVec::ZERO));
+                e.0 += 1;
+                e.1 += pod.spec.request;
+            }
+        }
+        acc.into_iter()
+            .map(|(id, (n, total))| {
+                let per = if n > 0 { total * (1.0 / f64::from(n)) } else { ResourceVec::ZERO };
+                (id, ObservedAppState { replicas: n, alloc_per_replica: per })
+            })
+            .collect()
+    }
+
+    /// Cold recovery with no usable checkpoint: boots a fresh manager and
+    /// reconstructs each policy's working state **level-triggered** from
+    /// the cluster itself — the replicas that currently hold resources and
+    /// their granted requests become the hold-last-safe baseline, the
+    /// degradation guard slew-limits re-engagement away from it, and the
+    /// PID is seeded so its first output reproduces the current actuation
+    /// (bumpless transfer) instead of jumping to an unwarmed setpoint.
+    #[must_use]
+    pub fn cold_reconstruct(kind: ManagerKind, sim: &Simulation) -> Self {
+        let mut mgr = ResourceManager::new(kind, sim);
+        let observed = Self::observe_apps(sim);
+        for (id, m) in &mut mgr.apps {
+            if let Some(obs) = observed.get(id) {
+                m.policy.reconstruct(obs);
+            }
+        }
+        mgr
+    }
+
+    /// The strawman recovery: a fresh manager whose policies actuate
+    /// their spec defaults immediately, without observing the cluster —
+    /// the restart behaviour of a controller with no recovery logic.
+    #[must_use]
+    pub fn naive_reset(kind: ManagerKind, sim: &Simulation) -> Self {
+        let mut mgr = ResourceManager::new(kind, sim);
+        for m in mgr.apps.values_mut() {
+            m.policy.reset_to_spec();
+        }
+        mgr
+    }
+
+    /// Ages a restored manager across a recovery gap longer than one
+    /// control tick (the checkpoint was stale): the dark seconds are
+    /// folded into each app's `pending_dt` so the first post-restart
+    /// window computes rates over the real elapsed time, and each policy
+    /// re-engages slew-limited from the *current* cluster state rather
+    /// than trusting measurements from before the gap.
+    pub fn age_after_gap(&mut self, sim: &Simulation, gap_secs: f64) {
+        if gap_secs <= 0.0 {
+            return;
+        }
+        let observed = Self::observe_apps(sim);
+        for (id, m) in &mut self.apps {
+            m.pending_dt += gap_secs;
+            if let Some(obs) = observed.get(id) {
+                m.policy.reconstruct(obs);
+            }
+        }
     }
 
     /// The manager's label for reports.
@@ -199,6 +376,19 @@ impl ResourceManager {
         self.suppressed_actuations
     }
 
+    /// Control-tick lookups that referenced an app the manager does not
+    /// track (skipped instead of panicking).
+    #[must_use]
+    pub fn desynced_apps(&self) -> u64 {
+        self.desynced_apps
+    }
+
+    /// Control ticks executed so far.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
     /// Runs one control tick: harvest every app's window, account PLO
     /// compliance, run the policy, actuate. Returns the harvested windows
     /// for telemetry.
@@ -229,7 +419,16 @@ impl ResourceManager {
         for status in statuses {
             let now = sim.now();
             let blocked = injector.as_ref().is_some_and(|i| !i.scrape_available(status.id, now));
-            let managed = self.apps.get_mut(&status.id).expect("registered app");
+            let managed = match Self::managed_mut(&mut self.apps, status.id) {
+                Ok(m) => m,
+                // The simulation advertises an app the manager never
+                // registered (control-plane desync). Skip it this tick
+                // rather than crashing the whole controller.
+                Err(_) => {
+                    self.desynced_apps += 1;
+                    continue;
+                }
+            };
             let (window, signal, effective_dt) = if blocked {
                 managed.pending_dt += dt_secs;
                 match managed.last_window.clone() {
@@ -292,7 +491,13 @@ impl ResourceManager {
                         }
                     };
                     self.resize_failures += u64::from(failures);
-                    let managed = self.apps.get_mut(&status.id).expect("registered app");
+                    let managed = match Self::managed_mut(&mut self.apps, status.id) {
+                        Ok(m) => m,
+                        Err(_) => {
+                            self.desynced_apps += 1;
+                            continue;
+                        }
+                    };
                     if failures > 0 {
                         managed.failure_streak += 1;
                         managed.backoff_until =

@@ -1,7 +1,8 @@
 //! The autoscaling-policy abstraction shared by EVOLVE and the baselines.
 
 use evolve_sim::{AppStatus, AppWindow};
-use evolve_types::ResourceVec;
+use evolve_types::codec::{Codec, Decoder, Encoder};
+use evolve_types::{ResourceVec, Result};
 use evolve_workload::PloSpec;
 
 /// How trustworthy this tick's window is.
@@ -53,6 +54,30 @@ pub struct PolicyDecision {
     pub replicas: u32,
 }
 
+impl Codec for PolicyDecision {
+    fn encode(&self, enc: &mut Encoder) {
+        self.per_replica.encode(enc);
+        self.replicas.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(PolicyDecision { per_replica: ResourceVec::decode(dec)?, replicas: u32::decode(dec)? })
+    }
+}
+
+/// What a restarted controller can observe about an application from the
+/// live cluster alone: how many replicas actually hold resources right
+/// now and what each one was granted. This is the level-triggered
+/// baseline a policy reconstructs from when no checkpoint survived the
+/// crash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservedAppState {
+    /// Replicas currently holding resources (running or starting).
+    pub replicas: u32,
+    /// Mean granted request per such replica.
+    pub alloc_per_replica: ResourceVec,
+}
+
 /// One autoscaling policy instance, stateful per application.
 pub trait AutoscalePolicy: Send {
     /// Policy name for reports.
@@ -61,6 +86,45 @@ pub trait AutoscalePolicy: Send {
     /// Computes the actuation for this tick; `None` leaves the
     /// application untouched.
     fn decide(&mut self, input: &PolicyInput<'_>) -> Option<PolicyDecision>;
+
+    /// Serializes the policy's mutable state into `enc`. Stateless
+    /// policies write nothing — the default is a no-op. Implementations
+    /// should lead with a one-byte magic tag so [`restore`] can reject a
+    /// blob produced by a different policy.
+    ///
+    /// [`restore`]: AutoscalePolicy::restore
+    fn checkpoint(&self, enc: &mut Encoder) {
+        let _ = enc;
+    }
+
+    /// Restores the state written by [`checkpoint`]. The default accepts
+    /// the empty blob stateless policies produce.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`evolve_types::Error::CorruptCheckpoint`] when the blob is
+    /// truncated, carries another policy's magic tag, or is otherwise
+    /// malformed.
+    ///
+    /// [`checkpoint`]: AutoscalePolicy::checkpoint
+    fn restore(&mut self, dec: &mut Decoder<'_>) -> Result<()> {
+        let _ = dec;
+        Ok(())
+    }
+
+    /// Rebuilds working state from the observed cluster after a crash
+    /// with no usable checkpoint (cold reconstruction). Implementations
+    /// should adopt `observed` as their hold-last-safe baseline so the
+    /// first post-restart decision does not jerk the allocation. The
+    /// default is a no-op (stateless policies need no reconstruction).
+    fn reconstruct(&mut self, observed: &ObservedAppState) {
+        let _ = observed;
+    }
+
+    /// Discards all learned state and returns to the constructor
+    /// defaults, ignoring both checkpoint and cluster (the naive-reset
+    /// recovery baseline). The default is a no-op.
+    fn reset_to_spec(&mut self) {}
 }
 
 /// The signed relative PLO error, oriented so **positive means

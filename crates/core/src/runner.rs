@@ -33,6 +33,39 @@ impl SchedulerProfile {
     }
 }
 
+/// How the control plane comes back after a
+/// [`FaultKind::ControllerCrash`](evolve_sim::FaultKind::ControllerCrash)
+/// destroys the in-memory manager mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryStrategy {
+    /// Load the most recent [`ControllerCheckpoint`](crate::ControllerCheckpoint)
+    /// and resume; with per-tick checkpoints the resumed run is
+    /// bit-identical to an uninterrupted one. Falls back to
+    /// [`RecoveryStrategy::ColdReconstruct`] when no checkpoint exists or
+    /// it fails to decode.
+    #[default]
+    Restore,
+    /// Rebuild level-triggered from the live cluster: current replicas
+    /// and granted requests become the hold-last-safe baseline, the PID
+    /// re-engages bumplessly and slew-limited.
+    ColdReconstruct,
+    /// Fresh controller with spec defaults and no observation — the
+    /// strawman a controller without recovery logic implements.
+    NaiveReset,
+}
+
+impl RecoveryStrategy {
+    /// A short label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryStrategy::Restore => "restore",
+            RecoveryStrategy::ColdReconstruct => "cold-reconstruct",
+            RecoveryStrategy::NaiveReset => "naive-reset",
+        }
+    }
+}
+
 /// Full configuration of one experiment run.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -54,6 +87,11 @@ pub struct RunConfig {
     pub record_series: bool,
     /// Faults injected during the run (empty by default).
     pub faults: FaultPlan,
+    /// How the control plane recovers from a controller crash.
+    pub recovery: RecoveryStrategy,
+    /// Control ticks between controller checkpoints (only captured while
+    /// a controller crash is armed and `recovery` is `Restore`).
+    pub checkpoint_interval_ticks: u32,
 }
 
 impl RunConfig {
@@ -76,6 +114,8 @@ impl RunConfig {
             seed: 42,
             record_series: true,
             faults: FaultPlan::new(),
+            recovery: RecoveryStrategy::default(),
+            checkpoint_interval_ticks: 1,
         }
     }
 
@@ -116,6 +156,25 @@ impl RunConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Selects the controller crash-recovery strategy.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryStrategy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Overrides the checkpoint cadence (control ticks between captures).
+    ///
+    /// # Panics
+    ///
+    /// Panics when zero.
+    #[must_use]
+    pub fn with_checkpoint_interval(mut self, ticks: u32) -> Self {
+        assert!(ticks > 0, "checkpoint interval must be at least one tick");
+        self.checkpoint_interval_ticks = ticks;
         self
     }
 }
@@ -187,6 +246,11 @@ pub struct RunOutcome {
     pub end_time: SimTime,
     /// Engine events processed (simulator throughput accounting).
     pub events: u64,
+    /// Controller restarts performed after injected controller crashes.
+    pub controller_restarts: u64,
+    /// App lookups that hit a desynced (unregistered) application and
+    /// were skipped instead of panicking.
+    pub desynced_apps: u64,
 }
 
 impl RunOutcome {
@@ -332,6 +396,21 @@ impl ExperimentRunner {
         let mut backoff = RequeueBackoff::new();
         Self::schedule_pass(&scheduler, &mut backoff, &mut sim, &mut preemptions, &mut bindings);
 
+        // Crash recovery: checkpoints are captured only while a controller
+        // crash is actually armed and the strategy will consume them.
+        let crash_armed =
+            injector.as_ref().is_some_and(|i| !i.controller_crash_schedule().is_empty());
+        let capture_checkpoints = crash_armed && cfg.recovery == RecoveryStrategy::Restore;
+        let mut checkpoint = if capture_checkpoints {
+            Some(manager.checkpoint(SimTime::ZERO, &backoff))
+        } else {
+            None
+        };
+        let checkpoint_every = u64::from(cfg.checkpoint_interval_ticks.max(1));
+        let mut live_ticks = 0u64;
+        let mut last_crash_check = SimTime::ZERO;
+        let mut controller_restarts = 0u64;
+
         let mut window_start = SimTime::ZERO;
         let mut carried_secs = 0.0;
         while window_start < horizon {
@@ -351,6 +430,54 @@ impl ExperimentRunner {
             }
             let window_secs = (tick_end - window_start).as_secs_f64() + carried_secs;
             carried_secs = 0.0;
+            // Controller crash: the in-memory manager (and the scheduler's
+            // requeue ledger, which lives in the same process) is
+            // destroyed; rebuild it per the configured strategy before
+            // this tick's decisions. The check interval is half-open
+            // (last check, tick end] and the cursor does not advance
+            // through stalled ticks, so every crash is handled exactly
+            // once at the first live tick after it.
+            if crash_armed
+                && injector
+                    .as_ref()
+                    .is_some_and(|i| i.controller_crashed_in(last_crash_check, tick_end))
+            {
+                controller_restarts += 1;
+                let restored = match cfg.recovery {
+                    RecoveryStrategy::Restore => checkpoint.as_ref().and_then(|ck| {
+                        ResourceManager::restore(cfg.manager.clone(), &sim, ck)
+                            .ok()
+                            .map(|mb| (mb, ck.at))
+                    }),
+                    _ => None,
+                };
+                match (cfg.recovery, restored) {
+                    (RecoveryStrategy::Restore, Some(((m, b), ck_at))) => {
+                        manager = m;
+                        backoff = b;
+                        // With per-tick checkpoints the image is exactly
+                        // one window old and the resumed run is
+                        // bit-identical; a staler image leaves a gap the
+                        // manager must age across (rates over real
+                        // elapsed time, slew-limited re-engagement).
+                        let gap_extra = (tick_end - ck_at).as_secs_f64() - window_secs;
+                        if gap_extra > 1e-9 {
+                            manager.age_after_gap(&sim, gap_extra);
+                        }
+                    }
+                    // Restore with no (or corrupt) checkpoint degrades to
+                    // cold reconstruction rather than naive reset.
+                    (RecoveryStrategy::Restore | RecoveryStrategy::ColdReconstruct, _) => {
+                        manager = ResourceManager::cold_reconstruct(cfg.manager.clone(), &sim);
+                        backoff = RequeueBackoff::new();
+                    }
+                    (RecoveryStrategy::NaiveReset, _) => {
+                        manager = ResourceManager::naive_reset(cfg.manager.clone(), &sim);
+                        backoff = RequeueBackoff::new();
+                    }
+                }
+            }
+            last_crash_check = tick_end;
             let windows = manager.tick_with_faults(&mut sim, window_secs, injector.as_mut());
             Self::schedule_pass(
                 &scheduler,
@@ -406,6 +533,10 @@ impl ExperimentRunner {
                     registry.record(&keys.timeouts, t, w.timeouts as f64);
                 }
             }
+            live_ticks += 1;
+            if capture_checkpoints && live_ticks.is_multiple_of(checkpoint_every) {
+                checkpoint = Some(manager.checkpoint(tick_end, &backoff));
+            }
             window_start = tick_end;
         }
         let utilization = util.finish(sim.now());
@@ -414,17 +545,27 @@ impl ExperimentRunner {
         // the trackers plus a final window harvest.
         let statuses: Vec<evolve_sim::AppStatus> = sim.apps().to_vec();
         let mut apps = Vec::with_capacity(statuses.len());
+        let mut desynced_summaries = 0u64;
         for status in &statuses {
-            let tracker = manager.tracker(status.id).expect("registered");
             let (completions, timeouts, oom_kills) =
                 totals.get(&status.id).copied().unwrap_or((0, 0, 0));
+            // A desynced app (unknown to the restarted manager) still gets
+            // a summary from the lifetime counters; its PLO ledger is
+            // simply empty rather than the whole report panicking.
+            let (windows, violations, mean_severity) = match manager.tracker(status.id) {
+                Some(t) => (t.windows(), t.violations(), t.mean_severity()),
+                None => {
+                    desynced_summaries += 1;
+                    (0, 0, 0.0)
+                }
+            };
             apps.push(AppSummary {
                 app: status.id,
                 name: status.name.clone(),
                 world: status.world,
-                windows: tracker.windows(),
-                violations: tracker.violations(),
-                mean_severity: tracker.mean_severity(),
+                windows,
+                violations,
+                mean_severity,
                 completions,
                 timeouts,
                 oom_kills,
@@ -445,6 +586,8 @@ impl ExperimentRunner {
             horizon: cfg.scenario.horizon,
             end_time: sim.now(),
             events: sim.events_processed(),
+            controller_restarts,
+            desynced_apps: manager.desynced_apps() + desynced_summaries,
         }
     }
 

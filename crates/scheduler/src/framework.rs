@@ -4,7 +4,8 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use evolve_sim::{ClusterState, Pod, PodKind, PodSpec};
-use evolve_types::{JobId, NodeId, PodId, ResourceVec};
+use evolve_types::codec::{Codec, Decoder, Encoder};
+use evolve_types::{JobId, NodeId, PodId, ResourceVec, Result};
 
 use crate::plugins::{
     BalancedAllocation, FilterPlugin, LeastAllocated, MostAllocated, NodeFits, NodeView,
@@ -34,7 +35,7 @@ pub struct SchedulePlan {
 /// any backed-off member is deferred as a unit without accruing further
 /// penalty. State is pruned to the currently-pending set each cycle, so
 /// pods that bind (or die) are forgotten automatically.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RequeueBackoff {
     cycle: u64,
     /// pod → (consecutive failures, first cycle eligible to retry).
@@ -65,6 +66,32 @@ impl RequeueBackoff {
     #[must_use]
     pub fn failures(&self, pod: PodId) -> u32 {
         self.state.get(&pod).map_or(0, |&(n, _)| n)
+    }
+}
+
+impl Codec for RequeueBackoff {
+    fn encode(&self, enc: &mut Encoder) {
+        self.cycle.encode(enc);
+        // BTreeMap iterates in key order, so the encoding is deterministic.
+        self.state.len().encode(enc);
+        for (pod, &(failures, retry_at)) in &self.state {
+            pod.encode(enc);
+            failures.encode(enc);
+            retry_at.encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let cycle = u64::decode(dec)?;
+        let len = usize::decode(dec)?;
+        let mut state = BTreeMap::new();
+        for _ in 0..len {
+            let pod = PodId::decode(dec)?;
+            let failures = u32::decode(dec)?;
+            let retry_at = u64::decode(dec)?;
+            state.insert(pod, (failures, retry_at));
+        }
+        Ok(RequeueBackoff { cycle, state })
     }
 }
 

@@ -49,6 +49,11 @@ pub enum FaultKind {
         /// How long the control plane is down.
         duration: SimDuration,
     },
+    /// The controller **process dies** and restarts: unlike a stall, all
+    /// in-memory control state (integrators, learned models, backoff
+    /// tables) is destroyed at this instant. How the restarted controller
+    /// rebuilds state is the runner's recovery strategy.
+    ControllerCrash,
 }
 
 /// A fault scheduled at an absolute time.
@@ -76,6 +81,8 @@ pub struct StochasticFaults {
     pub stalls_per_hour: f64,
     /// Mean stall length.
     pub mean_stall: SimDuration,
+    /// Controller crash–restarts per hour (state-destroying, instant).
+    pub controller_crashes_per_hour: f64,
 }
 
 impl Default for StochasticFaults {
@@ -87,6 +94,7 @@ impl Default for StochasticFaults {
             mean_blackout: SimDuration::from_secs(60),
             stalls_per_hour: 0.0,
             mean_stall: SimDuration::from_secs(30),
+            controller_crashes_per_hour: 0.0,
         }
     }
 }
@@ -113,6 +121,7 @@ impl FaultPlan {
                 s.node_crashes_per_hour > 0.0
                     || s.blackouts_per_hour > 0.0
                     || s.stalls_per_hour > 0.0
+                    || s.controller_crashes_per_hour > 0.0
             })
     }
 
@@ -153,6 +162,13 @@ impl FaultPlan {
         self.with_event(at, FaultKind::ControlStall { duration })
     }
 
+    /// Kills and restarts the controller process at `at`, destroying all
+    /// in-memory control state.
+    #[must_use]
+    pub fn with_controller_crash(self, at: SimTime) -> Self {
+        self.with_event(at, FaultKind::ControllerCrash)
+    }
+
     /// Adds a seeded-stochastic background fault process.
     #[must_use]
     pub fn with_stochastic(mut self, config: StochasticFaults) -> Self {
@@ -178,6 +194,7 @@ pub struct FaultInjector {
     blackouts: Vec<(SimTime, SimTime, Option<AppId>)>,
     noise: Vec<(SimTime, SimTime, Option<AppId>, f64)>,
     stalls: Vec<(SimTime, SimTime)>,
+    controller_crashes: Vec<SimTime>,
     noise_rng: ChaCha8Rng,
 }
 
@@ -192,6 +209,7 @@ impl FaultInjector {
             blackouts: Vec::new(),
             noise: Vec::new(),
             stalls: Vec::new(),
+            controller_crashes: Vec::new(),
             noise_rng: ChaCha8Rng::seed_from_u64(seed ^ 0x4e01_5e00),
         };
         for ev in &plan.scheduled {
@@ -218,11 +236,18 @@ impl FaultInjector {
                 let duration = exp_duration(&mut rng, sto.mean_stall);
                 inj.push(at, &FaultKind::ControlStall { duration });
             }
+            // Realized last so that adding controller crashes to a plan
+            // leaves the existing node-crash/blackout/stall timelines of
+            // the same seed untouched.
+            for at in poisson_arrivals(&mut rng, sto.controller_crashes_per_hour, horizon) {
+                inj.push(at, &FaultKind::ControllerCrash);
+            }
         }
         inj.crashes.sort_by_key(|&(node, at, _)| (at, node));
         inj.blackouts.sort_by_key(|&(s, e, _)| (s, e));
         inj.noise.sort_by_key(|&(s, e, _, _)| (s, e));
         inj.stalls.sort_unstable();
+        inj.controller_crashes.sort_unstable();
         inj
     }
 
@@ -239,6 +264,9 @@ impl FaultInjector {
             }
             FaultKind::ControlStall { duration } => {
                 self.stalls.push((at, at + duration));
+            }
+            FaultKind::ControllerCrash => {
+                self.controller_crashes.push(at);
             }
         }
     }
@@ -269,6 +297,21 @@ impl FaultInjector {
     #[must_use]
     pub fn controller_stalled(&self, at: SimTime) -> bool {
         self.stalls.iter().any(|&(s, e)| s <= at && at < e)
+    }
+
+    /// The realized controller crash times, sorted ascending.
+    #[must_use]
+    pub fn controller_crash_schedule(&self) -> &[SimTime] {
+        &self.controller_crashes
+    }
+
+    /// `true` when a controller crash falls in the half-open interval
+    /// `(from, to]`. The runner polls this once per control tick with the
+    /// previous tick's time as `from`, so every crash is observed exactly
+    /// once even when several ticks were stalled in between.
+    #[must_use]
+    pub fn controller_crashed_in(&self, from: SimTime, to: SimTime) -> bool {
+        self.controller_crashes.iter().any(|&t| from < t && t <= to)
     }
 
     /// The noise CV in force for `app` at `at`, when any.
@@ -355,6 +398,40 @@ mod tests {
         assert!(!inj.controller_stalled(SimTime::from_secs(199)));
         assert!(inj.controller_stalled(SimTime::from_secs(205)));
         assert!(!inj.controller_stalled(SimTime::from_secs(210)));
+    }
+
+    #[test]
+    fn scheduled_controller_crash_is_seen_exactly_once() {
+        let plan = FaultPlan::new().with_controller_crash(SimTime::from_secs(300));
+        assert!(!plan.is_empty());
+        let inj = FaultInjector::new(&plan, 1, SimDuration::from_mins(10), 4);
+        assert_eq!(inj.controller_crash_schedule(), &[SimTime::from_secs(300)]);
+        // Half-open (from, to]: the tick ending exactly at the crash sees it,
+        // the next tick does not see it again.
+        assert!(!inj.controller_crashed_in(SimTime::from_secs(290), SimTime::from_secs(295)));
+        assert!(inj.controller_crashed_in(SimTime::from_secs(295), SimTime::from_secs(300)));
+        assert!(!inj.controller_crashed_in(SimTime::from_secs(300), SimTime::from_secs(305)));
+    }
+
+    #[test]
+    fn stochastic_controller_crashes_are_deterministic_and_do_not_shift_other_faults() {
+        let base = FaultPlan::new()
+            .with_stochastic(StochasticFaults { stalls_per_hour: 2.0, ..Default::default() });
+        let with_cc = FaultPlan::new().with_stochastic(StochasticFaults {
+            stalls_per_hour: 2.0,
+            controller_crashes_per_hour: 3.0,
+            ..Default::default()
+        });
+        let horizon = SimDuration::from_mins(120);
+        let a = FaultInjector::new(&base, 7, horizon, 4);
+        let b = FaultInjector::new(&with_cc, 7, horizon, 4);
+        // Enabling controller crashes must not perturb the stall timeline.
+        assert_eq!(a.stalls, b.stalls);
+        assert!(a.controller_crash_schedule().is_empty());
+        assert!(!b.controller_crash_schedule().is_empty());
+        // Same seed, same realization.
+        let b2 = FaultInjector::new(&with_cc, 7, horizon, 4);
+        assert_eq!(b.controller_crash_schedule(), b2.controller_crash_schedule());
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! tail latency, measured usage, current allocation. [`ClusterSnapshot`]
 //! and [`JobOutcome`] feed the experiment reports.
 
-use evolve_types::{AppId, JobId, ResourceVec, SimDuration, SimTime};
+use evolve_types::codec::{Codec, Decoder, Encoder};
+use evolve_types::{AppId, JobId, ResourceVec, Result, SimDuration, SimTime};
 use evolve_workload::{PloSpec, WorldClass};
 use serde::{Deserialize, Serialize};
 
@@ -73,6 +74,48 @@ pub struct AppWindow {
     /// Projected total makespan in seconds, from progress so far (jobs
     /// only; `None` until progress is measurable).
     pub projected_makespan_s: Option<f64>,
+}
+
+impl Codec for AppWindow {
+    fn encode(&self, enc: &mut Encoder) {
+        self.at.encode(enc);
+        self.duration.encode(enc);
+        self.arrivals.encode(enc);
+        self.completions.encode(enc);
+        self.timeouts.encode(enc);
+        self.oom_kills.encode(enc);
+        self.p99_ms.encode(enc);
+        self.mean_ms.encode(enc);
+        self.throughput_rps.encode(enc);
+        self.usage.encode(enc);
+        self.alloc.encode(enc);
+        self.alloc_per_replica.encode(enc);
+        self.running_replicas.encode(enc);
+        self.pending_replicas.encode(enc);
+        self.progress.encode(enc);
+        self.projected_makespan_s.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(AppWindow {
+            at: SimTime::decode(dec)?,
+            duration: SimDuration::decode(dec)?,
+            arrivals: u64::decode(dec)?,
+            completions: u64::decode(dec)?,
+            timeouts: u64::decode(dec)?,
+            oom_kills: u64::decode(dec)?,
+            p99_ms: Option::<f64>::decode(dec)?,
+            mean_ms: Option::<f64>::decode(dec)?,
+            throughput_rps: f64::decode(dec)?,
+            usage: ResourceVec::decode(dec)?,
+            alloc: ResourceVec::decode(dec)?,
+            alloc_per_replica: ResourceVec::decode(dec)?,
+            running_replicas: u32::decode(dec)?,
+            pending_replicas: u32::decode(dec)?,
+            progress: Option::<f64>::decode(dec)?,
+            projected_makespan_s: Option::<f64>::decode(dec)?,
+        })
+    }
 }
 
 impl AppWindow {

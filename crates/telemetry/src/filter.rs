@@ -7,7 +7,8 @@
 
 use std::collections::VecDeque;
 
-use evolve_types::{SimDuration, SimTime};
+use evolve_types::codec::{Codec, Decoder, Encoder};
+use evolve_types::{Result, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Exponentially-weighted moving average.
@@ -66,6 +67,17 @@ impl Ewma {
     /// Discards all state.
     pub fn reset(&mut self) {
         self.state = None;
+    }
+}
+
+impl Codec for Ewma {
+    fn encode(&self, enc: &mut Encoder) {
+        self.alpha.encode(enc);
+        self.state.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(Ewma { alpha: f64::decode(dec)?, state: Option::<f64>::decode(dec)? })
     }
 }
 
@@ -140,6 +152,24 @@ impl HoltLinear {
     #[must_use]
     pub fn forecast(&self, steps: f64) -> f64 {
         self.level.map_or(0.0, |l| l + self.trend * steps)
+    }
+}
+
+impl Codec for HoltLinear {
+    fn encode(&self, enc: &mut Encoder) {
+        self.alpha.encode(enc);
+        self.beta.encode(enc);
+        self.level.encode(enc);
+        self.trend.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(HoltLinear {
+            alpha: f64::decode(dec)?,
+            beta: f64::decode(dec)?,
+            level: Option::<f64>::decode(dec)?,
+            trend: f64::decode(dec)?,
+        })
     }
 }
 

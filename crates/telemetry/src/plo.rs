@@ -9,7 +9,8 @@
 
 use std::collections::VecDeque;
 
-use evolve_types::SimTime;
+use evolve_types::codec::{Codec, Decoder, Encoder};
+use evolve_types::{Error, Result, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Which side of the target is compliant.
@@ -48,7 +49,7 @@ pub struct PloWindow {
 /// assert_eq!(t.violations(), 1);
 /// assert!((t.violation_rate() - 0.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PloTracker {
     target: f64,
     bound: PloBound,
@@ -206,6 +207,80 @@ impl PloTracker {
             PloBound::Upper => (measured - self.target) / self.target,
             PloBound::Lower => (self.target - measured) / self.target,
         }
+    }
+}
+
+impl Codec for PloBound {
+    fn encode(&self, enc: &mut Encoder) {
+        let tag: u8 = match self {
+            PloBound::Upper => 0,
+            PloBound::Lower => 1,
+        };
+        tag.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        match u8::decode(dec)? {
+            0 => Ok(PloBound::Upper),
+            1 => Ok(PloBound::Lower),
+            other => Err(Error::CorruptCheckpoint(format!("invalid plo bound tag {other}"))),
+        }
+    }
+}
+
+impl Codec for PloWindow {
+    fn encode(&self, enc: &mut Encoder) {
+        self.at.encode(enc);
+        self.measured.encode(enc);
+        self.violated.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(PloWindow {
+            at: SimTime::decode(dec)?,
+            measured: f64::decode(dec)?,
+            violated: bool::decode(dec)?,
+        })
+    }
+}
+
+impl Codec for PloTracker {
+    fn encode(&self, enc: &mut Encoder) {
+        self.target.encode(enc);
+        self.bound.encode(enc);
+        self.windows.encode(enc);
+        self.violations.encode(enc);
+        self.severity_sum.encode(enc);
+        self.worst_severity.encode(enc);
+        self.history.encode(enc);
+        self.history_cap.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let target = f64::decode(dec)?;
+        let bound = PloBound::decode(dec)?;
+        let windows = u64::decode(dec)?;
+        let violations = u64::decode(dec)?;
+        let severity_sum = f64::decode(dec)?;
+        let worst_severity = f64::decode(dec)?;
+        let history = VecDeque::<PloWindow>::decode(dec)?;
+        let history_cap = usize::decode(dec)?;
+        if !(target.is_finite() && target > 0.0) {
+            return Err(Error::CorruptCheckpoint("plo target must be positive".into()));
+        }
+        if history_cap == 0 {
+            return Err(Error::CorruptCheckpoint("plo history capacity must be positive".into()));
+        }
+        Ok(PloTracker {
+            target,
+            bound,
+            windows,
+            violations,
+            severity_sum,
+            worst_severity,
+            history,
+            history_cap,
+        })
     }
 }
 

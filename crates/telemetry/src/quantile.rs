@@ -9,6 +9,8 @@
 
 use std::collections::VecDeque;
 
+use evolve_types::codec::{Codec, Decoder, Encoder};
+use evolve_types::{Error, Result};
 use serde::{Deserialize, Serialize};
 
 /// O(1)-memory streaming quantile estimator (the P² algorithm).
@@ -259,6 +261,36 @@ impl SlidingQuantile {
         self.window.clear();
         self.sorted.clear();
         self.sorted_valid = false;
+    }
+}
+
+/// Equality over the logical state (window contents and capacity); the
+/// lazily-rebuilt sorted cache is derived data and deliberately ignored.
+impl PartialEq for SlidingQuantile {
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity && self.window == other.window
+    }
+}
+
+impl Codec for SlidingQuantile {
+    fn encode(&self, enc: &mut Encoder) {
+        self.capacity.encode(enc);
+        self.window.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let capacity = usize::decode(dec)?;
+        if capacity == 0 {
+            return Err(Error::CorruptCheckpoint("window capacity must be positive".into()));
+        }
+        let window = VecDeque::<f64>::decode(dec)?;
+        if window.len() > capacity {
+            return Err(Error::CorruptCheckpoint(format!(
+                "window holds {} observations but capacity is {capacity}",
+                window.len()
+            )));
+        }
+        Ok(SlidingQuantile { window, capacity, sorted: Vec::new(), sorted_valid: false })
     }
 }
 

@@ -36,6 +36,9 @@ pub enum Error {
     /// An operation was attempted against an entity in the wrong state
     /// (e.g. resizing a pod that already terminated).
     InvalidState(String),
+    /// A controller checkpoint failed to decode (truncated, wrong magic,
+    /// unsupported version, or malformed field encoding).
+    CorruptCheckpoint(String),
 }
 
 impl fmt::Display for Error {
@@ -49,6 +52,7 @@ impl fmt::Display for Error {
             }
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Error::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+            Error::CorruptCheckpoint(msg) => write!(f, "corrupt checkpoint: {msg}"),
         }
     }
 }
@@ -74,6 +78,7 @@ mod tests {
             Error::InvalidConfig("bad gain".into()).to_string(),
             Error::InvalidState("pod terminated".into()).to_string(),
             Error::InsufficientCapacity { node: NodeId::new(3), detail: "cpu".into() }.to_string(),
+            Error::CorruptCheckpoint("short read".into()).to_string(),
         ];
         for msg in cases {
             assert!(!msg.is_empty());

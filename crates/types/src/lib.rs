@@ -30,11 +30,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 mod error;
 mod ids;
 mod resources;
 mod time;
 
+pub use codec::{Codec, Decoder, Encoder};
 pub use error::Error;
 pub use ids::{AppId, JobId, NodeId, PodId};
 pub use resources::{Resource, ResourceVec, NUM_RESOURCES};

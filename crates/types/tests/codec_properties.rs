@@ -1,0 +1,83 @@
+//! Property-based round-trip tests for the deterministic checkpoint
+//! codec: any encodable value must decode back bit-identically, and the
+//! byte image of a value must be unique (equal values ⇒ equal bytes).
+
+use evolve_types::{Codec, Decoder, Encoder, ResourceVec, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn round_trip<T: Codec + PartialEq + std::fmt::Debug>(value: &T) -> T {
+    let mut enc = Encoder::new();
+    value.encode(&mut enc);
+    let bytes = enc.into_bytes();
+    let mut dec = Decoder::new(&bytes);
+    let back = T::decode(&mut dec).expect("decode");
+    assert!(dec.is_empty(), "trailing bytes after decode");
+    back
+}
+
+fn arb_vec() -> impl Strategy<Value = ResourceVec> {
+    (0.0..1e9f64, 0.0..1e9f64, 0.0..1e9f64, 0.0..1e9f64)
+        .prop_map(|(c, m, d, n)| ResourceVec::new(c, m, d, n))
+}
+
+proptest! {
+    #[test]
+    fn resource_vec_round_trips(v in arb_vec()) {
+        let back = round_trip(&v);
+        // Bit-exact, not approximate: checkpoints must resume the exact
+        // control trajectory.
+        for r in evolve_types::Resource::ALL {
+            prop_assert_eq!(v[r].to_bits(), back[r].to_bits());
+        }
+    }
+
+    #[test]
+    fn sim_time_round_trips(micros in 0u64..u64::MAX / 2) {
+        let t = SimTime::from_micros(micros);
+        prop_assert_eq!(round_trip(&t), t);
+    }
+
+    #[test]
+    fn sim_duration_round_trips(micros in 0u64..u64::MAX / 2) {
+        let d = SimDuration::from_micros(micros);
+        prop_assert_eq!(round_trip(&d), d);
+    }
+
+    #[test]
+    fn f64_round_trips_bit_exactly(bits in any::<u64>()) {
+        // Includes NaN payloads, infinities and subnormals.
+        let v = f64::from_bits(bits);
+        let back = round_trip(&v);
+        prop_assert_eq!(back.to_bits(), bits);
+    }
+
+    #[test]
+    fn vectors_and_options_round_trip(
+        values in prop::collection::vec(0u64..u64::MAX, 0..20),
+        flag in any::<bool>(),
+    ) {
+        prop_assert_eq!(round_trip(&values.clone()), values.clone());
+        let opt = if flag { Some(values.len() as u64) } else { None };
+        prop_assert_eq!(round_trip(&opt), opt);
+    }
+
+    #[test]
+    fn equal_values_encode_identically(v in arb_vec()) {
+        let mut a = Encoder::new();
+        v.encode(&mut a);
+        let mut b = Encoder::new();
+        v.encode(&mut b);
+        prop_assert_eq!(a.into_bytes(), b.into_bytes());
+    }
+
+    #[test]
+    fn truncated_images_error_not_panic(v in arb_vec(), cut in 0usize..32) {
+        let mut enc = Encoder::new();
+        v.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        if cut < bytes.len() {
+            let mut dec = Decoder::new(&bytes[..cut]);
+            prop_assert!(ResourceVec::decode(&mut dec).is_err());
+        }
+    }
+}
