@@ -1,0 +1,198 @@
+//! **Hot-path micro-benchmarks** — the four inner loops that dominate the
+//! simulator's profile, benchmarked in isolation so a regression in any
+//! one of them is attributable before it shows up in the macro number
+//! (`perf_macro`, which feeds BENCH.json):
+//!
+//! * `replica/*` — the processor-sharing drain ([`ReplicaServer::advance`])
+//!   at several concurrency levels, the O(1) idle fast path, and the
+//!   memoized `next_event` query.
+//! * `quantile/*` — [`SlidingQuantile`] ingest and the incremental
+//!   sorted-window percentile read.
+//! * `registry/*` — [`MetricRegistry::record`] by name vs. the interned
+//!   [`MetricRegistry::record_id`] fast path.
+//! * `scheduler/*` — one full `schedule_cycle` on a mid-size cluster.
+//!
+//! ```text
+//! cargo bench -p evolve-bench --bench perf
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evolve_scheduler::SchedulerFramework;
+use evolve_sim::{
+    ClusterConfig, ClusterState, NodeShape, PerfConfig, PodKind, PodSpec, ReplicaServer,
+};
+use evolve_telemetry::{MetricRegistry, SlidingQuantile};
+use evolve_types::{AppId, ResourceVec, SimTime};
+use std::hint::black_box;
+
+/// Deterministic pseudo-random stream without pulling in an RNG crate —
+/// benchmark inputs only need to be fixed and non-degenerate.
+fn lcg_stream(n: usize) -> Vec<f64> {
+    let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Map the top bits to a latency-like range [1, 500) ms.
+            1.0 + (state >> 11) as f64 / (1u64 << 53) as f64 * 499.0
+        })
+        .collect()
+}
+
+fn loaded_replica(inflight: usize) -> ReplicaServer {
+    let alloc = ResourceVec::new(4_000.0, 8_192.0, 200.0, 200.0);
+    let mut r = ReplicaServer::new(alloc, 64.0, PerfConfig::default(), SimTime::ZERO);
+    for i in 0..inflight {
+        // Staggered demands so completions spread over many drain steps.
+        let cpu = 50.0 + 13.0 * i as f64;
+        r.admit(
+            i as u64,
+            SimTime::ZERO,
+            SimTime::from_secs(600),
+            ResourceVec::new(cpu, 8.0, 0.5, 0.5),
+        );
+    }
+    r
+}
+
+fn bench_replica(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replica");
+    group.sample_size(20);
+    for inflight in [4usize, 32] {
+        let template = loaded_replica(inflight);
+        group.bench_with_input(
+            BenchmarkId::new("advance_drain_all", inflight),
+            &inflight,
+            |b, _| {
+                b.iter(|| {
+                    let mut r = template.clone();
+                    let out = r.advance(SimTime::from_secs(600));
+                    black_box(out.completed.len())
+                })
+            },
+        );
+    }
+    let template = loaded_replica(16);
+    group.bench_function("next_event_memoized", |b| {
+        let mut r = template.clone();
+        b.iter(|| {
+            // First query computes, second hits the cache — the engine's
+            // reschedule-then-drain pattern.
+            black_box(r.next_event());
+            black_box(r.next_event())
+        })
+    });
+    group.bench_function("advance_idle", |b| {
+        let mut r = ReplicaServer::new(
+            ResourceVec::new(1_000.0, 1_024.0, 100.0, 100.0),
+            64.0,
+            PerfConfig::default(),
+            SimTime::ZERO,
+        );
+        let mut t = 1u64;
+        b.iter(|| {
+            // Monotone clock moves on an empty replica: the closed-form
+            // O(1) path the engine takes for quiescent pods.
+            t += 1;
+            black_box(r.advance(SimTime::from_micros(t)).completed.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_quantile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantile");
+    group.sample_size(20);
+    let values = lcg_stream(4_096);
+    group.bench_function("observe_4096_window_512", |b| {
+        b.iter(|| {
+            let mut q = SlidingQuantile::new(512);
+            for v in &values {
+                q.observe(*v);
+            }
+            black_box(q.len())
+        })
+    });
+    group.bench_function("observe_p99_interleaved", |b| {
+        // The control-loop pattern: ingest a window's worth of latencies,
+        // read the tail once per window.
+        b.iter(|| {
+            let mut q = SlidingQuantile::new(512);
+            let mut acc = 0.0;
+            for chunk in values.chunks(64) {
+                for v in chunk {
+                    q.observe(*v);
+                }
+                acc += q.quantile(0.99).unwrap_or(0.0);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry");
+    group.sample_size(20);
+    let names: Vec<String> = (0..8).map(|i| format!("app{i}/p99_ms")).collect();
+    group.bench_function("record_by_name_1k", |b| {
+        b.iter(|| {
+            let mut reg = MetricRegistry::new();
+            for t in 0..128u64 {
+                for name in &names {
+                    reg.record(name, SimTime::from_secs(t), t as f64);
+                }
+            }
+            black_box(reg.series_count())
+        })
+    });
+    group.bench_function("record_by_id_1k", |b| {
+        b.iter(|| {
+            let mut reg = MetricRegistry::new();
+            let ids: Vec<_> = names.iter().map(|n| reg.metric_id(n)).collect();
+            for t in 0..128u64 {
+                for id in &ids {
+                    reg.record_id(*id, SimTime::from_secs(t), t as f64);
+                }
+            }
+            black_box(reg.fast_path_records())
+        })
+    });
+    group.finish();
+}
+
+fn populated_cluster(nodes: usize, pending: usize) -> ClusterState {
+    let mut cluster = ClusterState::new(&ClusterConfig::uniform(nodes, NodeShape::default()));
+    let filler = ResourceVec::new(8_000.0, 16_384.0, 100.0, 200.0);
+    for i in 0..nodes {
+        let pod = cluster.create_pod(
+            PodSpec::new(PodKind::ServiceReplica { app: AppId::new(9_999) }, filler, 10),
+            SimTime::ZERO,
+        );
+        cluster.bind_pod(pod, cluster.nodes()[i].id()).expect("fits");
+    }
+    for k in 0..pending {
+        cluster.create_pod(
+            PodSpec::new(
+                PodKind::ServiceReplica { app: AppId::new((k % 20) as u32) },
+                ResourceVec::new(1_000.0, 1_024.0, 10.0, 20.0),
+                100,
+            ),
+            SimTime::from_micros(k as u64),
+        );
+    }
+    cluster
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(20);
+    let cluster = populated_cluster(200, 64);
+    let evolve = SchedulerFramework::evolve_default();
+    group.bench_function("schedule_cycle_200n_64p", |b| {
+        b.iter(|| black_box(evolve.schedule_cycle(&cluster)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_replica, bench_quantile, bench_registry, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,178 @@
+//! **Macro benchmark and perf-regression gate.** Runs the standard
+//! headline scenario end to end (EVOLVE manager, 20 nodes, seed 42,
+//! series recording on — the same configuration every table regenerates),
+//! reports the [`RunPerf`] block of each iteration, and writes a
+//! machine-readable `BENCH.json` with the best observed
+//! simulated-seconds-per-wall-second. When a committed baseline exists the
+//! binary exits non-zero on a regression beyond the tolerance, which is
+//! what CI's `perf-smoke` job enforces.
+//!
+//! ```text
+//! cargo run --release -p evolve-bench --bin perf_macro [iters]
+//! ```
+//!
+//! Environment:
+//!
+//! * `EVOLVE_SMOKE=1` — shorten the horizon to 3 simulated minutes (CI).
+//! * `EVOLVE_PERF_BASELINE` — baseline JSON path (default
+//!   `crates/bench/perf_baseline.json`).
+//! * `EVOLVE_PERF_TOLERANCE` — allowed fractional regression (default
+//!   `0.25`, i.e. fail below 75 % of the baseline throughput).
+//! * `EVOLVE_PERF_GATE=off` — measure and emit BENCH.json but never fail,
+//!   for hardware where the committed baseline is meaningless.
+//! * `EVOLVE_BENCH_JSON` — output path (default `BENCH.json` in the
+//!   working directory).
+
+use evolve_bench::{smoke_mode, BASE_SEED};
+use evolve_core::{ExperimentRunner, ManagerKind, RunConfig, RunPerf};
+use evolve_types::SimDuration;
+use evolve_workload::Scenario;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn env_or(name: &str, default: &str) -> String {
+    std::env::var(name).ok().filter(|v| !v.trim().is_empty()).unwrap_or_else(|| default.into())
+}
+
+/// Minimal flat-JSON number lookup (`"key": 123.4`) — the vendored serde
+/// is a no-op stub, so the baseline file is parsed by hand. Good enough
+/// for the flat object this binary itself writes.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn print_perf(label: &str, p: &RunPerf) {
+    println!(
+        "{label}: {:.1} sim-s/wall-s ({:.3}s wall, {} ticks, {} events, \
+         peak {} running pods, {} fast-path metric records)",
+        p.sim_secs_per_wall_sec,
+        p.wall_secs,
+        p.ticks,
+        p.events,
+        p.peak_running_pods,
+        p.fast_metric_records,
+    );
+}
+
+fn main() -> ExitCode {
+    let iters: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).filter(|n| *n > 0).unwrap_or(3);
+    let smoke = smoke_mode();
+    let mut scenario = Scenario::headline(1.0);
+    if smoke {
+        scenario.horizon = SimDuration::from_mins(3);
+    }
+    let mode = if smoke { "smoke" } else { "full" };
+    let sim_secs = scenario.horizon.as_secs_f64();
+    eprintln!(
+        "perf_macro: headline scenario, {mode} mode ({sim_secs:.0} sim-s), \
+         seed {BASE_SEED}, best of {iters} iteration(s)"
+    );
+
+    // Best-of-N on wall time: the simulation itself is deterministic, so
+    // iterations differ only by machine noise and the fastest one is the
+    // least-perturbed measurement.
+    let mut best: Option<RunPerf> = None;
+    for i in 0..iters {
+        let cfg = RunConfig::new(scenario.clone(), ManagerKind::Evolve).with_seed(BASE_SEED);
+        let outcome = ExperimentRunner::new(cfg).run();
+        print_perf(&format!("iter {}", i + 1), &outcome.perf);
+        if best.is_none()
+            || outcome.perf.sim_secs_per_wall_sec
+                > best.as_ref().expect("checked").sim_secs_per_wall_sec
+        {
+            best = Some(outcome.perf);
+        }
+    }
+    let best = best.expect("at least one iteration");
+    print_perf("best", &best);
+
+    // Regression gate against the committed baseline.
+    let tolerance: f64 = env_or("EVOLVE_PERF_TOLERANCE", "0.25")
+        .parse()
+        .ok()
+        .filter(|t| (0.0..1.0).contains(t))
+        .unwrap_or(0.25);
+    let gate_on = !env_or("EVOLVE_PERF_GATE", "on").eq_ignore_ascii_case("off");
+    let baseline_path =
+        PathBuf::from(env_or("EVOLVE_PERF_BASELINE", "crates/bench/perf_baseline.json"));
+    let baseline_key = format!("{mode}_sim_secs_per_wall_sec");
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .and_then(|text| json_number(&text, &baseline_key));
+
+    let (pass, verdict) = match baseline {
+        Some(base) => {
+            let floor = base * (1.0 - tolerance);
+            let ok = best.sim_secs_per_wall_sec >= floor;
+            let ratio = best.sim_secs_per_wall_sec / base;
+            println!(
+                "baseline({mode}) {base:.1} sim-s/wall-s, floor {floor:.1} \
+                 (tolerance {:.0}%), measured {:.1} ({ratio:.2}x) => {}",
+                tolerance * 100.0,
+                best.sim_secs_per_wall_sec,
+                if ok { "PASS" } else { "REGRESSION" },
+            );
+            (ok, if ok { "pass" } else { "regression" })
+        }
+        None => {
+            eprintln!("no baseline `{baseline_key}` in {} — gate skipped", baseline_path.display());
+            (true, "no-baseline")
+        }
+    };
+
+    // Machine-readable artifact for CI and for trend tracking.
+    let json = format!(
+        "{{\n  \"benchmark\": \"perf_macro\",\n  \"scenario\": \"{}\",\n  \"mode\": \"{mode}\",\n  \
+         \"seed\": {BASE_SEED},\n  \"iterations\": {iters},\n  \"sim_secs\": {sim_secs:.1},\n  \
+         \"ticks\": {},\n  \"events\": {},\n  \"wall_secs\": {:.4},\n  \
+         \"sim_secs_per_wall_sec\": {:.1},\n  \"peak_running_pods\": {},\n  \
+         \"fast_metric_records\": {},\n  \"baseline_sim_secs_per_wall_sec\": {},\n  \
+         \"tolerance\": {tolerance},\n  \"gate\": \"{}\",\n  \"verdict\": \"{verdict}\"\n}}\n",
+        scenario.name,
+        best.ticks,
+        best.events,
+        best.wall_secs,
+        best.sim_secs_per_wall_sec,
+        best.peak_running_pods,
+        best.fast_metric_records,
+        baseline.map_or_else(|| "null".into(), |b| format!("{b:.1}")),
+        if gate_on { "on" } else { "off" },
+    );
+    let out_path = PathBuf::from(env_or("EVOLVE_BENCH_JSON", "BENCH.json"));
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => eprintln!("wrote {}", out_path.display()),
+        Err(err) => {
+            eprintln!("could not write {}: {err}", out_path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if !pass && gate_on {
+        eprintln!("perf gate FAILED (set EVOLVE_PERF_GATE=off to ignore)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json_number;
+
+    #[test]
+    fn json_number_finds_flat_keys() {
+        let text = "{\n  \"a\": 1.5,\n  \"full_sim_secs_per_wall_sec\": 3100,\n  \"b\": -2e3\n}";
+        assert_eq!(json_number(text, "a"), Some(1.5));
+        assert_eq!(json_number(text, "full_sim_secs_per_wall_sec"), Some(3100.0));
+        assert_eq!(json_number(text, "b"), Some(-2000.0));
+        assert_eq!(json_number(text, "missing"), None);
+    }
+}

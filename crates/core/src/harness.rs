@@ -123,6 +123,11 @@ impl Harness {
                 (0..seeds.len()).map(|_| results.next().expect("all jobs ran").1).collect();
             out.push(ReplicatedOutcome { seeds: seeds.to_vec(), runs });
         }
+        // Stderr, not stdout: tables and CSVs stay clean while every
+        // binary still reports simulator throughput.
+        for rep in &out {
+            eprintln!("{}", rep.perf_line());
+        }
         out
     }
 }
@@ -154,6 +159,32 @@ impl ReplicatedOutcome {
     #[must_use]
     pub fn representative(&self) -> &RunOutcome {
         &self.runs[0]
+    }
+
+    /// One-line aggregate of the [`RunOutcome::perf`] blocks: mean
+    /// simulated-seconds-per-wall-second plus the summed engine counters.
+    /// Every experiment binary surfaces this on stderr (via
+    /// [`Harness::run_matrix`]) so a perf regression is visible in any
+    /// table or figure run, not only in the dedicated bench.
+    #[must_use]
+    pub fn perf_line(&self) -> String {
+        let simwall = self.summarize(|r| r.perf.sim_secs_per_wall_sec);
+        let ticks: u64 = self.runs.iter().map(|r| r.perf.ticks).sum();
+        let events: u64 = self.runs.iter().map(|r| r.perf.events).sum();
+        let peak = self.runs.iter().map(|r| r.perf.peak_running_pods).max().unwrap_or(0);
+        let fast: u64 = self.runs.iter().map(|r| r.perf.fast_metric_records).sum();
+        format!(
+            "perf[{}/{}]: {:.0} sim-s/wall-s mean over {} run(s); {} ticks, {} events, \
+             peak {} running pods, {} fast-path metric records",
+            self.manager(),
+            self.scenario(),
+            simwall.mean,
+            self.runs.len(),
+            ticks,
+            events,
+            peak,
+            fast,
+        )
     }
 
     /// Mean ± CI of an arbitrary per-run metric, evaluated in seed order.

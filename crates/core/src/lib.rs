@@ -52,5 +52,6 @@ pub use policy::{
 };
 pub use report::{write_csv, Summary, Table};
 pub use runner::{
-    AppSummary, ExperimentRunner, RecoveryStrategy, RunConfig, RunOutcome, SchedulerProfile,
+    AppSummary, ExperimentRunner, RecoveryStrategy, RunConfig, RunOutcome, RunPerf,
+    SchedulerProfile,
 };

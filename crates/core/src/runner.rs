@@ -6,7 +6,7 @@ use evolve_scheduler::{RequeueBackoff, SchedulerFramework};
 use evolve_sim::{
     ClusterConfig, FaultInjector, FaultPlan, NodeShape, Simulation, SimulationConfig,
 };
-use evolve_telemetry::{MetricRegistry, UtilizationAccount, UtilizationSummary};
+use evolve_telemetry::{MetricId, MetricRegistry, UtilizationAccount, UtilizationSummary};
 use evolve_types::{AppId, ResourceVec, SimDuration, SimTime};
 use evolve_workload::{Scenario, WorldClass};
 
@@ -251,6 +251,28 @@ pub struct RunOutcome {
     /// App lookups that hit a desynced (unregistered) application and
     /// were skipped instead of panicking.
     pub desynced_apps: u64,
+    /// Engine-throughput accounting (the numbers BENCH.json reports).
+    pub perf: RunPerf,
+}
+
+/// Engine-throughput accounting for one run, surfaced by the bench
+/// binaries and the perf-regression harness.
+#[derive(Debug, Clone, Copy)]
+pub struct RunPerf {
+    /// Control ticks executed (stalled ticks included).
+    pub ticks: u64,
+    /// Wall-clock seconds the run took end to end.
+    pub wall_secs: f64,
+    /// Simulated seconds advanced per wall-clock second.
+    pub sim_secs_per_wall_sec: f64,
+    /// Engine events processed (wake-queue replacement makes this smaller
+    /// than the naive event count for the same trajectory).
+    pub events: u64,
+    /// Peak concurrently running pods observed at control ticks.
+    pub peak_running_pods: u32,
+    /// Metric samples recorded through pre-interned [`MetricId`]s —
+    /// records that skipped the name hash/allocation entirely.
+    pub fast_metric_records: u64,
 }
 
 impl RunOutcome {
@@ -308,28 +330,67 @@ impl RunOutcome {
     }
 }
 
-/// Per-app metric series names, interned once before the control loop so
-/// the per-tick recording path allocates no strings.
+/// Per-app metric ids, interned once before the control loop so the
+/// per-tick recording path neither allocates nor hashes names.
+///
+/// `p99_ms` stays lazy: non-service apps never report a p99, and eagerly
+/// interning it would create an empty series they did not have before.
 #[derive(Debug)]
 struct AppSeriesKeys {
-    p99_ms: String,
-    rate_rps: String,
-    replicas: String,
-    alloc_cpu: String,
-    usage_cpu: String,
-    timeouts: String,
+    p99_name: String,
+    p99_ms: Option<MetricId>,
+    rate_rps: MetricId,
+    replicas: MetricId,
+    alloc_cpu: MetricId,
+    usage_cpu: MetricId,
+    timeouts: MetricId,
 }
 
 impl AppSeriesKeys {
-    fn new(app: AppId) -> Self {
+    fn new(registry: &mut MetricRegistry, app: AppId) -> Self {
         let prefix = format!("app{}", app.raw());
         AppSeriesKeys {
-            p99_ms: format!("{prefix}/p99_ms"),
-            rate_rps: format!("{prefix}/rate_rps"),
-            replicas: format!("{prefix}/replicas"),
-            alloc_cpu: format!("{prefix}/alloc_cpu"),
-            usage_cpu: format!("{prefix}/usage_cpu"),
-            timeouts: format!("{prefix}/timeouts"),
+            p99_name: format!("{prefix}/p99_ms"),
+            p99_ms: None,
+            rate_rps: registry.metric_id(&format!("{prefix}/rate_rps")),
+            replicas: registry.metric_id(&format!("{prefix}/replicas")),
+            alloc_cpu: registry.metric_id(&format!("{prefix}/alloc_cpu")),
+            usage_cpu: registry.metric_id(&format!("{prefix}/usage_cpu")),
+            timeouts: registry.metric_id(&format!("{prefix}/timeouts")),
+        }
+    }
+
+    /// The (lazily interned) p99 series id.
+    fn p99_id(&mut self, registry: &mut MetricRegistry) -> MetricId {
+        match self.p99_ms {
+            Some(id) => id,
+            None => {
+                let id = registry.metric_id(&self.p99_name);
+                self.p99_ms = Some(id);
+                id
+            }
+        }
+    }
+}
+
+/// Cluster-level metric ids, interned once up front.
+#[derive(Debug, Clone, Copy)]
+struct ClusterSeriesKeys {
+    allocated_cpu_share: MetricId,
+    used_cpu_share: MetricId,
+    pods_running: MetricId,
+    pods_pending: MetricId,
+    nodes_ready: MetricId,
+}
+
+impl ClusterSeriesKeys {
+    fn new(registry: &mut MetricRegistry) -> Self {
+        ClusterSeriesKeys {
+            allocated_cpu_share: registry.metric_id("cluster/allocated_cpu_share"),
+            used_cpu_share: registry.metric_id("cluster/used_cpu_share"),
+            pods_running: registry.metric_id("cluster/pods_running"),
+            pods_pending: registry.metric_id("cluster/pods_pending"),
+            nodes_ready: registry.metric_id("cluster/nodes_ready"),
         }
     }
 }
@@ -350,6 +411,7 @@ impl ExperimentRunner {
     /// Executes the run to its horizon and collects the outcome.
     #[must_use]
     pub fn run(self) -> RunOutcome {
+        let started = std::time::Instant::now();
         let cfg = self.config;
         let cluster_config = ClusterConfig::uniform(cfg.nodes, cfg.node_shape);
         let mut sim = Simulation::new(
@@ -383,11 +445,13 @@ impl ExperimentRunner {
             Some(inj)
         };
 
-        // Series names are interned once per app up front; the per-tick
-        // recording path below must not build strings.
+        // Series ids are interned once up front; the per-tick recording
+        // path below neither builds strings nor hashes names.
+        let cluster_keys =
+            if cfg.record_series { Some(ClusterSeriesKeys::new(&mut registry)) } else { None };
         let mut series_keys: std::collections::HashMap<AppId, AppSeriesKeys> = if cfg.record_series
         {
-            sim.apps().iter().map(|s| (s.id, AppSeriesKeys::new(s.id))).collect()
+            sim.apps().iter().map(|s| (s.id, AppSeriesKeys::new(&mut registry, s.id))).collect()
         } else {
             std::collections::HashMap::new()
         };
@@ -413,7 +477,10 @@ impl ExperimentRunner {
 
         let mut window_start = SimTime::ZERO;
         let mut carried_secs = 0.0;
+        let mut ticks = 0u64;
+        let mut peak_running = 0u32;
         while window_start < horizon {
+            ticks += 1;
             // The final window may be truncated when the horizon is not a
             // multiple of the control interval; the manager sees the
             // actual elapsed seconds so per-window rates stay correct.
@@ -498,11 +565,12 @@ impl ExperimentRunner {
                 entry.2 += w.oom_kills;
             }
             let snap = sim.snapshot();
+            peak_running = peak_running.max(snap.pods_running);
             util.record(snap.at, snap.allocated, used.min(&snap.allocatable));
 
-            if cfg.record_series {
+            if let Some(ck) = cluster_keys {
                 let t = snap.at;
-                registry.record("cluster/allocated_cpu_share", t, {
+                registry.record_id(ck.allocated_cpu_share, t, {
                     let a = snap.allocatable.cpu();
                     if a > 0.0 {
                         snap.allocated.cpu() / a
@@ -510,7 +578,7 @@ impl ExperimentRunner {
                         0.0
                     }
                 });
-                registry.record("cluster/used_cpu_share", t, {
+                registry.record_id(ck.used_cpu_share, t, {
                     let a = snap.allocatable.cpu();
                     if a > 0.0 {
                         used.cpu() / a
@@ -518,19 +586,22 @@ impl ExperimentRunner {
                         0.0
                     }
                 });
-                registry.record("cluster/pods_running", t, f64::from(snap.pods_running));
-                registry.record("cluster/pods_pending", t, f64::from(snap.pods_pending));
-                registry.record("cluster/nodes_ready", t, f64::from(snap.nodes_ready));
+                registry.record_id(ck.pods_running, t, f64::from(snap.pods_running));
+                registry.record_id(ck.pods_pending, t, f64::from(snap.pods_pending));
+                registry.record_id(ck.nodes_ready, t, f64::from(snap.nodes_ready));
                 for (app, w) in &windows {
-                    let keys = series_keys.entry(*app).or_insert_with(|| AppSeriesKeys::new(*app));
+                    let keys = series_keys
+                        .entry(*app)
+                        .or_insert_with(|| AppSeriesKeys::new(&mut registry, *app));
                     if let Some(p99) = w.p99_ms {
-                        registry.record(&keys.p99_ms, t, p99);
+                        let id = keys.p99_id(&mut registry);
+                        registry.record_id(id, t, p99);
                     }
-                    registry.record(&keys.rate_rps, t, w.arrivals as f64 / window_secs);
-                    registry.record(&keys.replicas, t, f64::from(w.running_replicas));
-                    registry.record(&keys.alloc_cpu, t, w.alloc.cpu());
-                    registry.record(&keys.usage_cpu, t, w.usage.cpu());
-                    registry.record(&keys.timeouts, t, w.timeouts as f64);
+                    registry.record_id(keys.rate_rps, t, w.arrivals as f64 / window_secs);
+                    registry.record_id(keys.replicas, t, f64::from(w.running_replicas));
+                    registry.record_id(keys.alloc_cpu, t, w.alloc.cpu());
+                    registry.record_id(keys.usage_cpu, t, w.usage.cpu());
+                    registry.record_id(keys.timeouts, t, w.timeouts as f64);
                 }
             }
             live_ticks += 1;
@@ -572,6 +643,20 @@ impl ExperimentRunner {
             });
         }
 
+        let wall_secs = started.elapsed().as_secs_f64();
+        let perf = RunPerf {
+            ticks,
+            wall_secs,
+            sim_secs_per_wall_sec: if wall_secs > 0.0 {
+                sim.now().as_secs_f64() / wall_secs
+            } else {
+                0.0
+            },
+            events: sim.events_processed(),
+            peak_running_pods: peak_running,
+            fast_metric_records: registry.fast_path_records(),
+        };
+
         RunOutcome {
             manager: manager.label(),
             scenario: cfg.scenario.name.clone(),
@@ -588,6 +673,7 @@ impl ExperimentRunner {
             events: sim.events_processed(),
             controller_restarts,
             desynced_apps: manager.desynced_apps() + desynced_summaries,
+            perf,
         }
     }
 

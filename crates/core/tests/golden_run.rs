@@ -1,0 +1,132 @@
+//! Golden same-seed regression test: pins the complete metric output of a
+//! standard scenario as a bit-exact fixture so performance work on the
+//! hot paths (metric interning, incremental quantiles, scratch-buffer
+//! reuse) cannot silently change results.
+//!
+//! The fixture stores every recorded time series sample as the raw IEEE-754
+//! bit pattern of its `(seconds, value)` pair, plus the headline outcome
+//! scalars. Any behavioural drift — an extra tick, a reordered sample, a
+//! last-ulp float difference — fails the comparison.
+//!
+//! Regenerate (after an *intentional* behaviour change only) with:
+//!
+//! ```text
+//! EVOLVE_BLESS=1 cargo test -p evolve-core --test golden_run
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use evolve_core::{ExperimentRunner, ManagerKind, RunConfig, RunOutcome};
+use evolve_types::SimDuration;
+use evolve_workload::Scenario;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_headline.txt")
+}
+
+/// The standard scenario at a short horizon: the full headline mix
+/// (6 services with heterogeneous bottlenecks, batch ETL, an HPC gang)
+/// under the EVOLVE manager, long enough to exercise scale-out/in,
+/// binding, preemption and the quantile paths.
+fn golden_config() -> RunConfig {
+    let mut scenario = Scenario::headline(0.5);
+    scenario.horizon = SimDuration::from_mins(5);
+    RunConfig::new(scenario, ManagerKind::Evolve).with_nodes(8).with_seed(42)
+}
+
+/// Serializes everything a run measured, bit-exactly. Floats are dumped
+/// as hex bit patterns: two runs produce the same dump iff every sample
+/// is the same `f64` down to the last bit.
+fn golden_dump(outcome: &RunOutcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "manager {}", outcome.manager);
+    let _ = writeln!(out, "scenario {}", outcome.scenario);
+    let _ = writeln!(out, "end_time {:016x}", outcome.end_time.as_secs_f64().to_bits());
+    // Deliberately NOT pinned: `outcome.events` (engine throughput
+    // accounting — eliminating provably-stale timer events changes the
+    // count without touching any metric) and wall-clock perf numbers.
+    let _ = writeln!(out, "preemptions {}", outcome.preemptions);
+    let _ = writeln!(out, "bindings {}", outcome.bindings);
+    let _ = writeln!(out, "resize_failures {}", outcome.resize_failures);
+    let _ = writeln!(out, "suppressed_actuations {}", outcome.suppressed_actuations);
+    for app in &outcome.apps {
+        let _ = writeln!(
+            out,
+            "app {} {} windows={} violations={} severity={:016x} completions={} timeouts={} oom={}",
+            app.app.raw(),
+            app.name,
+            app.windows,
+            app.violations,
+            app.mean_severity.to_bits(),
+            app.completions,
+            app.timeouts,
+            app.oom_kills,
+        );
+    }
+    for job in &outcome.jobs {
+        let _ = writeln!(
+            out,
+            "job {} app={} submitted={:016x} finished={} deadline_met={}",
+            job.job.raw(),
+            job.app.raw(),
+            job.submitted.as_secs_f64().to_bits(),
+            job.finished
+                .map_or_else(|| "-".to_owned(), |f| format!("{:016x}", f.as_secs_f64().to_bits())),
+            job.met_deadline(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "utilization alloc={:016x} used={:016x}",
+        outcome.utilization.mean_allocated().to_bits(),
+        outcome.utilization.mean_used().to_bits(),
+    );
+    let names: Vec<String> = outcome.registry.series_names().map(str::to_owned).collect();
+    for name in &names {
+        let series = outcome.registry.series(name).expect("listed series exists");
+        let _ = writeln!(out, "series {name} len={}", series.len());
+        for (t, v) in series.to_points() {
+            let _ = writeln!(out, "  {:016x} {:016x}", t.to_bits(), v.to_bits());
+        }
+    }
+    let counters: Vec<String> = outcome.registry.counter_names().map(str::to_owned).collect();
+    for name in &counters {
+        let _ = writeln!(out, "counter {name} {}", outcome.registry.counter(name));
+    }
+    out
+}
+
+#[test]
+fn golden_headline_metrics_are_bit_identical() {
+    let outcome = ExperimentRunner::new(golden_config()).run();
+    let dump = golden_dump(&outcome);
+    let path = fixture_path();
+    let bless = std::env::var("EVOLVE_BLESS").is_ok_and(|v| !v.is_empty() && v != "0");
+    if bless {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, &dump).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden fixture {} ({e}); regenerate with EVOLVE_BLESS=1", path.display())
+    });
+    if dump != expected {
+        // Locate the first diverging line for a readable failure.
+        let mut first_diff = String::from("<end of file>");
+        let mut line_no = 0usize;
+        for (i, (got, want)) in dump.lines().zip(expected.lines()).enumerate() {
+            if got != want {
+                first_diff = format!("line {}: got `{got}`, want `{want}`", i + 1);
+                line_no = i + 1;
+                break;
+            }
+        }
+        panic!(
+            "golden run diverged from fixture {} (dump {} lines, fixture {} lines; first diff at {line_no}): {first_diff}",
+            path.display(),
+            dump.lines().count(),
+            expected.lines().count(),
+        );
+    }
+}

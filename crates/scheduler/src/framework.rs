@@ -130,9 +130,14 @@ impl Shadow {
     fn new(cluster: &ClusterState) -> Self {
         let free = cluster.nodes().iter().map(evolve_sim::Node::free).collect();
         let mut app_pods = HashMap::new();
-        for pod in cluster.pods() {
-            if let (Some(node), true) = (pod.node, pod.phase.holds_resources()) {
-                *app_pods.entry((node.as_usize(), pod.app().raw())).or_insert(0) += 1;
+        // Walk each node's bound-pod set instead of the full pod table:
+        // the table keeps terminal pods for outcome reporting, so it grows
+        // with simulation length while the bound set stays cluster-sized.
+        for (ni, node) in cluster.nodes().iter().enumerate() {
+            for pod_id in node.pods() {
+                let Ok(pod) = cluster.pod(*pod_id) else { continue };
+                debug_assert!(pod.phase.holds_resources());
+                *app_pods.entry((ni, pod.app().raw())).or_insert(0) += 1;
             }
         }
         Shadow { free, app_pods }

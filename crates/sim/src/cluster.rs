@@ -53,6 +53,11 @@ pub struct ClusterState {
     nodes: Vec<Node>,
     pods: BTreeMap<PodId, Pod>,
     next_pod: u64,
+    /// Pods currently `Running`, maintained on every phase transition so
+    /// snapshots don't rescan the (append-only) pod table.
+    running_count: u32,
+    /// Pods currently `Pending` or `Starting`.
+    waiting_count: u32,
 }
 
 impl ClusterState {
@@ -65,7 +70,20 @@ impl ClusterState {
             .enumerate()
             .map(|(i, shape)| Node::new(NodeId::new(i as u32), shape.capacity))
             .collect();
-        ClusterState { nodes, pods: BTreeMap::new(), next_pod: 0 }
+        ClusterState {
+            nodes,
+            pods: BTreeMap::new(),
+            next_pod: 0,
+            running_count: 0,
+            waiting_count: 0,
+        }
+    }
+
+    /// `(running, pending_or_starting)` pod counts, maintained in O(1)
+    /// across phase transitions.
+    #[must_use]
+    pub fn phase_counts(&self) -> (u32, u32) {
+        (self.running_count, self.waiting_count)
     }
 
     /// All nodes.
@@ -109,6 +127,7 @@ impl ClusterState {
         let id = PodId::new(self.next_pod);
         self.next_pod += 1;
         self.pods.insert(id, Pod::new(id, spec, now));
+        self.waiting_count += 1;
         id
     }
 
@@ -152,6 +171,8 @@ impl ClusterState {
         }
         pod.phase = PodPhase::Running;
         pod.started = Some(now);
+        self.waiting_count -= 1;
+        self.running_count += 1;
         Ok(())
     }
 
@@ -171,6 +192,10 @@ impl ClusterState {
                 self.nodes[node_id.as_usize()].unbind(pod_id, pod.spec.request);
             }
         }
+        match pod.phase {
+            PodPhase::Running => self.running_count -= 1,
+            _ => self.waiting_count -= 1,
+        }
         pod.phase = phase;
         Ok(())
     }
@@ -186,6 +211,9 @@ impl ClusterState {
         let pod = self.pods.get_mut(&pod_id).ok_or(Error::UnknownPod(pod_id))?;
         if pod.phase.holds_resources() {
             return Err(Error::InvalidState(format!("{pod_id} still bound")));
+        }
+        if pod.phase.is_terminal() {
+            self.waiting_count += 1;
         }
         pod.phase = PodPhase::Pending;
         pod.node = None;
@@ -283,6 +311,11 @@ impl ClusterState {
             if pod.phase.holds_resources() {
                 self.nodes[node_id.as_usize()].unbind(*pod_id, pod.spec.request);
             }
+            match pod.phase {
+                PodPhase::Running => self.running_count -= 1,
+                PodPhase::Pending | PodPhase::Starting => self.waiting_count -= 1,
+                _ => {}
+            }
             pod.node = None;
             pod.phase = PodPhase::Failed("node unready".into());
             pod.started = None;
@@ -309,6 +342,20 @@ impl ClusterState {
     /// Panics when a node's book-kept allocation differs from the sum of
     /// its pods' requests, or exceeds its allocatable capacity.
     pub fn check_invariants(&self) {
+        let mut running = 0u32;
+        let mut waiting = 0u32;
+        for pod in self.pods.values() {
+            match pod.phase {
+                PodPhase::Running => running += 1,
+                PodPhase::Pending | PodPhase::Starting => waiting += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(
+            (running, waiting),
+            (self.running_count, self.waiting_count),
+            "maintained phase counts diverged from pod table"
+        );
         for node in &self.nodes {
             let mut sum = ResourceVec::ZERO;
             for pod_id in node.pods() {

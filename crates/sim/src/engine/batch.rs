@@ -35,6 +35,8 @@ pub(crate) struct BatchRuntime {
     pub(crate) finished: Option<SimTime>,
     pub(crate) desired_alloc: ResourceVec,
     pub(crate) acc: WindowAccumulator,
+    /// Reusable pod-id buffer for the actuation paths.
+    scratch: Vec<PodId>,
 }
 
 impl BatchRuntime {
@@ -57,6 +59,7 @@ impl BatchRuntime {
             finished: None,
             desired_alloc,
             acc: WindowAccumulator::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -178,7 +181,7 @@ impl Simulation {
             // Rates may have changed (resize); rearm.
             let (next, version) = {
                 let rt = &mut self.batches[idx];
-                let next = rt.servers.get(&pod).and_then(ReplicaServer::next_event);
+                let next = rt.servers.get_mut(&pod).and_then(ReplicaServer::next_event);
                 let version = rt.bump_version(pod);
                 (next, version)
             };
@@ -193,7 +196,7 @@ impl Simulation {
         let started = self.cluster.pod(pod).ok().and_then(|p| p.started);
         self.batch_cleanup_pod(idx, pod);
         let _ = self.cluster.terminate_pod(pod, PodPhase::Succeeded);
-        self.pod_owner.remove(&pod);
+        self.pod_owner.remove(pod);
         let stage_finished = {
             let rt = &mut self.batches[idx];
             let stage_spec = rt.spec.stages[rt.stage];
@@ -236,7 +239,7 @@ impl Simulation {
         let task = self.batches[idx].active.get(&pod).copied();
         self.batch_cleanup_pod(idx, pod);
         let _ = self.cluster.terminate_pod(pod, PodPhase::Failed(reason.into()));
-        self.pod_owner.remove(&pod);
+        self.pod_owner.remove(pod);
         let Some(task) = task else {
             return;
         };
@@ -265,8 +268,12 @@ impl Simulation {
         let target = per_task.min(&self.pod_limit).sanitized();
         self.batches[idx].desired_alloc = target;
         let mut failures = 0u32;
-        let running: Vec<PodId> = self.batches[idx].servers.keys().copied().collect();
-        for pod in running {
+        // Reuse the runtime's scratch buffer for both passes; the loop
+        // bodies mutate the maps being iterated.
+        let mut buf = std::mem::take(&mut self.batches[idx].scratch);
+        buf.clear();
+        buf.extend(self.batches[idx].servers.keys().copied());
+        for &pod in &buf {
             match self.cluster.resize_pod(pod, target) {
                 Ok(()) => {
                     let (next, version) = {
@@ -285,15 +292,15 @@ impl Simulation {
                 Err(_) => failures += 1,
             }
         }
-        let pending: Vec<PodId> = self.batches[idx]
-            .active
-            .keys()
-            .copied()
-            .filter(|p| self.cluster.pod(*p).is_ok_and(|x| x.is_pending()))
-            .collect();
-        for pod in pending {
-            let _ = self.cluster.update_pending_request(pod, target);
+        buf.clear();
+        buf.extend(self.batches[idx].active.keys().copied());
+        for &pod in &buf {
+            if self.cluster.pod(pod).is_ok_and(|x| x.is_pending()) {
+                let _ = self.cluster.update_pending_request(pod, target);
+            }
         }
+        buf.clear();
+        self.batches[idx].scratch = buf;
         failures
     }
 
@@ -302,9 +309,7 @@ impl Simulation {
         let mut mem_total = 0.0;
         {
             let rt = &mut self.batches[idx];
-            let pods: Vec<PodId> = rt.servers.keys().copied().collect();
-            for pod in pods {
-                let server = rt.servers.get_mut(&pod).expect("listed");
+            for server in rt.servers.values_mut() {
                 let mut used = server.take_consumed();
                 mem_total += used[Resource::Memory];
                 used[Resource::Memory] = 0.0;

@@ -166,13 +166,13 @@ impl Simulation {
             rt.iterations_done >= rt.spec.iterations
         };
         if job_done {
-            let pods: Vec<PodId> = self.hpcs[idx].pods.clone();
             self.hpcs[idx].finished = Some(now);
-            for pod in pods {
+            for i in 0..self.hpcs[idx].pods.len() {
+                let pod = self.hpcs[idx].pods[i];
                 if self.cluster.pod(pod).is_ok_and(|p| !p.phase.is_terminal()) {
                     let _ = self.cluster.terminate_pod(pod, PodPhase::Succeeded);
                 }
-                self.pod_owner.remove(&pod);
+                self.pod_owner.remove(pod);
             }
             self.hpcs[idx].running.clear();
         } else {
@@ -193,7 +193,7 @@ impl Simulation {
         if self.hpcs[idx].finished.is_none() {
             let _ = self.cluster.requeue_pod(pod, self.now);
         } else {
-            self.pod_owner.remove(&pod);
+            self.pod_owner.remove(pod);
         }
     }
 
@@ -202,18 +202,21 @@ impl Simulation {
         let target = per_rank.min(&self.pod_limit).sanitized();
         self.hpcs[idx].desired_alloc = target;
         let mut failures = 0u32;
-        let pods: Vec<PodId> = self.hpcs[idx].pods.clone();
-        for pod in pods {
-            match self.cluster.pod(pod).map(|p| p.phase.clone()) {
-                Ok(PodPhase::Running | PodPhase::Starting)
-                    if self.cluster.resize_pod(pod, target).is_err() =>
-                {
+        for i in 0..self.hpcs[idx].pods.len() {
+            let pod = self.hpcs[idx].pods[i];
+            // Classify first: the phase borrow must end before the
+            // mutating cluster calls below.
+            let bound = match self.cluster.pod(pod).map(|p| &p.phase) {
+                Ok(PodPhase::Running | PodPhase::Starting) => true,
+                Ok(PodPhase::Pending) => false,
+                _ => continue,
+            };
+            if bound {
+                if self.cluster.resize_pod(pod, target).is_err() {
                     failures += 1;
                 }
-                Ok(PodPhase::Pending) => {
-                    let _ = self.cluster.update_pending_request(pod, target);
-                }
-                _ => {}
+            } else {
+                let _ = self.cluster.update_pending_request(pod, target);
             }
         }
         failures

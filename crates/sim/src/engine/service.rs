@@ -41,6 +41,9 @@ pub(crate) struct ServiceRuntime {
     queue: VecDeque<QueuedRequest>,
     pub(crate) acc: WindowAccumulator,
     next_req: u64,
+    /// Reusable pod-id buffer for the actuation paths (avoids a fresh
+    /// collect every control tick).
+    scratch: Vec<PodId>,
 }
 
 impl ServiceRuntime {
@@ -60,6 +63,7 @@ impl ServiceRuntime {
             queue: VecDeque::new(),
             acc: WindowAccumulator::default(),
             next_req: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -242,7 +246,7 @@ impl Simulation {
             rt.draining.remove(&pod);
             rt.pods.retain(|p| *p != pod);
         }
-        self.pod_owner.remove(&pod);
+        self.pod_owner.remove(pod);
         let _ = self.cluster.terminate_pod(pod, phase);
     }
 
@@ -261,7 +265,7 @@ impl Simulation {
     fn service_reschedule_wake(&mut self, idx: usize, pod: PodId) {
         let (next, version) = {
             let rt = &mut self.services[idx];
-            let Some(server) = rt.servers.get(&pod) else {
+            let Some(server) = rt.servers.get_mut(&pod) else {
                 return;
             };
             let next = server.next_event();
@@ -280,11 +284,14 @@ impl Simulation {
     pub(crate) fn reconcile_service(&mut self, idx: usize) {
         let desired = self.services[idx].desired_replicas.max(1) as usize;
         loop {
-            let active: Vec<PodId> = {
+            // Draining pods stay in `pods` until retired, so the active
+            // set is the difference — counted without materializing it.
+            let active_len = {
                 let rt = &self.services[idx];
-                rt.pods.iter().copied().filter(|p| !rt.draining.contains(p)).collect()
+                debug_assert!(rt.draining.iter().all(|p| rt.pods.contains(p)));
+                rt.pods.len() - rt.draining.len()
             };
-            if active.len() < desired {
+            if active_len < desired {
                 // Prefer reviving a draining replica over a cold start.
                 let revived = {
                     let rt = &mut self.services[idx];
@@ -299,16 +306,21 @@ impl Simulation {
                 if !revived {
                     self.create_service_pod(idx);
                 }
-            } else if active.len() > desired {
+            } else if active_len > desired {
                 // Cancel pending pods first (free), then drain the newest.
-                let pending = active
+                let rt = &self.services[idx];
+                let pending = rt
+                    .pods
                     .iter()
-                    .copied()
                     .rev()
+                    .filter(|p| !rt.draining.contains(p))
+                    .copied()
                     .find(|p| self.cluster.pod(*p).is_ok_and(|x| x.is_pending()));
                 if let Some(p) = pending {
                     self.service_retire_pod(idx, p, PodPhase::Succeeded);
-                } else if let Some(p) = active.last().copied() {
+                } else if let Some(p) =
+                    rt.pods.iter().rev().find(|p| !rt.draining.contains(p)).copied()
+                {
                     self.services[idx].draining.insert(p);
                     // An idle replica can retire immediately.
                     let idle =
@@ -337,9 +349,12 @@ impl Simulation {
         self.services[idx].desired_alloc = target;
         self.services[idx].desired_replicas = replicas.max(1);
         let mut failures = 0u32;
-        // Resize running replicas in place.
-        let running: Vec<PodId> = self.services[idx].servers.keys().copied().collect();
-        for pod in running {
+        // Resize running replicas in place (reusing the runtime's scratch
+        // buffer; the loop body mutates the server map).
+        let mut running = std::mem::take(&mut self.services[idx].scratch);
+        running.clear();
+        running.extend(self.services[idx].servers.keys().copied());
+        for &pod in &running {
             match self.cluster.resize_pod(pod, target) {
                 Ok(()) => {
                     let outcome = {
@@ -355,15 +370,14 @@ impl Simulation {
                 Err(_) => failures += 1,
             }
         }
+        running.clear();
+        self.services[idx].scratch = running;
         // Rewrite pending pods' requests.
-        let pending: Vec<PodId> = self.services[idx]
-            .pods
-            .iter()
-            .copied()
-            .filter(|p| self.cluster.pod(*p).is_ok_and(|x| x.is_pending()))
-            .collect();
-        for pod in pending {
-            let _ = self.cluster.update_pending_request(pod, target);
+        for i in 0..self.services[idx].pods.len() {
+            let pod = self.services[idx].pods[i];
+            if self.cluster.pod(pod).is_ok_and(|x| x.is_pending()) {
+                let _ = self.cluster.update_pending_request(pod, target);
+            }
         }
         self.reconcile_service(idx);
         failures
@@ -382,9 +396,7 @@ impl Simulation {
         let mut mem_total = 0.0;
         {
             let rt = &mut self.services[idx];
-            let pods: Vec<PodId> = rt.servers.keys().copied().collect();
-            for pod in pods {
-                let server = rt.servers.get_mut(&pod).expect("listed");
+            for server in rt.servers.values_mut() {
                 let mut used = server.take_consumed();
                 mem_total += used[Resource::Memory];
                 used[Resource::Memory] = 0.0;

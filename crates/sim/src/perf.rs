@@ -106,6 +106,21 @@ pub struct ReplicaServer {
     /// Cumulative drained work (rate dimensions) for usage accounting.
     consumed: ResourceVec,
     dead: bool,
+    /// Memoized next-event time and per-request rates, valid until the
+    /// next state mutation (admit/resize/kill/drain). The engine queries
+    /// `next_event` right after every drain to reschedule its wake-up, and
+    /// the following `advance` needs the very same boundary and rates —
+    /// this cache halves the dominant O(n) scan. Derived data: skipped by
+    /// serde and rebuilt on demand.
+    #[serde(skip)]
+    cache: Option<NextCache>,
+}
+
+/// See [`ReplicaServer::cache`].
+#[derive(Debug, Clone, Copy)]
+struct NextCache {
+    event: Option<SimTime>,
+    rates: ResourceVec,
 }
 
 impl ReplicaServer {
@@ -127,6 +142,7 @@ impl ReplicaServer {
             clock: now,
             consumed: ResourceVec::ZERO,
             dead: false,
+            cache: None,
         }
     }
 
@@ -173,6 +189,7 @@ impl ReplicaServer {
     /// Applies a vertical resize at the replica's current clock.
     pub fn set_alloc(&mut self, alloc: ResourceVec) {
         self.alloc = alloc.sanitized();
+        self.cache = None;
     }
 
     /// Current effective thrash factor (1 = healthy).
@@ -230,6 +247,7 @@ impl ReplicaServer {
         let mut pre = if at > self.clock { self.advance(at) } else { DrainOutcome::default() };
         let mut remaining = demand;
         remaining[Resource::Memory] = 0.0;
+        self.cache = None;
         self.inflight.push(InFlight {
             id,
             arrived: arrived.min(at),
@@ -252,16 +270,34 @@ impl ReplicaServer {
     /// as timed out.
     pub fn kill(&mut self) -> DrainOutcome {
         self.dead = true;
+        self.cache = None;
         let timed_out = self.inflight.drain(..).map(|r| r.id).collect();
         DrainOutcome { completed: Vec::new(), timed_out, oom_killed: true }
     }
 
     /// The absolute time of the next completion or timeout, `None` when
     /// idle. The engine schedules its wake-up here.
-    #[must_use]
-    pub fn next_event(&self) -> Option<SimTime> {
+    ///
+    /// The result is memoized: the engine calls this after every drain to
+    /// reschedule, and the subsequent [`ReplicaServer::advance`] reuses
+    /// the same boundary and rates instead of rescanning the in-flight
+    /// set.
+    pub fn next_event(&mut self) -> Option<SimTime> {
+        self.fill_cache().event
+    }
+
+    fn fill_cache(&mut self) -> NextCache {
+        if let Some(c) = self.cache {
+            return c;
+        }
+        let c = self.compute_next();
+        self.cache = Some(c);
+        c
+    }
+
+    fn compute_next(&self) -> NextCache {
         if self.dead || self.inflight.is_empty() {
-            return None;
+            return NextCache { event: None, rates: ResourceVec::ZERO };
         }
         let n = self.inflight.len() as f64;
         let rates = self.effective_rates(n);
@@ -274,7 +310,7 @@ impl ReplicaServer {
                 Some(b) => b.min(event),
             });
         }
-        best
+        NextCache { event: best, rates }
     }
 
     /// Per-request drain rates at concurrency `n` (mcore, MB/s, MB/s),
@@ -315,16 +351,24 @@ impl ReplicaServer {
     pub fn advance(&mut self, to: SimTime) -> DrainOutcome {
         assert!(to >= self.clock, "advance into the past");
         let mut outcome = DrainOutcome::default();
+        if self.inflight.is_empty() || self.dead {
+            // Quiescent replica: O(1) clock move, nothing to drain. The
+            // cached next-event (`None`) stays valid — it does not depend
+            // on the clock while the in-flight set is empty.
+            if self.clock < to {
+                self.clock = to;
+            }
+            return outcome;
+        }
         // Process piecewise: each sub-interval ends at the earliest
         // completion/timeout or at `to`.
         let mut guard = 0usize;
         while self.clock < to && !self.inflight.is_empty() && !self.dead {
             guard += 1;
             assert!(guard < 1_000_000, "drain loop did not converge");
-            let boundary = self.next_event().map_or(to, |e| e.min(to));
+            let NextCache { event, rates } = self.fill_cache();
+            let boundary = event.map_or(to, |e| e.min(to));
             let dt = boundary.saturating_since(self.clock).as_secs_f64();
-            let n = self.inflight.len() as f64;
-            let rates = self.effective_rates(n);
             if dt > 0.0 {
                 for req in &mut self.inflight {
                     for r in [Resource::Cpu, Resource::DiskIo, Resource::NetIo] {
@@ -335,6 +379,9 @@ impl ReplicaServer {
                 }
             }
             self.clock = boundary;
+            // The drain mutated remaining work and the clock; estimates
+            // must be recomputed next iteration.
+            self.cache = None;
             // Remove finished and timed-out requests at the boundary.
             let clock = self.clock;
             let mut i = 0;

@@ -54,6 +54,6 @@ pub use filter::{Ewma, HoltLinear, RateEstimator};
 pub use histogram::Histogram;
 pub use plo::{PloBound, PloTracker, PloWindow};
 pub use quantile::{P2Quantile, SlidingQuantile};
-pub use registry::MetricRegistry;
+pub use registry::{MetricId, MetricRegistry};
 pub use series::{Sample, TimeSeries};
 pub use util::{UtilizationAccount, UtilizationSummary};

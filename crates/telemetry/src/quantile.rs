@@ -40,7 +40,8 @@ pub struct P2Quantile {
     dn: [f64; 5],
     /// Number of observations seen so far.
     count: usize,
-    /// Initial observations until the markers can be seeded.
+    /// Initial observations until the markers can be seeded; kept sorted
+    /// so [`P2Quantile::value`] can index it directly.
     seed: Vec<f64>,
 }
 
@@ -80,12 +81,10 @@ impl P2Quantile {
     pub fn observe(&mut self, x: f64) {
         self.count += 1;
         if self.seed.len() < 5 {
-            self.seed.push(x);
+            let at = self.seed.partition_point(|v| v.total_cmp(&x).is_lt());
+            self.seed.insert(at, x);
             if self.seed.len() == 5 {
-                self.seed.sort_by(f64::total_cmp);
-                for i in 0..5 {
-                    self.q[i] = self.seed[i];
-                }
+                self.q.copy_from_slice(&self.seed);
             }
             return;
         }
@@ -151,10 +150,10 @@ impl P2Quantile {
             return None;
         }
         if self.seed.len() < 5 {
-            let mut sorted = self.seed.clone();
-            sorted.sort_by(f64::total_cmp);
-            let idx = ((sorted.len() as f64 - 1.0) * self.p).round() as usize;
-            return sorted.get(idx).copied();
+            // The seed buffer is maintained in sorted order, so the exact
+            // order statistic is a direct index — no clone, no re-sort.
+            let idx = ((self.seed.len() as f64 - 1.0) * self.p).round() as usize;
+            return self.seed.get(idx).copied();
         }
         Some(self.q[2])
     }
@@ -179,10 +178,12 @@ impl P2Quantile {
 pub struct SlidingQuantile {
     window: VecDeque<f64>,
     capacity: usize,
-    /// Sorted copy of the window, rebuilt lazily on query and reused
-    /// until the next observation.
+    /// Sorted view of the window, maintained incrementally: each
+    /// observation is a binary-search evict + insert instead of a full
+    /// clone-and-sort on query. Derived data, so skipped by serde and
+    /// rebuilt on demand (see [`SlidingQuantile::repair`]).
+    #[serde(skip)]
     sorted: Vec<f64>,
-    sorted_valid: bool,
 }
 
 impl SlidingQuantile {
@@ -198,18 +199,34 @@ impl SlidingQuantile {
         SlidingQuantile {
             window: VecDeque::with_capacity(capacity),
             capacity,
-            sorted: Vec::new(),
-            sorted_valid: false,
+            sorted: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Rebuilds the sorted view when it is out of sync with the window
+    /// (only possible after serde deserialization, which skips it).
+    fn repair(&mut self) {
+        if self.sorted.len() != self.window.len() {
+            self.sorted.clear();
+            self.sorted.extend(self.window.iter().copied());
+            self.sorted.sort_by(f64::total_cmp);
         }
     }
 
     /// Feeds one observation, evicting the oldest when full.
     pub fn observe(&mut self, x: f64) {
+        self.repair();
         if self.window.len() == self.capacity {
-            self.window.pop_front();
+            let old = self.window.pop_front().expect("window is full");
+            let idx = self
+                .sorted
+                .binary_search_by(|v| v.total_cmp(&old))
+                .expect("evicted value present in sorted view");
+            self.sorted.remove(idx);
         }
         self.window.push_back(x);
-        self.sorted_valid = false;
+        let at = self.sorted.partition_point(|v| v.total_cmp(&x).is_lt());
+        self.sorted.insert(at, x);
     }
 
     /// Number of observations currently in the window.
@@ -225,22 +242,17 @@ impl SlidingQuantile {
     }
 
     /// The exact `p`-quantile (nearest-rank) of the window, `None` when
-    /// empty. The sorted view is cached, so repeated queries between
-    /// observations cost O(1) after the first.
+    /// empty. The sorted view is maintained incrementally by
+    /// [`SlidingQuantile::observe`], so every query is O(1).
     ///
     /// # Panics
     ///
     /// Panics when `p` is outside `[0, 1]`.
     pub fn quantile(&mut self, p: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&p), "quantile must be in [0, 1]");
-        if self.window.is_empty() {
+        self.repair();
+        if self.sorted.is_empty() {
             return None;
-        }
-        if !self.sorted_valid {
-            self.sorted.clear();
-            self.sorted.extend(self.window.iter().copied());
-            self.sorted.sort_by(f64::total_cmp);
-            self.sorted_valid = true;
         }
         let idx = ((self.sorted.len() as f64 - 1.0) * p).round() as usize;
         Some(self.sorted[idx])
@@ -260,12 +272,11 @@ impl SlidingQuantile {
     pub fn clear(&mut self) {
         self.window.clear();
         self.sorted.clear();
-        self.sorted_valid = false;
     }
 }
 
 /// Equality over the logical state (window contents and capacity); the
-/// lazily-rebuilt sorted cache is derived data and deliberately ignored.
+/// incrementally-maintained sorted view is derived data and ignored.
 impl PartialEq for SlidingQuantile {
     fn eq(&self, other: &Self) -> bool {
         self.capacity == other.capacity && self.window == other.window
@@ -290,7 +301,9 @@ impl Codec for SlidingQuantile {
                 window.len()
             )));
         }
-        Ok(SlidingQuantile { window, capacity, sorted: Vec::new(), sorted_valid: false })
+        let mut sorted: Vec<f64> = window.iter().copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        Ok(SlidingQuantile { window, capacity, sorted })
     }
 }
 
@@ -410,6 +423,25 @@ mod tests {
         q.observe(4.0);
         assert_eq!(q.quantile(1.0), Some(5.0));
         assert_eq!(q.quantile(0.0), Some(2.0));
+    }
+
+    #[test]
+    fn sliding_quantile_incremental_matches_full_sort_with_duplicates() {
+        // Duplicate values stress the binary-search evict path: equal
+        // total_cmp keys are bit-identical, so evicting "any" duplicate
+        // must still leave the same multiset as a full re-sort would.
+        let mut q = SlidingQuantile::new(5);
+        let stream = [2.0, 2.0, 1.0, 2.0, 3.0, 2.0, 1.0, 1.0, 2.0, 3.0, -0.0, 0.0];
+        for (i, &v) in stream.iter().enumerate() {
+            q.observe(v);
+            let start = (i + 1).saturating_sub(5);
+            let mut expect: Vec<f64> = stream[start..=i].to_vec();
+            expect.sort_by(f64::total_cmp);
+            for (k, want) in expect.iter().enumerate() {
+                let p = if expect.len() == 1 { 0.0 } else { k as f64 / (expect.len() - 1) as f64 };
+                assert_eq!(q.quantile(p).unwrap().to_bits(), want.to_bits(), "rank {k} after {i}");
+            }
+        }
     }
 
     #[test]

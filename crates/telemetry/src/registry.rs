@@ -3,12 +3,34 @@
 //! Experiment runners record named series ("app-0/p99_ms",
 //! "cluster/used_cpu") and counters, then dump everything as CSV for the
 //! figure scripts. This is the simulated stand-in for a Prometheus server.
+//!
+//! Hot callers (the per-tick recording loop) intern names once via
+//! [`MetricRegistry::metric_id`] and record through the returned
+//! [`MetricId`] — a dense index into a `Vec<TimeSeries>`, so the
+//! steady-state path is an array index instead of a string-keyed map
+//! lookup. The `&str` API remains for one-off and test use.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 use evolve_types::SimTime;
 
 use crate::series::TimeSeries;
+
+/// A dense handle to an interned series name.
+///
+/// Obtained from [`MetricRegistry::metric_id`]; only valid for the
+/// registry that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MetricId(u32);
+
+impl MetricId {
+    /// The raw dense index.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
 
 /// Named time series and counters.
 ///
@@ -23,12 +45,23 @@ use crate::series::TimeSeries;
 /// reg.incr("svc/requests", 3);
 /// assert_eq!(reg.counter("svc/requests"), 3);
 /// assert_eq!(reg.series("svc/p99_ms").unwrap().len(), 1);
+///
+/// // The hot path interns once and records by id.
+/// let id = reg.metric_id("svc/p99_ms");
+/// reg.record_id(id, SimTime::from_secs(2), 40.0);
+/// assert_eq!(reg.series("svc/p99_ms").unwrap().len(), 2);
 /// ```
 #[derive(Debug, Default)]
 pub struct MetricRegistry {
-    series: BTreeMap<String, TimeSeries>,
+    /// Name → dense id; a sorted map so name listings stay ordered.
+    ids: BTreeMap<String, u32>,
+    /// Dense storage, indexed by [`MetricId`].
+    series: Vec<TimeSeries>,
     counters: BTreeMap<String, u64>,
     series_capacity: usize,
+    /// Samples recorded through the dense-id fast path (perf accounting:
+    /// each is a string hash/compare + potential allocation avoided).
+    fast_records: u64,
 }
 
 impl MetricRegistry {
@@ -48,23 +81,49 @@ impl MetricRegistry {
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "series capacity must be positive");
         MetricRegistry {
-            series: BTreeMap::new(),
+            ids: BTreeMap::new(),
+            series: Vec::new(),
             counters: BTreeMap::new(),
             series_capacity: capacity,
+            fast_records: 0,
         }
+    }
+
+    /// Interns a series name, creating an empty series on first use, and
+    /// returns its dense id for [`MetricRegistry::record_id`].
+    pub fn metric_id(&mut self, name: &str) -> MetricId {
+        if let Some(id) = self.ids.get(name) {
+            return MetricId(*id);
+        }
+        let id = u32::try_from(self.series.len()).expect("more than u32::MAX series");
+        self.series.push(TimeSeries::new(self.series_capacity));
+        self.ids.insert(name.to_owned(), id);
+        MetricId(id)
+    }
+
+    /// Appends a sample to an interned series: a bounds-checked array
+    /// index, no string lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` did not come from this registry.
+    pub fn record_id(&mut self, id: MetricId, at: SimTime, value: f64) {
+        self.fast_records += 1;
+        self.series[id.0 as usize].push(at, value);
     }
 
     /// Appends a sample to the named series, creating it on first use.
     ///
     /// The steady-state path (series already exists) does not allocate:
-    /// the name is only turned into an owned `String` on first use.
+    /// the name is only turned into an owned `String` on first use. For
+    /// per-tick recording, intern once with [`MetricRegistry::metric_id`]
+    /// and use [`MetricRegistry::record_id`] instead.
     pub fn record(&mut self, name: &str, at: SimTime, value: f64) {
-        if let Some(series) = self.series.get_mut(name) {
-            series.push(at, value);
+        if let Some(id) = self.ids.get(name) {
+            self.series[*id as usize].push(at, value);
         } else {
-            let mut series = TimeSeries::new(self.series_capacity);
-            series.push(at, value);
-            self.series.insert(name.to_owned(), series);
+            let id = self.metric_id(name);
+            self.series[id.0 as usize].push(at, value);
         }
     }
 
@@ -86,12 +145,31 @@ impl MetricRegistry {
     /// Looks up a series by name.
     #[must_use]
     pub fn series(&self, name: &str) -> Option<&TimeSeries> {
-        self.series.get(name)
+        self.ids.get(name).map(|id| &self.series[*id as usize])
+    }
+
+    /// Looks up a series by interned id.
+    #[must_use]
+    pub fn series_by_id(&self, id: MetricId) -> Option<&TimeSeries> {
+        self.series.get(id.0 as usize)
+    }
+
+    /// Number of interned series.
+    #[must_use]
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Samples recorded through the dense-id fast path — the number of
+    /// string-keyed lookups the interning layer avoided.
+    #[must_use]
+    pub fn fast_path_records(&self) -> u64 {
+        self.fast_records
     }
 
     /// All series names in sorted order.
     pub fn series_names(&self) -> impl Iterator<Item = &str> {
-        self.series.keys().map(String::as_str)
+        self.ids.keys().map(String::as_str)
     }
 
     /// All counter names in sorted order.
@@ -103,12 +181,15 @@ impl MetricRegistry {
     /// header row; empty string when the series does not exist.
     #[must_use]
     pub fn series_csv(&self, name: &str) -> String {
-        let Some(s) = self.series.get(name) else {
+        let Some(s) = self.series(name) else {
             return String::new();
         };
-        let mut out = String::from("seconds,value\n");
-        for (t, v) in s.to_points() {
-            out.push_str(&format!("{t:.6},{v}\n"));
+        // Buffered `write!` straight into the output string — benches
+        // serialize hundreds of series, so no per-row `format!` allocs.
+        let mut out = String::with_capacity(16 + s.len() * 24);
+        out.push_str("seconds,value\n");
+        for sample in s.iter() {
+            let _ = writeln!(out, "{:.6},{}", sample.at.as_secs_f64(), sample.value);
         }
         out
     }
@@ -124,18 +205,18 @@ impl MetricRegistry {
             out.push_str(n);
         }
         out.push('\n');
-        let Some(first) = names.first().and_then(|n| self.series.get(*n)) else {
+        let Some(first) = names.first().and_then(|n| self.series(n)) else {
             return out;
         };
-        let columns: Vec<Vec<(f64, f64)>> = names
-            .iter()
-            .map(|n| self.series.get(*n).map_or_else(Vec::new, TimeSeries::to_points))
-            .collect();
-        for (i, (t, _)) in first.to_points().iter().enumerate() {
-            out.push_str(&format!("{t:.6}"));
+        let columns: Vec<Option<&TimeSeries>> = names.iter().map(|n| self.series(n)).collect();
+        out.reserve(first.len() * (8 + 16 * columns.len()));
+        for (i, sample) in first.iter().enumerate() {
+            let _ = write!(out, "{:.6}", sample.at.as_secs_f64());
             for col in &columns {
-                match col.get(i) {
-                    Some((_, v)) => out.push_str(&format!(",{v}")),
+                match col.and_then(|s| s.get(i)) {
+                    Some(s) => {
+                        let _ = write!(out, ",{}", s.value);
+                    }
                     None => out.push(','),
                 }
             }
@@ -159,6 +240,34 @@ mod tests {
         assert_eq!(r.series("b").unwrap().len(), 1);
         assert!(r.series("missing").is_none());
         assert_eq!(r.series_names().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn interned_ids_are_stable_and_fast_path_counts() {
+        let mut r = MetricRegistry::new();
+        let a = r.metric_id("a");
+        let b = r.metric_id("b");
+        assert_ne!(a, b);
+        assert_eq!(r.metric_id("a"), a);
+        r.record_id(a, SimTime::from_secs(1), 1.0);
+        r.record_id(b, SimTime::from_secs(1), 2.0);
+        r.record_id(a, SimTime::from_secs(2), 3.0);
+        assert_eq!(r.series("a").unwrap().len(), 2);
+        assert_eq!(r.series_by_id(b).unwrap().len(), 1);
+        assert_eq!(r.fast_path_records(), 3);
+        // Mixed access: the string path lands in the same dense series.
+        r.record("a", SimTime::from_secs(3), 4.0);
+        assert_eq!(r.series("a").unwrap().len(), 3);
+        assert_eq!(r.series_count(), 2);
+    }
+
+    #[test]
+    fn names_stay_sorted_regardless_of_intern_order() {
+        let mut r = MetricRegistry::new();
+        let _ = r.metric_id("zeta");
+        let _ = r.metric_id("alpha");
+        r.record("mid", SimTime::ZERO, 0.0);
+        assert_eq!(r.series_names().collect::<Vec<_>>(), vec!["alpha", "mid", "zeta"]);
     }
 
     #[test]

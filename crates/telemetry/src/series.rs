@@ -86,6 +86,12 @@ impl TimeSeries {
         self.samples.back().copied()
     }
 
+    /// The `i`-th retained sample, oldest first.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<Sample> {
+        self.samples.get(i).copied()
+    }
+
     /// Iterates over retained samples, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = Sample> + '_ {
         self.samples.iter().copied()

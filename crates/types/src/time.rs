@@ -132,18 +132,28 @@ impl SimDuration {
     }
 
     /// Creates a duration from a float number of seconds, rounding to the
-    /// nearest microsecond and clamping negatives to zero.
+    /// nearest microsecond (half away from zero) and clamping negatives
+    /// to zero.
     #[must_use]
     pub fn from_secs_f64(secs: f64) -> Self {
         if secs.is_nan() || secs <= 0.0 {
             return SimDuration::ZERO;
         }
-        let micros = (secs * 1e6).round();
-        if micros >= u64::MAX as f64 {
-            SimDuration::MAX
-        } else {
-            SimDuration(micros as u64)
+        let x = secs * 1e6;
+        if x >= u64::MAX as f64 {
+            return SimDuration::MAX;
         }
+        // Integer rounding instead of `f64::round` — the baseline x86-64
+        // target lowers `round` to a libm call, and this sits on the
+        // arrival-sampling hot path. Above 2^53 every f64 is an integer.
+        if x >= 9_007_199_254_740_992.0 {
+            return SimDuration(x as u64);
+        }
+        let t = x as u64;
+        // `x - t` is exact (Sterbenz for t >= 1, trivial for t == 0), so
+        // the half-away-from-zero comparison matches `round` bit for bit.
+        let frac = x - t as f64;
+        SimDuration(if frac >= 0.5 { t + 1 } else { t })
     }
 
     /// Creates a duration from a float number of seconds, rounding **up**
@@ -155,12 +165,14 @@ impl SimDuration {
         if secs.is_nan() || secs <= 0.0 {
             return SimDuration::ZERO;
         }
-        let micros = (secs * 1e6).ceil();
-        if micros >= u64::MAX as f64 {
-            SimDuration::MAX
-        } else {
-            SimDuration(micros as u64)
+        let x = secs * 1e6;
+        if x >= u64::MAX as f64 {
+            return SimDuration::MAX;
         }
+        // Integer ceiling instead of `f64::ceil` (libm call on baseline
+        // x86-64); this runs once per finish estimate in the drain loop.
+        let t = x as u64;
+        SimDuration(if t as f64 == x { t } else { t + 1 })
     }
 
     /// The duration in whole microseconds.
@@ -326,6 +338,64 @@ mod tests {
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(0.001), SimDuration::from_millis(1));
         assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::MAX);
+    }
+
+    #[test]
+    fn duration_from_secs_f64_matches_libm_rounding() {
+        // The integer fast paths must agree with `f64::round`/`f64::ceil`
+        // bit for bit — the drain loop's event times depend on it.
+        let libm_round = |secs: f64| {
+            let micros = (secs * 1e6).round();
+            if micros >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                micros as u64
+            }
+        };
+        let libm_ceil = |secs: f64| {
+            let micros = (secs * 1e6).ceil();
+            if micros >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                micros as u64
+            }
+        };
+        // Adversarial cases: exact halves, just-below-half ulp traps,
+        // integers, sub-microsecond, around 2^53 and near u64::MAX.
+        #[allow(clippy::excessive_precision)] // the ulp below 0.5 µs is the point
+        let mut cases = vec![
+            0.499_999_999_999_999_94e-6, // largest f64 below 0.5 µs
+            0.5e-6,
+            1.5e-6,
+            2.5e-6,
+            1e-7,
+            1.0,
+            1.000_000_5,
+            9_007_199_254.740_992, // 2^53 µs in seconds
+            9_007_199_254.740_994,
+            1.8e13, // near u64::MAX µs
+            f64::MAX,
+        ];
+        // A deterministic pseudo-random sweep across magnitudes.
+        let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let mantissa = (x >> 11) as f64 / (1u64 << 53) as f64;
+            let scale = 10f64.powi((x % 19) as i32 - 7);
+            cases.push(mantissa * scale);
+        }
+        for secs in cases {
+            assert_eq!(
+                SimDuration::from_secs_f64(secs).as_micros(),
+                libm_round(secs),
+                "round mismatch at {secs:e}"
+            );
+            assert_eq!(
+                SimDuration::from_secs_f64_ceil(secs).as_micros(),
+                libm_ceil(secs),
+                "ceil mismatch at {secs:e}"
+            );
+        }
     }
 
     #[test]

@@ -47,5 +47,5 @@ pub use arrival::{
     TraceLoad,
 };
 pub use request::{Request, RequestClass};
-pub use sampling::{sample_exponential, sample_lognormal, sample_pareto};
+pub use sampling::{sample_exponential, sample_lognormal, sample_pareto, LogNormal};
 pub use scenario::{LoadSpec, Scenario, WorkloadMix};

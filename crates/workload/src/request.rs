@@ -17,7 +17,7 @@ use evolve_types::{AppId, Resource, ResourceVec, SimDuration, SimTime};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::sampling::sample_lognormal;
+use crate::sampling::LogNormal;
 
 /// A class of requests with a common demand distribution.
 ///
@@ -42,11 +42,42 @@ use crate::sampling::sample_lognormal;
 /// assert!(demand.cpu() > 0.0);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(from = "RequestClassRepr", into = "RequestClassRepr")]
 pub struct RequestClass {
+    name: String,
+    mean_demand: ResourceVec,
+    timeout: SimDuration,
+    /// Demand multiplier distribution (mean 1.0), with its log-normal
+    /// parameters precomputed once instead of per sampled request.
+    multiplier: LogNormal,
+}
+
+/// Serialized form: the logical `(name, mean_demand, cv, timeout)` tuple;
+/// the precomputed distribution is re-derived on deserialization.
+#[derive(Serialize, Deserialize)]
+#[serde(rename = "RequestClass")]
+struct RequestClassRepr {
     name: String,
     mean_demand: ResourceVec,
     cv: f64,
     timeout: SimDuration,
+}
+
+impl From<RequestClassRepr> for RequestClass {
+    fn from(r: RequestClassRepr) -> Self {
+        RequestClass::new(r.name, r.mean_demand, r.cv, r.timeout)
+    }
+}
+
+impl From<RequestClass> for RequestClassRepr {
+    fn from(c: RequestClass) -> Self {
+        RequestClassRepr {
+            cv: c.cv(),
+            name: c.name,
+            mean_demand: c.mean_demand,
+            timeout: c.timeout,
+        }
+    }
 }
 
 impl RequestClass {
@@ -65,9 +96,14 @@ impl RequestClass {
     ) -> Self {
         assert!(mean_demand.is_valid(), "mean demand must be valid");
         assert!(!mean_demand.is_zero(), "mean demand must be non-zero");
-        assert!(cv >= 0.0, "coefficient of variation must be non-negative");
         assert!(!timeout.is_zero(), "timeout must be positive");
-        RequestClass { name: name.into(), mean_demand, cv, timeout }
+        // LogNormal::new validates cv >= 0.
+        RequestClass {
+            name: name.into(),
+            mean_demand,
+            timeout,
+            multiplier: LogNormal::new(1.0, cv),
+        }
     }
 
     /// The class name.
@@ -85,7 +121,7 @@ impl RequestClass {
     /// Demand coefficient of variation.
     #[must_use]
     pub fn cv(&self) -> f64 {
-        self.cv
+        self.multiplier.cv()
     }
 
     /// Per-request timeout.
@@ -99,10 +135,10 @@ impl RequestClass {
     /// per-dimension ratios stable, which is how real request fan-out
     /// behaves.
     pub fn sample_demand<R: Rng + ?Sized>(&self, rng: &mut R) -> ResourceVec {
-        if self.cv == 0.0 {
+        if self.multiplier.cv() == 0.0 {
             return self.mean_demand;
         }
-        let multiplier = sample_lognormal(rng, 1.0, self.cv);
+        let multiplier = self.multiplier.sample(rng);
         let mut d = self.mean_demand * multiplier;
         // Working set scales much less than compute with request size.
         d[Resource::Memory] = self.mean_demand[Resource::Memory] * multiplier.sqrt();

@@ -52,16 +52,74 @@ pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
 ///
 /// Panics when `mean` is not positive or `cv` is negative.
 pub fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, mean: f64, cv: f64) -> f64 {
-    assert!(mean > 0.0, "log-normal mean must be positive");
-    assert!(cv >= 0.0, "coefficient of variation must be non-negative");
-    if cv == 0.0 {
-        return mean;
+    LogNormal::new(mean, cv).sample(rng)
+}
+
+/// A log-normal distribution with its `(μ, σ)` parameters precomputed
+/// from the `(mean, cv)` parameterization.
+///
+/// [`sample_lognormal`] re-derives `μ = ln(mean) − σ²/2` and
+/// `σ = √ln(1+cv²)` on every call; hot paths that draw from one fixed
+/// distribution millions of times (per-request demand sampling) build
+/// this once. Samples are bit-identical to [`sample_lognormal`] with the
+/// same parameters and the same RNG state.
+///
+/// # Examples
+///
+/// ```
+/// use evolve_workload::{sample_lognormal, LogNormal};
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let dist = LogNormal::new(10.0, 0.5);
+/// let mut a = ChaCha8Rng::seed_from_u64(1);
+/// let mut b = ChaCha8Rng::seed_from_u64(1);
+/// assert_eq!(dist.sample(&mut a), sample_lognormal(&mut b, 10.0, 0.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mean: f64,
+    cv: f64,
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Precomputes the distribution parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mean` is not positive or `cv` is negative.
+    #[must_use]
+    pub fn new(mean: f64, cv: f64) -> Self {
+        assert!(mean > 0.0, "log-normal mean must be positive");
+        assert!(cv >= 0.0, "coefficient of variation must be non-negative");
+        // For LogNormal(μ, σ): mean = exp(μ + σ²/2), cv² = exp(σ²) - 1.
+        let sigma2 = (1.0 + cv * cv).ln();
+        LogNormal { mean, cv, mu: mean.ln() - sigma2 / 2.0, sigma: sigma2.sqrt() }
     }
-    // For LogNormal(μ, σ): mean = exp(μ + σ²/2), cv² = exp(σ²) - 1.
-    let sigma2 = (1.0 + cv * cv).ln();
-    let mu = mean.ln() - sigma2 / 2.0;
-    let z = sample_standard_normal(rng);
-    (mu + sigma2.sqrt() * z).exp()
+
+    /// The distribution mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The coefficient of variation.
+    #[must_use]
+    pub fn cv(&self) -> f64 {
+        self.cv
+    }
+
+    /// Draws one sample; a CV of 0 returns the mean deterministically
+    /// without consuming RNG state.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.cv == 0.0 {
+            return self.mean;
+        }
+        let z = sample_standard_normal(rng);
+        (self.mu + self.sigma * z).exp()
+    }
 }
 
 /// Samples a Pareto variate with scale `xm` and shape `alpha` (heavy tail
