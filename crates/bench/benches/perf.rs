@@ -139,19 +139,20 @@ fn bench_registry(c: &mut Criterion) {
             let mut reg = MetricRegistry::new();
             for t in 0..128u64 {
                 for name in &names {
+                    #[allow(deprecated)]
                     reg.record(name, SimTime::from_secs(t), t as f64);
                 }
             }
             black_box(reg.series_count())
         })
     });
-    group.bench_function("record_by_id_1k", |b| {
+    group.bench_function("record_by_key_1k", |b| {
         b.iter(|| {
             let mut reg = MetricRegistry::new();
-            let ids: Vec<_> = names.iter().map(|n| reg.metric_id(n)).collect();
+            let keys: Vec<_> = names.iter().map(|n| reg.key(n)).collect();
             for t in 0..128u64 {
-                for id in &ids {
-                    reg.record_id(*id, SimTime::from_secs(t), t as f64);
+                for key in &keys {
+                    reg.record_key(*key, SimTime::from_secs(t), t as f64);
                 }
             }
             black_box(reg.fast_path_records())

@@ -62,10 +62,11 @@ fn bench_engine(c: &mut Criterion) {
                 horizon: SimDuration::from_secs(60),
             };
             let outcome = ExperimentRunner::new(
-                RunConfig::new(scenario, ManagerKind::Evolve)
-                    .with_nodes(3)
-                    .with_seed(7)
-                    .without_series(),
+                RunConfig::builder(scenario, ManagerKind::Evolve)
+                    .nodes(3)
+                    .seed(7)
+                    .record_series(false)
+                    .build(),
             )
             .run();
             black_box(outcome.total_violation_rate())

@@ -1,12 +1,11 @@
 //! Scratch diagnostics: per-app allocation/usage traces on the headline
 //! mix under EVOLVE.
 
-use evolve_core::{ExperimentRunner, ManagerKind, RunConfig};
-use evolve_workload::Scenario;
+use evolve::prelude::*;
 
 fn main() {
     let outcome = ExperimentRunner::new(
-        RunConfig::new(Scenario::headline(1.0), ManagerKind::Evolve).with_seed(42),
+        RunConfig::builder(Scenario::headline(1.0), ManagerKind::Evolve).seed(42).build(),
     )
     .run();
     println!("app summaries:");

@@ -9,15 +9,14 @@
 //! cargo run --release -p evolve-bench --bin fig1_timeline [seed-count]
 //! ```
 
+use evolve::prelude::*;
 use evolve_bench::{cli_seed_count, output_dir, seed_list};
-use evolve_core::{write_csv, Harness, ManagerKind, RunConfig};
-use evolve_workload::Scenario;
 
 fn main() {
     let seeds = seed_list(cli_seed_count(5));
     eprintln!("running the diurnal day under EVOLVE ({} seed(s)) …", seeds.len());
     let rep = Harness::new().run_seeds(
-        &RunConfig::new(Scenario::single_diurnal(), ManagerKind::Evolve).with_nodes(6),
+        &RunConfig::builder(Scenario::single_diurnal(), ManagerKind::Evolve).nodes(6).build(),
         &seeds,
     );
     let outcome = rep.representative();

@@ -7,10 +7,9 @@
 //! cargo run --release -p evolve-bench --bin fig2_step [seed-count]
 //! ```
 
+use evolve::prelude::*;
 use evolve_bench::{cli_seed_count, output_dir, replicated_settling, seed_list};
-use evolve_core::{write_csv, EvolvePolicyConfig, Harness, ManagerKind, RunConfig, Table};
-use evolve_types::SimTime;
-use evolve_workload::Scenario;
+use evolve_core::EvolvePolicyConfig;
 
 fn main() {
     let seeds = seed_list(cli_seed_count(5));
@@ -27,7 +26,7 @@ fn main() {
     // Settling needs the per-tick p99 series, so series stay on.
     let configs: Vec<RunConfig> = variants
         .iter()
-        .map(|(_, m)| RunConfig::new(Scenario::step_response(4.0), m.clone()).with_nodes(8))
+        .map(|(_, m)| RunConfig::builder(Scenario::step_response(4.0), m.clone()).nodes(8).build())
         .collect();
     eprintln!("running {} variants × {} seeds …", configs.len(), seeds.len());
     let reps = Harness::new().run_matrix(&configs, &seeds);

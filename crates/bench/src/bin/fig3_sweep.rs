@@ -8,9 +8,8 @@
 //! cargo run --release -p evolve-bench --bin fig3_sweep [seed-count]
 //! ```
 
+use evolve::prelude::*;
 use evolve_bench::{cli_seed_count, output_dir, seed_list};
-use evolve_core::{write_csv, Harness, ManagerKind, RunConfig, Table};
-use evolve_workload::Scenario;
 
 fn main() {
     let seeds = seed_list(cli_seed_count(5));
@@ -25,7 +24,10 @@ fn main() {
         .iter()
         .flat_map(|x| {
             managers.iter().map(|m| {
-                RunConfig::new(Scenario::load_sweep(*x), m.clone()).with_nodes(10).without_series()
+                RunConfig::builder(Scenario::load_sweep(*x), m.clone())
+                    .nodes(10)
+                    .record_series(false)
+                    .build()
             })
         })
         .collect();

@@ -7,10 +7,8 @@
 //! cargo run --release -p evolve-bench --bin fig4_utilization [seed-count]
 //! ```
 
+use evolve::prelude::*;
 use evolve_bench::{cli_seed_count, output_dir, seed_list};
-use evolve_core::{write_csv, Harness, ManagerKind, RunConfig, Table};
-use evolve_types::Resource;
-use evolve_workload::Scenario;
 
 fn main() {
     let seeds = seed_list(cli_seed_count(5));
@@ -20,8 +18,10 @@ fn main() {
         ManagerKind::Hpa { target_utilization: 0.6 },
     ];
     // The CSV wants the cluster time series, so series stay on.
-    let configs: Vec<RunConfig> =
-        managers.iter().map(|m| RunConfig::new(Scenario::headline(1.0), m.clone())).collect();
+    let configs: Vec<RunConfig> = managers
+        .iter()
+        .map(|m| RunConfig::builder(Scenario::headline(1.0), m.clone()).build())
+        .collect();
     eprintln!("running {} policies × {} seeds …", configs.len(), seeds.len());
     let reps = Harness::new().run_matrix(&configs, &seeds);
 

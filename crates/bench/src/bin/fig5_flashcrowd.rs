@@ -6,10 +6,8 @@
 //! cargo run --release -p evolve-bench --bin fig5_flashcrowd [seed-count]
 //! ```
 
+use evolve::prelude::*;
 use evolve_bench::{cli_seed_count, output_dir, replicated_settling, seed_list};
-use evolve_core::{write_csv, Harness, ManagerKind, RunConfig, Table};
-use evolve_types::SimTime;
-use evolve_workload::Scenario;
 
 fn main() {
     let seeds = seed_list(cli_seed_count(5));
@@ -23,7 +21,7 @@ fn main() {
     // Recovery analysis needs the per-tick p99 series, so series stay on.
     let configs: Vec<RunConfig> = managers
         .iter()
-        .map(|m| RunConfig::new(Scenario::flash_crowd(5.0), m.clone()).with_nodes(8))
+        .map(|m| RunConfig::builder(Scenario::flash_crowd(5.0), m.clone()).nodes(8).build())
         .collect();
     eprintln!("running {} policies × {} seeds …", configs.len(), seeds.len());
     let reps = Harness::new().run_matrix(&configs, &seeds);

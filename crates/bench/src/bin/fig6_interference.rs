@@ -9,11 +9,9 @@
 //! cargo run --release -p evolve-bench --bin fig6_interference [seed-count]
 //! ```
 
+use evolve::prelude::*;
 use evolve_bench::{cli_seed_count, output_dir, seed_list};
-use evolve_core::{
-    write_csv, Harness, ManagerKind, RunConfig, RunOutcome, SchedulerProfile, Table,
-};
-use evolve_workload::{Scenario, WorldClass};
+use evolve_workload::WorldClass;
 
 fn svc_violation_rate(r: &RunOutcome) -> f64 {
     fn svc(r: &RunOutcome) -> impl Iterator<Item = &evolve_core::AppSummary> {
@@ -38,10 +36,11 @@ fn main() {
     let configs: Vec<RunConfig> = variants
         .iter()
         .map(|(_, manager, profile)| {
-            RunConfig::new(Scenario::interference(), manager.clone())
-                .with_nodes(10)
-                .with_scheduler(*profile)
-                .without_series()
+            RunConfig::builder(Scenario::interference(), manager.clone())
+                .nodes(10)
+                .scheduler(*profile)
+                .record_series(false)
+                .build()
         })
         .collect();
     eprintln!("running {} variants × {} seeds …", configs.len(), seeds.len());

@@ -9,11 +9,8 @@
 //! EVOLVE_SMOKE=1 … # short horizon for CI smoke runs
 //! ```
 
+use evolve::prelude::*;
 use evolve_bench::{cli_seed_count, output_dir, seed_list, smoke_mode};
-use evolve_core::{write_csv, Harness, ManagerKind, RunConfig};
-use evolve_sim::FaultPlan;
-use evolve_types::{NodeId, SimDuration, SimTime};
-use evolve_workload::Scenario;
 
 fn main() {
     let seeds = seed_list(cli_seed_count(5));
@@ -25,9 +22,10 @@ fn main() {
         SimTime::from_secs(crash_at),
         Some(SimDuration::from_secs(downtime)),
     );
-    let mut config = RunConfig::new(Scenario::single_diurnal(), ManagerKind::Evolve)
-        .with_nodes(6)
-        .with_faults(faults);
+    let mut config = RunConfig::builder(Scenario::single_diurnal(), ManagerKind::Evolve)
+        .nodes(6)
+        .faults(faults)
+        .build();
     config.scenario.horizon = SimDuration::from_secs(horizon);
     eprintln!(
         "EVOLVE through a node crash at t={crash_at} s ({downtime} s down, {} seed(s)) …",

@@ -9,11 +9,8 @@
 //! EVOLVE_SMOKE=1 … # short horizon for CI smoke runs
 //! ```
 
+use evolve::prelude::*;
 use evolve_bench::{cli_seed_count, output_dir, seed_list, smoke_mode};
-use evolve_core::{write_csv, Harness, ManagerKind, RecoveryStrategy, RunConfig};
-use evolve_sim::FaultPlan;
-use evolve_types::{SimDuration, SimTime};
-use evolve_workload::Scenario;
 
 fn main() {
     let seeds = seed_list(cli_seed_count(1));
@@ -33,10 +30,11 @@ fn main() {
     );
     println!("{:>18} {:>8} {:>9} {:>9} {:>11}", "strategy", "t (s)", "p99 ms", "replicas", "alloc");
     for (name, plan, recovery) in &cases {
-        let mut config = RunConfig::new(Scenario::single_diurnal(), ManagerKind::Evolve)
-            .with_nodes(6)
-            .with_faults(plan.clone())
-            .with_recovery(*recovery);
+        let mut config = RunConfig::builder(Scenario::single_diurnal(), ManagerKind::Evolve)
+            .nodes(6)
+            .faults(plan.clone())
+            .recovery(*recovery)
+            .build();
         config.scenario.horizon = SimDuration::from_secs(horizon);
         eprintln!("{name} …");
         let rep = Harness::new().run_seeds(&config, &seeds);

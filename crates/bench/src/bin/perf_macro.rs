@@ -23,10 +23,8 @@
 //! * `EVOLVE_BENCH_JSON` — output path (default `BENCH.json` in the
 //!   working directory).
 
+use evolve::prelude::*;
 use evolve_bench::{smoke_mode, BASE_SEED};
-use evolve_core::{ExperimentRunner, ManagerKind, RunConfig, RunPerf};
-use evolve_types::SimDuration;
-use evolve_workload::Scenario;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -82,7 +80,7 @@ fn main() -> ExitCode {
     // least-perturbed measurement.
     let mut best: Option<RunPerf> = None;
     for i in 0..iters {
-        let cfg = RunConfig::new(scenario.clone(), ManagerKind::Evolve).with_seed(BASE_SEED);
+        let cfg = RunConfig::builder(scenario.clone(), ManagerKind::Evolve).seed(BASE_SEED).build();
         let outcome = ExperimentRunner::new(cfg).run();
         print_perf(&format!("iter {}", i + 1), &outcome.perf);
         if best.is_none()

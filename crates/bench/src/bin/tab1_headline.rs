@@ -8,9 +8,8 @@
 //! cargo run --release -p evolve-bench --bin tab1_headline [seed-count]
 //! ```
 
+use evolve::prelude::*;
 use evolve_bench::{cli_seed_count, headline_headers, headline_summary_row, output_dir, seed_list};
-use evolve_core::{write_csv, Harness, ManagerKind, RunConfig, Table};
-use evolve_workload::Scenario;
 
 fn main() {
     let seeds = seed_list(cli_seed_count(5));
@@ -22,7 +21,9 @@ fn main() {
     ];
     let configs: Vec<RunConfig> = managers
         .iter()
-        .map(|m| RunConfig::new(Scenario::headline(1.0), m.clone()).without_series())
+        .map(|m| {
+            RunConfig::builder(Scenario::headline(1.0), m.clone()).record_series(false).build()
+        })
         .collect();
     eprintln!("running {} policies × {} seeds …", configs.len(), seeds.len());
     let reps = Harness::new().run_matrix(&configs, &seeds);

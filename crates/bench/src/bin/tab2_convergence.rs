@@ -10,9 +10,9 @@
 //! cargo run --release -p evolve-bench --bin tab2_convergence [seed-count]
 //! ```
 
+use evolve::prelude::*;
 use evolve_bench::{cli_seed_count, output_dir, seed_list};
-use evolve_core::{write_csv, Harness, ManagerKind, RunConfig, RunOutcome, Summary, Table};
-use evolve_workload::{Scenario, WorkloadMix, WorldClass};
+use evolve_workload::{WorkloadMix, WorldClass};
 
 /// Splits the headline mix into per-world scenarios.
 fn silo_scenarios() -> [(String, Scenario, usize); 3] {
@@ -128,9 +128,10 @@ fn main() {
 
     eprintln!("running converged (20 nodes) × {} seeds …", seeds.len());
     let converged = harness.run_seeds(
-        &RunConfig::new(Scenario::headline(1.0), ManagerKind::Evolve)
-            .with_nodes(20)
-            .without_series(),
+        &RunConfig::builder(Scenario::headline(1.0), ManagerKind::Evolve)
+            .nodes(20)
+            .record_series(false)
+            .build(),
         &seeds,
     );
     let converged_samples: Vec<DeploymentSample> =
@@ -142,9 +143,10 @@ fn main() {
     let silo_configs: Vec<RunConfig> = silos
         .iter()
         .map(|(_, scenario, nodes)| {
-            RunConfig::new(scenario.clone(), ManagerKind::Evolve)
-                .with_nodes(*nodes)
-                .without_series()
+            RunConfig::builder(scenario.clone(), ManagerKind::Evolve)
+                .nodes(*nodes)
+                .record_series(false)
+                .build()
         })
         .collect();
     eprintln!("running 3 silos × {} seeds …", seeds.len());

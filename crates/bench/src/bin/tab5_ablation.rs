@@ -8,9 +8,9 @@
 //! cargo run --release -p evolve-bench --bin tab5_ablation [seed-count]
 //! ```
 
+use evolve::prelude::*;
 use evolve_bench::{cli_seed_count, output_dir, seed_list};
-use evolve_core::{write_csv, EvolvePolicyConfig, Harness, ManagerKind, RunConfig, Table};
-use evolve_workload::Scenario;
+use evolve_core::EvolvePolicyConfig;
 
 fn main() {
     let seeds = seed_list(cli_seed_count(5));
@@ -27,9 +27,10 @@ fn main() {
     let configs: Vec<RunConfig> = variants
         .iter()
         .map(|(_, manager)| {
-            RunConfig::new(Scenario::bottleneck_rotation(), manager.clone())
-                .with_nodes(12)
-                .without_series()
+            RunConfig::builder(Scenario::bottleneck_rotation(), manager.clone())
+                .nodes(12)
+                .record_series(false)
+                .build()
         })
         .collect();
     eprintln!("running {} variants × {} seeds …", configs.len(), seeds.len());

@@ -10,11 +10,8 @@
 //! EVOLVE_SMOKE=1 … # short horizon for CI smoke runs
 //! ```
 
+use evolve::prelude::*;
 use evolve_bench::{cli_seed_count, output_dir, replicated_settling, seed_list, smoke_mode};
-use evolve_core::{write_csv, Harness, ManagerKind, ReplicatedOutcome, RunConfig, Summary, Table};
-use evolve_sim::FaultPlan;
-use evolve_types::{NodeId, SimDuration, SimTime};
-use evolve_workload::Scenario;
 
 struct FaultCase {
     name: &'static str,
@@ -92,9 +89,10 @@ fn main() {
         let configs: Vec<RunConfig> = managers
             .iter()
             .map(|m| {
-                let mut config = RunConfig::new(Scenario::single_diurnal(), m.clone())
-                    .with_nodes(6)
-                    .with_faults(case.plan.clone());
+                let mut config = RunConfig::builder(Scenario::single_diurnal(), m.clone())
+                    .nodes(6)
+                    .faults(case.plan.clone())
+                    .build();
                 config.scenario.horizon = SimDuration::from_secs(horizon);
                 config
             })

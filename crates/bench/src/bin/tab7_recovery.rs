@@ -11,13 +11,8 @@
 //! EVOLVE_SMOKE=1 … # short horizon for CI smoke runs
 //! ```
 
+use evolve::prelude::*;
 use evolve_bench::{cli_seed_count, output_dir, replicated_settling, seed_list, smoke_mode};
-use evolve_core::{
-    write_csv, Harness, ManagerKind, RecoveryStrategy, ReplicatedOutcome, RunConfig, Summary, Table,
-};
-use evolve_sim::FaultPlan;
-use evolve_types::{SimDuration, SimTime};
-use evolve_workload::Scenario;
 
 /// Violating windows inside `[from, to]`, averaged across seeds. A window
 /// violates when its measured p99 exceeds the target **or** it dropped
@@ -95,10 +90,11 @@ fn main() {
         "recovery,restarts_mean,recomply_s_mean,recomply_ci,viol_after_mean,viol_after_ci,min_replicas_mean,viol_rate_mean,timeouts_mean\n",
     );
     for (name, plan, recovery) in &cases {
-        let mut config = RunConfig::new(Scenario::single_diurnal(), ManagerKind::Evolve)
-            .with_nodes(6)
-            .with_faults(plan.clone())
-            .with_recovery(*recovery);
+        let mut config = RunConfig::builder(Scenario::single_diurnal(), ManagerKind::Evolve)
+            .nodes(6)
+            .faults(plan.clone())
+            .recovery(*recovery)
+            .build();
         config.scenario.horizon = SimDuration::from_secs(horizon);
         eprintln!("{name}: {} seed(s) …", seeds.len());
         let rep = Harness::new().run_seeds(&config, &seeds);

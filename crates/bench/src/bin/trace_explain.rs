@@ -1,0 +1,253 @@
+//! **Decision-trace explorer.** Runs the headline scenario with the
+//! decision-trace ring dumped to JSONL, then reconstructs the full
+//! decision chain — PID term breakdown → degradation-guard verdict →
+//! actuation outcome → scheduler placements — for one app around one
+//! moment, *from the dump file itself* (proving the JSONL is queryable
+//! offline). With no arguments it auto-selects the worst violating
+//! control window of the run; pass an app id and a time to aim it.
+//!
+//! ```text
+//! cargo run --release -p evolve-bench --bin trace_explain [app] [t_s] [half_window_s]
+//! EVOLVE_SMOKE=1 … # short horizon for CI smoke runs
+//! ```
+//!
+//! Exits non-zero when the dump is empty (tracing broken) or the
+//! requested app/window has no control records.
+
+use evolve::prelude::*;
+use evolve_bench::{output_dir, smoke_mode, BASE_SEED};
+use std::process::ExitCode;
+
+/// One parsed JSONL record: the raw line plus the fields the timeline
+/// needs. Parsing is by string scanning — the dump's key order and float
+/// format are pinned (see `evolve_telemetry::trace`), and the vendored
+/// serde is a no-op stub, so a hand-rolled reader is the honest option.
+struct Record {
+    line: String,
+}
+
+impl Record {
+    fn kind(&self) -> &str {
+        self.str_field("type").unwrap_or("")
+    }
+
+    /// Numeric field value, or `None` when absent or JSON `null`.
+    fn num(&self, key: &str) -> Option<f64> {
+        let needle = format!("\"{key}\":");
+        let rest = &self.line[self.line.find(&needle)? + needle.len()..];
+        let end = rest
+            .find(|c: char| {
+                !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+            })
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+
+    /// String field value (first occurrence).
+    fn str_field(&self, key: &str) -> Option<&str> {
+        let needle = format!("\"{key}\":\"");
+        let start = self.line.find(&needle)? + needle.len();
+        let rest = &self.line[start..];
+        Some(&rest[..rest.find('"')?])
+    }
+
+    /// Boolean field value (booleans are bare `true`/`false` in JSON).
+    fn bool_field(&self, key: &str) -> Option<bool> {
+        let needle = format!("\"{key}\":");
+        let rest = &self.line[self.line.find(&needle)? + needle.len()..];
+        if rest.starts_with("true") {
+            Some(true)
+        } else if rest.starts_with("false") {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// The raw text of a bracketed array field, e.g. `filtered`.
+    fn array(&self, key: &str) -> Option<&str> {
+        let needle = format!("\"{key}\":[");
+        let start = self.line.find(&needle)? + needle.len() - 1;
+        let rest = &self.line[start..];
+        let mut depth = 0usize;
+        for (i, c) in rest.char_indices() {
+            match c {
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(&rest[..=i]);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+fn fmt_opt(v: Option<f64>, prec: usize) -> String {
+    v.map_or_else(|| "-".into(), |v| format!("{v:.prec$}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let want_app: Option<u64> = args.get(1).and_then(|s| s.parse().ok());
+    let want_t: Option<f64> = args.get(2).and_then(|s| s.parse().ok());
+    let half_window: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(120.0);
+
+    let mut scenario = Scenario::headline(1.0);
+    if smoke_mode() {
+        scenario.horizon = SimDuration::from_mins(3);
+    }
+    let dump_path = output_dir().join("trace_headline.jsonl");
+    if let Some(parent) = dump_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let cfg = RunConfig::builder(scenario, ManagerKind::Evolve)
+        .seed(BASE_SEED)
+        .trace(TraceConfig::default().with_capacity(1 << 20).dump_to(&dump_path))
+        .build();
+    eprintln!("running headline scenario (seed {BASE_SEED}) with decision tracing …");
+    let outcome = ExperimentRunner::new(cfg).run();
+    eprintln!(
+        "trace ring: {} events retained, {} dropped; dump: {}",
+        outcome.trace.len(),
+        outcome.trace.dropped(),
+        dump_path.display()
+    );
+
+    // Everything below works off the dump file, not the in-memory ring.
+    let text = match std::fs::read_to_string(&dump_path) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("cannot read trace dump {}: {err}", dump_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let records: Vec<Record> = text.lines().map(|l| Record { line: l.to_string() }).collect();
+    if records.is_empty() {
+        eprintln!("trace dump is empty — tracing produced no events");
+        return ExitCode::FAILURE;
+    }
+    let controls: Vec<&Record> = records.iter().filter(|r| r.kind() == "control").collect();
+    let scheds: Vec<&Record> = records.iter().filter(|r| r.kind() == "sched").collect();
+    let spans = records.iter().filter(|r| r.kind() == "span").count();
+    println!(
+        "trace dump: {} control records, {} sched records, {} spans",
+        controls.len(),
+        scheds.len(),
+        spans
+    );
+
+    // Pick the focus: requested app/time, else the control record with
+    // the worst positive control error (deepest PLO violation).
+    let (app, center) = match (want_app, want_t) {
+        (Some(a), Some(t)) => (a, t),
+        _ => {
+            let worst = controls
+                .iter()
+                .filter(|r| want_app.is_none_or(|a| r.num("app") == Some(a as f64)))
+                .filter_map(|r| {
+                    let err = r.num("error")?;
+                    Some((r, err))
+                })
+                .max_by(|a, b| a.1.total_cmp(&b.1));
+            match worst {
+                Some((r, err)) => {
+                    let app = r.num("app").unwrap_or(0.0) as u64;
+                    let t = r.num("at_s").unwrap_or(0.0);
+                    println!("focus: worst control error {err:.3} — app {app} at t={t:.0} s");
+                    (app, t)
+                }
+                None => {
+                    eprintln!("no control records carry an explain block");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let (from, to) = (center - half_window, center + half_window);
+    println!("\n=== decision timeline: app {app}, t ∈ [{from:.0}, {to:.0}] s ===\n");
+
+    let in_window = |r: &Record| {
+        r.num("at_s").is_some_and(|t| t >= from && t <= to) && r.num("app") == Some(app as f64)
+    };
+    let app_controls: Vec<&&Record> = controls.iter().filter(|r| in_window(r)).collect();
+    if app_controls.is_empty() {
+        eprintln!("no control records for app {app} in [{from:.0}, {to:.0}] s");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "{:>7} {:>6} {:>8} {:>9} {:>9} {:>5} {:>12} {:>8} {:>26} {:>22} {:>6} {:>4}",
+        "t (s)",
+        "tick",
+        "signal",
+        "measured",
+        "rate",
+        "reps",
+        "outcome",
+        "error",
+        "pid cpu (p/i/d→out)",
+        "forecast raw→infl",
+        "dark",
+        "wdog"
+    );
+    for r in &app_controls {
+        // The pid array holds one {p,i,d,out} object per resource; the
+        // first (CPU) is the headline term breakdown.
+        let cpu_pid = r.array("pid").map(|a| {
+            let obj = Record { line: a[..a.find('}').map_or(a.len(), |i| i + 1)].to_string() };
+            (obj.num("p"), obj.num("i"), obj.num("d"), obj.num("out"))
+        });
+        let pid_txt = cpu_pid.map_or_else(
+            || "-".into(),
+            |(p, i, d, o)| {
+                format!("{}/{}/{}→{}", fmt_opt(p, 2), fmt_opt(i, 2), fmt_opt(d, 2), fmt_opt(o, 2))
+            },
+        );
+        let forecast_txt =
+            format!("{}→{}", fmt_opt(r.num("raw_forecast"), 1), fmt_opt(r.num("forecast"), 1));
+        println!(
+            "{:>7.0} {:>6} {:>8} {:>9} {:>9} {:>5} {:>12} {:>8} {:>26} {:>22} {:>6} {:>4}",
+            r.num("at_s").unwrap_or(0.0),
+            r.num("tick").map_or_else(|| "-".into(), |t| format!("{t:.0}")),
+            r.str_field("signal").unwrap_or("-"),
+            fmt_opt(r.num("measured"), 1),
+            fmt_opt(r.num("rate_rps"), 1),
+            r.num("replicas").map_or_else(|| "-".into(), |v| format!("{v:.0}")),
+            r.str_field("outcome").unwrap_or("-"),
+            fmt_opt(r.num("error"), 3),
+            pid_txt,
+            forecast_txt,
+            r.num("dark_ticks").map_or_else(|| "-".into(), |v| format!("{v:.0}")),
+            r.bool_field("watchdog").map_or("-", |w| if w { "YES" } else { "no" }),
+        );
+    }
+
+    let app_scheds: Vec<&&Record> = scheds.iter().filter(|r| in_window(r)).collect();
+    println!("\nscheduler placements for app {app} in the window: {}", app_scheds.len());
+    for r in &app_scheds {
+        println!(
+            "  t={:>6.0} pod {:>5} {:<13} node {:<4} score {:<8} feasible {:<3} filtered {} victims {} backoff {}",
+            r.num("at_s").unwrap_or(0.0),
+            r.num("pod").map_or_else(|| "-".into(), |v| format!("{v:.0}")),
+            r.str_field("outcome").unwrap_or("-"),
+            r.num("node").map_or_else(|| "-".into(), |v| format!("{v:.0}")),
+            fmt_opt(r.num("score"), 3),
+            r.num("feasible").map_or_else(|| "-".into(), |v| format!("{v:.0}")),
+            r.array("filtered").unwrap_or("[]"),
+            r.array("victims").unwrap_or("[]"),
+            r.num("backoff_failures").map_or_else(|| "-".into(), |v| format!("{v:.0}")),
+        );
+    }
+
+    println!(
+        "\nchain: smoothed measurement → control error → PID terms → guard verdict \
+         (signal/dark/watchdog) → actuation outcome → scheduler placement. \
+         Full records: {}",
+        dump_path.display()
+    );
+    ExitCode::SUCCESS
+}

@@ -55,6 +55,6 @@ mod tuning;
 pub use degrade::{DegradationConfig, DegradationGuard};
 pub use model::{RlsModel, SensitivityModel};
 pub use multi::{MultiResourceConfig, MultiResourceController, ResourceDecision};
-pub use pid::{PidConfig, PidController};
+pub use pid::{PidConfig, PidController, PidTerms};
 pub use predictor::LoadPredictor;
 pub use tuning::{AdaptiveTuner, AdaptiveTunerConfig, RelayTuner, RelayTunerOutcome};

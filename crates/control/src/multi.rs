@@ -261,6 +261,14 @@ impl MultiResourceController {
         (c.kp(), c.ki(), c.kd())
     }
 
+    /// Term breakdown of `resource`'s PID for the most recent control
+    /// period (all zero before the first step) — the decision-trace
+    /// layer's view into *why* a dimension moved.
+    #[must_use]
+    pub fn pid_terms(&self, resource: Resource) -> crate::pid::PidTerms {
+        self.pids[resource.index()].last_terms()
+    }
+
     /// Executes one control period.
     ///
     /// * `alloc` — current per-replica allocation;

@@ -217,6 +217,42 @@ pub struct PidController {
     prev_error: Option<f64>,
     filtered_derivative: f64,
     prev_output: Option<f64>,
+    last_terms: PidTerms,
+}
+
+/// The per-term breakdown of one [`PidController::step`] call: what the
+/// proportional, integral and derivative paths each contributed, and the
+/// clamped output that was actually emitted. Captured during the step
+/// itself because the saturated case uses the *candidate* integral, which
+/// is not reconstructible from the post-step state.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PidTerms {
+    /// Proportional contribution, `kp * error`.
+    pub p: f64,
+    /// Integral contribution, `ki * candidate_integral`.
+    pub i: f64,
+    /// Derivative contribution, `kd * filtered_derivative`.
+    pub d: f64,
+    /// Emitted output after output clamping and slew limiting.
+    pub output: f64,
+}
+
+impl Codec for PidTerms {
+    fn encode(&self, enc: &mut Encoder) {
+        self.p.encode(enc);
+        self.i.encode(enc);
+        self.d.encode(enc);
+        self.output.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(PidTerms {
+            p: f64::decode(dec)?,
+            i: f64::decode(dec)?,
+            d: f64::decode(dec)?,
+            output: f64::decode(dec)?,
+        })
+    }
 }
 
 impl PidController {
@@ -229,6 +265,7 @@ impl PidController {
             prev_error: None,
             filtered_derivative: 0.0,
             prev_output: None,
+            last_terms: PidTerms::default(),
         }
     }
 
@@ -257,6 +294,13 @@ impl PidController {
     #[must_use]
     pub fn integral(&self) -> f64 {
         self.integral
+    }
+
+    /// Term breakdown of the most recent [`step`](Self::step) (all zero
+    /// before the first step and after a [`reset`](Self::reset)).
+    #[must_use]
+    pub fn last_terms(&self) -> PidTerms {
+        self.last_terms
     }
 
     /// Advances the controller by one step.
@@ -312,6 +356,12 @@ impl PidController {
             _ => clamped,
         };
         self.prev_output = Some(output);
+        self.last_terms = PidTerms {
+            p: cfg.kp * error,
+            i: cfg.ki * candidate_integral,
+            d: cfg.kd * self.filtered_derivative,
+            output,
+        };
         output
     }
 
@@ -321,6 +371,7 @@ impl PidController {
         self.prev_error = None;
         self.filtered_derivative = 0.0;
         self.prev_output = None;
+        self.last_terms = PidTerms::default();
     }
 
     /// Seeds the controller for **bumpless transfer**: given the error the
@@ -374,6 +425,7 @@ impl Codec for PidController {
         self.prev_error.encode(enc);
         self.filtered_derivative.encode(enc);
         self.prev_output.encode(enc);
+        self.last_terms.encode(enc);
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
@@ -383,6 +435,7 @@ impl Codec for PidController {
             prev_error: Option::<f64>::decode(dec)?,
             filtered_derivative: f64::decode(dec)?,
             prev_output: Option::<f64>::decode(dec)?,
+            last_terms: PidTerms::decode(dec)?,
         })
     }
 }

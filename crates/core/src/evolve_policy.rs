@@ -4,6 +4,7 @@
 use evolve_control::{
     DegradationGuard, LoadPredictor, MultiResourceConfig, MultiResourceController,
 };
+use evolve_telemetry::trace::{ControlExplain, PidTermsTrace};
 use evolve_telemetry::{Ewma, SlidingQuantile};
 use evolve_types::codec::{Codec, Decoder, Encoder};
 use evolve_types::{Error, Resource, ResourceVec, Result};
@@ -99,6 +100,13 @@ pub struct EvolvePolicy {
     /// Per-replica usage from the last fresh window — anchors the
     /// watchdog floor when signals go dark.
     last_usage_pr: ResourceVec,
+    /// Trace-only snapshot of the last stepped control cycle. Excluded
+    /// from checkpoints: the decision trace is observability, not state.
+    last_error: f64,
+    last_smoothed: f64,
+    last_attribution: ResourceVec,
+    last_saturated_up: bool,
+    last_saturated_down: bool,
 }
 
 impl EvolvePolicy {
@@ -126,6 +134,11 @@ impl EvolvePolicy {
             is_job,
             guard: DegradationGuard::default(),
             last_usage_pr: ResourceVec::ZERO,
+            last_error: 0.0,
+            last_smoothed: 0.0,
+            last_attribution: ResourceVec::ZERO,
+            last_saturated_up: false,
+            last_saturated_down: false,
         }
     }
 
@@ -245,6 +258,11 @@ impl AutoscalePolicy for EvolvePolicy {
             error,
             input.dt_secs,
         );
+        self.last_error = error;
+        self.last_smoothed = smoothed;
+        self.last_attribution = decision.attribution;
+        self.last_saturated_up = decision.saturated_up;
+        self.last_saturated_down = decision.saturated_down;
         // Burst headroom: provision for the recently observed peak rate,
         // not the instantaneous one — bursty traffic (MMPP state flips,
         // recurring spikes) would otherwise buy one violating window on
@@ -374,6 +392,31 @@ impl AutoscalePolicy for EvolvePolicy {
             self.last_usage_pr = (observed.alloc_per_replica * 0.5).max(&self.config.min_alloc);
         }
         self.controller.arm_bumpless();
+    }
+
+    fn explain(&self) -> Option<ControlExplain> {
+        let mut pid = [PidTermsTrace::default(); 4];
+        let mut gains = [(0.0, 0.0, 0.0); 4];
+        for r in Resource::ALL {
+            let t = self.controller.pid_terms(r);
+            pid[r.index()] = PidTermsTrace { p: t.p, i: t.i, d: t.d, output: t.output };
+            gains[r.index()] = self.controller.gains_of(r);
+        }
+        Some(ControlExplain {
+            pid,
+            gains,
+            attribution: self.last_attribution,
+            saturated_up: self.last_saturated_up,
+            saturated_down: self.last_saturated_down,
+            adaptations: self.controller.adaptations(),
+            dark_ticks: self.guard.dark_ticks(),
+            watchdog_tripped: self.guard.watchdog_tripped(),
+            forecast: self.predictor.predicted(),
+            raw_forecast: self.predictor.raw_forecast(),
+            trend: self.predictor.trend(),
+            smoothed: self.last_smoothed,
+            error: self.last_error,
+        })
     }
 
     fn reset_to_spec(&mut self) {

@@ -18,9 +18,10 @@
 //! use evolve_core::{Harness, ManagerKind, RunConfig};
 //! use evolve_workload::Scenario;
 //!
-//! let base = RunConfig::new(Scenario::single_diurnal(), ManagerKind::Evolve)
-//!     .with_nodes(4)
-//!     .without_series();
+//! let base = RunConfig::builder(Scenario::single_diurnal(), ManagerKind::Evolve)
+//!     .nodes(4)
+//!     .record_series(false)
+//!     .build();
 //! let rep = Harness::new().run_seeds(&base, &[42, 43, 44, 45, 46]);
 //! let viol = rep.violation_rate();
 //! println!("violation rate {:.3} ± {:.3} (n={})", viol.mean, viol.ci95, viol.n);
@@ -101,9 +102,8 @@ impl Harness {
                             if job >= job_count {
                                 break;
                             }
-                            let cfg = configs[job / seeds.len()]
-                                .clone()
-                                .with_seed(seeds[job % seeds.len()]);
+                            let mut cfg = configs[job / seeds.len()].clone();
+                            cfg.seed = seeds[job % seeds.len()];
                             local.push((job, ExperimentRunner::new(cfg).run()));
                         }
                         local

@@ -22,9 +22,10 @@
 //! use evolve_core::{ExperimentRunner, ManagerKind, RunConfig};
 //! use evolve_workload::Scenario;
 //!
-//! let cfg = RunConfig::new(Scenario::single_diurnal(), ManagerKind::Evolve)
-//!     .with_nodes(4)
-//!     .with_seed(7);
+//! let cfg = RunConfig::builder(Scenario::single_diurnal(), ManagerKind::Evolve)
+//!     .nodes(4)
+//!     .seed(7)
+//!     .build();
 //! let outcome = ExperimentRunner::new(cfg).run();
 //! println!("violation rate {:.3}", outcome.total_violation_rate());
 //! ```
@@ -52,6 +53,6 @@ pub use policy::{
 };
 pub use report::{write_csv, Summary, Table};
 pub use runner::{
-    AppSummary, ExperimentRunner, RecoveryStrategy, RunConfig, RunOutcome, RunPerf,
-    SchedulerProfile,
+    AppSummary, ExperimentRunner, RecoveryStrategy, RunConfig, RunConfigBuilder, RunOutcome,
+    RunPerf, SchedulerProfile,
 };

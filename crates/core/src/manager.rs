@@ -5,6 +5,7 @@ use std::collections::HashMap;
 
 use evolve_scheduler::RequeueBackoff;
 use evolve_sim::{AppWindow, FaultInjector, Simulation};
+use evolve_telemetry::trace::{ActuationOutcome, ControlTrace, TraceEvent, TraceRing};
 use evolve_telemetry::{PloBound, PloTracker};
 use evolve_types::codec::{Decoder, Encoder};
 use evolve_types::{AppId, Error, Resource, ResourceVec, Result, SimDuration, SimTime};
@@ -411,7 +412,24 @@ impl ResourceManager {
         &mut self,
         sim: &mut Simulation,
         dt_secs: f64,
+        injector: Option<&mut FaultInjector>,
+    ) -> Vec<(AppId, evolve_sim::AppWindow)> {
+        self.tick_traced(sim, dt_secs, injector, None)
+    }
+
+    /// Like [`ResourceManager::tick_with_faults`], but additionally
+    /// pushing one [`ControlTrace`] per managed application into `trace`:
+    /// the signal quality, the measurement the policy saw, the actuation
+    /// outcome (applied / suppressed / held / no-decision) and — for
+    /// policies that implement [`AutoscalePolicy::explain`] — the full
+    /// controller internals (PID terms, adaptive gains, predictor
+    /// forecast, degradation-guard state).
+    pub fn tick_traced(
+        &mut self,
+        sim: &mut Simulation,
+        dt_secs: f64,
         mut injector: Option<&mut FaultInjector>,
+        mut trace: Option<&mut TraceRing>,
     ) -> Vec<(AppId, evolve_sim::AppWindow)> {
         self.ticks += 1;
         let statuses: Vec<evolve_sim::AppStatus> = sim.apps().to_vec();
@@ -437,6 +455,10 @@ impl ResourceManager {
                 }
             } else {
                 let Ok(mut w) = sim.take_window(status.id) else {
+                    // The manager tracks an app the simulation no longer
+                    // serves windows for — same desync class as an unknown
+                    // id: skip and count, never panic.
+                    self.desynced_apps += 1;
                     continue;
                 };
                 if let Some(i) = injector.as_deref_mut() {
@@ -469,6 +491,7 @@ impl ResourceManager {
                 signal,
             };
             let decision = managed.policy.decide(&input);
+            let mut outcome = ActuationOutcome::NoDecision;
             if let Some(decision) = decision {
                 // Retry with backoff: re-issuing a target that just
                 // failed (and has not materially changed) only hammers a
@@ -478,6 +501,7 @@ impl ResourceManager {
                     && managed.last_decision.is_some_and(|d| decisions_close(&d, &decision));
                 if repeat_of_failed && self.ticks < managed.backoff_until {
                     self.suppressed_actuations += 1;
+                    outcome = ActuationOutcome::Suppressed;
                 } else {
                     let failures = match managed.world {
                         WorldClass::Microservice => sim
@@ -507,6 +531,35 @@ impl ResourceManager {
                     }
                     managed.last_resize_failures = failures;
                     managed.last_decision = Some(decision);
+                    // A degraded-signal actuation is a hold-last-safe,
+                    // not a control decision on fresh data.
+                    outcome = if signal.is_degraded() {
+                        ActuationOutcome::Held
+                    } else {
+                        ActuationOutcome::Applied
+                    };
+                }
+            }
+            if let Some(ring) = trace.as_deref_mut() {
+                if let Ok(m) = Self::managed_mut(&mut self.apps, status.id) {
+                    let rate_rps = if effective_dt > 0.0 {
+                        window.arrivals as f64 / effective_dt
+                    } else {
+                        f64::NAN
+                    };
+                    ring.push(TraceEvent::Control(ControlTrace {
+                        tick: self.ticks,
+                        at: now,
+                        app: status.id,
+                        signal: signal.as_trace(),
+                        measured: window.measured_for(&status.plo),
+                        rate_rps,
+                        replicas: window.running_replicas,
+                        per_replica: window.alloc_per_replica,
+                        outcome,
+                        resize_failures: m.last_resize_failures,
+                        explain: m.policy.explain().map(Box::new),
+                    }));
                 }
             }
             if signal == SignalQuality::Fresh {

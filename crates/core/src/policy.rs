@@ -1,6 +1,7 @@
 //! The autoscaling-policy abstraction shared by EVOLVE and the baselines.
 
 use evolve_sim::{AppStatus, AppWindow};
+use evolve_telemetry::trace::{ControlExplain, TraceSignal};
 use evolve_types::codec::{Codec, Decoder, Encoder};
 use evolve_types::{ResourceVec, Result};
 use evolve_workload::PloSpec;
@@ -24,6 +25,17 @@ impl SignalQuality {
     #[must_use]
     pub fn is_degraded(self) -> bool {
         self != SignalQuality::Fresh
+    }
+
+    /// The decision-trace equivalent (telemetry cannot depend on this
+    /// crate, so the trace layer carries its own mirror enum).
+    #[must_use]
+    pub fn as_trace(self) -> TraceSignal {
+        match self {
+            SignalQuality::Fresh => TraceSignal::Fresh,
+            SignalQuality::Stale => TraceSignal::Stale,
+            SignalQuality::Missing => TraceSignal::Missing,
+        }
     }
 }
 
@@ -125,6 +137,14 @@ pub trait AutoscalePolicy: Send {
     /// defaults, ignoring both checkpoint and cluster (the naive-reset
     /// recovery baseline). The default is a no-op.
     fn reset_to_spec(&mut self) {}
+
+    /// The controller internals behind the most recent
+    /// [`decide`](AutoscalePolicy::decide) call, for the decision trace.
+    /// The default — for policies with no explainable internals, like the
+    /// static baseline — is `None`.
+    fn explain(&self) -> Option<ControlExplain> {
+        None
+    }
 }
 
 /// The signed relative PLO error, oriented so **positive means

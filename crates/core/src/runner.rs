@@ -6,7 +6,8 @@ use evolve_scheduler::{RequeueBackoff, SchedulerFramework};
 use evolve_sim::{
     ClusterConfig, FaultInjector, FaultPlan, NodeShape, Simulation, SimulationConfig,
 };
-use evolve_telemetry::{MetricId, MetricRegistry, UtilizationAccount, UtilizationSummary};
+use evolve_telemetry::trace::{SpanKind, SpanTrace, TraceConfig, TraceEvent, TraceRing};
+use evolve_telemetry::{MetricKey, MetricRegistry, UtilizationAccount, UtilizationSummary};
 use evolve_types::{AppId, ResourceVec, SimDuration, SimTime};
 use evolve_workload::{Scenario, WorldClass};
 
@@ -92,6 +93,8 @@ pub struct RunConfig {
     /// Control ticks between controller checkpoints (only captured while
     /// a controller crash is armed and `recovery` is `Restore`).
     pub checkpoint_interval_ticks: u32,
+    /// Decision-trace capture: ring capacity and optional JSONL dump.
+    pub trace: TraceConfig,
 }
 
 impl RunConfig {
@@ -116,7 +119,27 @@ impl RunConfig {
             faults: FaultPlan::new(),
             recovery: RecoveryStrategy::default(),
             checkpoint_interval_ticks: 1,
+            trace: TraceConfig::default(),
         }
+    }
+
+    /// Starts a builder from the evaluation defaults — the one
+    /// configuration surface for every override:
+    ///
+    /// ```
+    /// use evolve_core::{ManagerKind, RunConfig};
+    /// use evolve_workload::Scenario;
+    ///
+    /// let config = RunConfig::builder(Scenario::headline(0.2), ManagerKind::Evolve)
+    ///     .nodes(8)
+    ///     .seed(7)
+    ///     .record_series(false)
+    ///     .build();
+    /// assert_eq!(config.nodes, 8);
+    /// ```
+    #[must_use]
+    pub fn builder(scenario: Scenario, manager: ManagerKind) -> RunConfigBuilder {
+        RunConfigBuilder { config: RunConfig::new(scenario, manager) }
     }
 
     /// Overrides the node count.
@@ -124,6 +147,7 @@ impl RunConfig {
     /// # Panics
     ///
     /// Panics when zero.
+    #[deprecated(since = "0.2.0", note = "use `RunConfig::builder(..).nodes(..)` instead")]
     #[must_use]
     pub fn with_nodes(mut self, nodes: usize) -> Self {
         assert!(nodes > 0, "need at least one node");
@@ -132,6 +156,7 @@ impl RunConfig {
     }
 
     /// Overrides the seed.
+    #[deprecated(since = "0.2.0", note = "use `RunConfig::builder(..).seed(..)` instead")]
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -139,6 +164,7 @@ impl RunConfig {
     }
 
     /// Overrides the scheduler profile.
+    #[deprecated(since = "0.2.0", note = "use `RunConfig::builder(..).scheduler(..)` instead")]
     #[must_use]
     pub fn with_scheduler(mut self, scheduler: SchedulerProfile) -> Self {
         self.scheduler = scheduler;
@@ -146,6 +172,10 @@ impl RunConfig {
     }
 
     /// Disables per-tick series recording (faster sweeps).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `RunConfig::builder(..).record_series(false)` instead"
+    )]
     #[must_use]
     pub fn without_series(mut self) -> Self {
         self.record_series = false;
@@ -153,6 +183,7 @@ impl RunConfig {
     }
 
     /// Injects a fault plan into the run.
+    #[deprecated(since = "0.2.0", note = "use `RunConfig::builder(..).faults(..)` instead")]
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
@@ -160,6 +191,7 @@ impl RunConfig {
     }
 
     /// Selects the controller crash-recovery strategy.
+    #[deprecated(since = "0.2.0", note = "use `RunConfig::builder(..).recovery(..)` instead")]
     #[must_use]
     pub fn with_recovery(mut self, recovery: RecoveryStrategy) -> Self {
         self.recovery = recovery;
@@ -171,11 +203,113 @@ impl RunConfig {
     /// # Panics
     ///
     /// Panics when zero.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `RunConfig::builder(..).checkpoint_interval_ticks(..)` instead"
+    )]
     #[must_use]
     pub fn with_checkpoint_interval(mut self, ticks: u32) -> Self {
         assert!(ticks > 0, "checkpoint interval must be at least one tick");
         self.checkpoint_interval_ticks = ticks;
         self
+    }
+}
+
+/// Fluent construction of a [`RunConfig`], replacing the former `with_*`
+/// method sprawl on the config itself. Obtain one from
+/// [`RunConfig::builder`]; every setter consumes and returns the builder,
+/// and [`build`](RunConfigBuilder::build) yields the finished config.
+#[derive(Debug, Clone)]
+pub struct RunConfigBuilder {
+    config: RunConfig,
+}
+
+impl RunConfigBuilder {
+    /// Overrides the node count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when zero.
+    #[must_use]
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        self.config.nodes = nodes;
+        self
+    }
+
+    /// Overrides the node hardware shape.
+    #[must_use]
+    pub fn node_shape(mut self, shape: NodeShape) -> Self {
+        self.config.node_shape = shape;
+        self
+    }
+
+    /// Overrides the control-loop interval.
+    #[must_use]
+    pub fn control_interval(mut self, interval: SimDuration) -> Self {
+        self.config.control_interval = interval;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Overrides the scheduler profile.
+    #[must_use]
+    pub fn scheduler(mut self, scheduler: SchedulerProfile) -> Self {
+        self.config.scheduler = scheduler;
+        self
+    }
+
+    /// Enables or disables per-tick series recording (disabling speeds up
+    /// wide sweeps).
+    #[must_use]
+    pub fn record_series(mut self, record: bool) -> Self {
+        self.config.record_series = record;
+        self
+    }
+
+    /// Injects a fault plan into the run.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Selects the controller crash-recovery strategy.
+    #[must_use]
+    pub fn recovery(mut self, recovery: RecoveryStrategy) -> Self {
+        self.config.recovery = recovery;
+        self
+    }
+
+    /// Overrides the checkpoint cadence (control ticks between captures).
+    ///
+    /// # Panics
+    ///
+    /// Panics when zero.
+    #[must_use]
+    pub fn checkpoint_interval_ticks(mut self, ticks: u32) -> Self {
+        assert!(ticks > 0, "checkpoint interval must be at least one tick");
+        self.config.checkpoint_interval_ticks = ticks;
+        self
+    }
+
+    /// Configures decision-trace capture (ring capacity / JSONL dump).
+    #[must_use]
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.config.trace = trace;
+        self
+    }
+
+    /// Finishes the builder.
+    #[must_use]
+    pub fn build(self) -> RunConfig {
+        self.config
     }
 }
 
@@ -251,8 +385,15 @@ pub struct RunOutcome {
     /// App lookups that hit a desynced (unregistered) application and
     /// were skipped instead of panicking.
     pub desynced_apps: u64,
+    /// Scheduler shadow-state pod lookups that found a pod missing from
+    /// the cluster table and were skipped instead of panicking.
+    pub stale_pod_lookups: u64,
     /// Engine-throughput accounting (the numbers BENCH.json reports).
     pub perf: RunPerf,
+    /// The decision trace captured during the run (bounded ring; always
+    /// on). Dump it with [`evolve_telemetry::trace::TraceRing::to_jsonl`]
+    /// or configure [`TraceConfig::dump_to`] to write it automatically.
+    pub trace: TraceRing,
 }
 
 /// Engine-throughput accounting for one run, surfaced by the bench
@@ -270,9 +411,15 @@ pub struct RunPerf {
     pub events: u64,
     /// Peak concurrently running pods observed at control ticks.
     pub peak_running_pods: u32,
-    /// Metric samples recorded through pre-interned [`MetricId`]s —
+    /// Metric samples recorded through pre-interned [`MetricKey`]s —
     /// records that skipped the name hash/allocation entirely.
     pub fast_metric_records: u64,
+    /// Wall nanoseconds spent in manager control ticks (from the
+    /// decision-trace lifecycle spans).
+    pub control_wall_ns: u64,
+    /// Wall nanoseconds spent in scheduler cycles (from the
+    /// decision-trace lifecycle spans).
+    pub sched_wall_ns: u64,
 }
 
 impl RunOutcome {
@@ -330,7 +477,7 @@ impl RunOutcome {
     }
 }
 
-/// Per-app metric ids, interned once before the control loop so the
+/// Per-app metric keys, interned once before the control loop so the
 /// per-tick recording path neither allocates nor hashes names.
 ///
 /// `p99_ms` stays lazy: non-service apps never report a p99, and eagerly
@@ -338,12 +485,12 @@ impl RunOutcome {
 #[derive(Debug)]
 struct AppSeriesKeys {
     p99_name: String,
-    p99_ms: Option<MetricId>,
-    rate_rps: MetricId,
-    replicas: MetricId,
-    alloc_cpu: MetricId,
-    usage_cpu: MetricId,
-    timeouts: MetricId,
+    p99_ms: Option<MetricKey>,
+    rate_rps: MetricKey,
+    replicas: MetricKey,
+    alloc_cpu: MetricKey,
+    usage_cpu: MetricKey,
+    timeouts: MetricKey,
 }
 
 impl AppSeriesKeys {
@@ -352,45 +499,45 @@ impl AppSeriesKeys {
         AppSeriesKeys {
             p99_name: format!("{prefix}/p99_ms"),
             p99_ms: None,
-            rate_rps: registry.metric_id(&format!("{prefix}/rate_rps")),
-            replicas: registry.metric_id(&format!("{prefix}/replicas")),
-            alloc_cpu: registry.metric_id(&format!("{prefix}/alloc_cpu")),
-            usage_cpu: registry.metric_id(&format!("{prefix}/usage_cpu")),
-            timeouts: registry.metric_id(&format!("{prefix}/timeouts")),
+            rate_rps: registry.key(&format!("{prefix}/rate_rps")),
+            replicas: registry.key(&format!("{prefix}/replicas")),
+            alloc_cpu: registry.key(&format!("{prefix}/alloc_cpu")),
+            usage_cpu: registry.key(&format!("{prefix}/usage_cpu")),
+            timeouts: registry.key(&format!("{prefix}/timeouts")),
         }
     }
 
-    /// The (lazily interned) p99 series id.
-    fn p99_id(&mut self, registry: &mut MetricRegistry) -> MetricId {
+    /// The (lazily interned) p99 series key.
+    fn p99_key(&mut self, registry: &mut MetricRegistry) -> MetricKey {
         match self.p99_ms {
-            Some(id) => id,
+            Some(key) => key,
             None => {
-                let id = registry.metric_id(&self.p99_name);
-                self.p99_ms = Some(id);
-                id
+                let key = registry.key(&self.p99_name);
+                self.p99_ms = Some(key);
+                key
             }
         }
     }
 }
 
-/// Cluster-level metric ids, interned once up front.
+/// Cluster-level metric keys, interned once up front.
 #[derive(Debug, Clone, Copy)]
 struct ClusterSeriesKeys {
-    allocated_cpu_share: MetricId,
-    used_cpu_share: MetricId,
-    pods_running: MetricId,
-    pods_pending: MetricId,
-    nodes_ready: MetricId,
+    allocated_cpu_share: MetricKey,
+    used_cpu_share: MetricKey,
+    pods_running: MetricKey,
+    pods_pending: MetricKey,
+    nodes_ready: MetricKey,
 }
 
 impl ClusterSeriesKeys {
     fn new(registry: &mut MetricRegistry) -> Self {
         ClusterSeriesKeys {
-            allocated_cpu_share: registry.metric_id("cluster/allocated_cpu_share"),
-            used_cpu_share: registry.metric_id("cluster/used_cpu_share"),
-            pods_running: registry.metric_id("cluster/pods_running"),
-            pods_pending: registry.metric_id("cluster/pods_pending"),
-            nodes_ready: registry.metric_id("cluster/nodes_ready"),
+            allocated_cpu_share: registry.key("cluster/allocated_cpu_share"),
+            used_cpu_share: registry.key("cluster/used_cpu_share"),
+            pods_running: registry.key("cluster/pods_running"),
+            pods_pending: registry.key("cluster/pods_pending"),
+            nodes_ready: registry.key("cluster/nodes_ready"),
         }
     }
 }
@@ -426,6 +573,13 @@ impl ExperimentRunner {
         let mut util = UtilizationAccount::new(sim.cluster().total_allocatable());
         let mut preemptions = 0u64;
         let mut bindings = 0u64;
+        let mut stale_pod_lookups = 0u64;
+        // Decision trace: always on, bounded by the ring capacity. The
+        // ring only *reads* controller and scheduler state, so capture
+        // cannot perturb the simulated trajectory.
+        let mut trace = TraceRing::new(cfg.trace.capacity);
+        let mut control_wall_ns = 0u64;
+        let mut sched_wall_ns = 0u64;
         // Lifetime (completions, timeouts, oom) per app.
         let mut totals: std::collections::HashMap<AppId, (u64, u64, u64)> =
             std::collections::HashMap::new();
@@ -458,7 +612,15 @@ impl ExperimentRunner {
 
         // Initial scheduling pass so t=0 pods place immediately.
         let mut backoff = RequeueBackoff::new();
-        Self::schedule_pass(&scheduler, &mut backoff, &mut sim, &mut preemptions, &mut bindings);
+        Self::schedule_pass(
+            &scheduler,
+            &mut backoff,
+            &mut sim,
+            &mut preemptions,
+            &mut bindings,
+            &mut stale_pod_lookups,
+            &mut trace,
+        );
 
         // Crash recovery: checkpoints are captured only while a controller
         // crash is actually armed and the strategy will consume them.
@@ -545,14 +707,37 @@ impl ExperimentRunner {
                 }
             }
             last_crash_check = tick_end;
-            let windows = manager.tick_with_faults(&mut sim, window_secs, injector.as_mut());
+            let control_started = std::time::Instant::now();
+            let windows =
+                manager.tick_traced(&mut sim, window_secs, injector.as_mut(), Some(&mut trace));
+            let control_ns =
+                u64::try_from(control_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            control_wall_ns += control_ns;
+            trace.push(TraceEvent::Span(SpanTrace {
+                tick: ticks,
+                at: tick_end,
+                kind: SpanKind::Control,
+                wall_ns: control_ns,
+            }));
+            let sched_started = std::time::Instant::now();
             Self::schedule_pass(
                 &scheduler,
                 &mut backoff,
                 &mut sim,
                 &mut preemptions,
                 &mut bindings,
+                &mut stale_pod_lookups,
+                &mut trace,
             );
+            let sched_ns = u64::try_from(sched_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            sched_wall_ns += sched_ns;
+            trace.push(TraceEvent::Span(SpanTrace {
+                tick: ticks,
+                at: tick_end,
+                kind: SpanKind::Sched,
+                wall_ns: sched_ns,
+            }));
+            let record_started = std::time::Instant::now();
 
             // Utilization accounting: allocation from the cluster, usage
             // from the windows.
@@ -570,7 +755,7 @@ impl ExperimentRunner {
 
             if let Some(ck) = cluster_keys {
                 let t = snap.at;
-                registry.record_id(ck.allocated_cpu_share, t, {
+                registry.record_key(ck.allocated_cpu_share, t, {
                     let a = snap.allocatable.cpu();
                     if a > 0.0 {
                         snap.allocated.cpu() / a
@@ -578,7 +763,7 @@ impl ExperimentRunner {
                         0.0
                     }
                 });
-                registry.record_id(ck.used_cpu_share, t, {
+                registry.record_key(ck.used_cpu_share, t, {
                     let a = snap.allocatable.cpu();
                     if a > 0.0 {
                         used.cpu() / a
@@ -586,24 +771,30 @@ impl ExperimentRunner {
                         0.0
                     }
                 });
-                registry.record_id(ck.pods_running, t, f64::from(snap.pods_running));
-                registry.record_id(ck.pods_pending, t, f64::from(snap.pods_pending));
-                registry.record_id(ck.nodes_ready, t, f64::from(snap.nodes_ready));
+                registry.record_key(ck.pods_running, t, f64::from(snap.pods_running));
+                registry.record_key(ck.pods_pending, t, f64::from(snap.pods_pending));
+                registry.record_key(ck.nodes_ready, t, f64::from(snap.nodes_ready));
                 for (app, w) in &windows {
                     let keys = series_keys
                         .entry(*app)
                         .or_insert_with(|| AppSeriesKeys::new(&mut registry, *app));
                     if let Some(p99) = w.p99_ms {
-                        let id = keys.p99_id(&mut registry);
-                        registry.record_id(id, t, p99);
+                        let key = keys.p99_key(&mut registry);
+                        registry.record_key(key, t, p99);
                     }
-                    registry.record_id(keys.rate_rps, t, w.arrivals as f64 / window_secs);
-                    registry.record_id(keys.replicas, t, f64::from(w.running_replicas));
-                    registry.record_id(keys.alloc_cpu, t, w.alloc.cpu());
-                    registry.record_id(keys.usage_cpu, t, w.usage.cpu());
-                    registry.record_id(keys.timeouts, t, w.timeouts as f64);
+                    registry.record_key(keys.rate_rps, t, w.arrivals as f64 / window_secs);
+                    registry.record_key(keys.replicas, t, f64::from(w.running_replicas));
+                    registry.record_key(keys.alloc_cpu, t, w.alloc.cpu());
+                    registry.record_key(keys.usage_cpu, t, w.usage.cpu());
+                    registry.record_key(keys.timeouts, t, w.timeouts as f64);
                 }
             }
+            trace.push(TraceEvent::Span(SpanTrace {
+                tick: ticks,
+                at: tick_end,
+                kind: SpanKind::Record,
+                wall_ns: u64::try_from(record_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            }));
             live_ticks += 1;
             if capture_checkpoints && live_ticks.is_multiple_of(checkpoint_every) {
                 checkpoint = Some(manager.checkpoint(tick_end, &backoff));
@@ -655,7 +846,17 @@ impl ExperimentRunner {
             events: sim.events_processed(),
             peak_running_pods: peak_running,
             fast_metric_records: registry.fast_path_records(),
+            control_wall_ns,
+            sched_wall_ns,
         };
+
+        // Deterministic JSONL dump (wall-clock excluded): two same-seed
+        // runs write byte-identical files.
+        if let Some(path) = &cfg.trace.dump {
+            if let Err(err) = std::fs::write(path, trace.to_jsonl()) {
+                eprintln!("warning: failed to write trace dump {}: {err}", path.display());
+            }
+        }
 
         RunOutcome {
             manager: manager.label(),
@@ -673,7 +874,9 @@ impl ExperimentRunner {
             events: sim.events_processed(),
             controller_restarts,
             desynced_apps: manager.desynced_apps() + desynced_summaries,
+            stale_pod_lookups,
             perf,
+            trace,
         }
     }
 
@@ -683,8 +886,11 @@ impl ExperimentRunner {
         sim: &mut Simulation,
         preemptions: &mut u64,
         bindings: &mut u64,
+        stale_pod_lookups: &mut u64,
+        trace: &mut TraceRing,
     ) {
-        let plan = scheduler.schedule_cycle_with_backoff(sim.cluster(), backoff);
+        let plan = scheduler.schedule_cycle_traced(sim.cluster(), backoff, sim.now(), trace);
+        *stale_pod_lookups += plan.stale_pod_lookups;
         for victim in &plan.preemptions {
             if sim.preempt_pod(*victim).is_ok() {
                 *preemptions += 1;

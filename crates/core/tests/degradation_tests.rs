@@ -10,9 +10,11 @@ use evolve_types::{NodeId, SimDuration, SimTime};
 use evolve_workload::Scenario;
 
 fn faulted_config(horizon_secs: u64, faults: FaultPlan) -> RunConfig {
-    let mut config = RunConfig::new(Scenario::single_diurnal(), ManagerKind::Evolve).with_nodes(4);
+    let mut config =
+        RunConfig::builder(Scenario::single_diurnal(), ManagerKind::Evolve).nodes(4).build();
     config.scenario.horizon = SimDuration::from_secs(horizon_secs);
-    config.with_faults(faults)
+    config.faults = faults;
+    config
 }
 
 /// Pinned regression for the hold-last-safe path: during a 60 s scrape

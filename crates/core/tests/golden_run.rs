@@ -32,7 +32,7 @@ fn fixture_path() -> PathBuf {
 fn golden_config() -> RunConfig {
     let mut scenario = Scenario::headline(0.5);
     scenario.horizon = SimDuration::from_mins(5);
-    RunConfig::new(scenario, ManagerKind::Evolve).with_nodes(8).with_seed(42)
+    RunConfig::builder(scenario, ManagerKind::Evolve).nodes(8).seed(42).build()
 }
 
 /// Serializes everything a run measured, bit-exactly. Floats are dumped
@@ -100,12 +100,37 @@ fn golden_dump(outcome: &RunOutcome) -> String {
 #[test]
 fn golden_headline_metrics_are_bit_identical() {
     let outcome = ExperimentRunner::new(golden_config()).run();
-    let dump = golden_dump(&outcome);
+    compare_to_fixture(&outcome, true);
+}
+
+/// Decision tracing is observational: running the *same* golden config
+/// with the trace ring active and a JSONL dump enabled must leave every
+/// pinned metric bit-identical to the fixture blessed without it.
+#[test]
+fn golden_headline_unchanged_by_trace_dump() {
+    let dump_path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("golden_trace_dump.jsonl");
+    let mut config = golden_config();
+    config.trace = evolve_telemetry::trace::TraceConfig::default().dump_to(&dump_path);
+    let outcome = ExperimentRunner::new(config).run();
+    assert!(!outcome.trace.is_empty(), "trace ring captured nothing");
+    assert!(std::fs::metadata(&dump_path).is_ok_and(|m| m.len() > 0), "trace dump was not written");
+    compare_to_fixture(&outcome, false);
+}
+
+/// Compares a run against the blessed fixture; only the plain golden
+/// test may (re)bless, so a drifting traced run can never overwrite the
+/// reference it is checked against.
+fn compare_to_fixture(outcome: &RunOutcome, may_bless: bool) {
+    let dump = golden_dump(outcome);
     let path = fixture_path();
-    let bless = std::env::var("EVOLVE_BLESS").is_ok_and(|v| !v.is_empty() && v != "0");
-    if bless {
-        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
-        std::fs::write(&path, &dump).expect("write fixture");
+    let blessing = std::env::var("EVOLVE_BLESS").is_ok_and(|v| !v.is_empty() && v != "0");
+    if blessing {
+        if may_bless {
+            std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+            std::fs::write(&path, &dump).expect("write fixture");
+        }
+        // While re-blessing, secondary comparisons are skipped: test order
+        // is arbitrary, so the fresh fixture may not exist yet.
         return;
     }
     let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {

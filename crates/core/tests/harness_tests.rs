@@ -10,9 +10,16 @@ use evolve_workload::Scenario;
 /// A cheap run: the single-service diurnal scenario cut down to a short
 /// horizon on a small cluster, no series recording.
 fn small_config(manager: ManagerKind, horizon_secs: u64) -> RunConfig {
-    let mut config =
-        RunConfig::new(Scenario::single_diurnal(), manager).with_nodes(4).without_series();
+    let mut config = RunConfig::builder(Scenario::single_diurnal(), manager)
+        .nodes(4)
+        .record_series(false)
+        .build();
     config.scenario.horizon = SimDuration::from_secs(horizon_secs);
+    config
+}
+
+fn with_faults(mut config: RunConfig, faults: FaultPlan) -> RunConfig {
+    config.faults = faults;
     config
 }
 
@@ -72,9 +79,11 @@ fn aggregates_identical_across_thread_counts() {
     let configs = vec![
         small_config(ManagerKind::Evolve, 120),
         small_config(ManagerKind::KubeStatic, 120),
-        small_config(ManagerKind::Evolve, 120).with_faults(mixed_fault_plan()),
-        small_config(ManagerKind::Hpa { target_utilization: 0.6 }, 120)
-            .with_faults(mixed_fault_plan()),
+        with_faults(small_config(ManagerKind::Evolve, 120), mixed_fault_plan()),
+        with_faults(
+            small_config(ManagerKind::Hpa { target_utilization: 0.6 }, 120),
+            mixed_fault_plan(),
+        ),
     ];
     let seeds = [42u64, 43, 44, 45];
     let serial = Harness::new().with_threads(1).run_matrix(&configs, &seeds);

@@ -14,10 +14,23 @@ use evolve_workload::Scenario;
 use proptest::prelude::*;
 
 fn base_config(horizon_secs: u64, seed: u64) -> RunConfig {
-    let mut cfg = RunConfig::new(Scenario::single_diurnal(), ManagerKind::Evolve)
-        .with_nodes(6)
-        .with_seed(seed);
+    let mut cfg = RunConfig::builder(Scenario::single_diurnal(), ManagerKind::Evolve)
+        .nodes(6)
+        .seed(seed)
+        .build();
     cfg.scenario.horizon = SimDuration::from_secs(horizon_secs);
+    cfg
+}
+
+fn crashed_config(
+    horizon_secs: u64,
+    seed: u64,
+    crash_at: u64,
+    recovery: RecoveryStrategy,
+) -> RunConfig {
+    let mut cfg = base_config(horizon_secs, seed);
+    cfg.faults = FaultPlan::new().with_controller_crash(SimTime::from_secs(crash_at));
+    cfg.recovery = recovery;
     cfg
 }
 
@@ -128,9 +141,7 @@ fn corrupt_checkpoint_is_rejected_not_panicking() {
 #[test]
 fn crash_with_restore_is_bit_identical_to_uninterrupted() {
     let uninterrupted = run(base_config(300, 42));
-    let crashed = run(base_config(300, 42)
-        .with_faults(FaultPlan::new().with_controller_crash(SimTime::from_secs(150)))
-        .with_recovery(RecoveryStrategy::Restore));
+    let crashed = run(crashed_config(300, 42, 150, RecoveryStrategy::Restore));
     assert_eq!(crashed.controller_restarts, 1);
     assert_eq!(uninterrupted.controller_restarts, 0);
     assert_eq!(crashed.total_windows(), uninterrupted.total_windows());
@@ -146,9 +157,7 @@ fn crash_with_restore_is_bit_identical_to_uninterrupted() {
 #[test]
 fn cold_reconstruction_recovers_without_collapse() {
     let crash_at = 150u64;
-    let outcome = run(base_config(360, 42)
-        .with_faults(FaultPlan::new().with_controller_crash(SimTime::from_secs(crash_at)))
-        .with_recovery(RecoveryStrategy::ColdReconstruct));
+    let outcome = run(crashed_config(360, 42, crash_at, RecoveryStrategy::ColdReconstruct));
     assert_eq!(outcome.controller_restarts, 1);
     assert_eq!(outcome.desynced_apps, 0);
 
@@ -204,9 +213,7 @@ fn cold_reconstruction_recovers_without_collapse() {
 
 #[test]
 fn naive_reset_restarts_and_diverges() {
-    let crashed = run(base_config(300, 42)
-        .with_faults(FaultPlan::new().with_controller_crash(SimTime::from_secs(150)))
-        .with_recovery(RecoveryStrategy::NaiveReset));
+    let crashed = run(crashed_config(300, 42, 150, RecoveryStrategy::NaiveReset));
     assert_eq!(crashed.controller_restarts, 1);
     // The naive reset forgets the latched size; its post-crash trajectory
     // must differ from the uninterrupted one (otherwise the strawman
@@ -224,9 +231,7 @@ proptest! {
     fn restore_equivalence_holds_for_any_crash_time(crash_at in 20u64..160, seed in 0u64..3) {
         let seed = 42 + seed;
         let uninterrupted = run(base_config(180, seed));
-        let crashed = run(base_config(180, seed)
-            .with_faults(FaultPlan::new().with_controller_crash(SimTime::from_secs(crash_at)))
-            .with_recovery(RecoveryStrategy::Restore));
+        let crashed = run(crashed_config(180, seed, crash_at, RecoveryStrategy::Restore));
         prop_assert_eq!(crashed.controller_restarts, 1);
         prop_assert_eq!(crashed.total_windows(), uninterrupted.total_windows());
         prop_assert_eq!(crashed.total_violations(), uninterrupted.total_violations());

@@ -4,8 +4,9 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use evolve_sim::{ClusterState, Pod, PodKind, PodSpec};
+use evolve_telemetry::trace::{SchedOutcome, SchedTrace, TraceEvent, TraceRing};
 use evolve_types::codec::{Codec, Decoder, Encoder};
-use evolve_types::{JobId, NodeId, PodId, ResourceVec, Result};
+use evolve_types::{JobId, NodeId, PodId, ResourceVec, Result, SimTime};
 
 use crate::plugins::{
     BalancedAllocation, FilterPlugin, LeastAllocated, MostAllocated, NodeFits, NodeView,
@@ -24,6 +25,11 @@ pub struct SchedulePlan {
     pub preemptions: Vec<PodId>,
     /// Pods that could not be placed this cycle.
     pub unschedulable: Vec<PodId>,
+    /// Pod-table lookups that failed during the cycle (a node's bound set
+    /// referenced a pod the table no longer knows) — skipped and counted
+    /// instead of panicking, mirroring the manager's `UnknownApp`
+    /// handling.
+    pub stale_pod_lookups: u64,
 }
 
 /// Cross-cycle requeue backoff for unschedulable pods.
@@ -119,28 +125,62 @@ impl std::fmt::Debug for SchedulerFramework {
 /// `(bindings, preemption victims)` of a successfully placed gang.
 type GangPlacement = (Vec<(PodId, NodeId)>, Vec<PodId>);
 
+/// Capture target for one traced placement attempt: the chosen node's
+/// per-plugin weighted score contributions, how many nodes passed every
+/// filter, and how many each filter rejected.
+#[derive(Debug, Default)]
+struct PlacementProbe {
+    /// Weighted mean score of the winning node.
+    chosen_score: Option<f64>,
+    /// Per-plugin `(name, weighted contribution)` of the winning node.
+    scores: Vec<(&'static str, f64)>,
+    /// Per-filter `(name, nodes rejected)`.
+    filtered: Vec<(&'static str, u32)>,
+    /// Nodes that passed every filter.
+    feasible: u32,
+    /// Per-candidate scratch buffer, promoted into `scores` whenever a
+    /// node becomes the new best.
+    scratch: Vec<f64>,
+}
+
+impl PlacementProbe {
+    fn new(filters: &[Box<dyn FilterPlugin>]) -> Self {
+        PlacementProbe {
+            filtered: filters.iter().map(|f| (f.name(), 0)).collect(),
+            ..PlacementProbe::default()
+        }
+    }
+}
+
 /// Shadow state for one cycle.
 struct Shadow {
     free: Vec<ResourceVec>,
     /// (node, app) → tentative pod count of that app.
     app_pods: HashMap<(usize, u32), usize>,
+    /// Failed pod-table lookups, skipped and counted (see
+    /// [`SchedulePlan::stale_pod_lookups`]).
+    stale_lookups: u64,
 }
 
 impl Shadow {
     fn new(cluster: &ClusterState) -> Self {
         let free = cluster.nodes().iter().map(evolve_sim::Node::free).collect();
         let mut app_pods = HashMap::new();
+        let mut stale_lookups = 0u64;
         // Walk each node's bound-pod set instead of the full pod table:
         // the table keeps terminal pods for outcome reporting, so it grows
         // with simulation length while the bound set stays cluster-sized.
         for (ni, node) in cluster.nodes().iter().enumerate() {
             for pod_id in node.pods() {
-                let Ok(pod) = cluster.pod(*pod_id) else { continue };
+                let Ok(pod) = cluster.pod(*pod_id) else {
+                    stale_lookups += 1;
+                    continue;
+                };
                 debug_assert!(pod.phase.holds_resources());
                 *app_pods.entry((ni, pod.app().raw())).or_insert(0) += 1;
             }
         }
-        Shadow { free, app_pods }
+        Shadow { free, app_pods, stale_lookups }
     }
 
     fn place(&mut self, node: usize, pod: &PodSpec) {
@@ -249,6 +289,32 @@ impl SchedulerFramework {
         cluster: &ClusterState,
         backoff: &mut RequeueBackoff,
     ) -> SchedulePlan {
+        self.cycle_impl(cluster, backoff, None)
+    }
+
+    /// [`schedule_cycle_with_backoff`](Self::schedule_cycle_with_backoff)
+    /// plus decision tracing: every per-pod outcome of the cycle — bound
+    /// (with the chosen node's per-plugin scores), deferred by backoff,
+    /// unschedulable (with per-filter rejection counts), preempting, or
+    /// rolled back with its gang — is pushed into `trace` as a
+    /// [`SchedTrace`] stamped with the simulated time `at`.
+    #[must_use]
+    pub fn schedule_cycle_traced(
+        &self,
+        cluster: &ClusterState,
+        backoff: &mut RequeueBackoff,
+        at: SimTime,
+        trace: &mut TraceRing,
+    ) -> SchedulePlan {
+        self.cycle_impl(cluster, backoff, Some((at, trace)))
+    }
+
+    fn cycle_impl(
+        &self,
+        cluster: &ClusterState,
+        backoff: &mut RequeueBackoff,
+        mut trace: Option<(SimTime, &mut TraceRing)>,
+    ) -> SchedulePlan {
         let mut plan = SchedulePlan::default();
         let mut shadow = Shadow::new(cluster);
         // Victims already claimed this cycle: their capacity is freed in
@@ -289,6 +355,37 @@ impl SchedulerFramework {
         // tie-break so the cycle order is fully deterministic.
         units.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
 
+        let cycle = backoff.cycle;
+        // Emits one SchedTrace for a resolved pod, when tracing is on.
+        // A plain fn (not a closure) so the borrow of `trace` stays local.
+        #[allow(clippy::too_many_arguments)]
+        fn emit(
+            trace: &mut Option<(SimTime, &mut TraceRing)>,
+            cycle: u64,
+            pod: &Pod,
+            gang: Option<JobId>,
+            outcome: SchedOutcome,
+            probe: Option<PlacementProbe>,
+            victims: Vec<PodId>,
+            backoff_failures: u32,
+        ) {
+            let Some((at, ring)) = trace.as_mut() else { return };
+            let probe = probe.unwrap_or_default();
+            ring.push(TraceEvent::Sched(SchedTrace {
+                cycle,
+                at: *at,
+                pod: pod.id,
+                app: pod.spec.kind.app(),
+                gang,
+                outcome,
+                scores: probe.scores,
+                filtered: probe.filtered,
+                feasible: probe.feasible,
+                victims,
+                backoff_failures,
+            }));
+        }
+
         for (_, _, _, unit) in units {
             match unit {
                 Unit::Single(pod) => {
@@ -296,38 +393,127 @@ impl SchedulerFramework {
                         // Inside its backoff window: deferred without
                         // another attempt (and without further penalty).
                         plan.unschedulable.push(pod.id);
+                        let fails = backoff.failures(pod.id);
+                        emit(
+                            &mut trace,
+                            cycle,
+                            pod,
+                            None,
+                            SchedOutcome::Deferred,
+                            None,
+                            Vec::new(),
+                            fails,
+                        );
                         continue;
                     }
-                    if let Some(node) = self.place_one(cluster, &mut shadow, &pod.spec) {
+                    let mut probe = trace.is_some().then(|| PlacementProbe::new(&self.filters));
+                    if let Some(node) =
+                        self.place_one(cluster, &mut shadow, &pod.spec, probe.as_mut())
+                    {
                         plan.bindings.push((pod.id, node));
+                        let score = probe.as_ref().and_then(|p| p.chosen_score);
+                        emit(
+                            &mut trace,
+                            cycle,
+                            pod,
+                            None,
+                            SchedOutcome::Bound { node, score },
+                            probe,
+                            Vec::new(),
+                            backoff.failures(pod.id),
+                        );
                     } else if self.preemption {
                         match self.try_preempt(cluster, &mut shadow, &claimed, pod) {
                             Some((node, victims)) => {
                                 claimed.extend(victims.iter().copied());
-                                plan.preemptions.extend(victims);
+                                plan.preemptions.extend(victims.iter().copied());
                                 plan.bindings.push((pod.id, node));
+                                emit(
+                                    &mut trace,
+                                    cycle,
+                                    pod,
+                                    None,
+                                    SchedOutcome::Bound { node, score: None },
+                                    probe,
+                                    victims,
+                                    backoff.failures(pod.id),
+                                );
                             }
                             None => {
                                 backoff.record_failure(pod.id);
                                 plan.unschedulable.push(pod.id);
+                                let fails = backoff.failures(pod.id);
+                                emit(
+                                    &mut trace,
+                                    cycle,
+                                    pod,
+                                    None,
+                                    SchedOutcome::Unschedulable,
+                                    probe,
+                                    Vec::new(),
+                                    fails,
+                                );
                             }
                         }
                     } else {
                         backoff.record_failure(pod.id);
                         plan.unschedulable.push(pod.id);
+                        let fails = backoff.failures(pod.id);
+                        emit(
+                            &mut trace,
+                            cycle,
+                            pod,
+                            None,
+                            SchedOutcome::Unschedulable,
+                            probe,
+                            Vec::new(),
+                            fails,
+                        );
                     }
                 }
                 Unit::Gang(members) => {
+                    let job = match members[0].spec.kind {
+                        PodKind::HpcRank { job, .. } => Some(job),
+                        _ => None,
+                    };
                     if members.iter().any(|p| !backoff.eligible(p.id)) {
                         // Any backed-off rank defers the whole gang — a
                         // partial attempt could never bind anyway.
                         for pod in members {
                             plan.unschedulable.push(pod.id);
+                            let fails = backoff.failures(pod.id);
+                            emit(
+                                &mut trace,
+                                cycle,
+                                pod,
+                                job,
+                                SchedOutcome::Deferred,
+                                None,
+                                Vec::new(),
+                                fails,
+                            );
                         }
                         continue;
                     }
                     match self.place_gang(cluster, &mut shadow, &mut claimed, &members) {
                         Some((bindings, victims)) => {
+                            // Gang admitted: one Bound event per rank; the
+                            // preemption victims (if any) ride on the first
+                            // rank's event.
+                            for (i, (pod_id, node)) in bindings.iter().enumerate() {
+                                if let Some(pod) = members.iter().find(|p| p.id == *pod_id) {
+                                    emit(
+                                        &mut trace,
+                                        cycle,
+                                        pod,
+                                        job,
+                                        SchedOutcome::Bound { node: *node, score: None },
+                                        None,
+                                        if i == 0 { victims.clone() } else { Vec::new() },
+                                        backoff.failures(*pod_id),
+                                    );
+                                }
+                            }
                             plan.preemptions.extend(victims);
                             plan.bindings.extend(bindings);
                         }
@@ -335,12 +521,24 @@ impl SchedulerFramework {
                             for pod in members {
                                 backoff.record_failure(pod.id);
                                 plan.unschedulable.push(pod.id);
+                                let fails = backoff.failures(pod.id);
+                                emit(
+                                    &mut trace,
+                                    cycle,
+                                    pod,
+                                    job,
+                                    SchedOutcome::GangRollback,
+                                    None,
+                                    Vec::new(),
+                                    fails,
+                                );
                             }
                         }
                     }
                 }
             }
         }
+        plan.stale_pod_lookups = shadow.stale_lookups;
         plan
     }
 
@@ -360,7 +558,7 @@ impl SchedulerFramework {
         let mut placed: Vec<(PodId, NodeId, PodSpec)> = Vec::new();
         let mut ok = true;
         for pod in members {
-            match self.place_one(cluster, shadow, &pod.spec) {
+            match self.place_one(cluster, shadow, &pod.spec, None) {
                 Some(node) => placed.push((pod.id, node, pod.spec)),
                 None => {
                     ok = false;
@@ -388,7 +586,7 @@ impl SchedulerFramework {
         let mut gang_victims: Vec<(NodeId, Vec<PodId>)> = Vec::new();
         let mut ok = true;
         for pod in members {
-            if let Some(node) = self.place_one(cluster, shadow, &pod.spec) {
+            if let Some(node) = self.place_one(cluster, shadow, &pod.spec, None) {
                 placed.push((pod.id, node, pod.spec));
             } else if let Some((node, victims)) = self.try_preempt(cluster, shadow, claimed, pod) {
                 claimed.extend(victims.iter().copied());
@@ -414,6 +612,8 @@ impl SchedulerFramework {
                 if let Ok(p) = cluster.pod(*v) {
                     shadow.free[node.as_usize()] -= p.spec.request;
                     *shadow.app_pods.entry((node.as_usize(), p.app().raw())).or_insert(0) += 1;
+                } else {
+                    shadow.stale_lookups += 1;
                 }
             }
         }
@@ -421,12 +621,15 @@ impl SchedulerFramework {
     }
 
     /// Filter + score one pod against the shadowed cluster; commits the
-    /// placement into the shadow on success.
+    /// placement into the shadow on success. With a probe attached, the
+    /// chosen node's per-plugin scores, the feasible-node count and the
+    /// per-filter rejection counts are captured for the decision trace.
     fn place_one(
         &self,
         cluster: &ClusterState,
         shadow: &mut Shadow,
         spec: &PodSpec,
+        mut probe: Option<&mut PlacementProbe>,
     ) -> Option<NodeId> {
         let mut best: Option<(f64, usize)> = None;
         for (i, node) in cluster.nodes().iter().enumerate() {
@@ -435,19 +638,51 @@ impl SchedulerFramework {
                 free: shadow.free[i],
                 app_pods: shadow.app_pods.get(&(i, spec.kind.app().raw())).copied().unwrap_or(0),
             };
-            if !self.filters.iter().all(|f| f.feasible(spec, &view)) {
+            let feasible = match probe.as_deref_mut() {
+                None => self.filters.iter().all(|f| f.feasible(spec, &view)),
+                Some(p) => {
+                    // First failing filter takes the rejection; matches
+                    // the short-circuit order of the untraced path.
+                    let mut pass = true;
+                    for (fi, f) in self.filters.iter().enumerate() {
+                        if !f.feasible(spec, &view) {
+                            p.filtered[fi].1 += 1;
+                            pass = false;
+                            break;
+                        }
+                    }
+                    pass
+                }
+            };
+            if !feasible {
                 continue;
+            }
+            if let Some(p) = probe.as_deref_mut() {
+                p.feasible += 1;
+                p.scratch.clear();
             }
             let mut score = 0.0;
             let mut weight = 0.0;
             for (s, w) in &self.scorers {
-                score += s.score(spec, &view) * w;
+                let contribution = s.score(spec, &view) * w;
+                score += contribution;
                 weight += w;
+                if let Some(p) = probe.as_deref_mut() {
+                    p.scratch.push(contribution);
+                }
             }
             let score = if weight > 0.0 { score / weight } else { 0.0 };
             // Deterministic tie-break on the lowest node index.
             if best.is_none_or(|(b, _)| score > b + 1e-12) {
                 best = Some((score, i));
+                if let Some(p) = probe.as_deref_mut() {
+                    let PlacementProbe { chosen_score, scores, scratch, .. } = p;
+                    *chosen_score = Some(score);
+                    scores.clear();
+                    for ((s, _), contribution) in self.scorers.iter().zip(scratch.iter()) {
+                        scores.push((s.name(), *contribution));
+                    }
+                }
             }
         }
         let (_, idx) = best?;
@@ -473,13 +708,17 @@ impl SchedulerFramework {
             // Victims: bound pods with lower priority, cheapest first.
             // Pods already claimed by an earlier preemption this cycle
             // are gone in the shadow and may not be double-counted.
-            let mut victims: Vec<&Pod> = node
-                .pods()
-                .iter()
-                .filter(|id| !claimed.contains(id))
-                .filter_map(|id| cluster.pod(*id).ok())
-                .filter(|v| v.spec.priority < pod.spec.priority && v.phase.holds_resources())
-                .collect();
+            let mut victims: Vec<&Pod> = Vec::new();
+            for id in node.pods().iter().filter(|id| !claimed.contains(id)) {
+                match cluster.pod(*id) {
+                    Ok(v) => {
+                        if v.spec.priority < pod.spec.priority && v.phase.holds_resources() {
+                            victims.push(v);
+                        }
+                    }
+                    Err(_) => shadow.stale_lookups += 1,
+                }
+            }
             victims.sort_by_key(|v| v.spec.priority);
             let mut free = shadow.free[i];
             let mut chosen: Vec<PodId> = Vec::new();
@@ -507,6 +746,8 @@ impl SchedulerFramework {
                 if let Some(c) = shadow.app_pods.get_mut(&(idx, p.app().raw())) {
                     *c = c.saturating_sub(1);
                 }
+            } else {
+                shadow.stale_lookups += 1;
             }
         }
         shadow.place(idx, &pod.spec);

@@ -18,7 +18,11 @@
 //! * [`UtilizationAccount`] — time-weighted utilization integrals
 //!   (allocated/capacity, used/capacity, used/allocated) per resource.
 //! * [`MetricRegistry`] — a string-keyed registry tying the above together
-//!   for experiment export.
+//!   for experiment export, with typed [`MetricKey`] handles on the
+//!   recording hot path.
+//! * [`trace`] — the structured decision-trace subsystem: bounded rings
+//!   of per-tick control/scheduling/lifecycle records, dumpable as
+//!   deterministic JSONL.
 //!
 //! # Examples
 //!
@@ -48,12 +52,15 @@ mod plo;
 mod quantile;
 mod registry;
 mod series;
+pub mod trace;
 mod util;
 
 pub use filter::{Ewma, HoltLinear, RateEstimator};
 pub use histogram::Histogram;
 pub use plo::{PloBound, PloTracker, PloWindow};
 pub use quantile::{P2Quantile, SlidingQuantile};
-pub use registry::{MetricId, MetricRegistry};
+#[allow(deprecated)] // the deprecated alias stays importable from the crate root
+pub use registry::MetricId;
+pub use registry::{MetricKey, MetricRegistry};
 pub use series::{Sample, TimeSeries};
 pub use util::{UtilizationAccount, UtilizationSummary};

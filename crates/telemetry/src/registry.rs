@@ -5,10 +5,11 @@
 //! figure scripts. This is the simulated stand-in for a Prometheus server.
 //!
 //! Hot callers (the per-tick recording loop) intern names once via
-//! [`MetricRegistry::metric_id`] and record through the returned
-//! [`MetricId`] — a dense index into a `Vec<TimeSeries>`, so the
+//! [`MetricRegistry::key`] and record through the returned
+//! [`MetricKey`] — a dense index into a `Vec<TimeSeries>`, so the
 //! steady-state path is an array index instead of a string-keyed map
-//! lookup. The `&str` API remains for one-off and test use.
+//! lookup. The `&str` API remains for one-off use but is deprecated on
+//! the hot path.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -17,20 +18,28 @@ use evolve_types::SimTime;
 
 use crate::series::TimeSeries;
 
-/// A dense handle to an interned series name.
+/// A typed, dense handle to an interned series name.
 ///
-/// Obtained from [`MetricRegistry::metric_id`]; only valid for the
-/// registry that produced it.
+/// Obtained from [`MetricRegistry::key`]; only valid for the registry
+/// that produced it. Recording through a key is an array index, no
+/// string hashing or comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct MetricId(u32);
+pub struct MetricKey(u32);
 
-impl MetricId {
+impl MetricKey {
     /// The raw dense index.
     #[must_use]
     pub fn raw(self) -> u32 {
         self.0
     }
 }
+
+/// Former name of [`MetricKey`].
+#[deprecated(
+    since = "0.2.0",
+    note = "renamed to `MetricKey`; obtain one via `MetricRegistry::key`"
+)]
+pub type MetricId = MetricKey;
 
 /// Named time series and counters.
 ///
@@ -41,27 +50,30 @@ impl MetricId {
 /// use evolve_types::SimTime;
 ///
 /// let mut reg = MetricRegistry::new();
-/// reg.record("svc/p99_ms", SimTime::from_secs(1), 42.0);
 /// reg.incr("svc/requests", 3);
 /// assert_eq!(reg.counter("svc/requests"), 3);
-/// assert_eq!(reg.series("svc/p99_ms").unwrap().len(), 1);
 ///
-/// // The hot path interns once and records by id.
-/// let id = reg.metric_id("svc/p99_ms");
-/// reg.record_id(id, SimTime::from_secs(2), 40.0);
+/// // Intern once, record through the typed key.
+/// let key = reg.key("svc/p99_ms");
+/// reg.record_key(key, SimTime::from_secs(1), 42.0);
+/// reg.record_key(key, SimTime::from_secs(2), 40.0);
+/// assert_eq!(reg.series_by_key(key).unwrap().len(), 2);
 /// assert_eq!(reg.series("svc/p99_ms").unwrap().len(), 2);
 /// ```
 #[derive(Debug, Default)]
 pub struct MetricRegistry {
     /// Name → dense id; a sorted map so name listings stay ordered.
     ids: BTreeMap<String, u32>,
-    /// Dense storage, indexed by [`MetricId`].
+    /// Dense storage, indexed by [`MetricKey`].
     series: Vec<TimeSeries>,
     counters: BTreeMap<String, u64>,
     series_capacity: usize,
-    /// Samples recorded through the dense-id fast path (perf accounting:
+    /// Samples recorded through the dense-key fast path (perf accounting:
     /// each is a string hash/compare + potential allocation avoided).
     fast_records: u64,
+    /// Samples that arrived with a key this registry never issued —
+    /// skipped and counted instead of panicking.
+    dropped_records: u64,
 }
 
 impl MetricRegistry {
@@ -86,45 +98,57 @@ impl MetricRegistry {
             counters: BTreeMap::new(),
             series_capacity: capacity,
             fast_records: 0,
+            dropped_records: 0,
         }
     }
 
     /// Interns a series name, creating an empty series on first use, and
-    /// returns its dense id for [`MetricRegistry::record_id`].
-    pub fn metric_id(&mut self, name: &str) -> MetricId {
+    /// returns its typed key for [`MetricRegistry::record_key`].
+    pub fn key(&mut self, name: &str) -> MetricKey {
         if let Some(id) = self.ids.get(name) {
-            return MetricId(*id);
+            return MetricKey(*id);
         }
         let id = u32::try_from(self.series.len()).expect("more than u32::MAX series");
         self.series.push(TimeSeries::new(self.series_capacity));
         self.ids.insert(name.to_owned(), id);
-        MetricId(id)
+        MetricKey(id)
     }
 
-    /// Appends a sample to an interned series: a bounds-checked array
-    /// index, no string lookup.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `id` did not come from this registry.
-    pub fn record_id(&mut self, id: MetricId, at: SimTime, value: f64) {
-        self.fast_records += 1;
-        self.series[id.0 as usize].push(at, value);
+    /// Former name of [`MetricRegistry::key`].
+    #[deprecated(since = "0.2.0", note = "use `key` instead")]
+    pub fn metric_id(&mut self, name: &str) -> MetricKey {
+        self.key(name)
+    }
+
+    /// Appends a sample through an interned key: a bounds-checked array
+    /// index, no string lookup. A key this registry never issued is
+    /// skipped and counted in [`MetricRegistry::dropped_records`] rather
+    /// than panicking.
+    pub fn record_key(&mut self, key: MetricKey, at: SimTime, value: f64) {
+        match self.series.get_mut(key.0 as usize) {
+            Some(series) => {
+                self.fast_records += 1;
+                series.push(at, value);
+            }
+            None => self.dropped_records += 1,
+        }
+    }
+
+    /// Former name of [`MetricRegistry::record_key`].
+    #[deprecated(since = "0.2.0", note = "use `record_key` instead")]
+    pub fn record_id(&mut self, id: MetricKey, at: SimTime, value: f64) {
+        self.record_key(id, at, value);
     }
 
     /// Appends a sample to the named series, creating it on first use.
     ///
-    /// The steady-state path (series already exists) does not allocate:
-    /// the name is only turned into an owned `String` on first use. For
-    /// per-tick recording, intern once with [`MetricRegistry::metric_id`]
-    /// and use [`MetricRegistry::record_id`] instead.
+    /// Deprecated on the recording path: every call re-does a string map
+    /// lookup the typed-key path avoids. Intern once with
+    /// [`MetricRegistry::key`] and use [`MetricRegistry::record_key`].
+    #[deprecated(since = "0.2.0", note = "intern with `key` and use `record_key` instead")]
     pub fn record(&mut self, name: &str, at: SimTime, value: f64) {
-        if let Some(id) = self.ids.get(name) {
-            self.series[*id as usize].push(at, value);
-        } else {
-            let id = self.metric_id(name);
-            self.series[id.0 as usize].push(at, value);
-        }
+        let key = self.key(name);
+        self.record_key(key, at, value);
     }
 
     /// Increments the named counter by `by`.
@@ -148,10 +172,17 @@ impl MetricRegistry {
         self.ids.get(name).map(|id| &self.series[*id as usize])
     }
 
-    /// Looks up a series by interned id.
+    /// Looks up a series by interned key.
     #[must_use]
-    pub fn series_by_id(&self, id: MetricId) -> Option<&TimeSeries> {
-        self.series.get(id.0 as usize)
+    pub fn series_by_key(&self, key: MetricKey) -> Option<&TimeSeries> {
+        self.series.get(key.0 as usize)
+    }
+
+    /// Former name of [`MetricRegistry::series_by_key`].
+    #[deprecated(since = "0.2.0", note = "use `series_by_key` instead")]
+    #[must_use]
+    pub fn series_by_id(&self, id: MetricKey) -> Option<&TimeSeries> {
+        self.series_by_key(id)
     }
 
     /// Number of interned series.
@@ -160,11 +191,18 @@ impl MetricRegistry {
         self.series.len()
     }
 
-    /// Samples recorded through the dense-id fast path — the number of
+    /// Samples recorded through the dense-key fast path — the number of
     /// string-keyed lookups the interning layer avoided.
     #[must_use]
     pub fn fast_path_records(&self) -> u64 {
         self.fast_records
+    }
+
+    /// Samples skipped because their key was not issued by this registry
+    /// (the skip-and-count alternative to panicking on a foreign key).
+    #[must_use]
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped_records
     }
 
     /// All series names in sorted order.
@@ -233,9 +271,11 @@ mod tests {
     #[test]
     fn record_and_lookup() {
         let mut r = MetricRegistry::new();
-        r.record("a", SimTime::from_secs(1), 1.0);
-        r.record("a", SimTime::from_secs(2), 2.0);
-        r.record("b", SimTime::from_secs(1), 9.0);
+        let a = r.key("a");
+        r.record_key(a, SimTime::from_secs(1), 1.0);
+        r.record_key(a, SimTime::from_secs(2), 2.0);
+        let b = r.key("b");
+        r.record_key(b, SimTime::from_secs(1), 9.0);
         assert_eq!(r.series("a").unwrap().len(), 2);
         assert_eq!(r.series("b").unwrap().len(), 1);
         assert!(r.series("missing").is_none());
@@ -243,30 +283,55 @@ mod tests {
     }
 
     #[test]
-    fn interned_ids_are_stable_and_fast_path_counts() {
+    fn interned_keys_are_stable_and_fast_path_counts() {
         let mut r = MetricRegistry::new();
-        let a = r.metric_id("a");
-        let b = r.metric_id("b");
+        let a = r.key("a");
+        let b = r.key("b");
         assert_ne!(a, b);
-        assert_eq!(r.metric_id("a"), a);
-        r.record_id(a, SimTime::from_secs(1), 1.0);
-        r.record_id(b, SimTime::from_secs(1), 2.0);
-        r.record_id(a, SimTime::from_secs(2), 3.0);
+        assert_eq!(r.key("a"), a);
+        r.record_key(a, SimTime::from_secs(1), 1.0);
+        r.record_key(b, SimTime::from_secs(1), 2.0);
+        r.record_key(a, SimTime::from_secs(2), 3.0);
         assert_eq!(r.series("a").unwrap().len(), 2);
-        assert_eq!(r.series_by_id(b).unwrap().len(), 1);
+        assert_eq!(r.series_by_key(b).unwrap().len(), 1);
         assert_eq!(r.fast_path_records(), 3);
-        // Mixed access: the string path lands in the same dense series.
-        r.record("a", SimTime::from_secs(3), 4.0);
-        assert_eq!(r.series("a").unwrap().len(), 3);
         assert_eq!(r.series_count(), 2);
+    }
+
+    #[test]
+    fn foreign_key_is_skipped_and_counted() {
+        let mut issuing = MetricRegistry::new();
+        for i in 0..5 {
+            let _ = issuing.key(&format!("s{i}"));
+        }
+        let foreign = issuing.key("s4");
+        let mut r = MetricRegistry::new();
+        let own = r.key("only");
+        r.record_key(foreign, SimTime::from_secs(1), 1.0);
+        r.record_key(own, SimTime::from_secs(1), 2.0);
+        assert_eq!(r.dropped_records(), 1);
+        assert_eq!(r.fast_path_records(), 1);
+        assert_eq!(r.series("only").unwrap().len(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_string_and_id_shims_still_work() {
+        let mut r = MetricRegistry::new();
+        r.record("a", SimTime::from_secs(1), 1.0);
+        let a = r.metric_id("a");
+        r.record_id(a, SimTime::from_secs(2), 2.0);
+        assert_eq!(r.series_by_id(a).unwrap().len(), 2);
+        assert_eq!(r.series("a").unwrap().len(), 2);
     }
 
     #[test]
     fn names_stay_sorted_regardless_of_intern_order() {
         let mut r = MetricRegistry::new();
-        let _ = r.metric_id("zeta");
-        let _ = r.metric_id("alpha");
-        r.record("mid", SimTime::ZERO, 0.0);
+        let _ = r.key("zeta");
+        let _ = r.key("alpha");
+        let mid = r.key("mid");
+        r.record_key(mid, SimTime::ZERO, 0.0);
         assert_eq!(r.series_names().collect::<Vec<_>>(), vec!["alpha", "mid", "zeta"]);
     }
 
@@ -283,7 +348,8 @@ mod tests {
     #[test]
     fn series_csv_format() {
         let mut r = MetricRegistry::new();
-        r.record("m", SimTime::from_millis(500), 3.5);
+        let m = r.key("m");
+        r.record_key(m, SimTime::from_millis(500), 3.5);
         let csv = r.series_csv("m");
         assert!(csv.starts_with("seconds,value\n"));
         assert!(csv.contains("0.500000,3.5"));
@@ -293,9 +359,11 @@ mod tests {
     #[test]
     fn wide_csv_aligns_columns() {
         let mut r = MetricRegistry::new();
+        let p = r.key("p");
+        let q = r.key("q");
         for i in 0..3u64 {
-            r.record("p", SimTime::from_secs(i), i as f64);
-            r.record("q", SimTime::from_secs(i), 10.0 * i as f64);
+            r.record_key(p, SimTime::from_secs(i), i as f64);
+            r.record_key(q, SimTime::from_secs(i), 10.0 * i as f64);
         }
         let csv = r.wide_csv(&["p", "q"]);
         let lines: Vec<&str> = csv.lines().collect();

@@ -1,5 +1,6 @@
 //! Property-based tests for the telemetry primitives.
 
+use evolve_telemetry::trace::{SpanKind, SpanTrace, TraceEvent, TraceRing};
 use evolve_telemetry::{
     Ewma, Histogram, P2Quantile, PloBound, PloTracker, SlidingQuantile, UtilizationAccount,
 };
@@ -103,6 +104,29 @@ proptest! {
         prop_assert_eq!(t.violations(), expected);
         prop_assert!(t.violation_rate() >= 0.0 && t.violation_rate() <= 1.0);
         prop_assert!(t.worst_severity() >= t.mean_severity() || t.violations() == 0);
+    }
+
+    #[test]
+    fn trace_ring_memory_stays_bounded(capacity in 0usize..64, pushes in 0u64..500) {
+        let mut ring = TraceRing::new(capacity);
+        for t in 0..pushes {
+            ring.push(TraceEvent::Span(SpanTrace {
+                tick: t,
+                at: SimTime::from_secs(t),
+                kind: SpanKind::Control,
+                wall_ns: t,
+            }));
+        }
+        // Retention never exceeds capacity; every overflow is accounted.
+        prop_assert!(ring.len() <= capacity);
+        prop_assert_eq!(ring.len() as u64 + ring.dropped(), pushes);
+        prop_assert_eq!(ring.dropped(), pushes.saturating_sub(capacity as u64));
+        // The survivors are exactly the newest events, oldest first.
+        let ticks: Vec<u64> = ring.spans().map(|s| s.tick).collect();
+        let expected: Vec<u64> = (pushes.saturating_sub(ring.len() as u64)..pushes).collect();
+        prop_assert_eq!(ticks, expected);
+        // The JSONL dump renders one line per retained event.
+        prop_assert_eq!(ring.to_jsonl().lines().count(), ring.len());
     }
 
     #[test]

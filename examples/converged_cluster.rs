@@ -7,13 +7,12 @@
 //! cargo run --release --example converged_cluster
 //! ```
 
-use evolve::core::{ExperimentRunner, ManagerKind, RunConfig, Table};
-use evolve::workload::Scenario;
+use evolve::prelude::*;
 
 fn main() {
     println!("running the converged headline mix under EVOLVE …");
     let outcome = ExperimentRunner::new(
-        RunConfig::new(Scenario::headline(1.0), ManagerKind::Evolve).with_seed(11),
+        RunConfig::builder(Scenario::headline(1.0), ManagerKind::Evolve).seed(11).build(),
     )
     .run();
 

@@ -6,13 +6,15 @@
 //! cargo run --release --example flash_crowd
 //! ```
 
-use evolve::core::{ExperimentRunner, ManagerKind, RunConfig};
-use evolve::workload::Scenario;
+use evolve::prelude::*;
 
 fn main() {
     for manager in [ManagerKind::Evolve, ManagerKind::Hpa { target_utilization: 0.6 }] {
         let outcome = ExperimentRunner::new(
-            RunConfig::new(Scenario::flash_crowd(5.0), manager.clone()).with_nodes(8).with_seed(3),
+            RunConfig::builder(Scenario::flash_crowd(5.0), manager.clone())
+                .nodes(8)
+                .seed(3)
+                .build(),
         )
         .run();
         println!("\n=== {} through a 5× flash crowd (spike at t=120 s) ===", outcome.manager);

@@ -6,8 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use evolve::core::{ExperimentRunner, ManagerKind, RunConfig, Table};
-use evolve::workload::Scenario;
+use evolve::prelude::*;
 
 fn main() {
     let mut table = Table::new(
@@ -18,7 +17,7 @@ fn main() {
     for manager in [ManagerKind::Evolve, ManagerKind::KubeStatic] {
         println!("running {} …", manager.label());
         let outcome = ExperimentRunner::new(
-            RunConfig::new(Scenario::single_diurnal(), manager).with_nodes(6).with_seed(7),
+            RunConfig::builder(Scenario::single_diurnal(), manager).nodes(6).seed(7).build(),
         )
         .run();
         table.add_row(vec![

@@ -23,11 +23,10 @@
 //! # Quickstart
 //!
 //! ```no_run
-//! use evolve::core::{ExperimentRunner, ManagerKind, RunConfig};
-//! use evolve::workload::Scenario;
+//! use evolve::prelude::*;
 //!
 //! let outcome = ExperimentRunner::new(
-//!     RunConfig::new(Scenario::single_diurnal(), ManagerKind::Evolve).with_nodes(6),
+//!     RunConfig::builder(Scenario::single_diurnal(), ManagerKind::Evolve).nodes(6).build(),
 //! )
 //! .run();
 //! println!(
@@ -48,3 +47,35 @@ pub use evolve_sim as sim;
 pub use evolve_telemetry as telemetry;
 pub use evolve_types as types;
 pub use evolve_workload as workload;
+
+/// The one-import surface for experiments: every cross-crate type a bench
+/// binary, example or integration test typically needs, re-exported flat.
+///
+/// ```no_run
+/// use evolve::prelude::*;
+///
+/// let rep = Harness::new().run_seeds(
+///     &RunConfig::builder(Scenario::headline(0.5), ManagerKind::Evolve)
+///         .nodes(8)
+///         .record_series(false)
+///         .build(),
+///     &[42, 43, 44],
+/// );
+/// println!("violation rate {:.3}", rep.violation_rate().mean);
+/// ```
+pub mod prelude {
+    pub use evolve_core::{
+        write_csv, ExperimentRunner, Harness, ManagerKind, RecoveryStrategy, ReplicatedOutcome,
+        RunConfig, RunConfigBuilder, RunOutcome, RunPerf, SchedulerProfile, Summary, Table,
+    };
+    pub use evolve_sim::{FaultKind, FaultPlan, NodeShape};
+    pub use evolve_telemetry::trace::{
+        ActuationOutcome, ControlExplain, ControlTrace, SchedOutcome, SchedTrace, SpanKind,
+        SpanTrace, TraceConfig, TraceEvent, TraceRing, TraceSignal,
+    };
+    pub use evolve_telemetry::{MetricKey, MetricRegistry};
+    pub use evolve_types::{
+        AppId, JobId, NodeId, PodId, Resource, ResourceVec, SimDuration, SimTime,
+    };
+    pub use evolve_workload::{PloSpec, Scenario};
+}

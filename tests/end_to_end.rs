@@ -1,9 +1,8 @@
 //! Cross-crate integration tests: full experiment runs (workload →
 //! simulator → manager → scheduler) on small configurations.
 
-use evolve::core::{ExperimentRunner, ManagerKind, RunConfig};
-use evolve::types::{ResourceVec, SimDuration};
-use evolve::workload::{LoadSpec, PloSpec, RequestClass, Scenario, ServiceSpec, WorkloadMix};
+use evolve::prelude::*;
+use evolve::workload::{LoadSpec, RequestClass, ServiceSpec, WorkloadMix};
 
 /// A small scenario that finishes fast in debug builds.
 fn tiny_scenario(rate: f64, horizon_secs: u64) -> Scenario {
@@ -35,9 +34,9 @@ fn tiny_scenario(rate: f64, horizon_secs: u64) -> Scenario {
     }
 }
 
-fn run(manager: ManagerKind, seed: u64) -> evolve::core::RunOutcome {
+fn run(manager: ManagerKind, seed: u64) -> RunOutcome {
     ExperimentRunner::new(
-        RunConfig::new(tiny_scenario(120.0, 240), manager).with_nodes(4).with_seed(seed),
+        RunConfig::builder(tiny_scenario(120.0, 240), manager).nodes(4).seed(seed).build(),
     )
     .run()
 }
@@ -91,21 +90,23 @@ fn evolve_uses_less_allocation_than_overprovisioned_static() {
         }
     };
     let kube = ExperimentRunner::new(
-        RunConfig::new(
+        RunConfig::builder(
             build(ResourceVec::new(8_000.0, 8_192.0, 200.0, 200.0)),
             ManagerKind::KubeStatic,
         )
-        .with_nodes(4)
-        .with_seed(3),
+        .nodes(4)
+        .seed(3)
+        .build(),
     )
     .run();
     let evolve = ExperimentRunner::new(
-        RunConfig::new(
+        RunConfig::builder(
             build(ResourceVec::new(8_000.0, 8_192.0, 200.0, 200.0)),
             ManagerKind::Evolve,
         )
-        .with_nodes(4)
-        .with_seed(3),
+        .nodes(4)
+        .seed(3)
+        .build(),
     )
     .run();
     assert!(
@@ -148,7 +149,7 @@ fn headline_mix_runs_under_evolve() {
     let mut scenario = Scenario::headline(0.3);
     scenario.horizon = SimDuration::from_secs(300);
     let outcome = ExperimentRunner::new(
-        RunConfig::new(scenario, ManagerKind::Evolve).with_nodes(12).with_seed(4),
+        RunConfig::builder(scenario, ManagerKind::Evolve).nodes(12).seed(4).build(),
     )
     .run();
     assert_eq!(outcome.apps.len(), 11, "6 services + 3 batch + 2 hpc");
