@@ -9,7 +9,7 @@ use evolve_sim::{
 use evolve_telemetry::trace::{SpanKind, SpanTrace, TraceConfig, TraceEvent, TraceRing};
 use evolve_telemetry::{MetricKey, MetricRegistry, UtilizationAccount, UtilizationSummary};
 use evolve_types::{AppId, ResourceVec, SimDuration, SimTime};
-use evolve_workload::{Scenario, WorldClass};
+use evolve_workload::{SamplingMode, Scenario, WorldClass};
 
 use crate::manager::{ManagerKind, ResourceManager};
 
@@ -95,6 +95,10 @@ pub struct RunConfig {
     pub checkpoint_interval_ticks: u32,
     /// Decision-trace capture: ring capacity and optional JSONL dump.
     pub trace: TraceConfig,
+    /// Run with the pre-batched (Box–Muller + global-majorant thinning)
+    /// sampler streams, reproducing old fixtures bit-for-bit. Deprecated
+    /// escape hatch; see DESIGN.md decision 11.
+    pub legacy_sampling: bool,
 }
 
 impl RunConfig {
@@ -120,6 +124,7 @@ impl RunConfig {
             recovery: RecoveryStrategy::default(),
             checkpoint_interval_ticks: 1,
             trace: TraceConfig::default(),
+            legacy_sampling: false,
         }
     }
 
@@ -306,6 +311,16 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Selects the pre-batched sampler streams (Box–Muller demand noise,
+    /// per-arrival global-majorant thinning). Old golden fixtures
+    /// reproduce bit-for-bit under this flag; new runs should leave it
+    /// off.
+    #[must_use]
+    pub fn legacy_sampling(mut self, legacy: bool) -> Self {
+        self.config.legacy_sampling = legacy;
+        self
+    }
+
     /// Finishes the builder.
     #[must_use]
     pub fn build(self) -> RunConfig {
@@ -388,6 +403,10 @@ pub struct RunOutcome {
     /// Scheduler shadow-state pod lookups that found a pod missing from
     /// the cluster table and were skipped instead of panicking.
     pub stale_pod_lookups: u64,
+    /// Arrival streams silently truncated by the legacy thinning sampler's
+    /// bailout cap (always zero under batched sampling, which skips dead
+    /// spans instead of giving up).
+    pub thinning_bailouts: u64,
     /// Engine-throughput accounting (the numbers BENCH.json reports).
     pub perf: RunPerf,
     /// The decision trace captured during the run (bounded ring; always
@@ -561,12 +580,10 @@ impl ExperimentRunner {
         let started = std::time::Instant::now();
         let cfg = self.config;
         let cluster_config = ClusterConfig::uniform(cfg.nodes, cfg.node_shape);
-        let mut sim = Simulation::new(
-            SimulationConfig::default(),
-            cluster_config,
-            &cfg.scenario.mix,
-            cfg.seed,
-        );
+        let sampling =
+            if cfg.legacy_sampling { SamplingMode::Legacy } else { SamplingMode::Batched };
+        let sim_config = SimulationConfig { sampling, ..SimulationConfig::default() };
+        let mut sim = Simulation::new(sim_config, cluster_config, &cfg.scenario.mix, cfg.seed);
         let mut manager = ResourceManager::new(cfg.manager.clone(), &sim);
         let scheduler = cfg.scheduler.build();
         let mut registry = MetricRegistry::new();
@@ -594,7 +611,8 @@ impl ExperimentRunner {
         let mut injector = if cfg.faults.is_empty() {
             None
         } else {
-            let inj = FaultInjector::new(&cfg.faults, cfg.seed, cfg.scenario.horizon, cfg.nodes);
+            let inj = FaultInjector::new(&cfg.faults, cfg.seed, cfg.scenario.horizon, cfg.nodes)
+                .with_sampling(sampling);
             inj.arm(&mut sim);
             Some(inj)
         };
@@ -875,6 +893,7 @@ impl ExperimentRunner {
             controller_restarts,
             desynced_apps: manager.desynced_apps() + desynced_summaries,
             stale_pod_lookups,
+            thinning_bailouts: sim.thinning_bailouts(),
             perf,
             trace,
         }

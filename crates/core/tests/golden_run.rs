@@ -117,6 +117,38 @@ fn golden_headline_unchanged_by_trace_dump() {
     compare_to_fixture(&outcome, false);
 }
 
+/// The legacy-sampling escape hatch must reproduce the *pre-batched*
+/// fixture bit-for-bit: `golden_headline_legacy.txt` is a frozen copy of
+/// the fixture as blessed before the ziggurat/windowed sampler landed,
+/// and is never re-blessed. If this fails, the legacy code path no longer
+/// preserves the old RNG stream and the flag's contract is broken.
+#[test]
+fn legacy_sampling_reproduces_pre_batched_fixture() {
+    let config = RunConfig::builder(golden_config().scenario, ManagerKind::Evolve)
+        .nodes(8)
+        .seed(42)
+        .legacy_sampling(true)
+        .build();
+    let outcome = ExperimentRunner::new(config).run();
+    let dump = golden_dump(&outcome);
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_headline_legacy.txt");
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing frozen legacy fixture {} ({e})", path.display()));
+    if dump != expected {
+        let first_diff = dump
+            .lines()
+            .zip(expected.lines())
+            .enumerate()
+            .find(|(_, (got, want))| got != want)
+            .map_or_else(
+                || "<end of file>".to_owned(),
+                |(i, (got, want))| format!("line {}: got `{got}`, want `{want}`", i + 1),
+            );
+        panic!("legacy sampling diverged from the frozen pre-batched fixture: {first_diff}");
+    }
+}
+
 /// Compares a run against the blessed fixture; only the plain golden
 /// test may (re)bless, so a drifting traced run can never overwrite the
 /// reference it is checked against.

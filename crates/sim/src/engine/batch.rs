@@ -29,7 +29,7 @@ pub(crate) struct BatchRuntime {
     /// harvesting, so the order must be deterministic).
     active: BTreeMap<PodId, u32>,
     servers: BTreeMap<PodId, ReplicaServer>,
-    wake_version: BTreeMap<PodId, u64>,
+    wake_version: super::PodMap<u64>,
     pub(crate) records_done: u64,
     records_this_window: u64,
     pub(crate) finished: Option<SimTime>,
@@ -53,7 +53,7 @@ impl BatchRuntime {
             tasks_done: 0,
             active: BTreeMap::new(),
             servers: BTreeMap::new(),
-            wake_version: BTreeMap::new(),
+            wake_version: super::PodMap::default(),
             records_done: 0,
             records_this_window: 0,
             finished: None,
@@ -84,9 +84,9 @@ impl BatchRuntime {
     }
 
     fn bump_version(&mut self, pod: PodId) -> u64 {
-        let v = self.wake_version.entry(pod).or_insert(0);
-        *v += 1;
-        *v
+        let v = self.wake_version.get(pod).unwrap_or(0) + 1;
+        self.wake_version.insert(pod, v);
+        v
     }
 }
 
@@ -166,7 +166,7 @@ impl Simulation {
         let now = self.now;
         let done = {
             let rt = &mut self.batches[idx];
-            if rt.wake_version.get(&pod) != Some(&version) {
+            if rt.wake_version.get(pod) != Some(version) {
                 return;
             }
             let Some(server) = rt.servers.get_mut(&pod) else {
@@ -229,7 +229,7 @@ impl Simulation {
             used[Resource::Memory] = 0.0;
             rt.acc.consumed += used;
         }
-        rt.wake_version.remove(&pod);
+        rt.wake_version.remove(pod);
         rt.active.remove(&pod);
     }
 

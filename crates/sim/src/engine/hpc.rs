@@ -4,7 +4,7 @@
 use std::collections::BTreeSet;
 
 use evolve_types::{AppId, JobId, PodId, Resource, ResourceVec, SimDuration, SimTime};
-use evolve_workload::{sample_lognormal, HpcJobSpec};
+use evolve_workload::{sample_lognormal_with, HpcJobSpec};
 
 use crate::observe::{AppWindow, JobOutcome, WindowAccumulator};
 use crate::pod::{PodKind, PodPhase, PodSpec};
@@ -133,8 +133,11 @@ impl Simulation {
             return; // starved allocation: wait for a resize
         }
         let jitter_cv = self.config.hpc_jitter_cv;
-        let jitter =
-            if jitter_cv > 0.0 { sample_lognormal(&mut self.rng, 1.0, jitter_cv) } else { 1.0 };
+        let jitter = if jitter_cv > 0.0 {
+            sample_lognormal_with(self.config.sampling, &mut self.rng, 1.0, jitter_cv)
+        } else {
+            1.0
+        };
         let duration = SimDuration::from_secs_f64((secs * jitter).max(1e-6));
         let version = {
             let rt = &mut self.hpcs[idx];

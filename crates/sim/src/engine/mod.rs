@@ -26,7 +26,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use evolve_types::{AppId, Error, NodeId, PodId, ResourceVec, Result, SimDuration, SimTime};
-use evolve_workload::{WorkloadMix, WorldClass};
+use evolve_workload::{SamplingMode, WorkloadMix, WorldClass};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -57,6 +57,10 @@ pub struct SimulationConfig {
     pub hpc_priority: i32,
     /// Scheduling priority of batch tasks.
     pub batch_priority: i32,
+    /// Which sampler generation the stochastic streams use. `Batched`
+    /// (default) is the post-PR-6 ziggurat/windowed stream; `Legacy`
+    /// reproduces the pre-PR-6 Box–Muller/thinning stream bit-for-bit.
+    pub sampling: SamplingMode,
 }
 
 impl Default for SimulationConfig {
@@ -69,6 +73,7 @@ impl Default for SimulationConfig {
             service_priority: 100,
             hpc_priority: 50,
             batch_priority: 10,
+            sampling: SamplingMode::default(),
         }
     }
 }
@@ -155,6 +160,73 @@ impl<T: Copy> PodMap<T> {
     }
 }
 
+/// A sorted-`Vec` map keyed by `PodId`, for small per-app replica tables.
+///
+/// The per-event paths walk or probe one app's replica set constantly
+/// (least-loaded pick on every arrival, server lookup on every wake); at
+/// the typical 2–10 entries a contiguous vector beats a node-based map on
+/// every one of those operations while keeping the same pod-id iteration
+/// order, so trajectories are bit-identical.
+#[derive(Debug)]
+pub(crate) struct PodTable<T> {
+    entries: Vec<(PodId, T)>,
+}
+
+impl<T> Default for PodTable<T> {
+    fn default() -> Self {
+        PodTable { entries: Vec::new() }
+    }
+}
+
+impl<T> PodTable<T> {
+    fn idx(&self, pod: PodId) -> core::result::Result<usize, usize> {
+        self.entries.binary_search_by_key(&pod, |e| e.0)
+    }
+
+    pub(crate) fn get(&self, pod: PodId) -> Option<&T> {
+        self.idx(pod).ok().map(|i| &self.entries[i].1)
+    }
+
+    pub(crate) fn get_mut(&mut self, pod: PodId) -> Option<&mut T> {
+        match self.idx(pod) {
+            Ok(i) => Some(&mut self.entries[i].1),
+            Err(_) => None,
+        }
+    }
+
+    pub(crate) fn insert(&mut self, pod: PodId, value: T) {
+        match self.idx(pod) {
+            Ok(i) => self.entries[i].1 = value,
+            Err(i) => self.entries.insert(i, (pod, value)),
+        }
+    }
+
+    pub(crate) fn remove(&mut self, pod: PodId) -> Option<T> {
+        match self.idx(pod) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Pods in ascending id order.
+    pub(crate) fn keys(&self) -> impl Iterator<Item = PodId> + '_ {
+        self.entries.iter().map(|e| e.0)
+    }
+
+    pub(crate) fn values_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.entries.iter_mut().map(|e| &mut e.1)
+    }
+
+    /// `(pod, value)` pairs in ascending pod-id order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (PodId, &T)> {
+        self.entries.iter().map(|e| (e.0, &e.1))
+    }
+}
+
 /// An indexed min-heap of replica wake-ups, at most one entry per pod.
 ///
 /// Replica timers are the highest-churn events in the engine: every
@@ -186,15 +258,26 @@ impl WakeQueue {
         self.entries.first().map(Self::key)
     }
 
+    /// The earliest entry, without removing it.
+    fn peek(&self) -> Option<&WakeEntry> {
+        self.entries.first()
+    }
+
     /// Schedules or replaces the pod's wake-up.
     fn set(&mut self, pod: PodId, at: SimTime, seq: u64, version: u64) {
         if let Some(i) = self.pos.get(pod) {
             let i = i as usize;
+            let rising = (at, seq) > Self::key(&self.entries[i]);
             self.entries[i].at = at;
             self.entries[i].seq = seq;
             self.entries[i].version = version;
-            let i = self.sift_up(i);
-            self.sift_down(i);
+            // The heap held its invariant before the rewrite, so the entry
+            // can only have moved in one direction.
+            if rising {
+                self.sift_down(i);
+            } else {
+                self.sift_up(i);
+            }
         } else {
             let i = self.entries.len();
             self.entries.push(WakeEntry { at, seq, pod, version });
@@ -216,46 +299,60 @@ impl WakeQueue {
         Some(e)
     }
 
-    fn swap(&mut self, a: usize, b: usize) {
-        self.entries.swap(a, b);
-        self.pos.insert(self.entries[a].pod, a as u32);
-        self.pos.insert(self.entries[b].pod, b as u32);
-    }
-
+    /// Hole-based sift in a 4-ary heap: the moving entry is held in a
+    /// register while displaced entries shift one slot, so each level
+    /// costs one entry move and one position update instead of a
+    /// three-way swap — and the wider fan-out halves the number of
+    /// levels for the few dozen live pods the queue typically holds.
+    /// Pop order is still strictly `(at, seq)`, so the event trajectory
+    /// is unaffected by the heap shape.
     fn sift_up(&mut self, mut i: usize) -> usize {
+        let e = self.entries[i];
+        let key = (e.at, e.seq);
         while i > 0 {
-            let parent = (i - 1) / 2;
-            if Self::key(&self.entries[i]) < Self::key(&self.entries[parent]) {
-                self.swap(i, parent);
+            let parent = (i - 1) / 4;
+            if key < Self::key(&self.entries[parent]) {
+                self.entries[i] = self.entries[parent];
+                self.pos.insert(self.entries[i].pod, i as u32);
                 i = parent;
             } else {
                 break;
             }
         }
+        self.entries[i] = e;
+        self.pos.insert(e.pod, i as u32);
         i
     }
 
     fn sift_down(&mut self, mut i: usize) {
+        let e = self.entries[i];
+        let key = (e.at, e.seq);
+        let len = self.entries.len();
         loop {
-            let l = 2 * i + 1;
-            let mut smallest = i;
-            if l < self.entries.len()
-                && Self::key(&self.entries[l]) < Self::key(&self.entries[smallest])
-            {
-                smallest = l;
+            let first = 4 * i + 1;
+            if first >= len {
+                break;
             }
-            let r = l + 1;
-            if r < self.entries.len()
-                && Self::key(&self.entries[r]) < Self::key(&self.entries[smallest])
-            {
-                smallest = r;
+            let mut child = first;
+            let mut child_key = Self::key(&self.entries[first]);
+            let last = (first + 4).min(len);
+            for c in first + 1..last {
+                let k = Self::key(&self.entries[c]);
+                if k < child_key {
+                    child = c;
+                    child_key = k;
+                }
             }
-            if smallest == i {
-                return;
+            if child_key < key {
+                self.entries[i] = self.entries[child];
+                self.pos.insert(self.entries[i].pod, i as u32);
+                i = child;
+            } else {
+                break;
             }
-            self.swap(i, smallest);
-            i = smallest;
         }
+        self.entries[i] = e;
+        self.pos.insert(e.pod, i as u32);
     }
 }
 
@@ -279,6 +376,17 @@ pub struct Simulation {
     /// Per-pod ceiling applied to every created pod (largest node
     /// allocatable by default — a pod cannot out-grow its node).
     pub(crate) pod_limit: ResourceVec,
+    /// Next pre-generated arrival per service (batched sampling mode);
+    /// merged into `run_until`'s pop order without round-tripping through
+    /// the main heap.
+    arrival_slots: Vec<Option<SimTime>>,
+    /// Cached minimum of `arrival_slots` (`(at, svc)`): slots only change
+    /// when an arrival fires or is rearmed, so the merge loop compares one
+    /// key per event instead of rescanning every service.
+    arrival_min: Option<(SimTime, usize)>,
+    /// Reusable drain-outcome buffers for the per-event advance paths
+    /// (one wake or arrival at a time ever holds them).
+    pub(crate) drain_scratch: crate::perf::DrainOutcome,
     events_processed: u64,
 }
 
@@ -332,6 +440,9 @@ impl Simulation {
             app_index: HashMap::new(),
             statuses: Vec::new(),
             pod_limit,
+            arrival_slots: Vec::new(),
+            arrival_min: None,
+            drain_scratch: crate::perf::DrainOutcome::default(),
             events_processed: 0,
         };
         let mut next_app = 0u32;
@@ -346,7 +457,8 @@ impl Simulation {
             });
             let idx = sim.services.len();
             sim.app_index.insert(app, Owner::Service(idx));
-            sim.services.push(ServiceRuntime::new(app, spec.clone(), load));
+            sim.services.push(ServiceRuntime::new(app, spec.clone(), load, config.sampling));
+            sim.arrival_slots.push(None);
             // Initial replicas exist from t=0.
             for _ in 0..spec.initial_replicas {
                 sim.create_service_pod(idx);
@@ -396,6 +508,14 @@ impl Simulation {
         self.events_processed
     }
 
+    /// Total legacy-thinning bailouts across all services (each one
+    /// silenced an arrival stream until the next poll; see
+    /// `PoissonArrivals::thinning_bailouts`).
+    #[must_use]
+    pub fn thinning_bailouts(&self) -> u64 {
+        self.services.iter().map(ServiceRuntime::thinning_bailouts).sum()
+    }
+
     /// Read access to the cluster (the scheduler's world view).
     #[must_use]
     pub fn cluster(&self) -> &ClusterState {
@@ -416,36 +536,74 @@ impl Simulation {
 
     /// Runs the world forward to `to` (inclusive of events at `to`).
     ///
-    /// The main heap and the replica wake queue are merged by `(at, seq)`;
-    /// `seq` comes from one global counter, so keys never collide and the
-    /// merge is a total order.
+    /// Three queues are merged by `(at, seq)`: the main heap, the replica
+    /// wake queue and the per-service arrival slots. Heap and wake `seq`s
+    /// come from one global counter, so their keys never collide; arrival
+    /// slots carry a pseudo-seq of 0, so a same-instant tie deterministically
+    /// dispatches the arrival first (and ties between services break on the
+    /// lowest service index).
     pub fn run_until(&mut self, to: SimTime) {
+        /// Where the next event comes from.
+        enum Src {
+            Heap,
+            Wake,
+            Arrival(usize),
+        }
         loop {
-            let heap_key = self.heap.peek().map(|Reverse(s)| (s.at, s.seq));
-            let wake_key = self.wakes.peek_key();
-            let (key, from_wakes) = match (heap_key, wake_key) {
-                (None, None) => break,
-                (Some(h), None) => (h, false),
-                (None, Some(w)) => (w, true),
-                (Some(h), Some(w)) => {
-                    if w < h {
-                        (w, true)
-                    } else {
-                        (h, false)
-                    }
+            let mut best: Option<((SimTime, u64), Src)> = None;
+            if let Some((at, i)) = self.arrival_min {
+                best = Some(((at, 0), Src::Arrival(i)));
+            }
+            if let Some(h) = self.heap.peek().map(|Reverse(s)| (s.at, s.seq)) {
+                if best.as_ref().is_none_or(|(k, _)| h < *k) {
+                    best = Some((h, Src::Heap));
                 }
+            }
+            if let Some(w) = self.wakes.peek_key() {
+                if best.as_ref().is_none_or(|(k, _)| w < *k) {
+                    best = Some((w, Src::Wake));
+                }
+            }
+            let Some((key, src)) = best else {
+                break;
             };
             if key.0 > to {
                 break;
             }
             self.now = key.0.max(self.now);
             self.events_processed += 1;
-            if from_wakes {
-                let e = self.wakes.pop().expect("peeked");
-                self.handle_wake(e.pod, e.version);
-            } else {
-                let Reverse(sch) = self.heap.pop().expect("peeked");
-                self.dispatch(sch.event);
+            match src {
+                Src::Wake => {
+                    // Replace-top: leave the entry in place while the
+                    // handler runs. The common outcome is that the same
+                    // pod reschedules, which rewrites the root key and
+                    // sifts once — instead of a full pop (sift-down) plus
+                    // reinsert (sift-up). Every wake scheduled during
+                    // handling carries `at >= now` and a fresh, larger
+                    // seq, so nothing can displace the root from below.
+                    let e = *self.wakes.peek().expect("peeked");
+                    self.handle_wake(e.pod, e.version);
+                    // Root untouched — stale wake, retired pod, or a
+                    // drained-idle replica with nothing to reschedule —
+                    // so it must be removed for real.
+                    if self
+                        .wakes
+                        .peek()
+                        .is_some_and(|r| r.pod == e.pod && r.at == e.at && r.seq == e.seq)
+                    {
+                        self.wakes.pop();
+                    }
+                }
+                Src::Heap => {
+                    let Reverse(sch) = self.heap.pop().expect("peeked");
+                    self.dispatch(sch.event);
+                }
+                Src::Arrival(svc) => {
+                    self.arrival_slots[svc] = None;
+                    self.service_arrival(svc);
+                    self.schedule_next_arrival(svc);
+                    self.recompute_arrival_min();
+                }
             }
         }
         if to > self.now {
@@ -574,7 +732,30 @@ impl Simulation {
         let now = self.now;
         let next = self.services[svc].next_arrival(now, &mut self.rng);
         if let Some(at) = next {
-            self.schedule(at, Event::ServiceArrival { svc });
+            match self.config.sampling {
+                // Legacy arrivals round-trip through the main heap so the
+                // merged pop order (and thus the fixture) is bit-identical.
+                SamplingMode::Legacy => self.schedule(at, Event::ServiceArrival { svc }),
+                SamplingMode::Batched => {
+                    self.arrival_slots[svc] = Some(at);
+                    if self.arrival_min.is_none_or(|m| (at, svc) < m) {
+                        self.arrival_min = Some((at, svc));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rebuilds [`Simulation::arrival_min`] after the previous minimum was
+    /// consumed (ties break toward the lowest service index).
+    fn recompute_arrival_min(&mut self) {
+        self.arrival_min = None;
+        for (i, slot) in self.arrival_slots.iter().enumerate() {
+            if let Some(at) = *slot {
+                if self.arrival_min.is_none_or(|(b, _)| at < b) {
+                    self.arrival_min = Some((at, i));
+                }
+            }
         }
     }
 

@@ -2,17 +2,17 @@
 //! dispatching, deployment-style replica reconciliation and graceful
 //! scale-in.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use evolve_types::{AppId, PodId, Resource, ResourceVec, SimTime};
-use evolve_workload::{LoadSpec, PoissonArrivals, ServiceSpec};
+use evolve_workload::{LoadSpec, PoissonArrivals, SamplingMode, ServiceSpec};
 use rand_chacha::ChaCha8Rng;
 
 use crate::observe::{AppWindow, WindowAccumulator};
 use crate::perf::{DrainOutcome, ReplicaServer};
 use crate::pod::{PodKind, PodPhase, PodSpec};
 
-use super::{Owner, Simulation};
+use super::{Owner, PodMap, PodTable, Simulation};
 
 /// A request waiting because no replica is running.
 #[derive(Debug, Clone, Copy)]
@@ -36,8 +36,10 @@ pub(crate) struct ServiceRuntime {
     /// revives and window harvesting walk replicas deterministically.
     draining: BTreeSet<PodId>,
     /// Execution state per *running* replica, in pod-id order.
-    pub(crate) servers: BTreeMap<PodId, ReplicaServer>,
-    wake_version: BTreeMap<PodId, u64>,
+    pub(crate) servers: PodTable<ReplicaServer>,
+    /// Current wake-timer version per pod, dense-indexed: bumped on every
+    /// reschedule so stale timers are recognized without a map lookup.
+    wake_version: PodMap<u64>,
     queue: VecDeque<QueuedRequest>,
     pub(crate) acc: WindowAccumulator,
     next_req: u64,
@@ -47,19 +49,19 @@ pub(crate) struct ServiceRuntime {
 }
 
 impl ServiceRuntime {
-    pub(crate) fn new(app: AppId, spec: ServiceSpec, load: &LoadSpec) -> Self {
+    pub(crate) fn new(app: AppId, spec: ServiceSpec, load: &LoadSpec, mode: SamplingMode) -> Self {
         let desired_alloc = spec.initial_alloc;
         let desired_replicas = spec.initial_replicas;
         ServiceRuntime {
             app,
             spec,
-            arrivals: PoissonArrivals::new(load.build()),
+            arrivals: PoissonArrivals::with_mode(load.build(), mode),
             desired_replicas,
             desired_alloc,
             pods: Vec::new(),
             draining: BTreeSet::new(),
-            servers: BTreeMap::new(),
-            wake_version: BTreeMap::new(),
+            servers: PodTable::default(),
+            wake_version: PodMap::default(),
             queue: VecDeque::new(),
             acc: WindowAccumulator::default(),
             next_req: 0,
@@ -71,10 +73,15 @@ impl ServiceRuntime {
         self.arrivals.next_after(now, rng)
     }
 
+    /// Thinning bailouts recorded by this service's arrival sampler.
+    pub(crate) fn thinning_bailouts(&self) -> u64 {
+        self.arrivals.thinning_bailouts()
+    }
+
     fn bump_version(&mut self, pod: PodId) -> u64 {
-        let v = self.wake_version.entry(pod).or_insert(0);
-        *v += 1;
-        *v
+        let v = self.wake_version.get(pod).unwrap_or(0) + 1;
+        self.wake_version.insert(pod, v);
+        v
     }
 }
 
@@ -100,10 +107,11 @@ impl Simulation {
     /// One request arrives for service `idx`.
     pub(crate) fn service_arrival(&mut self, idx: usize) {
         let now = self.now;
+        let mode = self.config.sampling;
         let (id, demand, deadline) = {
             let rt = &mut self.services[idx];
             rt.acc.arrivals += 1;
-            let demand = rt.spec.request_class.sample_demand(&mut self.rng);
+            let demand = rt.spec.request_class.sample_demand_with(mode, &mut self.rng);
             let id = rt.next_req;
             rt.next_req += 1;
             (id, demand, now + rt.spec.request_class.timeout())
@@ -112,23 +120,39 @@ impl Simulation {
         // in-flight requests.
         let target = {
             let rt = &self.services[idx];
+            // Draining is almost always empty; hoist that check out of
+            // the per-replica filter.
+            let no_draining = rt.draining.is_empty();
             rt.servers
                 .iter()
-                .filter(|(pod, s)| !s.is_dead() && !rt.draining.contains(pod))
+                .filter(|(pod, s)| !s.is_dead() && (no_draining || !rt.draining.contains(pod)))
                 .min_by_key(|(pod, s)| (s.inflight_len(), pod.raw()))
-                .map(|(pod, _)| *pod)
+                .map(|(pod, _)| pod)
         };
         match target {
             Some(pod) => {
-                let outcome = {
+                let mut out = std::mem::take(&mut self.drain_scratch);
+                out.clear();
+                // One map lookup serves admit and the wake reschedule.
+                let (had_outcome, next) = {
                     let rt = &mut self.services[idx];
-                    let server = rt.servers.get_mut(&pod).expect("target exists");
-                    server.admit(id, now, deadline, demand)
+                    let server = rt.servers.get_mut(pod).expect("target exists");
+                    let had = server.admit_arrived_into(id, now, now, deadline, demand, &mut out);
+                    (had, server.next_event())
                 };
-                if let Some(out) = outcome {
-                    self.service_process_outcome(idx, pod, out);
+                let oom = out.oom_killed;
+                if had_outcome {
+                    self.service_process_outcome(idx, pod, &out);
                 }
-                self.service_reschedule_wake(idx, pod);
+                self.drain_scratch = out;
+                if !oom {
+                    // The admit cannot retire the pod unless it OOM-killed,
+                    // so the server (and its next event) are still live.
+                    let version = self.services[idx].bump_version(pod);
+                    if let Some(at) = next {
+                        self.schedule_wake(pod, at, version);
+                    }
+                }
             }
             None => {
                 let cap = self.config.service_queue_cap;
@@ -189,31 +213,39 @@ impl Simulation {
     /// Timer fired for a replica: advance it and process what happened.
     pub(crate) fn service_wake(&mut self, idx: usize, pod: PodId, version: u64) {
         let now = self.now;
-        let outcome = {
+        let (outcome, next, drained_empty) = {
             let rt = &mut self.services[idx];
-            if rt.wake_version.get(&pod) != Some(&version) {
+            if rt.wake_version.get(pod) != Some(version) {
                 return; // stale timer
             }
-            let Some(server) = rt.servers.get_mut(&pod) else {
+            let Some(server) = rt.servers.get_mut(pod) else {
                 return;
             };
-            server.advance(now)
+            let mut out = std::mem::take(&mut self.drain_scratch);
+            out.clear();
+            server.advance_into(now, &mut out);
+            // One map lookup serves the drain, the scale-in check and the
+            // wake reschedule.
+            (out, server.next_event(), server.inflight_len() == 0)
         };
-        self.service_process_outcome(idx, pod, outcome);
+        let oom = outcome.oom_killed;
+        self.service_process_outcome(idx, pod, &outcome);
+        self.drain_scratch = outcome;
+        if oom {
+            return; // the OOM handler already retired the pod
+        }
         // Graceful scale-in: retire once drained.
-        let empty_and_draining = {
-            let rt = &self.services[idx];
-            rt.draining.contains(&pod)
-                && rt.servers.get(&pod).is_some_and(|s| s.inflight_len() == 0)
-        };
-        if empty_and_draining {
+        if drained_empty && self.services[idx].draining.contains(&pod) {
             self.service_retire_pod(idx, pod, PodPhase::Succeeded);
         } else {
-            self.service_reschedule_wake(idx, pod);
+            let version = self.services[idx].bump_version(pod);
+            if let Some(at) = next {
+                self.schedule_wake(pod, at, version);
+            }
         }
     }
 
-    fn service_process_outcome(&mut self, idx: usize, pod: PodId, outcome: DrainOutcome) {
+    fn service_process_outcome(&mut self, idx: usize, pod: PodId, outcome: &DrainOutcome) {
         {
             let rt = &mut self.services[idx];
             for c in &outcome.completed {
@@ -236,13 +268,13 @@ impl Simulation {
     fn service_retire_pod(&mut self, idx: usize, pod: PodId, phase: PodPhase) {
         {
             let rt = &mut self.services[idx];
-            if let Some(mut server) = rt.servers.remove(&pod) {
+            if let Some(mut server) = rt.servers.remove(pod) {
                 // Preserve the work it performed this window.
                 let mut used = server.take_consumed();
                 used[Resource::Memory] = 0.0;
                 rt.acc.consumed += used;
             }
-            rt.wake_version.remove(&pod);
+            rt.wake_version.remove(pod);
             rt.draining.remove(&pod);
             rt.pods.retain(|p| *p != pod);
         }
@@ -255,7 +287,7 @@ impl Simulation {
         // In-flight requests die with the replica.
         let lost = {
             let rt = &mut self.services[idx];
-            rt.servers.get_mut(&pod).map_or(0, |s| s.kill().timed_out.len())
+            rt.servers.get_mut(pod).map_or(0, |s| s.kill().timed_out.len())
         };
         self.services[idx].acc.timeouts += lost as u64;
         self.service_retire_pod(idx, pod, PodPhase::Failed(reason.into()));
@@ -265,7 +297,7 @@ impl Simulation {
     fn service_reschedule_wake(&mut self, idx: usize, pod: PodId) {
         let (next, version) = {
             let rt = &mut self.services[idx];
-            let Some(server) = rt.servers.get_mut(&pod) else {
+            let Some(server) = rt.servers.get_mut(pod) else {
                 return;
             };
             let next = server.next_event();
@@ -324,7 +356,7 @@ impl Simulation {
                     self.services[idx].draining.insert(p);
                     // An idle replica can retire immediately.
                     let idle =
-                        self.services[idx].servers.get(&p).is_some_and(|s| s.inflight_len() == 0);
+                        self.services[idx].servers.get(p).is_some_and(|s| s.inflight_len() == 0);
                     if idle {
                         self.service_retire_pod(idx, p, PodPhase::Succeeded);
                     }
@@ -353,18 +385,18 @@ impl Simulation {
         // buffer; the loop body mutates the server map).
         let mut running = std::mem::take(&mut self.services[idx].scratch);
         running.clear();
-        running.extend(self.services[idx].servers.keys().copied());
+        running.extend(self.services[idx].servers.keys());
         for &pod in &running {
             match self.cluster.resize_pod(pod, target) {
                 Ok(()) => {
                     let outcome = {
                         let rt = &mut self.services[idx];
-                        let server = rt.servers.get_mut(&pod).expect("running");
+                        let server = rt.servers.get_mut(pod).expect("running");
                         let out = server.advance(now);
                         server.set_alloc(target);
                         out
                     };
-                    self.service_process_outcome(idx, pod, outcome);
+                    self.service_process_outcome(idx, pod, &outcome);
                     self.service_reschedule_wake(idx, pod);
                 }
                 Err(_) => failures += 1,
@@ -408,7 +440,7 @@ impl Simulation {
         let rt = &self.services[idx];
         let mut alloc = ResourceVec::ZERO;
         for pod in rt.servers.keys() {
-            if let Ok(p) = self.cluster.pod(*pod) {
+            if let Ok(p) = self.cluster.pod(pod) {
                 alloc += p.spec.request;
             }
         }

@@ -10,7 +10,7 @@
 //! parallel.
 
 use evolve_types::{AppId, NodeId, SimDuration, SimTime};
-use evolve_workload::{sample_exponential, sample_lognormal};
+use evolve_workload::{sample_exponential, sample_lognormal_with, SamplingMode};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -196,6 +196,7 @@ pub struct FaultInjector {
     stalls: Vec<(SimTime, SimTime)>,
     controller_crashes: Vec<SimTime>,
     noise_rng: ChaCha8Rng,
+    sampling: SamplingMode,
 }
 
 impl FaultInjector {
@@ -211,6 +212,7 @@ impl FaultInjector {
             stalls: Vec::new(),
             controller_crashes: Vec::new(),
             noise_rng: ChaCha8Rng::seed_from_u64(seed ^ 0x4e01_5e00),
+            sampling: SamplingMode::default(),
         };
         for ev in &plan.scheduled {
             inj.push(ev.at, &ev.kind);
@@ -249,6 +251,15 @@ impl FaultInjector {
         inj.stalls.sort_unstable();
         inj.controller_crashes.sort_unstable();
         inj
+    }
+
+    /// Selects which sampler generation the noise-distortion draws use.
+    /// `Legacy` keeps the Box–Muller stream of the pre-batched sampler
+    /// bit-for-bit.
+    #[must_use]
+    pub fn with_sampling(mut self, mode: SamplingMode) -> Self {
+        self.sampling = mode;
+        self
     }
 
     fn push(&mut self, at: SimTime, kind: &FaultKind) {
@@ -330,9 +341,9 @@ impl FaultInjector {
         let Some(cv) = self.noise_cv(app, window.at) else {
             return;
         };
-        let lat = sample_lognormal(&mut self.noise_rng, 1.0, cv);
-        let thr = sample_lognormal(&mut self.noise_rng, 1.0, cv);
-        let usage = sample_lognormal(&mut self.noise_rng, 1.0, cv);
+        let lat = sample_lognormal_with(self.sampling, &mut self.noise_rng, 1.0, cv);
+        let thr = sample_lognormal_with(self.sampling, &mut self.noise_rng, 1.0, cv);
+        let usage = sample_lognormal_with(self.sampling, &mut self.noise_rng, 1.0, cv);
         if let Some(p) = window.p99_ms.as_mut() {
             *p *= lat;
         }

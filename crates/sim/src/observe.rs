@@ -227,7 +227,13 @@ impl WindowAccumulator {
         let duration = now.saturating_since(self.window_start);
         let secs = duration.as_secs_f64().max(1e-9);
         let mut lat = std::mem::take(&mut self.latencies_ms);
-        lat.sort_by(f64::total_cmp);
+        // Unstable sort on the raw IEEE-754 bit pattern: for the
+        // non-negative, non-NaN latencies this is the exact `total_cmp`
+        // order (u64 compares, no temp allocation), and with a total
+        // order the sorted sequence is determined by the multiset alone —
+        // so the quantiles and the in-order mean sum are bit-identical to
+        // the stable comparator sort's.
+        lat.sort_unstable_by_key(|l| l.to_bits());
         let p99 = percentile(&lat, 0.99);
         let mean =
             if lat.is_empty() { None } else { Some(lat.iter().sum::<f64>() / lat.len() as f64) };
@@ -252,6 +258,10 @@ impl WindowAccumulator {
             projected_makespan_s: None,
         };
         *self = WindowAccumulator { window_start: now, ..WindowAccumulator::default() };
+        // Hand the latency buffer back so steady-state windows record
+        // without reallocating.
+        lat.clear();
+        self.latencies_ms = lat;
         out
     }
 }

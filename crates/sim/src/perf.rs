@@ -70,10 +70,13 @@ pub struct DrainOutcome {
 }
 
 impl DrainOutcome {
-    fn merge(&mut self, mut other: DrainOutcome) {
-        self.completed.append(&mut other.completed);
-        self.timed_out.append(&mut other.timed_out);
-        self.oom_killed |= other.oom_killed;
+    /// Empties the buffers for reuse, keeping their capacity. The engine
+    /// threads one scratch outcome through the per-event paths so a wake
+    /// that completes requests does not allocate.
+    pub fn clear(&mut self) {
+        self.completed.clear();
+        self.timed_out.clear();
+        self.oom_killed = false;
     }
 }
 
@@ -114,6 +117,14 @@ pub struct ReplicaServer {
     /// serde and rebuilt on demand.
     #[serde(skip)]
     cache: Option<NextCache>,
+    /// Memoized working set (base + Σ in-flight), invalidated whenever
+    /// the in-flight set changes. The sum is recomputed in the same
+    /// iteration order as the direct computation, so memoization never
+    /// changes a single bit of the trajectory — it only deduplicates the
+    /// O(n) pass that `thrash_factor`/`over_oom`/`take_consumed` each
+    /// performed per event.
+    #[serde(skip)]
+    ws: std::cell::Cell<Option<f64>>,
 }
 
 /// See [`ReplicaServer::cache`].
@@ -143,6 +154,7 @@ impl ReplicaServer {
             consumed: ResourceVec::ZERO,
             dead: false,
             cache: None,
+            ws: std::cell::Cell::new(None),
         }
     }
 
@@ -161,7 +173,12 @@ impl ReplicaServer {
     /// Current memory footprint: base + Σ working sets (MiB).
     #[must_use]
     pub fn working_set(&self) -> f64 {
-        self.base_memory + self.inflight.iter().map(|r| r.working_set).sum::<f64>()
+        if let Some(ws) = self.ws.get() {
+            return ws;
+        }
+        let ws = self.base_memory + self.inflight.iter().map(|r| r.working_set).sum::<f64>();
+        self.ws.set(Some(ws));
+        ws
     }
 
     /// `true` after an OOM kill; a dead replica accepts no work.
@@ -200,7 +217,11 @@ impl ReplicaServer {
             return 1.0 + self.config.thrash_coeff;
         }
         let over = self.working_set() / mem;
-        1.0 + self.config.thrash_coeff * (over - 1.0).max(0.0)
+        // Plain compare instead of `f64::max`: the operands are never
+        // NaN, so the value is identical without the NaN-propagation
+        // sequence `max` compiles to.
+        let excess = over - 1.0;
+        1.0 + self.config.thrash_coeff * if excess > 0.0 { excess } else { 0.0 }
     }
 
     fn over_oom(&self) -> bool {
@@ -240,14 +261,45 @@ impl ReplicaServer {
         deadline: SimTime,
         demand: ResourceVec,
     ) -> Option<DrainOutcome> {
+        let mut pre = DrainOutcome::default();
+        if self.admit_arrived_into(id, at, arrived, deadline, demand, &mut pre) {
+            Some(pre)
+        } else {
+            None
+        }
+    }
+
+    /// Allocation-free form of [`ReplicaServer::admit_arrived`]: outcomes
+    /// are pushed into `out` (not cleared first) and the return value says
+    /// whether anything was recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the replica is dead or `at` precedes the clock.
+    pub fn admit_arrived_into(
+        &mut self,
+        id: u64,
+        at: SimTime,
+        arrived: SimTime,
+        deadline: SimTime,
+        demand: ResourceVec,
+        out: &mut DrainOutcome,
+    ) -> bool {
         assert!(!self.dead, "admitting work to a dead replica");
         assert!(at >= self.clock, "admission in the past");
         // Bring the replica forward first so existing work is accounted
         // under the old concurrency level.
-        let mut pre = if at > self.clock { self.advance(at) } else { DrainOutcome::default() };
+        let before = (out.completed.len(), out.timed_out.len());
+        if at > self.clock {
+            self.advance_into(at, out);
+        }
         let mut remaining = demand;
         remaining[Resource::Memory] = 0.0;
         self.cache = None;
+        // Appending extends the memoized left-fold sum by exactly one
+        // trailing add — the same float sequence a recompute would run —
+        // so the cache updates incrementally instead of invalidating.
+        let ws_next = self.ws.get().map(|w| w + demand[Resource::Memory]);
         self.inflight.push(InFlight {
             id,
             arrived: arrived.min(at),
@@ -255,24 +307,30 @@ impl ReplicaServer {
             remaining,
             working_set: demand[Resource::Memory],
         });
+        self.ws.set(ws_next);
         if self.over_oom() {
-            pre.merge(self.kill());
-            return Some(pre);
+            self.kill_into(out);
+            return true;
         }
-        if pre.completed.is_empty() && pre.timed_out.is_empty() && !pre.oom_killed {
-            None
-        } else {
-            Some(pre)
-        }
+        out.completed.len() != before.0 || out.timed_out.len() != before.1 || out.oom_killed
     }
 
     /// Kills the replica: every in-flight request is dropped and reported
     /// as timed out.
     pub fn kill(&mut self) -> DrainOutcome {
+        let mut out = DrainOutcome::default();
+        self.kill_into(&mut out);
+        out
+    }
+
+    /// Allocation-free form of [`ReplicaServer::kill`]: dropped request
+    /// ids are appended to `out` and `oom_killed` is set.
+    pub fn kill_into(&mut self, out: &mut DrainOutcome) {
         self.dead = true;
         self.cache = None;
-        let timed_out = self.inflight.drain(..).map(|r| r.id).collect();
-        DrainOutcome { completed: Vec::new(), timed_out, oom_killed: true }
+        self.ws.set(None);
+        out.timed_out.extend(self.inflight.drain(..).map(|r| r.id));
+        out.oom_killed = true;
     }
 
     /// The absolute time of the next completion or timeout, `None` when
@@ -301,16 +359,47 @@ impl ReplicaServer {
         }
         let n = self.inflight.len() as f64;
         let rates = self.effective_rates(n);
-        let mut best: Option<SimTime> = None;
-        for req in &self.inflight {
-            let finish = self.finish_estimate(req, &rates);
-            let event = finish.min(req.deadline);
-            best = Some(match best {
-                None => event,
-                Some(b) => b.min(event),
-            });
+        const DIMS: [Resource; 3] = [Resource::Cpu, Resource::DiskIo, Resource::NetIo];
+        if DIMS.iter().any(|&r| rates[r] <= 1e-12) {
+            // A starved dimension: take the careful per-request path.
+            let mut best: Option<SimTime> = None;
+            for req in &self.inflight {
+                let finish = self.finish_estimate(req, &rates);
+                let event = finish.min(req.deadline);
+                best = Some(match best {
+                    None => event,
+                    Some(b) => b.min(event),
+                });
+            }
+            return NextCache { event: best, rates };
         }
-        NextCache { event: best, rates }
+        // Fast path (every rate positive, the overwhelming case): reduce
+        // the raw per-request drain estimates in seconds and convert to a
+        // timestamp once. `ceil` to the microsecond grid, the clock
+        // offset, and the deadline min are all monotone, so they commute
+        // with the min-reduction — the event is bit-identical to the
+        // per-request form, with one rounding per scan instead of one per
+        // request and no branches inside the loop.
+        let mut best_secs = f64::INFINITY;
+        let mut best_deadline = SimTime::MAX;
+        for req in &self.inflight {
+            let mut secs: f64 = 0.0;
+            for r in DIMS {
+                let rem = req.remaining[r];
+                let q = if rem > 1e-12 { rem / rates[r] } else { 0.0 };
+                // Never NaN, so a compare is bit-identical to `max`/`min`
+                // without their NaN-handling instruction sequences.
+                if q > secs {
+                    secs = q;
+                }
+            }
+            if secs < best_secs {
+                best_secs = secs;
+            }
+            best_deadline = best_deadline.min(req.deadline);
+        }
+        let finish = self.clock + SimDuration::from_secs_f64_ceil(best_secs);
+        NextCache { event: Some(finish.min(best_deadline)), rates }
     }
 
     /// Per-request drain rates at concurrency `n` (mcore, MB/s, MB/s),
@@ -349,8 +438,20 @@ impl ReplicaServer {
     ///
     /// Panics when `to` precedes the replica clock.
     pub fn advance(&mut self, to: SimTime) -> DrainOutcome {
-        assert!(to >= self.clock, "advance into the past");
         let mut outcome = DrainOutcome::default();
+        self.advance_into(to, &mut outcome);
+        outcome
+    }
+
+    /// Allocation-free form of [`ReplicaServer::advance`]: completions and
+    /// timeouts are appended to `out` (not cleared first), so the engine
+    /// can reuse one scratch outcome across every wake.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `to` precedes the replica clock.
+    pub fn advance_into(&mut self, to: SimTime, outcome: &mut DrainOutcome) {
+        assert!(to >= self.clock, "advance into the past");
         if self.inflight.is_empty() || self.dead {
             // Quiescent replica: O(1) clock move, nothing to drain. The
             // cached next-event (`None`) stays valid — it does not depend
@@ -358,7 +459,7 @@ impl ReplicaServer {
             if self.clock < to {
                 self.clock = to;
             }
-            return outcome;
+            return;
         }
         // Process piecewise: each sub-interval ends at the earliest
         // completion/timeout or at `to`.
@@ -370,13 +471,21 @@ impl ReplicaServer {
             let boundary = event.map_or(to, |e| e.min(to));
             let dt = boundary.saturating_since(self.clock).as_secs_f64();
             if dt > 0.0 {
+                // Hoist the per-interval work quantum (same operands, so
+                // bit-identical) and accumulate into a register-resident
+                // copy of `consumed` — the adds happen in the exact same
+                // order, just without round-tripping through memory.
+                let mut consumed = self.consumed;
                 for req in &mut self.inflight {
                     for r in [Resource::Cpu, Resource::DiskIo, Resource::NetIo] {
-                        let drained = (rates[r] * dt).min(req.remaining[r]);
+                        let step = rates[r] * dt;
+                        let rem = req.remaining[r];
+                        let drained = if step < rem { step } else { rem };
                         req.remaining[r] -= drained;
-                        self.consumed[r] += drained;
+                        consumed[r] += drained;
                     }
                 }
+                self.consumed = consumed;
             }
             self.clock = boundary;
             // The drain mutated remaining work and the clock; estimates
@@ -387,16 +496,25 @@ impl ReplicaServer {
             let mut i = 0;
             while i < self.inflight.len() {
                 let req = &self.inflight[i];
-                let done = req.remaining.max_component() <= 1e-9;
+                // Short-circuit per-dimension check: equivalent to
+                // `max_component() <= 1e-9` for the never-NaN remaining
+                // vector, and usually settled by the first compare.
+                let rem = &req.remaining;
+                let done = rem[Resource::Cpu] <= 1e-9
+                    && rem[Resource::DiskIo] <= 1e-9
+                    && rem[Resource::NetIo] <= 1e-9
+                    && rem[Resource::Memory] <= 1e-9;
                 if done {
                     outcome.completed.push(Completion {
                         id: req.id,
                         latency: clock.saturating_since(req.arrived),
                     });
                     self.inflight.swap_remove(i);
+                    self.ws.set(None);
                 } else if clock >= req.deadline {
                     outcome.timed_out.push(req.id);
                     self.inflight.swap_remove(i);
+                    self.ws.set(None);
                 } else {
                     i += 1;
                 }
@@ -405,7 +523,6 @@ impl ReplicaServer {
         if self.clock < to {
             self.clock = to;
         }
-        outcome
     }
 }
 

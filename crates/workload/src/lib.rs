@@ -47,5 +47,8 @@ pub use arrival::{
     TraceLoad,
 };
 pub use request::{Request, RequestClass};
-pub use sampling::{sample_exponential, sample_lognormal, sample_pareto, LogNormal};
+pub use sampling::{
+    sample_exponential, sample_lognormal, sample_lognormal_with, sample_pareto,
+    sample_poisson_count, sample_standard_normal, LogNormal, SamplingMode,
+};
 pub use scenario::{LoadSpec, Scenario, WorkloadMix};

@@ -17,7 +17,7 @@ use evolve_types::{AppId, Resource, ResourceVec, SimDuration, SimTime};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::sampling::LogNormal;
+use crate::sampling::{LogNormal, SamplingMode};
 
 /// A class of requests with a common demand distribution.
 ///
@@ -135,10 +135,21 @@ impl RequestClass {
     /// per-dimension ratios stable, which is how real request fan-out
     /// behaves.
     pub fn sample_demand<R: Rng + ?Sized>(&self, rng: &mut R) -> ResourceVec {
+        self.sample_demand_with(SamplingMode::Legacy, rng)
+    }
+
+    /// [`RequestClass::sample_demand`] with an explicit normal-sampler
+    /// mode: `Legacy` keeps the Box–Muller stream bit-for-bit, `Batched`
+    /// draws the multiplier's normal from the ziggurat.
+    pub fn sample_demand_with<R: Rng + ?Sized>(
+        &self,
+        mode: SamplingMode,
+        rng: &mut R,
+    ) -> ResourceVec {
         if self.multiplier.cv() == 0.0 {
             return self.mean_demand;
         }
-        let multiplier = self.multiplier.sample(rng);
+        let multiplier = self.multiplier.sample_with(mode, rng);
         let mut d = self.mean_demand * multiplier;
         // Working set scales much less than compute with request size.
         d[Resource::Memory] = self.mean_demand[Resource::Memory] * multiplier.sqrt();
