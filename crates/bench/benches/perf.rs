@@ -8,8 +8,8 @@
 //!   memoized `next_event` query.
 //! * `quantile/*` — [`SlidingQuantile`] ingest and the incremental
 //!   sorted-window percentile read.
-//! * `registry/*` — [`MetricRegistry::record`] by name vs. the interned
-//!   [`MetricRegistry::record_id`] fast path.
+//! * `registry/*` — per-record name interning vs. the pre-interned
+//!   [`MetricRegistry::record_key`] fast path.
 //! * `scheduler/*` — one full `schedule_cycle` on a mid-size cluster.
 //!
 //! ```text
@@ -139,8 +139,11 @@ fn bench_registry(c: &mut Criterion) {
             let mut reg = MetricRegistry::new();
             for t in 0..128u64 {
                 for name in &names {
-                    #[allow(deprecated)]
-                    reg.record(name, SimTime::from_secs(t), t as f64);
+                    // Re-interning per record is the slow name-hashing
+                    // path this benchmark compares against the
+                    // pre-interned key path below.
+                    let key = reg.key(name);
+                    reg.record_key(key, SimTime::from_secs(t), t as f64);
                 }
             }
             black_box(reg.series_count())

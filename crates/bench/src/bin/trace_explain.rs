@@ -132,11 +132,13 @@ fn main() -> ExitCode {
     }
     let controls: Vec<&Record> = records.iter().filter(|r| r.kind() == "control").collect();
     let scheds: Vec<&Record> = records.iter().filter(|r| r.kind() == "sched").collect();
+    let faults: Vec<&Record> = records.iter().filter(|r| r.kind() == "fault").collect();
     let spans = records.iter().filter(|r| r.kind() == "span").count();
     println!(
-        "trace dump: {} control records, {} sched records, {} spans",
+        "trace dump: {} control records, {} sched records, {} faults, {} spans",
         controls.len(),
         scheds.len(),
+        faults.len(),
         spans
     );
 
@@ -224,6 +226,32 @@ fn main() -> ExitCode {
             r.num("dark_ticks").map_or_else(|| "-".into(), |v| format!("{v:.0}")),
             r.bool_field("watchdog").map_or("-", |w| if w { "YES" } else { "no" }),
         );
+    }
+
+    // Injected faults whose active interval overlaps the window — the
+    // first thing to check when the timeline above looks pathological.
+    // Node and global faults are shown regardless of app; app-scoped
+    // faults only when they hit the focused app.
+    let active_faults: Vec<&&Record> = faults
+        .iter()
+        .filter(|r| {
+            let at = r.num("at_s").unwrap_or(0.0);
+            let until = at + r.num("duration_s").unwrap_or(0.0);
+            at <= to && until >= from && r.num("app").is_none_or(|a| a == app as f64)
+        })
+        .collect();
+    if !active_faults.is_empty() {
+        println!("\ninjected faults overlapping the window:");
+        for r in &active_faults {
+            println!(
+                "  t={:>6.0} {:<17} duration {:>6} s node {:>4} app {:>4}",
+                r.num("at_s").unwrap_or(0.0),
+                r.str_field("kind").unwrap_or("-"),
+                fmt_opt(r.num("duration_s"), 0),
+                r.num("node").map_or_else(|| "-".into(), |v| format!("{v:.0}")),
+                r.num("app").map_or_else(|| "-".into(), |v| format!("{v:.0}")),
+            );
+        }
     }
 
     let app_scheds: Vec<&&Record> = scheds.iter().filter(|r| in_window(r)).collect();

@@ -26,7 +26,10 @@ use crate::policy::PolicyDecision;
 /// Magic number leading every serialized checkpoint ("EVCK").
 const CHECKPOINT_MAGIC: u32 = 0x4556_434b;
 /// Format version; bump on any layout change.
-const CHECKPOINT_VERSION: u8 = 1;
+///
+/// Version history: 1 — initial layout; 2 — actuation-fault accounting
+/// (drop/delay/partial counters and the delayed-actuation queue).
+const CHECKPOINT_VERSION: u8 = 2;
 
 /// Per-application slice of a checkpoint: the policy's opaque state blob
 /// plus the manager-side bookkeeping around it.
@@ -94,6 +97,14 @@ pub struct ControllerCheckpoint {
     pub(crate) resize_failures: u64,
     /// Actuations skipped by the retry-backoff.
     pub(crate) suppressed_actuations: u64,
+    /// Actuations swallowed by an `ActuationDrop` fault.
+    pub(crate) dropped_actuations: u64,
+    /// Actuations deferred by an `ActuationDelay` fault.
+    pub(crate) delayed_actuations: u64,
+    /// Actuations applied to only part of the fleet.
+    pub(crate) partial_actuations: u64,
+    /// Delayed actuations still waiting for their release time.
+    pub(crate) pending_actuations: Vec<(SimTime, AppId, PolicyDecision)>,
     /// Per-application state, sorted by [`AppId`] so the byte image of a
     /// given control state is unique (the live map is a `HashMap`).
     pub(crate) apps: Vec<(AppId, AppCheckpoint)>,
@@ -112,6 +123,10 @@ impl ControllerCheckpoint {
         self.ticks.encode(&mut enc);
         self.resize_failures.encode(&mut enc);
         self.suppressed_actuations.encode(&mut enc);
+        self.dropped_actuations.encode(&mut enc);
+        self.delayed_actuations.encode(&mut enc);
+        self.partial_actuations.encode(&mut enc);
+        self.pending_actuations.encode(&mut enc);
         self.apps.encode(&mut enc);
         self.scheduler_backoff.encode(&mut enc);
         enc.into_bytes()
@@ -144,6 +159,10 @@ impl ControllerCheckpoint {
             ticks: u64::decode(&mut dec)?,
             resize_failures: u64::decode(&mut dec)?,
             suppressed_actuations: u64::decode(&mut dec)?,
+            dropped_actuations: u64::decode(&mut dec)?,
+            delayed_actuations: u64::decode(&mut dec)?,
+            partial_actuations: u64::decode(&mut dec)?,
+            pending_actuations: Vec::<(SimTime, AppId, PolicyDecision)>::decode(&mut dec)?,
             apps: Vec::<(AppId, AppCheckpoint)>::decode(&mut dec)?,
             scheduler_backoff: RequeueBackoff::decode(&mut dec)?,
         };
@@ -186,6 +205,10 @@ mod tests {
             ticks: 7,
             resize_failures: 1,
             suppressed_actuations: 2,
+            dropped_actuations: 3,
+            delayed_actuations: 4,
+            partial_actuations: 5,
+            pending_actuations: Vec::new(),
             apps: Vec::new(),
             scheduler_backoff: RequeueBackoff::new(),
         };
@@ -203,6 +226,10 @@ mod tests {
             ticks: 0,
             resize_failures: 0,
             suppressed_actuations: 0,
+            dropped_actuations: 0,
+            delayed_actuations: 0,
+            partial_actuations: 0,
+            pending_actuations: Vec::new(),
             apps: Vec::new(),
             scheduler_backoff: RequeueBackoff::new(),
         };
@@ -219,6 +246,10 @@ mod tests {
             ticks: 1,
             resize_failures: 0,
             suppressed_actuations: 0,
+            dropped_actuations: 0,
+            delayed_actuations: 0,
+            partial_actuations: 0,
+            pending_actuations: Vec::new(),
             apps: Vec::new(),
             scheduler_backoff: RequeueBackoff::new(),
         };

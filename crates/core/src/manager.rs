@@ -101,6 +101,20 @@ pub struct ResourceManager {
     /// longer tracks (desync between simulation and control plane) — each
     /// one was skipped instead of panicking.
     desynced_apps: u64,
+    /// Actuations swallowed by an `ActuationDrop` fault. The controller
+    /// believes they succeeded — exactly the silent-failure mode a real
+    /// API server outage produces.
+    dropped_actuations: u64,
+    /// Actuations deferred by an `ActuationDelay` fault.
+    delayed_actuations: u64,
+    /// Actuations applied to only a fraction of replicas by an
+    /// `ActuationPartial` fault.
+    partial_actuations: u64,
+    /// Delayed actuations waiting for their release time: `(due, app,
+    /// decision)`, applied at the start of the first tick at or past
+    /// `due`. Push order follows the deterministic app iteration order,
+    /// so the queue itself is deterministic.
+    pending_actuations: Vec<(SimTime, AppId, PolicyDecision)>,
 }
 
 impl std::fmt::Debug for ResourceManager {
@@ -183,6 +197,10 @@ impl ResourceManager {
             ticks: 0,
             suppressed_actuations: 0,
             desynced_apps: 0,
+            dropped_actuations: 0,
+            delayed_actuations: 0,
+            partial_actuations: 0,
+            pending_actuations: Vec::new(),
         }
     }
 
@@ -225,6 +243,10 @@ impl ResourceManager {
             ticks: self.ticks,
             resize_failures: self.resize_failures,
             suppressed_actuations: self.suppressed_actuations,
+            dropped_actuations: self.dropped_actuations,
+            delayed_actuations: self.delayed_actuations,
+            partial_actuations: self.partial_actuations,
+            pending_actuations: self.pending_actuations.clone(),
             apps,
             scheduler_backoff: backoff.clone(),
         }
@@ -254,6 +276,10 @@ impl ResourceManager {
         mgr.ticks = ck.ticks;
         mgr.resize_failures = ck.resize_failures;
         mgr.suppressed_actuations = ck.suppressed_actuations;
+        mgr.dropped_actuations = ck.dropped_actuations;
+        mgr.delayed_actuations = ck.delayed_actuations;
+        mgr.partial_actuations = ck.partial_actuations;
+        mgr.pending_actuations = ck.pending_actuations.clone();
         for (id, app_ck) in &ck.apps {
             let Some(m) = mgr.apps.get_mut(id) else {
                 mgr.desynced_apps += 1;
@@ -384,6 +410,64 @@ impl ResourceManager {
         self.desynced_apps
     }
 
+    /// Actuations silently swallowed by an `ActuationDrop` fault.
+    #[must_use]
+    pub fn dropped_actuations(&self) -> u64 {
+        self.dropped_actuations
+    }
+
+    /// Actuations deferred by an `ActuationDelay` fault.
+    #[must_use]
+    pub fn delayed_actuations(&self) -> u64 {
+        self.delayed_actuations
+    }
+
+    /// Actuations applied to only part of the fleet by an
+    /// `ActuationPartial` fault.
+    #[must_use]
+    pub fn partial_actuations(&self) -> u64 {
+        self.partial_actuations
+    }
+
+    /// Delayed actuations still waiting for their release time.
+    #[must_use]
+    pub fn pending_actuation_count(&self) -> usize {
+        self.pending_actuations.len()
+    }
+
+    /// Applies every delayed actuation whose release time has arrived.
+    /// Late targets are actuated verbatim — the controller moved on
+    /// ticks ago, which is precisely the staleness hazard the chaos
+    /// oracle watches for. Failures feed the global resize-failure
+    /// counter but not the per-app retry backoff: the app's policy
+    /// never observed this actuation, so it must not be punished for it.
+    fn flush_pending_actuations(&mut self, sim: &mut Simulation) {
+        let now = sim.now();
+        if self.pending_actuations.is_empty() {
+            return;
+        }
+        let mut still_pending = Vec::with_capacity(self.pending_actuations.len());
+        for (due, app, decision) in std::mem::take(&mut self.pending_actuations) {
+            if due > now {
+                still_pending.push((due, app, decision));
+                continue;
+            }
+            let Some(world) = self.apps.get(&app).map(|m| m.world) else {
+                self.desynced_apps += 1;
+                continue;
+            };
+            let failures = match world {
+                WorldClass::Microservice => sim
+                    .set_service_target(app, decision.replicas, decision.per_replica)
+                    .unwrap_or(0),
+                WorldClass::BigData => sim.set_batch_target(app, decision.per_replica).unwrap_or(0),
+                WorldClass::Hpc => sim.set_hpc_target(app, decision.per_replica).unwrap_or(0),
+            };
+            self.resize_failures += u64::from(failures);
+        }
+        self.pending_actuations = still_pending;
+    }
+
     /// Control ticks executed so far.
     #[must_use]
     pub fn ticks(&self) -> u64 {
@@ -432,6 +516,7 @@ impl ResourceManager {
         mut trace: Option<&mut TraceRing>,
     ) -> Vec<(AppId, evolve_sim::AppWindow)> {
         self.ticks += 1;
+        self.flush_pending_actuations(sim);
         let statuses: Vec<evolve_sim::AppStatus> = sim.apps().to_vec();
         let mut windows = Vec::with_capacity(statuses.len());
         for status in statuses {
@@ -502,17 +587,47 @@ impl ResourceManager {
                 if repeat_of_failed && self.ticks < managed.backoff_until {
                     self.suppressed_actuations += 1;
                     outcome = ActuationOutcome::Suppressed;
+                } else if injector.as_ref().is_some_and(|i| i.actuation_dropped(now)) {
+                    // The resize request vanished between controller and
+                    // cluster. The controller has no error to observe, so
+                    // it records the decision as landed: no failure
+                    // streak, no backoff — it will only notice via the
+                    // next window's replica counts.
+                    self.dropped_actuations += 1;
+                    managed.failure_streak = 0;
+                    managed.last_resize_failures = 0;
+                    managed.last_decision = Some(decision);
+                    outcome = ActuationOutcome::Dropped;
+                } else if let Some(lag) = injector.as_ref().and_then(|i| i.actuation_lag(now)) {
+                    // Queued behind a slow API path: the target lands at
+                    // `now + lag` verbatim, however stale it is by then.
+                    self.delayed_actuations += 1;
+                    managed.failure_streak = 0;
+                    managed.last_resize_failures = 0;
+                    managed.last_decision = Some(decision);
+                    self.pending_actuations.push((now + lag, status.id, decision));
+                    outcome = ActuationOutcome::Delayed;
                 } else {
+                    let fraction =
+                        injector.as_ref().and_then(|i| i.actuation_fraction(now)).unwrap_or(1.0);
+                    if fraction < 1.0 {
+                        self.partial_actuations += 1;
+                    }
                     let failures = match managed.world {
                         WorldClass::Microservice => sim
-                            .set_service_target(status.id, decision.replicas, decision.per_replica)
+                            .set_service_target_partial(
+                                status.id,
+                                decision.replicas,
+                                decision.per_replica,
+                                fraction,
+                            )
                             .unwrap_or(0),
-                        WorldClass::BigData => {
-                            sim.set_batch_target(status.id, decision.per_replica).unwrap_or(0)
-                        }
-                        WorldClass::Hpc => {
-                            sim.set_hpc_target(status.id, decision.per_replica).unwrap_or(0)
-                        }
+                        WorldClass::BigData => sim
+                            .set_batch_target_partial(status.id, decision.per_replica, fraction)
+                            .unwrap_or(0),
+                        WorldClass::Hpc => sim
+                            .set_hpc_target_partial(status.id, decision.per_replica, fraction)
+                            .unwrap_or(0),
                     };
                     self.resize_failures += u64::from(failures);
                     let managed = match Self::managed_mut(&mut self.apps, status.id) {

@@ -4,11 +4,14 @@
 
 use evolve_scheduler::{RequeueBackoff, SchedulerFramework};
 use evolve_sim::{
-    ClusterConfig, FaultInjector, FaultPlan, NodeShape, Simulation, SimulationConfig,
+    ChaosOracle, ClusterConfig, FaultInjector, FaultKind, FaultPlan, NodeShape, OracleReport,
+    Simulation, SimulationConfig,
 };
-use evolve_telemetry::trace::{SpanKind, SpanTrace, TraceConfig, TraceEvent, TraceRing};
+use evolve_telemetry::trace::{
+    FaultTrace, SpanKind, SpanTrace, TraceConfig, TraceEvent, TraceRing,
+};
 use evolve_telemetry::{MetricKey, MetricRegistry, UtilizationAccount, UtilizationSummary};
-use evolve_types::{AppId, ResourceVec, SimDuration, SimTime};
+use evolve_types::{AppId, PodId, ResourceVec, SimDuration, SimTime};
 use evolve_workload::{SamplingMode, Scenario, WorldClass};
 
 use crate::manager::{ManagerKind, ResourceManager};
@@ -99,6 +102,11 @@ pub struct RunConfig {
     /// sampler streams, reproducing old fixtures bit-for-bit. Deprecated
     /// escape hatch; see DESIGN.md decision 11.
     pub legacy_sampling: bool,
+    /// Run the chaos invariant battery ([`ChaosOracle`]) every control
+    /// tick and report violations in [`RunOutcome::oracle`]. Off by
+    /// default: the headline path pays nothing for the oracle. See
+    /// DESIGN.md decision 12.
+    pub oracle: bool,
 }
 
 impl RunConfig {
@@ -125,6 +133,7 @@ impl RunConfig {
             checkpoint_interval_ticks: 1,
             trace: TraceConfig::default(),
             legacy_sampling: false,
+            oracle: false,
         }
     }
 
@@ -321,6 +330,17 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Enables the chaos invariant battery: every control tick the
+    /// [`ChaosOracle`] checks capacity conservation, pod conservation,
+    /// gang atomicity, PID freeze under degraded signals, monotone time
+    /// and (when checkpoints are captured) checkpoint→restore
+    /// equivalence; violations land in [`RunOutcome::oracle`].
+    #[must_use]
+    pub fn oracle(mut self, oracle: bool) -> Self {
+        self.config.oracle = oracle;
+        self
+    }
+
     /// Finishes the builder.
     #[must_use]
     pub fn build(self) -> RunConfig {
@@ -383,6 +403,16 @@ pub struct RunOutcome {
     pub resize_failures: u64,
     /// Actuations suppressed by the manager's retry backoff.
     pub suppressed_actuations: u64,
+    /// Actuations silently swallowed by an `ActuationDrop` fault.
+    pub dropped_actuations: u64,
+    /// Actuations deferred by an `ActuationDelay` fault.
+    pub delayed_actuations: u64,
+    /// Actuations applied to only part of the fleet by an
+    /// `ActuationPartial` fault.
+    pub partial_actuations: u64,
+    /// The chaos oracle's verdict — `Some` only when
+    /// [`RunConfig::oracle`] was enabled.
+    pub oracle: Option<OracleReport>,
     /// Preemptions executed.
     pub preemptions: u64,
     /// Pod bindings executed.
@@ -617,6 +647,28 @@ impl ExperimentRunner {
             Some(inj)
         };
 
+        // The realized fault timeline (scheduled plus stochastic) goes
+        // into the decision trace up front so `trace_explain` can
+        // correlate control anomalies with the faults active around them.
+        // A run without faults pushes nothing — the trace is unchanged.
+        if let Some(inj) = &injector {
+            for ev in inj.timeline() {
+                trace.push(TraceEvent::Fault(fault_trace(&ev)));
+            }
+        }
+        // `faults/active` series key, interned lazily so fault-free runs
+        // (the golden fixtures) record exactly the series they always did.
+        let faults_active_key = match (&injector, cfg.record_series) {
+            (Some(_), true) => Some(registry.key("faults/active")),
+            _ => None,
+        };
+
+        // The chaos invariant battery: strictly observational (reads the
+        // sim/cluster/trace between ticks), so enabling it cannot perturb
+        // the simulated trajectory — only slow the run down.
+        let mut oracle = if cfg.oracle { Some(ChaosOracle::new()) } else { None };
+        let mut newly_bound: Vec<PodId> = Vec::new();
+
         // Series ids are interned once up front; the per-tick recording
         // path below neither builds strings nor hashes names.
         let cluster_keys =
@@ -638,7 +690,13 @@ impl ExperimentRunner {
             &mut bindings,
             &mut stale_pod_lookups,
             &mut trace,
+            oracle.as_ref().map(|_| &mut newly_bound),
         );
+        if let Some(orc) = oracle.as_mut() {
+            orc.check_gang_atomicity(&sim, &newly_bound);
+            orc.check_tick(&sim);
+            orc.scan_trace(&trace);
+        }
 
         // Crash recovery: checkpoints are captured only while a controller
         // crash is actually armed and the strategy will consume them.
@@ -738,6 +796,7 @@ impl ExperimentRunner {
                 wall_ns: control_ns,
             }));
             let sched_started = std::time::Instant::now();
+            newly_bound.clear();
             Self::schedule_pass(
                 &scheduler,
                 &mut backoff,
@@ -746,6 +805,7 @@ impl ExperimentRunner {
                 &mut bindings,
                 &mut stale_pod_lookups,
                 &mut trace,
+                oracle.as_ref().map(|_| &mut newly_bound),
             );
             let sched_ns = u64::try_from(sched_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
             sched_wall_ns += sched_ns;
@@ -770,6 +830,15 @@ impl ExperimentRunner {
             let snap = sim.snapshot();
             peak_running = peak_running.max(snap.pods_running);
             util.record(snap.at, snap.allocated, used.min(&snap.allocatable));
+
+            if let Some(orc) = oracle.as_mut() {
+                orc.check_gang_atomicity(&sim, &newly_bound);
+                orc.check_tick(&sim);
+                orc.scan_trace(&trace);
+            }
+            if let (Some(key), Some(inj)) = (faults_active_key, injector.as_ref()) {
+                registry.record_key(key, snap.at, inj.active_count(snap.at) as f64);
+            }
 
             if let Some(ck) = cluster_keys {
                 let t = snap.at;
@@ -815,7 +884,32 @@ impl ExperimentRunner {
             }));
             live_ticks += 1;
             if capture_checkpoints && live_ticks.is_multiple_of(checkpoint_every) {
-                checkpoint = Some(manager.checkpoint(tick_end, &backoff));
+                let ck = manager.checkpoint(tick_end, &backoff);
+                // Checkpoint→restore equivalence: while a crash is armed,
+                // every captured image must restore to a manager whose
+                // own re-checkpoint is byte-identical — otherwise the
+                // post-crash trajectory silently diverges from the
+                // uninterrupted one.
+                if let Some(orc) = oracle.as_mut() {
+                    match ResourceManager::restore(cfg.manager.clone(), &sim, &ck) {
+                        Ok((restored, rb)) => {
+                            let again = restored.checkpoint(ck.at, &rb);
+                            if again.to_bytes() != ck.to_bytes() {
+                                orc.record_violation(
+                                    tick_end,
+                                    "checkpoint_equivalence",
+                                    "restored manager re-checkpoints to different bytes".into(),
+                                );
+                            }
+                        }
+                        Err(err) => orc.record_violation(
+                            tick_end,
+                            "checkpoint_equivalence",
+                            format!("captured checkpoint failed to restore: {err}"),
+                        ),
+                    }
+                }
+                checkpoint = Some(ck);
             }
             window_start = tick_end;
         }
@@ -876,6 +970,8 @@ impl ExperimentRunner {
             }
         }
 
+        let oracle_report = oracle.map(|o| o.finish(&sim, &trace));
+
         RunOutcome {
             manager: manager.label(),
             scenario: cfg.scenario.name.clone(),
@@ -885,6 +981,10 @@ impl ExperimentRunner {
             registry,
             resize_failures: manager.resize_failures(),
             suppressed_actuations: manager.suppressed_actuations(),
+            dropped_actuations: manager.dropped_actuations(),
+            delayed_actuations: manager.delayed_actuations(),
+            partial_actuations: manager.partial_actuations(),
+            oracle: oracle_report,
             preemptions,
             bindings,
             horizon: cfg.scenario.horizon,
@@ -899,6 +999,7 @@ impl ExperimentRunner {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn schedule_pass(
         scheduler: &SchedulerFramework,
         backoff: &mut RequeueBackoff,
@@ -907,6 +1008,7 @@ impl ExperimentRunner {
         bindings: &mut u64,
         stale_pod_lookups: &mut u64,
         trace: &mut TraceRing,
+        mut bound_out: Option<&mut Vec<PodId>>,
     ) {
         let plan = scheduler.schedule_cycle_traced(sim.cluster(), backoff, sim.now(), trace);
         *stale_pod_lookups += plan.stale_pod_lookups;
@@ -918,7 +1020,33 @@ impl ExperimentRunner {
         for (pod, node) in &plan.bindings {
             if sim.bind_pod(*pod, *node).is_ok() {
                 *bindings += 1;
+                if let Some(out) = bound_out.as_deref_mut() {
+                    out.push(*pod);
+                }
             }
         }
     }
+}
+
+/// Flattens one realized fault event into the label/number shape the
+/// telemetry crate stores (it must not depend on simulator types).
+fn fault_trace(ev: &evolve_sim::FaultEvent) -> FaultTrace {
+    let (duration_s, node, app) = match &ev.kind {
+        FaultKind::NodeCrash { node, downtime } => {
+            (downtime.map(|d| d.as_secs_f64()), Some(node.as_usize() as u32), None)
+        }
+        FaultKind::ScrapeBlackout { app, duration } => (Some(duration.as_secs_f64()), None, *app),
+        FaultKind::MetricNoise { app, duration, .. } => (Some(duration.as_secs_f64()), None, *app),
+        FaultKind::ControlStall { duration }
+        | FaultKind::ActuationDrop { duration }
+        | FaultKind::ActuationDelay { duration, .. }
+        | FaultKind::ActuationPartial { duration, .. } => {
+            (Some(duration.as_secs_f64()), None, None)
+        }
+        FaultKind::ControllerCrash => (None, None, None),
+        FaultKind::NodeFlap { node, cycles, period } => {
+            (Some((*period * u64::from(*cycles)).as_secs_f64()), Some(node.as_usize() as u32), None)
+        }
+    };
+    FaultTrace { at: ev.at, kind: ev.kind.label(), duration_s, node, app }
 }

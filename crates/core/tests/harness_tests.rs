@@ -116,6 +116,64 @@ fn aggregates_identical_across_thread_counts() {
     }
 }
 
+/// A plan exercising the actuation-path fault classes added by the chaos
+/// harness: a drop window, a delay window, a partial-rollout window, a
+/// node flap, and stochastic actuation drops on top.
+fn actuation_fault_plan() -> FaultPlan {
+    FaultPlan::new()
+        .with_actuation_drop(SimTime::from_secs(25), SimDuration::from_secs(20))
+        .with_actuation_delay(
+            SimTime::from_secs(55),
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(12),
+        )
+        .with_actuation_partial(SimTime::from_secs(85), SimDuration::from_secs(20), 0.5)
+        .with_node_flap(NodeId::new(2), SimTime::from_secs(40), 3, SimDuration::from_secs(10))
+        .with_stochastic(StochasticFaults {
+            actuation_drops_per_hour: 40.0,
+            ..StochasticFaults::default()
+        })
+}
+
+/// Thread-count independence must also hold for the actuation-path fault
+/// kinds (drop/delay/partial/flap plus stochastic drops): the injector's
+/// realization and the manager's deferred-actuation queue are pure
+/// functions of the seed, never of scheduling order.
+#[test]
+fn actuation_faults_identical_across_thread_counts() {
+    let configs = vec![
+        with_faults(small_config(ManagerKind::Evolve, 150), actuation_fault_plan()),
+        with_faults(small_config(ManagerKind::Hpa { target_utilization: 0.6 }, 150), {
+            actuation_fault_plan()
+        }),
+    ];
+    let seeds = [42u64, 43, 44];
+    let serial = Harness::new().with_threads(1).run_matrix(&configs, &seeds);
+    let threaded = Harness::new().with_threads(4).run_matrix(&configs, &seeds);
+    assert_eq!(serial.len(), threaded.len());
+    for (a, b) in serial.iter().zip(&threaded) {
+        for (ra, rb) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(ra.total_violations(), rb.total_violations());
+            assert_eq!(ra.total_windows(), rb.total_windows());
+            assert_eq!(ra.events, rb.events);
+            assert_eq!(ra.dropped_actuations, rb.dropped_actuations);
+            assert_eq!(ra.delayed_actuations, rb.delayed_actuations);
+            assert_eq!(ra.partial_actuations, rb.partial_actuations);
+            assert_eq!(ra.resize_failures, rb.resize_failures);
+            assert_eq!(ra.total_violation_rate().to_bits(), rb.total_violation_rate().to_bits());
+        }
+        assert_eq!(summary_bits(&a.violation_rate()), summary_bits(&b.violation_rate()));
+        assert_eq!(summary_bits(&a.used_share()), summary_bits(&b.used_share()));
+    }
+    // The faults actually bit: at least one run must have seen a dropped
+    // or delayed actuation, or the plan tested nothing.
+    let touched = serial
+        .iter()
+        .flat_map(|rep| rep.runs.iter())
+        .any(|r| r.dropped_actuations > 0 || r.delayed_actuations > 0 || r.partial_actuations > 0);
+    assert!(touched, "no actuation fault ever fired");
+}
+
 /// Over ≥5 seeds a seed-sensitive metric must produce a finite, non-zero
 /// confidence interval, and a constant metric a zero-width one.
 #[test]

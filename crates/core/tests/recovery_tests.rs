@@ -38,10 +38,15 @@ fn run(cfg: RunConfig) -> RunOutcome {
     ExperimentRunner::new(cfg).run()
 }
 
-/// Every recorded series of two runs, compared bit-for-bit.
+/// Every recorded series of two runs, compared bit-for-bit. The
+/// `faults/active` series is excluded: it describes the injected fault
+/// plan itself, which by construction differs between a crashed run and
+/// its uninterrupted twin.
 fn assert_identical_series(a: &RunOutcome, b: &RunOutcome) {
-    let mut names_a: Vec<&str> = a.registry.series_names().collect();
-    let mut names_b: Vec<&str> = b.registry.series_names().collect();
+    let mut names_a: Vec<&str> =
+        a.registry.series_names().filter(|n| *n != "faults/active").collect();
+    let mut names_b: Vec<&str> =
+        b.registry.series_names().filter(|n| *n != "faults/active").collect();
     names_a.sort_unstable();
     names_b.sort_unstable();
     assert_eq!(names_a, names_b, "different series sets");

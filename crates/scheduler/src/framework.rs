@@ -109,6 +109,12 @@ pub struct SchedulerFramework {
     scorers: Vec<(Box<dyn ScorePlugin>, f64)>,
     preemption: bool,
     name: &'static str,
+    /// Chaos-harness fault seed: when `EVOLVE_CHAOS_GANG_NO_ROLLBACK` is
+    /// set in the environment at construction time, a failed gang's first
+    /// pass commits whatever ranks it managed to place instead of rolling
+    /// back — deliberately breaking gang atomicity so the chaos oracle
+    /// and fuzzer can prove they catch it. Never set in production paths.
+    break_gang_rollback: bool,
 }
 
 impl std::fmt::Debug for SchedulerFramework {
@@ -200,7 +206,13 @@ impl SchedulerFramework {
     /// An empty framework; add plugins with the builder methods.
     #[must_use]
     pub fn new(name: &'static str) -> Self {
-        SchedulerFramework { filters: Vec::new(), scorers: Vec::new(), preemption: false, name }
+        SchedulerFramework {
+            filters: Vec::new(),
+            scorers: Vec::new(),
+            preemption: false,
+            name,
+            break_gang_rollback: std::env::var_os("EVOLVE_CHAOS_GANG_NO_ROLLBACK").is_some(),
+        }
     }
 
     /// The stock Kubernetes-like profile: fit filter, least-allocated +
@@ -567,6 +579,14 @@ impl SchedulerFramework {
             }
         }
         if ok {
+            return Some((
+                placed.into_iter().map(|(id, node, _)| (id, node)).collect(),
+                Vec::new(),
+            ));
+        }
+        if self.break_gang_rollback && !placed.is_empty() {
+            // Seeded chaos bug: commit the partial gang instead of rolling
+            // back, violating all-or-nothing placement on purpose.
             return Some((
                 placed.into_iter().map(|(id, node, _)| (id, node)).collect(),
                 Vec::new(),

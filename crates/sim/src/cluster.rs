@@ -342,6 +342,17 @@ impl ClusterState {
     /// Panics when a node's book-kept allocation differs from the sum of
     /// its pods' requests, or exceeds its allocatable capacity.
     pub fn check_invariants(&self) {
+        let violations = self.invariant_violations();
+        assert!(violations.is_empty(), "cluster invariants violated: {violations:?}");
+    }
+
+    /// Non-panicking form of [`ClusterState::check_invariants`]: returns
+    /// one description per violated accounting invariant (empty when the
+    /// cluster is consistent). The chaos oracle calls this every tick, so
+    /// a violation becomes a recorded finding instead of a panic.
+    #[must_use]
+    pub fn invariant_violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
         let mut running = 0u32;
         let mut waiting = 0u32;
         for pod in self.pods.values() {
@@ -351,31 +362,34 @@ impl ClusterState {
                 _ => {}
             }
         }
-        assert_eq!(
-            (running, waiting),
-            (self.running_count, self.waiting_count),
-            "maintained phase counts diverged from pod table"
-        );
+        if (running, waiting) != (self.running_count, self.waiting_count) {
+            out.push(format!(
+                "maintained phase counts diverged from pod table: ({running}, {waiting}) vs ({}, {})",
+                self.running_count, self.waiting_count
+            ));
+        }
         for node in &self.nodes {
             let mut sum = ResourceVec::ZERO;
             for pod_id in node.pods() {
                 let pod = &self.pods[pod_id];
-                assert!(pod.phase.holds_resources(), "{pod_id} on node but not bound");
+                if !pod.phase.holds_resources() {
+                    out.push(format!("{pod_id} on node {} but not bound", node.id()));
+                }
                 sum += pod.spec.request;
             }
             let diff = (sum - node.allocated()).total() + (node.allocated() - sum).total();
-            assert!(
-                diff < 1e-6,
-                "allocation mismatch on {}: {sum} vs {}",
-                node.id(),
-                node.allocated()
-            );
-            assert!(
-                node.allocated().fits_within(&(node.allocatable() + ResourceVec::splat(1e-6))),
-                "node {} over-allocated",
-                node.id()
-            );
+            if diff >= 1e-6 {
+                out.push(format!(
+                    "allocation mismatch on {}: {sum} vs {}",
+                    node.id(),
+                    node.allocated()
+                ));
+            }
+            if !node.allocated().fits_within(&(node.allocatable() + ResourceVec::splat(1e-6))) {
+                out.push(format!("node {} over-allocated", node.id()));
+            }
         }
+        out
     }
 }
 

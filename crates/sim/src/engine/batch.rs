@@ -263,7 +263,14 @@ impl Simulation {
     }
 
     /// Applies a controller decision; returns failed in-place resizes.
-    pub(crate) fn batch_set_target(&mut self, idx: usize, per_task: ResourceVec) -> u32 {
+    /// `fraction < 1.0` limits the rollout to the first `ceil(fraction·n)`
+    /// tasks (degraded actuation path).
+    pub(crate) fn batch_set_target(
+        &mut self,
+        idx: usize,
+        per_task: ResourceVec,
+        fraction: f64,
+    ) -> u32 {
         let now = self.now;
         let target = per_task.min(&self.pod_limit).sanitized();
         self.batches[idx].desired_alloc = target;
@@ -273,6 +280,9 @@ impl Simulation {
         let mut buf = std::mem::take(&mut self.batches[idx].scratch);
         buf.clear();
         buf.extend(self.batches[idx].servers.keys().copied());
+        if fraction < 1.0 {
+            buf.truncate(super::partial_quota(buf.len(), fraction));
+        }
         for &pod in &buf {
             match self.cluster.resize_pod(pod, target) {
                 Ok(()) => {
@@ -294,6 +304,9 @@ impl Simulation {
         }
         buf.clear();
         buf.extend(self.batches[idx].active.keys().copied());
+        if fraction < 1.0 {
+            buf.truncate(super::partial_quota(buf.len(), fraction));
+        }
         for &pod in &buf {
             if self.cluster.pod(pod).is_ok_and(|x| x.is_pending()) {
                 let _ = self.cluster.update_pending_request(pod, target);

@@ -201,11 +201,23 @@ impl Simulation {
     }
 
     /// Applies a controller decision; returns failed in-place resizes.
-    pub(crate) fn hpc_set_target(&mut self, idx: usize, per_rank: ResourceVec) -> u32 {
+    /// `fraction < 1.0` limits the rollout to the first `ceil(fraction·n)`
+    /// ranks (degraded actuation path).
+    pub(crate) fn hpc_set_target(
+        &mut self,
+        idx: usize,
+        per_rank: ResourceVec,
+        fraction: f64,
+    ) -> u32 {
         let target = per_rank.min(&self.pod_limit).sanitized();
         self.hpcs[idx].desired_alloc = target;
         let mut failures = 0u32;
-        for i in 0..self.hpcs[idx].pods.len() {
+        let quota = if fraction < 1.0 {
+            super::partial_quota(self.hpcs[idx].pods.len(), fraction)
+        } else {
+            self.hpcs[idx].pods.len()
+        };
+        for i in 0..quota {
             let pod = self.hpcs[idx].pods[i];
             // Classify first: the phase borrow must end before the
             // mutating cluster calls below.

@@ -850,7 +850,29 @@ impl Simulation {
             return Err(Error::UnknownApp(app));
         };
         let idx = *idx;
-        Ok(self.service_set_target(idx, replicas, per_replica))
+        Ok(self.service_set_target(idx, replicas, per_replica, 1.0))
+    }
+
+    /// Like [`Simulation::set_service_target`], but the rollout reaches
+    /// only `fraction` of replicas (chaos `ActuationPartial` fault): the
+    /// desired state updates fully while untouched replicas keep their
+    /// old allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownApp`] for ids that are not services.
+    pub fn set_service_target_partial(
+        &mut self,
+        app: AppId,
+        replicas: u32,
+        per_replica: ResourceVec,
+        fraction: f64,
+    ) -> Result<u32> {
+        let Some(Owner::Service(idx)) = self.app_index.get(&app) else {
+            return Err(Error::UnknownApp(app));
+        };
+        let idx = *idx;
+        Ok(self.service_set_target(idx, replicas, per_replica, fraction))
     }
 
     /// Sets a batch job's per-task allocation (applied to running tasks in
@@ -865,7 +887,26 @@ impl Simulation {
             return Err(Error::UnknownApp(app));
         };
         let idx = *idx;
-        Ok(self.batch_set_target(idx, per_task))
+        Ok(self.batch_set_target(idx, per_task, 1.0))
+    }
+
+    /// Like [`Simulation::set_batch_target`], but the rollout reaches
+    /// only `fraction` of tasks (chaos `ActuationPartial` fault).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownApp`] for ids that are not batch jobs.
+    pub fn set_batch_target_partial(
+        &mut self,
+        app: AppId,
+        per_task: ResourceVec,
+        fraction: f64,
+    ) -> Result<u32> {
+        let Some(Owner::Batch(idx)) = self.app_index.get(&app) else {
+            return Err(Error::UnknownApp(app));
+        };
+        let idx = *idx;
+        Ok(self.batch_set_target(idx, per_task, fraction))
     }
 
     /// Sets an HPC job's per-rank allocation (in-place where possible;
@@ -880,7 +921,26 @@ impl Simulation {
             return Err(Error::UnknownApp(app));
         };
         let idx = *idx;
-        Ok(self.hpc_set_target(idx, per_rank))
+        Ok(self.hpc_set_target(idx, per_rank, 1.0))
+    }
+
+    /// Like [`Simulation::set_hpc_target`], but the rollout reaches only
+    /// `fraction` of ranks (chaos `ActuationPartial` fault).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownApp`] for ids that are not HPC jobs.
+    pub fn set_hpc_target_partial(
+        &mut self,
+        app: AppId,
+        per_rank: ResourceVec,
+        fraction: f64,
+    ) -> Result<u32> {
+        let Some(Owner::Hpc(idx)) = self.app_index.get(&app) else {
+            return Err(Error::UnknownApp(app));
+        };
+        let idx = *idx;
+        Ok(self.hpc_set_target(idx, per_rank, fraction))
     }
 
     /// The per-pod resource ceiling in force (largest node allocatable).
@@ -888,4 +948,13 @@ impl Simulation {
     pub fn pod_limit(&self) -> ResourceVec {
         self.pod_limit
     }
+}
+
+/// `ceil(fraction·n)` clamped to `[0, n]`: how many of `n` replicas a
+/// degraded actuation rollout reaches.
+pub(crate) fn partial_quota(n: usize, fraction: f64) -> usize {
+    if n == 0 || fraction <= 0.0 {
+        return 0;
+    }
+    (((fraction.min(1.0)) * n as f64).ceil() as usize).min(n)
 }

@@ -370,11 +370,15 @@ impl Simulation {
     }
 
     /// Applies a controller decision; returns failed in-place resizes.
+    /// `fraction < 1.0` models a degraded actuation path: the desired
+    /// state updates fully but the rollout reaches only the first
+    /// `ceil(fraction·n)` replicas (by pod-id order).
     pub(crate) fn service_set_target(
         &mut self,
         idx: usize,
         replicas: u32,
         per_replica: ResourceVec,
+        fraction: f64,
     ) -> u32 {
         let now = self.now;
         let target = per_replica.min(&self.pod_limit).sanitized();
@@ -386,6 +390,12 @@ impl Simulation {
         let mut running = std::mem::take(&mut self.services[idx].scratch);
         running.clear();
         running.extend(self.services[idx].servers.keys());
+        let quota = if fraction < 1.0 {
+            super::partial_quota(running.len(), fraction)
+        } else {
+            running.len()
+        };
+        running.truncate(quota);
         for &pod in &running {
             match self.cluster.resize_pod(pod, target) {
                 Ok(()) => {
@@ -404,11 +414,27 @@ impl Simulation {
         }
         running.clear();
         self.services[idx].scratch = running;
-        // Rewrite pending pods' requests.
+        // Rewrite pending pods' requests (fraction-limited like the
+        // in-place pass when the actuation path is degraded).
+        let mut budget = if fraction < 1.0 {
+            let pending = (0..self.services[idx].pods.len())
+                .filter(|&i| {
+                    let pod = self.services[idx].pods[i];
+                    self.cluster.pod(pod).is_ok_and(|x| x.is_pending())
+                })
+                .count();
+            super::partial_quota(pending, fraction)
+        } else {
+            usize::MAX
+        };
         for i in 0..self.services[idx].pods.len() {
+            if budget == 0 {
+                break;
+            }
             let pod = self.services[idx].pods[i];
             if self.cluster.pod(pod).is_ok_and(|x| x.is_pending()) {
                 let _ = self.cluster.update_pending_request(pod, target);
+                budget -= 1;
             }
         }
         self.reconcile_service(idx);

@@ -9,7 +9,7 @@
 //! the same fault timeline regardless of how many runs execute in
 //! parallel.
 
-use evolve_types::{AppId, NodeId, SimDuration, SimTime};
+use evolve_types::{AppId, Error, NodeId, SimDuration, SimTime};
 use evolve_workload::{sample_exponential, sample_lognormal_with, SamplingMode};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -54,6 +54,99 @@ pub enum FaultKind {
     /// tables) is destroyed at this instant. How the restarted controller
     /// rebuilds state is the runner's recovery strategy.
     ControllerCrash,
+    /// Resize/scale requests from the controller are silently dropped:
+    /// the reconciler believes it actuated, but the cluster never sees
+    /// the request.
+    ActuationDrop {
+        /// How long the actuation path stays black-holed.
+        duration: SimDuration,
+    },
+    /// Resize/scale requests reach the cluster only after `lag`.
+    ActuationDelay {
+        /// How long the actuation path stays slow.
+        duration: SimDuration,
+        /// Delay added to every request issued inside the interval.
+        lag: SimDuration,
+    },
+    /// Resize requests are applied to only a fraction of each app's
+    /// replicas (the desired state updates fully; the rollout stalls).
+    ActuationPartial {
+        /// How long the actuation path stays partial.
+        duration: SimDuration,
+        /// Fraction of replicas actually resized, in `(0, 1]`.
+        fraction: f64,
+    },
+    /// Fast ready/unready cycling of one node: `cycles` crash/recover
+    /// pairs spaced `period` apart (down for the first half of each
+    /// period).
+    NodeFlap {
+        /// The flapping node.
+        node: NodeId,
+        /// Number of down/up cycles.
+        cycles: u32,
+        /// Length of one full cycle.
+        period: SimDuration,
+    },
+}
+
+impl FaultKind {
+    /// Validates the parameters of this fault kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when a numeric parameter is
+    /// non-finite or out of range: a negative noise `cv`, an actuation
+    /// `fraction` outside `(0, 1]`, a zero-length flap `period`, or a
+    /// flap with zero `cycles`.
+    pub fn validate(&self) -> Result<(), Error> {
+        match *self {
+            FaultKind::MetricNoise { cv, .. } => {
+                if !cv.is_finite() || cv < 0.0 {
+                    return Err(Error::InvalidConfig(format!(
+                        "metric-noise cv must be finite and non-negative, got {cv}"
+                    )));
+                }
+            }
+            FaultKind::ActuationPartial { fraction, .. } => {
+                if !fraction.is_finite() || fraction <= 0.0 || fraction > 1.0 {
+                    return Err(Error::InvalidConfig(format!(
+                        "actuation fraction must be in (0, 1], got {fraction}"
+                    )));
+                }
+            }
+            FaultKind::NodeFlap { cycles, period, .. } => {
+                if cycles == 0 {
+                    return Err(Error::InvalidConfig("node flap needs at least one cycle".into()));
+                }
+                if period.is_zero() {
+                    return Err(Error::InvalidConfig("node flap period must be positive".into()));
+                }
+            }
+            FaultKind::NodeCrash { .. }
+            | FaultKind::ScrapeBlackout { .. }
+            | FaultKind::ControlStall { .. }
+            | FaultKind::ControllerCrash
+            | FaultKind::ActuationDrop { .. }
+            | FaultKind::ActuationDelay { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Short stable label used in traces and reproducer files.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::NodeCrash { .. } => "node_crash",
+            FaultKind::ScrapeBlackout { .. } => "scrape_blackout",
+            FaultKind::MetricNoise { .. } => "metric_noise",
+            FaultKind::ControlStall { .. } => "control_stall",
+            FaultKind::ControllerCrash => "controller_crash",
+            FaultKind::ActuationDrop { .. } => "actuation_drop",
+            FaultKind::ActuationDelay { .. } => "actuation_delay",
+            FaultKind::ActuationPartial { .. } => "actuation_partial",
+            FaultKind::NodeFlap { .. } => "node_flap",
+        }
+    }
 }
 
 /// A fault scheduled at an absolute time.
@@ -83,6 +176,10 @@ pub struct StochasticFaults {
     pub mean_stall: SimDuration,
     /// Controller crash–restarts per hour (state-destroying, instant).
     pub controller_crashes_per_hour: f64,
+    /// Actuation black-hole windows per hour (resizes silently dropped).
+    pub actuation_drops_per_hour: f64,
+    /// Mean length of an actuation black-hole window.
+    pub mean_actuation_drop: SimDuration,
 }
 
 impl Default for StochasticFaults {
@@ -95,6 +192,8 @@ impl Default for StochasticFaults {
             stalls_per_hour: 0.0,
             mean_stall: SimDuration::from_secs(30),
             controller_crashes_per_hour: 0.0,
+            actuation_drops_per_hour: 0.0,
+            mean_actuation_drop: SimDuration::from_secs(45),
         }
     }
 }
@@ -122,14 +221,60 @@ impl FaultPlan {
                     || s.blackouts_per_hour > 0.0
                     || s.stalls_per_hour > 0.0
                     || s.controller_crashes_per_hour > 0.0
+                    || s.actuation_drops_per_hour > 0.0
             })
     }
 
     /// Adds an arbitrary scheduled fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the fault parameters fail [`FaultKind::validate`]
+    /// (non-finite cv, fraction outside `(0, 1]`, zero-cycle or
+    /// zero-period flap). Use [`FaultPlan::checked_event`] for a
+    /// non-panicking variant.
     #[must_use]
-    pub fn with_event(mut self, at: SimTime, kind: FaultKind) -> Self {
+    pub fn with_event(self, at: SimTime, kind: FaultKind) -> Self {
+        match self.checked_event(at, kind) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Adds an arbitrary scheduled fault, rejecting invalid parameters
+    /// with a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when [`FaultKind::validate`]
+    /// rejects the parameters.
+    pub fn checked_event(mut self, at: SimTime, kind: FaultKind) -> Result<Self, Error> {
+        kind.validate()?;
         self.scheduled.push(FaultEvent { at, kind });
-        self
+        Ok(self)
+    }
+
+    /// Validates every scheduled event against a run horizon: all start
+    /// times must fall inside `[0, horizon)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] naming the first out-of-horizon
+    /// event.
+    pub fn validate(&self, horizon: SimDuration) -> Result<(), Error> {
+        let end = SimTime::ZERO + horizon;
+        for ev in &self.scheduled {
+            ev.kind.validate()?;
+            if ev.at >= end {
+                return Err(Error::InvalidConfig(format!(
+                    "fault {} at {:.1}s starts beyond the {:.1}s horizon",
+                    ev.kind.label(),
+                    ev.at.as_secs_f64(),
+                    horizon.as_secs_f64()
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Crashes `node` at `at`, recovering after `downtime` when given.
@@ -169,6 +314,53 @@ impl FaultPlan {
         self.with_event(at, FaultKind::ControllerCrash)
     }
 
+    /// Black-holes the actuation path: resizes issued during the window
+    /// are silently dropped.
+    #[must_use]
+    pub fn with_actuation_drop(self, at: SimTime, duration: SimDuration) -> Self {
+        self.with_event(at, FaultKind::ActuationDrop { duration })
+    }
+
+    /// Slows the actuation path: resizes issued during the window reach
+    /// the cluster `lag` later.
+    #[must_use]
+    pub fn with_actuation_delay(
+        self,
+        at: SimTime,
+        duration: SimDuration,
+        lag: SimDuration,
+    ) -> Self {
+        self.with_event(at, FaultKind::ActuationDelay { duration, lag })
+    }
+
+    /// Degrades the actuation path: resizes apply to only `fraction` of
+    /// each app's replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fraction` is not in `(0, 1]`.
+    #[must_use]
+    pub fn with_actuation_partial(self, at: SimTime, duration: SimDuration, fraction: f64) -> Self {
+        self.with_event(at, FaultKind::ActuationPartial { duration, fraction })
+    }
+
+    /// Flaps `node` ready/unready: `cycles` crash/recover pairs spaced
+    /// `period` apart starting at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cycles` is zero or `period` is zero.
+    #[must_use]
+    pub fn with_node_flap(
+        self,
+        node: NodeId,
+        at: SimTime,
+        cycles: u32,
+        period: SimDuration,
+    ) -> Self {
+        self.with_event(at, FaultKind::NodeFlap { node, cycles, period })
+    }
+
     /// Adds a seeded-stochastic background fault process.
     #[must_use]
     pub fn with_stochastic(mut self, config: StochasticFaults) -> Self {
@@ -195,6 +387,9 @@ pub struct FaultInjector {
     noise: Vec<(SimTime, SimTime, Option<AppId>, f64)>,
     stalls: Vec<(SimTime, SimTime)>,
     controller_crashes: Vec<SimTime>,
+    act_drops: Vec<(SimTime, SimTime)>,
+    act_delays: Vec<(SimTime, SimTime, SimDuration)>,
+    act_partials: Vec<(SimTime, SimTime, f64)>,
     noise_rng: ChaCha8Rng,
     sampling: SamplingMode,
 }
@@ -211,6 +406,9 @@ impl FaultInjector {
             noise: Vec::new(),
             stalls: Vec::new(),
             controller_crashes: Vec::new(),
+            act_drops: Vec::new(),
+            act_delays: Vec::new(),
+            act_partials: Vec::new(),
             noise_rng: ChaCha8Rng::seed_from_u64(seed ^ 0x4e01_5e00),
             sampling: SamplingMode::default(),
         };
@@ -244,12 +442,22 @@ impl FaultInjector {
             for at in poisson_arrivals(&mut rng, sto.controller_crashes_per_hour, horizon) {
                 inj.push(at, &FaultKind::ControllerCrash);
             }
+            // Actuation drops realized after controller crashes for the
+            // same reason: enabling them leaves every prior class's
+            // same-seed timeline unchanged.
+            for at in poisson_arrivals(&mut rng, sto.actuation_drops_per_hour, horizon) {
+                let duration = exp_duration(&mut rng, sto.mean_actuation_drop);
+                inj.push(at, &FaultKind::ActuationDrop { duration });
+            }
         }
         inj.crashes.sort_by_key(|&(node, at, _)| (at, node));
         inj.blackouts.sort_by_key(|&(s, e, _)| (s, e));
         inj.noise.sort_by_key(|&(s, e, _, _)| (s, e));
         inj.stalls.sort_unstable();
         inj.controller_crashes.sort_unstable();
+        inj.act_drops.sort_unstable();
+        inj.act_delays.sort_unstable();
+        inj.act_partials.sort_by_key(|&(s, e, _)| (s, e));
         inj
     }
 
@@ -278,6 +486,23 @@ impl FaultInjector {
             }
             FaultKind::ControllerCrash => {
                 self.controller_crashes.push(at);
+            }
+            FaultKind::ActuationDrop { duration } => {
+                self.act_drops.push((at, at + duration));
+            }
+            FaultKind::ActuationDelay { duration, lag } => {
+                self.act_delays.push((at, at + duration, lag));
+            }
+            FaultKind::ActuationPartial { duration, fraction } => {
+                self.act_partials.push((at, at + duration, fraction));
+            }
+            FaultKind::NodeFlap { node, cycles, period } => {
+                // A flap is sugar for `cycles` short crashes: down for the
+                // first half of each period, recovered for the second.
+                for c in 0..u64::from(cycles) {
+                    let fail = at + period * c;
+                    self.crashes.push((node, fail, Some(fail + period / 2)));
+                }
             }
         }
     }
@@ -323,6 +548,109 @@ impl FaultInjector {
     #[must_use]
     pub fn controller_crashed_in(&self, from: SimTime, to: SimTime) -> bool {
         self.controller_crashes.iter().any(|&t| from < t && t <= to)
+    }
+
+    /// `true` while an actuation black-hole is active at `at`: resizes
+    /// issued now are silently dropped.
+    #[must_use]
+    pub fn actuation_dropped(&self, at: SimTime) -> bool {
+        self.act_drops.iter().any(|&(s, e)| s <= at && at < e)
+    }
+
+    /// The actuation lag in force at `at`, when any. Overlapping delay
+    /// windows take the longest lag (the slowest path wins).
+    #[must_use]
+    pub fn actuation_lag(&self, at: SimTime) -> Option<SimDuration> {
+        self.act_delays.iter().filter(|&&(s, e, _)| s <= at && at < e).map(|&(_, _, lag)| lag).max()
+    }
+
+    /// The actuation fraction in force at `at`, when any. Overlapping
+    /// partial windows take the smallest fraction (the worst rollout
+    /// wins).
+    #[must_use]
+    pub fn actuation_fraction(&self, at: SimTime) -> Option<f64> {
+        self.act_partials
+            .iter()
+            .filter(|&&(s, e, _)| s <= at && at < e)
+            .map(|&(_, _, f)| f)
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// The fully realized timeline — scheduled plus drawn stochastic
+    /// events — as `FaultEvent`s sorted by start time. Node flaps appear
+    /// as their expanded crash/recover pairs; durations are reconstructed
+    /// from the realized intervals.
+    #[must_use]
+    pub fn timeline(&self) -> Vec<FaultEvent> {
+        let mut out = Vec::with_capacity(
+            self.crashes.len()
+                + self.blackouts.len()
+                + self.noise.len()
+                + self.stalls.len()
+                + self.controller_crashes.len()
+                + self.act_drops.len()
+                + self.act_delays.len()
+                + self.act_partials.len(),
+        );
+        for &(node, at, recover) in &self.crashes {
+            let downtime = recover.map(|r| r.saturating_since(at));
+            out.push(FaultEvent { at, kind: FaultKind::NodeCrash { node, downtime } });
+        }
+        for &(s, e, app) in &self.blackouts {
+            let kind = FaultKind::ScrapeBlackout { app, duration: e.saturating_since(s) };
+            out.push(FaultEvent { at: s, kind });
+        }
+        for &(s, e, app, cv) in &self.noise {
+            let kind = FaultKind::MetricNoise { app, duration: e.saturating_since(s), cv };
+            out.push(FaultEvent { at: s, kind });
+        }
+        for &(s, e) in &self.stalls {
+            out.push(FaultEvent {
+                at: s,
+                kind: FaultKind::ControlStall { duration: e.saturating_since(s) },
+            });
+        }
+        for &at in &self.controller_crashes {
+            out.push(FaultEvent { at, kind: FaultKind::ControllerCrash });
+        }
+        for &(s, e) in &self.act_drops {
+            out.push(FaultEvent {
+                at: s,
+                kind: FaultKind::ActuationDrop { duration: e.saturating_since(s) },
+            });
+        }
+        for &(s, e, lag) in &self.act_delays {
+            out.push(FaultEvent {
+                at: s,
+                kind: FaultKind::ActuationDelay { duration: e.saturating_since(s), lag },
+            });
+        }
+        for &(s, e, fraction) in &self.act_partials {
+            out.push(FaultEvent {
+                at: s,
+                kind: FaultKind::ActuationPartial { duration: e.saturating_since(s), fraction },
+            });
+        }
+        out.sort_by_key(|ev| ev.at);
+        out
+    }
+
+    /// How many fault intervals are active at `at` (instantaneous
+    /// controller crashes never count; a permanent node crash counts from
+    /// its fail time onward).
+    #[must_use]
+    pub fn active_count(&self, at: SimTime) -> usize {
+        let crashes =
+            self.crashes.iter().filter(|&&(_, s, e)| s <= at && e.is_none_or(|e| at < e)).count();
+        let intervals =
+            |v: &[(SimTime, SimTime)]| v.iter().filter(|&&(s, e)| s <= at && at < e).count();
+        crashes
+            + self.blackouts.iter().filter(|&&(s, e, _)| s <= at && at < e).count()
+            + self.noise.iter().filter(|&&(s, e, _, _)| s <= at && at < e).count()
+            + intervals(&self.stalls)
+            + intervals(&self.act_drops)
+            + self.act_delays.iter().filter(|&&(s, e, _)| s <= at && at < e).count()
+            + self.act_partials.iter().filter(|&&(s, e, _)| s <= at && at < e).count()
     }
 
     /// The noise CV in force for `app` at `at`, when any.
@@ -481,6 +809,173 @@ mod tests {
             assert!(node.as_usize() < 4);
             assert!(recover.expect("stochastic crashes recover") > at);
         }
+    }
+
+    #[test]
+    fn actuation_faults_are_half_open_intervals() {
+        let plan = FaultPlan::new()
+            .with_actuation_drop(SimTime::from_secs(100), SimDuration::from_secs(50))
+            .with_actuation_delay(
+                SimTime::from_secs(200),
+                SimDuration::from_secs(30),
+                SimDuration::from_secs(12),
+            )
+            .with_actuation_partial(SimTime::from_secs(300), SimDuration::from_secs(40), 0.5);
+        assert!(!plan.is_empty());
+        let inj = FaultInjector::new(&plan, 1, SimDuration::from_mins(10), 4);
+        assert!(!inj.actuation_dropped(SimTime::from_secs(99)));
+        assert!(inj.actuation_dropped(SimTime::from_secs(100)));
+        assert!(inj.actuation_dropped(SimTime::from_secs(149)));
+        assert!(!inj.actuation_dropped(SimTime::from_secs(150)));
+        assert_eq!(inj.actuation_lag(SimTime::from_secs(199)), None);
+        assert_eq!(inj.actuation_lag(SimTime::from_secs(210)), Some(SimDuration::from_secs(12)));
+        assert_eq!(inj.actuation_lag(SimTime::from_secs(230)), None);
+        assert_eq!(inj.actuation_fraction(SimTime::from_secs(299)), None);
+        assert_eq!(inj.actuation_fraction(SimTime::from_secs(320)), Some(0.5));
+        assert_eq!(inj.actuation_fraction(SimTime::from_secs(340)), None);
+    }
+
+    #[test]
+    fn overlapping_actuation_windows_take_the_worst_case() {
+        let plan = FaultPlan::new()
+            .with_actuation_delay(
+                SimTime::from_secs(0),
+                SimDuration::from_secs(100),
+                SimDuration::from_secs(5),
+            )
+            .with_actuation_delay(
+                SimTime::from_secs(50),
+                SimDuration::from_secs(100),
+                SimDuration::from_secs(20),
+            )
+            .with_actuation_partial(SimTime::from_secs(0), SimDuration::from_secs(100), 0.8)
+            .with_actuation_partial(SimTime::from_secs(50), SimDuration::from_secs(100), 0.25);
+        let inj = FaultInjector::new(&plan, 1, SimDuration::from_mins(10), 4);
+        assert_eq!(inj.actuation_lag(SimTime::from_secs(75)), Some(SimDuration::from_secs(20)));
+        assert_eq!(inj.actuation_fraction(SimTime::from_secs(75)), Some(0.25));
+    }
+
+    #[test]
+    fn node_flap_expands_into_crash_recover_pairs() {
+        let plan = FaultPlan::new().with_node_flap(
+            NodeId::new(2),
+            SimTime::from_secs(60),
+            3,
+            SimDuration::from_secs(20),
+        );
+        let inj = FaultInjector::new(&plan, 1, SimDuration::from_mins(10), 4);
+        let schedule = inj.crash_schedule();
+        assert_eq!(schedule.len(), 3);
+        for (c, &(node, fail, recover)) in schedule.iter().enumerate() {
+            assert_eq!(node, NodeId::new(2));
+            assert_eq!(fail, SimTime::from_secs(60 + 20 * c as u64));
+            assert_eq!(recover, Some(SimTime::from_secs(70 + 20 * c as u64)));
+        }
+    }
+
+    #[test]
+    fn invalid_fault_parameters_yield_typed_errors() {
+        let bad_fraction = FaultPlan::new().checked_event(
+            SimTime::from_secs(1),
+            FaultKind::ActuationPartial { duration: SimDuration::from_secs(10), fraction: 1.5 },
+        );
+        assert!(matches!(bad_fraction, Err(Error::InvalidConfig(_))));
+        let bad_cv = FaultPlan::new().checked_event(
+            SimTime::from_secs(1),
+            FaultKind::MetricNoise {
+                app: None,
+                duration: SimDuration::from_secs(10),
+                cv: f64::NAN,
+            },
+        );
+        assert!(matches!(bad_cv, Err(Error::InvalidConfig(_))));
+        let bad_cycles = FaultPlan::new().checked_event(
+            SimTime::from_secs(1),
+            FaultKind::NodeFlap {
+                node: NodeId::new(0),
+                cycles: 0,
+                period: SimDuration::from_secs(5),
+            },
+        );
+        assert!(matches!(bad_cycles, Err(Error::InvalidConfig(_))));
+        let bad_period = FaultPlan::new().checked_event(
+            SimTime::from_secs(1),
+            FaultKind::NodeFlap { node: NodeId::new(0), cycles: 2, period: SimDuration::ZERO },
+        );
+        assert!(matches!(bad_period, Err(Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "actuation fraction must be in (0, 1]")]
+    fn with_actuation_partial_panics_on_bad_fraction() {
+        let _ = FaultPlan::new().with_actuation_partial(
+            SimTime::from_secs(1),
+            SimDuration::from_secs(10),
+            0.0,
+        );
+    }
+
+    #[test]
+    fn plan_validate_rejects_out_of_horizon_events() {
+        let plan = FaultPlan::new()
+            .with_control_stall(SimTime::from_secs(500), SimDuration::from_secs(10));
+        assert!(plan.validate(SimDuration::from_secs(600)).is_ok());
+        let err = plan.validate(SimDuration::from_secs(400)).unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)));
+        assert!(err.to_string().contains("control_stall"));
+    }
+
+    #[test]
+    fn timeline_and_active_count_cover_all_classes() {
+        let plan = FaultPlan::new()
+            .with_node_crash(
+                NodeId::new(0),
+                SimTime::from_secs(10),
+                Some(SimDuration::from_secs(20)),
+            )
+            .with_scrape_blackout(SimTime::from_secs(15), SimDuration::from_secs(10))
+            .with_actuation_drop(SimTime::from_secs(12), SimDuration::from_secs(6))
+            .with_controller_crash(SimTime::from_secs(14));
+        let inj = FaultInjector::new(&plan, 1, SimDuration::from_mins(1), 4);
+        let timeline = inj.timeline();
+        assert_eq!(timeline.len(), 4);
+        assert!(timeline.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(
+            timeline[0].kind,
+            FaultKind::NodeCrash {
+                node: NodeId::new(0),
+                downtime: Some(SimDuration::from_secs(20))
+            }
+        );
+        // At t=16: crash active, blackout active, drop active; the
+        // instantaneous controller crash never counts.
+        assert_eq!(inj.active_count(SimTime::from_secs(16)), 3);
+        assert_eq!(inj.active_count(SimTime::from_secs(5)), 0);
+        assert_eq!(inj.active_count(SimTime::from_secs(40)), 0);
+    }
+
+    #[test]
+    fn stochastic_actuation_drops_do_not_shift_other_classes() {
+        let base = FaultPlan::new().with_stochastic(StochasticFaults {
+            stalls_per_hour: 2.0,
+            controller_crashes_per_hour: 3.0,
+            ..Default::default()
+        });
+        let with_drops = FaultPlan::new().with_stochastic(StochasticFaults {
+            stalls_per_hour: 2.0,
+            controller_crashes_per_hour: 3.0,
+            actuation_drops_per_hour: 6.0,
+            ..Default::default()
+        });
+        let horizon = SimDuration::from_mins(120);
+        let a = FaultInjector::new(&base, 7, horizon, 4);
+        let b = FaultInjector::new(&with_drops, 7, horizon, 4);
+        assert_eq!(a.stalls, b.stalls);
+        assert_eq!(a.controller_crash_schedule(), b.controller_crash_schedule());
+        assert!(a.act_drops.is_empty());
+        assert!(!b.act_drops.is_empty());
+        let b2 = FaultInjector::new(&with_drops, 7, horizon, 4);
+        assert_eq!(b.act_drops, b2.act_drops);
     }
 
     #[test]

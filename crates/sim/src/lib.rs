@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod cluster;
 mod engine;
 mod faults;
@@ -45,6 +46,7 @@ mod observe;
 mod perf;
 mod pod;
 
+pub use chaos::{ChaosOracle, OracleReport, OracleViolation, Reproducer};
 pub use cluster::{ClusterConfig, ClusterState, NodeShape};
 pub use engine::{Simulation, SimulationConfig};
 pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultPlan, StochasticFaults};

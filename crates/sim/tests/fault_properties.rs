@@ -22,6 +22,10 @@ enum PlannedFault {
     Blackout { at: u64, duration: u64 },
     Noise { at: u64, duration: u64, cv: f64 },
     Stall { at: u64, duration: u64 },
+    ActDrop { at: u64, duration: u64 },
+    ActDelay { at: u64, duration: u64, lag: u64 },
+    ActPartial { at: u64, duration: u64, fraction: f64 },
+    Flap { node: u8, at: u64, cycles: u8, period: u64 },
 }
 
 fn arb_fault() -> impl Strategy<Value = PlannedFault> {
@@ -39,6 +43,15 @@ fn arb_fault() -> impl Strategy<Value = PlannedFault> {
             .prop_map(|(at, duration, cv)| PlannedFault::Noise { at, duration, cv }),
         (1u64..HORIZON_SECS, 5u64..60)
             .prop_map(|(at, duration)| PlannedFault::Stall { at, duration }),
+        (1u64..HORIZON_SECS, 5u64..60)
+            .prop_map(|(at, duration)| PlannedFault::ActDrop { at, duration }),
+        (1u64..HORIZON_SECS, 5u64..60, 1u64..30)
+            .prop_map(|(at, duration, lag)| PlannedFault::ActDelay { at, duration, lag }),
+        (1u64..HORIZON_SECS, 5u64..60, 0.1f64..1.0).prop_map(|(at, duration, fraction)| {
+            PlannedFault::ActPartial { at, duration, fraction }
+        }),
+        (0u8..NODES as u8, 1u64..HORIZON_SECS, 1u8..5, 4u64..30)
+            .prop_map(|(node, at, cycles, period)| PlannedFault::Flap { node, at, cycles, period }),
     ]
 }
 
@@ -60,6 +73,25 @@ fn build_plan(faults: &[PlannedFault], stochastic: bool) -> FaultPlan {
             PlannedFault::Stall { at, duration } => {
                 plan.with_control_stall(SimTime::from_secs(at), SimDuration::from_secs(duration))
             }
+            PlannedFault::ActDrop { at, duration } => {
+                plan.with_actuation_drop(SimTime::from_secs(at), SimDuration::from_secs(duration))
+            }
+            PlannedFault::ActDelay { at, duration, lag } => plan.with_actuation_delay(
+                SimTime::from_secs(at),
+                SimDuration::from_secs(duration),
+                SimDuration::from_secs(lag),
+            ),
+            PlannedFault::ActPartial { at, duration, fraction } => plan.with_actuation_partial(
+                SimTime::from_secs(at),
+                SimDuration::from_secs(duration),
+                fraction,
+            ),
+            PlannedFault::Flap { node, at, cycles, period } => plan.with_node_flap(
+                NodeId::new(u32::from(node)),
+                SimTime::from_secs(at),
+                u32::from(cycles),
+                SimDuration::from_secs(period),
+            ),
         };
     }
     if stochastic {
@@ -68,6 +100,7 @@ fn build_plan(faults: &[PlannedFault], stochastic: bool) -> FaultPlan {
             mean_downtime: SimDuration::from_secs(60),
             blackouts_per_hour: 40.0,
             stalls_per_hour: 20.0,
+            actuation_drops_per_hour: 25.0,
             ..StochasticFaults::default()
         });
     }
@@ -211,12 +244,17 @@ proptest! {
         let a = FaultInjector::new(&plan, seed, horizon, NODES);
         let b = FaultInjector::new(&plan, seed, horizon, NODES);
         prop_assert_eq!(a.crash_schedule(), b.crash_schedule());
+        prop_assert_eq!(a.timeline(), b.timeline());
         let app = evolve_types::AppId::new(0);
         for s in (0..HORIZON_SECS).step_by(5) {
             let t = SimTime::from_secs(s);
             prop_assert_eq!(a.scrape_available(app, t), b.scrape_available(app, t));
             prop_assert_eq!(a.controller_stalled(t), b.controller_stalled(t));
             prop_assert_eq!(a.noise_cv(app, t), b.noise_cv(app, t));
+            prop_assert_eq!(a.actuation_dropped(t), b.actuation_dropped(t));
+            prop_assert_eq!(a.actuation_lag(t), b.actuation_lag(t));
+            prop_assert_eq!(a.actuation_fraction(t), b.actuation_fraction(t));
+            prop_assert_eq!(a.active_count(t), b.active_count(t));
         }
     }
 }

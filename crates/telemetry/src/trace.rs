@@ -103,6 +103,12 @@ pub enum ActuationOutcome {
     Held,
     /// The policy returned no decision (e.g. static baseline, latch tick).
     NoDecision,
+    /// An injected actuation fault silently swallowed the request — the
+    /// controller believes it actuated but the cluster never saw it.
+    Dropped,
+    /// An injected actuation fault deferred the request; it reaches the
+    /// cluster after the sampled lag.
+    Delayed,
 }
 
 impl ActuationOutcome {
@@ -114,6 +120,8 @@ impl ActuationOutcome {
             ActuationOutcome::Suppressed => "suppressed",
             ActuationOutcome::Held => "held",
             ActuationOutcome::NoDecision => "no-decision",
+            ActuationOutcome::Dropped => "dropped",
+            ActuationOutcome::Delayed => "delayed",
         }
     }
 }
@@ -293,6 +301,26 @@ pub struct SpanTrace {
     pub wall_ns: u64,
 }
 
+/// One injected fault, realized for this run. Pushed by the runner at
+/// run start (one per realized scheduled/stochastic event) so dump
+/// consumers can correlate decisions with the faults around them. Fields
+/// are plain labels/numbers: telemetry stays independent of the
+/// simulator's fault types.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTrace {
+    /// When the fault begins.
+    pub at: SimTime,
+    /// Stable fault-kind label (e.g. `"node_crash"`, `"actuation_drop"`).
+    pub kind: &'static str,
+    /// Fault length in seconds (`None` for instantaneous or permanent
+    /// faults).
+    pub duration_s: Option<f64>,
+    /// Affected node, for node-scoped faults.
+    pub node: Option<u32>,
+    /// Affected app, for app-scoped faults (`None` = cluster-wide).
+    pub app: Option<AppId>,
+}
+
 /// One entry in the trace ring.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
@@ -302,6 +330,8 @@ pub enum TraceEvent {
     Sched(SchedTrace),
     /// A runner lifecycle span.
     Span(SpanTrace),
+    /// An injected fault realized for this run.
+    Fault(FaultTrace),
 }
 
 /// Bounded ring of trace events: pushes are O(1), memory is capped at
@@ -390,6 +420,14 @@ impl TraceRing {
         })
     }
 
+    /// Retained injected-fault records, oldest first.
+    pub fn faults(&self) -> impl Iterator<Item = &FaultTrace> {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Fault(f) => Some(f),
+            _ => None,
+        })
+    }
+
     /// Renders the ring as deterministic JSONL: one event per line,
     /// oldest first, fixed key order, shortest-roundtrip float text,
     /// wall-clock fields excluded. Two same-seed runs produce
@@ -402,6 +440,7 @@ impl TraceRing {
                 TraceEvent::Control(c) => write_control(&mut out, c),
                 TraceEvent::Sched(s) => write_sched(&mut out, s),
                 TraceEvent::Span(s) => write_span(&mut out, s),
+                TraceEvent::Fault(f) => write_fault(&mut out, f),
             }
             out.push('\n');
         }
@@ -562,6 +601,28 @@ fn write_span(out: &mut String, s: &SpanTrace) {
     let _ = write!(out, ",\"kind\":\"{}\"}}", s.kind.as_str());
 }
 
+fn write_fault(out: &mut String, f: &FaultTrace) {
+    let _ = write!(out, "{{\"type\":\"fault\",\"at_s\":");
+    push_f64(out, f.at.as_secs_f64());
+    let _ = write!(out, ",\"kind\":\"{}\",\"duration_s\":", f.kind);
+    push_opt_f64(out, f.duration_s);
+    out.push_str(",\"node\":");
+    match f.node {
+        Some(n) => {
+            let _ = write!(out, "{n}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"app\":");
+    match f.app {
+        Some(a) => {
+            let _ = write!(out, "{}", a.raw());
+        }
+        None => out.push_str("null"),
+    }
+    out.push('}');
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -605,6 +666,38 @@ mod tests {
         let line = ring.to_jsonl();
         assert_eq!(line, "{\"type\":\"span\",\"tick\":7,\"at_s\":7,\"kind\":\"control\"}\n");
         assert!(!line.contains("123"), "wall_ns leaked into the dump");
+    }
+
+    #[test]
+    fn fault_jsonl_is_stable_and_null_safe() {
+        let mut ring = TraceRing::new(8);
+        ring.push(TraceEvent::Fault(FaultTrace {
+            at: SimTime::from_millis(12_500),
+            kind: "node_crash",
+            duration_s: Some(40.0),
+            node: Some(2),
+            app: None,
+        }));
+        ring.push(TraceEvent::Fault(FaultTrace {
+            at: SimTime::from_secs(60),
+            kind: "actuation_drop",
+            duration_s: None,
+            node: None,
+            app: Some(AppId::new(3)),
+        }));
+        let dump = ring.to_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"fault\",\"at_s\":12.5,\"kind\":\"node_crash\",\"duration_s\":40,\
+             \"node\":2,\"app\":null}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"fault\",\"at_s\":60,\"kind\":\"actuation_drop\",\"duration_s\":null,\
+             \"node\":null,\"app\":3}"
+        );
+        assert_eq!(ring.faults().count(), 2);
     }
 
     #[test]

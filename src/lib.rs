@@ -68,10 +68,13 @@ pub mod prelude {
         write_csv, ExperimentRunner, Harness, ManagerKind, RecoveryStrategy, ReplicatedOutcome,
         RunConfig, RunConfigBuilder, RunOutcome, RunPerf, SchedulerProfile, Summary, Table,
     };
-    pub use evolve_sim::{FaultKind, FaultPlan, NodeShape};
+    pub use evolve_sim::{
+        ChaosOracle, FaultEvent, FaultKind, FaultPlan, NodeShape, OracleReport, OracleViolation,
+        Reproducer, StochasticFaults,
+    };
     pub use evolve_telemetry::trace::{
-        ActuationOutcome, ControlExplain, ControlTrace, SchedOutcome, SchedTrace, SpanKind,
-        SpanTrace, TraceConfig, TraceEvent, TraceRing, TraceSignal,
+        ActuationOutcome, ControlExplain, ControlTrace, FaultTrace, SchedOutcome, SchedTrace,
+        SpanKind, SpanTrace, TraceConfig, TraceEvent, TraceRing, TraceSignal,
     };
     pub use evolve_telemetry::{MetricKey, MetricRegistry};
     pub use evolve_types::{
