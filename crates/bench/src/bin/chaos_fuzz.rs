@@ -25,7 +25,7 @@ use evolve_types::SimDuration;
 
 /// Workload profiles the fuzzer cycles through. Names are stored in the
 /// reproducer, so keep them stable.
-const PROFILES: [&str; 3] = ["single_diurnal", "headline", "interference"];
+const PROFILES: [&str; 4] = ["single_diurnal", "headline", "interference", "overload"];
 
 /// Resolves a profile name to its scenario, with the fuzz horizon.
 fn scenario_for(profile: &str, horizon: SimDuration) -> Option<Scenario> {
@@ -33,10 +33,23 @@ fn scenario_for(profile: &str, horizon: SimDuration) -> Option<Scenario> {
         "single_diurnal" => Scenario::single_diurnal(),
         "headline" => Scenario::headline(0.2),
         "interference" => Scenario::interference(),
+        "overload" => Scenario::overload(1.5),
         _ => return None,
     };
     scenario.horizon = horizon;
     Some(scenario)
+}
+
+/// The overload profile runs with the capacity arbiter installed (that is
+/// the code path it exists to fuzz) on the small reference cluster the
+/// scenario is sized against; faults then push an already-saturated
+/// arbiter through node losses and actuation failures.
+fn profile_nodes(profile: &str, default_nodes: u32) -> u32 {
+    if profile == "overload" {
+        4
+    } else {
+        default_nodes
+    }
 }
 
 /// Runs one oracle-enabled case and returns the oracle's report.
@@ -48,14 +61,16 @@ fn run_case(
     events: &[FaultEvent],
 ) -> OracleReport {
     let scenario = scenario_for(profile, horizon).expect("known profile");
-    let config = RunConfig::builder(scenario, ManagerKind::Evolve)
+    let mut builder = RunConfig::builder(scenario, ManagerKind::Evolve)
         .nodes(nodes as usize)
         .seed(seed)
         .record_series(false)
         .faults(plan_from_events(events))
-        .oracle(true)
-        .build();
-    ExperimentRunner::new(config).run().oracle.expect("oracle was enabled")
+        .oracle(true);
+    if profile == "overload" {
+        builder = builder.arbiter(ArbiterConfig::default());
+    }
+    ExperimentRunner::new(builder.build()).run().oracle.expect("oracle was enabled")
 }
 
 /// Shrinks a failing schedule and writes the JSON reproducer; returns
@@ -161,10 +176,11 @@ fn main() {
     for i in 0..runs as u64 {
         let seed = BASE_SEED + i;
         let profile = PROFILES[(i % PROFILES.len() as u64) as usize];
+        let case_nodes = profile_nodes(profile, nodes);
         let scenario = scenario_for(profile, horizon).expect("known profile");
         let apps = scenario.mix.len();
-        let events = random_fault_events(seed, horizon, nodes as usize, apps, 5);
-        let report = run_case(profile, seed, horizon, nodes, &events);
+        let events = random_fault_events(seed, horizon, case_nodes as usize, apps, 5);
+        let report = run_case(profile, seed, horizon, case_nodes, &events);
         if report.is_clean() {
             clean += 1;
             if (i + 1).is_multiple_of(25) {
@@ -181,7 +197,7 @@ fn main() {
             profile,
             seed,
             horizon,
-            nodes,
+            case_nodes,
             &events,
             report.failed_checks().first().map_or("unknown", String::as_str),
         );

@@ -6,8 +6,14 @@
 //! offline). With no arguments it auto-selects the worst violating
 //! control window of the run; pass an app id and a time to aim it.
 //!
+//! With `--overload` it runs the overload scenario with the capacity
+//! arbiter instead, and the timeline gains the arbitration chain
+//! (requested → granted → decision) for every arbitrated tick in the
+//! window — the first thing to read when a violation coincides with a
+//! capacity crunch.
+//!
 //! ```text
-//! cargo run --release -p evolve-bench --bin trace_explain [app] [t_s] [half_window_s]
+//! cargo run --release -p evolve-bench --bin trace_explain [--overload] [app] [t_s] [half_window_s]
 //! EVOLVE_SMOKE=1 … # short horizon for CI smoke runs
 //! ```
 //!
@@ -91,24 +97,31 @@ fn fmt_opt(v: Option<f64>, prec: usize) -> String {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let overload = args.iter().any(|a| a == "--overload");
+    args.retain(|a| a != "--overload");
     let want_app: Option<u64> = args.get(1).and_then(|s| s.parse().ok());
     let want_t: Option<f64> = args.get(2).and_then(|s| s.parse().ok());
     let half_window: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(120.0);
 
-    let mut scenario = Scenario::headline(1.0);
+    let mut scenario = if overload { Scenario::overload(1.5) } else { Scenario::headline(1.0) };
     if smoke_mode() {
         scenario.horizon = SimDuration::from_mins(3);
     }
-    let dump_path = output_dir().join("trace_headline.jsonl");
+    let dump_name = if overload { "trace_overload.jsonl" } else { "trace_headline.jsonl" };
+    let scenario_name = if overload { "overload (arbitrated)" } else { "headline" };
+    let dump_path = output_dir().join(dump_name);
     if let Some(parent) = dump_path.parent() {
         let _ = std::fs::create_dir_all(parent);
     }
-    let cfg = RunConfig::builder(scenario, ManagerKind::Evolve)
+    let mut builder = RunConfig::builder(scenario, ManagerKind::Evolve)
         .seed(BASE_SEED)
-        .trace(TraceConfig::default().with_capacity(1 << 20).dump_to(&dump_path))
-        .build();
-    eprintln!("running headline scenario (seed {BASE_SEED}) with decision tracing …");
+        .trace(TraceConfig::default().with_capacity(1 << 20).dump_to(&dump_path));
+    if overload {
+        builder = builder.nodes(4).arbiter(ArbiterConfig::default());
+    }
+    let cfg = builder.build();
+    eprintln!("running {scenario_name} scenario (seed {BASE_SEED}) with decision tracing …");
     let outcome = ExperimentRunner::new(cfg).run();
     eprintln!(
         "trace ring: {} events retained, {} dropped; dump: {}",
@@ -133,11 +146,13 @@ fn main() -> ExitCode {
     let controls: Vec<&Record> = records.iter().filter(|r| r.kind() == "control").collect();
     let scheds: Vec<&Record> = records.iter().filter(|r| r.kind() == "sched").collect();
     let faults: Vec<&Record> = records.iter().filter(|r| r.kind() == "fault").collect();
+    let arbitrations: Vec<&Record> = records.iter().filter(|r| r.kind() == "arbitration").collect();
     let spans = records.iter().filter(|r| r.kind() == "span").count();
     println!(
-        "trace dump: {} control records, {} sched records, {} faults, {} spans",
+        "trace dump: {} control records, {} sched records, {} arbitrations, {} faults, {} spans",
         controls.len(),
         scheds.len(),
+        arbitrations.len(),
         faults.len(),
         spans
     );
@@ -254,6 +269,39 @@ fn main() -> ExitCode {
         }
     }
 
+    // Capacity-arbitration verdicts for the app in the window: what its
+    // controller asked for, what the cluster granted, and why the grant
+    // fell short. Only arbitrated runs (`--overload`) emit these.
+    let app_arbs: Vec<&&Record> = arbitrations.iter().filter(|r| in_window(r)).collect();
+    if !app_arbs.is_empty() {
+        println!("\ncapacity arbitration for app {app} in the window:");
+        println!(
+            "  {:>7} {:>6} {:>12} {:>14} {:>9} {:>7} {:>7}  requested → granted [cpu mcore]",
+            "t (s)", "tick", "class", "decision", "fraction", "starve", "crunch"
+        );
+        for r in &app_arbs {
+            let cpu = |key: &str| {
+                r.array(key)
+                    .and_then(|a| {
+                        a.trim_start_matches('[').split(',').next()?.trim().parse::<f64>().ok()
+                    })
+                    .map_or_else(|| "-".into(), |v| format!("{v:.0}"))
+            };
+            println!(
+                "  {:>7.0} {:>6} {:>12} {:>14} {:>9} {:>7} {:>7}  {} → {}",
+                r.num("at_s").unwrap_or(0.0),
+                r.num("tick").map_or_else(|| "-".into(), |t| format!("{t:.0}")),
+                r.str_field("class").unwrap_or("-"),
+                r.str_field("decision").unwrap_or("-"),
+                fmt_opt(r.num("grant_fraction"), 3),
+                r.num("starvation_age").map_or_else(|| "-".into(), |v| format!("{v:.0}")),
+                r.bool_field("in_crunch").map_or("-", |c| if c { "yes" } else { "no" }),
+                cpu("requested"),
+                cpu("granted"),
+            );
+        }
+    }
+
     let app_scheds: Vec<&&Record> = scheds.iter().filter(|r| in_window(r)).collect();
     println!("\nscheduler placements for app {app} in the window: {}", app_scheds.len());
     for r in &app_scheds {
@@ -271,9 +319,11 @@ fn main() -> ExitCode {
         );
     }
 
+    let arbitration_link =
+        if overload { " → capacity arbitration (requested/granted)" } else { "" };
     println!(
         "\nchain: smoothed measurement → control error → PID terms → guard verdict \
-         (signal/dark/watchdog) → actuation outcome → scheduler placement. \
+         (signal/dark/watchdog){arbitration_link} → actuation outcome → scheduler placement. \
          Full records: {}",
         dump_path.display()
     );

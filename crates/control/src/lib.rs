@@ -28,6 +28,10 @@
 //! * [`DegradationGuard`] — graceful degradation under lost telemetry:
 //!   hold-last-safe output, a watchdog that decays toward a usage-anchored
 //!   floor, and slew-limited re-engagement after a blackout.
+//! * [`CapacityArbiter`] — cluster-level overload arbitration: when the
+//!   sum of per-app requests exceeds ready capacity (minus a headroom
+//!   reserve), grants are arbitrated by priority class with weighted-fair
+//!   clipping, full shedding of lower classes, hysteresis and slew limits.
 //!
 //! # Examples
 //!
@@ -45,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arbiter;
 mod degrade;
 mod model;
 mod multi;
@@ -52,6 +57,10 @@ mod pid;
 mod predictor;
 mod tuning;
 
+pub use arbiter::{
+    arbitrate, ArbiterConfig, ArbiterRequest, ArbiterState, ArbitrationOutcome, CapacityArbiter,
+    ClipReason, GrantDecision,
+};
 pub use degrade::{DegradationConfig, DegradationGuard};
 pub use model::{RlsModel, SensitivityModel};
 pub use multi::{MultiResourceConfig, MultiResourceController, ResourceDecision};

@@ -2,14 +2,40 @@
 //! controllers must respect their configured envelopes.
 
 use evolve_control::{
+    arbitrate, ArbiterConfig, ArbiterRequest, ArbiterState, ClipReason, GrantDecision,
     MultiResourceConfig, MultiResourceController, PidConfig, PidController, RlsModel,
     SensitivityModel,
 };
-use evolve_types::{Resource, ResourceVec};
+use evolve_types::{AppId, PriorityClass, Resource, ResourceVec};
 use proptest::prelude::*;
 
 fn arb_errors() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-10.0..10.0f64, 1..100)
+}
+
+/// A fleet of arbiter requests with mixed priority classes and demands
+/// spanning well below to well above typical capacity draws.
+fn arb_requests() -> impl Strategy<Value = Vec<ArbiterRequest>> {
+    prop::collection::vec((0..3u8, 10.0..20_000.0f64, 10.0..40_000.0f64), 1..12).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (class, cpu, mem))| ArbiterRequest {
+                app: AppId::new(i as u32),
+                class: match class {
+                    0 => PriorityClass::Critical,
+                    1 => PriorityClass::Standard,
+                    _ => PriorityClass::Preemptible,
+                },
+                requested: ResourceVec::new(cpu, mem, cpu / 10.0, mem / 10.0),
+            })
+            .collect()
+    })
+}
+
+fn arb_capacity() -> impl Strategy<Value = ResourceVec> {
+    (2_000.0..80_000.0f64, 2_000.0..160_000.0f64)
+        .prop_map(|(cpu, mem)| ResourceVec::new(cpu, mem, cpu / 10.0, mem / 10.0))
 }
 
 proptest! {
@@ -102,6 +128,106 @@ proptest! {
             m.update(&[x0, x1], y);
             prop_assert!(m.predict(&[x0, x1]).is_finite());
             prop_assert!(m.weights().iter().all(|w| w.is_finite()));
+        }
+    }
+
+    #[test]
+    fn arbiter_conserves_capacity(requests in arb_requests(), capacity in arb_capacity()) {
+        // Grants never exceed requests, and their per-dimension sum never
+        // exceeds the usable pool — across repeated rounds, so slew
+        // recovery and hysteresis are exercised too.
+        let config = ArbiterConfig::default();
+        let mut state = ArbiterState::default();
+        let usable = capacity * (1.0 - config.headroom_fraction);
+        for _ in 0..5 {
+            let outcomes = arbitrate(&config, &mut state, &requests, capacity, ResourceVec::ZERO);
+            prop_assert_eq!(outcomes.len(), requests.len());
+            let mut total = ResourceVec::ZERO;
+            for (o, req) in outcomes.iter().zip(&requests) {
+                for r in Resource::ALL {
+                    prop_assert!(
+                        o.granted[r] <= req.requested[r] * (1.0 + 1e-9),
+                        "grant {:?} exceeds request {:?}", o.granted, req.requested
+                    );
+                    prop_assert!(o.granted[r] >= 0.0, "negative grant {:?}", o.granted);
+                }
+                total += o.granted;
+            }
+            for r in Resource::ALL {
+                prop_assert!(
+                    total[r] <= usable[r] * (1.0 + 1e-9),
+                    "granted {:?} exceeds usable {:?} on {:?}", total, usable, r
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arbiter_is_deterministic(requests in arb_requests(), capacity in arb_capacity()) {
+        let config = ArbiterConfig::default();
+        let mut state_a = ArbiterState::default();
+        let mut state_b = ArbiterState::default();
+        for _ in 0..4 {
+            let a = arbitrate(&config, &mut state_a, &requests, capacity, ResourceVec::ZERO);
+            let b = arbitrate(&config, &mut state_b, &requests, capacity, ResourceVec::ZERO);
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(&state_a, &state_b);
+        }
+    }
+
+    #[test]
+    fn arbiter_sheds_lower_class_before_clipping_higher(
+        requests in arb_requests(),
+        capacity in arb_capacity(),
+    ) {
+        // Strict priority: if any app is clipped for capacity, every app of
+        // a strictly lower class must be shed outright, never merely clipped.
+        let config = ArbiterConfig::default();
+        let mut state = ArbiterState::default();
+        for _ in 0..3 {
+            let outcomes = arbitrate(&config, &mut state, &requests, capacity, ResourceVec::ZERO);
+            for clipped in outcomes
+                .iter()
+                .filter(|o| o.decision == GrantDecision::Clipped(ClipReason::Oversubscribed))
+            {
+                for lower in outcomes.iter().filter(|o| o.class < clipped.class) {
+                    prop_assert_eq!(
+                        lower.decision, GrantDecision::Shed,
+                        "{:?} app {:?} clipped but lower-class {:?} app {:?} got {:?}",
+                        clipped.class, clipped.app, lower.class, lower.app, lower.decision
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arbiter_clip_is_uniform_within_class(
+        requests in arb_requests(),
+        capacity in arb_capacity(),
+    ) {
+        // Weighted-fair clipping: from a fresh state (no slew history), all
+        // members of the clipped class share the same per-dimension grant
+        // ratio — one huge app cannot claim a larger share than its peers.
+        let config = ArbiterConfig::default();
+        let mut state = ArbiterState::default();
+        let outcomes = arbitrate(&config, &mut state, &requests, capacity, ResourceVec::ZERO);
+        let clipped: Vec<_> = outcomes
+            .iter()
+            .filter(|o| o.decision == GrantDecision::Clipped(ClipReason::Oversubscribed))
+            .collect();
+        for pair in clipped.windows(2) {
+            prop_assert_eq!(pair[0].class, pair[1].class);
+            for r in Resource::ALL {
+                let (ra, rb) = (
+                    pair[0].granted[r] / pair[0].requested[r].max(1e-12),
+                    pair[1].granted[r] / pair[1].requested[r].max(1e-12),
+                );
+                prop_assert!(
+                    (ra - rb).abs() < 1e-6,
+                    "unequal {:?} ratios within class: {ra} vs {rb}", r
+                );
+            }
         }
     }
 

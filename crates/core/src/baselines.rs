@@ -274,6 +274,7 @@ mod tests {
             name: "svc".into(),
             world: WorldClass::Microservice,
             plo: PloSpec::LatencyP99 { target_ms: 100.0 },
+            priority: evolve_types::PriorityClass::default(),
         }
     }
 
@@ -284,6 +285,7 @@ mod tests {
             arrivals: 100,
             completions: 100,
             timeouts: 0,
+            shed_requests: 0,
             oom_kills: 0,
             p99_ms: Some(50.0),
             mean_ms: Some(25.0),

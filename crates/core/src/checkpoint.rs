@@ -15,6 +15,7 @@
 //! version byte so foreign or stale blobs are rejected with
 //! [`Error::CorruptCheckpoint`] instead of being misinterpreted.
 
+use evolve_control::CapacityArbiter;
 use evolve_scheduler::RequeueBackoff;
 use evolve_sim::AppWindow;
 use evolve_telemetry::PloTracker;
@@ -28,8 +29,11 @@ const CHECKPOINT_MAGIC: u32 = 0x4556_434b;
 /// Format version; bump on any layout change.
 ///
 /// Version history: 1 — initial layout; 2 — actuation-fault accounting
-/// (drop/delay/partial counters and the delayed-actuation queue).
-const CHECKPOINT_VERSION: u8 = 2;
+/// (drop/delay/partial counters and the delayed-actuation queue);
+/// 3 — capacity-arbiter state (config + grant fractions + starvation
+/// ages) and overload accounting (clip/shed counters, starvation
+/// watermark, violations-while-shedding).
+const CHECKPOINT_VERSION: u8 = 3;
 
 /// Per-application slice of a checkpoint: the policy's opaque state blob
 /// plus the manager-side bookkeeping around it.
@@ -110,6 +114,18 @@ pub struct ControllerCheckpoint {
     pub(crate) apps: Vec<(AppId, AppCheckpoint)>,
     /// The scheduler's requeue-backoff ledger.
     pub(crate) scheduler_backoff: RequeueBackoff,
+    /// The capacity arbiter (config and persistent state), when installed.
+    pub(crate) arbiter: Option<CapacityArbiter>,
+    /// Actuations whose grant was clipped below the policy's request.
+    pub(crate) clipped_allocations: u64,
+    /// Arbitration rounds that shed an app outright.
+    pub(crate) shed_decisions: u64,
+    /// Distinct apps the arbiter has ever shed, sorted by id.
+    pub(crate) shed_app_ids: Vec<AppId>,
+    /// Highest starvation age any app reached under arbitration.
+    pub(crate) starvation_watermark: u32,
+    /// PLO violations recorded while the violating app was shedding load.
+    pub(crate) violations_while_shedding: u64,
 }
 
 impl ControllerCheckpoint {
@@ -129,6 +145,12 @@ impl ControllerCheckpoint {
         self.pending_actuations.encode(&mut enc);
         self.apps.encode(&mut enc);
         self.scheduler_backoff.encode(&mut enc);
+        self.arbiter.encode(&mut enc);
+        self.clipped_allocations.encode(&mut enc);
+        self.shed_decisions.encode(&mut enc);
+        self.shed_app_ids.encode(&mut enc);
+        self.starvation_watermark.encode(&mut enc);
+        self.violations_while_shedding.encode(&mut enc);
         enc.into_bytes()
     }
 
@@ -165,6 +187,12 @@ impl ControllerCheckpoint {
             pending_actuations: Vec::<(SimTime, AppId, PolicyDecision)>::decode(&mut dec)?,
             apps: Vec::<(AppId, AppCheckpoint)>::decode(&mut dec)?,
             scheduler_backoff: RequeueBackoff::decode(&mut dec)?,
+            arbiter: Option::<CapacityArbiter>::decode(&mut dec)?,
+            clipped_allocations: u64::decode(&mut dec)?,
+            shed_decisions: u64::decode(&mut dec)?,
+            shed_app_ids: Vec::<AppId>::decode(&mut dec)?,
+            starvation_watermark: u32::decode(&mut dec)?,
+            violations_while_shedding: u64::decode(&mut dec)?,
         };
         if !dec.is_empty() {
             return Err(Error::CorruptCheckpoint(format!(
@@ -211,12 +239,46 @@ mod tests {
             pending_actuations: Vec::new(),
             apps: Vec::new(),
             scheduler_backoff: RequeueBackoff::new(),
+            arbiter: None,
+            clipped_allocations: 0,
+            shed_decisions: 0,
+            shed_app_ids: Vec::new(),
+            starvation_watermark: 0,
+            violations_while_shedding: 0,
         };
         let bytes = ck.to_bytes();
         let back = ControllerCheckpoint::from_bytes(&bytes).expect("round trip");
         assert_eq!(back, ck);
         assert_eq!(back.ticks(), 7);
         assert_eq!(back.app_count(), 0);
+    }
+
+    #[test]
+    fn arbitrated_checkpoint_round_trips() {
+        use evolve_control::ArbiterConfig;
+        let ck = ControllerCheckpoint {
+            at: SimTime::from_secs(90),
+            ticks: 18,
+            resize_failures: 0,
+            suppressed_actuations: 0,
+            dropped_actuations: 0,
+            delayed_actuations: 0,
+            partial_actuations: 0,
+            pending_actuations: Vec::new(),
+            apps: Vec::new(),
+            scheduler_backoff: RequeueBackoff::new(),
+            arbiter: Some(CapacityArbiter::new(
+                ArbiterConfig::default().with_headroom_fraction(0.2),
+            )),
+            clipped_allocations: 9,
+            shed_decisions: 4,
+            shed_app_ids: vec![AppId::new(3), AppId::new(7)],
+            starvation_watermark: 11,
+            violations_while_shedding: 2,
+        };
+        let back = ControllerCheckpoint::from_bytes(&ck.to_bytes()).expect("round trip");
+        assert_eq!(back, ck);
+        assert_eq!(back.arbiter.as_ref().unwrap().config().headroom_fraction, 0.2);
     }
 
     #[test]
@@ -232,6 +294,12 @@ mod tests {
             pending_actuations: Vec::new(),
             apps: Vec::new(),
             scheduler_backoff: RequeueBackoff::new(),
+            arbiter: None,
+            clipped_allocations: 0,
+            shed_decisions: 0,
+            shed_app_ids: Vec::new(),
+            starvation_watermark: 0,
+            violations_while_shedding: 0,
         };
         let mut bytes = ck.to_bytes();
         bytes[0] ^= 0xff;
@@ -252,6 +320,12 @@ mod tests {
             pending_actuations: Vec::new(),
             apps: Vec::new(),
             scheduler_backoff: RequeueBackoff::new(),
+            arbiter: None,
+            clipped_allocations: 0,
+            shed_decisions: 0,
+            shed_app_ids: Vec::new(),
+            starvation_watermark: 0,
+            violations_while_shedding: 0,
         };
         let bytes = ck.to_bytes();
         assert!(ControllerCheckpoint::from_bytes(&bytes[..bytes.len() - 1]).is_err());

@@ -445,6 +445,7 @@ mod tests {
             name: "svc".into(),
             world: WorldClass::Microservice,
             plo: PloSpec::LatencyP99 { target_ms: 100.0 },
+            priority: evolve_types::PriorityClass::default(),
         }
     }
 
@@ -455,6 +456,7 @@ mod tests {
             arrivals,
             completions: arrivals,
             timeouts: 0,
+            shed_requests: 0,
             oom_kills: 0,
             p99_ms: p99,
             mean_ms: p99.map(|v| v / 2.0),

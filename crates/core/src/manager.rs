@@ -1,11 +1,16 @@
 //! The resource manager: one policy instance per application, PLO
 //! violation accounting, and actuation against the simulated cluster.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
+use evolve_control::{
+    ArbiterConfig, ArbiterRequest, ArbitrationOutcome, CapacityArbiter, GrantDecision,
+};
 use evolve_scheduler::RequeueBackoff;
 use evolve_sim::{AppWindow, FaultInjector, Simulation};
-use evolve_telemetry::trace::{ActuationOutcome, ControlTrace, TraceEvent, TraceRing};
+use evolve_telemetry::trace::{
+    ActuationOutcome, ArbitrationTrace, ControlTrace, TraceEvent, TraceRing,
+};
 use evolve_telemetry::{PloBound, PloTracker};
 use evolve_types::codec::{Decoder, Encoder};
 use evolve_types::{AppId, Error, Resource, ResourceVec, Result, SimDuration, SimTime};
@@ -85,6 +90,12 @@ struct ManagedApp {
     last_decision: Option<PolicyDecision>,
 }
 
+/// Fraction of its desired per-replica allocation a shed app is squeezed
+/// to: enough to stay alive and answer the trickle the bounded shed queue
+/// still admits, small enough that shedding actually frees capacity for
+/// the granted classes.
+const SHED_KEEPALIVE_FRACTION: f64 = 0.05;
+
 /// The control plane: scrapes windows, evaluates PLOs, runs policies and
 /// actuates.
 pub struct ResourceManager {
@@ -115,6 +126,25 @@ pub struct ResourceManager {
     /// `due`. Push order follows the deterministic app iteration order,
     /// so the queue itself is deterministic.
     pending_actuations: Vec<(SimTime, AppId, PolicyDecision)>,
+    /// Cluster-level capacity arbiter; `None` (the default) leaves the
+    /// control path exactly as before — per-app decisions actuate
+    /// unarbitrated.
+    arbiter: Option<CapacityArbiter>,
+    /// Outcomes of the most recent arbitration round (empty when the
+    /// arbiter is off or the last tick had no decided targets).
+    last_arbitration: Vec<ArbitrationOutcome>,
+    /// Actuations whose grant was clipped below the policy's request.
+    clipped_allocations: u64,
+    /// Arbitration rounds that shed an app outright (no actuation).
+    shed_decisions: u64,
+    /// Distinct apps the arbiter has ever shed.
+    shed_app_ids: BTreeSet<AppId>,
+    /// Highest starvation age any app reached under arbitration.
+    starvation_watermark: u32,
+    /// PLO violations recorded from windows in which the app was actively
+    /// shedding load (`shed_requests > 0`) — reported separately so a
+    /// deliberate brown-out is not mistaken for an uncontrolled one.
+    violations_while_shedding: u64,
 }
 
 impl std::fmt::Debug for ResourceManager {
@@ -201,7 +231,64 @@ impl ResourceManager {
             delayed_actuations: 0,
             partial_actuations: 0,
             pending_actuations: Vec::new(),
+            arbiter: None,
+            last_arbitration: Vec::new(),
+            clipped_allocations: 0,
+            shed_decisions: 0,
+            shed_app_ids: BTreeSet::new(),
+            starvation_watermark: 0,
+            violations_while_shedding: 0,
         }
+    }
+
+    /// Installs a cluster-level capacity arbiter: every subsequent control
+    /// tick runs all per-app policy steps first, then arbitrates the
+    /// summed demand against ready capacity before anything actuates.
+    pub fn set_arbiter(&mut self, config: ArbiterConfig) {
+        self.arbiter = Some(CapacityArbiter::new(config));
+    }
+
+    /// The installed arbiter, if any.
+    #[must_use]
+    pub fn arbiter(&self) -> Option<&CapacityArbiter> {
+        self.arbiter.as_ref()
+    }
+
+    /// Outcomes of the most recent arbitration round (empty when the
+    /// arbiter is off).
+    #[must_use]
+    pub fn last_arbitration(&self) -> &[ArbitrationOutcome] {
+        &self.last_arbitration
+    }
+
+    /// Actuations whose grant was clipped below the policy's request.
+    #[must_use]
+    pub fn clipped_allocations(&self) -> u64 {
+        self.clipped_allocations
+    }
+
+    /// Arbitration rounds that shed an app outright.
+    #[must_use]
+    pub fn shed_decisions(&self) -> u64 {
+        self.shed_decisions
+    }
+
+    /// Distinct apps the arbiter has ever shed.
+    #[must_use]
+    pub fn shed_apps(&self) -> u64 {
+        self.shed_app_ids.len() as u64
+    }
+
+    /// Highest starvation age any app reached under arbitration.
+    #[must_use]
+    pub fn starvation_watermark(&self) -> u32 {
+        self.starvation_watermark
+    }
+
+    /// PLO violations recorded while the violating app was shedding load.
+    #[must_use]
+    pub fn violations_while_shedding(&self) -> u64 {
+        self.violations_while_shedding
     }
 
     /// Looks up an application's control record, returning the typed
@@ -249,6 +336,12 @@ impl ResourceManager {
             pending_actuations: self.pending_actuations.clone(),
             apps,
             scheduler_backoff: backoff.clone(),
+            arbiter: self.arbiter.clone(),
+            clipped_allocations: self.clipped_allocations,
+            shed_decisions: self.shed_decisions,
+            shed_app_ids: self.shed_app_ids.iter().copied().collect(),
+            starvation_watermark: self.starvation_watermark,
+            violations_while_shedding: self.violations_while_shedding,
         }
     }
 
@@ -280,6 +373,12 @@ impl ResourceManager {
         mgr.delayed_actuations = ck.delayed_actuations;
         mgr.partial_actuations = ck.partial_actuations;
         mgr.pending_actuations = ck.pending_actuations.clone();
+        mgr.arbiter = ck.arbiter.clone();
+        mgr.clipped_allocations = ck.clipped_allocations;
+        mgr.shed_decisions = ck.shed_decisions;
+        mgr.shed_app_ids = ck.shed_app_ids.iter().copied().collect();
+        mgr.starvation_watermark = ck.starvation_watermark;
+        mgr.violations_while_shedding = ck.violations_while_shedding;
         for (id, app_ck) in &ck.apps {
             let Some(m) = mgr.apps.get_mut(id) else {
                 mgr.desynced_apps += 1;
@@ -515,6 +614,9 @@ impl ResourceManager {
         mut injector: Option<&mut FaultInjector>,
         mut trace: Option<&mut TraceRing>,
     ) -> Vec<(AppId, evolve_sim::AppWindow)> {
+        if self.arbiter.is_some() {
+            return self.tick_arbitrated(sim, dt_secs, injector, trace);
+        }
         self.ticks += 1;
         self.flush_pending_actuations(sim);
         let statuses: Vec<evolve_sim::AppStatus> = sim.apps().to_vec();
@@ -683,6 +785,316 @@ impl ResourceManager {
         }
         windows
     }
+
+    /// Runs the actuation chain (retry backoff, injected drop/delay/partial
+    /// faults, the in-place resize itself, failure-streak bookkeeping) for
+    /// one decided target. Used by the arbitrated tick path; the unarbitrated
+    /// path keeps its original inline chain so its operation order — and with
+    /// it the golden trace fixture — is untouched. Returns `None` when the
+    /// app desynced mid-actuation (the caller skips its trace and window).
+    fn actuate_target(
+        &mut self,
+        sim: &mut Simulation,
+        injector: &mut Option<&mut FaultInjector>,
+        now: SimTime,
+        app: AppId,
+        decision: PolicyDecision,
+        signal: SignalQuality,
+    ) -> Option<ActuationOutcome> {
+        let managed = match Self::managed_mut(&mut self.apps, app) {
+            Ok(m) => m,
+            Err(_) => {
+                self.desynced_apps += 1;
+                return None;
+            }
+        };
+        let repeat_of_failed = managed.failure_streak > 0
+            && managed.last_decision.is_some_and(|d| decisions_close(&d, &decision));
+        if repeat_of_failed && self.ticks < managed.backoff_until {
+            self.suppressed_actuations += 1;
+            return Some(ActuationOutcome::Suppressed);
+        }
+        if injector.as_ref().is_some_and(|i| i.actuation_dropped(now)) {
+            self.dropped_actuations += 1;
+            managed.failure_streak = 0;
+            managed.last_resize_failures = 0;
+            managed.last_decision = Some(decision);
+            return Some(ActuationOutcome::Dropped);
+        }
+        if let Some(lag) = injector.as_ref().and_then(|i| i.actuation_lag(now)) {
+            self.delayed_actuations += 1;
+            managed.failure_streak = 0;
+            managed.last_resize_failures = 0;
+            managed.last_decision = Some(decision);
+            self.pending_actuations.push((now + lag, app, decision));
+            return Some(ActuationOutcome::Delayed);
+        }
+        let fraction = injector.as_ref().and_then(|i| i.actuation_fraction(now)).unwrap_or(1.0);
+        if fraction < 1.0 {
+            self.partial_actuations += 1;
+        }
+        let failures = match managed.world {
+            WorldClass::Microservice => sim
+                .set_service_target_partial(app, decision.replicas, decision.per_replica, fraction)
+                .unwrap_or(0),
+            WorldClass::BigData => {
+                sim.set_batch_target_partial(app, decision.per_replica, fraction).unwrap_or(0)
+            }
+            WorldClass::Hpc => {
+                sim.set_hpc_target_partial(app, decision.per_replica, fraction).unwrap_or(0)
+            }
+        };
+        self.resize_failures += u64::from(failures);
+        if failures > 0 {
+            managed.failure_streak += 1;
+            managed.backoff_until = self.ticks + (1u64 << managed.failure_streak.min(3));
+        } else {
+            managed.failure_streak = 0;
+        }
+        managed.last_resize_failures = failures;
+        managed.last_decision = Some(decision);
+        Some(if signal.is_degraded() { ActuationOutcome::Held } else { ActuationOutcome::Applied })
+    }
+
+    /// The arbitrated control tick: every per-app policy step runs first
+    /// (scrape, PLO accounting, PID decision), then the summed demand is
+    /// arbitrated against ready cluster capacity, and only the granted
+    /// targets actuate. Shed apps actuate nothing and have their admission
+    /// control flipped to load shedding; clipped apps actuate the scaled
+    /// grant and also shed the load their reduced allocation cannot carry.
+    fn tick_arbitrated(
+        &mut self,
+        sim: &mut Simulation,
+        dt_secs: f64,
+        mut injector: Option<&mut FaultInjector>,
+        mut trace: Option<&mut TraceRing>,
+    ) -> Vec<(AppId, evolve_sim::AppWindow)> {
+        struct Planned {
+            status: evolve_sim::AppStatus,
+            window: AppWindow,
+            signal: SignalQuality,
+            effective_dt: f64,
+            now: SimTime,
+            decision: Option<PolicyDecision>,
+        }
+        self.ticks += 1;
+        self.flush_pending_actuations(sim);
+        let statuses: Vec<evolve_sim::AppStatus> = sim.apps().to_vec();
+        let mut planned: Vec<Planned> = Vec::with_capacity(statuses.len());
+        // Phase 1: scrape and decide for every app — all PID steps run
+        // before any capacity question is asked.
+        for status in statuses {
+            let now = sim.now();
+            let blocked = injector.as_ref().is_some_and(|i| !i.scrape_available(status.id, now));
+            let managed = match Self::managed_mut(&mut self.apps, status.id) {
+                Ok(m) => m,
+                Err(_) => {
+                    self.desynced_apps += 1;
+                    continue;
+                }
+            };
+            let (window, signal, effective_dt) = if blocked {
+                managed.pending_dt += dt_secs;
+                match managed.last_window.clone() {
+                    Some(w) => (w, SignalQuality::Stale, dt_secs),
+                    None => (empty_window(now), SignalQuality::Missing, dt_secs),
+                }
+            } else {
+                let Ok(mut w) = sim.take_window(status.id) else {
+                    self.desynced_apps += 1;
+                    continue;
+                };
+                if let Some(i) = injector.as_deref_mut() {
+                    i.distort_window(status.id, &mut w);
+                }
+                let effective_dt = dt_secs + managed.pending_dt;
+                managed.pending_dt = 0.0;
+                if let Some(measured) = w.measured_for(&status.plo) {
+                    let skip = matches!(status.plo, PloSpec::Deadline { .. })
+                        && w.progress == Some(1.0)
+                        && {
+                            managed.tracker.windows() > 0 && w.completions == 0 && w.arrivals == 0
+                        };
+                    if !skip {
+                        let violated = managed.tracker.record_window(w.at, measured);
+                        if violated && w.shed_requests > 0 {
+                            self.violations_while_shedding += 1;
+                        }
+                    }
+                }
+                managed.last_window = Some(w.clone());
+                (w, SignalQuality::Fresh, effective_dt)
+            };
+            let input = PolicyInput {
+                app: &status,
+                window: &window,
+                dt_secs: effective_dt,
+                resize_failures: managed.last_resize_failures,
+                signal,
+            };
+            let decision = managed.policy.decide(&input);
+            planned.push(Planned { status, window, signal, effective_dt, now, decision });
+        }
+        // Phase 2: one cluster-wide arbitration over the decided targets.
+        // Apps without a decision this tick keep whatever they hold, so
+        // their current allocation is subtracted from the pool as held.
+        // Each decided app's demand is its desired total clamped by the
+        // growth governor — `demand_cap_ratio ×` what it actually holds,
+        // with one replica's request as the cold-start base — so settling
+        // PID overshoot does not read as a capacity crunch.
+        let cap_ratio = self.arbiter.as_ref().map_or(1.0, |a| a.config().demand_cap_ratio).max(1.0);
+        let mut requests: Vec<ArbiterRequest> = Vec::new();
+        let mut held = ResourceVec::ZERO;
+        for p in &planned {
+            match &p.decision {
+                Some(d) => {
+                    let desired = d.per_replica * f64::from(d.replicas);
+                    // Cold start (nothing bound yet) has no allocation to
+                    // anchor the governor on; the desire passes through.
+                    let requested = if p.window.alloc == ResourceVec::ZERO {
+                        desired
+                    } else {
+                        let cap = (p.window.alloc * cap_ratio).max(&d.per_replica);
+                        desired.min(&cap)
+                    };
+                    requests.push(ArbiterRequest {
+                        app: p.status.id,
+                        class: p.status.priority,
+                        requested,
+                    });
+                }
+                None => held += p.window.alloc,
+            }
+        }
+        let ready = sim.cluster().total_allocatable();
+        let arbiter = self.arbiter.as_mut().expect("tick_arbitrated requires an arbiter");
+        let outcomes = arbiter.arbitrate(&requests, ready, held);
+        let in_crunch = arbiter.state().in_crunch();
+        self.starvation_watermark =
+            self.starvation_watermark.max(arbiter.state().max_starvation_age());
+        let by_app: HashMap<AppId, ArbitrationOutcome> =
+            outcomes.iter().map(|o| (o.app, *o)).collect();
+        self.last_arbitration = outcomes;
+        // Phase 3: actuate under the grants, trace, and emit fresh windows.
+        let mut windows = Vec::with_capacity(planned.len());
+        for p in planned {
+            let mut outcome = ActuationOutcome::NoDecision;
+            let mut arb_for_trace: Option<ArbitrationOutcome> = None;
+            if let Some(decision) = p.decision {
+                let arb = by_app.get(&p.status.id).copied();
+                arb_for_trace = arb;
+                match arb.map(|o| o.decision) {
+                    Some(GrantDecision::Shed) => {
+                        // The app rejects offered load at admission and its
+                        // allocation is squeezed to a keep-alive footprint —
+                        // a shed grant of zero must actually free capacity,
+                        // or the granted classes fight the shed class's
+                        // stale pods for the same nodes.
+                        self.shed_decisions += 1;
+                        self.shed_app_ids.insert(p.status.id);
+                        let _ = sim.set_service_shedding(p.status.id, true);
+                        let squeezed = PolicyDecision {
+                            per_replica: decision.per_replica * SHED_KEEPALIVE_FRACTION,
+                            replicas: decision.replicas,
+                        };
+                        if self
+                            .actuate_target(
+                                sim,
+                                &mut injector,
+                                p.now,
+                                p.status.id,
+                                squeezed,
+                                p.signal,
+                            )
+                            .is_none()
+                        {
+                            continue;
+                        }
+                        outcome = ActuationOutcome::Shed;
+                    }
+                    Some(GrantDecision::Clipped(_)) => {
+                        let o = arb.expect("clipped grant has an outcome");
+                        self.clipped_allocations += 1;
+                        let _ = sim.set_service_shedding(p.status.id, true);
+                        // The grant is per-dimension: actuate it directly
+                        // (divided across replicas) rather than scaling the
+                        // whole desired vector by the scalar fraction.
+                        let clipped = PolicyDecision {
+                            per_replica: o.granted * (1.0 / f64::from(decision.replicas.max(1))),
+                            replicas: decision.replicas,
+                        };
+                        match self.actuate_target(
+                            sim,
+                            &mut injector,
+                            p.now,
+                            p.status.id,
+                            clipped,
+                            p.signal,
+                        ) {
+                            Some(out) => outcome = out,
+                            None => continue,
+                        }
+                    }
+                    _ => {
+                        // Full grant (or, defensively, a missing outcome):
+                        // actuate the policy's own target unmodified.
+                        let _ = sim.set_service_shedding(p.status.id, false);
+                        match self.actuate_target(
+                            sim,
+                            &mut injector,
+                            p.now,
+                            p.status.id,
+                            decision,
+                            p.signal,
+                        ) {
+                            Some(out) => outcome = out,
+                            None => continue,
+                        }
+                    }
+                }
+            }
+            if let Some(ring) = trace.as_deref_mut() {
+                if let Ok(m) = Self::managed_mut(&mut self.apps, p.status.id) {
+                    let rate_rps = if p.effective_dt > 0.0 {
+                        p.window.arrivals as f64 / p.effective_dt
+                    } else {
+                        f64::NAN
+                    };
+                    ring.push(TraceEvent::Control(ControlTrace {
+                        tick: self.ticks,
+                        at: p.now,
+                        app: p.status.id,
+                        signal: p.signal.as_trace(),
+                        measured: p.window.measured_for(&p.status.plo),
+                        rate_rps,
+                        replicas: p.window.running_replicas,
+                        per_replica: p.window.alloc_per_replica,
+                        outcome,
+                        resize_failures: m.last_resize_failures,
+                        explain: m.policy.explain().map(Box::new),
+                    }));
+                    if let Some(o) = arb_for_trace {
+                        ring.push(TraceEvent::Arbitration(ArbitrationTrace {
+                            tick: self.ticks,
+                            at: p.now,
+                            app: o.app,
+                            class: o.class.as_str(),
+                            requested: o.requested,
+                            granted: o.granted,
+                            decision: o.decision.as_str(),
+                            grant_fraction: o.grant_fraction,
+                            starvation_age: o.starvation_age,
+                            in_crunch,
+                        }));
+                    }
+                }
+            }
+            if p.signal == SignalQuality::Fresh {
+                windows.push((p.status.id, p.window));
+            }
+        }
+        windows
+    }
 }
 
 /// The synthetic stand-in handed to policies when a blackout hides an app
@@ -694,6 +1106,7 @@ fn empty_window(at: SimTime) -> AppWindow {
         arrivals: 0,
         completions: 0,
         timeouts: 0,
+        shed_requests: 0,
         oom_kills: 0,
         p99_ms: None,
         mean_ms: None,

@@ -2,16 +2,17 @@
 //! manager and scheduler, runs the control loop, and collects the
 //! statistics every table and figure reports.
 
+use evolve_control::{ArbiterConfig, ClipReason, GrantDecision};
 use evolve_scheduler::{RequeueBackoff, SchedulerFramework};
 use evolve_sim::{
-    ChaosOracle, ClusterConfig, FaultInjector, FaultKind, FaultPlan, NodeShape, OracleReport,
-    Simulation, SimulationConfig,
+    ArbitrationCheck, ChaosOracle, ClusterConfig, FaultInjector, FaultKind, FaultPlan, NodeShape,
+    OracleReport, Simulation, SimulationConfig,
 };
 use evolve_telemetry::trace::{
     FaultTrace, SpanKind, SpanTrace, TraceConfig, TraceEvent, TraceRing,
 };
 use evolve_telemetry::{MetricKey, MetricRegistry, UtilizationAccount, UtilizationSummary};
-use evolve_types::{AppId, PodId, ResourceVec, SimDuration, SimTime};
+use evolve_types::{AppId, PodId, PriorityClass, ResourceVec, SimDuration, SimTime};
 use evolve_workload::{SamplingMode, Scenario, WorldClass};
 
 use crate::manager::{ManagerKind, ResourceManager};
@@ -107,6 +108,13 @@ pub struct RunConfig {
     /// default: the headline path pays nothing for the oracle. See
     /// DESIGN.md decision 12.
     pub oracle: bool,
+    /// Cluster-level capacity arbitration: when `Some`, every control tick
+    /// runs all per-app policy steps first, then arbitrates the summed
+    /// demand against ready capacity (priority classes, weighted-fair
+    /// clipping, shedding) before anything actuates. `None` (the default)
+    /// keeps the unarbitrated path byte-identical to previous releases.
+    /// See DESIGN.md decision 13.
+    pub arbiter: Option<ArbiterConfig>,
 }
 
 impl RunConfig {
@@ -134,6 +142,7 @@ impl RunConfig {
             trace: TraceConfig::default(),
             legacy_sampling: false,
             oracle: false,
+            arbiter: None,
         }
     }
 
@@ -341,6 +350,15 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Installs the cluster-level capacity arbiter: demand is arbitrated
+    /// by priority class against ready capacity before actuation, and
+    /// clipped or shed apps switch to admission-control load shedding.
+    #[must_use]
+    pub fn arbiter(mut self, config: ArbiterConfig) -> Self {
+        self.config.arbiter = Some(config);
+        self
+    }
+
     /// Finishes the builder.
     #[must_use]
     pub fn build(self) -> RunConfig {
@@ -357,6 +375,8 @@ pub struct AppSummary {
     pub name: String,
     /// The world it belongs to.
     pub world: WorldClass,
+    /// Its overload priority class.
+    pub priority: PriorityClass,
     /// Control windows evaluated against the PLO.
     pub windows: u64,
     /// Windows in violation.
@@ -370,6 +390,9 @@ pub struct AppSummary {
     pub timeouts: u64,
     /// OOM kills suffered.
     pub oom_kills: u64,
+    /// Requests rejected at admission while the capacity arbiter had the
+    /// app shedding load (always zero when the arbiter is off).
+    pub shed_requests: u64,
 }
 
 impl AppSummary {
@@ -437,6 +460,23 @@ pub struct RunOutcome {
     /// bailout cap (always zero under batched sampling, which skips dead
     /// spans instead of giving up).
     pub thinning_bailouts: u64,
+    /// Actuations whose grant the capacity arbiter clipped below the
+    /// policy's request (zero when the arbiter is off).
+    pub clipped_allocations: u64,
+    /// Arbitration rounds that shed an app outright.
+    pub shed_decisions: u64,
+    /// Distinct apps the arbiter ever shed.
+    pub shed_apps: u64,
+    /// Total requests rejected at admission while shedding, across apps.
+    pub shed_requests: u64,
+    /// PLO violations recorded while the violating app was deliberately
+    /// shedding load — reported separately from the headline violation
+    /// count so a controlled brown-out is distinguishable from an
+    /// uncontrolled one.
+    pub violations_while_shedding: u64,
+    /// Highest starvation age (consecutive arbitrations shed or below the
+    /// grant floor) any app reached.
+    pub starvation_watermark: u32,
     /// Engine-throughput accounting (the numbers BENCH.json reports).
     pub perf: RunPerf,
     /// The decision trace captured during the run (bounded ring; always
@@ -615,6 +655,9 @@ impl ExperimentRunner {
         let sim_config = SimulationConfig { sampling, ..SimulationConfig::default() };
         let mut sim = Simulation::new(sim_config, cluster_config, &cfg.scenario.mix, cfg.seed);
         let mut manager = ResourceManager::new(cfg.manager.clone(), &sim);
+        if let Some(arb) = cfg.arbiter {
+            manager.set_arbiter(arb);
+        }
         let scheduler = cfg.scheduler.build();
         let mut registry = MetricRegistry::new();
         let mut util = UtilizationAccount::new(sim.cluster().total_allocatable());
@@ -627,8 +670,8 @@ impl ExperimentRunner {
         let mut trace = TraceRing::new(cfg.trace.capacity);
         let mut control_wall_ns = 0u64;
         let mut sched_wall_ns = 0u64;
-        // Lifetime (completions, timeouts, oom) per app.
-        let mut totals: std::collections::HashMap<AppId, (u64, u64, u64)> =
+        // Lifetime (completions, timeouts, oom, shed) per app.
+        let mut totals: std::collections::HashMap<AppId, (u64, u64, u64, u64)> =
             std::collections::HashMap::new();
 
         let horizon = SimTime::ZERO + cfg.scenario.horizon;
@@ -775,10 +818,19 @@ impl ExperimentRunner {
                     (RecoveryStrategy::Restore | RecoveryStrategy::ColdReconstruct, _) => {
                         manager = ResourceManager::cold_reconstruct(cfg.manager.clone(), &sim);
                         backoff = RequeueBackoff::new();
+                        // A checkpoint carries the arbiter; the fresh
+                        // managers must have it re-installed (empty state:
+                        // grant fractions re-learn from the live cluster).
+                        if let Some(arb) = cfg.arbiter {
+                            manager.set_arbiter(arb);
+                        }
                     }
                     (RecoveryStrategy::NaiveReset, _) => {
                         manager = ResourceManager::naive_reset(cfg.manager.clone(), &sim);
                         backoff = RequeueBackoff::new();
+                        if let Some(arb) = cfg.arbiter {
+                            manager.set_arbiter(arb);
+                        }
                     }
                 }
             }
@@ -822,10 +874,11 @@ impl ExperimentRunner {
             let mut used = ResourceVec::ZERO;
             for (app, w) in &windows {
                 used += w.usage;
-                let entry = totals.entry(*app).or_insert((0, 0, 0));
+                let entry = totals.entry(*app).or_insert((0, 0, 0, 0));
                 entry.0 += w.completions;
                 entry.1 += w.timeouts;
                 entry.2 += w.oom_kills;
+                entry.3 += w.shed_requests;
             }
             let snap = sim.snapshot();
             peak_running = peak_running.max(snap.pods_running);
@@ -835,6 +888,31 @@ impl ExperimentRunner {
                 orc.check_gang_atomicity(&sim, &newly_bound);
                 orc.check_tick(&sim);
                 orc.scan_trace(&trace);
+                // Arbitration invariants: capacity conservation, priority
+                // inversion, bounded starvation. The sim crate cannot see
+                // control types, so the outcomes are flattened into plain
+                // per-app entries here.
+                if !manager.last_arbitration().is_empty() {
+                    let floor_frac = manager.arbiter().map_or(0.5, |a| a.config().floor_fraction);
+                    let entries: Vec<ArbitrationCheck> = manager
+                        .last_arbitration()
+                        .iter()
+                        .map(|o| ArbitrationCheck {
+                            app: o.app,
+                            class: o.class,
+                            requested: o.requested,
+                            granted: o.granted,
+                            shed: o.is_shed(),
+                            slew_limited: matches!(
+                                o.decision,
+                                GrantDecision::Clipped(ClipReason::SlewLimited)
+                            ),
+                            below_floor: !(o.requested * floor_frac).fits_within(&o.granted),
+                            starvation_age: o.starvation_age,
+                        })
+                        .collect();
+                    orc.check_arbitration(tick_end, &entries, sim.cluster().total_allocatable());
+                }
             }
             if let (Some(key), Some(inj)) = (faults_active_key, injector.as_ref()) {
                 registry.record_key(key, snap.at, inj.active_count(snap.at) as f64);
@@ -921,8 +999,8 @@ impl ExperimentRunner {
         let mut apps = Vec::with_capacity(statuses.len());
         let mut desynced_summaries = 0u64;
         for status in &statuses {
-            let (completions, timeouts, oom_kills) =
-                totals.get(&status.id).copied().unwrap_or((0, 0, 0));
+            let (completions, timeouts, oom_kills, shed_requests) =
+                totals.get(&status.id).copied().unwrap_or((0, 0, 0, 0));
             // A desynced app (unknown to the restarted manager) still gets
             // a summary from the lifetime counters; its PLO ledger is
             // simply empty rather than the whole report panicking.
@@ -937,15 +1015,18 @@ impl ExperimentRunner {
                 app: status.id,
                 name: status.name.clone(),
                 world: status.world,
+                priority: status.priority,
                 windows,
                 violations,
                 mean_severity,
                 completions,
                 timeouts,
                 oom_kills,
+                shed_requests,
             });
         }
 
+        let shed_requests_total: u64 = apps.iter().map(|a| a.shed_requests).sum();
         let wall_secs = started.elapsed().as_secs_f64();
         let perf = RunPerf {
             ticks,
@@ -994,6 +1075,12 @@ impl ExperimentRunner {
             desynced_apps: manager.desynced_apps() + desynced_summaries,
             stale_pod_lookups,
             thinning_bailouts: sim.thinning_bailouts(),
+            clipped_allocations: manager.clipped_allocations(),
+            shed_decisions: manager.shed_decisions(),
+            shed_apps: manager.shed_apps(),
+            shed_requests: shed_requests_total,
+            violations_while_shedding: manager.violations_while_shedding(),
+            starvation_watermark: manager.starvation_watermark(),
             perf,
             trace,
         }

@@ -3,6 +3,7 @@
 //! exact uninterrupted trajectory), and the safety properties of cold
 //! reconstruction (no scale-to-zero, slew-limited re-engagement).
 
+use evolve_control::ArbiterConfig;
 use evolve_core::{
     ControllerCheckpoint, ExperimentRunner, ManagerKind, RecoveryStrategy, ResourceManager,
     RunConfig, RunOutcome,
@@ -31,6 +32,22 @@ fn crashed_config(
     let mut cfg = base_config(horizon_secs, seed);
     cfg.faults = FaultPlan::new().with_controller_crash(SimTime::from_secs(crash_at));
     cfg.recovery = recovery;
+    cfg
+}
+
+/// An overloaded cluster (1.2× the capacity knee) with the capacity
+/// arbiter engaged, optionally crashing the controller mid-run.
+fn saturated_config(horizon_secs: u64, seed: u64, crash_at: Option<u64>) -> RunConfig {
+    let mut cfg = RunConfig::builder(Scenario::overload(1.2), ManagerKind::Evolve)
+        .nodes(4)
+        .seed(seed)
+        .arbiter(ArbiterConfig::default())
+        .build();
+    cfg.scenario.horizon = SimDuration::from_secs(horizon_secs);
+    if let Some(t) = crash_at {
+        cfg.faults = FaultPlan::new().with_controller_crash(SimTime::from_secs(t));
+        cfg.recovery = RecoveryStrategy::Restore;
+    }
     cfg
 }
 
@@ -238,6 +255,25 @@ proptest! {
         let uninterrupted = run(base_config(180, seed));
         let crashed = run(crashed_config(180, seed, crash_at, RecoveryStrategy::Restore));
         prop_assert_eq!(crashed.controller_restarts, 1);
+        prop_assert_eq!(crashed.total_windows(), uninterrupted.total_windows());
+        prop_assert_eq!(crashed.total_violations(), uninterrupted.total_violations());
+        prop_assert_eq!(crashed.events, uninterrupted.events);
+        assert_identical_series(&uninterrupted, &crashed);
+    }
+
+    #[test]
+    fn restore_equivalence_holds_under_saturation(crash_at in 60u64..200, seed in 0u64..3) {
+        // Saturated variant: the crunch flag, per-app grant fractions, and
+        // starvation ages all live in the checkpoint, so a crash + restore
+        // in the middle of a capacity crunch must resume the exact
+        // arbitrated trajectory — same sheds, same clips, same series.
+        let seed = 42 + seed;
+        let uninterrupted = run(saturated_config(240, seed, None));
+        let crashed = run(saturated_config(240, seed, Some(crash_at)));
+        prop_assert_eq!(crashed.controller_restarts, 1);
+        prop_assert!(uninterrupted.shed_decisions > 0, "overload run never entered a crunch");
+        prop_assert_eq!(crashed.shed_decisions, uninterrupted.shed_decisions);
+        prop_assert_eq!(crashed.clipped_allocations, uninterrupted.clipped_allocations);
         prop_assert_eq!(crashed.total_windows(), uninterrupted.total_windows());
         prop_assert_eq!(crashed.total_violations(), uninterrupted.total_violations());
         prop_assert_eq!(crashed.events, uninterrupted.events);

@@ -488,6 +488,36 @@ impl SchedulerFramework {
                         PodKind::HpcRank { job, .. } => Some(job),
                         _ => None,
                     };
+                    // A bound rank of this job claimed as a preemption
+                    // victim earlier in the cycle will be requeued when the
+                    // plan applies; binding the rest of the gang in the
+                    // same cycle would commit a partial gang (the job stays
+                    // paused but holds capacity). Defer the whole unit.
+                    let victimized = job.is_some_and(|j| {
+                        claimed.iter().any(|id| {
+                            matches!(
+                                cluster.pod(*id).map(|p| p.spec.kind),
+                                Ok(PodKind::HpcRank { job: vj, .. }) if vj == j
+                            )
+                        })
+                    });
+                    if victimized {
+                        for pod in members {
+                            plan.unschedulable.push(pod.id);
+                            let fails = backoff.failures(pod.id);
+                            emit(
+                                &mut trace,
+                                cycle,
+                                pod,
+                                job,
+                                SchedOutcome::Deferred,
+                                None,
+                                Vec::new(),
+                                fails,
+                            );
+                        }
+                        continue;
+                    }
                     if members.iter().any(|p| !backoff.eligible(p.id)) {
                         // Any backed-off rank defers the whole gang — a
                         // partial attempt could never bind anyway.

@@ -12,7 +12,9 @@
 use std::collections::BTreeMap;
 
 use evolve_telemetry::trace::{ActuationOutcome, TraceEvent, TraceRing, TraceSignal};
-use evolve_types::{AppId, Error, JobId, NodeId, PodId, SimDuration, SimTime};
+use evolve_types::{
+    AppId, Error, JobId, NodeId, PodId, PriorityClass, ResourceVec, SimDuration, SimTime,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -22,6 +24,39 @@ use crate::pod::PodKind;
 
 /// At most this many violations are stored verbatim; the rest only count.
 const MAX_RECORDED: usize = 64;
+
+/// Ticks an app may spend consecutively shed or below its grant floor
+/// before [`ChaosOracle::check_arbitration`] flags unbounded starvation.
+/// Chosen above any transient the fault battery can cause (node-crash
+/// downtimes span tens of ticks; slew-limited ramp-back a handful) so a
+/// firing means the arbiter genuinely wedged an app, not that overload
+/// lasted a while.
+const STARVATION_BOUND: u32 = 128;
+
+/// One app's slice of an arbitration round, flattened to plain data so the
+/// oracle never depends on control-crate types. Produced by the runner
+/// from the capacity arbiter's outcomes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArbitrationCheck {
+    /// The application.
+    pub app: AppId,
+    /// Its overload priority class.
+    pub class: PriorityClass,
+    /// Total allocation the app's controller requested.
+    pub requested: ResourceVec,
+    /// What the arbiter granted.
+    pub granted: ResourceVec,
+    /// `true` when the app was shed outright (no actuation).
+    pub shed: bool,
+    /// `true` when the grant was reduced only by the recovery slew limit,
+    /// not by capacity pressure.
+    pub slew_limited: bool,
+    /// `true` when the grant sits below the starvation floor
+    /// (`floor_fraction × requested`).
+    pub below_floor: bool,
+    /// Consecutive arbitrations spent shed or below the floor.
+    pub starvation_age: u32,
+}
 
 /// One invariant violation observed by the oracle.
 #[derive(Debug, Clone, PartialEq)]
@@ -222,6 +257,71 @@ impl ChaosOracle {
                         ),
                     );
                 }
+            }
+        }
+    }
+
+    /// Runs the arbitration battery over one round of grant outcomes:
+    ///
+    /// * **Capacity conservation** — the sum of all grants must fit
+    ///   within ready capacity; the arbiter must never promise resources
+    ///   the cluster does not have.
+    /// * **No priority inversion** — a `Preemptible` app must not hold a
+    ///   non-zero grant while any `Critical` app sits below its floor for
+    ///   capacity reasons (a `Critical` app ramping back through the slew
+    ///   limiter is self-inflicted and excluded).
+    /// * **Bounded starvation** — no `Critical` app may stay shed or
+    ///   below its floor for more than [`STARVATION_BOUND`] consecutive
+    ///   arbitrations.
+    pub fn check_arbitration(
+        &mut self,
+        at: SimTime,
+        entries: &[ArbitrationCheck],
+        ready_capacity: ResourceVec,
+    ) {
+        let granted_total: ResourceVec = entries.iter().map(|e| e.granted).sum();
+        if !granted_total.fits_within(&ready_capacity) {
+            self.record_violation(
+                at,
+                "arbiter_capacity_conservation",
+                format!(
+                    "granted total {granted_total:?} exceeds ready capacity {ready_capacity:?}"
+                ),
+            );
+        }
+        let critical_starved: Vec<&ArbitrationCheck> = entries
+            .iter()
+            .filter(|e| {
+                e.class == PriorityClass::Critical && e.below_floor && !e.slew_limited && !e.shed
+            })
+            .collect();
+        if !critical_starved.is_empty() {
+            for e in entries {
+                if e.class == PriorityClass::Preemptible
+                    && !e.shed
+                    && e.granted != ResourceVec::ZERO
+                {
+                    self.record_violation(
+                        at,
+                        "arbiter_priority_inversion",
+                        format!(
+                            "preemptible app {:?} holds a grant while critical app {:?} is below its floor",
+                            e.app, critical_starved[0].app
+                        ),
+                    );
+                }
+            }
+        }
+        for e in entries {
+            if e.class == PriorityClass::Critical && e.starvation_age > STARVATION_BOUND {
+                self.record_violation(
+                    at,
+                    "arbiter_bounded_starvation",
+                    format!(
+                        "critical app {:?} starved for {} consecutive arbitrations (bound {})",
+                        e.app, e.starvation_age, STARVATION_BOUND
+                    ),
+                );
             }
         }
     }

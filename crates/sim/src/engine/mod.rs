@@ -49,6 +49,10 @@ pub struct SimulationConfig {
     pub pod_start_delay: SimDuration,
     /// Maximum queued requests per service while no replica runs.
     pub service_queue_cap: usize,
+    /// Queue bound while a service is in load-shedding mode (capacity
+    /// clipped by the arbiter): arrivals beyond it are rejected at the
+    /// front door and counted as shed, not queued.
+    pub shed_queue_cap: usize,
     /// Coefficient of variation of HPC iteration durations.
     pub hpc_jitter_cv: f64,
     /// Scheduling priority of service replicas.
@@ -69,6 +73,7 @@ impl Default for SimulationConfig {
             perf: PerfConfig::default(),
             pod_start_delay: SimDuration::from_secs(3),
             service_queue_cap: 10_000,
+            shed_queue_cap: 64,
             hpc_jitter_cv: 0.05,
             service_priority: 100,
             hpc_priority: 50,
@@ -454,6 +459,7 @@ impl Simulation {
                 name: spec.name.clone(),
                 world: WorldClass::Microservice,
                 plo: spec.plo,
+                priority: spec.priority,
             });
             let idx = sim.services.len();
             sim.app_index.insert(app, Owner::Service(idx));
@@ -473,6 +479,7 @@ impl Simulation {
                 name: format!("{}-{job_idx}", spec.name),
                 world: WorldClass::BigData,
                 plo: spec.plo,
+                priority: spec.priority,
             });
             let idx = sim.batches.len();
             sim.app_index.insert(app, Owner::Batch(idx));
@@ -487,6 +494,7 @@ impl Simulation {
                 name: format!("{}-{job_idx}", spec.name),
                 world: WorldClass::Hpc,
                 plo: spec.plo(),
+                priority: spec.priority,
             });
             let idx = sim.hpcs.len();
             sim.app_index.insert(app, Owner::Hpc(idx));
@@ -851,6 +859,34 @@ impl Simulation {
         };
         let idx = *idx;
         Ok(self.service_set_target(idx, replicas, per_replica, 1.0))
+    }
+
+    /// Switches a service's admission control into (or out of) load
+    /// shedding: while enabled, arrivals beyond the small
+    /// [`SimulationConfig::shed_queue_cap`] backlog are rejected at the
+    /// front door and counted in [`AppWindow::shed_requests`] instead of
+    /// queueing without bound. The capacity arbiter flips this when it
+    /// clips or sheds an app; jobs (batch/HPC) have no open-loop arrival
+    /// stream, so the call is a no-op for them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownApp`] for unknown ids.
+    pub fn set_service_shedding(&mut self, app: AppId, shedding: bool) -> Result<()> {
+        match self.app_index.get(&app) {
+            Some(Owner::Service(idx)) => {
+                self.services[*idx].shedding = shedding;
+                Ok(())
+            }
+            Some(_) => Ok(()),
+            None => Err(Error::UnknownApp(app)),
+        }
+    }
+
+    /// `true` when a service currently sheds excess load at admission.
+    #[must_use]
+    pub fn service_shedding(&self, app: AppId) -> bool {
+        matches!(self.app_index.get(&app), Some(Owner::Service(idx)) if self.services[*idx].shedding)
     }
 
     /// Like [`Simulation::set_service_target`], but the rollout reaches

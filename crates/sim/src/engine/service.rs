@@ -42,6 +42,9 @@ pub(crate) struct ServiceRuntime {
     wake_version: PodMap<u64>,
     queue: VecDeque<QueuedRequest>,
     pub(crate) acc: WindowAccumulator,
+    /// Load-shedding admission control, toggled by the capacity arbiter
+    /// while the app runs capacity-clipped.
+    pub(crate) shedding: bool,
     next_req: u64,
     /// Reusable pod-id buffer for the actuation paths (avoids a fresh
     /// collect every control tick).
@@ -64,6 +67,7 @@ impl ServiceRuntime {
             wake_version: PodMap::default(),
             queue: VecDeque::new(),
             acc: WindowAccumulator::default(),
+            shedding: false,
             next_req: 0,
             scratch: Vec::new(),
         }
@@ -108,6 +112,33 @@ impl Simulation {
     pub(crate) fn service_arrival(&mut self, idx: usize) {
         let now = self.now;
         let mode = self.config.sampling;
+        // Admission control while capacity-clipped: excess offered load is
+        // rejected at the front door once the backlog (the least-loaded
+        // replica's in-flight set, or the start-up queue when nothing
+        // runs) reaches the shed bound — a small bounded queue instead of
+        // an unbounded one. Shed arrivals are counted but never sample
+        // demand, queue, complete or time out.
+        if self.services[idx].shedding {
+            let shed_cap = self.config.shed_queue_cap;
+            let rt = &self.services[idx];
+            let no_draining = rt.draining.is_empty();
+            let min_inflight = rt
+                .servers
+                .iter()
+                .filter(|(pod, s)| !s.is_dead() && (no_draining || !rt.draining.contains(pod)))
+                .map(|(_, s)| s.inflight_len())
+                .min();
+            let backlogged = match min_inflight {
+                Some(inflight) => inflight >= shed_cap,
+                None => rt.queue.len() >= shed_cap,
+            };
+            if backlogged {
+                let rt = &mut self.services[idx];
+                rt.acc.arrivals += 1;
+                rt.acc.shed += 1;
+                return;
+            }
+        }
         let (id, demand, deadline) = {
             let rt = &mut self.services[idx];
             rt.acc.arrivals += 1;

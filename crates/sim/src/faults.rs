@@ -992,6 +992,7 @@ mod tests {
             arrivals: 100,
             completions: 100,
             timeouts: 0,
+            shed_requests: 0,
             oom_kills: 0,
             p99_ms: Some(80.0),
             mean_ms: Some(40.0),

@@ -6,7 +6,7 @@
 //! and [`JobOutcome`] feed the experiment reports.
 
 use evolve_types::codec::{Codec, Decoder, Encoder};
-use evolve_types::{AppId, JobId, ResourceVec, Result, SimDuration, SimTime};
+use evolve_types::{AppId, JobId, PriorityClass, ResourceVec, Result, SimDuration, SimTime};
 use evolve_workload::{PloSpec, WorldClass};
 use serde::{Deserialize, Serialize};
 
@@ -21,6 +21,8 @@ pub struct AppStatus {
     pub world: WorldClass,
     /// The app's performance objective.
     pub plo: PloSpec,
+    /// How the capacity arbiter treats the app under cluster overload.
+    pub priority: PriorityClass,
 }
 
 /// Which execution model an application uses (mirrors
@@ -48,6 +50,10 @@ pub struct AppWindow {
     pub completions: u64,
     /// Requests dropped on timeout in the window.
     pub timeouts: u64,
+    /// Requests rejected at admission while the app ran capacity-clipped
+    /// (load shedding) — counted in `arrivals` but never queued, so they
+    /// neither complete nor time out.
+    pub shed_requests: u64,
     /// OOM kills in the window.
     pub oom_kills: u64,
     /// 99th-percentile latency (ms) of completions; `None` when none
@@ -83,6 +89,7 @@ impl Codec for AppWindow {
         self.arrivals.encode(enc);
         self.completions.encode(enc);
         self.timeouts.encode(enc);
+        self.shed_requests.encode(enc);
         self.oom_kills.encode(enc);
         self.p99_ms.encode(enc);
         self.mean_ms.encode(enc);
@@ -103,6 +110,7 @@ impl Codec for AppWindow {
             arrivals: u64::decode(dec)?,
             completions: u64::decode(dec)?,
             timeouts: u64::decode(dec)?,
+            shed_requests: u64::decode(dec)?,
             oom_kills: u64::decode(dec)?,
             p99_ms: Option::<f64>::decode(dec)?,
             mean_ms: Option::<f64>::decode(dec)?,
@@ -209,6 +217,7 @@ pub(crate) struct WindowAccumulator {
     pub arrivals: u64,
     pub completions: u64,
     pub timeouts: u64,
+    pub shed: u64,
     pub oom_kills: u64,
     pub latencies_ms: Vec<f64>,
     pub consumed: ResourceVec,
@@ -245,6 +254,7 @@ impl WindowAccumulator {
             arrivals: self.arrivals,
             completions: self.completions,
             timeouts: self.timeouts,
+            shed_requests: self.shed,
             oom_kills: self.oom_kills,
             p99_ms: p99,
             mean_ms: mean,
@@ -300,6 +310,23 @@ mod tests {
     }
 
     #[test]
+    fn harvest_carries_shed_requests() {
+        let mut acc = WindowAccumulator { window_start: SimTime::ZERO, ..Default::default() };
+        acc.arrivals = 10;
+        acc.shed = 4;
+        for ms in [10u64, 20] {
+            acc.record_completion(SimDuration::from_millis(ms));
+        }
+        let w = acc.harvest(SimTime::from_secs(5), 64.0);
+        assert_eq!(w.shed_requests, 4);
+        assert_eq!(w.arrivals, 10);
+        // Shed requests are not timeouts: they must not poison the
+        // latency signal of the requests that were served.
+        assert_eq!(w.measured_for(&PloSpec::LatencyP99 { target_ms: 100.0 }), Some(20.0));
+        assert_eq!(acc.shed, 0, "accumulator resets after harvest");
+    }
+
+    #[test]
     fn measured_for_latency_plos() {
         let mut w = AppWindow {
             at: SimTime::ZERO,
@@ -307,6 +334,7 @@ mod tests {
             arrivals: 10,
             completions: 10,
             timeouts: 0,
+            shed_requests: 0,
             oom_kills: 0,
             p99_ms: Some(80.0),
             mean_ms: Some(40.0),
@@ -343,6 +371,7 @@ mod tests {
             arrivals: 0,
             completions: 0,
             timeouts: 0,
+            shed_requests: 0,
             oom_kills: 0,
             p99_ms: None,
             mean_ms: None,

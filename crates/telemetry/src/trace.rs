@@ -109,6 +109,10 @@ pub enum ActuationOutcome {
     /// An injected actuation fault deferred the request; it reaches the
     /// cluster after the sampled lag.
     Delayed,
+    /// The capacity arbiter shed the app outright: the policy decided, but
+    /// nothing was actuated and the app's offered load is rejected at
+    /// admission until a later arbitration grants it capacity again.
+    Shed,
 }
 
 impl ActuationOutcome {
@@ -122,6 +126,7 @@ impl ActuationOutcome {
             ActuationOutcome::NoDecision => "no-decision",
             ActuationOutcome::Dropped => "dropped",
             ActuationOutcome::Delayed => "delayed",
+            ActuationOutcome::Shed => "shed",
         }
     }
 }
@@ -321,6 +326,37 @@ pub struct FaultTrace {
     pub app: Option<AppId>,
 }
 
+/// One capacity-arbitration verdict for one app on one control tick.
+/// Pushed by the runner after the cluster-level arbiter has reconciled
+/// all per-app requests against ready capacity. Class and decision are
+/// plain labels so telemetry stays independent of the control crate's
+/// types.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArbitrationTrace {
+    /// Control tick index (monotone per run).
+    pub tick: u64,
+    /// Simulated time of the tick.
+    pub at: SimTime,
+    /// The app the verdict concerns.
+    pub app: AppId,
+    /// Priority-class label (`"critical"`, `"standard"`, `"preemptible"`).
+    pub class: &'static str,
+    /// Total allocation the app's controller requested.
+    pub requested: ResourceVec,
+    /// Total allocation the arbiter granted.
+    pub granted: ResourceVec,
+    /// Decision label (`"full"`, `"oversubscribed"`, `"slew-limited"`,
+    /// `"shed"`).
+    pub decision: &'static str,
+    /// Fraction of the request granted, in `[0, 1]`.
+    pub grant_fraction: f64,
+    /// Consecutive arbitrations the app has spent shed or below its
+    /// starvation floor.
+    pub starvation_age: u32,
+    /// Whether the cluster was in a capacity crunch on this tick.
+    pub in_crunch: bool,
+}
+
 /// One entry in the trace ring.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
@@ -332,6 +368,8 @@ pub enum TraceEvent {
     Span(SpanTrace),
     /// An injected fault realized for this run.
     Fault(FaultTrace),
+    /// A capacity-arbitration verdict.
+    Arbitration(ArbitrationTrace),
 }
 
 /// Bounded ring of trace events: pushes are O(1), memory is capped at
@@ -428,6 +466,14 @@ impl TraceRing {
         })
     }
 
+    /// Retained capacity-arbitration verdicts, oldest first.
+    pub fn arbitrations(&self) -> impl Iterator<Item = &ArbitrationTrace> {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Arbitration(a) => Some(a),
+            _ => None,
+        })
+    }
+
     /// Renders the ring as deterministic JSONL: one event per line,
     /// oldest first, fixed key order, shortest-roundtrip float text,
     /// wall-clock fields excluded. Two same-seed runs produce
@@ -441,6 +487,7 @@ impl TraceRing {
                 TraceEvent::Sched(s) => write_sched(&mut out, s),
                 TraceEvent::Span(s) => write_span(&mut out, s),
                 TraceEvent::Fault(f) => write_fault(&mut out, f),
+                TraceEvent::Arbitration(a) => write_arbitration(&mut out, a),
             }
             out.push('\n');
         }
@@ -599,6 +646,18 @@ fn write_span(out: &mut String, s: &SpanTrace) {
     let _ = write!(out, "{{\"type\":\"span\",\"tick\":{},\"at_s\":", s.tick);
     push_f64(out, s.at.as_secs_f64());
     let _ = write!(out, ",\"kind\":\"{}\"}}", s.kind.as_str());
+}
+
+fn write_arbitration(out: &mut String, a: &ArbitrationTrace) {
+    let _ = write!(out, "{{\"type\":\"arbitration\",\"tick\":{},\"at_s\":", a.tick);
+    push_f64(out, a.at.as_secs_f64());
+    let _ = write!(out, ",\"app\":{},\"class\":\"{}\",\"requested\":", a.app.raw(), a.class);
+    push_resource_vec(out, &a.requested);
+    out.push_str(",\"granted\":");
+    push_resource_vec(out, &a.granted);
+    let _ = write!(out, ",\"decision\":\"{}\",\"grant_fraction\":", a.decision);
+    push_f64(out, a.grant_fraction);
+    let _ = write!(out, ",\"starvation_age\":{},\"in_crunch\":{}}}", a.starvation_age, a.in_crunch);
 }
 
 fn write_fault(out: &mut String, f: &FaultTrace) {
@@ -769,6 +828,32 @@ mod tests {
              \"outcome\":\"deferred\",\"node\":null,\"score\":null,\"scores\":[],\"filtered\":[],\
              \"feasible\":0,\"victims\":[],\"backoff_failures\":1}"
         );
+    }
+
+    #[test]
+    fn arbitration_jsonl_is_stable() {
+        let mut ring = TraceRing::new(8);
+        ring.push(TraceEvent::Arbitration(ArbitrationTrace {
+            tick: 11,
+            at: SimTime::from_millis(55_000),
+            app: AppId::new(2),
+            class: "standard",
+            requested: ResourceVec::new(4000.0, 4096.0, 10.0, 20.0),
+            granted: ResourceVec::new(2000.0, 2048.0, 5.0, 10.0),
+            decision: "oversubscribed",
+            grant_fraction: 0.5,
+            starvation_age: 0,
+            in_crunch: true,
+        }));
+        let line = ring.to_jsonl();
+        assert_eq!(
+            line,
+            "{\"type\":\"arbitration\",\"tick\":11,\"at_s\":55,\"app\":2,\"class\":\"standard\",\
+             \"requested\":[4000,4096,10,20],\"granted\":[2000,2048,5,10],\
+             \"decision\":\"oversubscribed\",\"grant_fraction\":0.5,\"starvation_age\":0,\
+             \"in_crunch\":true}\n"
+        );
+        assert_eq!(ring.arbitrations().count(), 1);
     }
 
     #[test]

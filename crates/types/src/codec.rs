@@ -35,7 +35,8 @@
 use std::collections::VecDeque;
 
 use crate::{
-    AppId, Error, JobId, NodeId, PodId, Resource, ResourceVec, Result, SimDuration, SimTime,
+    AppId, Error, JobId, NodeId, PodId, PriorityClass, Resource, ResourceVec, Result, SimDuration,
+    SimTime,
 };
 
 /// Append-only byte buffer that values encode themselves into.
@@ -343,6 +344,26 @@ macro_rules! id_codec {
 }
 
 id_codec!(NodeId => u32, PodId => u64, AppId => u32, JobId => u64);
+
+impl Codec for PriorityClass {
+    fn encode(&self, enc: &mut Encoder) {
+        let tag: u8 = match self {
+            PriorityClass::Critical => 0,
+            PriorityClass::Standard => 1,
+            PriorityClass::Preemptible => 2,
+        };
+        tag.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        match u8::decode(dec)? {
+            0 => Ok(PriorityClass::Critical),
+            1 => Ok(PriorityClass::Standard),
+            2 => Ok(PriorityClass::Preemptible),
+            other => Err(Error::CorruptCheckpoint(format!("invalid priority class tag {other}"))),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -33,12 +33,14 @@
 pub mod codec;
 mod error;
 mod ids;
+mod priority;
 mod resources;
 mod time;
 
 pub use codec::{Codec, Decoder, Encoder};
 pub use error::Error;
 pub use ids::{AppId, JobId, NodeId, PodId};
+pub use priority::PriorityClass;
 pub use resources::{Resource, ResourceVec, NUM_RESOURCES};
 pub use time::{SimDuration, SimTime};
 

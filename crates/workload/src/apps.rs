@@ -7,7 +7,7 @@
 //! * **HPC** — [`HpcJobSpec`]: a gang of ranks that must be co-scheduled
 //!   and iterate in lockstep, with a completion deadline.
 
-use evolve_types::{ResourceVec, SimDuration};
+use evolve_types::{PriorityClass, ResourceVec, SimDuration};
 use serde::{Deserialize, Serialize};
 
 use crate::request::RequestClass;
@@ -94,6 +94,9 @@ pub struct ServiceSpec {
     /// Initial per-replica allocation (what a user would have written as
     /// `requests:` in a pod spec).
     pub initial_alloc: ResourceVec,
+    /// How the capacity arbiter treats this service under cluster
+    /// overload.
+    pub priority: PriorityClass,
 }
 
 impl ServiceSpec {
@@ -118,7 +121,15 @@ impl ServiceSpec {
             base_memory: 64.0,
             initial_replicas: 1,
             initial_alloc,
+            priority: PriorityClass::default(),
         }
+    }
+
+    /// Overrides the overload priority class.
+    #[must_use]
+    pub fn with_priority(mut self, priority: PriorityClass) -> Self {
+        self.priority = priority;
+        self
     }
 
     /// Overrides the per-replica base memory overhead (MiB).
@@ -192,6 +203,8 @@ pub struct BatchJobSpec {
     pub task_alloc: ResourceVec,
     /// Maximum tasks in flight at once (executor pool cap).
     pub max_parallel_tasks: u32,
+    /// How the capacity arbiter treats this job under cluster overload.
+    pub priority: PriorityClass,
 }
 
 impl BatchJobSpec {
@@ -210,7 +223,21 @@ impl BatchJobSpec {
     ) -> Self {
         assert!(!stages.is_empty(), "batch job needs at least one stage");
         assert!(max_parallel_tasks > 0, "parallel task cap must be positive");
-        BatchJobSpec { name: name.into(), stages, plo, task_alloc, max_parallel_tasks }
+        BatchJobSpec {
+            name: name.into(),
+            stages,
+            plo,
+            task_alloc,
+            max_parallel_tasks,
+            priority: PriorityClass::default(),
+        }
+    }
+
+    /// Overrides the overload priority class.
+    #[must_use]
+    pub fn with_priority(mut self, priority: PriorityClass) -> Self {
+        self.priority = priority;
+        self
     }
 
     /// Total records across all stages.
@@ -241,6 +268,8 @@ pub struct HpcJobSpec {
     pub rank_alloc: ResourceVec,
     /// Completion deadline from submission.
     pub deadline: SimDuration,
+    /// How the capacity arbiter treats this job under cluster overload.
+    pub priority: PriorityClass,
 }
 
 impl HpcJobSpec {
@@ -269,7 +298,15 @@ impl HpcJobSpec {
             work_per_iteration,
             rank_alloc,
             deadline,
+            priority: PriorityClass::default(),
         }
+    }
+
+    /// Overrides the overload priority class.
+    #[must_use]
+    pub fn with_priority(mut self, priority: PriorityClass) -> Self {
+        self.priority = priority;
+        self
     }
 
     /// Total work per rank across all iterations.

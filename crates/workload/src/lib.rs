@@ -46,6 +46,7 @@ pub use arrival::{
     ConstantLoad, DiurnalLoad, FlashCrowdLoad, LoadProfile, MmppLoad, PoissonArrivals, RampLoad,
     TraceLoad,
 };
+pub use evolve_types::PriorityClass;
 pub use request::{Request, RequestClass};
 pub use sampling::{
     sample_exponential, sample_lognormal, sample_lognormal_with, sample_pareto,

@@ -6,7 +6,7 @@
 //! profile; [`WorkloadMix`] aggregates services and jobs; [`Scenario`]
 //! bundles a mix with a name and simulation horizon.
 
-use evolve_types::{ResourceVec, SimDuration, SimTime};
+use evolve_types::{PriorityClass, ResourceVec, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::apps::{BatchJobSpec, HpcJobSpec, PloSpec, ServiceSpec, StageSpec};
@@ -214,6 +214,17 @@ fn class_net_bound() -> RequestClass {
         "net-bound",
         ResourceVec::new(5.0, 2.0, 0.05, 2.5),
         0.7,
+        SimDuration::from_secs(10),
+    )
+}
+
+/// Compute-heavy requests (~100 ms on one core) used by the overload
+/// scenario so a handful of nodes saturates at modest request rates.
+fn class_cpu_heavy() -> RequestClass {
+    RequestClass::new(
+        "cpu-heavy",
+        ResourceVec::new(100.0, 8.0, 0.1, 0.2),
+        0.5,
         SimDuration::from_secs(10),
     )
 }
@@ -547,6 +558,78 @@ impl Scenario {
         }
     }
 
+    /// **Overload / graceful degradation** — three priority tiers of
+    /// services plus batch jobs, built from compute-heavy requests so a
+    /// small reference cluster (≈4 default nodes) saturates at modest
+    /// request rates. Service rates sum to `440 × offered` rps, ≈36 k
+    /// mcore of steady CPU demand at `offered = 1.0` against ~57 k mcore
+    /// of usable capacity: `1.0` leaves room for controllers to settle,
+    /// ≈1.5 sits at the knee, and values above it push steady demand past
+    /// schedulable capacity — the regime the cluster capacity arbiter
+    /// exists for.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `offered` is not positive.
+    #[must_use]
+    pub fn overload(offered: f64) -> Scenario {
+        assert!(offered > 0.0, "offered load must be positive");
+        let mix = WorkloadMix::new()
+            .with_service(
+                ServiceSpec::new(
+                    "checkout",
+                    PloSpec::LatencyP99 { target_ms: 150.0 },
+                    class_cpu_heavy(),
+                    default_alloc(),
+                )
+                .with_initial_replicas(2)
+                .with_priority(PriorityClass::Critical),
+                LoadSpec::Constant { rate: 120.0 * offered },
+            )
+            .with_service(
+                ServiceSpec::new(
+                    "api",
+                    PloSpec::LatencyP99 { target_ms: 150.0 },
+                    class_cpu_heavy(),
+                    default_alloc(),
+                )
+                .with_initial_replicas(2),
+                LoadSpec::Constant { rate: 120.0 * offered },
+            )
+            .with_service(
+                ServiceSpec::new(
+                    "feed",
+                    PloSpec::LatencyP99 { target_ms: 150.0 },
+                    class_disk_bound(),
+                    default_alloc(),
+                )
+                .with_initial_replicas(2),
+                LoadSpec::Constant { rate: 80.0 * offered },
+            )
+            .with_service(
+                ServiceSpec::new(
+                    "scavenge",
+                    PloSpec::LatencyP99 { target_ms: 300.0 },
+                    class_cpu_heavy(),
+                    default_alloc(),
+                )
+                .with_initial_replicas(2)
+                .with_priority(PriorityClass::Preemptible),
+                LoadSpec::Constant { rate: 120.0 * offered },
+            )
+            .with_batch_job(
+                batch_analytics(1.0).with_priority(PriorityClass::Preemptible),
+                SimTime::from_secs(60),
+            )
+            .with_batch_job(batch_etl(1.0), SimTime::from_secs(120));
+        Scenario {
+            name: format!("overload-{offered:.2}"),
+            description: "priority-tiered services pushing demand past capacity".into(),
+            mix,
+            horizon: SimDuration::from_mins(8),
+        }
+    }
+
     /// **F6 interference** — two latency-critical services colocated with
     /// aggressive batch and HPC work that should harvest only slack.
     #[must_use]
@@ -647,6 +730,7 @@ mod tests {
             Scenario::load_sweep(0.8),
             Scenario::bottleneck_rotation(),
             Scenario::interference(),
+            Scenario::overload(1.5),
         ];
         for s in presets {
             assert!(!s.mix.is_empty(), "{} empty", s.name);
@@ -674,5 +758,20 @@ mod tests {
     #[should_panic(expected = "scale must be positive")]
     fn headline_rejects_zero_scale() {
         let _ = Scenario::headline(0.0);
+    }
+
+    #[test]
+    fn overload_mixes_priority_tiers() {
+        let s = Scenario::overload(1.5);
+        let classes: Vec<PriorityClass> =
+            s.mix.services().iter().map(|(svc, _)| svc.priority).collect();
+        assert!(classes.contains(&PriorityClass::Critical));
+        assert!(classes.contains(&PriorityClass::Standard));
+        assert!(classes.contains(&PriorityClass::Preemptible));
+        assert_eq!(s.mix.batch_jobs()[0].0.priority, PriorityClass::Preemptible);
+        // Offered load scales linearly with the knob.
+        let a = Scenario::overload(1.0);
+        let rate = |s: &Scenario| s.mix.services()[0].1.mean_rate();
+        assert!((rate(&s) / rate(&a) - 1.5).abs() < 1e-9);
     }
 }

@@ -64,6 +64,7 @@ pub use evolve_workload as workload;
 /// println!("violation rate {:.3}", rep.violation_rate().mean);
 /// ```
 pub mod prelude {
+    pub use evolve_control::ArbiterConfig;
     pub use evolve_core::{
         write_csv, ExperimentRunner, Harness, ManagerKind, RecoveryStrategy, ReplicatedOutcome,
         RunConfig, RunConfigBuilder, RunOutcome, RunPerf, SchedulerProfile, Summary, Table,
@@ -78,7 +79,7 @@ pub mod prelude {
     };
     pub use evolve_telemetry::{MetricKey, MetricRegistry};
     pub use evolve_types::{
-        AppId, JobId, NodeId, PodId, Resource, ResourceVec, SimDuration, SimTime,
+        AppId, JobId, NodeId, PodId, PriorityClass, Resource, ResourceVec, SimDuration, SimTime,
     };
-    pub use evolve_workload::{PloSpec, Scenario};
+    pub use evolve_workload::{PloSpec, Scenario, WorldClass};
 }
