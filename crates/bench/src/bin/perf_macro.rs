@@ -1,11 +1,21 @@
-//! **Macro benchmark and perf-regression gate.** Runs the standard
-//! headline scenario end to end (EVOLVE manager, 20 nodes, seed 42,
-//! series recording on — the same configuration every table regenerates),
-//! reports the [`RunPerf`] block of each iteration, and writes a
-//! machine-readable `BENCH.json` with the best observed
+//! **Macro benchmark and perf-regression gate.** Runs one of two profiles
+//! end to end, reports the [`RunPerf`] block of each iteration, and
+//! updates the machine-readable `BENCH.json` with the best observed
 //! simulated-seconds-per-wall-second. When a committed baseline exists the
 //! binary exits non-zero on a regression beyond the tolerance, which is
-//! what CI's `perf-smoke` job enforces.
+//! what CI's `perf-smoke` and `scale-smoke` jobs enforce.
+//!
+//! Profiles (selected with `EVOLVE_PERF_SCENARIO`):
+//!
+//! * `headline` (default) — the standard headline scenario (EVOLVE
+//!   manager, 20 nodes, seed 42, series recording on — the same
+//!   configuration every table regenerates).
+//! * `scaled` — the T8 `cluster_scale` scenario (1 000 nodes full /
+//!   250 smoke, static replica management, indexed scheduling), guarding
+//!   the large-cluster regime the feasibility index exists for.
+//!
+//! Each profile writes its own block into `BENCH.json`; the other
+//! profile's block is preserved, so CI jobs can update them independently.
 //!
 //! ```text
 //! cargo run --release -p evolve-bench --bin perf_macro [iters]
@@ -13,7 +23,9 @@
 //!
 //! Environment:
 //!
-//! * `EVOLVE_SMOKE=1` — shorten the horizon to 3 simulated minutes (CI).
+//! * `EVOLVE_SMOKE=1` — shorten the horizon (and the scaled cluster) for
+//!   CI.
+//! * `EVOLVE_PERF_SCENARIO` — `headline` (default) or `scaled`.
 //! * `EVOLVE_PERF_BASELINE` — baseline JSON path (default
 //!   `crates/bench/perf_baseline.json`).
 //! * `EVOLVE_PERF_TOLERANCE` — allowed fractional regression (default
@@ -34,7 +46,7 @@ fn env_or(name: &str, default: &str) -> String {
 
 /// Minimal flat-JSON number lookup (`"key": 123.4`) — the vendored serde
 /// is a no-op stub, so the baseline file is parsed by hand. Good enough
-/// for the flat object this binary itself writes.
+/// for the flat objects this repo commits.
 fn json_number(text: &str, key: &str) -> Option<f64> {
     let needle = format!("\"{key}\"");
     let rest = &text[text.find(&needle)? + needle.len()..];
@@ -45,6 +57,33 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
         })
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Extracts the balanced `{ … }` object following `"name":` — hand-rolled
+/// for the same reason as [`json_number`]. Returns the block including its
+/// braces. The blocks this binary writes contain no string-embedded
+/// braces, so a plain depth counter suffices.
+fn extract_block(text: &str, name: &str) -> Option<String> {
+    let needle = format!("\"{name}\"");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    if !rest.starts_with('{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(rest[..=i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 fn print_perf(label: &str, p: &RunPerf) {
@@ -64,14 +103,31 @@ fn main() -> ExitCode {
     let iters: usize =
         std::env::args().nth(1).and_then(|s| s.parse().ok()).filter(|n| *n > 0).unwrap_or(3);
     let smoke = smoke_mode();
-    let mut scenario = Scenario::headline(1.0);
-    if smoke {
-        scenario.horizon = SimDuration::from_mins(3);
-    }
+    let profile = env_or("EVOLVE_PERF_SCENARIO", "headline");
+    let scaled = match profile.as_str() {
+        "headline" => false,
+        "scaled" => true,
+        other => {
+            eprintln!("unknown EVOLVE_PERF_SCENARIO `{other}` (use `headline` or `scaled`)");
+            return ExitCode::FAILURE;
+        }
+    };
     let mode = if smoke { "smoke" } else { "full" };
+    let (scenario, manager, nodes) = if scaled {
+        let nodes = if smoke { 250 } else { 1_000 };
+        let apps = if smoke { 10 } else { 40 };
+        let horizon = SimDuration::from_mins(if smoke { 2 } else { 10 });
+        (Scenario::cluster_scale(nodes, apps, horizon), ManagerKind::KubeStatic, Some(nodes))
+    } else {
+        let mut scenario = Scenario::headline(1.0);
+        if smoke {
+            scenario.horizon = SimDuration::from_mins(3);
+        }
+        (scenario, ManagerKind::Evolve, None)
+    };
     let sim_secs = scenario.horizon.as_secs_f64();
     eprintln!(
-        "perf_macro: headline scenario, {mode} mode ({sim_secs:.0} sim-s), \
+        "perf_macro: {profile} scenario, {mode} mode ({sim_secs:.0} sim-s), \
          seed {BASE_SEED}, best of {iters} iteration(s)"
     );
 
@@ -80,8 +136,11 @@ fn main() -> ExitCode {
     // least-perturbed measurement.
     let mut best: Option<RunPerf> = None;
     for i in 0..iters {
-        let cfg = RunConfig::builder(scenario.clone(), ManagerKind::Evolve).seed(BASE_SEED).build();
-        let outcome = ExperimentRunner::new(cfg).run();
+        let mut builder = RunConfig::builder(scenario.clone(), manager.clone()).seed(BASE_SEED);
+        if let Some(n) = nodes {
+            builder = builder.nodes(n).scheduler(SchedulerProfile::Evolve).record_series(false);
+        }
+        let outcome = ExperimentRunner::new(builder.build()).run();
         print_perf(&format!("iter {}", i + 1), &outcome.perf);
         if best.is_none()
             || outcome.perf.sim_secs_per_wall_sec
@@ -93,7 +152,8 @@ fn main() -> ExitCode {
     let best = best.expect("at least one iteration");
     print_perf("best", &best);
 
-    // Regression gate against the committed baseline.
+    // Regression gate against the committed baseline. Headline keeps its
+    // historical key names; the scaled profile prefixes its own.
     let tolerance: f64 = env_or("EVOLVE_PERF_TOLERANCE", "0.25")
         .parse()
         .ok()
@@ -102,7 +162,11 @@ fn main() -> ExitCode {
     let gate_on = !env_or("EVOLVE_PERF_GATE", "on").eq_ignore_ascii_case("off");
     let baseline_path =
         PathBuf::from(env_or("EVOLVE_PERF_BASELINE", "crates/bench/perf_baseline.json"));
-    let baseline_key = format!("{mode}_sim_secs_per_wall_sec");
+    let baseline_key = if scaled {
+        format!("scaled_{mode}_sim_secs_per_wall_sec")
+    } else {
+        format!("{mode}_sim_secs_per_wall_sec")
+    };
     let baseline = std::fs::read_to_string(&baseline_path)
         .ok()
         .and_then(|text| json_number(&text, &baseline_key));
@@ -113,7 +177,7 @@ fn main() -> ExitCode {
             let ok = best.sim_secs_per_wall_sec >= floor;
             let ratio = best.sim_secs_per_wall_sec / base;
             println!(
-                "baseline({mode}) {base:.1} sim-s/wall-s, floor {floor:.1} \
+                "baseline({profile}/{mode}) {base:.1} sim-s/wall-s, floor {floor:.1} \
                  (tolerance {:.0}%), measured {:.1} ({ratio:.2}x) => {}",
                 tolerance * 100.0,
                 best.sim_secs_per_wall_sec,
@@ -127,27 +191,45 @@ fn main() -> ExitCode {
         }
     };
 
-    // Machine-readable artifact for CI and for trend tracking.
-    let json = format!(
-        "{{\n  \"benchmark\": \"perf_macro\",\n  \"scenario\": \"{}\",\n  \"mode\": \"{mode}\",\n  \
-         \"seed\": {BASE_SEED},\n  \"iterations\": {iters},\n  \"sim_secs\": {sim_secs:.1},\n  \
-         \"ticks\": {},\n  \"events\": {},\n  \"wall_secs\": {:.4},\n  \
-         \"sim_secs_per_wall_sec\": {:.1},\n  \"peak_running_pods\": {},\n  \
-         \"fast_metric_records\": {},\n  \"baseline_sim_secs_per_wall_sec\": {},\n  \
-         \"tolerance\": {tolerance},\n  \"gate\": \"{}\",\n  \"verdict\": \"{verdict}\"\n}}\n",
+    // Machine-readable artifact for CI and for trend tracking: one block
+    // per profile, the other profile's block carried over verbatim.
+    let block = format!(
+        "{{\n    \"scenario\": \"{}\",\n    \"mode\": \"{mode}\",\n    \"seed\": {BASE_SEED},\n    \
+         \"iterations\": {iters},\n    \"sim_secs\": {sim_secs:.1},\n    \
+         \"ticks\": {},\n    \"events\": {},\n    \"wall_secs\": {:.4},\n    \
+         \"sim_secs_per_wall_sec\": {:.1},\n    \"peak_running_pods\": {},\n    \
+         \"filter_evals\": {},\n    \"feasibility_probes\": {},\n    \
+         \"fast_metric_records\": {},\n    \"baseline_sim_secs_per_wall_sec\": {},\n    \
+         \"tolerance\": {tolerance},\n    \"gate\": \"{}\",\n    \"verdict\": \"{verdict}\"\n  }}",
         scenario.name,
         best.ticks,
         best.events,
         best.wall_secs,
         best.sim_secs_per_wall_sec,
         best.peak_running_pods,
+        best.filter_evals,
+        best.feasibility_probes,
         best.fast_metric_records,
         baseline.map_or_else(|| "null".into(), |b| format!("{b:.1}")),
         if gate_on { "on" } else { "off" },
     );
     let out_path = PathBuf::from(env_or("EVOLVE_BENCH_JSON", "BENCH.json"));
+    let existing = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let other_name = if scaled { "headline" } else { "scaled" };
+    let other = extract_block(&existing, other_name);
+    let mut json = String::from("{\n  \"benchmark\": \"perf_macro\",\n");
+    let (first, second) =
+        if scaled { (other_name, profile.as_str()) } else { (profile.as_str(), other_name) };
+    for name in [first, second] {
+        let body = if name == profile { Some(&block) } else { other.as_ref() };
+        if let Some(body) = body {
+            json.push_str(&format!("  \"{name}\": {body},\n"));
+        }
+    }
+    json.truncate(json.trim_end_matches(",\n").len());
+    json.push_str("\n}\n");
     match std::fs::write(&out_path, &json) {
-        Ok(()) => eprintln!("wrote {}", out_path.display()),
+        Ok(()) => eprintln!("wrote {} ({profile} block)", out_path.display()),
         Err(err) => {
             eprintln!("could not write {}: {err}", out_path.display());
             return ExitCode::FAILURE;
@@ -163,7 +245,7 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::json_number;
+    use super::{extract_block, json_number};
 
     #[test]
     fn json_number_finds_flat_keys() {
@@ -172,5 +254,17 @@ mod tests {
         assert_eq!(json_number(text, "full_sim_secs_per_wall_sec"), Some(3100.0));
         assert_eq!(json_number(text, "b"), Some(-2000.0));
         assert_eq!(json_number(text, "missing"), None);
+    }
+
+    #[test]
+    fn extract_block_returns_balanced_objects() {
+        let text = "{\n  \"benchmark\": \"perf_macro\",\n  \"headline\": {\n    \"mode\": \
+                    \"smoke\",\n    \"nested\": { \"x\": 1 }\n  },\n  \"scaled\": { \"y\": 2 }\n}";
+        let headline = extract_block(text, "headline").expect("headline block");
+        assert!(headline.starts_with('{') && headline.ends_with('}'));
+        assert!(headline.contains("\"nested\": { \"x\": 1 }"));
+        assert_eq!(extract_block(text, "scaled").as_deref(), Some("{ \"y\": 2 }"));
+        assert_eq!(extract_block(text, "missing"), None);
+        assert_eq!(extract_block("{ \"headline\": [1, 2] }", "headline"), None);
     }
 }

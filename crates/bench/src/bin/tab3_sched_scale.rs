@@ -1,9 +1,10 @@
 //! **T3 — scheduler scalability.** Scheduling throughput (pods/s) and
 //! per-pod decision latency of the framework as the cluster grows from
-//! 100 to 2 500 nodes, for the stock profile and the EVOLVE profile
+//! 100 to 5 000 nodes, for the stock profile and the EVOLVE profile
 //! (preemption enabled). This benchmark times real scheduling work (no
 //! simulation RNG), so the seed count sets the number of timed
-//! repetitions feeding the mean ± 95 % CI.
+//! repetitions feeding the mean ± 95 % CI. Set `EVOLVE_SMOKE=1` for a
+//! shortened 100/250-node grid in CI.
 //!
 //! ```text
 //! cargo run --release -p evolve-bench --bin tab3_sched_scale [rep-count]
@@ -11,7 +12,7 @@
 
 use std::time::Instant;
 
-use evolve_bench::{cli_seed_count, output_dir};
+use evolve_bench::{cli_seed_count, output_dir, smoke_mode};
 use evolve_core::{write_csv, Summary, Table};
 use evolve_scheduler::SchedulerFramework;
 use evolve_sim::{ClusterConfig, ClusterState, NodeShape, PodKind, PodSpec};
@@ -49,8 +50,10 @@ fn main() {
             .to_vec(),
     );
     let pending = 500usize;
+    let grid: &[usize] =
+        if smoke_mode() { &[100, 250] } else { &[100, 250, 500, 1_000, 2_500, 5_000] };
     for profile_name in ["kube-default", "evolve"] {
-        for nodes in [100usize, 250, 500, 1_000, 2_500] {
+        for &nodes in grid {
             let cluster = populated_cluster(nodes, 0.5, pending);
             let scheduler = match profile_name {
                 "kube-default" => SchedulerFramework::kube_default(),

@@ -3,7 +3,7 @@
 //! statistics every table and figure reports.
 
 use evolve_control::{ArbiterConfig, ClipReason, GrantDecision};
-use evolve_scheduler::{RequeueBackoff, SchedulerFramework};
+use evolve_scheduler::{FeasibilityIndex, RequeueBackoff, SchedulerFramework};
 use evolve_sim::{
     ArbitrationCheck, ChaosOracle, ClusterConfig, FaultInjector, FaultKind, FaultPlan, NodeShape,
     OracleReport, Simulation, SimulationConfig,
@@ -115,6 +115,12 @@ pub struct RunConfig {
     /// keeps the unarbitrated path byte-identical to previous releases.
     /// See DESIGN.md decision 13.
     pub arbiter: Option<ArbiterConfig>,
+    /// Route scheduling cycles through the incremental feasibility index
+    /// (`true`, the default) or the naive full node scan (`false`). Both
+    /// produce identical plans; the naive path exists as the equivalence
+    /// baseline and for benchmarks quantifying the index. See DESIGN.md
+    /// decision 14.
+    pub indexed_scheduling: bool,
 }
 
 impl RunConfig {
@@ -143,6 +149,7 @@ impl RunConfig {
             legacy_sampling: false,
             oracle: false,
             arbiter: None,
+            indexed_scheduling: true,
         }
     }
 
@@ -359,6 +366,15 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Selects between index-pruned scheduling (`true`, the default) and
+    /// the naive full node scan (`false`). Plans are identical either
+    /// way; benchmarks flip this to quantify the feasibility index.
+    #[must_use]
+    pub fn indexed_scheduling(mut self, indexed: bool) -> Self {
+        self.config.indexed_scheduling = indexed;
+        self
+    }
+
     /// Finishes the builder.
     #[must_use]
     pub fn build(self) -> RunConfig {
@@ -509,6 +525,15 @@ pub struct RunPerf {
     /// Wall nanoseconds spent in scheduler cycles (from the
     /// decision-trace lifecycle spans).
     pub sched_wall_ns: u64,
+    /// Filter-plugin invocations across all scheduler cycles. Under the
+    /// naive scan this grows with pending × nodes; under the feasibility
+    /// index only non-capacity filters on surviving candidates pay it.
+    pub filter_evals: u64,
+    /// Feasibility-index tree probes across all scheduler cycles (zero
+    /// when the index is off). `filter_evals + feasibility_probes` is
+    /// the indexed run's total feasibility work, comparable against the
+    /// naive run's `filter_evals`.
+    pub feasibility_probes: u64,
 }
 
 impl RunOutcome {
@@ -658,12 +683,14 @@ impl ExperimentRunner {
         if let Some(arb) = cfg.arbiter {
             manager.set_arbiter(arb);
         }
-        let scheduler = cfg.scheduler.build();
+        let scheduler = cfg.scheduler.build().with_index(cfg.indexed_scheduling);
         let mut registry = MetricRegistry::new();
         let mut util = UtilizationAccount::new(sim.cluster().total_allocatable());
         let mut preemptions = 0u64;
         let mut bindings = 0u64;
         let mut stale_pod_lookups = 0u64;
+        let mut filter_evals = 0u64;
+        let mut feasibility_probes = 0u64;
         // Decision trace: always on, bounded by the ring capacity. The
         // ring only *reads* controller and scheduler state, so capture
         // cannot perturb the simulated trajectory.
@@ -723,15 +750,22 @@ impl ExperimentRunner {
             std::collections::HashMap::new()
         };
 
-        // Initial scheduling pass so t=0 pods place immediately.
+        // Initial scheduling pass so t=0 pods place immediately. The
+        // feasibility index lives here, beside the backoff ledger, and is
+        // carried across every cycle of the run: each pass diffs cluster
+        // version counters instead of rebuilding the shadow.
         let mut backoff = RequeueBackoff::new();
+        let mut feas_index = FeasibilityIndex::new();
         Self::schedule_pass(
             &scheduler,
             &mut backoff,
+            &mut feas_index,
             &mut sim,
             &mut preemptions,
             &mut bindings,
             &mut stale_pod_lookups,
+            &mut filter_evals,
+            &mut feasibility_probes,
             &mut trace,
             oracle.as_ref().map(|_| &mut newly_bound),
         );
@@ -852,10 +886,13 @@ impl ExperimentRunner {
             Self::schedule_pass(
                 &scheduler,
                 &mut backoff,
+                &mut feas_index,
                 &mut sim,
                 &mut preemptions,
                 &mut bindings,
                 &mut stale_pod_lookups,
+                &mut filter_evals,
+                &mut feasibility_probes,
                 &mut trace,
                 oracle.as_ref().map(|_| &mut newly_bound),
             );
@@ -1041,6 +1078,8 @@ impl ExperimentRunner {
             fast_metric_records: registry.fast_path_records(),
             control_wall_ns,
             sched_wall_ns,
+            filter_evals,
+            feasibility_probes,
         };
 
         // Deterministic JSONL dump (wall-clock excluded): two same-seed
@@ -1090,15 +1129,21 @@ impl ExperimentRunner {
     fn schedule_pass(
         scheduler: &SchedulerFramework,
         backoff: &mut RequeueBackoff,
+        index: &mut FeasibilityIndex,
         sim: &mut Simulation,
         preemptions: &mut u64,
         bindings: &mut u64,
         stale_pod_lookups: &mut u64,
+        filter_evals: &mut u64,
+        feasibility_probes: &mut u64,
         trace: &mut TraceRing,
         mut bound_out: Option<&mut Vec<PodId>>,
     ) {
-        let plan = scheduler.schedule_cycle_traced(sim.cluster(), backoff, sim.now(), trace);
+        let plan =
+            scheduler.schedule_cycle_carried(sim.cluster(), backoff, index, sim.now(), trace);
         *stale_pod_lookups += plan.stale_pod_lookups;
+        *filter_evals += plan.filter_evals;
+        *feasibility_probes += plan.index_probes;
         for victim in &plan.preemptions {
             if sim.preempt_pod(*victim).is_ok() {
                 *preemptions += 1;

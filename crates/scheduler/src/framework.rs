@@ -1,13 +1,14 @@
 //! The scheduling cycle: priority queue, gang grouping, filter → score →
 //! tentative bind, and preemption.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
-use evolve_sim::{ClusterState, Pod, PodKind, PodSpec};
+use evolve_sim::{ClusterState, Node, Pod, PodKind, PodSpec};
 use evolve_telemetry::trace::{SchedOutcome, SchedTrace, TraceEvent, TraceRing};
 use evolve_types::codec::{Codec, Decoder, Encoder};
 use evolve_types::{JobId, NodeId, PodId, ResourceVec, Result, SimTime};
 
+use crate::index::FeasibilityIndex;
 use crate::plugins::{
     BalancedAllocation, FilterPlugin, LeastAllocated, MostAllocated, NodeFits, NodeView,
     ScorePlugin, SpreadApp,
@@ -30,6 +31,16 @@ pub struct SchedulePlan {
     /// instead of panicking, mirroring the manager's `UnknownApp`
     /// handling.
     pub stale_pod_lookups: u64,
+    /// Filter-plugin invocations this cycle. The naive scan pays one per
+    /// (pending pod, node) pair until the first failing filter; the
+    /// indexed path pays only for non-capacity filters on surviving
+    /// candidates, so this is the numerator of the index's win.
+    pub filter_evals: u64,
+    /// Feasibility-index tree nodes visited this cycle (zero on the
+    /// naive path). `filter_evals + index_probes` is the indexed cycle's
+    /// total feasibility work, comparable against the naive
+    /// `filter_evals`.
+    pub index_probes: u64,
 }
 
 /// Cross-cycle requeue backoff for unschedulable pods.
@@ -115,6 +126,12 @@ pub struct SchedulerFramework {
     /// back — deliberately breaking gang atomicity so the chaos oracle
     /// and fuzzer can prove they catch it. Never set in production paths.
     break_gang_rollback: bool,
+    /// Whether cycles prune candidates through the feasibility index
+    /// (requires the leading filter to certify
+    /// [`FilterPlugin::prunes_capacity_fit`]). On by default; the
+    /// `EVOLVE_SCHED_NAIVE` environment variable (at construction) or
+    /// [`with_index(false)`](Self::with_index) selects the naive scan.
+    use_index: bool,
 }
 
 impl std::fmt::Debug for SchedulerFramework {
@@ -124,6 +141,7 @@ impl std::fmt::Debug for SchedulerFramework {
             .field("filters", &self.filters.len())
             .field("scorers", &self.scorers.len())
             .field("preemption", &self.preemption)
+            .field("indexed", &self.use_index)
             .finish()
     }
 }
@@ -158,48 +176,19 @@ impl PlacementProbe {
     }
 }
 
-/// Shadow state for one cycle.
-struct Shadow {
-    free: Vec<ResourceVec>,
-    /// (node, app) → tentative pod count of that app.
-    app_pods: HashMap<(usize, u32), usize>,
-    /// Failed pod-table lookups, skipped and counted (see
-    /// [`SchedulePlan::stale_pod_lookups`]).
-    stale_lookups: u64,
-}
-
-impl Shadow {
-    fn new(cluster: &ClusterState) -> Self {
-        let free = cluster.nodes().iter().map(evolve_sim::Node::free).collect();
-        let mut app_pods = HashMap::new();
-        let mut stale_lookups = 0u64;
-        // Walk each node's bound-pod set instead of the full pod table:
-        // the table keeps terminal pods for outcome reporting, so it grows
-        // with simulation length while the bound set stays cluster-sized.
-        for (ni, node) in cluster.nodes().iter().enumerate() {
-            for pod_id in node.pods() {
-                let Ok(pod) = cluster.pod(*pod_id) else {
-                    stale_lookups += 1;
-                    continue;
-                };
-                debug_assert!(pod.phase.holds_resources());
-                *app_pods.entry((ni, pod.app().raw())).or_insert(0) += 1;
-            }
-        }
-        Shadow { free, app_pods, stale_lookups }
-    }
-
-    fn place(&mut self, node: usize, pod: &PodSpec) {
-        self.free[node] -= pod.request;
-        *self.app_pods.entry((node, pod.kind.app().raw())).or_insert(0) += 1;
-    }
-
-    fn release(&mut self, node: usize, pod: &PodSpec) {
-        self.free[node] += pod.request;
-        if let Some(c) = self.app_pods.get_mut(&(node, pod.kind.app().raw())) {
-            *c = c.saturating_sub(1);
-        }
-    }
+/// Per-cycle mutable placement context. The index doubles as the cycle's
+/// shadow state (free vectors, app spread counts): every tentative
+/// place/release/claim flows through it, on both the indexed and the
+/// naive path, so the two paths read identical shadow values.
+struct Ctx<'a> {
+    index: &'a mut FeasibilityIndex,
+    /// Whether this cycle prunes candidates through the index's trees.
+    /// When false, placement scans every node exactly as the historical
+    /// implementation did.
+    indexed: bool,
+    /// Filter-plugin invocations so far (see
+    /// [`SchedulePlan::filter_evals`]).
+    filter_evals: u64,
 }
 
 impl SchedulerFramework {
@@ -212,6 +201,7 @@ impl SchedulerFramework {
             preemption: false,
             name,
             break_gang_rollback: std::env::var_os("EVOLVE_CHAOS_GANG_NO_ROLLBACK").is_some(),
+            use_index: std::env::var_os("EVOLVE_SCHED_NAIVE").is_none(),
         }
     }
 
@@ -275,6 +265,16 @@ impl SchedulerFramework {
         self
     }
 
+    /// Selects between index-pruned candidate enumeration (`true`, the
+    /// default) and the naive full node scan (`false`). Both produce
+    /// identical plans — the naive path is retained as the equivalence
+    /// baseline and for benchmarks quantifying the index's win.
+    #[must_use]
+    pub fn with_index(mut self, on: bool) -> Self {
+        self.use_index = on;
+        self
+    }
+
     /// The profile name.
     #[must_use]
     pub fn name(&self) -> &'static str {
@@ -301,7 +301,7 @@ impl SchedulerFramework {
         cluster: &ClusterState,
         backoff: &mut RequeueBackoff,
     ) -> SchedulePlan {
-        self.cycle_impl(cluster, backoff, None)
+        self.cycle_impl(cluster, backoff, &mut FeasibilityIndex::new(), None)
     }
 
     /// [`schedule_cycle_with_backoff`](Self::schedule_cycle_with_backoff)
@@ -318,17 +318,39 @@ impl SchedulerFramework {
         at: SimTime,
         trace: &mut TraceRing,
     ) -> SchedulePlan {
-        self.cycle_impl(cluster, backoff, Some((at, trace)))
+        self.cycle_impl(cluster, backoff, &mut FeasibilityIndex::new(), Some((at, trace)))
+    }
+
+    /// [`schedule_cycle_traced`](Self::schedule_cycle_traced) with a
+    /// caller-owned [`FeasibilityIndex`] carried across cycles: instead of
+    /// rebuilding the shadow from scratch, the cycle starts by diffing the
+    /// cluster's version counters and refreshing only nodes that changed
+    /// since the previous cycle. The long-lived run driver uses this
+    /// entry point; the transient wrappers above rebuild per call.
+    #[must_use]
+    pub fn schedule_cycle_carried(
+        &self,
+        cluster: &ClusterState,
+        backoff: &mut RequeueBackoff,
+        index: &mut FeasibilityIndex,
+        at: SimTime,
+        trace: &mut TraceRing,
+    ) -> SchedulePlan {
+        self.cycle_impl(cluster, backoff, index, Some((at, trace)))
     }
 
     fn cycle_impl(
         &self,
         cluster: &ClusterState,
         backoff: &mut RequeueBackoff,
+        index: &mut FeasibilityIndex,
         mut trace: Option<(SimTime, &mut TraceRing)>,
     ) -> SchedulePlan {
         let mut plan = SchedulePlan::default();
-        let mut shadow = Shadow::new(cluster);
+        index.sync(cluster);
+        let indexed =
+            self.use_index && self.filters.first().is_some_and(|f| f.prunes_capacity_fit());
+        let mut ctx = Ctx { index, indexed, filter_evals: 0 };
         // Victims already claimed this cycle: their capacity is freed in
         // the shadow exactly once and they may not be chosen again.
         let mut claimed: HashSet<PodId> = HashSet::new();
@@ -419,8 +441,7 @@ impl SchedulerFramework {
                         continue;
                     }
                     let mut probe = trace.is_some().then(|| PlacementProbe::new(&self.filters));
-                    if let Some(node) =
-                        self.place_one(cluster, &mut shadow, &pod.spec, probe.as_mut())
+                    if let Some(node) = self.place_one(cluster, &mut ctx, &pod.spec, probe.as_mut())
                     {
                         plan.bindings.push((pod.id, node));
                         let score = probe.as_ref().and_then(|p| p.chosen_score);
@@ -435,7 +456,7 @@ impl SchedulerFramework {
                             backoff.failures(pod.id),
                         );
                     } else if self.preemption {
-                        match self.try_preempt(cluster, &mut shadow, &claimed, pod) {
+                        match self.try_preempt(cluster, &mut ctx, &claimed, pod) {
                             Some((node, victims)) => {
                                 claimed.extend(victims.iter().copied());
                                 plan.preemptions.extend(victims.iter().copied());
@@ -537,7 +558,7 @@ impl SchedulerFramework {
                         }
                         continue;
                     }
-                    match self.place_gang(cluster, &mut shadow, &mut claimed, &members) {
+                    match self.place_gang(cluster, &mut ctx, &mut claimed, &members) {
                         Some((bindings, victims)) => {
                             // Gang admitted: one Bound event per rank; the
                             // preemption victims (if any) ride on the first
@@ -580,7 +601,9 @@ impl SchedulerFramework {
                 }
             }
         }
-        plan.stale_pod_lookups = shadow.stale_lookups;
+        plan.stale_pod_lookups = ctx.index.stale_lookups();
+        plan.filter_evals = ctx.filter_evals;
+        plan.index_probes = ctx.index.probes();
         plan
     }
 
@@ -592,7 +615,7 @@ impl SchedulerFramework {
     fn place_gang(
         &self,
         cluster: &ClusterState,
-        shadow: &mut Shadow,
+        ctx: &mut Ctx<'_>,
         claimed: &mut HashSet<PodId>,
         members: &[&Pod],
     ) -> Option<GangPlacement> {
@@ -600,7 +623,7 @@ impl SchedulerFramework {
         let mut placed: Vec<(PodId, NodeId, PodSpec)> = Vec::new();
         let mut ok = true;
         for pod in members {
-            match self.place_one(cluster, shadow, &pod.spec, None) {
+            match self.place_one(cluster, ctx, &pod.spec, None) {
                 Some(node) => placed.push((pod.id, node, pod.spec)),
                 None => {
                     ok = false;
@@ -623,7 +646,7 @@ impl SchedulerFramework {
             ));
         }
         for (_, node, spec) in &placed {
-            shadow.release(node.as_usize(), spec);
+            ctx.index.release(node.as_usize(), spec);
         }
         if !self.preemption {
             return None;
@@ -636,9 +659,9 @@ impl SchedulerFramework {
         let mut gang_victims: Vec<(NodeId, Vec<PodId>)> = Vec::new();
         let mut ok = true;
         for pod in members {
-            if let Some(node) = self.place_one(cluster, shadow, &pod.spec, None) {
+            if let Some(node) = self.place_one(cluster, ctx, &pod.spec, None) {
                 placed.push((pod.id, node, pod.spec));
-            } else if let Some((node, victims)) = self.try_preempt(cluster, shadow, claimed, pod) {
+            } else if let Some((node, victims)) = self.try_preempt(cluster, ctx, claimed, pod) {
                 claimed.extend(victims.iter().copied());
                 gang_victims.push((node, victims));
                 placed.push((pod.id, node, pod.spec));
@@ -654,16 +677,19 @@ impl SchedulerFramework {
         // Full rollback: undo placements, re-occupy the victims' capacity
         // and un-claim them.
         for (_, node, spec) in &placed {
-            shadow.release(node.as_usize(), spec);
+            ctx.index.release(node.as_usize(), spec);
         }
         for (node, victims) in &gang_victims {
             for v in victims {
                 claimed.remove(v);
-                if let Ok(p) = cluster.pod(*v) {
-                    shadow.free[node.as_usize()] -= p.spec.request;
-                    *shadow.app_pods.entry((node.as_usize(), p.app().raw())).or_insert(0) += 1;
-                } else {
-                    shadow.stale_lookups += 1;
+                match cluster.pod(*v) {
+                    Ok(p) => ctx.index.unclaim_victim(
+                        node.as_usize(),
+                        p.app().raw(),
+                        p.spec.priority,
+                        &p.spec.request,
+                    ),
+                    Err(_) => ctx.index.note_stale(),
                 }
             }
         }
@@ -674,134 +700,307 @@ impl SchedulerFramework {
     /// placement into the shadow on success. With a probe attached, the
     /// chosen node's per-plugin scores, the feasible-node count and the
     /// per-filter rejection counts are captured for the decision trace.
+    ///
+    /// In indexed mode the candidate set comes from the feasibility
+    /// index; under `debug_assertions` the naive full scan runs alongside
+    /// and the choices are asserted identical before committing.
     fn place_one(
         &self,
         cluster: &ClusterState,
-        shadow: &mut Shadow,
+        ctx: &mut Ctx<'_>,
         spec: &PodSpec,
         mut probe: Option<&mut PlacementProbe>,
     ) -> Option<NodeId> {
+        let choice = if ctx.indexed {
+            let choice = self.choose_indexed(cluster, ctx, spec, probe.as_deref_mut());
+            #[cfg(debug_assertions)]
+            {
+                let mut evals = 0u64;
+                let naive = self.choose_naive(cluster, ctx.index, spec, &mut evals, None);
+                debug_assert_eq!(choice, naive, "indexed placement diverged from the naive scan");
+            }
+            choice
+        } else {
+            self.choose_naive(cluster, ctx.index, spec, &mut ctx.filter_evals, probe)
+        };
+        let (_, idx) = choice?;
+        ctx.index.place(idx, spec);
+        Some(NodeId::new(idx as u32))
+    }
+
+    /// The historical full scan: every node flows through the filters in
+    /// order (first failure short-circuits), survivors are scored. Kept
+    /// as the equivalence baseline for the indexed path.
+    fn choose_naive(
+        &self,
+        cluster: &ClusterState,
+        index: &FeasibilityIndex,
+        spec: &PodSpec,
+        filter_evals: &mut u64,
+        mut probe: Option<&mut PlacementProbe>,
+    ) -> Option<(f64, usize)> {
         let mut best: Option<(f64, usize)> = None;
         for (i, node) in cluster.nodes().iter().enumerate() {
             let view = NodeView {
                 node,
-                free: shadow.free[i],
-                app_pods: shadow.app_pods.get(&(i, spec.kind.app().raw())).copied().unwrap_or(0),
+                free: index.free(i),
+                app_pods: index.app_count(i, spec.kind.app().raw()),
             };
-            let feasible = match probe.as_deref_mut() {
-                None => self.filters.iter().all(|f| f.feasible(spec, &view)),
-                Some(p) => {
-                    // First failing filter takes the rejection; matches
-                    // the short-circuit order of the untraced path.
-                    let mut pass = true;
-                    for (fi, f) in self.filters.iter().enumerate() {
-                        if !f.feasible(spec, &view) {
-                            p.filtered[fi].1 += 1;
-                            pass = false;
-                            break;
-                        }
+            // First failing filter takes the rejection.
+            let mut pass = true;
+            for (fi, f) in self.filters.iter().enumerate() {
+                *filter_evals += 1;
+                if !f.feasible(spec, &view) {
+                    if let Some(p) = probe.as_deref_mut() {
+                        p.filtered[fi].1 += 1;
                     }
-                    pass
+                    pass = false;
+                    break;
                 }
-            };
-            if !feasible {
+            }
+            if !pass {
                 continue;
             }
-            if let Some(p) = probe.as_deref_mut() {
-                p.feasible += 1;
-                p.scratch.clear();
-            }
-            let mut score = 0.0;
-            let mut weight = 0.0;
-            for (s, w) in &self.scorers {
-                let contribution = s.score(spec, &view) * w;
-                score += contribution;
-                weight += w;
-                if let Some(p) = probe.as_deref_mut() {
-                    p.scratch.push(contribution);
+            self.score_node(spec, &view, i, &mut best, probe.as_deref_mut());
+        }
+        best
+    }
+
+    /// The indexed path: the fit tree enumerates exactly the nodes the
+    /// leading capacity filter would accept (in ascending order, so the
+    /// lowest-index tie-break is preserved); only the remaining filters
+    /// and the scorers run on them.
+    fn choose_indexed(
+        &self,
+        cluster: &ClusterState,
+        ctx: &mut Ctx<'_>,
+        spec: &PodSpec,
+        mut probe: Option<&mut PlacementProbe>,
+    ) -> Option<(f64, usize)> {
+        ctx.index.enumerate_fit(&spec.request);
+        if let Some(p) = probe.as_deref_mut() {
+            // Every pruned node fails the leading capacity filter —
+            // identical attribution to the naive first-fail scan.
+            p.filtered[0].1 += (cluster.nodes().len() - ctx.index.candidates().len()) as u32;
+        }
+        let mut best: Option<(f64, usize)> = None;
+        for k in 0..ctx.index.candidates().len() {
+            let i = ctx.index.candidates()[k];
+            let view = NodeView {
+                node: &cluster.nodes()[i],
+                free: ctx.index.free(i),
+                app_pods: ctx.index.app_count(i, spec.kind.app().raw()),
+            };
+            let mut pass = true;
+            for (fi, f) in self.filters.iter().enumerate().skip(1) {
+                ctx.filter_evals += 1;
+                if !f.feasible(spec, &view) {
+                    if let Some(p) = probe.as_deref_mut() {
+                        p.filtered[fi].1 += 1;
+                    }
+                    pass = false;
+                    break;
                 }
             }
-            let score = if weight > 0.0 { score / weight } else { 0.0 };
-            // Deterministic tie-break on the lowest node index.
-            if best.is_none_or(|(b, _)| score > b + 1e-12) {
-                best = Some((score, i));
-                if let Some(p) = probe.as_deref_mut() {
-                    let PlacementProbe { chosen_score, scores, scratch, .. } = p;
-                    *chosen_score = Some(score);
-                    scores.clear();
-                    for ((s, _), contribution) in self.scorers.iter().zip(scratch.iter()) {
-                        scores.push((s.name(), *contribution));
-                    }
+            if !pass {
+                continue;
+            }
+            self.score_node(spec, &view, i, &mut best, probe.as_deref_mut());
+        }
+        best
+    }
+
+    /// Scores one feasible node and folds it into the running best.
+    /// Shared by both paths so the float-operation sequence — and thus
+    /// the deterministic tie-break — is identical.
+    fn score_node(
+        &self,
+        spec: &PodSpec,
+        view: &NodeView<'_>,
+        i: usize,
+        best: &mut Option<(f64, usize)>,
+        mut probe: Option<&mut PlacementProbe>,
+    ) {
+        if let Some(p) = probe.as_deref_mut() {
+            p.feasible += 1;
+            p.scratch.clear();
+        }
+        let mut score = 0.0;
+        let mut weight = 0.0;
+        for (s, w) in &self.scorers {
+            let contribution = s.score(spec, view) * w;
+            score += contribution;
+            weight += w;
+            if let Some(p) = probe.as_deref_mut() {
+                p.scratch.push(contribution);
+            }
+        }
+        let score = if weight > 0.0 { score / weight } else { 0.0 };
+        // Deterministic tie-break on the lowest node index.
+        if best.is_none_or(|(b, _)| score > b + 1e-12) {
+            *best = Some((score, i));
+            if let Some(p) = probe {
+                let PlacementProbe { chosen_score, scores, scratch, .. } = p;
+                *chosen_score = Some(score);
+                scores.clear();
+                for ((s, _), contribution) in self.scorers.iter().zip(scratch.iter()) {
+                    scores.push((s.name(), *contribution));
                 }
             }
         }
-        let (_, idx) = best?;
-        shadow.place(idx, spec);
-        Some(NodeId::new(idx as u32))
     }
 
     /// Looks for a node where evicting strictly-lower-priority pods frees
     /// enough room. Chooses the node minimizing evicted priority mass,
     /// then evicts its lowest-priority pods first.
+    ///
+    /// Bails in O(1) when the cluster's per-priority bound census shows
+    /// no pod of strictly lower priority anywhere (victims claimed
+    /// earlier this cycle are still bound, so the count never
+    /// under-reports). In indexed mode the preempt tree and per-node
+    /// census prune the node scan; the per-node victim selection is
+    /// shared verbatim with the naive path, and under `debug_assertions`
+    /// both paths are asserted to choose identically.
     fn try_preempt(
         &self,
         cluster: &ClusterState,
-        shadow: &mut Shadow,
+        ctx: &mut Ctx<'_>,
         claimed: &HashSet<PodId>,
         pod: &Pod,
     ) -> Option<(NodeId, Vec<PodId>)> {
+        if cluster.bound_pods_below(pod.spec.priority) == 0 {
+            return None;
+        }
+        let choice = if ctx.indexed {
+            let choice = Self::preempt_choose_indexed(cluster, ctx, claimed, pod);
+            #[cfg(debug_assertions)]
+            {
+                let mut stale = 0u64;
+                let naive =
+                    Self::preempt_choose_naive(cluster, ctx.index, claimed, pod, &mut stale);
+                debug_assert_eq!(choice, naive, "indexed preemption diverged from the naive scan");
+            }
+            choice
+        } else {
+            let mut stale = 0u64;
+            let choice = Self::preempt_choose_naive(cluster, ctx.index, claimed, pod, &mut stale);
+            ctx.index.add_stale(stale);
+            choice
+        };
+        let (_, idx, victims) = choice?;
+        // Account the evictions and the placement in the shadow.
+        for v in &victims {
+            match cluster.pod(*v) {
+                Ok(p) => {
+                    ctx.index.claim_victim(idx, p.app().raw(), p.spec.priority, &p.spec.request);
+                }
+                Err(_) => ctx.index.note_stale(),
+            }
+        }
+        ctx.index.place(idx, &pod.spec);
+        Some((NodeId::new(idx as u32), victims))
+    }
+
+    /// Greedy victim selection on one node: bound, unclaimed, strictly
+    /// lower priority, cheapest first, until the pod fits. Shared by the
+    /// naive and indexed paths so both choose identical victims.
+    fn preempt_on_node(
+        cluster: &ClusterState,
+        free0: ResourceVec,
+        node: &Node,
+        claimed: &HashSet<PodId>,
+        pod: &Pod,
+        stale: &mut u64,
+    ) -> Option<(f64, Vec<PodId>)> {
+        // Victims: bound pods with lower priority, cheapest first.
+        // Pods already claimed by an earlier preemption this cycle
+        // are gone in the shadow and may not be double-counted.
+        let mut victims: Vec<&Pod> = Vec::new();
+        for id in node.pods().iter().filter(|id| !claimed.contains(id)) {
+            match cluster.pod(*id) {
+                Ok(v) => {
+                    if v.spec.priority < pod.spec.priority && v.phase.holds_resources() {
+                        victims.push(v);
+                    }
+                }
+                Err(_) => *stale += 1,
+            }
+        }
+        victims.sort_by_key(|v| v.spec.priority);
+        let mut free = free0;
+        let mut chosen: Vec<PodId> = Vec::new();
+        let mut cost = 0.0;
+        for v in victims {
+            if pod.spec.request.fits_within(&free) {
+                break;
+            }
+            free += v.spec.request;
+            chosen.push(v.id);
+            cost += f64::from(v.spec.priority) + 1.0;
+        }
+        (pod.spec.request.fits_within(&free) && !chosen.is_empty()).then_some((cost, chosen))
+    }
+
+    /// The historical preemption scan over every ready node.
+    fn preempt_choose_naive(
+        cluster: &ClusterState,
+        index: &FeasibilityIndex,
+        claimed: &HashSet<PodId>,
+        pod: &Pod,
+        stale: &mut u64,
+    ) -> Option<(f64, usize, Vec<PodId>)> {
         let mut best: Option<(f64, usize, Vec<PodId>)> = None;
         for (i, node) in cluster.nodes().iter().enumerate() {
             if !node.is_ready() {
                 continue;
             }
-            // Victims: bound pods with lower priority, cheapest first.
-            // Pods already claimed by an earlier preemption this cycle
-            // are gone in the shadow and may not be double-counted.
-            let mut victims: Vec<&Pod> = Vec::new();
-            for id in node.pods().iter().filter(|id| !claimed.contains(id)) {
-                match cluster.pod(*id) {
-                    Ok(v) => {
-                        if v.spec.priority < pod.spec.priority && v.phase.holds_resources() {
-                            victims.push(v);
-                        }
-                    }
-                    Err(_) => shadow.stale_lookups += 1,
-                }
-            }
-            victims.sort_by_key(|v| v.spec.priority);
-            let mut free = shadow.free[i];
-            let mut chosen: Vec<PodId> = Vec::new();
-            let mut cost = 0.0;
-            for v in victims {
-                if pod.spec.request.fits_within(&free) {
-                    break;
-                }
-                free += v.spec.request;
-                chosen.push(v.id);
-                cost += f64::from(v.spec.priority) + 1.0;
-            }
-            if pod.spec.request.fits_within(&free)
-                && !chosen.is_empty()
-                && best.as_ref().is_none_or(|(c, _, _)| cost < *c)
+            if let Some((cost, chosen)) =
+                Self::preempt_on_node(cluster, index.free(i), node, claimed, pod, stale)
             {
-                best = Some((cost, i, chosen));
-            }
-        }
-        let (_, idx, victims) = best?;
-        // Account the evictions and the placement in the shadow.
-        for v in &victims {
-            if let Ok(p) = cluster.pod(*v) {
-                shadow.free[idx] += p.spec.request;
-                if let Some(c) = shadow.app_pods.get_mut(&(idx, p.app().raw())) {
-                    *c = c.saturating_sub(1);
+                if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
+                    best = Some((cost, i, chosen));
                 }
-            } else {
-                shadow.stale_lookups += 1;
             }
         }
-        shadow.place(idx, &pod.spec);
-        Some((NodeId::new(idx as u32), victims))
+        best
+    }
+
+    /// The indexed preemption scan: the preempt tree enumerates only
+    /// nodes whose free-plus-evictable headroom could fit the pod (a
+    /// superset — the margin absorbs incremental float drift), the
+    /// per-priority census then drops nodes without enough strictly-
+    /// lower-priority mass, and the surviving nodes run the exact shared
+    /// victim selection. Ascending candidate order plus the strict `<`
+    /// cost comparison preserve the lowest-index tie-break.
+    fn preempt_choose_indexed(
+        cluster: &ClusterState,
+        ctx: &mut Ctx<'_>,
+        claimed: &HashSet<PodId>,
+        pod: &Pod,
+    ) -> Option<(f64, usize, Vec<PodId>)> {
+        ctx.index.enumerate_preempt(&pod.spec.request);
+        let mut best: Option<(f64, usize, Vec<PodId>)> = None;
+        let mut stale = 0u64;
+        for k in 0..ctx.index.candidates().len() {
+            let i = ctx.index.candidates()[k];
+            if !ctx.index.census_could_free(i, pod.spec.priority, &pod.spec.request) {
+                continue;
+            }
+            if let Some((cost, chosen)) = Self::preempt_on_node(
+                cluster,
+                ctx.index.free(i),
+                &cluster.nodes()[i],
+                claimed,
+                pod,
+                &mut stale,
+            ) {
+                if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
+                    best = Some((cost, i, chosen));
+                }
+            }
+        }
+        ctx.index.add_stale(stale);
+        best
     }
 }
 

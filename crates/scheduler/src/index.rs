@@ -1,0 +1,568 @@
+//! Incremental feasibility index: the scheduler's shadow state plus
+//! O(log N) candidate enumeration.
+//!
+//! The naive scheduling cycle rescans every node per pending pod —
+//! O(P·N) filter evaluations per cycle, quadratic in cluster scale. This
+//! module keeps the per-cycle shadow (free vectors, per-(node, app) pod
+//! counts) *and* two flat segment trees over dense node ids whose
+//! internal nodes carry both the element-wise **maximum** (prune
+//! subtrees where nothing fits) and the element-wise **minimum** of
+//! their leaf keys (emit whole subtrees where *everything* fits without
+//! descending — the common case on an emptyish cluster):
+//!
+//! * the **fit tree**, keyed by each ready node's exact shadow-free
+//!   vector, answers "which nodes can host `request` right now" by
+//!   descending only subtrees whose max-free still fits the request and
+//!   whose min-free does not already admit every leaf — O(log N) per
+//!   probe when the answer is "none" or "all", O(k·log(N/k)) for k
+//!   scattered matches, leaves emitted in ascending node order;
+//! * the **preempt tree**, keyed by `free + Σ bound requests` (every
+//!   pod the node could conceivably evict) plus a small margin, prunes
+//!   preemption to nodes that could free enough capacity at all. A
+//!   per-node, per-priority bound-resource census then rejects nodes
+//!   whose strictly-lower-priority mass is insufficient before any pod
+//!   is inspected.
+//!
+//! **Exactness contract.** Fit-tree leaves hold the *exact* shadow free
+//! vector, so enumeration is equivalent to evaluating the capacity-fit
+//! filter on every node — same feasible set, same ascending order,
+//! preserving the deterministic lowest-index tie-break bit-for-bit. The
+//! preempt tree and census are *supersets* (the margin absorbs the
+//! float drift of incremental adds/subtracts), so they only prune nodes
+//! the exact per-node victim scan would reject anyway; the scan itself
+//! is shared verbatim with the naive path. The framework cross-checks
+//! both claims against the naive scan under `debug_assertions`.
+//!
+//! The index carries across scheduler cycles: [`FeasibilityIndex::sync`]
+//! diffs [`ClusterState`] version counters and refreshes only nodes that
+//! changed since the last cycle (bound/evicted/resized/ready-flipped),
+//! plus nodes tainted by the previous cycle's own tentative placements,
+//! instead of rebuilding the shadow from scratch each cycle.
+
+use std::collections::HashMap;
+
+use evolve_sim::{ClusterState, PodSpec};
+use evolve_types::ResourceVec;
+
+/// Added to superset keys (preempt tree, census check) so incremental
+/// float drift can never prune a node the exact scan would accept.
+/// Semantically negligible: requests are O(10)–O(10⁴) per dimension.
+const PRUNE_MARGIN: f64 = 1e-3;
+
+/// Leaf key of a node that must never be enumerated (unready, or padding
+/// past the real node count): nothing fits within negative infinity.
+const NEG: ResourceVec = ResourceVec::splat(f64::NEG_INFINITY);
+
+/// Incremental scheduler shadow + feasibility structures. Owned by the
+/// run driver and threaded through
+/// [`SchedulerFramework::schedule_cycle_carried`](crate::SchedulerFramework::schedule_cycle_carried)
+/// so the per-node mirrors survive between cycles.
+#[derive(Debug, Default)]
+pub struct FeasibilityIndex {
+    n: usize,
+    /// Leaf capacity of both trees (`n.next_power_of_two()`).
+    cap: usize,
+    /// Shadow free capacity per node (cluster truth ± this cycle's
+    /// tentative placements and claims).
+    free: Vec<ResourceVec>,
+    ready: Vec<bool>,
+    /// Per-node app → tentative pod count (spread scoring input).
+    app_pods: Vec<HashMap<u32, usize>>,
+    /// Per-node bound-resource census, sorted by priority ascending.
+    census: Vec<Vec<(i32, ResourceVec)>>,
+    /// Sum over all census entries per node (preempt-tree key input).
+    census_total: Vec<ResourceVec>,
+    /// Fit tree maxima, 1-based heap layout in `[1, 2·cap)`; leaves at
+    /// `cap+i`.
+    fit_keys: Vec<ResourceVec>,
+    /// Fit tree minima, same layout (whole-subtree emission).
+    fit_floor: Vec<ResourceVec>,
+    /// Preempt tree maxima, same layout.
+    preempt_keys: Vec<ResourceVec>,
+    /// Preempt tree minima, same layout.
+    preempt_floor: Vec<ResourceVec>,
+    node_versions_seen: Vec<u64>,
+    global_version_seen: u64,
+    synced: bool,
+    /// Nodes touched by tentative in-cycle operations; unconditionally
+    /// refreshed from cluster truth at the next sync (the plan may only
+    /// partially apply, so version diffing alone cannot cover them).
+    tainted: Vec<u32>,
+    taint_flag: Vec<bool>,
+    stale_lookups: u64,
+    probes: u64,
+    candidates: Vec<usize>,
+    stack: Vec<usize>,
+}
+
+impl FeasibilityIndex {
+    /// An empty index; the first [`sync`](Self::sync) performs a full
+    /// rebuild.
+    #[must_use]
+    pub fn new() -> Self {
+        FeasibilityIndex::default()
+    }
+
+    /// Forces the next [`sync`](Self::sync) to rebuild from scratch.
+    /// Call after replacing the cluster wholesale (e.g. restoring a
+    /// snapshot), where version counters no longer relate to the mirrors.
+    pub fn invalidate(&mut self) {
+        self.synced = false;
+    }
+
+    /// Brings the mirrors up to date with `cluster` and resets the
+    /// per-cycle counters. Cost is O(changed nodes) after the first call.
+    pub(crate) fn sync(&mut self, cluster: &ClusterState) {
+        self.stale_lookups = 0;
+        self.probes = 0;
+        let n = cluster.nodes().len();
+        if !self.synced || n != self.n || cluster.version() < self.global_version_seen {
+            self.rebuild(cluster);
+            return;
+        }
+        let tainted = std::mem::take(&mut self.tainted);
+        for &i in &tainted {
+            self.taint_flag[i as usize] = false;
+            self.refresh_node(cluster, i as usize);
+        }
+        self.tainted = tainted;
+        self.tainted.clear();
+        if cluster.version() != self.global_version_seen {
+            for i in 0..n {
+                if cluster.node_version(i) != self.node_versions_seen[i] {
+                    self.refresh_node(cluster, i);
+                }
+            }
+            self.global_version_seen = cluster.version();
+        }
+    }
+
+    fn rebuild(&mut self, cluster: &ClusterState) {
+        let n = cluster.nodes().len();
+        self.n = n;
+        self.cap = n.next_power_of_two().max(1);
+        self.free = vec![ResourceVec::ZERO; n];
+        self.ready = vec![false; n];
+        self.app_pods = vec![HashMap::new(); n];
+        self.census = vec![Vec::new(); n];
+        self.census_total = vec![ResourceVec::ZERO; n];
+        self.fit_keys = vec![NEG; 2 * self.cap];
+        self.fit_floor = vec![NEG; 2 * self.cap];
+        self.preempt_keys = vec![NEG; 2 * self.cap];
+        self.preempt_floor = vec![NEG; 2 * self.cap];
+        self.node_versions_seen = vec![0; n];
+        self.taint_flag = vec![false; n];
+        self.tainted.clear();
+        for i in 0..n {
+            self.refresh_node(cluster, i);
+        }
+        self.global_version_seen = cluster.version();
+        self.synced = true;
+    }
+
+    /// Re-derives one node's mirrors from cluster truth. Walks the
+    /// node's bound-pod set, not the full pod table (the table keeps
+    /// terminal pods and grows with simulation length).
+    fn refresh_node(&mut self, cluster: &ClusterState, i: usize) {
+        let node = &cluster.nodes()[i];
+        self.free[i] = node.free();
+        self.ready[i] = node.is_ready();
+        self.node_versions_seen[i] = cluster.node_version(i);
+        let apps = &mut self.app_pods[i];
+        apps.clear();
+        let census = &mut self.census[i];
+        census.clear();
+        let mut total = ResourceVec::ZERO;
+        for pod_id in node.pods() {
+            let Ok(pod) = cluster.pod(*pod_id) else {
+                self.stale_lookups += 1;
+                continue;
+            };
+            debug_assert!(pod.phase.holds_resources());
+            *apps.entry(pod.app().raw()).or_insert(0) += 1;
+            let prio = pod.spec.priority;
+            match census.binary_search_by_key(&prio, |(p, _)| *p) {
+                Ok(k) => census[k].1 += pod.spec.request,
+                Err(k) => census.insert(k, (prio, pod.spec.request)),
+            }
+            total += pod.spec.request;
+        }
+        self.census_total[i] = total;
+        self.write_leaves(i);
+    }
+
+    /// Recomputes both tree leaves (and their root paths) for node `i`.
+    fn write_leaves(&mut self, i: usize) {
+        let (fit, preempt) = if self.ready[i] {
+            let headroom = self.free[i] + self.census_total[i] + ResourceVec::splat(PRUNE_MARGIN);
+            (self.free[i], headroom)
+        } else {
+            (NEG, NEG)
+        };
+        set_leaf(&mut self.fit_keys, &mut self.fit_floor, self.cap, i, fit);
+        set_leaf(&mut self.preempt_keys, &mut self.preempt_floor, self.cap, i, preempt);
+    }
+
+    fn taint(&mut self, i: usize) {
+        if !self.taint_flag[i] {
+            self.taint_flag[i] = true;
+            self.tainted.push(i as u32);
+        }
+    }
+
+    /// Shadow free capacity of node `i`.
+    pub(crate) fn free(&self, i: usize) -> ResourceVec {
+        self.free[i]
+    }
+
+    /// Tentative pod count of `app` on node `i`.
+    pub(crate) fn app_count(&self, i: usize, app: u32) -> usize {
+        self.app_pods[i].get(&app).copied().unwrap_or(0)
+    }
+
+    /// Commits a tentative placement into the shadow.
+    pub(crate) fn place(&mut self, i: usize, spec: &PodSpec) {
+        self.free[i] -= spec.request;
+        *self.app_pods[i].entry(spec.kind.app().raw()).or_insert(0) += 1;
+        self.write_leaves(i);
+        self.taint(i);
+    }
+
+    /// Rolls a tentative placement back out of the shadow.
+    pub(crate) fn release(&mut self, i: usize, spec: &PodSpec) {
+        self.free[i] += spec.request;
+        if let Some(c) = self.app_pods[i].get_mut(&spec.kind.app().raw()) {
+            *c = c.saturating_sub(1);
+        }
+        self.write_leaves(i);
+        self.taint(i);
+    }
+
+    /// Accounts a claimed preemption victim: its capacity frees up in
+    /// the shadow and leaves the bound census.
+    pub(crate) fn claim_victim(&mut self, i: usize, app: u32, priority: i32, req: &ResourceVec) {
+        self.free[i] += *req;
+        if let Some(c) = self.app_pods[i].get_mut(&app) {
+            *c = c.saturating_sub(1);
+        }
+        if let Ok(k) = self.census[i].binary_search_by_key(&priority, |(p, _)| *p) {
+            self.census[i][k].1 -= *req;
+        }
+        self.census_total[i] -= *req;
+        self.write_leaves(i);
+        self.taint(i);
+    }
+
+    /// Reverses [`claim_victim`](Self::claim_victim) (gang rollback).
+    pub(crate) fn unclaim_victim(&mut self, i: usize, app: u32, priority: i32, req: &ResourceVec) {
+        self.free[i] -= *req;
+        *self.app_pods[i].entry(app).or_insert(0) += 1;
+        match self.census[i].binary_search_by_key(&priority, |(p, _)| *p) {
+            Ok(k) => self.census[i][k].1 += *req,
+            Err(k) => self.census[i].insert(k, (priority, *req)),
+        }
+        self.census_total[i] += *req;
+        self.write_leaves(i);
+        self.taint(i);
+    }
+
+    /// Fills [`candidates`](Self::candidates) with every node whose
+    /// shadow free capacity fits `request` (ready nodes only), ascending.
+    pub(crate) fn enumerate_fit(&mut self, request: &ResourceVec) {
+        self.probes += enumerate(
+            &self.fit_keys,
+            &self.fit_floor,
+            self.cap,
+            self.n,
+            request,
+            &mut self.stack,
+            &mut self.candidates,
+        );
+    }
+
+    /// Fills [`candidates`](Self::candidates) with a superset of the
+    /// nodes where evicting bound pods could make `request` fit,
+    /// ascending. Exactness comes from the caller's per-node victim scan.
+    pub(crate) fn enumerate_preempt(&mut self, request: &ResourceVec) {
+        self.probes += enumerate(
+            &self.preempt_keys,
+            &self.preempt_floor,
+            self.cap,
+            self.n,
+            request,
+            &mut self.stack,
+            &mut self.candidates,
+        );
+    }
+
+    /// The node list produced by the last `enumerate_*` call.
+    pub(crate) fn candidates(&self) -> &[usize] {
+        &self.candidates
+    }
+
+    /// Whether evicting every bound pod of priority strictly below
+    /// `priority` could possibly free room for `request` on node `i`
+    /// (superset check; the margin absorbs incremental float drift).
+    pub(crate) fn census_could_free(&self, i: usize, priority: i32, request: &ResourceVec) -> bool {
+        let mut avail = self.free[i];
+        for (p, sum) in &self.census[i] {
+            if *p >= priority {
+                break;
+            }
+            avail += *sum;
+        }
+        request.fits_within(&(avail + ResourceVec::splat(PRUNE_MARGIN)))
+    }
+
+    /// Records one failed pod-table lookup (see
+    /// [`SchedulePlan::stale_pod_lookups`](crate::SchedulePlan::stale_pod_lookups)).
+    pub(crate) fn note_stale(&mut self) {
+        self.stale_lookups += 1;
+    }
+
+    /// Adds a batch of failed pod-table lookups.
+    pub(crate) fn add_stale(&mut self, n: u64) {
+        self.stale_lookups += n;
+    }
+
+    /// Failed pod-table lookups since the last sync.
+    pub(crate) fn stale_lookups(&self) -> u64 {
+        self.stale_lookups
+    }
+
+    /// Tree-node visits across both trees since the last sync.
+    pub(crate) fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Node count the index currently mirrors.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.n
+    }
+}
+
+/// Writes `key` at leaf `i` and recomputes the max/min aggregates on its
+/// root path.
+fn set_leaf(
+    maxes: &mut [ResourceVec],
+    mins: &mut [ResourceVec],
+    cap: usize,
+    i: usize,
+    key: ResourceVec,
+) {
+    let mut s = cap + i;
+    maxes[s] = key;
+    mins[s] = key;
+    s >>= 1;
+    while s >= 1 {
+        maxes[s] = maxes[2 * s].max(&maxes[2 * s + 1]);
+        mins[s] = mins[2 * s].min(&mins[2 * s + 1]);
+        s >>= 1;
+    }
+}
+
+/// Pushes every leaf whose key fits `request` into `out`, in ascending
+/// node order. Subtrees whose max no longer fits are pruned whole;
+/// subtrees whose *min* still fits are emitted whole without descending
+/// (padding and unready leaves carry `-inf` keys, so they can never sit
+/// inside such a subtree). Returns the number of tree nodes visited (the
+/// feasibility-probe count) — O(log N) when the answer is "none" or
+/// "all", O(k·log(N/k)) for k scattered matches. Emission itself is a
+/// plain index append, not a probe: no capacity comparison happens per
+/// emitted leaf.
+fn enumerate(
+    maxes: &[ResourceVec],
+    mins: &[ResourceVec],
+    cap: usize,
+    n: usize,
+    request: &ResourceVec,
+    stack: &mut Vec<usize>,
+    out: &mut Vec<usize>,
+) -> u64 {
+    out.clear();
+    stack.clear();
+    if n == 0 {
+        return 0;
+    }
+    let height = cap.trailing_zeros();
+    let mut probes = 0u64;
+    stack.push(1);
+    while let Some(s) = stack.pop() {
+        probes += 1;
+        if !request.fits_within(&maxes[s]) {
+            continue;
+        }
+        let h = height - s.ilog2();
+        let lo = (s << h) - cap;
+        if h == 0 {
+            if lo < n {
+                out.push(lo);
+            }
+            continue;
+        }
+        if request.fits_within(&mins[s]) {
+            let hi = lo + (1 << h);
+            debug_assert!(hi <= n, "-inf padding floors must block whole-subtree emission");
+            out.extend(lo..hi);
+            continue;
+        }
+        // Right child first: the left subtree then resolves fully before
+        // the right one, yielding leaves in ascending node order — the
+        // order the deterministic lowest-index tie-break depends on.
+        stack.push(2 * s + 1);
+        stack.push(2 * s);
+    }
+    probes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evolve_sim::{ClusterConfig, ClusterState, NodeShape, PodKind};
+    use evolve_types::{AppId, NodeId, PodId, SimTime};
+
+    fn cluster(nodes: usize) -> ClusterState {
+        ClusterState::new(&ClusterConfig::uniform(
+            nodes,
+            NodeShape { capacity: ResourceVec::splat(1000.0) },
+        ))
+    }
+
+    fn spec(app: u32, request: f64, priority: i32) -> PodSpec {
+        PodSpec::new(
+            PodKind::ServiceReplica { app: AppId::new(app) },
+            ResourceVec::splat(request),
+            priority,
+        )
+    }
+
+    fn bind(c: &mut ClusterState, app: u32, request: f64, priority: i32, node: u32) -> PodId {
+        let id = c.create_pod(spec(app, request, priority), SimTime::ZERO);
+        c.bind_pod(id, NodeId::new(node)).unwrap();
+        id
+    }
+
+    /// Enumeration must equal the linear scan: same nodes, same order.
+    fn naive_fit(idx: &FeasibilityIndex, request: &ResourceVec) -> Vec<usize> {
+        (0..idx.len()).filter(|&i| idx.ready[i] && request.fits_within(&idx.free(i))).collect()
+    }
+
+    #[test]
+    fn fit_enumeration_matches_linear_scan() {
+        let mut c = cluster(13); // odd count exercises tree padding
+        for i in 0..13u32 {
+            bind(&mut c, i % 3, (f64::from(i) + 1.0) * 70.0, 10, i);
+        }
+        c.set_node_ready(NodeId::new(5), false).unwrap();
+        let mut idx = FeasibilityIndex::new();
+        idx.sync(&c);
+        for req in [0.0, 100.0, 400.0, 900.0, 950.0, 2000.0] {
+            let request = ResourceVec::splat(req);
+            idx.enumerate_fit(&request);
+            assert_eq!(idx.candidates(), naive_fit(&idx, &request), "request {req}");
+        }
+        assert!(idx.probes() > 0);
+    }
+
+    #[test]
+    fn incremental_sync_matches_rebuild() {
+        let mut c = cluster(9);
+        for i in 0..9u32 {
+            bind(&mut c, i, 100.0 + f64::from(i), 10 + i as i32, i % 9);
+        }
+        let mut carried = FeasibilityIndex::new();
+        carried.sync(&c);
+        // Mutate through every hook the cluster versions: bind, terminate,
+        // resize, readiness flip.
+        let extra = bind(&mut c, 3, 50.0, 99, 2);
+        let gone = bind(&mut c, 4, 80.0, 5, 7);
+        c.terminate_pod(gone, evolve_sim::PodPhase::Succeeded).unwrap();
+        c.set_node_ready(NodeId::new(1), false).unwrap();
+        let resized =
+            c.create_pod(spec(6, 10.0, 10).with_limit(ResourceVec::splat(400.0)), SimTime::ZERO);
+        c.bind_pod(resized, NodeId::new(8)).unwrap();
+        c.resize_pod(resized, ResourceVec::splat(300.0)).unwrap();
+        let _ = extra;
+        carried.sync(&c);
+        let mut fresh = FeasibilityIndex::new();
+        fresh.sync(&c);
+        assert_eq!(carried.free, fresh.free);
+        assert_eq!(carried.ready, fresh.ready);
+        assert_eq!(carried.census, fresh.census);
+        assert_eq!(carried.census_total, fresh.census_total);
+        assert_eq!(carried.app_pods, fresh.app_pods);
+        assert_eq!(carried.fit_keys, fresh.fit_keys);
+        assert_eq!(carried.fit_floor, fresh.fit_floor);
+        assert_eq!(carried.preempt_keys, fresh.preempt_keys);
+        assert_eq!(carried.preempt_floor, fresh.preempt_floor);
+    }
+
+    #[test]
+    fn all_feasible_cluster_enumerates_in_constant_probes() {
+        // 64 identical empty nodes: the root's min already fits, so the
+        // whole leaf range is emitted from a single probe.
+        let c = cluster(64);
+        let mut idx = FeasibilityIndex::new();
+        idx.sync(&c);
+        idx.enumerate_fit(&ResourceVec::splat(100.0));
+        assert_eq!(idx.candidates(), (0..64).collect::<Vec<_>>());
+        assert_eq!(idx.probes(), 1);
+    }
+
+    #[test]
+    fn tentative_ops_are_reconciled_at_next_sync() {
+        let mut c = cluster(4);
+        bind(&mut c, 0, 500.0, 10, 0);
+        let mut idx = FeasibilityIndex::new();
+        idx.sync(&c);
+        // A tentative placement the driver then *fails* to apply: no
+        // cluster version moves, but the taint list must restore truth.
+        let tentative = spec(1, 200.0, 50);
+        idx.place(2, &tentative);
+        assert_eq!(idx.free(2), ResourceVec::splat(750.0));
+        idx.sync(&c);
+        assert_eq!(idx.free(2), ResourceVec::splat(950.0));
+        assert_eq!(idx.app_count(2, 1), 0);
+    }
+
+    #[test]
+    fn claim_and_unclaim_round_trip_census() {
+        let mut c = cluster(2);
+        bind(&mut c, 0, 600.0, 10, 0);
+        let mut idx = FeasibilityIndex::new();
+        idx.sync(&c);
+        let req = ResourceVec::splat(600.0);
+        assert!(idx.census_could_free(0, 50, &ResourceVec::splat(900.0)));
+        assert!(!idx.census_could_free(0, 10, &ResourceVec::splat(900.0)), "no lower priority");
+        idx.claim_victim(0, 0, 10, &req);
+        assert_eq!(idx.free(0), ResourceVec::splat(950.0));
+        assert!(!idx.census_could_free(0, 50, &ResourceVec::splat(951.0)));
+        idx.unclaim_victim(0, 0, 10, &req);
+        assert_eq!(idx.free(0), ResourceVec::splat(350.0));
+        assert!(idx.census_could_free(0, 50, &ResourceVec::splat(900.0)));
+    }
+
+    #[test]
+    fn unready_nodes_never_enumerate() {
+        let mut c = cluster(3);
+        c.set_node_ready(NodeId::new(0), false).unwrap();
+        let mut idx = FeasibilityIndex::new();
+        idx.sync(&c);
+        idx.enumerate_fit(&ResourceVec::ZERO);
+        assert_eq!(idx.candidates(), &[1, 2]);
+        idx.enumerate_preempt(&ResourceVec::ZERO);
+        assert_eq!(idx.candidates(), &[1, 2]);
+    }
+
+    #[test]
+    fn single_node_tree_works() {
+        let c = cluster(1);
+        let mut idx = FeasibilityIndex::new();
+        idx.sync(&c);
+        idx.enumerate_fit(&ResourceVec::splat(900.0));
+        assert_eq!(idx.candidates(), &[0]);
+        idx.enumerate_fit(&ResourceVec::splat(951.0));
+        assert!(idx.candidates().is_empty());
+    }
+}

@@ -41,9 +41,11 @@
 #![warn(missing_docs)]
 
 mod framework;
+mod index;
 mod plugins;
 
 pub use framework::{RequeueBackoff, SchedulePlan, SchedulerFramework};
+pub use index::FeasibilityIndex;
 pub use plugins::{
     BalancedAllocation, FilterPlugin, LeastAllocated, MostAllocated, NodeFits, ScorePlugin,
     SpreadApp,

@@ -34,6 +34,14 @@ pub trait FilterPlugin: Send + Sync {
     fn name(&self) -> &'static str;
     /// `true` when the node can host the pod.
     fn feasible(&self, pod: &PodSpec, view: &NodeView<'_>) -> bool;
+    /// `true` when this filter is *exactly* "the node is ready and the
+    /// request fits within shadow free capacity" — the predicate the
+    /// feasibility index's fit tree answers. The framework only routes a
+    /// cycle through the index when its leading filter certifies this;
+    /// any other filter must keep the default `false`.
+    fn prunes_capacity_fit(&self) -> bool {
+        false
+    }
 }
 
 /// Preference score in `[0, 1]`; higher is better.
@@ -55,6 +63,9 @@ impl FilterPlugin for NodeFits {
     }
     fn feasible(&self, pod: &PodSpec, view: &NodeView<'_>) -> bool {
         view.node.is_ready() && pod.request.fits_within(&view.free)
+    }
+    fn prunes_capacity_fit(&self) -> bool {
+        true
     }
 }
 

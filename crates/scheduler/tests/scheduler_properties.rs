@@ -2,8 +2,9 @@
 //! no double-booking, full accounting of every pending pod, and
 //! preemptions that strictly respect priority.
 
-use evolve_scheduler::SchedulerFramework;
+use evolve_scheduler::{FeasibilityIndex, RequeueBackoff, SchedulerFramework};
 use evolve_sim::{ClusterConfig, ClusterState, NodeShape, PodKind, PodPhase, PodSpec};
+use evolve_telemetry::trace::TraceRing;
 use evolve_types::{AppId, JobId, PodId, ResourceVec, SimTime};
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -140,5 +141,101 @@ proptest! {
             "partial gang: {} of {gang_size}",
             plan.bindings.len()
         );
+    }
+
+    /// The feasibility index is an *index*, not a policy: with it on or
+    /// off, the cycle must pick placement-identical nodes and identical
+    /// preemption victims, in the same order.
+    #[test]
+    fn indexed_plan_is_identical_to_naive_scan(
+        pods in arb_pods(),
+        bound in prop::collection::vec(((200.0..5_000.0f64), (0i32..40)), 0..14),
+        nodes in 1usize..7,
+    ) {
+        let mut cluster = build_cluster(nodes, &pods);
+        // Pre-bind low-priority filler first-fit so preemption engages.
+        for (i, (cpu, priority)) in bound.iter().enumerate() {
+            let request = ResourceVec::new(*cpu, 512.0, 1.0, 1.0);
+            let pod = cluster.create_pod(
+                PodSpec::new(
+                    PodKind::ServiceReplica { app: AppId::new(90) },
+                    request,
+                    *priority,
+                ),
+                SimTime::from_micros(10_000 + i as u64),
+            );
+            match cluster.nodes().iter().find(|n| n.can_fit(&request)).map(evolve_sim::Node::id) {
+                Some(node) => {
+                    cluster.bind_pod(pod, node).expect("fits");
+                }
+                None => {
+                    cluster.terminate_pod(pod, PodPhase::Failed("setup".into())).expect("terminates");
+                }
+            }
+        }
+        let indexed = SchedulerFramework::evolve_default()
+            .with_index(true)
+            .schedule_cycle(&cluster);
+        let naive = SchedulerFramework::evolve_default()
+            .with_index(false)
+            .schedule_cycle(&cluster);
+        prop_assert_eq!(&indexed.bindings, &naive.bindings);
+        prop_assert_eq!(&indexed.preemptions, &naive.preemptions);
+        prop_assert_eq!(&indexed.unschedulable, &naive.unschedulable);
+    }
+
+    /// Carrying one index across cycles (version-diff sync instead of a
+    /// rebuild) must stay plan-identical to a naive scan from scratch,
+    /// even as bindings, terminations and readiness flips accumulate.
+    #[test]
+    fn carried_index_matches_naive_across_cycles(
+        waves in prop::collection::vec(arb_pods(), 1..4),
+        flip in any::<bool>(),
+        nodes in 2usize..6,
+    ) {
+        let mut cluster =
+            ClusterState::new(&ClusterConfig::uniform(nodes, NodeShape::default()));
+        let indexed_fw = SchedulerFramework::evolve_default().with_index(true);
+        let naive_fw = SchedulerFramework::evolve_default().with_index(false);
+        let mut index = FeasibilityIndex::new();
+        let mut backoff = RequeueBackoff::new();
+        let mut trace = TraceRing::new(0);
+        for (cycle, wave) in waves.iter().enumerate() {
+            for (i, (app, cpu, priority, _)) in wave.iter().enumerate() {
+                cluster.create_pod(
+                    PodSpec::new(
+                        PodKind::ServiceReplica { app: AppId::new(*app) },
+                        ResourceVec::new(*cpu, cpu * 2.0, cpu / 100.0, cpu / 50.0),
+                        *priority,
+                    ),
+                    SimTime::from_micros((cycle * 1_000 + i) as u64),
+                );
+            }
+            if flip && cycle == 1 {
+                let id = cluster.nodes()[nodes - 1].id();
+                cluster.set_node_ready(id, false).expect("flips");
+            }
+            let at = SimTime::from_micros(cycle as u64);
+            let carried =
+                indexed_fw.schedule_cycle_carried(&cluster, &mut backoff, &mut index, at, &mut trace);
+            // Every unplaced pod is terminated below, so the carried
+            // backoff never defers anything and the naive cycle (which
+            // starts from fresh backoff) sees the same queue.
+            let naive = naive_fw.schedule_cycle(&cluster);
+            prop_assert_eq!(&carried.bindings, &naive.bindings);
+            prop_assert_eq!(&carried.preemptions, &naive.preemptions);
+            prop_assert_eq!(&carried.unschedulable, &naive.unschedulable);
+            // Apply the carried plan: victims out, bindings in.
+            for victim in &carried.preemptions {
+                cluster.terminate_pod(*victim, PodPhase::Failed("preempted".into())).expect("evicts");
+            }
+            for (pod, node) in &carried.bindings {
+                cluster.bind_pod(*pod, *node).expect("carried plan binding must be valid");
+            }
+            for pod in &carried.unschedulable {
+                cluster.terminate_pod(*pod, PodPhase::Failed("unplaced".into())).expect("terminates");
+            }
+            cluster.check_invariants();
+        }
     }
 }

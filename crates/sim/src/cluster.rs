@@ -58,6 +58,17 @@ pub struct ClusterState {
     running_count: u32,
     /// Pods currently `Pending` or `Starting`.
     waiting_count: u32,
+    /// Monotone mutation counter, bumped whenever any node's scheduling-
+    /// relevant state (allocation, bound set, readiness) changes. The
+    /// scheduler's feasibility index diffs against this instead of
+    /// rebuilding its per-node mirrors every cycle.
+    version: u64,
+    /// Per-node mutation counters (same events as `version`, node-scoped).
+    node_versions: Vec<u64>,
+    /// Bound (resource-holding) pod count per priority. Lets the
+    /// scheduler bail out of preemption in O(1) when no pod of strictly
+    /// lower priority exists anywhere in the cluster.
+    bound_by_priority: BTreeMap<i32, u32>,
 }
 
 impl ClusterState {
@@ -71,11 +82,58 @@ impl ClusterState {
             .map(|(i, shape)| Node::new(NodeId::new(i as u32), shape.capacity))
             .collect();
         ClusterState {
+            node_versions: vec![0; config.nodes.len()],
             nodes,
             pods: BTreeMap::new(),
             next_pod: 0,
             running_count: 0,
             waiting_count: 0,
+            version: 0,
+            bound_by_priority: BTreeMap::new(),
+        }
+    }
+
+    /// Global mutation counter: changes whenever any node's scheduling-
+    /// relevant state changed. Equal versions imply nothing a scheduler
+    /// feasibility index mirrors has moved.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Per-node mutation counter (see [`ClusterState::version`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics for node indices outside the cluster.
+    #[must_use]
+    pub fn node_version(&self, node: usize) -> u64 {
+        self.node_versions[node]
+    }
+
+    /// Bound (resource-holding) pods with priority strictly below
+    /// `priority`, maintained in O(1) per bind/unbind. Zero means
+    /// preemption on behalf of a `priority` pod cannot possibly succeed.
+    #[must_use]
+    pub fn bound_pods_below(&self, priority: i32) -> u64 {
+        self.bound_by_priority.range(..priority).map(|(_, c)| u64::from(*c)).sum()
+    }
+
+    fn bump_node(&mut self, node: usize) {
+        self.version += 1;
+        self.node_versions[node] += 1;
+    }
+
+    fn census_bind(&mut self, priority: i32) {
+        *self.bound_by_priority.entry(priority).or_insert(0) += 1;
+    }
+
+    fn census_unbind(&mut self, priority: i32) {
+        if let Some(c) = self.bound_by_priority.get_mut(&priority) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                self.bound_by_priority.remove(&priority);
+            }
         }
     }
 
@@ -156,6 +214,9 @@ impl ClusterState {
         let pod = self.pods.get_mut(&pod_id).expect("checked above");
         pod.node = Some(node_id);
         pod.phase = PodPhase::Starting;
+        let priority = pod.spec.priority;
+        self.bump_node(node_id.as_usize());
+        self.census_bind(priority);
         Ok(())
     }
 
@@ -187,9 +248,11 @@ impl ClusterState {
         if pod.phase.is_terminal() {
             return Err(Error::InvalidState(format!("{pod_id} already terminal")));
         }
+        let mut released: Option<(usize, i32)> = None;
         if let Some(node_id) = pod.node.take() {
             if pod.phase.holds_resources() {
                 self.nodes[node_id.as_usize()].unbind(pod_id, pod.spec.request);
+                released = Some((node_id.as_usize(), pod.spec.priority));
             }
         }
         match pod.phase {
@@ -197,6 +260,10 @@ impl ClusterState {
             _ => self.waiting_count -= 1,
         }
         pod.phase = phase;
+        if let Some((node, priority)) = released {
+            self.bump_node(node);
+            self.census_unbind(priority);
+        }
         Ok(())
     }
 
@@ -255,6 +322,7 @@ impl ClusterState {
         }
         node.adjust(old_request, new_request);
         self.pods.get_mut(&pod_id).expect("checked above").spec.request = new_request;
+        self.bump_node(node_id.as_usize());
         Ok(())
     }
 
@@ -303,12 +371,15 @@ impl ClusterState {
         }
         node.set_ready(ready);
         if ready {
+            self.bump_node(node_id.as_usize());
             return Ok(Vec::new());
         }
         let victims: Vec<PodId> = node.pods().iter().copied().collect();
+        self.bump_node(node_id.as_usize());
         for pod_id in &victims {
             let pod = self.pods.get_mut(pod_id).expect("node pod set is consistent");
-            if pod.phase.holds_resources() {
+            let released = pod.phase.holds_resources().then_some(pod.spec.priority);
+            if released.is_some() {
                 self.nodes[node_id.as_usize()].unbind(*pod_id, pod.spec.request);
             }
             match pod.phase {
@@ -319,6 +390,9 @@ impl ClusterState {
             pod.node = None;
             pod.phase = PodPhase::Failed("node unready".into());
             pod.started = None;
+            if let Some(priority) = released {
+                self.census_unbind(priority);
+            }
         }
         Ok(victims)
     }
@@ -355,17 +429,27 @@ impl ClusterState {
         let mut out = Vec::new();
         let mut running = 0u32;
         let mut waiting = 0u32;
+        let mut by_priority: BTreeMap<i32, u32> = BTreeMap::new();
         for pod in self.pods.values() {
             match pod.phase {
                 PodPhase::Running => running += 1,
                 PodPhase::Pending | PodPhase::Starting => waiting += 1,
                 _ => {}
             }
+            if pod.phase.holds_resources() {
+                *by_priority.entry(pod.spec.priority).or_insert(0) += 1;
+            }
         }
         if (running, waiting) != (self.running_count, self.waiting_count) {
             out.push(format!(
                 "maintained phase counts diverged from pod table: ({running}, {waiting}) vs ({}, {})",
                 self.running_count, self.waiting_count
+            ));
+        }
+        if by_priority != self.bound_by_priority {
+            out.push(format!(
+                "maintained per-priority bound census diverged from pod table: {by_priority:?} vs {:?}",
+                self.bound_by_priority
             ));
         }
         for node in &self.nodes {
@@ -539,6 +623,70 @@ mod tests {
         // The victim can be requeued and rescheduled.
         c.requeue_pod(a, SimTime::from_secs(9)).unwrap();
         c.bind_pod(a, NodeId::new(0)).unwrap();
+        c.check_invariants();
+    }
+
+    #[test]
+    fn versions_track_node_mutations() {
+        let mut c = cluster();
+        let v0 = c.version();
+        let a = c.create_pod(spec(100.0), SimTime::ZERO);
+        assert_eq!(c.version(), v0, "pod creation touches no node");
+        c.bind_pod(a, NodeId::new(0)).unwrap();
+        assert!(c.version() > v0);
+        assert!(c.node_version(0) > 0);
+        assert_eq!(c.node_version(1), 0, "other nodes unversioned");
+        let v1 = c.version();
+        c.start_pod(a, SimTime::from_secs(1)).unwrap();
+        assert_eq!(c.version(), v1, "phase flip changes no allocation");
+        c.terminate_pod(a, PodPhase::Succeeded).unwrap();
+        assert!(c.version() > v1);
+    }
+
+    #[test]
+    fn versions_track_resize_and_readiness() {
+        let mut c = cluster();
+        let a = c.create_pod(spec(100.0).with_limit(ResourceVec::splat(500.0)), SimTime::ZERO);
+        c.bind_pod(a, NodeId::new(0)).unwrap();
+        let v = c.node_version(0);
+        c.resize_pod(a, ResourceVec::splat(200.0)).unwrap();
+        assert!(c.node_version(0) > v);
+        let v = c.node_version(0);
+        c.set_node_ready(NodeId::new(0), false).unwrap();
+        assert!(c.node_version(0) > v);
+    }
+
+    #[test]
+    fn bound_priority_census_tracks_lifecycle() {
+        let mut c = cluster();
+        let lo = c.create_pod(
+            PodSpec::new(
+                PodKind::ServiceReplica { app: AppId::new(0) },
+                ResourceVec::splat(10.0),
+                10,
+            ),
+            SimTime::ZERO,
+        );
+        let hi = c.create_pod(
+            PodSpec::new(
+                PodKind::ServiceReplica { app: AppId::new(1) },
+                ResourceVec::splat(10.0),
+                100,
+            ),
+            SimTime::ZERO,
+        );
+        assert_eq!(c.bound_pods_below(100), 0, "pending pods are not bound");
+        c.bind_pod(lo, NodeId::new(0)).unwrap();
+        c.bind_pod(hi, NodeId::new(1)).unwrap();
+        assert_eq!(c.bound_pods_below(100), 1);
+        assert_eq!(c.bound_pods_below(11), 1);
+        assert_eq!(c.bound_pods_below(10), 0);
+        c.check_invariants();
+        c.terminate_pod(lo, PodPhase::Succeeded).unwrap();
+        assert_eq!(c.bound_pods_below(100), 0);
+        // Eviction through node failure also updates the census.
+        c.set_node_ready(NodeId::new(1), false).unwrap();
+        assert_eq!(c.bound_pods_below(i32::MAX), 0);
         c.check_invariants();
     }
 

@@ -630,6 +630,85 @@ impl Scenario {
         }
     }
 
+    /// **T8 cluster scale** — the scheduler-stress regime: static-sized
+    /// pods packing every node to its slot capacity, with an
+    /// oversubscribed batch backlog keeping a persistent pending queue
+    /// and steady completion churn.
+    ///
+    /// Sized against the default node shape: each pod requests
+    /// (1200 mcore, 4800 MiB, 30, 80), so exactly 12 fit per default
+    /// node (CPU- and memory-bound simultaneously) and the cluster
+    /// offers `12 × nodes` pod slots. Services take ~40% of the slots
+    /// spread over `apps` distinct applications (priority 100); four
+    /// batch jobs (priority 10) offer `8 × nodes` parallel tasks against
+    /// the remaining ~7.2 × nodes slots, so the pending queue never
+    /// drains and every control tick reschedules into a nearly-full
+    /// cluster — the worst case for a full node rescan and the regime
+    /// `tab8_cluster_scale` measures. Batch tasks carry ~5 min of CPU
+    /// work each, so a 5 s tick completes ~2% of the running tasks:
+    /// free slots concentrate on a small fraction of the nodes while
+    /// the backlog keeps probing a cluster that is full everywhere else.
+    ///
+    /// Intended for `KubeStatic`-style static replica management:
+    /// replica counts are chosen here, not by a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` or `apps` is zero.
+    #[must_use]
+    pub fn cluster_scale(nodes: usize, apps: usize, horizon: SimDuration) -> Scenario {
+        assert!(nodes > 0, "need at least one node");
+        assert!(apps > 0, "need at least one service app");
+        let slots = 12 * nodes;
+        let service_pods = (slots * 2).div_ceil(5); // ~40% of slots
+        let per_app = service_pods.div_ceil(apps).max(1) as u32;
+        let pod_alloc = ResourceVec::new(1_200.0, 4_800.0, 30.0, 80.0);
+        let mut mix = WorkloadMix::new();
+        for i in 0..apps {
+            mix = mix.with_service(
+                ServiceSpec::new(
+                    format!("svc-{i}"),
+                    PloSpec::LatencyP99 { target_ms: 250.0 },
+                    class_cpu_bound(),
+                    pod_alloc,
+                )
+                .with_initial_replicas(per_app),
+                LoadSpec::Constant { rate: 2.0 },
+            );
+        }
+        // Four staggered batch jobs; together they offer 8 × nodes
+        // parallel tasks — more than the ~7.2 × nodes free slots — so a
+        // pending backlog persists for the whole horizon. 360 000 mcore·s
+        // of CPU per task at the 1 200 mcore allocation means ~5 min per
+        // task: each tick frees a trickle of slots on scattered nodes
+        // while the rest of the cluster stays packed.
+        let tasks_per_stage = (nodes * 50).max(1) as u32;
+        let max_parallel = (nodes * 2).max(1) as u32;
+        for j in 0..4 {
+            mix = mix.with_batch_job(
+                BatchJobSpec::new(
+                    format!("scan-{j}"),
+                    vec![StageSpec::new(
+                        tasks_per_stage,
+                        ResourceVec::new(360_000.0, 2_048.0, 100.0, 50.0),
+                        100_000,
+                    )],
+                    PloSpec::Deadline { deadline: SimDuration::from_mins(60) },
+                    pod_alloc,
+                    max_parallel,
+                )
+                .with_priority(PriorityClass::Preemptible),
+                SimTime::from_secs(10 + 5 * j),
+            );
+        }
+        Scenario {
+            name: format!("cluster-scale-{nodes}n-{apps}a"),
+            description: "slot-packed nodes with an oversubscribed batch backlog (T8)".into(),
+            mix,
+            horizon,
+        }
+    }
+
     /// **F6 interference** — two latency-critical services colocated with
     /// aggressive batch and HPC work that should harvest only slack.
     #[must_use]
@@ -731,6 +810,7 @@ mod tests {
             Scenario::bottleneck_rotation(),
             Scenario::interference(),
             Scenario::overload(1.5),
+            Scenario::cluster_scale(100, 10, SimDuration::from_mins(2)),
         ];
         for s in presets {
             assert!(!s.mix.is_empty(), "{} empty", s.name);
