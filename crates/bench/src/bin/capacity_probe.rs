@@ -20,7 +20,8 @@
 //! Writes `experiments_out/capacity_probe.csv`.
 
 use evolve::prelude::*;
-use evolve_bench::{cli_seed_count, output_dir, seed_list, smoke_mode};
+use evolve_bench::BenchArgs;
+use evolve_workload::ProbeSpec;
 
 /// A run is sustainable while its service violation rate stays at or
 /// below this. Judged on services only: the scenario's batch jobs run
@@ -76,14 +77,35 @@ fn service_rate(outcome: &RunOutcome) -> f64 {
 }
 
 fn main() {
-    let seeds = seed_list(cli_seed_count(5));
-    let smoke = smoke_mode();
-    // The overload scenario's rates sum to 440 rps at `offered = 1.0`,
-    // sized to saturate ~4 default nodes around 1.5× once controllers
-    // right-size.
-    let (initial, step, max, horizon_secs) =
-        if smoke { (0.5, 0.5, 2.0, 180u64) } else { (0.6, 0.2, 2.2, 480u64) };
-    let nodes = 4;
+    let args = BenchArgs::parse(5);
+    let seeds = &args.seeds;
+    let smoke = args.smoke;
+    // The workload and ramp come from the scenario spec: the builtin
+    // overload spec carries a `[probe]` table (its rates sum to 440 rps
+    // at `offered = 1.0`, sized to saturate ~4 default nodes around 1.5×
+    // once controllers right-size), and `--scenario <file>` swaps in any
+    // spec — specs without a probe table fall back to the default ramp.
+    let base = match args.scenario() {
+        Some(spec) => spec.clone(),
+        None => ScenarioSpec::overload(1.0),
+    };
+    let probe = base.probe.unwrap_or(ProbeSpec {
+        initial: 0.6,
+        step: 0.2,
+        max: 2.2,
+        threshold: SUSTAIN_THRESHOLD,
+        reference_rps: None,
+    });
+    let (initial, step, max, horizon_secs) = if smoke {
+        (0.5, 0.5, 2.0, 180u64)
+    } else {
+        (probe.initial, probe.step, probe.max, 480u64)
+    };
+    let threshold = probe.threshold;
+    let reference_rps = probe.reference_rps.unwrap_or_else(|| base.offered_rps());
+    let nodes = base.cluster.nodes;
+    let node_shape = NodeShape { capacity: base.node_capacity() };
+    let arbiter_config = base.arbiter.as_ref().map(arbiter_from_spec).unwrap_or_default();
 
     let systems = [
         System { name: "kube-static", manager: ManagerKind::KubeStatic, arbiter: None },
@@ -91,7 +113,7 @@ fn main() {
         System {
             name: "evolve+arbiter",
             manager: ManagerKind::Evolve,
-            arbiter: Some(ArbiterConfig::default()),
+            arbiter: Some(arbiter_config),
         },
     ];
 
@@ -124,17 +146,18 @@ fn main() {
     let mut overshoot = 0usize;
     let mut offered = initial;
     while offered <= max + 1e-9 {
-        let mut scenario = Scenario::overload(offered);
+        let mut scenario = base.scaled_loads(offered).build();
         scenario.horizon = SimDuration::from_secs(horizon_secs);
-        let offered_rps = 440.0 * offered;
+        let offered_rps = reference_rps * offered;
         for (i, sys) in systems.iter().enumerate() {
             let mut builder = RunConfig::builder(scenario.clone(), sys.manager.clone())
                 .nodes(nodes)
+                .node_shape(node_shape)
                 .record_series(false);
             if let Some(arb) = sys.arbiter {
                 builder = builder.arbiter(arb);
             }
-            let rep = harness.run_seeds(&builder.build(), &seeds);
+            let rep = harness.run_seeds(&builder.build(), seeds);
             let row = ProbeRow {
                 offered,
                 offered_rps,
@@ -150,7 +173,7 @@ fn main() {
                     .map(|o| f64::from(o.starvation_watermark))
                     .fold(0.0, f64::max),
             };
-            let sustainable = row.service_rate.mean <= SUSTAIN_THRESHOLD;
+            let sustainable = row.service_rate.mean <= threshold;
             if sustainable {
                 bad_streak[i] = 0;
                 // The knee is the highest offered rate a system sustained
@@ -209,8 +232,8 @@ fn main() {
         }
     }
 
-    let dir = output_dir();
-    match write_csv(&dir, "capacity_probe", &table.to_csv()) {
+    let dir = &args.out_dir;
+    match write_csv(dir, "capacity_probe", &table.to_csv()) {
         Ok(()) => println!("\nwrote {}/capacity_probe.csv", dir.display()),
         Err(err) => eprintln!("failed to write CSV: {err}"),
     }

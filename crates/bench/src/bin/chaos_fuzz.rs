@@ -18,8 +18,10 @@
 //! Exit status: 0 when every case is clean (or a replay no longer
 //! fails), 1 when a violation was found (fuzz) or reproduced (replay).
 
+use std::path::Path;
+
 use evolve::prelude::*;
-use evolve_bench::{output_dir, smoke_mode, BASE_SEED};
+use evolve_bench::{BenchArgs, BASE_SEED};
 use evolve_sim::chaos::{plan_from_events, random_fault_events, shrink_events};
 use evolve_types::SimDuration;
 
@@ -82,6 +84,7 @@ fn minimize_and_write(
     nodes: u32,
     events: &[FaultEvent],
     violation: &str,
+    out_dir: &Path,
 ) -> std::path::PathBuf {
     let minimal =
         shrink_events(events, |cand| !run_case(profile, seed, horizon, nodes, cand).is_clean());
@@ -97,9 +100,8 @@ fn minimize_and_write(
         events: minimal,
         violation: fired,
     };
-    let dir = output_dir();
-    let _ = std::fs::create_dir_all(&dir);
-    let path = dir.join("chaos_repro.json");
+    let _ = std::fs::create_dir_all(out_dir);
+    let path = out_dir.join("chaos_repro.json");
     if let Err(err) = std::fs::write(&path, repro.to_json()) {
         eprintln!("warning: failed to write reproducer {}: {err}", path.display());
     }
@@ -151,9 +153,9 @@ fn replay(path: &str) -> i32 {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(i) = args.iter().position(|a| a == "--replay") {
-        let Some(path) = args.get(i + 1) else {
+    let args = BenchArgs::parse(1);
+    if let Some(i) = args.rest.iter().position(|a| a == "--replay") {
+        let Some(path) = args.rest.get(i + 1) else {
             eprintln!("usage: chaos_fuzz --replay <file>");
             std::process::exit(2);
         };
@@ -162,13 +164,11 @@ fn main() {
 
     let parse = |s: &str| s.trim().parse::<usize>().ok().filter(|n| *n > 0);
     let runs = args
-        .first()
-        .map(String::as_str)
-        .and_then(parse)
+        .explicit_count
         .or_else(|| std::env::var("EVOLVE_CHAOS_RUNS").ok().as_deref().and_then(parse))
         .unwrap_or(200);
     let horizon =
-        if smoke_mode() { SimDuration::from_secs(240) } else { SimDuration::from_secs(600) };
+        if args.smoke { SimDuration::from_secs(240) } else { SimDuration::from_secs(600) };
     let nodes = 8u32;
 
     println!("chaos_fuzz: {runs} runs, horizon {}s, {nodes} nodes", horizon.as_secs_f64());
@@ -200,6 +200,7 @@ fn main() {
             case_nodes,
             &events,
             report.failed_checks().first().map_or("unknown", String::as_str),
+            &args.out_dir,
         );
         println!("minimized reproducer written to {}", path.display());
         println!("replay with: chaos_fuzz --replay {}", path.display());

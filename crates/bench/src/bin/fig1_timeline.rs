@@ -10,20 +10,23 @@
 //! ```
 
 use evolve::prelude::*;
-use evolve_bench::{cli_seed_count, output_dir, seed_list};
+use evolve_bench::BenchArgs;
 
 fn main() {
-    let seeds = seed_list(cli_seed_count(5));
+    let args = BenchArgs::parse(5);
+    let seeds = &args.seeds;
     eprintln!("running the diurnal day under EVOLVE ({} seed(s)) …", seeds.len());
-    let rep = Harness::new().run_seeds(
-        &RunConfig::builder(Scenario::single_diurnal(), ManagerKind::Evolve).nodes(6).build(),
-        &seeds,
-    );
+    let config = match args.scenario() {
+        Some(spec) => RunConfig::from_spec(spec, ManagerKind::Evolve),
+        None => RunConfig::builder(Scenario::single_diurnal(), ManagerKind::Evolve).nodes(6),
+    }
+    .build();
+    let rep = Harness::new().run_seeds(&config, seeds);
     let outcome = rep.representative();
     let names =
         ["app0/rate_rps", "app0/replicas", "app0/alloc_cpu", "app0/usage_cpu", "app0/p99_ms"];
     let csv = outcome.registry.wide_csv(&names);
-    if let Err(err) = write_csv(&output_dir(), "fig1_timeline", &csv) {
+    if let Err(err) = write_csv(&args.out_dir, "fig1_timeline", &csv) {
         eprintln!("could not write CSV: {err}");
     }
     println!("\nF1 — diurnal timeline (every 6th control window shown, seed {})\n", rep.seeds[0]);

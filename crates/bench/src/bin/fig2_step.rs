@@ -8,11 +8,12 @@
 //! ```
 
 use evolve::prelude::*;
-use evolve_bench::{cli_seed_count, output_dir, replicated_settling, seed_list};
+use evolve_bench::{replicated_settling, BenchArgs};
 use evolve_core::EvolvePolicyConfig;
 
 fn main() {
-    let seeds = seed_list(cli_seed_count(5));
+    let args = BenchArgs::parse(5);
+    let seeds = &args.seeds;
     let step_at = SimTime::from_secs(240); // from Scenario::step_response
     let target_ms = 100.0;
     let variants: Vec<(&str, ManagerKind)> = vec![
@@ -26,10 +27,16 @@ fn main() {
     // Settling needs the per-tick p99 series, so series stay on.
     let configs: Vec<RunConfig> = variants
         .iter()
-        .map(|(_, m)| RunConfig::builder(Scenario::step_response(4.0), m.clone()).nodes(8).build())
+        .map(|(_, m)| {
+            match args.scenario() {
+                Some(spec) => RunConfig::from_spec(spec, m.clone()),
+                None => RunConfig::builder(Scenario::step_response(4.0), m.clone()).nodes(8),
+            }
+            .build()
+        })
         .collect();
     eprintln!("running {} variants × {} seeds …", configs.len(), seeds.len());
-    let reps = Harness::new().run_matrix(&configs, &seeds);
+    let reps = Harness::new().run_matrix(&configs, seeds);
 
     let mut table = Table::new(
         ["variant", "settle (s)", "overshoot", "viol rate", "windows"].map(String::from).to_vec(),
@@ -60,7 +67,7 @@ fn main() {
     println!("expected shape: adaptive gains settle fastest with the smallest overshoot;");
     println!("fixed gains settle slower (or oscillate); the HPA trails both because it");
     println!("only reacts once CPU-utilization averages move.");
-    if let Err(err) = write_csv(&output_dir(), "fig2_step", &csv) {
+    if let Err(err) = write_csv(&args.out_dir, "fig2_step", &csv) {
         eprintln!("could not write CSV: {err}");
     }
 }

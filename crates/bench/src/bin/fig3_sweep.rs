@@ -9,25 +9,30 @@
 //! ```
 
 use evolve::prelude::*;
-use evolve_bench::{cli_seed_count, output_dir, seed_list};
+use evolve_bench::BenchArgs;
 
 fn main() {
-    let seeds = seed_list(cli_seed_count(5));
+    let args = BenchArgs::parse(5);
+    let seeds = &args.seeds;
     let offered = [0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4];
     let managers = [
         ManagerKind::Evolve,
         ManagerKind::KubeStatic,
         ManagerKind::Hpa { target_utilization: 0.6 },
     ];
-    // One config per (load, manager) cell, all fanned out together.
+    // One config per (load, manager) cell, all fanned out together. With
+    // `--scenario`, the sweep scales the declared load profiles instead
+    // of the builtin load_sweep mix.
     let configs: Vec<RunConfig> = offered
         .iter()
         .flat_map(|x| {
             managers.iter().map(|m| {
-                RunConfig::builder(Scenario::load_sweep(*x), m.clone())
-                    .nodes(10)
-                    .record_series(false)
-                    .build()
+                match args.scenario() {
+                    Some(spec) => RunConfig::from_spec(&spec.scaled_loads(*x), m.clone()),
+                    None => RunConfig::builder(Scenario::load_sweep(*x), m.clone()).nodes(10),
+                }
+                .record_series(false)
+                .build()
             })
         })
         .collect();
@@ -37,7 +42,7 @@ fn main() {
         managers.len(),
         seeds.len()
     );
-    let reps = Harness::new().run_matrix(&configs, &seeds);
+    let reps = Harness::new().run_matrix(&configs, seeds);
 
     let mut table = Table::new({
         let mut h = vec!["offered".to_string()];
@@ -67,7 +72,7 @@ fn main() {
     println!("expected shape: all policies near zero at low load; the static baseline's");
     println!("curve breaks upward first (its fixed request saturates), the HPA next (it");
     println!("scales only on CPU averages), EVOLVE last — and most gently.");
-    if let Err(err) = write_csv(&output_dir(), "fig3_sweep", &csv) {
+    if let Err(err) = write_csv(&args.out_dir, "fig3_sweep", &csv) {
         eprintln!("could not write CSV: {err}");
     }
 }

@@ -8,10 +8,11 @@
 //! ```
 
 use evolve::prelude::*;
-use evolve_bench::{cli_seed_count, output_dir, seed_list};
+use evolve_bench::BenchArgs;
 
 fn main() {
-    let seeds = seed_list(cli_seed_count(5));
+    let args = BenchArgs::parse(5);
+    let seeds = &args.seeds;
     let managers = [
         ManagerKind::Evolve,
         ManagerKind::KubeStatic,
@@ -20,10 +21,16 @@ fn main() {
     // The CSV wants the cluster time series, so series stay on.
     let configs: Vec<RunConfig> = managers
         .iter()
-        .map(|m| RunConfig::builder(Scenario::headline(1.0), m.clone()).build())
+        .map(|m| {
+            match args.scenario() {
+                Some(spec) => RunConfig::from_spec(spec, m.clone()),
+                None => RunConfig::builder(Scenario::headline(1.0), m.clone()),
+            }
+            .build()
+        })
         .collect();
     eprintln!("running {} policies × {} seeds …", configs.len(), seeds.len());
-    let reps = Harness::new().run_matrix(&configs, &seeds);
+    let reps = Harness::new().run_matrix(&configs, seeds);
 
     let mut table = Table::new(
         [
@@ -56,7 +63,7 @@ fn main() {
             "cluster/used_cpu_share",
             "cluster/pods_pending",
         ]);
-        if let Err(err) = write_csv(&output_dir(), &format!("fig4_utilization_{label}"), &csv) {
+        if let Err(err) = write_csv(&args.out_dir, &format!("fig4_utilization_{label}"), &csv) {
             eprintln!("could not write CSV: {err}");
         }
     }

@@ -7,10 +7,11 @@
 //! ```
 
 use evolve::prelude::*;
-use evolve_bench::{cli_seed_count, output_dir, replicated_settling, seed_list};
+use evolve_bench::{replicated_settling, BenchArgs};
 
 fn main() {
-    let seeds = seed_list(cli_seed_count(5));
+    let args = BenchArgs::parse(5);
+    let seeds = &args.seeds;
     let spike_at = SimTime::from_secs(120);
     let target_ms = 100.0;
     let managers = [
@@ -21,10 +22,16 @@ fn main() {
     // Recovery analysis needs the per-tick p99 series, so series stay on.
     let configs: Vec<RunConfig> = managers
         .iter()
-        .map(|m| RunConfig::builder(Scenario::flash_crowd(5.0), m.clone()).nodes(8).build())
+        .map(|m| {
+            match args.scenario() {
+                Some(spec) => RunConfig::from_spec(spec, m.clone()),
+                None => RunConfig::builder(Scenario::flash_crowd(5.0), m.clone()).nodes(8),
+            }
+            .build()
+        })
         .collect();
     eprintln!("running {} policies × {} seeds …", configs.len(), seeds.len());
-    let reps = Harness::new().run_matrix(&configs, &seeds);
+    let reps = Harness::new().run_matrix(&configs, seeds);
 
     let mut table = Table::new(
         ["policy", "recovery (s)", "worst p99", "timeouts", "viol rate"].map(String::from).to_vec(),
@@ -58,7 +65,7 @@ fn main() {
     println!("resize absorbs the first seconds, replicas follow); the HPA needs its");
     println!("utilization averages to move; the static baseline never recovers until the");
     println!("spike ends.");
-    if let Err(err) = write_csv(&output_dir(), "fig5_flashcrowd", &csv) {
+    if let Err(err) = write_csv(&args.out_dir, "fig5_flashcrowd", &csv) {
         eprintln!("could not write CSV: {err}");
     }
 }

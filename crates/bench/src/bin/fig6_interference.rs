@@ -10,7 +10,7 @@
 //! ```
 
 use evolve::prelude::*;
-use evolve_bench::{cli_seed_count, output_dir, seed_list};
+use evolve_bench::BenchArgs;
 use evolve_workload::WorldClass;
 
 fn svc_violation_rate(r: &RunOutcome) -> f64 {
@@ -27,7 +27,8 @@ fn svc_violation_rate(r: &RunOutcome) -> f64 {
 }
 
 fn main() {
-    let seeds = seed_list(cli_seed_count(5));
+    let args = BenchArgs::parse(5);
+    let seeds = &args.seeds;
     let variants: Vec<(&str, ManagerKind, SchedulerProfile)> = vec![
         ("evolve + preemption", ManagerKind::Evolve, SchedulerProfile::Evolve),
         ("evolve, no preemption", ManagerKind::Evolve, SchedulerProfile::KubeDefault),
@@ -36,15 +37,17 @@ fn main() {
     let configs: Vec<RunConfig> = variants
         .iter()
         .map(|(_, manager, profile)| {
-            RunConfig::builder(Scenario::interference(), manager.clone())
-                .nodes(10)
-                .scheduler(*profile)
-                .record_series(false)
-                .build()
+            match args.scenario() {
+                Some(spec) => RunConfig::from_spec(spec, manager.clone()),
+                None => RunConfig::builder(Scenario::interference(), manager.clone()).nodes(10),
+            }
+            .scheduler(*profile)
+            .record_series(false)
+            .build()
         })
         .collect();
     eprintln!("running {} variants × {} seeds …", configs.len(), seeds.len());
-    let reps = Harness::new().run_matrix(&configs, &seeds);
+    let reps = Harness::new().run_matrix(&configs, seeds);
 
     let mut table = Table::new(
         [
@@ -88,7 +91,7 @@ fn main() {
     println!("expected shape: with preemption the services stay compliant and batch still");
     println!("finishes (harvesting slack, losing some work to preemption); without it, the");
     println!("services suffer when batch got there first.");
-    if let Err(err) = write_csv(&output_dir(), "fig6_interference", &table.to_csv()) {
+    if let Err(err) = write_csv(&args.out_dir, "fig6_interference", &table.to_csv()) {
         eprintln!("could not write CSV: {err}");
     }
 }

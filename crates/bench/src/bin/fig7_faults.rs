@@ -10,28 +10,40 @@
 //! ```
 
 use evolve::prelude::*;
-use evolve_bench::{cli_seed_count, output_dir, seed_list, smoke_mode};
+use evolve_bench::BenchArgs;
 
 fn main() {
-    let seeds = seed_list(cli_seed_count(5));
-    let smoke = smoke_mode();
+    let args = BenchArgs::parse(5);
+    let seeds = &args.seeds;
+    let smoke = args.smoke;
     let (horizon, crash_at, downtime) =
         if smoke { (360u64, 120u64, 90u64) } else { (720u64, 240u64, 120u64) };
-    let faults = FaultPlan::new().with_node_crash(
-        NodeId::new(0),
-        SimTime::from_secs(crash_at),
-        Some(SimDuration::from_secs(downtime)),
-    );
-    let mut config = RunConfig::builder(Scenario::single_diurnal(), ManagerKind::Evolve)
-        .nodes(6)
-        .faults(faults)
-        .build();
-    config.scenario.horizon = SimDuration::from_secs(horizon);
+    // With `--scenario`, the spec's own `[[fault]]` plan (and cluster
+    // shape) replaces the builtin crash schedule.
+    let mut config = match args.scenario() {
+        Some(spec) => RunConfig::from_spec(spec, ManagerKind::Evolve).build(),
+        None => {
+            let faults = FaultPlan::new().with_node_crash(
+                NodeId::new(0),
+                SimTime::from_secs(crash_at),
+                Some(SimDuration::from_secs(downtime)),
+            );
+            let mut config = RunConfig::builder(Scenario::single_diurnal(), ManagerKind::Evolve)
+                .nodes(6)
+                .faults(faults)
+                .build();
+            config.scenario.horizon = SimDuration::from_secs(horizon);
+            config
+        }
+    };
+    if smoke {
+        config.scenario.horizon = config.scenario.horizon.min(SimDuration::from_secs(horizon));
+    }
     eprintln!(
         "EVOLVE through a node crash at t={crash_at} s ({downtime} s down, {} seed(s)) …",
         seeds.len()
     );
-    let rep = Harness::new().run_seeds(&config, &seeds);
+    let rep = Harness::new().run_seeds(&config, seeds);
     let outcome = rep.representative();
     let names = [
         "app0/p99_ms",
@@ -41,7 +53,7 @@ fn main() {
         "cluster/pods_pending",
     ];
     let csv = outcome.registry.wide_csv(&names);
-    if let Err(err) = write_csv(&output_dir(), "fig7_faults", &csv) {
+    if let Err(err) = write_csv(&args.out_dir, "fig7_faults", &csv) {
         eprintln!("could not write CSV: {err}");
     }
     println!(

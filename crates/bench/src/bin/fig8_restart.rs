@@ -10,11 +10,12 @@
 //! ```
 
 use evolve::prelude::*;
-use evolve_bench::{cli_seed_count, output_dir, seed_list, smoke_mode};
+use evolve_bench::BenchArgs;
 
 fn main() {
-    let seeds = seed_list(cli_seed_count(1));
-    let smoke = smoke_mode();
+    let args = BenchArgs::parse(1);
+    let seeds = &args.seeds;
+    let smoke = args.smoke;
     let (horizon, crash_at) = if smoke { (360u64, 180u64) } else { (720u64, 360u64) };
     let crash_plan = || FaultPlan::new().with_controller_crash(SimTime::from_secs(crash_at));
     let cases: [(&str, FaultPlan, RecoveryStrategy); 4] = [
@@ -30,14 +31,19 @@ fn main() {
     );
     println!("{:>18} {:>8} {:>9} {:>9} {:>11}", "strategy", "t (s)", "p99 ms", "replicas", "alloc");
     for (name, plan, recovery) in &cases {
-        let mut config = RunConfig::builder(Scenario::single_diurnal(), ManagerKind::Evolve)
-            .nodes(6)
-            .faults(plan.clone())
-            .recovery(*recovery)
-            .build();
+        // With `--scenario`, the spec supplies the workload and cluster
+        // shape; each case still overrides the fault plan and recovery
+        // strategy (that is the comparison under test).
+        let mut config = match args.scenario() {
+            Some(spec) => RunConfig::from_spec(spec, ManagerKind::Evolve),
+            None => RunConfig::builder(Scenario::single_diurnal(), ManagerKind::Evolve).nodes(6),
+        }
+        .faults(plan.clone())
+        .recovery(*recovery)
+        .build();
         config.scenario.horizon = SimDuration::from_secs(horizon);
         eprintln!("{name} …");
-        let rep = Harness::new().run_seeds(&config, &seeds);
+        let rep = Harness::new().run_seeds(&config, seeds);
         let outcome = rep.representative();
         let get = |n: &str| outcome.registry.series(n).map(|s| s.to_points()).unwrap_or_default();
         let p99 = get("app0/p99_ms");
@@ -66,7 +72,7 @@ fn main() {
     println!("cold reconstruction holds the pre-crash allocation and re-converges within a");
     println!("bounded window; naive reset drops replicas to the spec default at the crash,");
     println!("p99 spikes, and the controller re-learns the load from scratch.");
-    if let Err(err) = write_csv(&output_dir(), "fig8_restart", &csv) {
+    if let Err(err) = write_csv(&args.out_dir, "fig8_restart", &csv) {
         eprintln!("could not write CSV: {err}");
     }
     println!("CSV: experiments_out/fig8_restart.csv");

@@ -36,7 +36,7 @@
 //!   working directory).
 
 use evolve::prelude::*;
-use evolve_bench::{smoke_mode, BASE_SEED};
+use evolve_bench::{BenchArgs, BASE_SEED};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -100,9 +100,11 @@ fn print_perf(label: &str, p: &RunPerf) {
 }
 
 fn main() -> ExitCode {
-    let iters: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).filter(|n| *n > 0).unwrap_or(3);
-    let smoke = smoke_mode();
+    let args = BenchArgs::parse(3);
+    // The positional count sets the number of timed iterations here (no
+    // simulation RNG is involved, so there is no seed set to speak of).
+    let iters = args.seed_count();
+    let smoke = args.smoke;
     let profile = env_or("EVOLVE_PERF_SCENARIO", "headline");
     let scaled = match profile.as_str() {
         "headline" => false,

@@ -9,10 +9,11 @@
 //! ```
 
 use evolve::prelude::*;
-use evolve_bench::{cli_seed_count, headline_headers, headline_summary_row, output_dir, seed_list};
+use evolve_bench::{headline_headers, headline_summary_row, BenchArgs};
 
 fn main() {
-    let seeds = seed_list(cli_seed_count(5));
+    let args = BenchArgs::parse(5);
+    let seeds = &args.seeds;
     let managers = [
         ManagerKind::Evolve,
         ManagerKind::KubeStatic,
@@ -22,11 +23,16 @@ fn main() {
     let configs: Vec<RunConfig> = managers
         .iter()
         .map(|m| {
-            RunConfig::builder(Scenario::headline(1.0), m.clone()).record_series(false).build()
+            match args.scenario() {
+                Some(spec) => RunConfig::from_spec(spec, m.clone()),
+                None => RunConfig::builder(Scenario::headline(1.0), m.clone()),
+            }
+            .record_series(false)
+            .build()
         })
         .collect();
     eprintln!("running {} policies × {} seeds …", configs.len(), seeds.len());
-    let reps = Harness::new().run_matrix(&configs, &seeds);
+    let reps = Harness::new().run_matrix(&configs, seeds);
 
     let mut table = Table::new(headline_headers());
     let mut evolve_rate = None;
@@ -51,7 +57,7 @@ fn main() {
             println!("EVOLVE had zero violation windows (stock Kubernetes: {k:.3})");
         }
     }
-    if let Err(err) = write_csv(&output_dir(), "tab1_headline", &table.to_csv()) {
+    if let Err(err) = write_csv(&args.out_dir, "tab1_headline", &table.to_csv()) {
         eprintln!("could not write CSV: {err}");
     }
 }

@@ -11,7 +11,7 @@
 //! ```
 
 use evolve::prelude::*;
-use evolve_bench::{cli_seed_count, output_dir, seed_list};
+use evolve_bench::BenchArgs;
 use evolve_workload::{WorkloadMix, WorldClass};
 
 /// Splits the headline mix into per-world scenarios.
@@ -110,7 +110,8 @@ fn summary_row(label: &str, samples: &[DeploymentSample], table: &mut Table) {
 }
 
 fn main() {
-    let seeds = seed_list(cli_seed_count(5));
+    let args = BenchArgs::parse(5);
+    let seeds = args.seeds.clone();
     let harness = Harness::new();
     let mut table = Table::new(
         [
@@ -127,13 +128,13 @@ fn main() {
     );
 
     eprintln!("running converged (20 nodes) × {} seeds …", seeds.len());
-    let converged = harness.run_seeds(
-        &RunConfig::builder(Scenario::headline(1.0), ManagerKind::Evolve)
-            .nodes(20)
-            .record_series(false)
-            .build(),
-        &seeds,
-    );
+    let converged_config = match args.scenario() {
+        Some(spec) => RunConfig::from_spec(spec, ManagerKind::Evolve),
+        None => RunConfig::builder(Scenario::headline(1.0), ManagerKind::Evolve).nodes(20),
+    }
+    .record_series(false)
+    .build();
+    let converged = harness.run_seeds(&converged_config, &seeds);
     let converged_samples: Vec<DeploymentSample> =
         converged.runs.iter().map(converged_sample).collect();
     summary_row("converged-20", &converged_samples, &mut table);
@@ -175,7 +176,7 @@ fn main() {
         agg(&converged_samples).display(3),
         agg(&silo_samples).display(3)
     );
-    if let Err(err) = write_csv(&output_dir(), "tab2_convergence", &table.to_csv()) {
+    if let Err(err) = write_csv(&args.out_dir, "tab2_convergence", &table.to_csv()) {
         eprintln!("could not write CSV: {err}");
     }
 }

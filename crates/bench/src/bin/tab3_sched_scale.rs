@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use evolve_bench::{cli_seed_count, output_dir, smoke_mode};
+use evolve_bench::BenchArgs;
 use evolve_core::{write_csv, Summary, Table};
 use evolve_scheduler::SchedulerFramework;
 use evolve_sim::{ClusterConfig, ClusterState, NodeShape, PodKind, PodSpec};
@@ -43,7 +43,8 @@ fn populated_cluster(nodes: usize, fill: f64, pending: usize) -> ClusterState {
 }
 
 fn main() {
-    let reps = cli_seed_count(5);
+    let args = BenchArgs::parse(5);
+    let reps = args.seed_count();
     let mut table = Table::new(
         ["profile", "nodes", "pending", "bound", "cycle ms", "pods/s", "µs/pod"]
             .map(String::from)
@@ -51,7 +52,7 @@ fn main() {
     );
     let pending = 500usize;
     let grid: &[usize] =
-        if smoke_mode() { &[100, 250] } else { &[100, 250, 500, 1_000, 2_500, 5_000] };
+        if args.smoke { &[100, 250] } else { &[100, 250, 500, 1_000, 2_500, 5_000] };
     for profile_name in ["kube-default", "evolve"] {
         for &nodes in grid {
             let cluster = populated_cluster(nodes, 0.5, pending);
@@ -87,7 +88,7 @@ fn main() {
     }
     println!("\nT3 — scheduling one 500-pod cycle on half-full clusters ({reps} timed rep(s))\n");
     println!("{table}");
-    if let Err(err) = write_csv(&output_dir(), "tab3_sched_scale", &table.to_csv()) {
+    if let Err(err) = write_csv(&args.out_dir, "tab3_sched_scale", &table.to_csv()) {
         eprintln!("could not write CSV: {err}");
     }
 }

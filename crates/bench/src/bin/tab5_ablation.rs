@@ -9,11 +9,12 @@
 //! ```
 
 use evolve::prelude::*;
-use evolve_bench::{cli_seed_count, output_dir, seed_list};
+use evolve_bench::BenchArgs;
 use evolve_core::EvolvePolicyConfig;
 
 fn main() {
-    let seeds = seed_list(cli_seed_count(5));
+    let args = BenchArgs::parse(5);
+    let seeds = &args.seeds;
     let variants: Vec<(&str, ManagerKind)> = vec![
         ("evolve (full)", ManagerKind::Evolve),
         ("evolve cpu-only", ManagerKind::EvolveWith(EvolvePolicyConfig::default().cpu_only())),
@@ -27,14 +28,18 @@ fn main() {
     let configs: Vec<RunConfig> = variants
         .iter()
         .map(|(_, manager)| {
-            RunConfig::builder(Scenario::bottleneck_rotation(), manager.clone())
-                .nodes(12)
-                .record_series(false)
-                .build()
+            match args.scenario() {
+                Some(spec) => RunConfig::from_spec(spec, manager.clone()),
+                None => {
+                    RunConfig::builder(Scenario::bottleneck_rotation(), manager.clone()).nodes(12)
+                }
+            }
+            .record_series(false)
+            .build()
         })
         .collect();
     eprintln!("running {} variants × {} seeds …", configs.len(), seeds.len());
-    let reps = Harness::new().run_matrix(&configs, &seeds);
+    let reps = Harness::new().run_matrix(&configs, seeds);
 
     let mut table = Table::new(
         ["variant", "cpu-svc", "disk-svc", "net-svc", "mem-svc", "aggregate", "oom kills"]
@@ -62,7 +67,7 @@ fn main() {
     println!("expected shape: the CPU-only controller defends cpu-svc but fails the disk/net/");
     println!("mem services (it cannot see their bottleneck); fixed gains oscillate or react");
     println!("sluggishly under the bursty MMPP load; full EVOLVE is lowest across the board.");
-    if let Err(err) = write_csv(&output_dir(), "tab5_ablation", &table.to_csv()) {
+    if let Err(err) = write_csv(&args.out_dir, "tab5_ablation", &table.to_csv()) {
         eprintln!("could not write CSV: {err}");
     }
 }

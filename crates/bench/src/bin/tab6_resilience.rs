@@ -11,7 +11,7 @@
 //! ```
 
 use evolve::prelude::*;
-use evolve_bench::{cli_seed_count, output_dir, replicated_settling, seed_list, smoke_mode};
+use evolve_bench::{replicated_settling, BenchArgs};
 
 struct FaultCase {
     name: &'static str,
@@ -41,9 +41,9 @@ fn violations_during(rep: &ReplicatedOutcome, from: u64, to: u64, target_ms: f64
 }
 
 fn main() {
-    let seeds = seed_list(cli_seed_count(5));
-    let smoke = smoke_mode();
-    let (horizon, fault_at) = if smoke { (360u64, 120u64) } else { (900u64, 300u64) };
+    let args = BenchArgs::parse(5);
+    let seeds = &args.seeds;
+    let (horizon, fault_at) = if args.smoke { (360u64, 120u64) } else { (900u64, 300u64) };
     let target_ms = 100.0;
     let cases = [
         FaultCase {
@@ -89,16 +89,20 @@ fn main() {
         let configs: Vec<RunConfig> = managers
             .iter()
             .map(|m| {
-                let mut config = RunConfig::builder(Scenario::single_diurnal(), m.clone())
-                    .nodes(6)
-                    .faults(case.plan.clone())
-                    .build();
+                // With `--scenario`, the spec supplies the workload and
+                // cluster shape; each case still injects its own fault.
+                let mut config = match args.scenario() {
+                    Some(spec) => RunConfig::from_spec(spec, m.clone()),
+                    None => RunConfig::builder(Scenario::single_diurnal(), m.clone()).nodes(6),
+                }
+                .faults(case.plan.clone())
+                .build();
                 config.scenario.horizon = SimDuration::from_secs(horizon);
                 config
             })
             .collect();
         eprintln!("{}: {} policies × {} seeds …", case.name, configs.len(), seeds.len());
-        let reps = Harness::new().run_matrix(&configs, &seeds);
+        let reps = Harness::new().run_matrix(&configs, seeds);
         for rep in &reps {
             let label = rep.manager().to_string();
             let settle = replicated_settling(
@@ -140,10 +144,10 @@ fn main() {
     println!("with fewer violating windows than the HPA or the static baseline; the scrape");
     println!("blackout costs EVOLVE nothing (hold-last-safe keeps the pre-fault allocation,");
     println!("windows are simply missing); the stall only delays actuation by its length.");
-    if let Err(err) = write_csv(&output_dir(), "tab6_resilience", &table.to_csv()) {
+    if let Err(err) = write_csv(&args.out_dir, "tab6_resilience", &table.to_csv()) {
         eprintln!("could not write CSV: {err}");
     }
-    if let Err(err) = write_csv(&output_dir(), "tab6_resilience_raw", &csv) {
+    if let Err(err) = write_csv(&args.out_dir, "tab6_resilience_raw", &csv) {
         eprintln!("could not write CSV: {err}");
     }
 }

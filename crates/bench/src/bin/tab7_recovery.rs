@@ -12,7 +12,7 @@
 //! ```
 
 use evolve::prelude::*;
-use evolve_bench::{cli_seed_count, output_dir, replicated_settling, seed_list, smoke_mode};
+use evolve_bench::{replicated_settling, BenchArgs};
 
 /// Violating windows inside `[from, to]`, averaged across seeds. A window
 /// violates when its measured p99 exceeds the target **or** it dropped
@@ -69,9 +69,9 @@ fn min_replicas_during(rep: &ReplicatedOutcome, from: u64, to: u64) -> Summary {
 }
 
 fn main() {
-    let seeds = seed_list(cli_seed_count(5));
-    let smoke = smoke_mode();
-    let (horizon, crash_at) = if smoke { (360u64, 180u64) } else { (900u64, 450u64) };
+    let args = BenchArgs::parse(5);
+    let seeds = &args.seeds;
+    let (horizon, crash_at) = if args.smoke { (360u64, 180u64) } else { (900u64, 450u64) };
     let target_ms = 100.0;
     let crash_plan = || FaultPlan::new().with_controller_crash(SimTime::from_secs(crash_at));
     let cases: [(&str, FaultPlan, RecoveryStrategy); 4] = [
@@ -90,14 +90,19 @@ fn main() {
         "recovery,restarts_mean,recomply_s_mean,recomply_ci,viol_after_mean,viol_after_ci,min_replicas_mean,viol_rate_mean,timeouts_mean\n",
     );
     for (name, plan, recovery) in &cases {
-        let mut config = RunConfig::builder(Scenario::single_diurnal(), ManagerKind::Evolve)
-            .nodes(6)
-            .faults(plan.clone())
-            .recovery(*recovery)
-            .build();
+        // With `--scenario`, the spec supplies the workload and cluster
+        // shape; each case still overrides the fault plan and recovery
+        // strategy (that is the comparison under test).
+        let mut config = match args.scenario() {
+            Some(spec) => RunConfig::from_spec(spec, ManagerKind::Evolve),
+            None => RunConfig::builder(Scenario::single_diurnal(), ManagerKind::Evolve).nodes(6),
+        }
+        .faults(plan.clone())
+        .recovery(*recovery)
+        .build();
         config.scenario.horizon = SimDuration::from_secs(horizon);
         eprintln!("{name}: {} seed(s) …", seeds.len());
-        let rep = Harness::new().run_seeds(&config, &seeds);
+        let rep = Harness::new().run_seeds(&config, seeds);
         let restarts = Summary::from_samples(
             &rep.runs.iter().map(|r| r.controller_restarts as f64).collect::<Vec<_>>(),
         );
@@ -136,10 +141,10 @@ fn main() {
     println!("from the observed allocation, never scaling a running service to zero;");
     println!("naive reset is worst: it actuates spec defaults, collapses capacity and");
     println!("re-learns on live traffic.");
-    if let Err(err) = write_csv(&output_dir(), "tab7_recovery", &table.to_csv()) {
+    if let Err(err) = write_csv(&args.out_dir, "tab7_recovery", &table.to_csv()) {
         eprintln!("could not write CSV: {err}");
     }
-    if let Err(err) = write_csv(&output_dir(), "tab7_recovery_raw", &csv) {
+    if let Err(err) = write_csv(&args.out_dir, "tab7_recovery_raw", &csv) {
         eprintln!("could not write CSV: {err}");
     }
 }

@@ -18,7 +18,7 @@
 //! the indexed column still reports, which is the point of the table.
 
 use evolve::prelude::*;
-use evolve_bench::{output_dir, smoke_mode, BASE_SEED};
+use evolve_bench::{BenchArgs, BASE_SEED};
 
 struct Cell {
     nodes: usize,
@@ -57,7 +57,8 @@ fn run_cell(nodes: usize, apps: usize, horizon: SimDuration, indexed: bool) -> C
 }
 
 fn main() {
-    let smoke = smoke_mode();
+    let args = BenchArgs::parse(1);
+    let smoke = args.smoke;
     // (nodes, service apps, simulated horizon, run the naive baseline?).
     // Naive at 2 500 nodes already costs hundreds of millions of filter
     // evaluations; at 5 000 it would dominate the entire bench, so only
@@ -134,7 +135,7 @@ fn main() {
         "\nT8 — end-to-end cluster-scale scheduling, naive scan vs feasibility index{label}\n"
     );
     println!("{table}");
-    if let Err(err) = write_csv(&output_dir(), "tab8_cluster_scale", &table.to_csv()) {
+    if let Err(err) = write_csv(&args.out_dir, "tab8_cluster_scale", &table.to_csv()) {
         eprintln!("could not write CSV: {err}");
     }
 }

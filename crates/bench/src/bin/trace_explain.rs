@@ -13,15 +13,18 @@
 //! capacity crunch.
 //!
 //! ```text
-//! cargo run --release -p evolve-bench --bin trace_explain [--overload] [app] [t_s] [half_window_s]
+//! cargo run --release -p evolve-bench --bin trace_explain [--overload] [--app N] [--at T_S] [--window HALF_S]
 //! EVOLVE_SMOKE=1 … # short horizon for CI smoke runs
 //! ```
 //!
-//! Exits non-zero when the dump is empty (tracing broken) or the
-//! requested app/window has no control records.
+//! `--scenario <file>` swaps the workload for a declarative spec (the
+//! spec's cluster shape and arbiter settings apply; `--overload` is then
+//! only a hint for the arbitration legend). Exits non-zero when the dump
+//! is empty (tracing broken) or the requested app/window has no control
+//! records.
 
 use evolve::prelude::*;
-use evolve_bench::{output_dir, smoke_mode, BASE_SEED};
+use evolve_bench::{BenchArgs, BASE_SEED};
 use std::process::ExitCode;
 
 /// One parsed JSONL record: the raw line plus the fields the timeline
@@ -96,31 +99,57 @@ fn fmt_opt(v: Option<f64>, prec: usize) -> String {
     v.map_or_else(|| "-".into(), |v| format!("{v:.prec$}"))
 }
 
-fn main() -> ExitCode {
-    let mut args: Vec<String> = std::env::args().collect();
-    let overload = args.iter().any(|a| a == "--overload");
-    args.retain(|a| a != "--overload");
-    let want_app: Option<u64> = args.get(1).and_then(|s| s.parse().ok());
-    let want_t: Option<f64> = args.get(2).and_then(|s| s.parse().ok());
-    let half_window: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(120.0);
+/// The value following `flag` in the pass-through argument list.
+fn rest_value(rest: &[String], flag: &str) -> Option<String> {
+    rest.iter().position(|a| a == flag).and_then(|i| rest.get(i + 1)).cloned()
+}
 
-    let mut scenario = if overload { Scenario::overload(1.5) } else { Scenario::headline(1.0) };
-    if smoke_mode() {
-        scenario.horizon = SimDuration::from_mins(3);
-    }
-    let dump_name = if overload { "trace_overload.jsonl" } else { "trace_headline.jsonl" };
-    let scenario_name = if overload { "overload (arbitrated)" } else { "headline" };
-    let dump_path = output_dir().join(dump_name);
+fn main() -> ExitCode {
+    let args = BenchArgs::parse(1);
+    let overload = args.rest.iter().any(|a| a == "--overload");
+    // Focus selection: `--app`/`--at`/`--window` flags; a bare integer
+    // argument (the count slot) still aims the app for back-compat.
+    let want_app: Option<u64> = rest_value(&args.rest, "--app")
+        .and_then(|s| s.parse().ok())
+        .or(args.explicit_count.map(|n| n as u64));
+    let want_t: Option<f64> = rest_value(&args.rest, "--at").and_then(|s| s.parse().ok());
+    let half_window: f64 =
+        rest_value(&args.rest, "--window").and_then(|s| s.parse().ok()).unwrap_or(120.0);
+
+    let (dump_name, scenario_name) = match (args.scenario(), overload) {
+        (Some(spec), _) => {
+            (format!("trace_{}.jsonl", spec.name.replace(['/', ' '], "_")), spec.name.clone())
+        }
+        (None, true) => ("trace_overload.jsonl".into(), "overload (arbitrated)".to_string()),
+        (None, false) => ("trace_headline.jsonl".into(), "headline".to_string()),
+    };
+    let dump_path = args.out_dir.join(&dump_name);
     if let Some(parent) = dump_path.parent() {
         let _ = std::fs::create_dir_all(parent);
     }
-    let mut builder = RunConfig::builder(scenario, ManagerKind::Evolve)
-        .seed(BASE_SEED)
-        .trace(TraceConfig::default().with_capacity(1 << 20).dump_to(&dump_path));
-    if overload {
-        builder = builder.nodes(4).arbiter(ArbiterConfig::default());
+    let builder = match args.scenario() {
+        // The spec carries the cluster shape and (optionally) the
+        // arbiter; `from_spec` applies them all.
+        Some(spec) => RunConfig::from_spec(spec, ManagerKind::Evolve),
+        None => {
+            let mut scenario =
+                if overload { Scenario::overload(1.5) } else { Scenario::headline(1.0) };
+            if args.smoke {
+                scenario.horizon = SimDuration::from_mins(3);
+            }
+            let mut b = RunConfig::builder(scenario, ManagerKind::Evolve);
+            if overload {
+                b = b.nodes(4).arbiter(ArbiterConfig::default());
+            }
+            b
+        }
     }
-    let cfg = builder.build();
+    .seed(BASE_SEED)
+    .trace(TraceConfig::default().with_capacity(1 << 20).dump_to(&dump_path));
+    let mut cfg = builder.build();
+    if args.smoke && args.scenario().is_some() {
+        cfg.scenario.horizon = cfg.scenario.horizon.min(SimDuration::from_mins(3));
+    }
     eprintln!("running {scenario_name} scenario (seed {BASE_SEED}) with decision tracing …");
     let outcome = ExperimentRunner::new(cfg).run();
     eprintln!(

@@ -5,47 +5,161 @@ use std::path::PathBuf;
 
 use evolve_core::{ReplicatedOutcome, RunOutcome, Summary};
 use evolve_types::SimTime;
-
-/// Where experiment CSVs land (`experiments_out/` under the workspace).
-#[must_use]
-pub fn output_dir() -> PathBuf {
-    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-    // When invoked via `cargo run -p evolve-bench`, cwd is the workspace
-    // root already; fall back gracefully otherwise.
-    dir.push("experiments_out");
-    dir
-}
+use evolve_workload::ScenarioSpec;
 
 /// The first seed every experiment binary replicates from.
 pub const BASE_SEED: u64 = 42;
 
-/// How many seeds to replicate over: the first CLI argument if it parses
-/// as a positive integer, else the `EVOLVE_SEEDS` environment variable,
-/// else `default`.
-#[must_use]
-pub fn cli_seed_count(default: usize) -> usize {
-    let parse = |s: &str| s.trim().parse::<usize>().ok().filter(|n| *n > 0);
-    std::env::args()
-        .nth(1)
-        .as_deref()
-        .and_then(parse)
-        .or_else(|| std::env::var("EVOLVE_SEEDS").ok().as_deref().and_then(parse))
-        .unwrap_or(default)
+/// The one CLI/environment surface every experiment binary shares.
+///
+/// Replaces the former scattered helpers (`cli_seed_count`, `seed_list`,
+/// `smoke_mode`, `output_dir`) with a single parser:
+///
+/// * a bare positive-integer argument or `--seeds N` sets the replication
+///   count (falling back to `EVOLVE_SEEDS`, then the binary's default);
+/// * `--scenario <file>` loads a declarative `scenarios/*.toml` spec
+///   through [`ScenarioSpec::from_file`] — a bad file exits with status 2
+///   and the typed error on stderr;
+/// * `--out <dir>` (or `EVOLVE_OUT`) overrides where CSV/HTML artifacts
+///   land (default `experiments_out/` under the working directory);
+/// * `EVOLVE_SMOKE` requests a shortened CI smoke run — the *value*
+///   matters, not mere presence: `0`, `false`, `off`, `no` and the empty
+///   string disable it;
+/// * anything unrecognized is passed through in [`BenchArgs::rest`] for
+///   binary-specific flags (`--replay`, series names, …).
+#[derive(Debug)]
+pub struct BenchArgs {
+    /// Seeds to replicate over: `count` consecutive seeds from
+    /// [`BASE_SEED`].
+    pub seeds: Vec<u64>,
+    /// Shortened CI smoke run requested via `EVOLVE_SMOKE`.
+    pub smoke: bool,
+    /// Declarative scenario loaded from `--scenario <file>`, if given.
+    pub scenario: Option<ScenarioSpec>,
+    /// The path `--scenario` was loaded from (for labels/logs).
+    pub scenario_path: Option<PathBuf>,
+    /// Where experiment artifacts land.
+    pub out_dir: PathBuf,
+    /// Unrecognized arguments, in order.
+    pub rest: Vec<String>,
+    /// The replication count given explicitly (CLI or `EVOLVE_SEEDS`),
+    /// before the binary's default applied. Binaries that reuse the
+    /// positional count for something else (fuzz budget, iterations)
+    /// read this.
+    pub explicit_count: Option<usize>,
 }
 
-/// `count` consecutive seeds starting at [`BASE_SEED`].
-#[must_use]
-pub fn seed_list(count: usize) -> Vec<u64> {
-    (0..count as u64).map(|i| BASE_SEED + i).collect()
+impl BenchArgs {
+    /// Parses the process arguments and environment.
+    ///
+    /// Exits with status 2 (usage error) on a malformed flag or an
+    /// invalid `--scenario` file.
+    #[must_use]
+    pub fn parse(default_seeds: usize) -> BenchArgs {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match BenchArgs::try_parse(&argv, default_seeds) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The fallible core of [`BenchArgs::parse`], separated for tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when a flag is malformed or the
+    /// `--scenario` file fails to load/validate.
+    pub fn try_parse(argv: &[String], default_seeds: usize) -> Result<BenchArgs, String> {
+        let parse_count = |s: &str| {
+            s.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|n| *n > 0)
+                .ok_or_else(|| format!("`{s}` is not a positive integer"))
+        };
+        let mut explicit_count = None;
+        let mut scenario_path: Option<PathBuf> = None;
+        let mut out_flag: Option<PathBuf> = None;
+        let mut rest = Vec::new();
+        let mut it = argv.iter();
+        while let Some(arg) = it.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) if f.starts_with("--") => (f, Some(v.to_string())),
+                _ => (arg.as_str(), None),
+            };
+            let mut value = |name: &str| -> Result<String, String> {
+                match inline.clone() {
+                    Some(v) => Ok(v),
+                    None => it.next().cloned().ok_or_else(|| format!("{name} requires a value")),
+                }
+            };
+            match flag {
+                "--seeds" => explicit_count = Some(parse_count(&value("--seeds")?)?),
+                "--scenario" => scenario_path = Some(PathBuf::from(value("--scenario")?)),
+                "--out" => out_flag = Some(PathBuf::from(value("--out")?)),
+                _ => {
+                    // Back-compat: a bare positive integer is the
+                    // replication count (first one wins).
+                    if explicit_count.is_none() && !arg.starts_with('-') {
+                        if let Ok(n) = parse_count(arg) {
+                            explicit_count = Some(n);
+                            continue;
+                        }
+                    }
+                    rest.push(arg.clone());
+                }
+            }
+        }
+        let env_count = std::env::var("EVOLVE_SEEDS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok().filter(|n| *n > 0));
+        let explicit_count = explicit_count.or(env_count);
+        let count = explicit_count.unwrap_or(default_seeds);
+        let scenario = match &scenario_path {
+            Some(path) => Some(ScenarioSpec::from_file(path).map_err(|err| err.to_string())?),
+            None => None,
+        };
+        let out_dir = out_flag
+            .or_else(|| {
+                std::env::var("EVOLVE_OUT").ok().filter(|v| !v.trim().is_empty()).map(PathBuf::from)
+            })
+            .unwrap_or_else(|| {
+                // When invoked via `cargo run -p evolve-bench`, cwd is the
+                // workspace root already; fall back gracefully otherwise.
+                let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+                dir.push("experiments_out");
+                dir
+            });
+        Ok(BenchArgs {
+            seeds: (0..count as u64).map(|i| BASE_SEED + i).collect(),
+            smoke: smoke_env(),
+            scenario,
+            scenario_path,
+            out_dir,
+            rest,
+            explicit_count,
+        })
+    }
+
+    /// Number of seeds to replicate over.
+    #[must_use]
+    pub fn seed_count(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// The loaded `--scenario` spec, if any.
+    #[must_use]
+    pub fn scenario(&self) -> Option<&ScenarioSpec> {
+        self.scenario.as_ref()
+    }
 }
 
-/// Whether the `EVOLVE_SMOKE` environment variable requests a shortened
-/// CI smoke run. The *value* matters, not mere presence: `0`, `false`,
-/// `off`, `no` and the empty string disable smoke mode, anything else
-/// enables it (checking only `is_ok()` made `EVOLVE_SMOKE=0` enable
-/// smoke mode — exactly backwards).
-#[must_use]
-pub fn smoke_mode() -> bool {
+/// `EVOLVE_SMOKE` semantics shared by [`BenchArgs`] and the Criterion
+/// benches: the value matters, not mere presence.
+fn smoke_env() -> bool {
     match std::env::var("EVOLVE_SMOKE") {
         Ok(v) => {
             let v = v.trim().to_ascii_lowercase();
@@ -256,5 +370,57 @@ mod tests {
     #[test]
     fn headers_match_row_width() {
         assert_eq!(headline_headers().len(), 8);
+    }
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn bench_args_default_and_positional_count() {
+        let a = BenchArgs::try_parse(&argv(&[]), 5).unwrap();
+        assert_eq!(a.seeds, vec![42, 43, 44, 45, 46]);
+        assert_eq!(a.explicit_count, None);
+        let b = BenchArgs::try_parse(&argv(&["3"]), 5).unwrap();
+        assert_eq!(b.seeds, vec![42, 43, 44]);
+        assert_eq!(b.explicit_count, Some(3));
+    }
+
+    #[test]
+    fn bench_args_flags_and_rest_passthrough() {
+        let a = BenchArgs::try_parse(
+            &argv(&["--seeds", "2", "--out", "/tmp/x", "--replay", "f.json"]),
+            5,
+        )
+        .unwrap();
+        assert_eq!(a.seed_count(), 2);
+        assert_eq!(a.out_dir, std::path::Path::new("/tmp/x"));
+        assert_eq!(a.rest, vec!["--replay", "f.json"]);
+        let b = BenchArgs::try_parse(&argv(&["--seeds=4"]), 5).unwrap();
+        assert_eq!(b.seed_count(), 4);
+    }
+
+    #[test]
+    fn bench_args_rejects_bad_values() {
+        assert!(BenchArgs::try_parse(&argv(&["--seeds", "zero"]), 5).is_err());
+        assert!(BenchArgs::try_parse(&argv(&["--seeds"]), 5).is_err());
+        assert!(BenchArgs::try_parse(&argv(&["--scenario", "/no/such/file.toml"]), 5).is_err());
+    }
+
+    #[test]
+    fn bench_args_loads_scenario_file() {
+        let dir = std::env::temp_dir().join("evolve_bench_args_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.toml");
+        std::fs::write(
+            &path,
+            evolve_workload::ScenarioSpec::builtin("overload").unwrap().to_toml(),
+        )
+        .unwrap();
+        let a = BenchArgs::try_parse(&argv(&["--scenario", path.to_str().unwrap()]), 5).unwrap();
+        let spec = a.scenario().unwrap();
+        assert_eq!(spec.name, "overload-1.00");
+        assert_eq!(spec.cluster.nodes, 4);
+        assert_eq!(a.scenario_path.as_deref(), Some(path.as_path()));
     }
 }

@@ -53,6 +53,6 @@ pub use policy::{
 };
 pub use report::{write_csv, Summary, Table};
 pub use runner::{
-    AppSummary, ExperimentRunner, RecoveryStrategy, RunConfig, RunConfigBuilder, RunOutcome,
-    RunPerf, SchedulerProfile,
+    arbiter_from_spec, faults_from_spec, AppSummary, ExperimentRunner, RecoveryStrategy, RunConfig,
+    RunConfigBuilder, RunOutcome, RunPerf, SchedulerProfile,
 };

@@ -12,8 +12,10 @@ use evolve_telemetry::trace::{
     FaultTrace, SpanKind, SpanTrace, TraceConfig, TraceEvent, TraceRing,
 };
 use evolve_telemetry::{MetricKey, MetricRegistry, UtilizationAccount, UtilizationSummary};
-use evolve_types::{AppId, PodId, PriorityClass, ResourceVec, SimDuration, SimTime};
-use evolve_workload::{SamplingMode, Scenario, WorldClass};
+use evolve_types::{AppId, NodeId, PodId, PriorityClass, ResourceVec, SimDuration, SimTime};
+use evolve_workload::{
+    ArbiterSpec, FaultSpec, SamplingMode, Scenario, ScenarioError, ScenarioSpec, WorldClass,
+};
 
 use crate::manager::{ManagerKind, ResourceManager};
 
@@ -172,77 +174,58 @@ impl RunConfig {
         RunConfigBuilder { config: RunConfig::new(scenario, manager) }
     }
 
-    /// Overrides the node count.
+    /// Starts a builder from a declarative [`ScenarioSpec`]: the spec's
+    /// workload, cluster shape (node count and capacity), arbiter settings
+    /// and fault plan are all applied, so a run configured from a
+    /// `scenarios/*.toml` file needs no further overrides:
     ///
-    /// # Panics
+    /// ```
+    /// use evolve_core::{ManagerKind, RunConfig};
+    /// use evolve_workload::ScenarioSpec;
     ///
-    /// Panics when zero.
-    #[deprecated(since = "0.2.0", note = "use `RunConfig::builder(..).nodes(..)` instead")]
+    /// let spec = ScenarioSpec::builtin("overload").unwrap();
+    /// let config = RunConfig::from_spec(&spec, ManagerKind::Evolve).seed(7).build();
+    /// assert_eq!(config.nodes, 4);
+    /// assert!(config.arbiter.is_some());
+    /// ```
     #[must_use]
-    pub fn with_nodes(mut self, nodes: usize) -> Self {
-        assert!(nodes > 0, "need at least one node");
-        self.nodes = nodes;
-        self
+    pub fn from_spec(spec: &ScenarioSpec, manager: ManagerKind) -> RunConfigBuilder {
+        RunConfig::builder(spec.build(), manager).scenario_spec(spec)
     }
+}
 
-    /// Overrides the seed.
-    #[deprecated(since = "0.2.0", note = "use `RunConfig::builder(..).seed(..)` instead")]
-    #[must_use]
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
+/// Converts declarative arbiter settings from a [`ScenarioSpec`] into the
+/// control crate's [`ArbiterConfig`]. A free function because the
+/// workload crate (where the spec lives) cannot depend on the control
+/// crate.
+#[must_use]
+pub fn arbiter_from_spec(spec: &ArbiterSpec) -> ArbiterConfig {
+    ArbiterConfig {
+        headroom_fraction: spec.headroom_fraction,
+        floor_fraction: spec.floor_fraction,
+        hysteresis: spec.hysteresis,
+        max_recovery_step: spec.max_recovery_step,
+        demand_cap_ratio: spec.demand_cap_ratio,
     }
+}
 
-    /// Overrides the scheduler profile.
-    #[deprecated(since = "0.2.0", note = "use `RunConfig::builder(..).scheduler(..)` instead")]
-    #[must_use]
-    pub fn with_scheduler(mut self, scheduler: SchedulerProfile) -> Self {
-        self.scheduler = scheduler;
-        self
+/// Converts a declarative fault list from a [`ScenarioSpec`] into the
+/// simulator's [`FaultPlan`].
+#[must_use]
+pub fn faults_from_spec(faults: &[FaultSpec]) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for fault in faults {
+        plan = match *fault {
+            FaultSpec::NodeCrash { node, at, downtime } => {
+                plan.with_node_crash(NodeId::new(node as u32), at, downtime)
+            }
+            FaultSpec::ScrapeBlackout { at, duration } => plan.with_scrape_blackout(at, duration),
+            FaultSpec::ControlStall { at, duration } => plan.with_control_stall(at, duration),
+            FaultSpec::ControllerCrash { at } => plan.with_controller_crash(at),
+            FaultSpec::ActuationDrop { at, duration } => plan.with_actuation_drop(at, duration),
+        };
     }
-
-    /// Disables per-tick series recording (faster sweeps).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `RunConfig::builder(..).record_series(false)` instead"
-    )]
-    #[must_use]
-    pub fn without_series(mut self) -> Self {
-        self.record_series = false;
-        self
-    }
-
-    /// Injects a fault plan into the run.
-    #[deprecated(since = "0.2.0", note = "use `RunConfig::builder(..).faults(..)` instead")]
-    #[must_use]
-    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
-        self.faults = faults;
-        self
-    }
-
-    /// Selects the controller crash-recovery strategy.
-    #[deprecated(since = "0.2.0", note = "use `RunConfig::builder(..).recovery(..)` instead")]
-    #[must_use]
-    pub fn with_recovery(mut self, recovery: RecoveryStrategy) -> Self {
-        self.recovery = recovery;
-        self
-    }
-
-    /// Overrides the checkpoint cadence (control ticks between captures).
-    ///
-    /// # Panics
-    ///
-    /// Panics when zero.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `RunConfig::builder(..).checkpoint_interval_ticks(..)` instead"
-    )]
-    #[must_use]
-    pub fn with_checkpoint_interval(mut self, ticks: u32) -> Self {
-        assert!(ticks > 0, "checkpoint interval must be at least one tick");
-        self.checkpoint_interval_ticks = ticks;
-        self
-    }
+    plan
 }
 
 /// Fluent construction of a [`RunConfig`], replacing the former `with_*`
@@ -373,6 +356,47 @@ impl RunConfigBuilder {
     pub fn indexed_scheduling(mut self, indexed: bool) -> Self {
         self.config.indexed_scheduling = indexed;
         self
+    }
+
+    /// Replaces the scenario, cluster shape, arbiter and fault plan from
+    /// a declarative [`ScenarioSpec`]. Fields the spec does not model
+    /// (seed, scheduler profile, recovery strategy, …) keep their current
+    /// values; a spec without an `[arbiter]` table or `[[fault]]` entries
+    /// clears any previously configured ones so the builder always
+    /// mirrors the spec.
+    #[must_use]
+    pub fn scenario_spec(mut self, spec: &ScenarioSpec) -> Self {
+        self.config.scenario = spec.build();
+        self.config.nodes = spec.cluster.nodes;
+        self.config.node_shape = NodeShape { capacity: spec.node_capacity() };
+        self.config.arbiter = spec.arbiter.as_ref().map(arbiter_from_spec);
+        self.config.faults = faults_from_spec(&spec.faults);
+        self
+    }
+
+    /// Loads a scenario from a TOML file (see EXPERIMENTS.md § Authoring
+    /// scenarios) and applies it via
+    /// [`scenario_spec`](RunConfigBuilder::scenario_spec).
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`ScenarioError`] when the file cannot be read,
+    /// parsed or validated.
+    pub fn scenario_file(self, path: impl AsRef<std::path::Path>) -> Result<Self, ScenarioError> {
+        let spec = ScenarioSpec::from_file(path)?;
+        Ok(self.scenario_spec(&spec))
+    }
+
+    /// Applies a builtin scenario by name (see
+    /// [`evolve_workload::BUILTIN_NAMES`]) via
+    /// [`scenario_spec`](RunConfigBuilder::scenario_spec).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::UnknownScenario`] for an unknown name.
+    pub fn scenario_named(self, name: &str) -> Result<Self, ScenarioError> {
+        let spec = ScenarioSpec::builtin(name)?;
+        Ok(self.scenario_spec(&spec))
     }
 
     /// Finishes the builder.

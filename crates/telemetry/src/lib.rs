@@ -59,8 +59,6 @@ pub use filter::{Ewma, HoltLinear, RateEstimator};
 pub use histogram::Histogram;
 pub use plo::{PloBound, PloTracker, PloWindow};
 pub use quantile::{P2Quantile, SlidingQuantile};
-#[allow(deprecated)] // the deprecated alias stays importable from the crate root
-pub use registry::MetricId;
 pub use registry::{MetricKey, MetricRegistry};
 pub use series::{Sample, TimeSeries};
 pub use util::{UtilizationAccount, UtilizationSummary};

@@ -8,8 +8,8 @@
 //! [`MetricRegistry::key`] and record through the returned
 //! [`MetricKey`] — a dense index into a `Vec<TimeSeries>`, so the
 //! steady-state path is an array index instead of a string-keyed map
-//! lookup. The `&str` API remains for one-off use but is deprecated on
-//! the hot path.
+//! lookup. Name-based lookup remains for reads and counters; recording
+//! always goes through an interned key.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -33,13 +33,6 @@ impl MetricKey {
         self.0
     }
 }
-
-/// Former name of [`MetricKey`].
-#[deprecated(
-    since = "0.2.0",
-    note = "renamed to `MetricKey`; obtain one via `MetricRegistry::key`"
-)]
-pub type MetricId = MetricKey;
 
 /// Named time series and counters.
 ///
@@ -114,12 +107,6 @@ impl MetricRegistry {
         MetricKey(id)
     }
 
-    /// Former name of [`MetricRegistry::key`].
-    #[deprecated(since = "0.2.0", note = "use `key` instead")]
-    pub fn metric_id(&mut self, name: &str) -> MetricKey {
-        self.key(name)
-    }
-
     /// Appends a sample through an interned key: a bounds-checked array
     /// index, no string lookup. A key this registry never issued is
     /// skipped and counted in [`MetricRegistry::dropped_records`] rather
@@ -132,23 +119,6 @@ impl MetricRegistry {
             }
             None => self.dropped_records += 1,
         }
-    }
-
-    /// Former name of [`MetricRegistry::record_key`].
-    #[deprecated(since = "0.2.0", note = "use `record_key` instead")]
-    pub fn record_id(&mut self, id: MetricKey, at: SimTime, value: f64) {
-        self.record_key(id, at, value);
-    }
-
-    /// Appends a sample to the named series, creating it on first use.
-    ///
-    /// Deprecated on the recording path: every call re-does a string map
-    /// lookup the typed-key path avoids. Intern once with
-    /// [`MetricRegistry::key`] and use [`MetricRegistry::record_key`].
-    #[deprecated(since = "0.2.0", note = "intern with `key` and use `record_key` instead")]
-    pub fn record(&mut self, name: &str, at: SimTime, value: f64) {
-        let key = self.key(name);
-        self.record_key(key, at, value);
     }
 
     /// Increments the named counter by `by`.
@@ -176,13 +146,6 @@ impl MetricRegistry {
     #[must_use]
     pub fn series_by_key(&self, key: MetricKey) -> Option<&TimeSeries> {
         self.series.get(key.0 as usize)
-    }
-
-    /// Former name of [`MetricRegistry::series_by_key`].
-    #[deprecated(since = "0.2.0", note = "use `series_by_key` instead")]
-    #[must_use]
-    pub fn series_by_id(&self, id: MetricKey) -> Option<&TimeSeries> {
-        self.series_by_key(id)
     }
 
     /// Number of interned series.
@@ -312,17 +275,6 @@ mod tests {
         assert_eq!(r.dropped_records(), 1);
         assert_eq!(r.fast_path_records(), 1);
         assert_eq!(r.series("only").unwrap().len(), 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_string_and_id_shims_still_work() {
-        let mut r = MetricRegistry::new();
-        r.record("a", SimTime::from_secs(1), 1.0);
-        let a = r.metric_id("a");
-        r.record_id(a, SimTime::from_secs(2), 2.0);
-        assert_eq!(r.series_by_id(a).unwrap().len(), 2);
-        assert_eq!(r.series("a").unwrap().len(), 2);
     }
 
     #[test]

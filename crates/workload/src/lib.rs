@@ -16,6 +16,9 @@
 //!   [`HpcJobSpec`] (gang-scheduled iterative HPC job).
 //! * [`WorkloadMix`] and the scenario library — the pre-built mixes each
 //!   experiment in EXPERIMENTS.md uses.
+//! * [`ScenarioSpec`] — the declarative scenario model behind the
+//!   checked-in `scenarios/*.toml` files, parsed by a hand-rolled
+//!   minimal-TOML reader with typed [`ScenarioError`]s.
 //!
 //! # Examples
 //!
@@ -40,6 +43,8 @@ mod arrival;
 mod request;
 mod sampling;
 mod scenario;
+mod spec;
+mod toml_mini;
 
 pub use apps::{BatchJobSpec, HpcJobSpec, PloSpec, ServiceSpec, StageSpec, WorldClass};
 pub use arrival::{
@@ -53,3 +58,7 @@ pub use sampling::{
     sample_poisson_count, sample_standard_normal, LogNormal, SamplingMode,
 };
 pub use scenario::{LoadSpec, Scenario, WorkloadMix};
+pub use spec::{
+    ArbiterSpec, BatchEntry, ClusterSpec, FaultSpec, HpcEntry, ProbeSpec, ScenarioError,
+    ScenarioSpec, ServiceEntry, StageEntry, BUILTIN_NAMES, DEFAULT_NODE_CAPACITY,
+};

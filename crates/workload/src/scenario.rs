@@ -5,15 +5,21 @@
 //! workloads. [`LoadSpec`] is the serializable description of a load
 //! profile; [`WorkloadMix`] aggregates services and jobs; [`Scenario`]
 //! bundles a mix with a name and simulation horizon.
+//!
+//! The presets themselves are defined as declarative
+//! [`ScenarioSpec`](crate::ScenarioSpec)s (one checked-in
+//! `scenarios/*.toml` file per preset, pinned byte-identical by parity
+//! tests); the constructors here are thin emitters kept for API
+//! compatibility and programmatic use.
 
-use evolve_types::{PriorityClass, ResourceVec, SimDuration, SimTime};
+use evolve_types::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-use crate::apps::{BatchJobSpec, HpcJobSpec, PloSpec, ServiceSpec, StageSpec};
+use crate::apps::{BatchJobSpec, HpcJobSpec, ServiceSpec};
 use crate::arrival::{
     ConstantLoad, DiurnalLoad, FlashCrowdLoad, LoadProfile, MmppLoad, RampLoad, TraceLoad,
 };
-use crate::request::RequestClass;
+use crate::spec::ScenarioSpec;
 
 /// Serializable description of a load profile, turned into a live
 /// [`LoadProfile`] with [`LoadSpec::build`].
@@ -106,6 +112,36 @@ impl LoadSpec {
             }
         }
     }
+
+    /// A copy with every rate multiplied by `factor` (timings
+    /// unchanged) — the capacity-probe ramp step.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> LoadSpec {
+        match self {
+            LoadSpec::Constant { rate } => LoadSpec::Constant { rate: rate * factor },
+            LoadSpec::Diurnal { base, amplitude, period, phase } => LoadSpec::Diurnal {
+                base: base * factor,
+                amplitude: *amplitude,
+                period: *period,
+                phase: *phase,
+            },
+            LoadSpec::Ramp { from, to, duration } => {
+                LoadSpec::Ramp { from: from * factor, to: to * factor, duration: *duration }
+            }
+            LoadSpec::FlashCrowd { base, spike_factor, start, duration } => LoadSpec::FlashCrowd {
+                base: base * factor,
+                spike_factor: *spike_factor,
+                start: *start,
+                duration: *duration,
+            },
+            LoadSpec::Mmpp { low, high, mean_dwell } => {
+                LoadSpec::Mmpp { low: low * factor, high: high * factor, mean_dwell: *mean_dwell }
+            }
+            LoadSpec::Trace { points } => {
+                LoadSpec::Trace { points: points.iter().map(|(t, r)| (*t, r * factor)).collect() }
+            }
+        }
+    }
 }
 
 /// A full workload: services under open-loop traffic plus batch and HPC
@@ -189,123 +225,6 @@ pub struct Scenario {
     pub horizon: SimDuration,
 }
 
-/// Canonical request classes used across scenarios. Demand units:
-/// mcore·s CPU, MiB working set, MB disk, MB net per request.
-fn class_cpu_bound() -> RequestClass {
-    RequestClass::new(
-        "cpu-bound",
-        ResourceVec::new(20.0, 2.0, 0.01, 0.05),
-        0.6,
-        SimDuration::from_secs(10),
-    )
-}
-
-fn class_disk_bound() -> RequestClass {
-    RequestClass::new(
-        "disk-bound",
-        ResourceVec::new(5.0, 4.0, 2.0, 0.2),
-        0.8,
-        SimDuration::from_secs(10),
-    )
-}
-
-fn class_net_bound() -> RequestClass {
-    RequestClass::new(
-        "net-bound",
-        ResourceVec::new(5.0, 2.0, 0.05, 2.5),
-        0.7,
-        SimDuration::from_secs(10),
-    )
-}
-
-/// Compute-heavy requests (~100 ms on one core) used by the overload
-/// scenario so a handful of nodes saturates at modest request rates.
-fn class_cpu_heavy() -> RequestClass {
-    RequestClass::new(
-        "cpu-heavy",
-        ResourceVec::new(100.0, 8.0, 0.1, 0.2),
-        0.5,
-        SimDuration::from_secs(10),
-    )
-}
-
-fn class_mem_heavy() -> RequestClass {
-    RequestClass::new(
-        "mem-heavy",
-        ResourceVec::new(12.0, 48.0, 0.1, 0.1),
-        0.5,
-        SimDuration::from_secs(10),
-    )
-}
-
-/// Default initial per-replica allocation: deliberately modest — the
-/// controllers must discover the right size.
-fn default_alloc() -> ResourceVec {
-    ResourceVec::new(1_000.0, 1_024.0, 50.0, 50.0)
-}
-
-/// What a cautious user writes into a static pod spec: CPU and memory
-/// sized generously (~3× the mean — those are the dimensions dashboards
-/// show and Kubernetes lets you request), while disk and network I/O sit
-/// at small defaults — stock Kubernetes has no native I/O-bandwidth
-/// requests at all, which is precisely the gap EVOLVE's multi-resource
-/// controller fills. The result is the classic production profile:
-/// over-provisioned where it does not matter, starved where it does.
-fn provisioned_alloc() -> ResourceVec {
-    ResourceVec::new(6_000.0, 12_288.0, 50.0, 50.0)
-}
-
-fn batch_etl(scale: f64) -> BatchJobSpec {
-    BatchJobSpec::new(
-        "etl",
-        vec![
-            // Scan/transform: ~30 s of CPU and 20 s of disk per task at
-            // the nominal executor size.
-            StageSpec::new(
-                (8.0 * scale).ceil() as u32,
-                ResourceVec::new(60_000.0, 1_024.0, 2_000.0, 200.0),
-                1_000_000,
-            ),
-            // Shuffle/aggregate: network-heavy.
-            StageSpec::new(
-                (4.0 * scale).ceil() as u32,
-                ResourceVec::new(45_000.0, 2_048.0, 500.0, 3_000.0),
-                500_000,
-            ),
-        ],
-        PloSpec::Deadline { deadline: SimDuration::from_mins(5) },
-        ResourceVec::new(2_000.0, 2_048.0, 100.0, 100.0),
-        8,
-    )
-}
-
-fn batch_analytics(scale: f64) -> BatchJobSpec {
-    BatchJobSpec::new(
-        "analytics",
-        vec![StageSpec::new(
-            (12.0 * scale).ceil() as u32,
-            ResourceVec::new(120_000.0, 3_072.0, 1_500.0, 500.0),
-            2_000_000,
-        )],
-        PloSpec::Deadline { deadline: SimDuration::from_mins(8) },
-        ResourceVec::new(2_000.0, 3_584.0, 80.0, 60.0),
-        12,
-    )
-}
-
-fn hpc_solver(gang: u32) -> HpcJobSpec {
-    HpcJobSpec::new(
-        "solver",
-        gang,
-        120,
-        // ~2 s of compute and 1 s of halo exchange per iteration at the
-        // nominal rank size.
-        ResourceVec::new(4_000.0, 1_024.0, 10.0, 100.0),
-        ResourceVec::new(2_000.0, 2_048.0, 20.0, 100.0),
-        SimDuration::from_mins(10),
-    )
-}
-
 impl Scenario {
     /// **T1/T2/F4 headline mix** — several latency-critical services with
     /// heterogeneous bottlenecks and dynamic load, plus batch and HPC
@@ -317,113 +236,14 @@ impl Scenario {
     /// Panics when `scale` is not positive.
     #[must_use]
     pub fn headline(scale: f64) -> Scenario {
-        assert!(scale > 0.0, "scale must be positive");
-        let day = SimDuration::from_mins(20);
-        let mut mix = WorkloadMix::new();
-        let services: [(&str, RequestClass, f64, LoadSpec); 6] = [
-            (
-                "frontend",
-                class_cpu_bound(),
-                200.0,
-                LoadSpec::Diurnal { base: 200.0 * scale, amplitude: 0.7, period: day, phase: 0.0 },
-            ),
-            (
-                "search",
-                class_cpu_bound(),
-                80.0,
-                LoadSpec::Diurnal { base: 80.0 * scale, amplitude: 0.6, period: day, phase: 1.2 },
-            ),
-            (
-                "ingest",
-                class_disk_bound(),
-                60.0,
-                LoadSpec::Mmpp {
-                    low: 25.0 * scale,
-                    high: 90.0 * scale,
-                    mean_dwell: SimDuration::from_secs(90),
-                },
-            ),
-            (
-                "media",
-                class_net_bound(),
-                70.0,
-                LoadSpec::Diurnal { base: 70.0 * scale, amplitude: 0.8, period: day, phase: 2.4 },
-            ),
-            (
-                "session",
-                class_mem_heavy(),
-                40.0,
-                LoadSpec::Mmpp {
-                    low: 20.0 * scale,
-                    high: 60.0 * scale,
-                    mean_dwell: SimDuration::from_secs(120),
-                },
-            ),
-            (
-                "checkout",
-                class_cpu_bound(),
-                30.0,
-                LoadSpec::FlashCrowd {
-                    base: 30.0 * scale,
-                    spike_factor: 4.0,
-                    start: SimTime::from_secs(600),
-                    duration: SimDuration::from_secs(180),
-                },
-            ),
-        ];
-        for (name, class, _nominal, load) in services {
-            mix = mix.with_service(
-                ServiceSpec::new(
-                    name,
-                    PloSpec::LatencyP99 { target_ms: 100.0 },
-                    class,
-                    // The static baseline keeps these generous requests
-                    // for the whole run; EVOLVE right-sizes from them.
-                    provisioned_alloc(),
-                )
-                .with_initial_replicas(2),
-                load,
-            );
-        }
-        mix = mix
-            .with_batch_job(batch_etl(scale), SimTime::from_secs(120))
-            .with_batch_job(batch_analytics(scale), SimTime::from_secs(400))
-            .with_batch_job(batch_etl(scale), SimTime::from_secs(800))
-            .with_hpc_job(hpc_solver(4), SimTime::from_secs(200))
-            .with_hpc_job(hpc_solver(6), SimTime::from_secs(700));
-        Scenario {
-            name: "headline".into(),
-            description: "mixed cloud/big-data/HPC consolidation (T1/T2/F4)".into(),
-            mix,
-            horizon: SimDuration::from_mins(20),
-        }
+        ScenarioSpec::headline(scale).build()
     }
 
     /// **F1 timeline** — a single CPU-bound service under one compressed
     /// diurnal day.
     #[must_use]
     pub fn single_diurnal() -> Scenario {
-        let mix = WorkloadMix::new().with_service(
-            ServiceSpec::new(
-                "web",
-                PloSpec::LatencyP99 { target_ms: 100.0 },
-                class_cpu_bound(),
-                default_alloc(),
-            )
-            .with_initial_replicas(2),
-            LoadSpec::Diurnal {
-                base: 150.0,
-                amplitude: 0.8,
-                period: SimDuration::from_mins(15),
-                phase: 0.0,
-            },
-        );
-        Scenario {
-            name: "single-diurnal".into(),
-            description: "one service, one compressed day (F1)".into(),
-            mix,
-            horizon: SimDuration::from_mins(15),
-        }
+        ScenarioSpec::single_diurnal().build()
     }
 
     /// **F5 flash crowd** — a steady service hit by a `spike_factor`×
@@ -434,27 +254,7 @@ impl Scenario {
     /// Panics when `spike_factor < 1`.
     #[must_use]
     pub fn flash_crowd(spike_factor: f64) -> Scenario {
-        let mix = WorkloadMix::new().with_service(
-            ServiceSpec::new(
-                "store",
-                PloSpec::LatencyP99 { target_ms: 100.0 },
-                class_cpu_bound(),
-                default_alloc(),
-            )
-            .with_initial_replicas(2),
-            LoadSpec::FlashCrowd {
-                base: 80.0,
-                spike_factor,
-                start: SimTime::from_secs(120),
-                duration: SimDuration::from_secs(150),
-            },
-        );
-        Scenario {
-            name: format!("flash-crowd-x{spike_factor:.0}"),
-            description: "steady load with a sudden spike (F5)".into(),
-            mix,
-            horizon: SimDuration::from_mins(8),
-        }
+        ScenarioSpec::flash_crowd(spike_factor).build()
     }
 
     /// **F2 step response** — load steps from `base` to `base×factor`
@@ -465,26 +265,7 @@ impl Scenario {
     /// Panics when `factor < 1`.
     #[must_use]
     pub fn step_response(factor: f64) -> Scenario {
-        assert!(factor >= 1.0, "step factor must be at least 1");
-        let base = 60.0;
-        let mix = WorkloadMix::new().with_service(
-            ServiceSpec::new(
-                "svc",
-                PloSpec::LatencyP99 { target_ms: 100.0 },
-                class_cpu_bound(),
-                default_alloc(),
-            )
-            .with_initial_replicas(2),
-            LoadSpec::Trace {
-                points: vec![(SimTime::ZERO, base), (SimTime::from_secs(240), base * factor)],
-            },
-        );
-        Scenario {
-            name: format!("step-x{factor:.0}"),
-            description: "load step for settling-time measurement (F2)".into(),
-            mix,
-            horizon: SimDuration::from_mins(10),
-        }
+        ScenarioSpec::step_response(factor).build()
     }
 
     /// **F3 load sweep** — two services at a constant `offered` fraction
@@ -496,34 +277,7 @@ impl Scenario {
     /// Panics when `offered` is not positive.
     #[must_use]
     pub fn load_sweep(offered: f64) -> Scenario {
-        assert!(offered > 0.0, "offered load must be positive");
-        let mix = WorkloadMix::new()
-            .with_service(
-                ServiceSpec::new(
-                    "api",
-                    PloSpec::LatencyP99 { target_ms: 100.0 },
-                    class_cpu_bound(),
-                    default_alloc(),
-                )
-                .with_initial_replicas(2),
-                LoadSpec::Constant { rate: 200.0 * offered },
-            )
-            .with_service(
-                ServiceSpec::new(
-                    "feed",
-                    PloSpec::LatencyP99 { target_ms: 120.0 },
-                    class_disk_bound(),
-                    default_alloc(),
-                )
-                .with_initial_replicas(2),
-                LoadSpec::Constant { rate: 100.0 * offered },
-            );
-        Scenario {
-            name: format!("sweep-{offered:.2}"),
-            description: "constant offered load for the violation-vs-load sweep (F3)".into(),
-            mix,
-            horizon: SimDuration::from_mins(6),
-        }
+        ScenarioSpec::load_sweep(offered).build()
     }
 
     /// **T5 bottleneck rotation** — four services, each binding on a
@@ -531,31 +285,7 @@ impl Scenario {
     /// vs CPU-only ablation runs here.
     #[must_use]
     pub fn bottleneck_rotation() -> Scenario {
-        let mut mix = WorkloadMix::new();
-        let entries: [(&str, RequestClass); 4] = [
-            ("cpu-svc", class_cpu_bound()),
-            ("disk-svc", class_disk_bound()),
-            ("net-svc", class_net_bound()),
-            ("mem-svc", class_mem_heavy()),
-        ];
-        for (name, class) in entries {
-            mix = mix.with_service(
-                ServiceSpec::new(
-                    name,
-                    PloSpec::LatencyP99 { target_ms: 120.0 },
-                    class,
-                    default_alloc(),
-                )
-                .with_initial_replicas(2),
-                LoadSpec::Mmpp { low: 30.0, high: 80.0, mean_dwell: SimDuration::from_secs(60) },
-            );
-        }
-        Scenario {
-            name: "bottleneck-rotation".into(),
-            description: "each service binds on a different resource (T5)".into(),
-            mix,
-            horizon: SimDuration::from_mins(10),
-        }
+        ScenarioSpec::bottleneck_rotation().build()
     }
 
     /// **Overload / graceful degradation** — three priority tiers of
@@ -573,61 +303,7 @@ impl Scenario {
     /// Panics when `offered` is not positive.
     #[must_use]
     pub fn overload(offered: f64) -> Scenario {
-        assert!(offered > 0.0, "offered load must be positive");
-        let mix = WorkloadMix::new()
-            .with_service(
-                ServiceSpec::new(
-                    "checkout",
-                    PloSpec::LatencyP99 { target_ms: 150.0 },
-                    class_cpu_heavy(),
-                    default_alloc(),
-                )
-                .with_initial_replicas(2)
-                .with_priority(PriorityClass::Critical),
-                LoadSpec::Constant { rate: 120.0 * offered },
-            )
-            .with_service(
-                ServiceSpec::new(
-                    "api",
-                    PloSpec::LatencyP99 { target_ms: 150.0 },
-                    class_cpu_heavy(),
-                    default_alloc(),
-                )
-                .with_initial_replicas(2),
-                LoadSpec::Constant { rate: 120.0 * offered },
-            )
-            .with_service(
-                ServiceSpec::new(
-                    "feed",
-                    PloSpec::LatencyP99 { target_ms: 150.0 },
-                    class_disk_bound(),
-                    default_alloc(),
-                )
-                .with_initial_replicas(2),
-                LoadSpec::Constant { rate: 80.0 * offered },
-            )
-            .with_service(
-                ServiceSpec::new(
-                    "scavenge",
-                    PloSpec::LatencyP99 { target_ms: 300.0 },
-                    class_cpu_heavy(),
-                    default_alloc(),
-                )
-                .with_initial_replicas(2)
-                .with_priority(PriorityClass::Preemptible),
-                LoadSpec::Constant { rate: 120.0 * offered },
-            )
-            .with_batch_job(
-                batch_analytics(1.0).with_priority(PriorityClass::Preemptible),
-                SimTime::from_secs(60),
-            )
-            .with_batch_job(batch_etl(1.0), SimTime::from_secs(120));
-        Scenario {
-            name: format!("overload-{offered:.2}"),
-            description: "priority-tiered services pushing demand past capacity".into(),
-            mix,
-            horizon: SimDuration::from_mins(8),
-        }
+        ScenarioSpec::overload(offered).build()
     }
 
     /// **T8 cluster scale** — the scheduler-stress regime: static-sized
@@ -639,15 +315,15 @@ impl Scenario {
     /// (1200 mcore, 4800 MiB, 30, 80), so exactly 12 fit per default
     /// node (CPU- and memory-bound simultaneously) and the cluster
     /// offers `12 × nodes` pod slots. Services take ~40% of the slots
-    /// spread over `apps` distinct applications (priority 100); four
-    /// batch jobs (priority 10) offer `8 × nodes` parallel tasks against
-    /// the remaining ~7.2 × nodes slots, so the pending queue never
-    /// drains and every control tick reschedules into a nearly-full
-    /// cluster — the worst case for a full node rescan and the regime
-    /// `tab8_cluster_scale` measures. Batch tasks carry ~5 min of CPU
-    /// work each, so a 5 s tick completes ~2% of the running tasks:
-    /// free slots concentrate on a small fraction of the nodes while
-    /// the backlog keeps probing a cluster that is full everywhere else.
+    /// spread over `apps` distinct applications; four batch jobs offer
+    /// `8 × nodes` parallel tasks against the remaining ~7.2 × nodes
+    /// slots, so the pending queue never drains and every control tick
+    /// reschedules into a nearly-full cluster — the worst case for a
+    /// full node rescan and the regime `tab8_cluster_scale` measures.
+    /// Batch tasks carry ~5 min of CPU work each, so a 5 s tick
+    /// completes ~2% of the running tasks: free slots concentrate on a
+    /// small fraction of the nodes while the backlog keeps probing a
+    /// cluster that is full everywhere else.
     ///
     /// Intended for `KubeStatic`-style static replica management:
     /// replica counts are chosen here, not by a controller.
@@ -657,103 +333,21 @@ impl Scenario {
     /// Panics when `nodes` or `apps` is zero.
     #[must_use]
     pub fn cluster_scale(nodes: usize, apps: usize, horizon: SimDuration) -> Scenario {
-        assert!(nodes > 0, "need at least one node");
-        assert!(apps > 0, "need at least one service app");
-        let slots = 12 * nodes;
-        let service_pods = (slots * 2).div_ceil(5); // ~40% of slots
-        let per_app = service_pods.div_ceil(apps).max(1) as u32;
-        let pod_alloc = ResourceVec::new(1_200.0, 4_800.0, 30.0, 80.0);
-        let mut mix = WorkloadMix::new();
-        for i in 0..apps {
-            mix = mix.with_service(
-                ServiceSpec::new(
-                    format!("svc-{i}"),
-                    PloSpec::LatencyP99 { target_ms: 250.0 },
-                    class_cpu_bound(),
-                    pod_alloc,
-                )
-                .with_initial_replicas(per_app),
-                LoadSpec::Constant { rate: 2.0 },
-            );
-        }
-        // Four staggered batch jobs; together they offer 8 × nodes
-        // parallel tasks — more than the ~7.2 × nodes free slots — so a
-        // pending backlog persists for the whole horizon. 360 000 mcore·s
-        // of CPU per task at the 1 200 mcore allocation means ~5 min per
-        // task: each tick frees a trickle of slots on scattered nodes
-        // while the rest of the cluster stays packed.
-        let tasks_per_stage = (nodes * 50).max(1) as u32;
-        let max_parallel = (nodes * 2).max(1) as u32;
-        for j in 0..4 {
-            mix = mix.with_batch_job(
-                BatchJobSpec::new(
-                    format!("scan-{j}"),
-                    vec![StageSpec::new(
-                        tasks_per_stage,
-                        ResourceVec::new(360_000.0, 2_048.0, 100.0, 50.0),
-                        100_000,
-                    )],
-                    PloSpec::Deadline { deadline: SimDuration::from_mins(60) },
-                    pod_alloc,
-                    max_parallel,
-                )
-                .with_priority(PriorityClass::Preemptible),
-                SimTime::from_secs(10 + 5 * j),
-            );
-        }
-        Scenario {
-            name: format!("cluster-scale-{nodes}n-{apps}a"),
-            description: "slot-packed nodes with an oversubscribed batch backlog (T8)".into(),
-            mix,
-            horizon,
-        }
+        ScenarioSpec::cluster_scale(nodes, apps, horizon).build()
     }
 
     /// **F6 interference** — two latency-critical services colocated with
     /// aggressive batch and HPC work that should harvest only slack.
     #[must_use]
     pub fn interference() -> Scenario {
-        let mix = WorkloadMix::new()
-            .with_service(
-                ServiceSpec::new(
-                    "frontend",
-                    PloSpec::LatencyP99 { target_ms: 100.0 },
-                    class_cpu_bound(),
-                    default_alloc(),
-                )
-                .with_initial_replicas(2),
-                LoadSpec::Diurnal {
-                    base: 100.0,
-                    amplitude: 0.7,
-                    period: SimDuration::from_mins(10),
-                    phase: 0.0,
-                },
-            )
-            .with_service(
-                ServiceSpec::new(
-                    "api",
-                    PloSpec::LatencyP99 { target_ms: 100.0 },
-                    class_net_bound(),
-                    default_alloc(),
-                )
-                .with_initial_replicas(2),
-                LoadSpec::Mmpp { low: 40.0, high: 100.0, mean_dwell: SimDuration::from_secs(75) },
-            )
-            .with_batch_job(batch_analytics(2.0), SimTime::from_secs(60))
-            .with_batch_job(batch_etl(2.0), SimTime::from_secs(90))
-            .with_hpc_job(hpc_solver(8), SimTime::from_secs(120));
-        Scenario {
-            name: "interference".into(),
-            description: "batch/HPC harvesting slack under latency PLOs (F6)".into(),
-            mix,
-            horizon: SimDuration::from_mins(12),
-        }
+        ScenarioSpec::interference().build()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use evolve_types::{PriorityClass, ResourceVec};
 
     #[test]
     fn load_specs_build() {
@@ -778,6 +372,9 @@ mod tests {
         for spec in specs {
             let profile = spec.build();
             assert!(profile.max_rate() >= spec.mean_rate() * 0.99, "{spec:?}");
+            // Scaling doubles the mean rate for every kind.
+            let scaled = spec.scaled(2.0);
+            assert!((scaled.mean_rate() - 2.0 * spec.mean_rate()).abs() < 1e-9, "{spec:?}");
         }
     }
 

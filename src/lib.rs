@@ -66,8 +66,9 @@ pub use evolve_workload as workload;
 pub mod prelude {
     pub use evolve_control::ArbiterConfig;
     pub use evolve_core::{
-        write_csv, ExperimentRunner, Harness, ManagerKind, RecoveryStrategy, ReplicatedOutcome,
-        RunConfig, RunConfigBuilder, RunOutcome, RunPerf, SchedulerProfile, Summary, Table,
+        arbiter_from_spec, faults_from_spec, write_csv, ExperimentRunner, Harness, ManagerKind,
+        RecoveryStrategy, ReplicatedOutcome, RunConfig, RunConfigBuilder, RunOutcome, RunPerf,
+        SchedulerProfile, Summary, Table,
     };
     pub use evolve_sim::{
         ChaosOracle, FaultEvent, FaultKind, FaultPlan, NodeShape, OracleReport, OracleViolation,
@@ -81,5 +82,7 @@ pub mod prelude {
     pub use evolve_types::{
         AppId, JobId, NodeId, PodId, PriorityClass, Resource, ResourceVec, SimDuration, SimTime,
     };
-    pub use evolve_workload::{PloSpec, Scenario, WorldClass};
+    pub use evolve_workload::{
+        PloSpec, Scenario, ScenarioError, ScenarioSpec, WorldClass, BUILTIN_NAMES,
+    };
 }
